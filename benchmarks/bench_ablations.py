@@ -1,0 +1,97 @@
+"""Experiment C7 (ablations) -- what the paper's design rules buy.
+
+Three rules are switched off and the cost difference measured:
+
+- **smallest parent** (Section 5: "pick the * with the smallest Ci")
+  vs a fixed arbitrary parent in from-core computation;
+- **insert short-circuit** (Section 6: losing values prune the lattice
+  walk) vs visiting every cell;
+- **sort-sharing via chains** (Section 5: one sorted pass computes a
+  whole rollup) vs one independent sort per grouping set.
+"""
+
+import random
+
+from repro import agg
+from repro.aggregates import Sum
+from repro.compute import FromCoreAlgorithm, build_task
+from repro.core.grouping import cube_sets
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+from repro.maintenance import MaterializedCube
+
+from conftest import show
+
+
+def test_smallest_parent_vs_fixed(benchmark):
+    """Skewed cardinalities (40 x 3 x 2): routing through the small
+    parents must do strictly less merge work."""
+    table = synthetic_table(SyntheticSpec(
+        cardinalities=(40, 3, 2), n_rows=5000, seed=91))
+    task = build_task(table, ["d0", "d1", "d2"],
+                      [AggregateSpec(Sum(), "m", "s")], cube_sets(3))
+
+    def compare():
+        smart = FromCoreAlgorithm(parent_choice="smallest").compute(task)
+        naive = FromCoreAlgorithm(parent_choice="first").compute(task)
+        assert smart.table.equals_bag(naive.table)
+        return smart.stats.merge_calls, naive.stats.merge_calls
+
+    smart_merges, naive_merges = benchmark(compare)
+    assert smart_merges < naive_merges
+    show("ablation: smallest-parent rule (merge calls)",
+         f"smallest: {smart_merges}; fixed-first: {naive_merges}; "
+         f"saving {1 - smart_merges / naive_merges:.0%}")
+
+
+def test_insert_short_circuit_ablation(benchmark):
+    """MAX maintenance with and without the Section 6 pruning."""
+    def run():
+        counts = {}
+        for enabled in (True, False):
+            table = synthetic_table(SyntheticSpec(
+                cardinalities=(5, 4, 3), n_rows=500, seed=92))
+            cube = MaterializedCube(table, ["d0", "d1", "d2"],
+                                    [agg("MAX", "m", "hi")],
+                                    short_circuit=enabled)
+            rng = random.Random(6)
+            for _ in range(200):
+                cube.insert((f"v{rng.randrange(5)}",
+                             f"v{rng.randrange(4)}",
+                             f"v{rng.randrange(3)}",
+                             rng.randrange(50)))  # mostly losers
+            counts[enabled] = (cube.stats.cells_updated,
+                               cube.stats.cells_short_circuited,
+                               cube.as_table())
+        return counts
+
+    counts = benchmark(run)
+    with_updates, with_pruned, with_table = counts[True]
+    without_updates, without_pruned, without_table = counts[False]
+    assert with_table.equals_bag(without_table)  # same cube either way
+    assert without_pruned == 0
+    assert with_updates < without_updates  # the rule saves cell work
+    show("ablation: Section 6 insert short-circuit (200 inserts, MAX)",
+         f"on : updated={with_updates} pruned={with_pruned}\n"
+         f"off: updated={without_updates} pruned={without_pruned}")
+
+
+def test_chain_sharing_vs_sort_per_grouping_set(benchmark):
+    """The sort-based cube shares one sort across a whole chain; an
+    implementation sorting once per grouping set pays 2^N sorts."""
+    from repro.compute import SortCubeAlgorithm
+
+    table = synthetic_table(SyntheticSpec(
+        cardinalities=(4, 4, 4), n_rows=1500, seed=93))
+    task = build_task(table, ["d0", "d1", "d2"],
+                      [AggregateSpec(Sum(), "m", "s")], cube_sets(3))
+
+    result = benchmark(SortCubeAlgorithm().compute, task)
+    shared_sorts = result.stats.sort_operations
+    per_set_sorts = len(task.masks)
+    assert shared_sorts == 3  # C(3,1) chains
+    assert shared_sorts < per_set_sorts
+    show("ablation: chain-shared sorts vs per-grouping-set sorts",
+         f"chains: {shared_sorts} sorts; naive: {per_set_sorts} sorts "
+         f"(rows sorted {result.stats.rows_sorted} vs "
+         f"{len(table) * per_set_sorts})")

@@ -1,0 +1,123 @@
+"""Experiment C8 (extension) -- Section 6's approximation remark.
+
+"Our view is that users avoid holistic functions by using approximation
+techniques.  For example, medians and quartiles are approximated using
+statistical techniques rather than being computed exactly."
+
+Measures the trade the paper describes: the approximate median (a
+fixed-size sketch, hence ALGEBRAIC) cubes from the core and maintains
+cheaply, while the exact median pays the 2^N-algorithm and full
+recomputation on delete -- at a bounded accuracy cost.
+"""
+
+import random
+
+import pytest
+
+from repro import agg
+from repro.aggregates import ApproximateMedian, Median, Sum
+from repro.compute import FromCoreAlgorithm, TwoNAlgorithm, build_task
+from repro.core.cube import cube_with_stats
+from repro.core.grouping import cube_sets
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+
+from conftest import show
+
+DIMS = ["d0", "d1", "d2"]
+
+
+@pytest.fixture(scope="module")
+def fact():
+    return synthetic_table(SyntheticSpec(
+        cardinalities=(5, 4, 3), n_rows=3000, seed=61))
+
+
+def test_approximate_median_routes_from_core(benchmark, fact):
+    result = benchmark(cube_with_stats, fact, DIMS,
+                       [agg("APPROX_MEDIAN", "m", "med")])
+    assert result.stats.algorithm == "from-core"
+    assert result.stats.iter_calls == len(fact)  # not T x 2^N
+
+
+def test_exact_median_pays_txn(benchmark, fact):
+    result = benchmark(cube_with_stats, fact, DIMS,
+                       [agg(Median(carrying=False), "m", "med")])
+    assert result.stats.algorithm == "2^N"
+    assert result.stats.iter_calls == len(fact) * 2 ** 3
+
+
+def test_accuracy_vs_cost(benchmark, fact):
+    """The trade quantified: Iter-call ratio and worst-case error."""
+
+    def run():
+        approx_task = build_task(
+            fact, DIMS, [AggregateSpec(ApproximateMedian(128), "m",
+                                       "med")], cube_sets(3))
+        exact_task = build_task(
+            fact, DIMS, [AggregateSpec(Median(carrying=False), "m",
+                                       "med")], cube_sets(3))
+        approx = FromCoreAlgorithm().compute(approx_task)
+        exact = TwoNAlgorithm().compute(exact_task)
+        approx_by_key = {row[:3]: row[3] for row in approx.table}
+        worst = 0.0
+        for row in exact.table:
+            estimate = approx_by_key[row[:3]]
+            worst = max(worst, abs(estimate - row[3]))
+        ratio = exact.stats.iter_calls / approx.stats.iter_calls
+        return worst, ratio
+
+    worst, ratio = benchmark(run)
+    values = fact.column_values("m")
+    spread = max(values) - min(values)
+    assert worst <= spread / 128 * 4  # bounded by bucket width
+    assert ratio == 8.0  # the 2^N factor saved
+    show("Section 6 approximation trade (median, 128-bucket sketch)",
+         f"worst cell error: {worst:.2f} of spread {spread}; "
+         f"Iter-call saving: {ratio:.0f}x")
+
+
+def test_approximate_median_maintains_cheaply(benchmark, fact):
+    """Deletes never force recomputation -- approximation restores what
+    Section 6 says MAX/MEDIAN lose."""
+    from repro.maintenance import MaterializedCube
+
+    def run():
+        table = synthetic_table(SyntheticSpec(
+            cardinalities=(4, 3, 2), n_rows=600, seed=62))
+        cube = MaterializedCube(table, DIMS,
+                                [agg("APPROX_MEDIAN", "m", "med")])
+        rng = random.Random(8)
+        rows = list(table.rows)
+        for _ in range(100):
+            victim = rows.pop(rng.randrange(len(rows)))
+            cube.delete(victim)
+        return cube.stats
+
+    stats = benchmark(run)
+    assert stats.cells_recomputed == 0
+    assert stats.rows_rescanned == 0
+    show("approximate-median cube under 100 deletes", stats.summary())
+
+
+def test_exact_median_deletes_force_recompute(benchmark):
+    from repro.maintenance import MaterializedCube
+
+    def run():
+        table = synthetic_table(SyntheticSpec(
+            cardinalities=(4, 3, 2), n_rows=600, seed=62))
+        cube = MaterializedCube(table, DIMS,
+                                [agg(Median(carrying=True), "m", "med")])
+        rng = random.Random(8)
+        rows = list(table.rows)
+        for _ in range(25):
+            victim = rows.pop(rng.randrange(len(rows)))
+            cube.delete(victim)
+        return cube.stats
+
+    stats = benchmark(run)
+    # carrying-mode median CAN unapply (remove from the multiset), so
+    # recompute may be zero -- but the scratchpads are unbounded; the
+    # bench reports both sides of the trade
+    show("exact (carrying) median cube under 25 deletes",
+         stats.summary())

@@ -1,0 +1,89 @@
+"""Experiment C1 -- the cube cardinality law Π(Ci + 1).
+
+Sweeps Ci and N over dense inputs and checks every point of the law,
+including the paper's two specific observations:
+
+- "If each Ci = 4 then a 4D CUBE is 2.4 times larger than the base
+  GROUP BY";
+- "We expect the Ci to be large (tens or hundreds) so that the CUBE
+  will be only a little larger than the GROUP BY";
+- "an N-dimensional roll-up will add only N records" (per prefix
+  chain) -- rollup growth is additive, not multiplicative.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro import Table, agg, cube, rollup
+
+from conftest import show
+
+
+def dense_table(cardinalities):
+    columns = [(f"d{i}", "INTEGER") for i in range(len(cardinalities))]
+    columns.append(("m", "INTEGER"))
+    table = Table(columns)
+    for combo in itertools.product(*[range(c) for c in cardinalities]):
+        table.append(combo + (1,))
+    return table
+
+
+def cube_size(cardinalities):
+    table = dense_table(cardinalities)
+    dims = [f"d{i}" for i in range(len(cardinalities))]
+    return len(cube(table, dims, [agg("SUM", "m", "s")]))
+
+
+def test_cardinality_law_sweep(benchmark):
+    cases = [(2,), (5,), (2, 3), (4, 4), (2, 3, 3), (4, 4, 4),
+             (2, 2, 2, 2), (3, 3, 2, 2)]
+
+    def sweep():
+        return [(c, cube_size(c)) for c in cases]
+
+    results = benchmark(sweep)
+    for cardinalities, measured in results:
+        assert measured == math.prod(c + 1 for c in cardinalities)
+    show("cube rows vs Π(Ci+1)",
+         "\n".join(f"Ci={c}: {m} rows" for c, m in results))
+
+
+def test_4d_ci4_ratio_is_2_44(benchmark):
+    ratio = benchmark(lambda: cube_size((4, 4, 4, 4)) / (4 ** 4))
+    # the paper rounds 5^4/4^4 = 2.4414 to "2.4 times larger"
+    assert ratio == pytest.approx(2.44, abs=0.01)
+
+
+def test_large_ci_overhead_vanishes(benchmark):
+    def overheads():
+        out = []
+        for ci in (2, 4, 10, 40):
+            ratio = cube_size((ci, ci)) / (ci * ci)
+            out.append((ci, ratio))
+        return out
+
+    results = benchmark(overheads)
+    ratios = [r for _, r in results]
+    assert ratios == sorted(ratios, reverse=True)  # overhead shrinks
+    assert ratios[-1] < 1.06  # "only a little larger"
+    show("cube/GROUP BY size ratio by Ci",
+         "\n".join(f"Ci={c}: {r:.3f}x" for c, r in results))
+
+
+def test_rollup_growth_is_additive(benchmark):
+    """Cube rows grow multiplicatively, rollup rows additively."""
+    cardinalities = (4, 4, 4)
+    table = dense_table(cardinalities)
+    dims = ["d0", "d1", "d2"]
+
+    def sizes():
+        return (len(cube(table, dims, [agg("SUM", "m", "s")])),
+                len(rollup(table, dims, [agg("SUM", "m", "s")])))
+
+    cube_rows, rollup_rows = benchmark(sizes)
+    core = 4 * 4 * 4
+    assert cube_rows == 125
+    assert rollup_rows == core + 16 + 4 + 1  # additive growth
+    assert rollup_rows < cube_rows

@@ -1,0 +1,66 @@
+"""Experiment F3 -- Figure 3: the 0D/1D/2D/3D data cube structure.
+
+"The 0D data cube is a point.  The 1D data cube is a line with a
+point.  The 2D data cube is a cross tabulation, a plane, two lines, and
+a point.  The 3D data cube is a cube with three intersecting 2D cross
+tabs."
+
+For each dimensionality the bench computes the cube and decomposes it
+into the strata Figure 3 names, asserting the component counts.
+"""
+
+import math
+
+from repro import CubeView, agg, cube
+from repro.data import SyntheticSpec, synthetic_table
+
+from conftest import show
+
+
+def stratify(n_dims):
+    spec = SyntheticSpec(cardinalities=(3,) * n_dims if n_dims else (1,),
+                         n_rows=200, seed=5)
+    table = synthetic_table(spec)
+    dims = [f"d{i}" for i in range(len(spec.cardinalities))]
+    result = cube(table, dims, [agg("SUM", "m", "s")])
+    view = CubeView(result, dims)
+    return [len(view.level(k)) for k in range(len(dims) + 1)]
+
+
+def test_figure3_0d_point(benchmark):
+    # a cube over zero CUBE dims degenerates to the scalar aggregate;
+    # modelled as 1 dim fully aggregated: the ALL "point" is one row
+    strata = benchmark(stratify, 0)
+    assert strata[-1] == 1  # the point
+
+
+def test_figure3_1d_line_with_point(benchmark):
+    strata = benchmark(stratify, 1)
+    assert strata == [3, 1]  # a 3-cell line plus the total point
+
+
+def test_figure3_2d_crosstab_decomposition(benchmark):
+    strata = benchmark(stratify, 2)
+    # plane (3x3), two lines (3 + 3), a point
+    assert strata == [9, 6, 1]
+
+
+def test_figure3_3d_cube_with_three_crosstabs(benchmark):
+    strata = benchmark(stratify, 3)
+    # core cube 27, three intersecting planes 3x9, three lines 3x3, point
+    assert strata == [27, 27, 9, 1]
+    show("Figure 3: strata sizes (core, planes, lines, point)",
+         str(strata))
+
+
+def test_figure3_stratum_count_is_binomial(benchmark):
+    """Level k of an N-cube holds C(N,k) grouping sets."""
+    from repro.core.grouping import cube_sets
+
+    def level_histogram(n=5):
+        from collections import Counter
+        return Counter(bin(m).count("1") for m in cube_sets(n))
+
+    histogram = benchmark(level_histogram)
+    for k, count in histogram.items():
+        assert count == math.comb(5, k)

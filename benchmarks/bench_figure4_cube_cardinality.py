@@ -1,0 +1,50 @@
+"""Experiment F4 -- Figure 4: the 3D cube built from the SALES table.
+
+"The SALES table has 2 x 3 x 3 = 18 rows, while the derived data cube
+has 3 x 4 x 4 = 48 rows" and the global total is the (ALL, ALL, ALL,
+941) tuple quoted in Section 3.4.
+"""
+
+from repro import ALL, CubeView, agg, cube
+from repro.data import FIGURE4_TOTAL
+from repro.types import NullMode
+
+from conftest import show
+
+DIMS = ["Model", "Year", "Color"]
+AGGS = [agg("SUM", "Units", "Units")]
+
+
+def test_figure4_cube(benchmark, figure4):
+    result = benchmark(cube, figure4, DIMS, AGGS)
+
+    assert len(figure4) == 18
+    assert len(result) == 48  # 3 x 4 x 4
+
+    view = CubeView(result, DIMS)
+    assert view.total() == FIGURE4_TOTAL == 941
+
+    show("Figure 4: SALES (18 rows) -> data cube (48 rows), total 941",
+         result.to_ascii(max_rows=10))
+
+
+def test_figure4_null_grouping_tuple(benchmark, figure4):
+    """Section 3.4: the minimalist representation's global row is
+    (NULL, NULL, NULL, 941, TRUE, TRUE, TRUE)."""
+    result = benchmark(cube, figure4, DIMS, AGGS,
+                       null_mode=NullMode.NULL_WITH_GROUPING)
+    total = [row for row in result if row[4:] == (True, True, True)]
+    assert total == [(None, None, None, 941, True, True, True)]
+
+
+def test_figure4_every_algorithm_agrees(benchmark, figure4):
+    from repro.compute.optimizer import ALGORITHMS
+
+    def all_cubes():
+        return {name: cube(figure4, DIMS, AGGS, algorithm=name)
+                for name in ALGORITHMS}
+
+    results = benchmark(all_cubes)
+    reference = results["naive-union"]
+    for name, result in results.items():
+        assert result.equals_bag(reference), name

@@ -1,0 +1,92 @@
+"""Experiment F5 -- Figure 5: the compound GROUP BY / ROLLUP / CUBE.
+
+The paper's statement (restated on a generated sales-items schema):
+
+    SELECT Manufacturer, Year, Month, Day, Color, Model, SUM(price)
+    FROM Sales
+    GROUP BY Manufacturer,
+             ROLLUP Year(Time), Month(Time), Day(Time),
+             CUBE Color, Model;
+
+Asserts the answer's "shape": (len(rollup)+1) x 2^len(cube) grouping
+sets, the plain column real in every row, rollup columns forming
+prefixes.  Benchmarks the compound operator against the equivalent
+explicit grouping-set union.
+"""
+
+import datetime
+import random
+
+from repro import ALL, Table, agg, compound_groupby
+from repro.core.grouping import GroupingSpec
+from repro.engine.expressions import FunctionCall, col
+
+from conftest import show
+
+
+def build_sales_items(n=600, seed=99):
+    rng = random.Random(seed)
+    table = Table([("Manufacturer", "STRING"), ("Time", "DATE"),
+                   ("Color", "STRING"), ("Model", "STRING"),
+                   ("price", "INTEGER")])
+    base = datetime.date(1994, 1, 1)
+    for _ in range(n):
+        table.append((
+            rng.choice(["GM", "Ford"]),
+            base + datetime.timedelta(days=rng.randrange(540)),
+            rng.choice(["red", "white", "blue"]),
+            rng.choice(["sedan", "truck"]),
+            rng.randrange(100, 999)))
+    return table
+
+
+YEAR = (FunctionCall("YEAR", [col("Time")]), "Year")
+MONTH = (FunctionCall("MONTH", [col("Time")]), "Month")
+DAY = (FunctionCall("DAY", [col("Time")]), "Day")
+
+
+def run_compound(table):
+    return compound_groupby(
+        table,
+        plain=["Manufacturer"],
+        rollup_dims=[YEAR, MONTH, DAY],
+        cube_dims=["Color", "Model"],
+        aggregates=[agg("SUM", "price", "Revenue")])
+
+
+def test_figure5_compound_shape(benchmark):
+    table = build_sales_items()
+    result = benchmark(run_compound, table)
+
+    # the plain column is never ALL
+    assert all(row[0] is not ALL for row in result)
+
+    # rollup columns form prefixes: Day real => Month real => Year real
+    for row in result:
+        year, month, day = row[1], row[2], row[3]
+        if day is not ALL:
+            assert month is not ALL and year is not ALL
+        if month is not ALL:
+            assert year is not ALL
+
+    # grouping-set count: (3+1) x 2^2 = 16
+    spec = GroupingSpec(plain=("Manufacturer",),
+                        rollup=("Year", "Month", "Day"),
+                        cube=("Color", "Model"))
+    assert spec.set_count() == 16
+
+    strata = {tuple(v is ALL for v in row[:6]) for row in result}
+    assert len(strata) == 16
+    show("Figure 5: compound GROUP BY/ROLLUP/CUBE",
+         f"{len(result)} rows across {len(strata)} grouping sets")
+
+
+def test_figure5_totals_consistent(benchmark):
+    table = build_sales_items()
+    result = benchmark(run_compound, table)
+    base_total = sum(row[4] for row in table)
+    per_manufacturer = {}
+    for row in result:
+        if all(v is ALL for v in row[1:6]):
+            per_manufacturer[row[0]] = row[6]
+    assert sum(per_manufacturer.values()) == base_total

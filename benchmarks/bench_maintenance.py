@@ -1,0 +1,153 @@
+"""Experiment C3 -- Section 6: maintaining materialized cubes.
+
+Measures the cost asymmetry the paper predicts:
+
+- INSERT touches at most 2^N cells; for MAX, losing values are
+  short-circuited ("if the new value loses one competition, it will
+  lose in all lower dimensions");
+- DELETE of a reversible aggregate (SUM/COUNT/AVG) is as cheap as
+  insert; DELETE of the current MAX forces recomputation from base
+  data ("max is distributive for SELECT and INSERT, but it is holistic
+  for DELETE").
+"""
+
+import random
+
+from repro import ALL, agg
+from repro.data import SyntheticSpec, synthetic_table
+from repro.maintenance import MaterializedCube
+
+from conftest import show
+
+DIMS = ["d0", "d1", "d2"]
+
+
+def build_cube(aggs, n_rows=800, seed=51):
+    table = synthetic_table(SyntheticSpec(
+        cardinalities=(5, 4, 3), n_rows=n_rows, seed=seed))
+    return table, MaterializedCube(table, DIMS, aggs)
+
+
+def test_insert_throughput_sum(benchmark):
+    table, cube = build_cube([agg("SUM", "m", "s")])
+    rng = random.Random(1)
+    rows = [(f"v{rng.randrange(5)}", f"v{rng.randrange(4)}",
+             f"v{rng.randrange(3)}", rng.randrange(100))
+            for _ in range(50)]
+    counter = {"i": 0}
+
+    def insert_one():
+        row = rows[counter["i"] % len(rows)]
+        counter["i"] += 1
+        return cube.insert(row)
+
+    touched = benchmark(insert_one)
+    assert touched <= 2 ** 3
+
+
+def test_insert_short_circuit_rate_for_max(benchmark):
+    """Most random inserts lose the MAX competition at the core, so the
+    short-circuit prunes nearly the whole lattice walk."""
+    def run():
+        table, cube = build_cube([agg("MAX", "m", "m")])
+        rng = random.Random(2)
+        for _ in range(200):
+            cube.insert((f"v{rng.randrange(5)}", f"v{rng.randrange(4)}",
+                         f"v{rng.randrange(3)}", rng.randrange(100)))
+        return cube.stats
+
+    stats = benchmark(run)
+    assert stats.cells_short_circuited > stats.cells_updated
+    show("Section 6 insert short-circuit (MAX, 200 random inserts)",
+         stats.summary())
+
+
+def test_delete_reversible_never_rescans(benchmark):
+    def run():
+        table, cube = build_cube([agg("SUM", "m", "s"),
+                                  agg("COUNT", "*", "n"),
+                                  agg("AVG", "m", "a")])
+        for row in list(table.rows)[:100]:
+            cube.delete(row)
+        return cube.stats
+
+    stats = benchmark(run)
+    assert stats.cells_recomputed == 0
+    assert stats.rows_rescanned == 0
+
+
+def test_delete_of_max_rescans_base(benchmark):
+    """Deleting cell maxima is the expensive path."""
+    def run():
+        table, cube = build_cube([agg("MAX", "m", "m")])
+        # delete the rows holding the global maximum value
+        max_value = max(row[3] for row in table)
+        victims = [row for row in table if row[3] == max_value]
+        for row in victims:
+            cube.delete(row)
+        return cube.stats
+
+    stats = benchmark(run)
+    assert stats.cells_recomputed > 0
+    assert stats.rows_rescanned > 0
+    show("Section 6 delete-holistic cost (deleting the max)",
+         stats.summary())
+
+
+def test_insert_vs_delete_asymmetry(benchmark):
+    """The headline Section 6 result: for MAX, inserts are cheap and
+    deletes of winners are expensive -- quantified."""
+    def run():
+        table, cube = build_cube([agg("MAX", "m", "m")], n_rows=500)
+        live_rows = list(table.rows)
+        rng = random.Random(3)
+        # phase 1: inserts of losing values
+        before = cube.stats.rows_rescanned
+        for _ in range(100):
+            row = (f"v{rng.randrange(5)}", f"v{rng.randrange(4)}",
+                   f"v{rng.randrange(3)}", 0)  # always loses
+            cube.insert(row)
+            live_rows.append(row)
+        insert_rescans = cube.stats.rows_rescanned - before
+        # phase 2: delete current maxima repeatedly
+        before = cube.stats.rows_rescanned
+        for _ in range(10):
+            max_row = max(live_rows, key=lambda r: r[3])
+            cube.delete(max_row)
+            live_rows.remove(max_row)
+        delete_rescans = cube.stats.rows_rescanned - before
+        return insert_rescans, delete_rescans
+
+    insert_rescans, delete_rescans = benchmark(run)
+    assert insert_rescans == 0
+    assert delete_rescans > 0
+    show("insert vs delete rescans (MAX cube)",
+         f"100 losing inserts: {insert_rescans} rows rescanned; "
+         f"10 max-deletes: {delete_rescans} rows rescanned")
+
+
+def test_maintained_cube_equals_recompute(benchmark):
+    """End-to-end: after a mixed workload the cube equals a fresh
+    computation (benchmarks the full maintenance stream)."""
+    from repro.core.cube import cube as cube_op
+
+    def run():
+        table, cube = build_cube([agg("SUM", "m", "s"),
+                                  agg("MAX", "m", "hi")], n_rows=400)
+        rng = random.Random(4)
+        for _ in range(60):
+            if rng.random() < 0.5 and len(table.rows) > 10:
+                victim = rng.choice(table.rows)
+                cube.delete(victim)
+                table.delete_row(victim)
+            else:
+                row = (f"v{rng.randrange(5)}", f"v{rng.randrange(4)}",
+                       f"v{rng.randrange(3)}", rng.randrange(100))
+                cube.insert(row)
+                table.append(row)
+        return cube.as_table(), table
+
+    maintained, table = benchmark(run)
+    fresh = cube_op(table, DIMS, [agg("SUM", "m", "s"),
+                                  agg("MAX", "m", "hi")])
+    assert maintained.equals_bag(fresh)

@@ -1,0 +1,73 @@
+"""Experiment C10 (extension) -- scaling behaviour of the single-pass
+algorithms.
+
+Section 5's whole argument is that the cube should cost about one scan:
+as T grows, the from-core and array algorithms' work should grow
+linearly in T (plus a T-independent super-aggregation term), while the
+2^N-algorithm grows as T x 2^N and the naive union as 2^N scans of T.
+This bench sweeps T and checks the growth *ratios* on call counters (so
+the assertion is machine-independent) while pytest-benchmark records
+wall time per point for the report.
+"""
+
+import pytest
+
+from repro.aggregates import Sum
+from repro.compute import (
+    ArrayCubeAlgorithm,
+    FromCoreAlgorithm,
+    TwoNAlgorithm,
+    build_task,
+)
+from repro.core.grouping import cube_sets
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+
+from conftest import show
+
+SIZES = (500, 2000, 8000)
+
+
+def make_task(t_rows):
+    table = synthetic_table(SyntheticSpec(
+        cardinalities=(8, 6, 4), n_rows=t_rows, seed=101))
+    return build_task(table, ["d0", "d1", "d2"],
+                      [AggregateSpec(Sum(), "m", "s")], cube_sets(3))
+
+
+@pytest.mark.parametrize("t_rows", SIZES, ids=lambda t: f"T={t}")
+def test_from_core_wall_time(benchmark, t_rows):
+    task = make_task(t_rows)
+    result = benchmark(FromCoreAlgorithm().compute, task)
+    assert result.stats.iter_calls == t_rows
+
+
+@pytest.mark.parametrize("t_rows", SIZES, ids=lambda t: f"T={t}")
+def test_array_wall_time(benchmark, t_rows):
+    task = make_task(t_rows)
+    result = benchmark(ArrayCubeAlgorithm().compute, task)
+    assert result.stats.base_scans == 1
+
+
+def test_call_growth_is_linear_for_from_core(benchmark):
+    def sweep():
+        out = []
+        for t_rows in SIZES:
+            task = make_task(t_rows)
+            core = FromCoreAlgorithm().compute(task).stats
+            twon = TwoNAlgorithm().compute(task).stats
+            out.append((t_rows,
+                        core.iter_calls + core.merge_calls,
+                        twon.iter_calls))
+        return out
+
+    results = benchmark(sweep)
+    # 2^N calls grow exactly 8x per T; from-core total calls grow
+    # sub-linearly in comparison (the merge term saturates at the
+    # dense-cube ceiling)
+    (t0, core0, twon0), _, (t2, core2, twon2) = results
+    assert twon2 / twon0 == t2 / t0
+    assert core2 / core0 < t2 / t0 * 1.05
+    show("call growth with T (from-core total vs 2^N Iter)",
+         "\n".join(f"T={t:>5}: from-core={c:>7} 2^N={n:>7}"
+                   for t, c, n in results))

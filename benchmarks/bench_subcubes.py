@@ -1,0 +1,119 @@
+"""Experiment C6 (extension) -- pre-computing sub-cubes of the cube.
+
+Section 6 cites Harinarayan, Rajaraman & Ullman for "pre-computing
+sub-cubes of the cube".  This bench materializes partial cubes under a
+space budget and measures the query-cost/space trade-off:
+
+- HRU greedy selection answers the uniform query workload with far
+  fewer scanned rows than materializing the core alone;
+- greedy is competitive with (and never much worse than) the best
+  random selection of equal size;
+- every partial cube still answers every stratum exactly.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.aggregates import Sum
+from repro.compute import PartialCube, build_task, greedy_select, view_sizes
+from repro.core.grouping import cube_sets, mask_to_names
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+
+from conftest import show
+
+DIMS = ["d0", "d1", "d2", "d3"]
+AGGS = [AggregateSpec(Sum(), "m", "s")]
+
+
+@pytest.fixture(scope="module")
+def fact():
+    # skewed cardinalities make view choice matter
+    return synthetic_table(SyntheticSpec(
+        cardinalities=(20, 10, 4, 2), n_rows=4000, seed=77))
+
+
+def workload_cost(partial):
+    """Total rows scanned answering every grouping set once."""
+    total = 0
+    for r in range(len(DIMS) + 1):
+        for combo in itertools.combinations(DIMS, r):
+            total += partial.query_cost(list(combo))
+    return total
+
+
+def test_greedy_beats_core_only(benchmark, fact):
+    def build_and_cost():
+        core_only = PartialCube(fact, DIMS, AGGS, materialize=[])
+        greedy = PartialCube(fact, DIMS, AGGS, budget=4)
+        return workload_cost(core_only), workload_cost(greedy), greedy
+
+    core_cost, greedy_cost, greedy = benchmark(build_and_cost)
+    assert greedy_cost < core_cost / 2  # big saving from 4 extra views
+    show("HRU greedy vs core-only query cost (rows scanned, uniform "
+         "workload)",
+         f"core-only: {core_cost}; greedy(k=4): {greedy_cost}; "
+         f"selection: {greedy.describe()}")
+
+
+def test_greedy_competitive_with_random(benchmark, fact):
+    task = build_task(fact, DIMS, AGGS, cube_sets(4))
+    sizes = view_sizes(task)
+    core = max(sizes, key=lambda m: bin(m).count("1"))
+    candidates = [m for m in sizes if m != core]
+    rng = random.Random(5)
+
+    def compare():
+        greedy = PartialCube(fact, DIMS, AGGS, budget=3)
+        greedy_cost = workload_cost(greedy)
+        random_costs = []
+        for _ in range(5):
+            picks = rng.sample(candidates, 3)
+            random_cube = PartialCube(fact, DIMS, AGGS, materialize=picks)
+            random_costs.append(workload_cost(random_cube))
+        return greedy_cost, random_costs
+
+    greedy_cost, random_costs = benchmark(compare)
+    assert greedy_cost <= min(random_costs) * 1.1
+    show("greedy vs random view selections (k=3)",
+         f"greedy: {greedy_cost}; random: {sorted(random_costs)}")
+
+
+def test_space_cost_tradeoff(benchmark, fact):
+    def sweep():
+        out = []
+        for k in (0, 1, 2, 4, 8):
+            partial = PartialCube(fact, DIMS, AGGS, budget=k)
+            out.append((k, partial.materialized_rows,
+                        workload_cost(partial)))
+        return out
+
+    results = benchmark(sweep)
+    costs = [cost for _, _, cost in results]
+    assert costs == sorted(costs, reverse=True)  # more space, less cost
+    show("space vs query-cost trade-off",
+         "\n".join(f"k={k}: cells={cells:>6} workload-cost={cost:>7}"
+                   for k, cells, cost in results))
+
+
+def test_partial_answers_stay_exact(benchmark, fact):
+    from repro import agg
+    from repro.core.cube import cube as cube_op
+    from repro.types import ALL
+
+    full = cube_op(fact, DIMS, [agg("SUM", "m", "s")], sort_result=False)
+
+    def check():
+        partial = PartialCube(fact, DIMS, AGGS, budget=3)
+        for combo in (["d0"], ["d1", "d3"], [], DIMS):
+            answer = partial.query(combo)
+            expected = [row for row in full
+                        if all((row[i] is not ALL) == (DIMS[i] in combo)
+                               for i in range(4))]
+            assert sorted(answer.rows, key=str) == sorted(expected,
+                                                          key=str)
+        return True
+
+    assert benchmark(check)

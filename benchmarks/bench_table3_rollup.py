@@ -1,0 +1,55 @@
+"""Experiments T3a/T3b -- Tables 3.a and 3.b: the roll-up report and
+Chris Date's 2^N-column representation.
+
+Checks the exact sub-totals the paper prints (50/40/90, 85/115/200,
+290) in both layouts, and benchmarks each renderer.
+"""
+
+from repro.report import date_wide_rollup, rollup_report
+
+from conftest import show
+
+DIMS = ["Model", "Year", "Color"]
+
+
+def test_table3a_rollup_report(benchmark, chevy):
+    grid = benchmark(rollup_report, chevy, DIMS, "Units", render=False)
+
+    headers, *lines = grid
+    detail_values = {line[3] for line in lines if line[3] is not None}
+    assert detail_values == {50, 40, 85, 115}
+    subtotals = {line[4] for line in lines if line[4] is not None}
+    assert subtotals == {90, 200}
+    assert any(line[5] == 290 for line in lines)  # Sales by Model
+    assert any(line[6] == 290 for line in lines)  # grand total
+
+    show("Table 3.a: Sales Roll Up by Model by Year by Color",
+         rollup_report(chevy, DIMS, "Units"))
+
+
+def test_table3b_date_wide(benchmark, chevy):
+    wide = benchmark(date_wide_rollup, chevy, DIMS, "Units")
+
+    by_key = {row[:3]: row[3:] for row in wide}
+    # exactly the paper's Table 3.b rows
+    assert by_key[("Chevy", 1994, "black")] == (50, 90, 290, 290)
+    assert by_key[("Chevy", 1994, "white")] == (40, 90, 290, 290)
+    assert by_key[("Chevy", 1995, "black")] == (85, 200, 290, 290)
+    assert by_key[("Chevy", 1995, "white")] == (115, 200, 290, 290)
+
+    show("Table 3.b: Date's 2^N-column roll-up", wide.to_ascii())
+
+
+def test_table3b_column_growth_is_why_it_was_rejected(benchmark, chevy):
+    """The paper rejected 3.b because columns grow with N: the ALL
+    representation keeps N+1 columns while 3.b needs N + (N+1)."""
+
+    def widths():
+        wide = date_wide_rollup(chevy, DIMS, "Units")
+        from repro import agg, rollup
+        tall = rollup(chevy, DIMS, [agg("SUM", "Units", "Units")])
+        return len(wide.schema), len(tall.schema)
+
+    wide_cols, tall_cols = benchmark(widths)
+    assert wide_cols == 7  # 3 dims + 4 levels
+    assert tall_cols == 4  # 3 dims + 1 measure, regardless of N

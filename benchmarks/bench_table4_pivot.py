@@ -1,0 +1,45 @@
+"""Experiment T4 -- Table 4: the Excel-style pivot with Ford included.
+
+Every cell of the paper's pivot grid is asserted; the pivot build
+(cube + layout) is benchmarked.
+"""
+
+from repro.report import pivot_table
+from repro.types import ALL
+
+from conftest import show
+
+
+def test_table4_pivot(benchmark, sales):
+    pt = benchmark(pivot_table, sales, "Model", "Year", "Color", "Units")
+
+    expected = {
+        ("Chevy", 1994, "black"): 50, ("Chevy", 1994, "white"): 40,
+        ("Chevy", 1994, ALL): 90, ("Chevy", 1995, "black"): 85,
+        ("Chevy", 1995, "white"): 115, ("Chevy", 1995, ALL): 200,
+        ("Chevy", ALL, ALL): 290,
+        ("Ford", 1994, "black"): 50, ("Ford", 1994, "white"): 10,
+        ("Ford", 1994, ALL): 60, ("Ford", 1995, "black"): 85,
+        ("Ford", 1995, "white"): 75, ("Ford", 1995, ALL): 160,
+        ("Ford", ALL, ALL): 220,
+        (ALL, 1994, "black"): 100, (ALL, 1994, "white"): 50,
+        (ALL, 1994, ALL): 150, (ALL, 1995, "black"): 170,
+        (ALL, 1995, "white"): 190, (ALL, 1995, ALL): 360,
+        (ALL, ALL, ALL): 510,
+    }
+    for (row, outer, inner), value in expected.items():
+        assert pt.value(row, outer, inner) == value
+
+    show("Table 4: Excel pivot of Sales by Model, Year, Color",
+         pt.to_text())
+
+
+def test_pivot_column_count_is_nxm(benchmark, sales):
+    """'If one pivots on two columns containing N and M values, the
+    resulting pivot table has N x M values' -- the column explosion the
+    paper cringes at."""
+    pt = benchmark(pivot_table, sales, "Model", "Year", "Color", "Units")
+    n_years, n_colors = 2, 2
+    detail_columns = [key for key in pt.column_keys
+                      if key[0] is not ALL and key[1] is not ALL]
+    assert len(detail_columns) == n_years * n_colors

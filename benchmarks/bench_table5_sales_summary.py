@@ -1,0 +1,83 @@
+"""Experiments T5a/T5b -- Tables 5.a/5.b: the SalesSummary relation via
+ALL, built three ways:
+
+1. the ROLLUP operator (Table 5.a);
+2. the paper's hand-written union of GROUP BYs through the SQL
+   front-end (Section 2's workaround) -- must produce the same rows;
+3. the CUBE operator, whose extra rows are exactly Table 5.b.
+
+The benchmark compares the operator against the union-of-GROUP-BYs
+plan, the paper's core efficiency argument.
+"""
+
+from repro import ALL, Catalog, agg, cube, rollup
+from repro.sql import SQLSession
+
+from conftest import show
+
+DIMS = ["Model", "Year", "Color"]
+AGGS = [agg("SUM", "Units", "Units")]
+
+UNION_SQL = """
+    SELECT 'ALL', 'ALL', 'ALL', SUM(Units)
+      FROM Sales WHERE Model = 'Chevy'
+    UNION
+    SELECT Model, 'ALL', 'ALL', SUM(Units)
+      FROM Sales WHERE Model = 'Chevy' GROUP BY Model
+    UNION
+    SELECT Model, Year, 'ALL', SUM(Units)
+      FROM Sales WHERE Model = 'Chevy' GROUP BY Model, Year
+    UNION
+    SELECT Model, Year, Color, SUM(Units)
+      FROM Sales WHERE Model = 'Chevy' GROUP BY Model, Year, Color;"""
+
+TABLE_5A = {
+    ("Chevy", 1994, "black", 50),
+    ("Chevy", 1994, "white", 40),
+    ("Chevy", 1994, ALL, 90),
+    ("Chevy", 1995, "black", 85),
+    ("Chevy", 1995, "white", 115),
+    ("Chevy", 1995, ALL, 200),
+    ("Chevy", ALL, ALL, 290),
+    (ALL, ALL, ALL, 290),
+}
+
+TABLE_5B = {
+    ("Chevy", ALL, "black", 135),
+    ("Chevy", ALL, "white", 155),
+}
+
+
+def test_table5a_rollup_operator(benchmark, chevy):
+    result = benchmark(rollup, chevy, DIMS, AGGS)
+    assert set(result.rows) == TABLE_5A
+    show("Table 5.a: Sales Summary (ROLLUP operator)", result.to_ascii())
+
+
+def test_table5a_union_of_group_bys(benchmark, chevy):
+    catalog = Catalog()
+    catalog.register("Sales", chevy)
+    session = SQLSession(catalog)
+
+    result = benchmark(session.execute, UNION_SQL)
+
+    normalized = {
+        tuple(ALL if v == "ALL" else v for v in row) for row in result}
+    assert normalized == TABLE_5A
+
+
+def test_table5b_cube_adds_symmetric_rows(benchmark, chevy):
+    result = benchmark(cube, chevy, DIMS, AGGS)
+    rows = set(result.rows)
+    assert TABLE_5A <= rows
+    assert TABLE_5B <= rows
+    # the cube adds exactly the color-by-model rows plus the
+    # (ALL, year, color) and (ALL, ALL, color) / (ALL, year, ALL) strata
+    assert rows - TABLE_5A - TABLE_5B == {
+        (ALL, 1994, "black", 50), (ALL, 1994, "white", 40),
+        (ALL, 1995, "black", 85), (ALL, 1995, "white", 115),
+        (ALL, 1994, ALL, 90), (ALL, 1995, ALL, 200),
+        (ALL, ALL, "black", 135), (ALL, ALL, "white", 155),
+    }
+    show("Table 5.b: rows the CUBE adds beyond the roll-up",
+         "\n".join(str(sorted(TABLE_5B))))

@@ -1,0 +1,56 @@
+"""Experiment T6 -- Tables 6.a/6.b: the Chevy and Ford cross-tabs.
+
+Every cell of both cross-tabs is asserted against the paper; the
+cross-tab build (a 2D cube plus layout) is benchmarked.
+"""
+
+from repro.report import crosstab
+from repro.types import ALL
+
+from conftest import show
+
+
+def test_table6a_chevy_crosstab(benchmark, sales):
+    ct = benchmark(crosstab, sales, "Color", "Year", "Units",
+                   slice_dim="Model", slice_value="Chevy")
+    assert ct.value("black", 1994) == 50
+    assert ct.value("black", 1995) == 85
+    assert ct.value("black", ALL) == 135
+    assert ct.value("white", 1994) == 40
+    assert ct.value("white", 1995) == 115
+    assert ct.value("white", ALL) == 155
+    assert ct.value(ALL, 1994) == 90
+    assert ct.value(ALL, 1995) == 200
+    assert ct.grand_total == 290
+    show("Table 6.a: Chevy Sales Cross Tab", ct.to_text())
+
+
+def test_table6b_ford_crosstab(benchmark, sales):
+    ct = benchmark(crosstab, sales, "Color", "Year", "Units",
+                   slice_dim="Model", slice_value="Ford")
+    assert ct.value("black", 1994) == 50
+    assert ct.value("black", 1995) == 85
+    assert ct.value("black", ALL) == 135
+    assert ct.value("white", 1994) == 10
+    assert ct.value("white", 1995) == 75
+    assert ct.value("white", ALL) == 85
+    assert ct.value(ALL, 1994) == 60
+    assert ct.value(ALL, 1995) == 160
+    assert ct.grand_total == 220
+    show("Table 6.b: Ford Sales Cross Tab", ct.to_text())
+
+
+def test_adding_a_model_adds_a_plane(benchmark, sales):
+    """'If other automobile models are added, it becomes a 3D
+    aggregation ... data for Ford products adds an additional cross tab
+    plane.'"""
+    from repro import CubeView, agg, cube
+
+    def planes():
+        result = cube(sales, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        view = CubeView(result, ["Model", "Year", "Color"])
+        return [view.slice(Model=m) for m in ("Chevy", "Ford")]
+
+    chevy_plane, ford_plane = benchmark(planes)
+    assert len(chevy_plane) == len(ford_plane) == 9  # 3x3 cross-tab each

@@ -1,0 +1,65 @@
+"""Experiment T7 -- Table 7: decorations interacting with ALL.
+
+Rebuilds the day x nation MAX(Temp) cube with a continent decoration
+and asserts the paper's rule row-shape by row-shape:
+
+    day        nation  max(Temp)  continent
+    <real>     USA     ...        North America
+    ALL        USA     ...        North America
+    <real>     ALL     ...        NULL
+    ALL        ALL     ...        NULL
+"""
+
+from repro import agg, apply_decorations, cube
+from repro.core.decorations import Decoration
+from repro.data.weather import CONTINENTS, nation_of
+from repro.engine.expressions import FunctionCall, col
+from repro.types import ALL
+
+from conftest import show
+
+
+def build_decorated(weather):
+    day = (FunctionCall("DAY", [col("Time")]), "day")
+    nation = (FunctionCall("NATION", [col("Latitude"), col("Longitude")]),
+              "nation")
+    result = cube(weather, [day, nation], [agg("MAX", "Temp", "max_temp")])
+    return apply_decorations(result, [
+        Decoration("continent", ("nation",),
+                   {(n,): c for n, c in CONTINENTS.items()})])
+
+
+def test_table7_decoration_rule(benchmark, weather):
+    decorated = benchmark(build_decorated, weather)
+
+    for row in decorated:
+        day, nation, _temp, continent = row
+        if nation is ALL or nation is None:
+            assert continent is None  # not functionally defined
+        else:
+            assert continent == CONTINENTS[nation]
+
+    # all four Table 7 shapes occur
+    shapes = {(row[0] is ALL, row[1] is ALL) for row in decorated}
+    assert shapes == {(False, False), (True, False), (False, True),
+                      (True, True)}
+
+    sample = {}
+    for row in decorated:
+        sample.setdefault((row[0] is ALL, row[1] is ALL), row)
+    show("Table 7: decorations and ALL (one row per shape)",
+         "\n".join(str(sample[k]) for k in sorted(sample)))
+
+
+def test_decoration_is_fd_verified(benchmark, weather):
+    """Decorations built from a dimension table get their functional
+    dependency checked (the reason SQL forbids bare decoration
+    columns)."""
+    from repro import Table
+    from repro.core.decorations import decoration_from_table
+
+    nation_table = Table([("nation", "STRING"), ("continent", "STRING")],
+                         [(n, c) for n, c in CONTINENTS.items()])
+    decoration = benchmark(decoration_from_table, nation_table,
+                           ["nation"], "continent")
+    assert decoration.value_for(("USA",)) == "North America"

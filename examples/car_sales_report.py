@@ -1,0 +1,60 @@
+"""Car-sales reporting: every table of the paper's Section 2/3, live.
+
+Regenerates Table 3.a (roll-up report), Table 3.b (Date's wide form),
+Table 4 (pivot), Table 5.a (SalesSummary with ALL), Table 5.b (the rows
+a cube adds over a roll-up), and Tables 6.a/6.b (cross-tabs) from the
+same base relation -- demonstrating the paper's claim that all of these
+are presentations of one relational aggregation.
+
+Run:  python examples/car_sales_report.py
+"""
+
+from repro import ALL, agg, cube, rollup
+from repro.data import chevy_sales_table, sales_summary_table
+from repro.report import (
+    crosstab,
+    date_wide_rollup,
+    pivot_table,
+    rollup_report,
+)
+
+
+def main() -> None:
+    sales = sales_summary_table()
+    chevy = chevy_sales_table()
+
+    print("=" * 72)
+    print("Table 3.a -- Sales Roll-Up by Model by Year by Color")
+    print(rollup_report(chevy, ["Model", "Year", "Color"], "Units"))
+
+    print("\nTable 3.b -- Chris Date's 2^N-column representation")
+    print(date_wide_rollup(chevy, ["Model", "Year", "Color"],
+                           "Units").to_ascii())
+
+    print("\nTable 4 -- Excel-style pivot (with Ford included)")
+    print(pivot_table(sales, "Model", "Year", "Color", "Units").to_text())
+
+    print("\nTable 5.a -- SalesSummary: the ROLLUP with the ALL value")
+    print(rollup(chevy, ["Model", "Year", "Color"],
+                 [agg("SUM", "Units", "Units")]).to_ascii())
+
+    print("\nTable 5.b -- rows the CUBE adds beyond the roll-up")
+    rollup_rows = set(rollup(chevy, ["Model", "Year", "Color"],
+                             [agg("SUM", "Units", "Units")]).rows)
+    cube_rows = cube(chevy, ["Model", "Year", "Color"],
+                     [agg("SUM", "Units", "Units")])
+    extra = [row for row in cube_rows if row not in rollup_rows]
+    for row in extra:
+        print("  ", row)
+
+    print("\nTable 6.a -- Chevy Sales Cross Tab")
+    print(crosstab(sales, "Color", "Year", "Units",
+                   slice_dim="Model", slice_value="Chevy").to_text())
+
+    print("\nTable 6.b -- Ford Sales Cross Tab")
+    print(crosstab(sales, "Color", "Year", "Units",
+                   slice_dim="Model", slice_value="Ford").to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: the CUBE operator in five minutes.
+
+Builds the paper's sales table, cubes it, and walks through the result:
+the ALL value, ROLLUP vs CUBE, GROUPING(), and cell addressing.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALL, CubeView, Table, agg, cube, groupby, rollup
+from repro.types import NullMode
+
+
+def main() -> None:
+    # -- 1. a base relation -------------------------------------------------
+    sales = Table([("Model", "STRING"), ("Year", "INTEGER"),
+                   ("Color", "STRING"), ("Units", "INTEGER")])
+    sales.extend([
+        ("Chevy", 1994, "black", 50),
+        ("Chevy", 1994, "white", 40),
+        ("Chevy", 1995, "black", 85),
+        ("Chevy", 1995, "white", 115),
+        ("Ford", 1994, "black", 50),
+        ("Ford", 1994, "white", 10),
+        ("Ford", 1995, "black", 85),
+        ("Ford", 1995, "white", 75),
+    ])
+    print("Base table:")
+    print(sales.to_ascii())
+
+    # -- 2. GROUP BY, ROLLUP, CUBE -------------------------------------------
+    print("\nGROUP BY Model (plain, 2 rows):")
+    print(groupby(sales, ["Model"], [agg("SUM", "Units", "Units")])
+          .to_ascii())
+
+    print("\nROLLUP Model, Year (core + prefixes):")
+    print(rollup(sales, ["Model", "Year"], [agg("SUM", "Units", "Units")])
+          .to_ascii())
+
+    print("\nCUBE Model, Year (all 2^2 grouping sets):")
+    summary = cube(sales, ["Model", "Year", "Color"],
+                   [agg("SUM", "Units", "Units")])
+    print(f"full 3D cube: {len(summary)} rows "
+          f"(cardinality law: (2+1)x(2+1)x(2+1) = 27)")
+
+    # -- 3. addressing cells (Section 4 of the paper) ------------------------
+    view = CubeView(summary, ["Model", "Year", "Color"])
+    print(f"\ntotal sales:            {view.total()}")
+    print(f"Chevy total:            {view.v('Chevy', ALL, ALL)}")
+    print(f"1994 black, any model:  {view.v(ALL, 1994, 'black')}")
+    share = view.v("Chevy", ALL, ALL) / view.total()
+    print(f"Chevy percent-of-total: {share:.1%}")
+
+    # -- 4. the Section 3.4 NULL+GROUPING representation ----------------------
+    minimal = cube(sales, ["Model", "Year"],
+                   [agg("SUM", "Units", "Units")],
+                   null_mode=NullMode.NULL_WITH_GROUPING)
+    print("\nSQL-Server-style NULL+GROUPING() representation:")
+    print(minimal.to_ascii(max_rows=5))
+
+
+if __name__ == "__main__":
+    main()

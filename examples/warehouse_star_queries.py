@@ -1,0 +1,99 @@
+"""Star and snowflake queries over a sales warehouse (Section 3.6).
+
+Builds the Figure 6 shape: a fact table of sales items with buyer,
+seller, product and office dimensions; the office dimension snowflakes
+into district -> region -> geography.  Then runs star/snowflake queries
+that cube and roll up across the granularity spectrum, plus the
+calendar lattice demonstration ("weeks do not nest in months").
+
+Run:  python examples/warehouse_star_queries.py
+"""
+
+import datetime
+
+from repro import Table, agg
+from repro.warehouse import DimensionTable, SnowflakeSchema, StarSchema
+from repro.warehouse.hierarchy import calendar_hierarchy
+from repro.warehouse.snowflake import Outrigger
+
+
+def build_warehouse():
+    fact = Table([("office_id", "INTEGER"), ("product_id", "INTEGER"),
+                  ("sale_date", "DATE"), ("units", "INTEGER"),
+                  ("price", "FLOAT")], name="SalesItems")
+    base = datetime.date(1995, 1, 2)
+    rows = [
+        (1, 100, base, 3, 19.99), (1, 101, base, 1, 5.49),
+        (2, 100, base + datetime.timedelta(days=1), 2, 19.99),
+        (2, 101, base + datetime.timedelta(days=40), 5, 5.49),
+        (3, 102, base + datetime.timedelta(days=40), 1, 129.0),
+        (3, 100, base + datetime.timedelta(days=95), 4, 18.99),
+        (4, 102, base + datetime.timedelta(days=95), 2, 129.0),
+        (4, 101, base + datetime.timedelta(days=200), 7, 4.99),
+    ]
+    fact.extend(rows)
+
+    office = DimensionTable(Table(
+        [("office_id", "INTEGER"), ("office", "STRING"),
+         ("district_id", "INTEGER")],
+        [(1, "San Francisco", 10), (2, "San Jose", 10),
+         (3, "Seattle", 20), (4, "Portland", 20)], name="Office"),
+        "office_id", name="office")
+
+    district = DimensionTable(Table(
+        [("district_id", "INTEGER"), ("district", "STRING"),
+         ("region_id", "INTEGER")],
+        [(10, "Northern California", 1), (20, "Pacific Northwest", 1)],
+        name="District"), "district_id", name="district")
+
+    region = DimensionTable(Table(
+        [("region_id", "INTEGER"), ("region", "STRING"),
+         ("geography", "STRING")],
+        [(1, "Western", "US")], name="Region"), "region_id", name="region")
+
+    product = DimensionTable(Table(
+        [("product_id", "INTEGER"), ("product", "STRING"),
+         ("category", "STRING")],
+        [(100, "widget", "hardware"), (101, "gizmo", "hardware"),
+         (102, "deluxe kit", "kits")], name="Product"),
+        "product_id", name="product")
+
+    return fact, office, district, region, product
+
+
+def main() -> None:
+    fact, office, district, region, product = build_warehouse()
+
+    print("Star query: CUBE category x office, SUM of revenue")
+    star = StarSchema(fact, [(office, "office_id"),
+                             (product, "product_id")])
+    from repro.engine.expressions import col
+    revenue = col("units") * col("price")
+    result = star.query(cube=["category", "office"],
+                        aggregates=[agg("SUM", revenue, "revenue")])
+    print(result.to_ascii())
+
+    print("\nSnowflake query: ROLLUP geography > region > district > office")
+    snowflake = SnowflakeSchema(
+        fact,
+        [(office, "office_id"), (product, "product_id")],
+        [Outrigger("office", "district_id", district),
+         Outrigger("district", "region_id", region)])
+    result = snowflake.query(
+        rollup=["geography", "region", "district", "office"],
+        aggregates=[agg("SUM", "units", "units"),
+                    agg("SUM", revenue, "revenue")])
+    print(result.to_ascii())
+
+    print("\nThe calendar granularity lattice (Section 3.6):")
+    lattice = calendar_hierarchy()
+    print(f"  day nests in week:   {lattice.nests_in('day', 'week')}")
+    print(f"  day nests in month:  {lattice.nests_in('day', 'month')}")
+    print(f"  week nests in month: {lattice.nests_in('week', 'month')}"
+          "   <- the paper's lattice point")
+    roll = lattice.roll_path("day", "quarter")
+    print(f"  1995-02-11 rolls up to quarter {roll(datetime.date(1995, 2, 11))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro: a full reproduction of Gray et al., "Data Cube: A Relational
+Aggregation Operator Generalizing Group-By, Cross-Tab, and Sub-Totals"
+(ICDE 1996 / Data Mining and Knowledge Discovery 1(1), 1997).
+
+Quickstart::
+
+    from repro import Table, cube, agg
+
+    sales = Table([("Model", "STRING"), ("Year", "INTEGER"),
+                   ("Color", "STRING"), ("Units", "INTEGER")])
+    sales.extend([("Chevy", 1994, "black", 50),
+                  ("Chevy", 1994, "white", 40),
+                  ("Chevy", 1995, "black", 85),
+                  ("Chevy", 1995, "white", 115)])
+    summary = cube(sales, ["Model", "Year", "Color"],
+                   [agg("SUM", "Units", "Units")])
+    print(summary.to_ascii())
+
+Subpackages:
+
+- :mod:`repro.core` -- CUBE/ROLLUP operators, the ALL value, grouping
+  algebra, decorations, cube addressing (the paper's contribution);
+- :mod:`repro.engine` -- the relational substrate (tables, expressions,
+  GROUP BY, joins);
+- :mod:`repro.aggregates` -- the Figure 7 aggregate framework, the
+  distributive/algebraic/holistic taxonomy, user-defined aggregates;
+- :mod:`repro.compute` -- the Section 5 cube computation algorithms
+  with machine-checkable cost counters;
+- :mod:`repro.maintenance` -- materialized cubes with Section 6
+  insert/delete propagation;
+- :mod:`repro.sql` -- a SQL front-end covering the paper's dialect,
+  including ``GROUP BY ... ROLLUP ... CUBE ...``;
+- :mod:`repro.report` -- cross-tab, pivot, roll-up report, and
+  histogram presentation (Tables 3-6);
+- :mod:`repro.warehouse` -- star/snowflake schemas and granularity
+  hierarchies (Section 3.6);
+- :mod:`repro.data` -- the paper's datasets and benchmark workloads.
+"""
+
+from repro.types import ALL, DataType, NullMode
+from repro.errors import ReproError
+from repro.engine import Table, Schema, Column, Catalog, col, lit
+from repro.core import (
+    AggregateRequest,
+    CubeView,
+    Decoration,
+    GroupingSpec,
+    agg,
+    apply_decorations,
+    compound_groupby,
+    cube,
+    groupby,
+    grouping,
+    grouping_sets_op,
+    rollup,
+)
+from repro.aggregates import register_aggregate, make_udaf
+import repro.sql.functions  # noqa: F401  -- registers scalar builtins
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL",
+    "AggregateRequest",
+    "Catalog",
+    "Column",
+    "CubeView",
+    "DataType",
+    "Decoration",
+    "GroupingSpec",
+    "NullMode",
+    "ReproError",
+    "Schema",
+    "Table",
+    "agg",
+    "apply_decorations",
+    "col",
+    "compound_groupby",
+    "cube",
+    "groupby",
+    "grouping",
+    "grouping_sets_op",
+    "lit",
+    "make_udaf",
+    "register_aggregate",
+    "rollup",
+    "__version__",
+]

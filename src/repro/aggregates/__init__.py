@@ -1,0 +1,96 @@
+"""Aggregate functions: the Figure 7 scratchpad model, the
+distributive/algebraic/holistic taxonomy (Section 5), per-operation
+maintenance classes (Section 6), the standard SQL five, the Red Brick
+extensions (Section 1.2), and user-defined aggregates.
+"""
+
+from repro.aggregates.base import AggregateFunction, Handle
+from repro.aggregates.classification import (
+    AggregateClass,
+    DISTRIBUTIVE,
+    ALGEBRAIC,
+    HOLISTIC,
+    MaintenanceProfile,
+)
+from repro.aggregates.distributive import (
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+)
+from repro.aggregates.algebraic import (
+    Average,
+    Variance,
+    StdDev,
+    MaxN,
+    MinN,
+    CenterOfMass,
+)
+from repro.aggregates.holistic import (
+    Median,
+    Mode,
+    Percentile,
+    CountDistinct,
+    RankOf,
+)
+from repro.aggregates.approximate import (
+    ApproximateMedian,
+    ApproximateQuantile,
+    QuantileSketch,
+)
+from repro.aggregates.registry import (
+    AggregateRegistry,
+    default_registry,
+    get_aggregate,
+    make_udaf,
+    register_aggregate,
+)
+from repro.aggregates.redbrick import (
+    rank,
+    n_tile,
+    ratio_to_total,
+    cumulative,
+    running_sum,
+    running_average,
+)
+
+__all__ = [
+    "ALGEBRAIC",
+    "AggregateClass",
+    "AggregateFunction",
+    "AggregateRegistry",
+    "ApproximateMedian",
+    "ApproximateQuantile",
+    "Average",
+    "CenterOfMass",
+    "Count",
+    "CountDistinct",
+    "CountStar",
+    "DISTRIBUTIVE",
+    "HOLISTIC",
+    "Handle",
+    "MaintenanceProfile",
+    "Max",
+    "MaxN",
+    "Median",
+    "Min",
+    "MinN",
+    "Mode",
+    "Percentile",
+    "QuantileSketch",
+    "RankOf",
+    "StdDev",
+    "Sum",
+    "Variance",
+    "cumulative",
+    "default_registry",
+    "get_aggregate",
+    "make_udaf",
+    "n_tile",
+    "rank",
+    "ratio_to_total",
+    "register_aggregate",
+    "running_average",
+    "running_sum",
+]

@@ -1,0 +1,255 @@
+"""Algebraic aggregates (Section 5): AVG, VARIANCE, STDEV, MAXN, MINN,
+CENTER_OF_MASS.
+
+An algebraic function's scratchpad is a fixed-size M-tuple:
+
+- ``Average`` keeps ``(sum, count)`` -- the paper's own example;
+- ``Variance``/``StdDev`` keep ``(count, mean, M2)`` (Welford's form,
+  which merges exactly via Chan's parallel update);
+- ``MaxN``/``MinN`` keep the N best values seen (M = N);
+- ``CenterOfMass`` keeps ``(sum of mass, sum of mass*position)``; it
+  aggregates ``(mass, position)`` pairs.
+
+All are mergeable (``Iter_super``) and so can be computed from the core
+GROUP BY or combined across parallel partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from repro.aggregates.base import AggregateFunction, Handle, UnapplyResult
+from repro.aggregates.classification import (
+    AggregateClass,
+    MaintenanceProfile,
+)
+from repro.errors import AggregateError
+
+__all__ = ["Average", "Variance", "StdDev", "MaxN", "MinN", "CenterOfMass"]
+
+
+class Average(AggregateFunction):
+    """AVG: scratchpad is (sum, count); Final divides (Figure 7 example)."""
+
+    name = "AVG"
+    classification = AggregateClass.ALGEBRAIC
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.ALGEBRAIC,
+        insert=AggregateClass.ALGEBRAIC,
+        delete=AggregateClass.ALGEBRAIC)
+
+    def start(self) -> Handle:
+        return (0, 0)  # (sum, count)
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        total, count = handle
+        return (total + value, count + 1)
+
+    def end(self, handle: Handle) -> Any:
+        total, count = handle
+        if count == 0:
+            return None
+        return total / count
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        return (handle[0] + other[0], handle[1] + other[1])
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        total, count = handle
+        if count == 0:
+            return handle, False
+        return (total - value, count - 1), True
+
+
+class Variance(AggregateFunction):
+    """Population variance via Welford's online algorithm.
+
+    Scratchpad ``(count, mean, M2)``; merge uses the parallel-variance
+    update, so cube-from-core and parallel computation are exact.
+    """
+
+    name = "VARIANCE"
+    classification = AggregateClass.ALGEBRAIC
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.ALGEBRAIC,
+        insert=AggregateClass.ALGEBRAIC,
+        delete=AggregateClass.ALGEBRAIC)
+
+    def start(self) -> Handle:
+        return (0, 0.0, 0.0)
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        count, mean, m2 = handle
+        count += 1
+        delta = value - mean
+        mean += delta / count
+        m2 += delta * (value - mean)
+        return (count, mean, m2)
+
+    def end(self, handle: Handle) -> Any:
+        count, _mean, m2 = handle
+        if count == 0:
+            return None
+        return m2 / count
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        count_a, mean_a, m2_a = handle
+        count_b, mean_b, m2_b = other
+        if count_b == 0:
+            return handle
+        if count_a == 0:
+            return other
+        count = count_a + count_b
+        delta = mean_b - mean_a
+        mean = mean_a + delta * count_b / count
+        m2 = m2_a + m2_b + delta * delta * count_a * count_b / count
+        return (count, mean, m2)
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        count, mean, m2 = handle
+        if count <= 0:
+            return handle, False
+        if count == 1:
+            return self.start(), True
+        # reverse Welford step
+        new_count = count - 1
+        new_mean = (mean * count - value) / new_count
+        new_m2 = m2 - (value - new_mean) * (value - mean)
+        if new_m2 < 0:  # numeric drift guard
+            new_m2 = 0.0
+        return (new_count, new_mean, new_m2), True
+
+
+class StdDev(Variance):
+    """Population standard deviation: sqrt of :class:`Variance`."""
+
+    name = "STDEV"
+
+    def end(self, handle: Handle) -> Any:
+        variance = super().end(handle)
+        if variance is None:
+            return None
+        return math.sqrt(variance)
+
+
+class _TopN(AggregateFunction):
+    """Base for MaxN/MinN: keep the N best values (fixed M = N tuple).
+
+    The final value is the sorted tuple of the N best (fewer if the
+    group was smaller).  Delete is holistic: evicted values are gone.
+    """
+
+    classification = AggregateClass.ALGEBRAIC
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.ALGEBRAIC,
+        insert=AggregateClass.ALGEBRAIC,
+        delete=AggregateClass.HOLISTIC)
+    _keep_largest = True
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise AggregateError(f"{type(self).__name__} needs n >= 1")
+        self.n = n
+
+    def start(self) -> Handle:
+        return ()
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        merged = sorted(handle + (value,), reverse=self._keep_largest)
+        return tuple(merged[: self.n])
+
+    def end(self, handle: Handle) -> Any:
+        return tuple(handle)
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        merged = sorted(handle + tuple(other), reverse=self._keep_largest)
+        return tuple(merged[: self.n])
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        if value in handle:
+            return handle, False  # a kept value left; runner-up unknown
+        return handle, True
+
+
+class MaxN(_TopN):
+    """The N largest values (Section 5 lists MaxN as algebraic)."""
+
+    name = "MAXN"
+    _keep_largest = True
+
+
+class MinN(_TopN):
+    """The N smallest values."""
+
+    name = "MINN"
+    _keep_largest = False
+
+
+class CenterOfMass(AggregateFunction):
+    """Center of mass of (mass, position) pairs (Section 5's example).
+
+    ``position`` may be a scalar or a sequence (a point in d-space); the
+    scratchpad is (total mass, weighted position sum).
+    """
+
+    name = "CENTER_OF_MASS"
+    classification = AggregateClass.ALGEBRAIC
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.ALGEBRAIC,
+        insert=AggregateClass.ALGEBRAIC,
+        delete=AggregateClass.ALGEBRAIC)
+
+    def start(self) -> Handle:
+        return (0.0, None)
+
+    @staticmethod
+    def _split(value: Any) -> tuple[float, Any]:
+        if not isinstance(value, Sequence) or len(value) != 2:
+            raise AggregateError(
+                "CENTER_OF_MASS aggregates (mass, position) pairs, "
+                f"got {value!r}")
+        return float(value[0]), value[1]
+
+    @staticmethod
+    def _weighted(mass: float, position: Any) -> Any:
+        if isinstance(position, Sequence):
+            return tuple(mass * p for p in position)
+        return mass * position
+
+    @staticmethod
+    def _add(a: Any, b: Any) -> Any:
+        if a is None:
+            return b
+        if isinstance(a, tuple):
+            return tuple(x + y for x, y in zip(a, b))
+        return a + b
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        total_mass, weighted = handle
+        mass, position = self._split(value)
+        return (total_mass + mass,
+                self._add(weighted, self._weighted(mass, position)))
+
+    def end(self, handle: Handle) -> Any:
+        total_mass, weighted = handle
+        if weighted is None or total_mass == 0:
+            return None
+        if isinstance(weighted, tuple):
+            return tuple(w / total_mass for w in weighted)
+        return weighted / total_mass
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        if other[1] is None:
+            return handle
+        if handle[1] is None:
+            return other
+        return (handle[0] + other[0], self._add(handle[1], other[1]))
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        total_mass, weighted = handle
+        if weighted is None:
+            return handle, False
+        mass, position = self._split(value)
+        negated = self._weighted(-mass, position)
+        return (total_mass - mass, self._add(weighted, negated)), True

@@ -1,0 +1,265 @@
+"""Approximate quantiles as *algebraic* aggregates (Section 6).
+
+"Our view is that users avoid holistic functions by using
+approximation techniques.  Most functions we see in practice are
+distributive or algebraic.  For example, medians and quartiles are
+approximated using statistical techniques rather than being computed
+exactly."
+
+This module makes that remark concrete: :class:`ApproximateQuantile`
+keeps a fixed-size equi-width histogram sketch -- an M-tuple, so by the
+paper's own definition the function is **algebraic**:
+
+- ``merge`` (Iter_super) adds histograms bucket-wise (rebinned to a
+  common range first), so cubes of approximate medians compute *from
+  the core* and parallelize -- everything the exact MEDIAN cannot do;
+- ``unapply`` decrements a bucket, so DELETE maintenance is cheap --
+  approximation buys back exactly what Section 6 says holistic
+  functions lose;
+- the answer is exact to within one bucket's width: the sketch tracks
+  true ``(min, max)`` and the error bound is ``(max - min) / buckets``.
+
+The sketch uses power-of-two range doubling: when a value falls outside
+the current range, the range grows (and buckets coarsen by pairwise
+summing), so no a-priori value range is needed and merging sketches
+with different ranges is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.aggregates.base import AggregateFunction, Handle, UnapplyResult
+from repro.aggregates.classification import (
+    AggregateClass,
+    MaintenanceProfile,
+)
+from repro.errors import AggregateError
+
+__all__ = ["ApproximateQuantile", "ApproximateMedian", "QuantileSketch"]
+
+
+@dataclass
+class QuantileSketch:
+    """A fixed-size equi-width histogram over an adaptive dyadic range.
+
+    ``lo``/``width`` define the binning: bucket i covers
+    ``[lo + i*width, lo + (i+1)*width)``.  ``true_min``/``true_max``
+    track exact extremes for the error bound (and exact answers at
+    p=0/p=100).
+    """
+
+    n_buckets: int
+    count: int = 0
+    lo: float = 0.0
+    width: float = 0.0  # 0 = unset (empty or single-value sketch)
+    counts: "list[int] | None" = None
+    true_min: float = math.inf
+    true_max: float = -math.inf
+    single_value: "float | None" = None  # exact until a 2nd value arrives
+
+    def _materialize(self, value: float) -> None:
+        """Switch from single-value mode to a real histogram."""
+        anchor = self.single_value if self.single_value is not None \
+            else value
+        span = abs(value - anchor)
+        if span == 0:
+            span = max(1.0, abs(anchor)) * 1e-9
+        self.lo = min(anchor, value)
+        self.width = (span * 2) / self.n_buckets
+        self.counts = [0] * self.n_buckets
+        if self.single_value is not None:
+            pending, self.single_value = self.single_value, None
+            occurrences = self.count
+            self.count = 0
+            for _ in range(occurrences):
+                self._add_binned(pending)
+        self._ensure_covers(value)
+
+    def _bucket_of(self, value: float) -> int:
+        return int((value - self.lo) / self.width)
+
+    def _ensure_covers(self, value: float) -> None:
+        """Double the range (coarsening buckets) until value fits."""
+        while value < self.lo or self._bucket_of(value) >= self.n_buckets:
+            half = self.n_buckets // 2
+            merged = [0] * self.n_buckets
+            for i in range(half):
+                merged[i] = self.counts[2 * i] + self.counts[2 * i + 1]
+            if value < self.lo:
+                # grow downward: shift old (coarsened) data to the top
+                for i in range(half - 1, -1, -1):
+                    merged[i + half] = merged[i]
+                    merged[i] = 0
+                self.lo -= self.n_buckets * self.width
+            self.counts = merged
+            self.width *= 2
+
+    def _add_binned(self, value: float) -> None:
+        self._ensure_covers(value)
+        self.counts[self._bucket_of(value)] += 1
+        self.count += 1
+
+    # -- public sketch operations -------------------------------------------
+
+    def add(self, value: float) -> None:
+        self.true_min = min(self.true_min, value)
+        self.true_max = max(self.true_max, value)
+        if self.width == 0:
+            if self.single_value is None or self.single_value == value:
+                self.single_value = value
+                self.count += 1
+                return
+            self._materialize(value)
+        self._add_binned(value)
+
+    def remove(self, value: float) -> bool:
+        """Decrement the bucket holding ``value``; False if impossible.
+
+        Deleting one of the current extremes keeps the sketch usable
+        (the bound loosens but never lies, since true_min/max only
+        widen the claimed range).
+        """
+        if self.count == 0:
+            return False
+        if self.width == 0:
+            if self.single_value == value:
+                self.count -= 1
+                if self.count == 0:
+                    self.single_value = None
+                    self.true_min = math.inf
+                    self.true_max = -math.inf
+                return True
+            return False
+        if value < self.lo:
+            return False
+        bucket = self._bucket_of(value)
+        if bucket >= self.n_buckets or self.counts[bucket] == 0:
+            return False
+        self.counts[bucket] -= 1
+        self.count -= 1
+        return True
+
+    def merge(self, other: "QuantileSketch") -> None:
+        if other.count == 0:
+            return
+        self.true_min = min(self.true_min, other.true_min)
+        self.true_max = max(self.true_max, other.true_max)
+        if other.width == 0:
+            # other is single-valued: replay its occurrences
+            for _ in range(other.count):
+                if self.width == 0:
+                    if self.single_value is None \
+                            or self.single_value == other.single_value:
+                        self.single_value = other.single_value
+                        self.count += 1
+                        continue
+                    self._materialize(other.single_value)
+                self._add_binned(other.single_value)
+            return
+        if self.width == 0:
+            pending = (self.single_value, self.count) \
+                if self.single_value is not None else None
+            self.single_value = None
+            self.lo = other.lo
+            self.width = other.width
+            self.counts = list(other.counts)
+            self.count = other.count
+            if pending is not None:
+                value, occurrences = pending
+                for _ in range(occurrences):
+                    self._add_binned(value)
+            return
+        # both histograms: rebin other into self bucket-by-bucket at
+        # bucket midpoints (the standard fixed-size histogram merge)
+        for i, bucket_count in enumerate(other.counts):
+            if bucket_count == 0:
+                continue
+            midpoint = other.lo + (i + 0.5) * other.width
+            self._ensure_covers(midpoint)
+            self.counts[self._bucket_of(midpoint)] += bucket_count
+            self.count += bucket_count
+
+    def quantile(self, p: float) -> "float | None":
+        """The approximate p-th percentile (nearest-rank over buckets,
+        linear interpolation inside the bucket)."""
+        if self.count == 0:
+            return None
+        if p <= 0:
+            return self.true_min
+        if p >= 100:
+            return self.true_max
+        if self.width == 0:
+            return self.single_value
+        target = max(1, math.ceil(self.count * p / 100))
+        running = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if running + bucket_count >= target:
+                fraction = (target - running) / bucket_count
+                estimate = self.lo + (i + fraction) * self.width
+                return min(max(estimate, self.true_min), self.true_max)
+            running += bucket_count
+        return self.true_max
+
+    @property
+    def error_bound(self) -> float:
+        """The half-width guarantee: |estimate - exact| <= one bucket."""
+        if self.width == 0:
+            return 0.0
+        return self.width
+
+
+class ApproximateQuantile(AggregateFunction):
+    """Approximate percentile with a fixed-size sketch -- ALGEBRAIC.
+
+    The scratchpad is an M-tuple (M = n_buckets + a few scalars), so
+    super-aggregates merge, parallel partitions combine, and deletes
+    decrement -- the Section 6 trade the paper describes users making.
+    """
+
+    classification = AggregateClass.ALGEBRAIC
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.ALGEBRAIC,
+        insert=AggregateClass.ALGEBRAIC,
+        delete=AggregateClass.ALGEBRAIC)
+
+    def __init__(self, p: float = 50, n_buckets: int = 64) -> None:
+        if not 0 <= p <= 100:
+            raise AggregateError(f"p must be in [0, 100], got {p}")
+        if n_buckets < 2 or n_buckets % 2:
+            raise AggregateError(
+                f"n_buckets must be an even number >= 2, got {n_buckets}")
+        self.p = p
+        self.n_buckets = n_buckets
+        self.name = f"APPROX_PERCENTILE({p})"
+
+    def start(self) -> Handle:
+        return QuantileSketch(n_buckets=self.n_buckets)
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        handle.add(float(value))
+        return handle
+
+    def end(self, handle: Handle) -> Any:
+        return handle.quantile(self.p)
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        handle.merge(other)
+        return handle
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        return handle, handle.remove(float(value))
+
+
+class ApproximateMedian(ApproximateQuantile):
+    """The paper's example: the approximated median."""
+
+    name = "APPROX_MEDIAN"
+
+    def __init__(self, n_buckets: int = 64) -> None:
+        super().__init__(p=50, n_buckets=n_buckets)
+        self.name = "APPROX_MEDIAN"

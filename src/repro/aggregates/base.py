@@ -1,0 +1,152 @@
+"""The aggregate-function contract: Figure 7's scratchpad model.
+
+The paper (Sections 1.2 and 5) standardizes aggregate functions as three
+callbacks -- in Illustra's terms ``Init``, ``Iter``, ``Final``; in Figure
+7's terms ``start()``, ``next()``, ``end()`` -- plus the new
+``Iter_super`` call (here :meth:`AggregateFunction.merge`) that folds a
+sub-aggregate scratchpad into a super-aggregate scratchpad.  ``merge`` is
+what makes computing the cube *from the core GROUP BY* possible for
+distributive and algebraic functions, and what parallel partitions use
+to combine their results.
+
+For cube **maintenance** (Section 6) we add :meth:`unapply`: the inverse
+of ``next`` where one exists.  COUNT/SUM/AVG can subtract a deleted
+value; MAX cannot when the deleted value *is* the maximum -- that is
+exactly the paper's "MAX is distributive for SELECT and INSERT but
+holistic for DELETE" observation, surfaced as ``unapply`` returning
+``supported=False``.
+
+Handles are treated as immutable from the caller's perspective: every
+mutating call returns the handle to use from then on.  This keeps
+trivial scratchpads (a running sum is just a number) allocation-free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import NotMergeableError
+from repro.aggregates.classification import AggregateClass, MaintenanceProfile
+
+__all__ = ["AggregateFunction", "Handle", "UnapplyResult"]
+
+Handle = Any
+
+UnapplyResult = tuple[Handle, bool]
+
+
+class AggregateFunction(ABC):
+    """One aggregate function (stateless; all state lives in handles).
+
+    Class attributes:
+
+    ``name``
+        Registry / SQL name, upper-case.
+    ``classification``
+        Section 5 class (distributive / algebraic / holistic).
+    ``maintenance``
+        Section 6 per-operation profile.
+    ``skips_non_values``
+        If True (the default), NULL and ALL inputs are not fed to
+        ``next`` -- the paper's "ALL, like NULL, does not participate in
+        any aggregate except COUNT()" rule.  Only COUNT(*) sets it False.
+    ``cost``
+        Relative per-call cost the optimizer may use to order expensive
+        functions last (the paper mentions systems that let aggregates
+        declare a cost).
+    """
+
+    name: str = ""
+    classification: AggregateClass = AggregateClass.DISTRIBUTIVE
+    maintenance: MaintenanceProfile = MaintenanceProfile.uniform(
+        AggregateClass.DISTRIBUTIVE)
+    skips_non_values: bool = True
+    cost: float = 1.0
+
+    # -- Figure 7 lifecycle ----------------------------------------------
+
+    @abstractmethod
+    def start(self) -> Handle:
+        """``Init``: allocate and initialize a scratchpad."""
+
+    @abstractmethod
+    def next(self, handle: Handle, value: Any) -> Handle:
+        """``Iter``: fold one value into the scratchpad; returns it."""
+
+    @abstractmethod
+    def end(self, handle: Handle) -> Any:
+        """``Final``: compute the aggregate value from the scratchpad.
+
+        Must be non-destructive: cube algorithms finalize a cell and keep
+        the handle for later merging into super-aggregates.
+        """
+
+    # -- super-aggregation (Iter_super) -----------------------------------
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        """``Iter_super``: fold sub-aggregate ``other`` into ``handle``.
+
+        Default raises for holistic functions run in strict mode; see
+        :class:`repro.aggregates.holistic.HolisticAggregate` for the
+        carrying-mode alternative.
+        """
+        raise NotMergeableError(
+            f"{self.name or type(self).__name__} cannot merge scratchpads; "
+            f"holistic functions need the 2^N-algorithm (Section 5)")
+
+    @property
+    def mergeable(self) -> bool:
+        """True if :meth:`merge` is usable.
+
+        Distributive and algebraic functions are always mergeable; a
+        holistic function is mergeable only in carrying mode (see
+        :class:`repro.aggregates.holistic.HolisticAggregate`), where the
+        "scratchpad" is the whole multiset -- usable, but with unbounded
+        size, which is the paper's very definition of holistic.
+        """
+        return self.classification.mergeable
+
+    # -- maintenance (Section 6) -------------------------------------------
+
+    def insert_dominated(self, handle: Handle, value: Any) -> bool:
+        """Section 6's insert short-circuit hook.
+
+        Return True when folding ``value`` into ``handle`` cannot change
+        it *nor any coarser cell's handle* (whose underlying set is a
+        superset).  For MAX this is ``value <= current max``: "if the
+        new value loses one competition, then it will lose in all lower
+        dimensions."  Default False -- most functions (SUM, COUNT)
+        change on every insert.
+        """
+        return False
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        """Inverse of ``next`` for DELETE propagation.
+
+        Returns ``(new_handle, supported)``.  ``supported=False`` means
+        the scratchpad cannot absorb this deletion (the function is
+        delete-holistic at this value) and the cell must be recomputed
+        from base data.
+        """
+        return handle, False
+
+    # -- conveniences -------------------------------------------------------
+
+    def accepts(self, value: Any) -> bool:
+        """Should this value be fed to ``next``? (NULL/ALL rule)."""
+        from repro.types import is_null_or_all
+        if not self.skips_non_values:
+            return True
+        return not is_null_or_all(value)
+
+    def aggregate(self, values) -> Any:
+        """One-shot helper: run the full lifecycle over an iterable."""
+        handle = self.start()
+        for value in values:
+            if self.accepts(value):
+                handle = self.next(handle, value)
+        return self.end(handle)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

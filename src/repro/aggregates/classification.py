@@ -1,0 +1,86 @@
+"""The aggregate-function taxonomy of Sections 5 and 6.
+
+Section 5 classifies aggregates by how super-aggregates can be computed
+from sub-aggregates:
+
+- **distributive**: F over the whole equals G over the F's of the parts
+  (COUNT, SUM, MIN, MAX; G = F except COUNT, where G = SUM);
+- **algebraic**: a fixed-size M-tuple scratchpad summarizes a
+  sub-aggregation (AVG keeps (sum, count); also variance, MaxN, ...);
+- **holistic**: no constant-size scratchpad exists (MEDIAN, MODE, RANK).
+
+Section 6 refines this per maintenance operation: MAX is distributive
+for SELECT and INSERT but *holistic for DELETE* (removing the current
+maximum forces a recomputation).  :class:`MaintenanceProfile` captures
+the triple, and the maintenance package dispatches on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "AggregateClass",
+    "DISTRIBUTIVE",
+    "ALGEBRAIC",
+    "HOLISTIC",
+    "MaintenanceProfile",
+]
+
+
+class AggregateClass(enum.Enum):
+    """Section 5 taxonomy."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+    @property
+    def mergeable(self) -> bool:
+        """Can super-aggregates be computed from sub-aggregate handles?
+
+        True for distributive and algebraic functions (the handle is a
+        constant-size summary); false for holistic ones, which need the
+        2^N-algorithm over base data (Section 5).
+        """
+        return self is not AggregateClass.HOLISTIC
+
+    def __lt__(self, other: "AggregateClass") -> bool:
+        order = [AggregateClass.DISTRIBUTIVE, AggregateClass.ALGEBRAIC,
+                 AggregateClass.HOLISTIC]
+        return order.index(self) < order.index(other)
+
+
+DISTRIBUTIVE = AggregateClass.DISTRIBUTIVE
+ALGEBRAIC = AggregateClass.ALGEBRAIC
+HOLISTIC = AggregateClass.HOLISTIC
+
+
+@dataclass(frozen=True)
+class MaintenanceProfile:
+    """Per-operation classification (Section 6).
+
+    ``update`` is derived: the paper treats UPDATE as DELETE + INSERT, so
+    it inherits the worse of the two classes.
+    """
+
+    select: AggregateClass
+    insert: AggregateClass
+    delete: AggregateClass
+
+    @property
+    def update(self) -> AggregateClass:
+        return max(self.insert, self.delete,
+                   key=[AggregateClass.DISTRIBUTIVE, AggregateClass.ALGEBRAIC,
+                        AggregateClass.HOLISTIC].index)
+
+    @property
+    def cheap_to_maintain(self) -> bool:
+        """Section 6: easy/fairly-inexpensive iff no operation is holistic."""
+        return (self.insert is not AggregateClass.HOLISTIC
+                and self.delete is not AggregateClass.HOLISTIC)
+
+    @classmethod
+    def uniform(cls, klass: AggregateClass) -> "MaintenanceProfile":
+        return cls(select=klass, insert=klass, delete=klass)

@@ -1,0 +1,181 @@
+"""The distributive aggregates: COUNT, SUM, MIN, MAX (Section 5).
+
+For each, the super-aggregation function G equals F itself, except
+COUNT where G = SUM (counts of parts add up).  All four keep O(1)
+scratchpads and support ``merge`` directly.
+
+Maintenance classes follow Section 6:
+
+- COUNT and SUM are algebraic (in fact reversible) for INSERT *and*
+  DELETE, so their cubes are easy to maintain;
+- MIN and MAX are distributive for INSERT but **holistic for DELETE**:
+  removing the current extreme leaves the scratchpad unable to answer,
+  so ``unapply`` reports ``supported=False`` and the maintenance layer
+  recomputes the cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aggregates.base import AggregateFunction, Handle, UnapplyResult
+from repro.aggregates.classification import (
+    AggregateClass,
+    MaintenanceProfile,
+)
+
+__all__ = ["CountStar", "Count", "Sum", "Min", "Max"]
+
+
+class CountStar(AggregateFunction):
+    """COUNT(*): counts every row, including NULL/ALL carriers."""
+
+    name = "COUNT(*)"
+    classification = AggregateClass.DISTRIBUTIVE
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.DISTRIBUTIVE,
+        insert=AggregateClass.DISTRIBUTIVE,
+        delete=AggregateClass.DISTRIBUTIVE)
+    skips_non_values = False
+
+    def start(self) -> Handle:
+        return 0
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        return handle + 1
+
+    def end(self, handle: Handle) -> int:
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        return handle + other  # G = SUM for COUNT
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        return handle - 1, True
+
+
+class Count(AggregateFunction):
+    """COUNT(expr): counts non-NULL, non-ALL values."""
+
+    name = "COUNT"
+    classification = AggregateClass.DISTRIBUTIVE
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.DISTRIBUTIVE,
+        insert=AggregateClass.DISTRIBUTIVE,
+        delete=AggregateClass.DISTRIBUTIVE)
+
+    def start(self) -> Handle:
+        return 0
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        return handle + 1
+
+    def end(self, handle: Handle) -> int:
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        return handle + other
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        return handle - 1, True
+
+
+class Sum(AggregateFunction):
+    """SUM(expr).  SQL semantics: the sum of zero values is NULL."""
+
+    name = "SUM"
+    classification = AggregateClass.DISTRIBUTIVE
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.DISTRIBUTIVE,
+        insert=AggregateClass.DISTRIBUTIVE,
+        delete=AggregateClass.DISTRIBUTIVE)
+
+    def start(self) -> Handle:
+        return None  # no value seen yet
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        if handle is None:
+            return value
+        return handle + value
+
+    def end(self, handle: Handle) -> Any:
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        if other is None:
+            return handle
+        if handle is None:
+            return other
+        return handle + other
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        if handle is None:
+            return handle, False  # deleting from an empty sum: recompute
+        return handle - value, True
+
+
+class _Extreme(AggregateFunction):
+    """Shared scaffolding for MIN/MAX.
+
+    Delete-holistic (Section 6): if the deleted value equals the current
+    extreme we cannot know the runner-up from an O(1) scratchpad, so
+    ``unapply`` declines and forces a recompute.
+    """
+
+    classification = AggregateClass.DISTRIBUTIVE
+    maintenance = MaintenanceProfile(
+        select=AggregateClass.DISTRIBUTIVE,
+        insert=AggregateClass.DISTRIBUTIVE,
+        delete=AggregateClass.HOLISTIC)
+
+    def _better(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def start(self) -> Handle:
+        return None
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        if handle is None:
+            return value
+        return self._better(handle, value)
+
+    def end(self, handle: Handle) -> Any:
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        if other is None:
+            return handle
+        if handle is None:
+            return other
+        return self._better(handle, other)
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        if handle is None:
+            return handle, False
+        if value == handle:
+            return handle, False  # the extreme left; recompute required
+        return handle, True
+
+    def insert_dominated(self, handle: Handle, value: Any) -> bool:
+        """The Section 6 short-circuit: a value that loses here loses at
+        every coarser cell (their sets are supersets, so their extreme
+        is at least as strong)."""
+        if handle is None:
+            return False
+        # losing *or tying* the current extreme changes nothing here,
+        # and coarser cells hold supersets, so nothing changes there
+        return self._better(handle, value) == handle
+
+
+class Min(_Extreme):
+    name = "MIN"
+
+    def _better(self, a: Any, b: Any) -> Any:
+        return a if a <= b else b
+
+
+class Max(_Extreme):
+    name = "MAX"
+
+    def _better(self, a: Any, b: Any) -> Any:
+        return a if a >= b else b

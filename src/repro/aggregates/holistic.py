@@ -1,0 +1,183 @@
+"""Holistic aggregates (Section 5): MEDIAN, MODE (MostFrequent),
+PERCENTILE, RANK, COUNT(DISTINCT).
+
+A holistic function has *no constant bound* on the scratchpad needed to
+summarize a sub-aggregation.  The paper's consequence: "we know of no
+more efficient way of computing super-aggregates of holistic functions
+than the 2^N-algorithm".
+
+Two execution modes are provided:
+
+- **strict mode** (``carrying=False``): ``merge`` raises
+  :class:`~repro.errors.NotMergeableError`; the optimizer must route the
+  cube through the 2^N-algorithm, exactly as the paper prescribes;
+- **carrying mode** (``carrying=True``, the default): the scratchpad
+  carries the whole multiset, so ``merge`` works -- at unbounded
+  scratchpad size.  This exists so benchmarks can *measure* the price of
+  holistic functions instead of merely refusing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.aggregates.base import AggregateFunction, Handle, UnapplyResult
+from repro.aggregates.classification import (
+    AggregateClass,
+    MaintenanceProfile,
+)
+from repro.errors import AggregateError, NotMergeableError
+from repro.types import sort_key
+
+__all__ = [
+    "HolisticAggregate",
+    "Median",
+    "Mode",
+    "Percentile",
+    "CountDistinct",
+    "RankOf",
+]
+
+
+class HolisticAggregate(AggregateFunction):
+    """Base class: the scratchpad is the list of all accepted values."""
+
+    classification = AggregateClass.HOLISTIC
+    maintenance = MaintenanceProfile.uniform(AggregateClass.HOLISTIC)
+
+    def __init__(self, *, carrying: bool = True) -> None:
+        self.carrying = carrying
+
+    @property
+    def mergeable(self) -> bool:
+        return self.carrying
+
+    def start(self) -> Handle:
+        return []
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        handle.append(value)
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        if not self.carrying:
+            raise NotMergeableError(
+                f"{self.name} is holistic and running in strict mode; "
+                "use the 2^N-algorithm (Section 5)")
+        handle.extend(other)
+        return handle
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        if not self.carrying:
+            return handle, False
+        try:
+            handle.remove(value)
+        except ValueError:
+            return handle, False
+        return handle, True
+
+    def end(self, handle: Handle) -> Any:
+        raise NotImplementedError
+
+
+class Median(HolisticAggregate):
+    """Exact median (lower-middle for even counts, SQL-style determinism
+    on mixed types via the library total order)."""
+
+    name = "MEDIAN"
+
+    def end(self, handle: Handle) -> Any:
+        if not handle:
+            return None
+        ordered = sorted(handle, key=sort_key)
+        mid = (len(ordered) - 1) // 2
+        return ordered[mid]
+
+
+class Mode(HolisticAggregate):
+    """MostFrequent() / Mode(): the most frequent value; ties broken by
+    the smallest value so results are deterministic."""
+
+    name = "MODE"
+
+    def end(self, handle: Handle) -> Any:
+        if not handle:
+            return None
+        counts = Counter(handle)
+        best_count = max(counts.values())
+        candidates = [v for v, c in counts.items() if c == best_count]
+        return min(candidates, key=sort_key)
+
+
+class Percentile(HolisticAggregate):
+    """The p-th percentile (0 < p <= 100), nearest-rank definition."""
+
+    name = "PERCENTILE"
+
+    def __init__(self, p: float, *, carrying: bool = True) -> None:
+        super().__init__(carrying=carrying)
+        if not 0 < p <= 100:
+            raise AggregateError(f"percentile p must be in (0, 100], got {p}")
+        self.p = p
+
+    def end(self, handle: Handle) -> Any:
+        if not handle:
+            return None
+        ordered = sorted(handle, key=sort_key)
+        rank = max(1, -(-len(ordered) * self.p // 100))  # ceil
+        return ordered[int(rank) - 1]
+
+
+class CountDistinct(HolisticAggregate):
+    """COUNT(DISTINCT expr) (Section 1.1's second example query).
+
+    Holistic: the set of seen values has no constant-size summary.  The
+    scratchpad here is a set rather than a list.
+    """
+
+    name = "COUNT_DISTINCT"
+
+    def start(self) -> Handle:
+        return set()
+
+    def next(self, handle: Handle, value: Any) -> Handle:
+        handle.add(value)
+        return handle
+
+    def merge(self, handle: Handle, other: Handle) -> Handle:
+        if not self.carrying:
+            raise NotMergeableError(
+                "COUNT DISTINCT is holistic in strict mode")
+        handle |= other
+        return handle
+
+    def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        # removing one duplicate must not drop the distinct value; a set
+        # scratchpad cannot tell, so deletes always force a recompute.
+        return handle, False
+
+    def end(self, handle: Handle) -> int:
+        return len(handle)
+
+
+class RankOf(HolisticAggregate):
+    """RANK(expr, target): the rank of ``target`` within the group.
+
+    Matches the Red Brick definition quoted in Section 1.2: with N
+    values, the highest has rank N and the lowest rank 1.  As a *cube*
+    aggregate it answers "what is the rank of this fixed value inside
+    each cell", which is the holistic exemplar the paper names.
+    """
+
+    name = "RANK_OF"
+
+    def __init__(self, target: Any, *, carrying: bool = True) -> None:
+        super().__init__(carrying=carrying)
+        self.target = target
+
+    def end(self, handle: Handle) -> Any:
+        if not handle:
+            return None
+        below = sum(1 for v in handle if sort_key(v) <= sort_key(self.target))
+        return below

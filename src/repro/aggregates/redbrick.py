@@ -1,0 +1,186 @@
+"""Red Brick's extended aggregate functions (Section 1.2).
+
+Unlike the Figure 7 scratchpad aggregates these are *relational
+functions*: they need the whole column (and, for the cumulative family,
+its order) to produce a value per row.  The SQL front-end materializes
+them as derived columns before grouping, which is how the paper's
+
+    SELECT Percentile, MIN(Temp), MAX(Temp)
+    FROM Weather
+    GROUP BY N_tile(Temp, 10) AS Percentile
+    HAVING Percentile = 5;
+
+query runs: ``N_tile`` is computed over all input rows first, then used
+as a grouping column.
+
+All functions return a list aligned with the input values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import AggregateError
+from repro.types import is_null_or_all, sort_key
+
+__all__ = [
+    "rank",
+    "n_tile",
+    "ratio_to_total",
+    "cumulative",
+    "running_sum",
+    "running_average",
+]
+
+
+def rank(values: Sequence[Any]) -> list[int | None]:
+    """Rank(expression): rank within all values of the column.
+
+    Red Brick semantics: with N values, the highest value has rank N and
+    the lowest rank 1.  Ties share the lowest applicable rank (the count
+    of strictly-smaller values plus one).  NULL/ALL rank as NULL.
+    """
+    real = [v for v in values if not is_null_or_all(v)]
+    ordered = sorted(real, key=sort_key)
+    ranks: dict[Any, int] = {}
+    for position, value in enumerate(ordered, start=1):
+        if value not in ranks:
+            ranks[value] = position
+    return [None if is_null_or_all(v) else ranks[v] for v in values]
+
+
+def n_tile(values: Sequence[Any], n: int) -> list[int | None]:
+    """N_tile(expression, n): equi-populated value-range bucket, 1..n.
+
+    The Red Brick manual describes dividing the expression's range into
+    n ranges of approximately equal population: bucket 10 of
+    ``N_tile(balance, 10)`` holds the largest 10%.  Implemented as
+    ceil(rank * n / N) over the rank order, which yields approximately
+    equal populations and is stable under ties.
+    """
+    if n < 1:
+        raise AggregateError(f"n_tile needs n >= 1, got {n}")
+    real = [v for v in values if not is_null_or_all(v)]
+    total = len(real)
+    if total == 0:
+        return [None] * len(values)
+    ordered = sorted(range(total), key=lambda i: sort_key(real[i]))
+    positions: dict[int, int] = {}
+    for dense_rank, idx in enumerate(ordered, start=1):
+        positions[idx] = dense_rank
+    buckets: list[int | None] = []
+    real_idx = 0
+    for value in values:
+        if is_null_or_all(value):
+            buckets.append(None)
+            continue
+        dense_rank = positions[real_idx]
+        real_idx += 1
+        bucket = -(-dense_rank * n // total)  # ceil division
+        buckets.append(min(n, max(1, bucket)))
+    return buckets
+
+
+def ratio_to_total(values: Sequence[Any]) -> list[float | None]:
+    """Ratio_To_Total(expression): value / sum of all values."""
+    real = [v for v in values if not is_null_or_all(v)]
+    total = sum(real) if real else None
+    out: list[float | None] = []
+    for value in values:
+        if is_null_or_all(value) or total in (None, 0):
+            out.append(None)
+        else:
+            out.append(value / total)
+    return out
+
+
+def _grouped(values: Sequence[Any],
+             groups: Sequence[Any] | None) -> list[tuple[int, Any]]:
+    """Pair each index with its group key (a single dummy group if None).
+
+    Implements the Red Brick note that cumulative aggregates are
+    "optionally reset each time a grouping value changes in an ordered
+    selection" -- the reset happens on *change*, i.e. contiguous runs.
+    """
+    if groups is None:
+        return [(0, v) for v in values]
+    if len(groups) != len(values):
+        raise AggregateError("groups must align with values")
+    run = 0
+    previous = object()
+    out: list[tuple[int, Any]] = []
+    for group_key, value in zip(groups, values):
+        if group_key != previous:
+            run += 1
+            previous = group_key
+        out.append((run, value))
+    return out
+
+
+def cumulative(values: Sequence[Any],
+               groups: Sequence[Any] | None = None) -> list[Any]:
+    """Cumulative(expression): running total over the ordered input."""
+    out: list[Any] = []
+    current_run: int | None = None
+    total: Any = None
+    for run, value in _grouped(values, groups):
+        if run != current_run:
+            current_run = run
+            total = None
+        if not is_null_or_all(value):
+            total = value if total is None else total + value
+        out.append(total)
+    return out
+
+
+def running_sum(values: Sequence[Any], n: int,
+                groups: Sequence[Any] | None = None) -> list[Any]:
+    """Running_Sum(expression, n): sum of the most recent n values.
+
+    Red Brick semantics: the initial n-1 positions are NULL (the window
+    is not yet full).
+    """
+    if n < 1:
+        raise AggregateError(f"running_sum needs n >= 1, got {n}")
+    out: list[Any] = []
+    window: list[Any] = []
+    current_run: int | None = None
+    for run, value in _grouped(values, groups):
+        if run != current_run:
+            current_run = run
+            window = []
+        window.append(value)
+        if len(window) > n:
+            window.pop(0)
+        if len(window) < n:
+            out.append(None)
+        else:
+            real = [v for v in window if not is_null_or_all(v)]
+            out.append(sum(real) if real else None)
+    return out
+
+
+def running_average(values: Sequence[Any], n: int,
+                    groups: Sequence[Any] | None = None) -> list[Any]:
+    """Running_Average(expression, n): mean of the most recent n values;
+    the initial n-1 positions are NULL."""
+    sums = running_sum(values, n, groups)
+    out: list[Any] = []
+    window: list[Any] = []
+    current_run: int | None = None
+    position = 0
+    for run, value in _grouped(values, groups):
+        if run != current_run:
+            current_run = run
+            window = []
+        window.append(value)
+        if len(window) > n:
+            window.pop(0)
+        total = sums[position]
+        if total is None:
+            out.append(None)
+        else:
+            real_count = sum(1 for v in window if not is_null_or_all(v))
+            out.append(total / real_count if real_count else None)
+        position += 1
+    return out

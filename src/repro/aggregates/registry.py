@@ -1,0 +1,181 @@
+"""Aggregate-function registry, including user-defined aggregates.
+
+The paper (Section 1.2) describes Illustra's mechanism for adding
+aggregate functions to the engine via Init/Iter/Final callbacks, and
+Section 5 extends it with Iter_super.  :func:`register_aggregate` is
+that mechanism: hand in either an :class:`AggregateFunction` subclass or
+the raw callbacks, and the SQL front-end and cube operators can use the
+new function by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.aggregates.base import AggregateFunction, Handle
+from repro.aggregates.classification import (
+    AggregateClass,
+    MaintenanceProfile,
+)
+from repro.aggregates.algebraic import (
+    Average,
+    CenterOfMass,
+    MaxN,
+    MinN,
+    StdDev,
+    Variance,
+)
+from repro.aggregates.approximate import (
+    ApproximateMedian,
+    ApproximateQuantile,
+)
+from repro.aggregates.distributive import Count, CountStar, Max, Min, Sum
+from repro.aggregates.holistic import (
+    CountDistinct,
+    Median,
+    Mode,
+    Percentile,
+)
+from repro.errors import AggregateError, UnknownAggregateError
+
+__all__ = [
+    "AggregateRegistry",
+    "default_registry",
+    "get_aggregate",
+    "register_aggregate",
+    "make_udaf",
+]
+
+Factory = Callable[..., AggregateFunction]
+
+
+class AggregateRegistry:
+    """Case-insensitive name -> aggregate factory mapping."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Factory] = {}
+
+    def register(self, name: str, factory: Factory, *,
+                 replace: bool = False) -> None:
+        key = name.upper()
+        if key in self._factories and not replace:
+            raise AggregateError(
+                f"aggregate {name!r} already registered; pass replace=True")
+        self._factories[key] = factory
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> AggregateFunction:
+        key = name.upper()
+        try:
+            factory = self._factories[key]
+        except KeyError:
+            raise UnknownAggregateError(
+                f"unknown aggregate {name!r}; known: {sorted(self._factories)}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._factories
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def copy(self) -> "AggregateRegistry":
+        clone = AggregateRegistry()
+        clone._factories = dict(self._factories)
+        return clone
+
+
+def _standard_registry() -> AggregateRegistry:
+    registry = AggregateRegistry()
+    registry.register("COUNT", Count)
+    registry.register("COUNT(*)", CountStar)
+    registry.register("COUNTSTAR", CountStar)
+    registry.register("SUM", Sum)
+    registry.register("MIN", Min)
+    registry.register("MAX", Max)
+    registry.register("AVG", Average)
+    registry.register("AVERAGE", Average)
+    registry.register("VARIANCE", Variance)
+    registry.register("VAR", Variance)
+    registry.register("STDEV", StdDev)
+    registry.register("STDDEV", StdDev)
+    registry.register("MAXN", MaxN)
+    registry.register("MINN", MinN)
+    registry.register("CENTER_OF_MASS", CenterOfMass)
+    registry.register("MEDIAN", Median)
+    registry.register("APPROX_MEDIAN", ApproximateMedian)
+    registry.register("APPROX_PERCENTILE", ApproximateQuantile)
+    registry.register("MODE", Mode)
+    registry.register("MOST_FREQUENT", Mode)
+    registry.register("PERCENTILE", Percentile)
+    registry.register("COUNT_DISTINCT", CountDistinct)
+    return registry
+
+
+#: The process-wide registry holding the standard SQL five plus the
+#: statistical, physical, and holistic functions from Sections 1.2 and 5.
+default_registry = _standard_registry()
+
+
+def get_aggregate(name: str, *args: Any, **kwargs: Any) -> AggregateFunction:
+    """Instantiate a registered aggregate by name."""
+    return default_registry.create(name, *args, **kwargs)
+
+
+def register_aggregate(name: str, factory: Factory, *,
+                       replace: bool = False,
+                       registry: AggregateRegistry | None = None) -> None:
+    """Register a user-defined aggregate (the Illustra mechanism)."""
+    (registry or default_registry).register(name, factory, replace=replace)
+
+
+def make_udaf(name: str,
+              init: Callable[[], Handle],
+              iterate: Callable[[Handle, Any], Handle],
+              final: Callable[[Handle], Any],
+              merge_fn: Callable[[Handle, Handle], Handle] | None = None,
+              *,
+              classification: AggregateClass | None = None,
+              cost: float = 1.0) -> type[AggregateFunction]:
+    """Build an aggregate class from raw Init/Iter/Final[/Iter_super]
+    callbacks -- the paper's Figure 7 contract, verbatim.
+
+    If ``merge_fn`` is omitted the function is treated as holistic: no
+    Iter_super means no super-aggregation shortcut, so the optimizer
+    routes cubes of this function through the 2^N-algorithm.
+    """
+    if classification is None:
+        classification = (AggregateClass.ALGEBRAIC if merge_fn is not None
+                          else AggregateClass.HOLISTIC)
+    if merge_fn is None and classification.mergeable:
+        raise AggregateError(
+            f"{name}: a {classification.value} aggregate must supply "
+            "merge_fn (Iter_super)")
+
+    udaf_name = name
+    udaf_class = classification
+    udaf_cost = cost
+
+    class UserDefinedAggregate(AggregateFunction):
+        name = udaf_name
+        classification = udaf_class
+        maintenance = MaintenanceProfile.uniform(udaf_class)
+        cost = udaf_cost
+
+        def start(self) -> Handle:
+            return init()
+
+        def next(self, handle: Handle, value: Any) -> Handle:
+            return iterate(handle, value)
+
+        def end(self, handle: Handle) -> Any:
+            return final(handle)
+
+        def merge(self, handle: Handle, other: Handle) -> Handle:
+            if merge_fn is None:
+                return super().merge(handle, other)
+            return merge_fn(handle, other)
+
+    UserDefinedAggregate.__name__ = f"UDAF_{name}"
+    UserDefinedAggregate.__qualname__ = UserDefinedAggregate.__name__
+    return UserDefinedAggregate

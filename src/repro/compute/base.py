@@ -1,0 +1,208 @@
+"""Common machinery for cube algorithms.
+
+A :class:`CubeTask` is the algorithm-agnostic description of one cube
+computation: the materialized input rows (dimension values first, then
+one pre-evaluated input value per aggregate), the aggregate function
+objects, and the grouping sets to produce (as bitmasks over the
+dimension list -- see :mod:`repro.core.grouping`).
+
+Materializing dimension expressions *before* the algorithms run keeps
+every algorithm a pure exercise in Section 5's terms; computed grouping
+columns (``Day(Time)``) are already plain columns by the time a task
+exists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.aggregates.base import AggregateFunction, Handle
+from repro.core.grouping import Mask
+from repro.compute.stats import ComputeStats
+from repro.engine.groupby import AggregateSpec
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import CubeError
+from repro.types import ALL, DataType
+
+__all__ = ["CubeTask", "CubeResult", "CubeAlgorithm", "build_task"]
+
+
+@dataclass
+class CubeTask:
+    """One cube computation, ready for any algorithm.
+
+    ``rows`` holds tuples of ``n_dims`` dimension values followed by
+    ``n_aggs`` aggregate-input values.  ``masks`` are the grouping sets
+    to produce.  Aggregate-input positions corresponding to values the
+    function does not accept (NULL/ALL under the Section 3.3 rule) are
+    filtered at fold time, not here, so COUNT(*) still sees every row.
+    """
+
+    dims: tuple[str, ...]
+    dim_columns: tuple[Column, ...]
+    functions: tuple[AggregateFunction, ...]
+    agg_names: tuple[str, ...]
+    rows: list[tuple]
+    masks: tuple[Mask, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.dim_columns):
+            raise CubeError("dims and dim_columns must align")
+        if len(self.functions) != len(self.agg_names):
+            raise CubeError("functions and agg_names must align")
+        if not self.masks:
+            raise CubeError("a cube task needs at least one grouping set")
+        if len(set(self.masks)) != len(self.masks):
+            raise CubeError("duplicate grouping sets in task masks")
+        full = (1 << len(self.dims)) - 1
+        for mask in self.masks:
+            if mask & ~full:
+                raise CubeError(f"mask {mask:#b} outside dimension range")
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def n_aggs(self) -> int:
+        return len(self.functions)
+
+    @property
+    def full_mask(self) -> Mask:
+        return (1 << self.n_dims) - 1
+
+    def dim_values(self, row: tuple) -> tuple:
+        return row[: self.n_dims]
+
+    def agg_values(self, row: tuple) -> tuple:
+        return row[self.n_dims:]
+
+    def coordinate(self, mask: Mask, dim_values: Sequence[Any]) -> tuple:
+        """Cell coordinate: grouped positions keep their value, the rest
+        carry ALL -- the paper's "each coordinate can either be x_i or
+        ALL"."""
+        return tuple(
+            dim_values[i] if mask & (1 << i) else ALL
+            for i in range(self.n_dims))
+
+    def cardinalities(self) -> list[int]:
+        """Distinct-value count per dimension (used by the smallest-
+        parent rule and by size estimates)."""
+        seen: list[set] = [set() for _ in range(self.n_dims)]
+        for row in self.rows:
+            for i in range(self.n_dims):
+                seen[i].add(row[i])
+        return [len(s) for s in seen]
+
+    def all_mergeable(self) -> bool:
+        return all(fn.mergeable for fn in self.functions)
+
+    def output_schema(self) -> Schema:
+        columns = [column.with_all_allowed() for column in self.dim_columns]
+        for name in self.agg_names:
+            columns.append(Column(name, DataType.ANY))
+        return Schema(columns)
+
+    def result_table(
+            self,
+            cells: Iterable[tuple[tuple, Sequence[Any]]]) -> Table:
+        """Build the output relation from (coordinate, final values)."""
+        table = Table(self.output_schema())
+        for coordinate, values in cells:
+            table.append(coordinate + tuple(values), validate=False)
+        return table
+
+    # -- shared fold helpers -------------------------------------------------
+
+    def new_handles(self, stats: ComputeStats) -> list[Handle]:
+        stats.start_calls += len(self.functions)
+        return [fn.start() for fn in self.functions]
+
+    def fold_row(self, handles: list[Handle], row: tuple,
+                 stats: ComputeStats) -> None:
+        """Apply one input row's aggregate values to a cell's handles."""
+        agg_values = self.agg_values(row)
+        for position, fn in enumerate(self.functions):
+            value = agg_values[position]
+            if fn.accepts(value):
+                handles[position] = fn.next(handles[position], value)
+                stats.iter_calls += 1
+
+    def merge_handles(self, into: list[Handle], source: list[Handle],
+                      stats: ComputeStats) -> None:
+        """Iter_super: fold ``source`` scratchpads into ``into``."""
+        for position, fn in enumerate(self.functions):
+            into[position] = fn.merge(into[position], source[position])
+            stats.merge_calls += 1
+
+    def finalize(self, handles: list[Handle], stats: ComputeStats) -> tuple:
+        stats.end_calls += len(self.functions)
+        return tuple(fn.end(handle)
+                     for fn, handle in zip(self.functions, handles))
+
+
+@dataclass
+class CubeResult:
+    """An algorithm's output: the cube relation plus its cost counters."""
+
+    table: Table
+    stats: ComputeStats
+
+
+class CubeAlgorithm(ABC):
+    """Interface every cube computation strategy implements."""
+
+    name: str = ""
+
+    @abstractmethod
+    def compute(self, task: CubeTask) -> CubeResult:
+        """Produce the cube relation for ``task``."""
+
+    def _new_stats(self) -> ComputeStats:
+        return ComputeStats(algorithm=self.name or type(self).__name__)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+def build_task(table: Table,
+               dims: Sequence,
+               specs: Sequence[AggregateSpec],
+               masks: Sequence[Mask]) -> CubeTask:
+    """Materialize a :class:`CubeTask` from a source relation.
+
+    ``dims`` entries are column names, expressions, or (expression,
+    alias) pairs -- the same key forms GROUP BY accepts.  Expressions
+    are evaluated here, once, so algorithms see plain dimension columns.
+    """
+    from repro.engine.groupby import normalize_keys
+
+    normalized = normalize_keys(dims)
+    names = table.schema.names
+
+    dim_columns = []
+    for expr, alias in normalized:
+        from repro.engine.expressions import ColumnRef
+        if isinstance(expr, ColumnRef) and expr.name in table.schema:
+            dim_columns.append(table.schema.column(expr.name).renamed(alias))
+        else:
+            dim_columns.append(Column(alias, DataType.ANY))
+
+    rows: list[tuple] = []
+    for row in table:
+        context = dict(zip(names, row))
+        dim_values = tuple(expr.evaluate(context) for expr, _ in normalized)
+        agg_values = tuple(spec.evaluate_input(context) for spec in specs)
+        rows.append(dim_values + agg_values)
+
+    return CubeTask(
+        dims=tuple(alias for _, alias in normalized),
+        dim_columns=tuple(dim_columns),
+        functions=tuple(spec.function for spec in specs),
+        agg_names=tuple(spec.name for spec in specs),
+        rows=rows,
+        masks=tuple(masks),
+    )

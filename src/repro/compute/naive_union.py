@@ -1,0 +1,49 @@
+"""The naive union algorithm (the Section 2 strawman).
+
+"A six dimension cross-tab requires a 64-way union of 64 different
+GROUP BY operators to build the underlying representation.  On most SQL
+systems this will result in 64 scans of the data, 64 sorts or hashes,
+and a long wait."
+
+This algorithm does exactly that: one independent hash GROUP BY per
+grouping set, each scanning the base data, results unioned.  It exists
+as the correctness baseline and so benchmarks can measure the cost the
+CUBE operator saves (``base_scans == 2^N`` here vs 1 for the single-pass
+algorithms).
+"""
+
+from __future__ import annotations
+
+from repro.aggregates.base import Handle
+from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+
+__all__ = ["NaiveUnionAlgorithm"]
+
+
+class NaiveUnionAlgorithm(CubeAlgorithm):
+    name = "naive-union"
+
+    def compute(self, task: CubeTask) -> CubeResult:
+        stats = self._new_stats()
+        cells: list[tuple[tuple, tuple]] = []
+
+        for mask in task.masks:
+            stats.base_scans += 1  # each GROUP BY re-scans the base data
+            groups: dict[tuple, list[Handle]] = {}
+            if mask == 0:
+                # the (ALL, ALL, ..., ALL) global aggregate: one group
+                # even over empty input, like a grand-total GROUP BY ()
+                groups[task.coordinate(0, ())] = task.new_handles(stats)
+            for row in task.rows:
+                coordinate = task.coordinate(mask, task.dim_values(row))
+                handles = groups.get(coordinate)
+                if handles is None:
+                    handles = task.new_handles(stats)
+                    groups[coordinate] = handles
+                task.fold_row(handles, row, stats)
+            stats.observe_resident(len(groups))
+            for coordinate, handles in groups.items():
+                cells.append((coordinate, task.finalize(handles, stats)))
+
+        stats.cells_produced = len(cells)
+        return CubeResult(table=task.result_table(cells), stats=stats)

@@ -1,0 +1,103 @@
+"""Algorithm selection (the Section 5 trichotomy, made executable).
+
+The paper's guidance, encoded:
+
+- **holistic** functions (strict mode): "we know of no more efficient
+  way [...] than the 2^N-algorithm" -- pick :class:`TwoNAlgorithm`;
+- distributive COUNT/SUM/MIN/MAX over dimensions whose dense cube fits
+  the budget: use the **array** technique;
+- otherwise distributive/algebraic: compute **from the core**,
+  smallest parent first;
+- if even the core exceeds the memory budget: "partition the cube with
+  a hash function" -- the **external** hybrid-hash algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compute.array_cube import ArrayCubeAlgorithm, _SUPPORTED
+from repro.compute.base import CubeAlgorithm, CubeTask
+from repro.compute.external import ExternalCubeAlgorithm
+from repro.compute.from_core import FromCoreAlgorithm
+from repro.compute.naive_union import NaiveUnionAlgorithm
+from repro.compute.parallel import ParallelCubeAlgorithm
+from repro.compute.pipesort import PipeSortAlgorithm
+from repro.compute.sort_cube import SortCubeAlgorithm
+from repro.compute.twon import TwoNAlgorithm
+from repro.errors import CubeError
+from repro.types import is_null_or_all
+
+__all__ = ["ALGORITHMS", "choose_algorithm", "explain_choice"]
+
+#: Name -> zero-argument factory for every registered algorithm.
+ALGORITHMS: dict[str, type[CubeAlgorithm]] = {
+    "naive-union": NaiveUnionAlgorithm,
+    "2^N": TwoNAlgorithm,
+    "from-core": FromCoreAlgorithm,
+    "array": ArrayCubeAlgorithm,
+    "sort": SortCubeAlgorithm,
+    "pipesort": PipeSortAlgorithm,
+    "external": ExternalCubeAlgorithm,
+    "parallel": ParallelCubeAlgorithm,
+}
+
+
+def _array_eligible(task: CubeTask, dense_budget: int) -> bool:
+    if not all(isinstance(fn, _SUPPORTED) for fn in task.functions):
+        return False
+    sample = task.rows[:256]
+    for row in sample:
+        for value in task.agg_values(row):
+            if is_null_or_all(value):
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return False
+    cardinalities = task.cardinalities()
+    dense_cells = math.prod(c + 1 for c in cardinalities) if cardinalities \
+        else 1
+    return dense_cells <= dense_budget
+
+
+def choose_algorithm(task: CubeTask, *,
+                     memory_budget: int | None = None,
+                     dense_budget: int = 1 << 20) -> CubeAlgorithm:
+    """Pick a cube algorithm per the Section 5 decision rules."""
+    if not task.all_mergeable():
+        return TwoNAlgorithm()
+    core_estimate = len({task.dim_values(r) for r in task.rows})
+    if memory_budget is not None and core_estimate > memory_budget:
+        return ExternalCubeAlgorithm(memory_budget=memory_budget)
+    if _array_eligible(task, dense_budget):
+        return ArrayCubeAlgorithm()
+    return FromCoreAlgorithm()
+
+
+def explain_choice(task: CubeTask, *,
+                   memory_budget: int | None = None,
+                   dense_budget: int = 1 << 20) -> str:
+    """Human-readable rationale for :func:`choose_algorithm`."""
+    if not task.all_mergeable():
+        bad = [fn.name for fn in task.functions if not fn.mergeable]
+        return (f"2^N: {bad} are holistic (no Iter_super), so only the "
+                "2^N-algorithm applies (Section 5)")
+    core_estimate = len({task.dim_values(r) for r in task.rows})
+    if memory_budget is not None and core_estimate > memory_budget:
+        return (f"external: estimated core ({core_estimate} cells) exceeds "
+                f"the memory budget ({memory_budget}); hybrid-hash "
+                "partitioning required")
+    if _array_eligible(task, dense_budget):
+        return ("array: distributive numeric aggregates over a dense cube "
+                f"within budget ({dense_budget} cells)")
+    return ("from-core: mergeable aggregates; compute the core once and "
+            "derive super-aggregates via Iter_super, smallest parent first")
+
+
+def make_algorithm(name: str, **kwargs) -> CubeAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise CubeError(
+            f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,75 @@
+"""Machine-independent cost counters for cube algorithms.
+
+The paper's Section 5 argues about algorithms in terms of scans of the
+base data, Iter() calls, Iter_super (merge) calls, and sort passes --
+not milliseconds.  ``ComputeStats`` counts exactly those quantities so
+the benchmark harness can check claims such as "the 2^N-algorithm
+invokes the Iter() function T x 2^N times" and "it is often faster to
+compute the super-aggregates from the core GROUP BY, reducing the
+number of calls by approximately a factor of T".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComputeStats"]
+
+
+@dataclass
+class ComputeStats:
+    """Counters one cube computation accumulates."""
+
+    algorithm: str = ""
+    #: full scans of the base (input) data
+    base_scans: int = 0
+    #: Iter() invocations -- one value folded into one scratchpad
+    iter_calls: int = 0
+    #: Iter_super() invocations -- one scratchpad merged into another
+    merge_calls: int = 0
+    #: Init() invocations (scratchpads allocated)
+    start_calls: int = 0
+    #: Final() invocations
+    end_calls: int = 0
+    #: sort operations performed
+    sort_operations: int = 0
+    #: total rows passed through sorts
+    rows_sorted: int = 0
+    #: result cells produced (across all grouping sets)
+    cells_produced: int = 0
+    #: peak number of scratchpads resident at once
+    max_resident_cells: int = 0
+    #: partitions created (external / parallel algorithms)
+    partitions: int = 0
+    #: partitions spilled out of memory (external algorithm)
+    spills: int = 0
+    #: passes over spilled data
+    passes: int = 0
+    #: free-form notes (e.g. chain decomposition size)
+    notes: dict = field(default_factory=dict)
+
+    def observe_resident(self, resident_cells: int) -> None:
+        if resident_cells > self.max_resident_cells:
+            self.max_resident_cells = resident_cells
+
+    def merged(self, other: "ComputeStats") -> "ComputeStats":
+        """Combine counters from a sub-computation (partition, chain)."""
+        self.base_scans += other.base_scans
+        self.iter_calls += other.iter_calls
+        self.merge_calls += other.merge_calls
+        self.start_calls += other.start_calls
+        self.end_calls += other.end_calls
+        self.sort_operations += other.sort_operations
+        self.rows_sorted += other.rows_sorted
+        self.cells_produced += other.cells_produced
+        self.partitions += other.partitions
+        self.spills += other.spills
+        self.passes += other.passes
+        self.observe_resident(other.max_resident_cells)
+        return self
+
+    def summary(self) -> str:
+        return (f"{self.algorithm or 'cube'}: scans={self.base_scans} "
+                f"iter={self.iter_calls} merge={self.merge_calls} "
+                f"sorts={self.sort_operations} cells={self.cells_produced} "
+                f"resident<= {self.max_resident_cells}")

@@ -1,0 +1,54 @@
+"""The paper's 2^N-algorithm (Section 5).
+
+"The simplest algorithm to compute the cube is to allocate a handle for
+each cube cell.  When a new tuple (x1, x2, ..., xN, v) arrives, the
+Iter(handle, v) function is called 2^N times -- once for each handle of
+each cell of the cube matching this value.  [...] If the base table has
+cardinality T, the 2^N-algorithm invokes the Iter() function T x 2^N
+times."
+
+One scan; each input row is folded into every grouping set's matching
+cell.  Cells are kept in a hash table keyed by coordinate (the sparse
+representation Section 5 recommends when the core does not fit a dense
+array), so this is simultaneously the paper's "hashing" strategy.
+
+This is the only algorithm that works for **holistic** functions in
+strict mode: every cell sees the raw values, so no scratchpad merging is
+ever needed.
+"""
+
+from __future__ import annotations
+
+from repro.aggregates.base import Handle
+from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+
+__all__ = ["TwoNAlgorithm"]
+
+
+class TwoNAlgorithm(CubeAlgorithm):
+    name = "2^N"
+
+    def compute(self, task: CubeTask) -> CubeResult:
+        stats = self._new_stats()
+        stats.base_scans = 1
+        cells: dict[tuple, list[Handle]] = {}
+
+        if 0 in task.masks:
+            # the global-total cell exists even over empty input
+            cells[task.coordinate(0, ())] = task.new_handles(stats)
+
+        for row in task.rows:
+            dim_values = task.dim_values(row)
+            for mask in task.masks:
+                coordinate = task.coordinate(mask, dim_values)
+                handles = cells.get(coordinate)
+                if handles is None:
+                    handles = task.new_handles(stats)
+                    cells[coordinate] = handles
+                task.fold_row(handles, row, stats)
+        stats.observe_resident(len(cells))
+
+        finalized = [(coordinate, task.finalize(handles, stats))
+                     for coordinate, handles in cells.items()]
+        stats.cells_produced = len(finalized)
+        return CubeResult(table=task.result_table(finalized), stats=stats)

@@ -1,0 +1,217 @@
+"""Materializing a *subset* of the cube: greedy view selection.
+
+Section 6 points at Harinarayan, Rajaraman, and Ullman's "Implementing
+Data Cubes Efficiently" (SIGMOD 1996) for "pre-computing sub-cubes of
+the cube".  This module implements that idea on our lattice:
+
+- :func:`view_sizes` measures the exact row count of every grouping set
+  (the "view") of a fact table;
+- :func:`greedy_select` is the HRU greedy algorithm: starting from the
+  core (always materialized -- it is the finest view and every query
+  can be answered from it), repeatedly materialize the view with the
+  largest *benefit*, where the benefit of view ``w`` is the total
+  row-count saving it brings to every view that would now be computed
+  from ``w`` instead of its current cheapest materialized ancestor;
+- :class:`PartialCube` materializes the selected views and answers any
+  grouping-set query from the smallest materialized ancestor, counting
+  the rows scanned so benchmarks can compare selection policies.
+
+Works for distributive and algebraic aggregates (answering from an
+ancestor is an Iter_super fold); holistic functions would need the base
+data, which is exactly the HRU paper's assumption the Gray et al. text
+questions ("assuming all functions are holistic ... our view is that
+users avoid holistic functions").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aggregates.base import Handle
+from repro.compute.base import CubeTask, build_task
+from repro.compute.stats import ComputeStats
+from repro.core.grouping import Mask, cube_sets, mask_to_names
+from repro.core.lattice import CubeLattice
+from repro.engine.groupby import AggregateSpec
+from repro.engine.table import Table
+from repro.errors import CubeError, NotMergeableError
+
+__all__ = ["view_sizes", "greedy_select", "PartialCube"]
+
+
+def view_sizes(task: CubeTask) -> dict[Mask, int]:
+    """Exact row count of every grouping set in ``task.masks``.
+
+    One scan per level would do; for simplicity (these are planning
+    statistics) we count distinct coordinates per mask in one pass.
+    """
+    seen: dict[Mask, set] = {mask: set() for mask in task.masks}
+    for row in task.rows:
+        dim_values = task.dim_values(row)
+        for mask in task.masks:
+            seen[mask].add(task.coordinate(mask, dim_values))
+    return {mask: max(1, len(coords)) for mask, coords in seen.items()}
+
+
+def _cheapest_ancestor(mask: Mask, materialized: set[Mask],
+                       sizes: dict[Mask, int],
+                       lattice: CubeLattice) -> Mask:
+    """The smallest materialized view a query on ``mask`` can use."""
+    candidates = [m for m in materialized
+                  if (m & mask) == mask]  # m is finer or equal
+    if not candidates:
+        raise CubeError(f"no materialized ancestor for mask {mask:#b}")
+    return min(candidates, key=lambda m: (sizes[m], m))
+
+
+def greedy_select(sizes: dict[Mask, int], k: int, *,
+                  dims: Sequence[str]) -> list[Mask]:
+    """HRU greedy: pick ``k`` views beyond the core.
+
+    Returns the materialized set (core first).  Benefit of view ``w``:
+    for every view ``u`` that ``w`` can answer (``u`` coarser-or-equal),
+    the saving ``max(0, cost(u) - size(w))`` where ``cost(u)`` is the
+    size of u's current cheapest materialized ancestor.
+    """
+    lattice = CubeLattice(dims, list(sizes))
+    core = lattice.core
+    materialized: list[Mask] = [core]
+    chosen = set(materialized)
+
+    for _ in range(k):
+        best_view: Mask | None = None
+        best_benefit = 0
+        for candidate in sizes:
+            if candidate in chosen:
+                continue
+            benefit = 0
+            for target in sizes:
+                if (candidate & target) != target:
+                    continue  # candidate cannot answer target
+                current = _cheapest_ancestor(target, chosen, sizes,
+                                             lattice)
+                saving = sizes[current] - sizes[candidate]
+                if saving > 0:
+                    benefit += saving
+            if benefit > best_benefit or (benefit == best_benefit
+                                          and benefit > 0
+                                          and best_view is not None
+                                          and candidate < best_view):
+                best_benefit = benefit
+                best_view = candidate
+        if best_view is None:
+            break  # no remaining view helps
+        chosen.add(best_view)
+        materialized.append(best_view)
+    return materialized
+
+
+class PartialCube:
+    """A cube materialized only at selected grouping sets.
+
+    Queries for *any* grouping set are answered by folding the smallest
+    materialized ancestor (Iter_super), the HRU execution model.
+    ``stats.iter_calls`` counts base-row folds, ``stats.merge_calls``
+    the ancestor-cell folds per query, so policies can be compared on
+    work done rather than wall time alone.
+    """
+
+    def __init__(self, table: Table, dims: Sequence,
+                 aggregates: Sequence[AggregateSpec], *,
+                 materialize: Sequence[Mask] | None = None,
+                 budget: int | None = None) -> None:
+        full = cube_sets(len(list(dims)))
+        self._task = build_task(table, dims, list(aggregates), full)
+        if not self._task.all_mergeable():
+            bad = [fn.name for fn in self._task.functions
+                   if not fn.mergeable]
+            raise NotMergeableError(
+                f"partial cubes need mergeable scratchpads; {bad} are "
+                "holistic in strict mode")
+        self.sizes = view_sizes(self._task)
+        self._lattice = CubeLattice(self._task.dims, full)
+
+        if materialize is None:
+            k = budget if budget is not None else len(full) // 4
+            materialize = greedy_select(self.sizes, k,
+                                        dims=self._task.dims)
+        self.materialized: tuple[Mask, ...] = tuple(dict.fromkeys(
+            [self._lattice.core, *materialize]))
+
+        self.stats = ComputeStats(algorithm="partial-cube")
+        self._views: dict[Mask, dict[tuple, list[Handle]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        task = self._task
+        core_mask = self._lattice.core
+        core: dict[tuple, list[Handle]] = {}
+        self.stats.base_scans = 1
+        for row in task.rows:
+            coordinate = task.coordinate(core_mask, task.dim_values(row))
+            handles = core.get(coordinate)
+            if handles is None:
+                handles = task.new_handles(self.stats)
+                core[coordinate] = handles
+            task.fold_row(handles, row, self.stats)
+        self._views[core_mask] = core
+        # materialize the chosen views coarse-from-fine
+        for mask in sorted(self.materialized,
+                           key=lambda m: -bin(m).count("1")):
+            if mask == core_mask:
+                continue
+            source_mask = _cheapest_ancestor(
+                mask, set(self._views), self.sizes, self._lattice)
+            self._views[mask] = self._fold_down(source_mask, mask)
+
+    def _fold_down(self, source_mask: Mask,
+                   target_mask: Mask) -> dict[tuple, list[Handle]]:
+        task = self._task
+        out: dict[tuple, list[Handle]] = {}
+        for coordinate, handles in self._views[source_mask].items():
+            target_coord = task.coordinate(target_mask, coordinate)
+            target = out.get(target_coord)
+            if target is None:
+                target = task.new_handles(self.stats)
+                out[target_coord] = target
+            task.merge_handles(target, handles, self.stats)
+        return out
+
+    @property
+    def materialized_rows(self) -> int:
+        """Total stored cells -- the space cost of the selection."""
+        return sum(len(view) for view in self._views.values())
+
+    def query(self, grouped: Sequence[str]) -> Table:
+        """Answer one grouping-set query (grouped column names)."""
+        from repro.core.grouping import names_to_mask
+        mask = names_to_mask(grouped, self._task.dims)
+        return self._answer(mask)
+
+    def query_cost(self, grouped: Sequence[str]) -> int:
+        """Rows of the materialized ancestor a query must scan."""
+        from repro.core.grouping import names_to_mask
+        mask = names_to_mask(grouped, self._task.dims)
+        source = _cheapest_ancestor(mask, set(self._views), self.sizes,
+                                    self._lattice)
+        return len(self._views[source])
+
+    def _answer(self, mask: Mask) -> Table:
+        task = self._task
+        if mask in self._views:
+            cells = [(coordinate, task.finalize(list(handles), self.stats))
+                     for coordinate, handles in self._views[mask].items()]
+            return task.result_table(cells)
+        source_mask = _cheapest_ancestor(mask, set(self._views),
+                                         self.sizes, self._lattice)
+        folded = self._fold_down(source_mask, mask)
+        cells = [(coordinate, task.finalize(handles, self.stats))
+                 for coordinate, handles in folded.items()]
+        return task.result_table(cells)
+
+    def describe(self) -> str:
+        names = [" ".join(mask_to_names(m, self._task.dims)) or "(total)"
+                 for m in self.materialized]
+        return (f"PartialCube[{len(self.materialized)}/"
+                f"{len(self.sizes)} views: {', '.join(names)}; "
+                f"{self.materialized_rows} cells]")

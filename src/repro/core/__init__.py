@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the CUBE and ROLLUP relational
+operators, the ALL value, the GROUP BY / ROLLUP / CUBE algebra, grouping
+sets, decorations, and cube addressing.
+"""
+
+from repro.core.all_value import (
+    ALL,
+    all_of,
+    grouping,
+    grouping_vector,
+    to_null_mode,
+)
+from repro.core.grouping import (
+    GroupingSpec,
+    cube_sets,
+    rollup_sets,
+    compose_cube,
+    compose_rollup,
+)
+from repro.core.lattice import CubeLattice
+from repro.core.cube import (
+    AggregateRequest,
+    agg,
+    cube,
+    rollup,
+    groupby,
+    grouping_sets_op,
+    compound_groupby,
+)
+from repro.core.decorations import Decoration, apply_decorations
+from repro.core.addressing import CubeView
+
+# `repro.core.grouping` the submodule shadows the GROUPING() function the
+# moment the submodule is imported; rebind the function explicitly so
+# `from repro.core import grouping` means the paper's GROUPING().
+from repro.core.all_value import grouping  # noqa: E402,F811
+
+__all__ = [
+    "ALL",
+    "AggregateRequest",
+    "CubeLattice",
+    "CubeView",
+    "Decoration",
+    "GroupingSpec",
+    "agg",
+    "all_of",
+    "apply_decorations",
+    "compose_cube",
+    "compose_rollup",
+    "compound_groupby",
+    "cube",
+    "cube_sets",
+    "groupby",
+    "grouping",
+    "grouping_sets_op",
+    "grouping_vector",
+    "rollup",
+    "rollup_sets",
+    "to_null_mode",
+]

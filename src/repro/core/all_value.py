@@ -1,0 +1,80 @@
+"""The ALL value and its companions (Sections 3.3 and 3.4).
+
+The ALL sentinel itself lives in :mod:`repro.types` (it is part of the
+value domain); this module adds the paper's proposed functions around
+it:
+
+- ``ALL()`` -- here :func:`all_of` -- "generates the set associated with
+  this value": given the cube's source table and a column, the set of
+  real values the ALL token stands for.  Applied to any other value it
+  returns NULL (the paper's rule).
+- ``GROUPING()`` -- here :func:`grouping` -- TRUE if a select-list
+  element is an ALL value, FALSE otherwise.  This is the discriminator
+  the minimalist NULL-based design of Section 3.4 relies on.
+- :func:`to_null_mode` converts a cube relation from the "real" ALL
+  representation to the Section 3.4 representation: ALL becomes NULL in
+  the data column and companion ``GROUPING(col)`` boolean columns are
+  appended.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import ALL, DataType
+
+__all__ = ["ALL", "all_of", "grouping", "grouping_vector", "to_null_mode",
+           "grouping_column_name"]
+
+
+def all_of(value: Any, source: Table, column: str) -> frozenset | None:
+    """The paper's ``ALL()`` function.
+
+    ``ALL(v)`` where ``v`` is the ALL token returns the set it denotes:
+    the distinct real values of ``column`` in the cube's source
+    relation (e.g. ``Year.ALL = {1990, 1991, 1992}``).  For any other
+    value it returns NULL.
+    """
+    if value is not ALL:
+        return None
+    return frozenset(source.distinct_values(column))
+
+
+def grouping(value: Any) -> bool:
+    """The paper's ``GROUPING()`` function: TRUE iff ``value`` is ALL."""
+    return value is ALL
+
+
+def grouping_vector(row: Sequence[Any], dim_indices: Sequence[int]) -> tuple[bool, ...]:
+    """GROUPING() applied to each dimension position of a cube row."""
+    return tuple(row[i] is ALL for i in dim_indices)
+
+
+def grouping_column_name(dim: str) -> str:
+    """Output-column name for the companion GROUPING indicator."""
+    return f"GROUPING({dim})"
+
+
+def to_null_mode(cube_table: Table, dims: Sequence[str]) -> Table:
+    """Convert a cube from ALL-representation to Section 3.4's design.
+
+    Every ALL in a dimension column becomes NULL; one boolean
+    ``GROUPING(dim)`` column per dimension is appended.  The global
+    total of Figure 4 turns from ``(ALL, ALL, ALL, 941)`` into
+    ``(NULL, NULL, NULL, 941, TRUE, TRUE, TRUE)`` exactly as the paper
+    shows.
+    """
+    dim_idx = [cube_table.schema.index_of(d) for d in dims]
+    columns = list(cube_table.schema.columns)
+    for dim in dims:
+        columns.append(Column(grouping_column_name(dim), DataType.BOOLEAN,
+                              nullable=False))
+    out = Table(Schema(columns))
+    for row in cube_table:
+        flags = tuple(row[i] is ALL for i in dim_idx)
+        data = tuple(None if (i in dim_idx and row[i] is ALL) else row[i]
+                     for i in range(len(row)))
+        out.append(data + flags, validate=False)
+    return out

@@ -1,0 +1,125 @@
+"""Decorations (Section 3.5).
+
+A *decoration* is a column that does not appear in the GROUP BY but is
+functionally dependent on (a subset of) the grouping columns --
+``department.name`` determined by ``department_number``,  ``continent``
+determined by ``nation``.  The paper's rule:
+
+    "If the aggregate tuple functionally defines the decoration value,
+    then the value appears in the resulting tuple.  Otherwise the
+    decoration field is NULL."
+
+So in Table 7, ``continent`` is present whenever ``nation`` is real and
+NULL whenever nation is ALL -- which :func:`apply_decorations`
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import DecorationError
+from repro.types import ALL, DataType
+
+__all__ = ["Decoration", "apply_decorations", "verify_functional_dependency"]
+
+
+@dataclass
+class Decoration:
+    """One decoration column.
+
+    ``determinants`` are the grouping columns that functionally define
+    it; ``lookup`` maps a tuple of determinant values to the decoration
+    value (a mapping, or a callable for computed decorations such as
+    ``Nation(lat, lon)``).
+    """
+
+    name: str
+    determinants: tuple[str, ...]
+    lookup: Mapping[tuple, Any] | Callable[..., Any]
+
+    def __post_init__(self) -> None:
+        if not self.determinants:
+            raise DecorationError(
+                f"decoration {self.name!r} needs at least one determinant")
+        self.determinants = tuple(self.determinants)
+
+    def value_for(self, determinant_values: tuple) -> Any:
+        if callable(self.lookup):
+            return self.lookup(*determinant_values)
+        return self.lookup.get(determinant_values)
+
+
+def verify_functional_dependency(source: Table, determinants: Sequence[str],
+                                 dependent: str) -> dict[tuple, Any]:
+    """Check ``determinants -> dependent`` holds in ``source``; returns
+    the extracted lookup mapping.
+
+    Raises :class:`DecorationError` on a violation -- current SQL
+    forbids non-grouped output columns precisely because this dependency
+    may not hold; the paper's recommendation only admits columns where
+    it does.
+    """
+    det_idx = [source.schema.index_of(d) for d in determinants]
+    dep_idx = source.schema.index_of(dependent)
+    mapping: dict[tuple, Any] = {}
+    for row in source:
+        key = tuple(row[i] for i in det_idx)
+        value = row[dep_idx]
+        if key in mapping and mapping[key] != value:
+            raise DecorationError(
+                f"{dependent!r} is not functionally dependent on "
+                f"{list(determinants)}: key {key} maps to both "
+                f"{mapping[key]!r} and {value!r}")
+        mapping[key] = value
+    return mapping
+
+
+def decoration_from_table(source: Table, determinants: Sequence[str],
+                          dependent: str, *,
+                          name: str | None = None) -> Decoration:
+    """Build a verified :class:`Decoration` from a relation that holds
+    both the determinants and the dependent column (a dimension table)."""
+    mapping = verify_functional_dependency(source, determinants, dependent)
+    return Decoration(name=name or dependent,
+                      determinants=tuple(determinants),
+                      lookup=mapping)
+
+
+def apply_decorations(cube_table: Table, decorations: Sequence[Decoration],
+                      ) -> Table:
+    """Append decoration columns to a cube relation per the Section 3.5
+    rule: real values only where every determinant is real (non-ALL,
+    non-NULL); NULL elsewhere."""
+    for decoration in decorations:
+        for determinant in decoration.determinants:
+            if determinant not in cube_table.schema:
+                raise DecorationError(
+                    f"decoration {decoration.name!r} determinant "
+                    f"{determinant!r} is not a column of the cube")
+        if decoration.name in cube_table.schema:
+            raise DecorationError(
+                f"decoration name {decoration.name!r} clashes with an "
+                "existing column")
+
+    columns = list(cube_table.schema.columns)
+    columns.extend(Column(d.name, DataType.ANY) for d in decorations)
+    out = Table(Schema(columns))
+
+    det_indices = [
+        tuple(cube_table.schema.index_of(d) for d in deco.determinants)
+        for deco in decorations]
+
+    for row in cube_table:
+        extra = []
+        for deco, indices in zip(decorations, det_indices):
+            values = tuple(row[i] for i in indices)
+            if any(v is ALL or v is None for v in values):
+                extra.append(None)  # not functionally defined here
+            else:
+                extra.append(deco.value_for(values))
+        out.append(row + tuple(extra), validate=False)
+    return out

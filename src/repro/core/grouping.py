@@ -1,0 +1,205 @@
+"""Grouping sets and the GROUP BY / ROLLUP / CUBE algebra (Section 3.1-3.2).
+
+A *grouping set* is the subset of the aggregation columns that carry
+real values in one stratum of the answer; the columns left out carry
+ALL.  We encode a grouping set as a bitmask over the dimension list
+(bit i set = dimension i is grouped), which makes the 2^N lattice, the
+subset tests, and the algorithms cheap.
+
+The paper's syntax (Section 3.2) composes three clauses::
+
+    GROUP BY [<list-g>] [ROLLUP <list-r>] [CUBE <list-c>]
+
+Its semantics: the grouping sets are the cross-combination of
+
+- the single full set over ``list-g`` (plain GROUP BY columns are
+  always grouped),
+- all prefixes of ``list-r`` (ROLLUP),
+- all subsets of ``list-c`` (CUBE),
+
+giving ``1 x (len(r)+1) x 2^len(c)`` grouping sets.  Figure 5 is exactly
+this shape.  The operator algebra of Section 3.1 --
+``CUBE(ROLLUP) = CUBE`` and ``ROLLUP(GROUP BY) = ROLLUP`` -- falls out
+of :func:`compose_cube` / :func:`compose_rollup` below and is asserted
+by the test-suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import GroupingError
+
+__all__ = [
+    "GroupingSpec",
+    "cube_sets",
+    "rollup_sets",
+    "groupby_sets",
+    "compose_cube",
+    "compose_rollup",
+    "mask_to_names",
+    "names_to_mask",
+]
+
+Mask = int
+
+
+def names_to_mask(names: Iterable[str], dims: Sequence[str]) -> Mask:
+    """Bitmask for the grouping set containing ``names`` (subset of dims)."""
+    positions = {dim: i for i, dim in enumerate(dims)}
+    mask = 0
+    for name in names:
+        try:
+            mask |= 1 << positions[name]
+        except KeyError:
+            raise GroupingError(
+                f"{name!r} is not one of the dimensions {list(dims)}") from None
+    return mask
+
+
+def mask_to_names(mask: Mask, dims: Sequence[str]) -> tuple[str, ...]:
+    """Dimension names grouped in ``mask``, in dimension order."""
+    return tuple(dim for i, dim in enumerate(dims) if mask & (1 << i))
+
+
+def _full_mask(n: int) -> Mask:
+    return (1 << n) - 1
+
+
+def groupby_sets(n: int) -> list[Mask]:
+    """Plain GROUP BY over n columns: one grouping set, everything real."""
+    return [_full_mask(n)]
+
+
+def rollup_sets(n: int) -> list[Mask]:
+    """ROLLUP over n columns: the n+1 prefixes, finest first.
+
+    Produces exactly the paper's list: (v1..vn), (v1..ALL), ...,
+    (ALL..ALL) -- "an N-dimensional roll-up will add only N records to
+    the answer set" beyond the core.
+    """
+    return [_full_mask(k) for k in range(n, -1, -1)]
+
+
+def cube_sets(n: int) -> list[Mask]:
+    """CUBE over n columns: the full power set, 2^N grouping sets.
+
+    Ordered by descending popcount (core first, grand total last), then
+    ascending mask, so output is deterministic.
+    """
+    masks = list(range(1 << n))
+    masks.sort(key=lambda m: (-bin(m).count("1"), m))
+    return masks
+
+
+def compose_cube(inner: Iterable[Mask], n: int) -> list[Mask]:
+    """Apply CUBE on top of existing grouping sets.
+
+    CUBE of anything that contains the full set is the full power set:
+    ``CUBE(ROLLUP) = CUBE`` and ``CUBE(GROUP BY) = CUBE`` (Section 3.1).
+    """
+    out: set[Mask] = set()
+    for mask in inner:
+        bits = [i for i in range(n) if mask & (1 << i)]
+        for r in range(len(bits) + 1):
+            for combo in itertools.combinations(bits, r):
+                sub = 0
+                for bit in combo:
+                    sub |= 1 << bit
+                out.add(sub)
+    ordered = sorted(out, key=lambda m: (-bin(m).count("1"), m))
+    return ordered
+
+
+def compose_rollup(inner: Iterable[Mask], n: int) -> list[Mask]:
+    """Apply ROLLUP on top of existing grouping sets.
+
+    Rolling up a grouping set produces its prefixes (in dimension
+    order); ``ROLLUP(GROUP BY) = ROLLUP`` (Section 3.1).
+    """
+    out: set[Mask] = set()
+    for mask in inner:
+        bits = [i for i in range(n) if mask & (1 << i)]
+        for k in range(len(bits), -1, -1):
+            prefix = 0
+            for bit in bits[:k]:
+                prefix |= 1 << bit
+            out.add(prefix)
+    return sorted(out, key=lambda m: (-bin(m).count("1"), m))
+
+
+@dataclass(frozen=True)
+class GroupingSpec:
+    """A compound grouping clause: plain + ROLLUP + CUBE column lists.
+
+    ``dims`` is the concatenation (the output column order); the
+    grouping sets are the cross-combination described in the module
+    docstring.
+    """
+
+    plain: tuple[str, ...] = ()
+    rollup: tuple[str, ...] = ()
+    cube: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        combined = self.dims
+        if len(set(combined)) != len(combined):
+            raise GroupingError(
+                f"duplicate column across grouping clauses: {combined}")
+        if not combined:
+            raise GroupingError("empty grouping specification")
+
+    @property
+    def dims(self) -> tuple[str, ...]:
+        return self.plain + self.rollup + self.cube
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    def grouping_sets(self) -> list[Mask]:
+        """All grouping sets as bitmasks over :attr:`dims`."""
+        n_plain = len(self.plain)
+        n_rollup = len(self.rollup)
+        n_cube = len(self.cube)
+
+        plain_mask = _full_mask(n_plain)
+
+        rollup_masks = [_full_mask(k) << n_plain
+                        for k in range(n_rollup, -1, -1)]
+        cube_shift = n_plain + n_rollup
+        cube_masks = [m << cube_shift for m in cube_sets(n_cube)]
+
+        out = [plain_mask | r | c
+               for r in rollup_masks for c in cube_masks]
+        # dedupe (n_rollup == 0 or n_cube == 0 keep this a no-op) and order
+        unique = sorted(set(out), key=lambda m: (-bin(m).count("1"), m))
+        return unique
+
+    def set_count(self) -> int:
+        """Number of grouping sets: (len(rollup)+1) * 2^len(cube)."""
+        return (len(self.rollup) + 1) * (1 << len(self.cube))
+
+    @classmethod
+    def for_cube(cls, dims: Sequence[str]) -> "GroupingSpec":
+        return cls(cube=tuple(dims))
+
+    @classmethod
+    def for_rollup(cls, dims: Sequence[str]) -> "GroupingSpec":
+        return cls(rollup=tuple(dims))
+
+    @classmethod
+    def for_groupby(cls, dims: Sequence[str]) -> "GroupingSpec":
+        return cls(plain=tuple(dims))
+
+    def describe(self) -> str:
+        parts = []
+        if self.plain:
+            parts.append(f"GROUP BY {', '.join(self.plain)}")
+        if self.rollup:
+            parts.append(f"ROLLUP {', '.join(self.rollup)}")
+        if self.cube:
+            parts.append(f"CUBE {', '.join(self.cube)}")
+        return " ".join(parts)

@@ -1,0 +1,169 @@
+"""The cube lattice: the 2^N grouping sets ordered by refinement.
+
+Section 5's bottom-up computation walks this lattice: the core GROUP BY
+(all dimensions grouped) sits at the top; each step drops one dimension
+("the super-aggregates can be computed dropping one dimension at a
+time"), and "the algorithm will be most efficient if it aggregates the
+smaller of the two" candidate parents -- the *smallest parent* rule,
+which :meth:`CubeLattice.smallest_parent` implements using cardinality
+estimates.
+
+Section 6's insert short-circuit also walks it: if a new MAX value loses
+at a cell, it loses at every coarser cell containing it, so the
+ancestors can be pruned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.grouping import Mask, mask_to_names
+from repro.errors import GroupingError
+
+__all__ = ["CubeLattice"]
+
+
+class CubeLattice:
+    """The refinement lattice over a set of grouping-set masks.
+
+    Built for an arbitrary collection of grouping sets (a full cube, a
+    rollup chain, or a compound clause); node ``a`` is a *child* of
+    ``b`` when ``a``'s grouped columns are a strict subset of ``b``'s
+    with exactly one column fewer (immediate refinement edge).
+    """
+
+    def __init__(self, dims: Sequence[str], masks: Iterable[Mask]) -> None:
+        self.dims = tuple(dims)
+        self.masks = sorted(set(masks),
+                            key=lambda m: (-bin(m).count("1"), m))
+        if not self.masks:
+            raise GroupingError("lattice needs at least one grouping set")
+        self._mask_set = set(self.masks)
+        full = (1 << len(self.dims)) - 1
+        for mask in self.masks:
+            if mask & ~full:
+                raise GroupingError(
+                    f"mask {mask:#b} uses bits beyond the {len(self.dims)} dims")
+
+    @property
+    def core(self) -> Mask:
+        """The finest grouping set present (the GROUP BY core)."""
+        return self.masks[0]
+
+    def level(self, mask: Mask) -> int:
+        """Number of grouped dimensions (popcount)."""
+        return bin(mask).count("1")
+
+    def names(self, mask: Mask) -> tuple[str, ...]:
+        return mask_to_names(mask, self.dims)
+
+    def parents(self, mask: Mask) -> list[Mask]:
+        """Immediate parents *present in the lattice*: one more dim grouped."""
+        out = []
+        for i in range(len(self.dims)):
+            bit = 1 << i
+            if not mask & bit:
+                candidate = mask | bit
+                if candidate in self._mask_set:
+                    out.append(candidate)
+        return out
+
+    def children(self, mask: Mask) -> list[Mask]:
+        """Immediate children present in the lattice: one dim dropped."""
+        out = []
+        for i in range(len(self.dims)):
+            bit = 1 << i
+            if mask & bit:
+                candidate = mask & ~bit
+                if candidate in self._mask_set:
+                    out.append(candidate)
+        return out
+
+    def ancestors(self, mask: Mask) -> list[Mask]:
+        """All strictly finer grouping sets present (supersets of mask)."""
+        return [m for m in self.masks if m != mask and (m & mask) == mask]
+
+    def descendants(self, mask: Mask) -> list[Mask]:
+        """All strictly coarser grouping sets present (subsets of mask)."""
+        return [m for m in self.masks if m != mask and (m & mask) == m]
+
+    def by_level_descending(self) -> list[list[Mask]]:
+        """Masks grouped by level, finest level first -- the order the
+        bottom-up from-core computation processes them."""
+        levels: dict[int, list[Mask]] = {}
+        for mask in self.masks:
+            levels.setdefault(self.level(mask), []).append(mask)
+        return [levels[k] for k in sorted(levels, reverse=True)]
+
+    # -- cardinality-driven choices (Section 5) -------------------------------
+
+    def estimate_rows(self, mask: Mask,
+                      cardinalities: Sequence[int],
+                      total_rows: int | None = None) -> int:
+        """Estimated result rows of one grouping set: prod of the grouped
+        dimensions' cardinalities, capped by the base-table size."""
+        product = 1
+        for i, cardinality in enumerate(cardinalities):
+            if mask & (1 << i):
+                product *= max(1, cardinality)
+        if total_rows is not None:
+            product = min(product, total_rows)
+        return product
+
+    def smallest_parent(self, mask: Mask,
+                        cardinalities: Sequence[int],
+                        total_rows: int | None = None) -> Mask | None:
+        """The parent with the fewest estimated rows (Section 5: "pick
+        the * with the smallest Ci").  None if the node has no parent in
+        the lattice (e.g. the core itself)."""
+        candidates = self.parents(mask)
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda m: (self.estimate_rows(m, cardinalities,
+                                                     total_rows), m))
+
+    def estimate_cube_rows(self, cardinalities: Sequence[int]) -> int:
+        """The paper's cube-cardinality law for a dense full cube:
+        Π(Ci + 1)."""
+        return math.prod(c + 1 for c in cardinalities)
+
+    def expected_cells(self, mask: Mask, cardinalities: Sequence[int],
+                       total_rows: int) -> int:
+        """Probabilistic cell-count estimate for sparse data.
+
+        The paper's reference [SDNR] ("Storage Estimation for
+        Multidimensional Aggregates") studies exactly this problem;
+        under the uniform model, T rows thrown into m possible cells
+        occupy ``m * (1 - (1 - 1/m)^T)`` of them in expectation --
+        close to T when m >> T (sparse) and close to m when T >> m
+        (dense), always at most :meth:`estimate_rows`.
+        """
+        m = 1
+        for i, cardinality in enumerate(cardinalities):
+            if mask & (1 << i):
+                m *= max(1, cardinality)
+        if total_rows <= 0:
+            return 1 if mask == 0 else 0
+        if m == 1:
+            return 1
+        # stable computation of m * (1 - (1 - 1/m)^T)
+        expected = m * -math.expm1(total_rows * math.log1p(-1.0 / m))
+        return max(1, round(expected))
+
+    def expected_cube_cells(self, cardinalities: Sequence[int],
+                            total_rows: int) -> int:
+        """Sum of :meth:`expected_cells` over every grouping set in the
+        lattice -- the sparse analogue of the Π(Ci+1) law."""
+        return sum(self.expected_cells(mask, cardinalities, total_rows)
+                   for mask in self.masks)
+
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def __iter__(self):
+        return iter(self.masks)
+
+    def __contains__(self, mask: object) -> bool:
+        return mask in self._mask_set

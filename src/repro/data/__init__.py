@@ -1,0 +1,40 @@
+"""Datasets and workloads: the paper's own examples (Figure 4 SALES,
+the Tables 3-6 sales summary, the Table 1 Weather relation) plus a
+scalable synthetic generator and the Table 2 benchmark query workloads.
+"""
+
+from repro.data.sales import (
+    sales_summary_table,
+    chevy_sales_table,
+    figure4_sales_table,
+    FIGURE4_TOTAL,
+)
+from repro.data.weather import (
+    weather_table,
+    nation_of,
+    continent_of,
+    NATIONS,
+)
+from repro.data.synthetic import synthetic_table, SyntheticSpec
+from repro.data.workloads import WORKLOADS, Workload
+from repro.data.warehouse_demo import (
+    Figure6Warehouse,
+    build_figure6_warehouse,
+)
+
+__all__ = [
+    "FIGURE4_TOTAL",
+    "Figure6Warehouse",
+    "NATIONS",
+    "SyntheticSpec",
+    "WORKLOADS",
+    "Workload",
+    "build_figure6_warehouse",
+    "chevy_sales_table",
+    "continent_of",
+    "figure4_sales_table",
+    "nation_of",
+    "sales_summary_table",
+    "synthetic_table",
+    "weather_table",
+]

@@ -1,0 +1,103 @@
+"""The paper's sales datasets.
+
+Two distinct example tables appear in the paper:
+
+- **The Tables 3-6 dataset**: Chevy and Ford, years 1994-1995, colors
+  black and white, with the exact unit counts readable from Table 4's
+  pivot (Chevy 1994: black 50 / white 40; Chevy 1995: black 85 /
+  white 115; Ford 1994: black 50 / white 10; Ford 1995: black 85 /
+  white 75; grand total 510).
+- **The Figure 4 dataset**: 2 models x 3 years x 3 colors = 18 rows
+  whose cube has 3 x 4 x 4 = 48 rows and whose global SUM is 941
+  (the ``(ALL, ALL, ALL, 941)`` tuple quoted in Section 3.4).  The
+  paper's figure is a bitmap whose individual cell values are not
+  recoverable from the text, so the 18 unit values here are a
+  documented reconstruction chosen to sum to 941; every *structural*
+  property the paper states (row count, cube cardinality, global
+  total) is exact.
+"""
+
+from __future__ import annotations
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import DataType
+
+__all__ = [
+    "sales_schema",
+    "sales_summary_table",
+    "chevy_sales_table",
+    "figure4_sales_table",
+    "FIGURE4_TOTAL",
+    "SALES_SUMMARY_ROWS",
+    "FIGURE4_ROWS",
+]
+
+
+def sales_schema() -> Schema:
+    return Schema([
+        Column("Model", DataType.STRING, nullable=False),
+        Column("Year", DataType.INTEGER, nullable=False),
+        Column("Color", DataType.STRING, nullable=False),
+        Column("Units", DataType.INTEGER, nullable=False),
+    ])
+
+
+#: The Tables 3-6 base data (units per Model/Year/Color), exactly the
+#: numbers recoverable from Table 4's pivot table.
+SALES_SUMMARY_ROWS: tuple[tuple, ...] = (
+    ("Chevy", 1994, "black", 50),
+    ("Chevy", 1994, "white", 40),
+    ("Chevy", 1995, "black", 85),
+    ("Chevy", 1995, "white", 115),
+    ("Ford", 1994, "black", 50),
+    ("Ford", 1994, "white", 10),
+    ("Ford", 1995, "black", 85),
+    ("Ford", 1995, "white", 75),
+)
+
+
+def sales_summary_table() -> Table:
+    """The full (Chevy + Ford) Tables 3-6 sales data; grand total 510."""
+    return Table(sales_schema(), SALES_SUMMARY_ROWS, name="Sales")
+
+
+def chevy_sales_table() -> Table:
+    """The Chevy-only slice used by Tables 3.a, 5.a and 6.a."""
+    rows = [row for row in SALES_SUMMARY_ROWS if row[0] == "Chevy"]
+    return Table(sales_schema(), rows, name="Sales")
+
+
+#: Figure 4's 18-row SALES table: 2 models x 3 years x 3 colors.
+#: Unit values are a reconstruction (see module docstring); their sum is
+#: exactly 941, the paper's global total.
+FIGURE4_ROWS: tuple[tuple, ...] = (
+    ("Chevy", 1990, "red", 5),
+    ("Chevy", 1990, "white", 87),
+    ("Chevy", 1990, "blue", 62),
+    ("Chevy", 1991, "red", 54),
+    ("Chevy", 1991, "white", 95),
+    ("Chevy", 1991, "blue", 49),
+    ("Chevy", 1992, "red", 31),
+    ("Chevy", 1992, "white", 54),
+    ("Chevy", 1992, "blue", 71),
+    ("Ford", 1990, "red", 64),
+    ("Ford", 1990, "white", 62),
+    ("Ford", 1990, "blue", 63),
+    ("Ford", 1991, "red", 52),
+    ("Ford", 1991, "white", 9),
+    ("Ford", 1991, "blue", 55),
+    ("Ford", 1992, "red", 27),
+    ("Ford", 1992, "white", 62),
+    ("Ford", 1992, "blue", 39),
+)
+
+#: The paper's global SUM for Figure 4: the (ALL, ALL, ALL, 941) tuple.
+FIGURE4_TOTAL = 941
+
+assert sum(row[3] for row in FIGURE4_ROWS) == FIGURE4_TOTAL
+
+
+def figure4_sales_table() -> Table:
+    """Figure 4's SALES: 18 rows, cube cardinality 3 x 4 x 4 = 48."""
+    return Table(sales_schema(), FIGURE4_ROWS, name="Sales")

@@ -1,0 +1,107 @@
+"""Scalable synthetic fact tables for the algorithm benchmarks.
+
+Section 5's cost claims are parameterized by N (dimensions), Ci
+(per-dimension cardinality), T (base-table rows), value skew, and
+sparsity; :func:`synthetic_table` exposes exactly those knobs with a
+deterministic seed so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import WorkloadError
+from repro.types import DataType
+
+__all__ = ["SyntheticSpec", "synthetic_table"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic fact table.
+
+    ``cardinalities`` gives Ci per dimension; ``n_rows`` is T;
+    ``skew`` is a Zipf-like exponent (0 = uniform); ``density``
+    controls what fraction of the full cross-product of dimension
+    values can appear (1.0 = any combination, lower = sparse cube).
+    """
+
+    cardinalities: tuple[int, ...] = (4, 4, 4)
+    n_rows: int = 1000
+    skew: float = 0.0
+    density: float = 1.0
+    measure_low: int = 1
+    measure_high: int = 100
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.cardinalities:
+            raise WorkloadError("need at least one dimension")
+        if any(c < 1 for c in self.cardinalities):
+            raise WorkloadError("cardinalities must be >= 1")
+        if not 0 < self.density <= 1.0:
+            raise WorkloadError("density must be in (0, 1]")
+        if self.n_rows < 0:
+            raise WorkloadError("n_rows must be non-negative")
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.cardinalities)
+
+    def dim_names(self) -> list[str]:
+        return [f"d{i}" for i in range(self.n_dims)]
+
+
+def _zipf_weights(n: int, skew: float) -> list[float]:
+    if skew <= 0:
+        return [1.0] * n
+    return [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+
+
+def synthetic_table(spec: SyntheticSpec) -> Table:
+    """Generate the fact table described by ``spec``.
+
+    Dimension values are strings ``"v0".."v{Ci-1}"`` so symbol-table
+    encoding (Section 5's dense-integer trick) has real work to do;
+    the measure column ``m`` is a uniform integer.
+    """
+    rng = random.Random(spec.seed)
+    columns = [Column(name, DataType.STRING, nullable=False)
+               for name in spec.dim_names()]
+    columns.append(Column("m", DataType.INTEGER, nullable=False))
+    table = Table(Schema(columns), name="Synthetic")
+
+    weight_sets = [_zipf_weights(c, spec.skew) for c in spec.cardinalities]
+    allowed_keys: set[tuple] | None = None
+    if spec.density < 1.0:
+        # restrict combinations to a random subset of the cross-product
+        target = max(1, int(spec.density
+                            * _cross_product_size(spec.cardinalities)))
+        allowed_keys = set()
+        guard = 0
+        while len(allowed_keys) < target and guard < target * 50:
+            guard += 1
+            allowed_keys.add(tuple(
+                rng.randrange(c) for c in spec.cardinalities))
+
+    for _ in range(spec.n_rows):
+        while True:
+            key = tuple(
+                rng.choices(range(c), weights=weight_sets[i], k=1)[0]
+                for i, c in enumerate(spec.cardinalities))
+            if allowed_keys is None or key in allowed_keys:
+                break
+        measure = rng.randint(spec.measure_low, spec.measure_high)
+        table.append(tuple(f"v{k}" for k in key) + (measure,),
+                     validate=False)
+    return table
+
+
+def _cross_product_size(cardinalities: tuple[int, ...]) -> int:
+    product = 1
+    for c in cardinalities:
+        product *= c
+    return product

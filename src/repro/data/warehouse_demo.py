@@ -1,0 +1,150 @@
+"""The Figure 6 snowflake warehouse, as a ready-made dataset.
+
+Figure 6's fact table records sales items "giving the id of the buyer,
+seller, the product purchased, the units purchased, the price, the
+date and the sales office that is credited with the sale", with
+dimension tables per id and the office dimension snowflaking through
+district -> region -> geography ("the San Francisco sales office is in
+the Northern California District, the Western Region, and the US
+Geography").
+
+:func:`build_figure6_warehouse` generates the whole schema
+deterministically and returns a wired :class:`SnowflakeSchema`, so
+examples, tests, and benches can run star/snowflake queries on a
+realistic shape without assembling it by hand.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import DataType
+from repro.warehouse.dimension import DimensionTable
+from repro.warehouse.snowflake import Outrigger, SnowflakeSchema
+
+__all__ = ["Figure6Warehouse", "build_figure6_warehouse"]
+
+_OFFICES = (
+    # (office_id, office, district_id)
+    (1, "San Francisco", 10), (2, "San Jose", 10), (3, "Oakland", 10),
+    (4, "Seattle", 20), (5, "Portland", 20),
+    (6, "Boston", 30), (7, "New York", 30),
+    (8, "Paris", 40), (9, "Lyon", 40),
+)
+
+_DISTRICTS = (
+    # (district_id, district, region_id)
+    (10, "Northern California", 100), (20, "Pacific Northwest", 100),
+    (30, "North East", 101), (40, "France", 102),
+)
+
+_REGIONS = (
+    # (region_id, region, geography)
+    (100, "Western", "US"), (101, "Eastern", "US"),
+    (102, "Europe West", "Europe"),
+)
+
+_PRODUCTS = (
+    # (product_id, product, category, list_price)
+    (500, "widget", "hardware", 19.99),
+    (501, "gizmo", "hardware", 5.49),
+    (502, "gadget", "hardware", 34.99),
+    (503, "deluxe kit", "kits", 129.00),
+    (504, "starter kit", "kits", 49.00),
+    (505, "manual", "media", 9.99),
+)
+
+_PEOPLE = tuple(
+    (600 + i, name, segment)
+    for i, (name, segment) in enumerate([
+        ("Acme Corp", "business"), ("Bolt Ltd", "business"),
+        ("Cog Inc", "business"), ("Dana Smith", "consumer"),
+        ("Eli Jones", "consumer"), ("Flo Brown", "consumer"),
+        ("Gus White", "consumer"), ("Hart LLC", "business"),
+    ]))
+
+
+@dataclass
+class Figure6Warehouse:
+    """The wired-up Figure 6 schema."""
+
+    fact: Table
+    office: DimensionTable
+    district: DimensionTable
+    region: DimensionTable
+    product: DimensionTable
+    buyer: DimensionTable
+    seller: DimensionTable
+    snowflake: SnowflakeSchema
+
+
+def build_figure6_warehouse(n_sales: int = 2000, *,
+                            seed: int = 1996) -> Figure6Warehouse:
+    """Generate the warehouse with ``n_sales`` fact rows."""
+    rng = random.Random(seed)
+
+    fact = Table(Schema([
+        Column("buyer_id", DataType.INTEGER, nullable=False),
+        Column("seller_id", DataType.INTEGER, nullable=False),
+        Column("product_id", DataType.INTEGER, nullable=False),
+        Column("office_id", DataType.INTEGER, nullable=False),
+        Column("sale_date", DataType.DATE, nullable=False),
+        Column("units", DataType.INTEGER, nullable=False),
+        Column("price", DataType.FLOAT, nullable=False),
+    ]), name="SalesItem")
+
+    start = datetime.date(1995, 1, 1)
+    price_by_product = {pid: price for pid, _, _, price in _PRODUCTS}
+    for _ in range(n_sales):
+        product_id = rng.choice(_PRODUCTS)[0]
+        list_price = price_by_product[product_id]
+        discount = rng.choice((1.0, 1.0, 0.9, 0.8))
+        fact.append((
+            rng.choice(_PEOPLE)[0],
+            rng.choice(_PEOPLE)[0],
+            product_id,
+            rng.choice(_OFFICES)[0],
+            start + datetime.timedelta(days=rng.randrange(365)),
+            rng.randint(1, 10),
+            round(list_price * discount, 2),
+        ))
+
+    office = DimensionTable(Table(
+        [("office_id", "INTEGER"), ("office", "STRING"),
+         ("district_id", "INTEGER")], _OFFICES, name="Office"),
+        "office_id", name="office")
+    district = DimensionTable(Table(
+        [("district_id", "INTEGER"), ("district", "STRING"),
+         ("region_id", "INTEGER")], _DISTRICTS, name="District"),
+        "district_id", name="district")
+    region = DimensionTable(Table(
+        [("region_id", "INTEGER"), ("region", "STRING"),
+         ("geography", "STRING")], _REGIONS, name="Region"),
+        "region_id", name="region")
+    product = DimensionTable(Table(
+        [("product_id", "INTEGER"), ("product", "STRING"),
+         ("category", "STRING"), ("list_price", "FLOAT")],
+        _PRODUCTS, name="Product"), "product_id", name="product")
+    buyer = DimensionTable(Table(
+        [("buyer_id", "INTEGER"), ("buyer", "STRING"),
+         ("buyer_segment", "STRING")], _PEOPLE, name="Buyer"),
+        "buyer_id", name="buyer")
+    seller = DimensionTable(Table(
+        [("seller_id", "INTEGER"), ("seller", "STRING"),
+         ("seller_segment", "STRING")], _PEOPLE, name="Seller"),
+        "seller_id", name="seller")
+
+    snowflake = SnowflakeSchema(
+        fact,
+        [(office, "office_id"), (product, "product_id"),
+         (buyer, "buyer_id"), (seller, "seller_id")],
+        [Outrigger("office", "district_id", district),
+         Outrigger("district", "region_id", region)])
+
+    return Figure6Warehouse(fact=fact, office=office, district=district,
+                            region=region, product=product, buyer=buyer,
+                            seller=seller, snowflake=snowflake)

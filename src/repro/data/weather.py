@@ -1,0 +1,105 @@
+"""The Table 1 Weather relation, synthesized.
+
+The paper's running example is 4-dimensional earth temperature data:
+Time, Latitude, Longitude, Altitude, with measured Temp and Pressure.
+The real dataset is not published, so :func:`weather_table` generates a
+deterministic synthetic equivalent that exercises the same code paths:
+computed grouping columns (``Day(Time)``, ``Nation(Latitude,
+Longitude)``), histograms, and the Table 7 decoration example
+(continent functionally dependent on nation).
+
+The world is a toy: six nations on three continents, laid out on a
+lat/lon grid so :func:`nation_of` is a pure function of position --
+exactly what the paper's ``Nation()`` function needs to be.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import DataType
+
+__all__ = [
+    "NATIONS",
+    "CONTINENTS",
+    "nation_of",
+    "continent_of",
+    "weather_schema",
+    "weather_table",
+]
+
+#: nation -> (lat_min, lat_max, lon_min, lon_max, continent, mean_temp)
+NATIONS: dict[str, tuple[float, float, float, float, str, float]] = {
+    "USA": (25.0, 49.0, -125.0, -66.0, "North America", 15.0),
+    "Canada": (49.0, 72.0, -141.0, -52.0, "North America", 2.0),
+    "Mexico": (14.0, 25.0, -118.0, -86.0, "North America", 22.0),
+    "France": (42.0, 51.0, -5.0, 8.0, "Europe", 12.0),
+    "Germany": (47.0, 55.0, 6.0, 15.0, "Europe", 9.0),
+    "Japan": (31.0, 45.0, 129.0, 146.0, "Asia", 14.0),
+}
+
+#: nation -> continent (the Table 7 functional dependency)
+CONTINENTS: dict[str, str] = {
+    nation: values[4] for nation, values in NATIONS.items()}
+
+
+def nation_of(latitude: float, longitude: float) -> str | None:
+    """The paper's ``Nation(Latitude, Longitude)`` function: the nation
+    containing a location, or NULL for open ocean."""
+    for nation, (lat_min, lat_max, lon_min, lon_max, _, _) in NATIONS.items():
+        if lat_min <= latitude < lat_max and lon_min <= longitude < lon_max:
+            return nation
+    return None
+
+
+def continent_of(nation: str | None) -> str | None:
+    """The continent containing a nation (NULL-propagating)."""
+    if nation is None:
+        return None
+    return CONTINENTS.get(nation)
+
+
+def weather_schema() -> Schema:
+    return Schema([
+        Column("Time", DataType.TIMESTAMP, nullable=False),
+        Column("Latitude", DataType.FLOAT, nullable=False),
+        Column("Longitude", DataType.FLOAT, nullable=False),
+        Column("Altitude", DataType.INTEGER, nullable=False),
+        Column("Temp", DataType.FLOAT, nullable=False),
+        Column("Pressure", DataType.INTEGER, nullable=False),
+    ])
+
+
+def weather_table(n_rows: int = 500, *, seed: int = 1996,
+                  start: datetime.datetime | None = None,
+                  n_days: int = 14) -> Table:
+    """A deterministic synthetic Weather relation (Table 1's shape).
+
+    Rows are hourly-ish observations at stations inside the toy
+    nations; temperature varies by nation climate, altitude lapse
+    rate, and season-free diurnal noise, so per-nation/per-day
+    MIN/MAX/AVG aggregates have realistic structure.
+    """
+    rng = random.Random(seed)
+    if start is None:
+        start = datetime.datetime(1996, 6, 1, 0, 0)
+    nations = list(NATIONS)
+    table = Table(weather_schema(), name="Weather")
+    for _ in range(n_rows):
+        nation = rng.choice(nations)
+        lat_min, lat_max, lon_min, lon_max, _, mean_temp = NATIONS[nation]
+        latitude = round(rng.uniform(lat_min, lat_max - 1e-6), 4)
+        longitude = round(rng.uniform(lon_min, lon_max - 1e-6), 4)
+        altitude = rng.choice((0, 10, 100, 500, 1000, 2000))
+        day = rng.randrange(n_days)
+        hour = rng.randrange(24)
+        time = start + datetime.timedelta(days=day, hours=hour)
+        diurnal = -4.0 * abs(hour - 14) / 14.0 + 2.0
+        lapse = -6.5 * altitude / 1000.0
+        temp = round(mean_temp + diurnal + lapse + rng.gauss(0.0, 2.5), 1)
+        pressure = int(round(1013 - altitude / 8.0 + rng.gauss(0.0, 4.0)))
+        table.append((time, latitude, longitude, altitude, temp, pressure))
+    return table

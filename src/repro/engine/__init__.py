@@ -1,0 +1,77 @@
+"""Self-contained relational engine substrate.
+
+The paper assumes a SQL engine underneath the CUBE operator; this package
+is that substrate: typed schemas, row-oriented tables, scalar expressions,
+relational operators (filter/project/sort/union/join) and one-grouping
+GROUP BY in both hash and sort flavours (Figure 2 of the paper).
+"""
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table, rows_equal_as_bags
+from repro.engine.expressions import (
+    Expression,
+    ColumnRef,
+    Literal,
+    Arithmetic,
+    Comparison,
+    BooleanExpr,
+    NotExpr,
+    FunctionCall,
+    InList,
+    Between,
+    IsNull,
+    CaseExpr,
+    col,
+    lit,
+)
+from repro.engine.operators import (
+    filter_rows,
+    project,
+    sort,
+    union_all,
+    union_distinct,
+    distinct,
+    limit,
+)
+from repro.engine.groupby import AggregateSpec, hash_group_by, sort_group_by
+from repro.engine.join import hash_join, nested_loop_join
+from repro.engine.catalog import Catalog
+from repro.engine.io import from_csv_text, read_csv, to_csv_text, write_csv
+
+__all__ = [
+    "AggregateSpec",
+    "Arithmetic",
+    "Between",
+    "BooleanExpr",
+    "CaseExpr",
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "Expression",
+    "FunctionCall",
+    "InList",
+    "IsNull",
+    "Literal",
+    "NotExpr",
+    "Schema",
+    "Table",
+    "col",
+    "distinct",
+    "filter_rows",
+    "from_csv_text",
+    "hash_group_by",
+    "hash_join",
+    "limit",
+    "lit",
+    "nested_loop_join",
+    "project",
+    "read_csv",
+    "rows_equal_as_bags",
+    "sort",
+    "sort_group_by",
+    "to_csv_text",
+    "union_all",
+    "union_distinct",
+    "write_csv",
+]

@@ -1,0 +1,103 @@
+"""A tiny database catalog: named tables plus insert/delete triggers.
+
+Section 6 reports that SQL Server customers "define triggers on the
+underlying tables so that when the tables change, the cube is
+dynamically updated" -- the maintenance package attaches exactly such
+triggers through this catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+InsertTrigger = Callable[[tuple], None]
+DeleteTrigger = Callable[[tuple], None]
+
+
+class Catalog:
+    """Named tables with trigger dispatch on mutation."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._insert_triggers: dict[str, list[InsertTrigger]] = {}
+        self._delete_triggers: dict[str, list[DeleteTrigger]] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, name: str, table: Table, *,
+                 replace: bool = False) -> Table:
+        key = name.upper()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already registered")
+        table.name = name
+        self._tables[key] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.upper()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def drop(self, name: str) -> None:
+        key = name.upper()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        self._insert_triggers.pop(key, None)
+        self._delete_triggers.pop(key, None)
+
+    # -- triggers ----------------------------------------------------------
+
+    def on_insert(self, name: str, trigger: InsertTrigger) -> None:
+        self.get(name)  # validate existence
+        self._insert_triggers.setdefault(name.upper(), []).append(trigger)
+
+    def on_delete(self, name: str, trigger: DeleteTrigger) -> None:
+        self.get(name)
+        self._delete_triggers.setdefault(name.upper(), []).append(trigger)
+
+    # -- mutation with trigger dispatch --------------------------------------
+
+    def insert(self, name: str, row: Sequence[Any]) -> None:
+        table = self.get(name)
+        table.append(row)
+        stored = tuple(row)
+        for trigger in self._insert_triggers.get(name.upper(), []):
+            trigger(stored)
+
+    def insert_many(self, name: str, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(name, row)
+
+    def delete(self, name: str, row: Sequence[Any]) -> bool:
+        """Delete one occurrence of ``row``; triggers fire only when a
+        row was actually removed."""
+        table = self.get(name)
+        removed = table.delete_row(row)
+        if removed:
+            stored = tuple(row)
+            for trigger in self._delete_triggers.get(name.upper(), []):
+                trigger(stored)
+        return removed
+
+    def update(self, name: str, old_row: Sequence[Any],
+               new_row: Sequence[Any]) -> bool:
+        """UPDATE = DELETE + INSERT, as Section 6 treats it."""
+        if not self.delete(name, old_row):
+            return False
+        self.insert(name, new_row)
+        return True

@@ -1,0 +1,191 @@
+"""The one-grouping GROUP BY operator (Figure 2 of the paper).
+
+"GROUP BY is an unusual relational operator: it partitions the relation
+into disjoint tuple sets and then aggregates over each set."  Both
+classic physical strategies are provided:
+
+- :func:`hash_group_by` -- one scan, hash table keyed by the grouping
+  values (Graefe's in-memory recommendation quoted in Section 5);
+- :func:`sort_group_by` -- sort on the grouping attributes, then a
+  sequential scan emitting a group per key run (the strategy the paper
+  recommends for ROLLUP, whose answer must be sorted anyway).
+
+Grouping keys may be computed expressions (``Day(Time) AS day``), which
+is the paper's fix for the histogram problem of Section 2.
+
+Both return finalized tables; pass ``keep_handles=True`` to also get the
+per-group scratchpads, which is what cube-from-core and the maintenance
+layer need (handles are mergeable via Iter_super for distributive and
+algebraic functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.aggregates.base import AggregateFunction, Handle
+from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import TableError
+from repro.types import DataType, sort_key_tuple
+
+__all__ = ["AggregateSpec", "GroupByResult", "hash_group_by", "sort_group_by",
+           "normalize_keys"]
+
+
+@dataclass
+class AggregateSpec:
+    """One requested aggregate: a function instance, its input, a name.
+
+    ``input`` is a column name, an :class:`Expression`, or ``"*"`` for
+    COUNT(*)-style row counting (the row itself is irrelevant; the
+    function is fed the integer 1).
+    """
+
+    function: AggregateFunction
+    input: Expression | str
+    name: str
+
+    def __post_init__(self) -> None:
+        if isinstance(self.input, str) and self.input != "*":
+            self.input = ColumnRef(self.input)
+
+    def evaluate_input(self, context: dict[str, Any]) -> Any:
+        if self.input == "*":
+            return 1
+        return self.input.evaluate(context)
+
+    def output_column(self) -> Column:
+        return Column(self.name, DataType.ANY, nullable=True,
+                      all_allowed=False)
+
+
+@dataclass
+class GroupByResult:
+    """A finalized GROUP BY result plus (optionally) the live handles."""
+
+    table: Table
+    handles: dict[tuple, list[Handle]] | None = None
+
+
+KeySpec = str | Expression | tuple[Expression, str]
+
+
+def normalize_keys(keys: Sequence[KeySpec]) -> list[tuple[Expression, str]]:
+    """Normalize grouping keys to (expression, output name) pairs."""
+    normalized: list[tuple[Expression, str]] = []
+    seen: set[str] = set()
+    for key in keys:
+        if isinstance(key, str):
+            pair = (ColumnRef(key), key)
+        elif isinstance(key, tuple):
+            pair = key
+        elif isinstance(key, Expression):
+            pair = (key, key.default_name())
+        else:
+            raise TableError(f"cannot use {key!r} as a grouping key")
+        if pair[1] in seen:
+            raise TableError(f"duplicate grouping output name {pair[1]!r}")
+        seen.add(pair[1])
+        normalized.append(pair)
+    return normalized
+
+
+def _output_schema(table: Table, keys: list[tuple[Expression, str]],
+                   specs: Sequence[AggregateSpec]) -> Schema:
+    columns: list[Column] = []
+    for expr, alias in keys:
+        if isinstance(expr, ColumnRef) and expr.name in table.schema:
+            columns.append(
+                table.schema.column(expr.name).renamed(alias).with_all_allowed())
+        else:
+            columns.append(Column(alias, DataType.ANY, all_allowed=True))
+    for spec in specs:
+        columns.append(spec.output_column())
+    return Schema(columns)
+
+
+def _finalize(groups: "dict[tuple, list[Handle]] | Iterable[tuple[tuple, list[Handle]]]",
+              specs: Sequence[AggregateSpec],
+              schema: Schema, *, keep_handles: bool) -> GroupByResult:
+    items = groups.items() if isinstance(groups, dict) else groups
+    out = Table(schema)
+    kept: dict[tuple, list[Handle]] = {}
+    for key, handles in items:
+        values = tuple(spec.function.end(handle)
+                       for spec, handle in zip(specs, handles))
+        out.append(key + values, validate=False)
+        if keep_handles:
+            kept[key] = handles
+    return GroupByResult(table=out, handles=kept if keep_handles else None)
+
+
+def hash_group_by(table: Table, keys: Sequence[KeySpec],
+                  specs: Sequence[AggregateSpec], *,
+                  keep_handles: bool = False) -> GroupByResult:
+    """One-scan hash aggregation.
+
+    With an empty ``keys`` list this degenerates to the scalar aggregate
+    of Section 1.1 (``SELECT AVG(Temp) FROM Weather``): exactly one
+    output row, even over an empty input.
+    """
+    normalized = normalize_keys(keys)
+    schema = _output_schema(table, normalized, specs)
+    names = table.schema.names
+
+    groups: dict[tuple, list[Handle]] = {}
+    if not normalized:
+        groups[()] = [spec.function.start() for spec in specs]
+    for row in table:
+        context = dict(zip(names, row))
+        key = tuple(expr.evaluate(context) for expr, _ in normalized)
+        handles = groups.get(key)
+        if handles is None:
+            handles = [spec.function.start() for spec in specs]
+            groups[key] = handles
+        for position, spec in enumerate(specs):
+            value = spec.evaluate_input(context)
+            if spec.function.accepts(value):
+                handles[position] = spec.function.next(handles[position], value)
+    return _finalize(groups, specs, schema, keep_handles=keep_handles)
+
+
+def sort_group_by(table: Table, keys: Sequence[KeySpec],
+                  specs: Sequence[AggregateSpec], *,
+                  keep_handles: bool = False) -> GroupByResult:
+    """Sort-then-scan aggregation.
+
+    Produces the same bag of rows as :func:`hash_group_by` (asserted by
+    the property-based tests) with output sorted by the grouping key --
+    the physical plan ROLLUP prefers since "the user often wants the
+    answer set in a sorted order, so the sort must be done anyway".
+    """
+    normalized = normalize_keys(keys)
+    schema = _output_schema(table, normalized, specs)
+    names = table.schema.names
+
+    if not normalized:
+        return hash_group_by(table, keys, specs, keep_handles=keep_handles)
+
+    keyed_rows: list[tuple[tuple, dict[str, Any]]] = []
+    for row in table:
+        context = dict(zip(names, row))
+        key = tuple(expr.evaluate(context) for expr, _ in normalized)
+        keyed_rows.append((key, context))
+    keyed_rows.sort(key=lambda pair: sort_key_tuple(pair[0]))
+
+    ordered_groups: list[tuple[tuple, list[Handle]]] = []
+    current_key: tuple | None = None
+    handles: list[Handle] = []
+    for key, context in keyed_rows:
+        if current_key is None or key != current_key:
+            current_key = key
+            handles = [spec.function.start() for spec in specs]
+            ordered_groups.append((key, handles))
+        for position, spec in enumerate(specs):
+            value = spec.evaluate_input(context)
+            if spec.function.accepts(value):
+                handles[position] = spec.function.next(handles[position], value)
+    return _finalize(ordered_groups, specs, schema, keep_handles=keep_handles)

@@ -1,0 +1,127 @@
+"""CSV import/export for tables.
+
+A practical necessity for a library whose outputs are relations: cube
+results round-trip through CSV (the ALL sentinel serialized as the
+reserved token ``ALL`` and NULL as an empty field), and fact tables
+load from files with type coercion against a declared schema.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import io
+from typing import IO, Any
+
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.errors import TableError
+from repro.types import ALL, DataType
+
+__all__ = ["write_csv", "read_csv", "to_csv_text", "from_csv_text"]
+
+_ALL_TOKEN = "ALL"
+
+
+def _serialize(value: Any) -> str:
+    if value is None:
+        return ""
+    if value is ALL:
+        return _ALL_TOKEN
+    if isinstance(value, datetime.datetime):
+        return value.isoformat(sep=" ")
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def _parse(text: str, dtype: DataType) -> Any:
+    if text == "":
+        return None
+    if text == _ALL_TOKEN:
+        return ALL
+    if dtype is DataType.INTEGER:
+        return int(text)
+    if dtype is DataType.FLOAT:
+        return float(text)
+    if dtype is DataType.BOOLEAN:
+        lowered = text.lower()
+        if lowered in ("true", "1", "t", "yes"):
+            return True
+        if lowered in ("false", "0", "f", "no"):
+            return False
+        raise TableError(f"cannot parse boolean {text!r}")
+    if dtype is DataType.DATE:
+        return datetime.date.fromisoformat(text)
+    if dtype is DataType.TIMESTAMP:
+        return datetime.datetime.fromisoformat(text)
+    if dtype is DataType.ANY:
+        # best effort: int, then float, then string
+        for parser in (int, float):
+            try:
+                return parser(text)
+            except ValueError:
+                continue
+        return text
+    return text
+
+
+def write_csv(table: Table, stream: IO[str]) -> None:
+    """Write a table (header + rows) to a text stream.
+
+    ALL cells become the token ``ALL`` and NULLs empty fields; a value
+    column that could legitimately contain the *string* ``"ALL"`` would
+    be ambiguous, so writing such a table raises.
+    """
+    writer = csv.writer(stream, lineterminator="\n")
+    writer.writerow(table.schema.names)
+    all_cols = [c.all_allowed for c in table.schema.columns]
+    for row in table:
+        for position, value in enumerate(row):
+            if value == _ALL_TOKEN and not all_cols[position] \
+                    and isinstance(value, str):
+                raise TableError(
+                    f"column {table.schema.names[position]!r} holds the "
+                    f"string 'ALL', which is reserved for the ALL "
+                    "sentinel in CSV output")
+        writer.writerow([_serialize(v) for v in row])
+
+
+def read_csv(stream: IO[str], schema: Schema, *,
+             name: str = "") -> Table:
+    """Read a table from a text stream, coercing to ``schema``.
+
+    The CSV header must match the schema's column names exactly (and in
+    order) -- a loud failure beats silently misaligned columns.
+    """
+    reader = csv.reader(stream)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TableError("CSV stream is empty (no header)") from None
+    if tuple(header) != schema.names:
+        raise TableError(
+            f"CSV header {header} does not match schema "
+            f"{list(schema.names)}")
+    table = Table(schema, name=name)
+    for line_number, row in enumerate(reader, start=2):
+        if len(row) != len(schema):
+            raise TableError(
+                f"line {line_number}: {len(row)} fields for "
+                f"{len(schema)} columns")
+        values = tuple(_parse(text, column.dtype)
+                       for text, column in zip(row, schema.columns))
+        table.append(values)
+    return table
+
+
+def to_csv_text(table: Table) -> str:
+    """The table as a CSV string."""
+    buffer = io.StringIO()
+    write_csv(table, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_text(text: str, schema: Schema, *, name: str = "") -> Table:
+    """Parse a CSV string into a table."""
+    return read_csv(io.StringIO(text), schema, name=name)

@@ -1,0 +1,91 @@
+"""Joins: hash equi-join and general nested-loop join.
+
+Needed for the star/snowflake queries of Section 3.6 (fact table joined
+to dimension tables before cubing) and for decorations fetched through a
+dimension (Section 3.5's ``sales JOIN department USING
+(department_number)`` example).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.expressions import Expression
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.errors import TableError
+
+__all__ = ["hash_join", "nested_loop_join"]
+
+_JOIN_KINDS = ("inner", "left")
+
+
+def _joined_schema(left: Table, right: Table, *,
+                   drop_right: Sequence[str] = ()) -> Schema:
+    keep_right = [c for c in right.schema.columns if c.name not in drop_right]
+    return left.schema.concat(Schema(keep_right), prefix_on_clash="right_")
+
+
+def hash_join(left: Table, right: Table,
+              left_keys: Sequence[str], right_keys: Sequence[str], *,
+              how: str = "inner") -> Table:
+    """Equi-join on named key columns; the join keys appear once
+    (USING semantics -- the right copies are dropped).
+
+    ``how='left'`` keeps unmatched left rows with NULL-padded right
+    columns, which decorations use: a fact row whose dimension row is
+    missing simply gets NULL decorations.
+    """
+    if how not in _JOIN_KINDS:
+        raise TableError(f"unsupported join kind {how!r}; use {_JOIN_KINDS}")
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise TableError("join needs equally many (and at least one) keys")
+
+    left_idx = [left.schema.index_of(k) for k in left_keys]
+    right_idx = [right.schema.index_of(k) for k in right_keys]
+    right_keep_idx = [i for i, c in enumerate(right.schema.columns)
+                      if c.name not in set(right_keys)]
+
+    schema = _joined_schema(left, right, drop_right=right_keys)
+
+    buckets: dict[tuple, list[tuple]] = {}
+    for row in right:
+        key = tuple(row[i] for i in right_idx)
+        if any(v is None for v in key):
+            continue  # NULL keys never join
+        buckets.setdefault(key, []).append(row)
+
+    out = Table(schema)
+    pad = (None,) * len(right_keep_idx)
+    for row in left:
+        key = tuple(row[i] for i in left_idx)
+        matches = buckets.get(key, []) if not any(v is None for v in key) else []
+        if matches:
+            for match in matches:
+                out.append(row + tuple(match[i] for i in right_keep_idx),
+                           validate=False)
+        elif how == "left":
+            out.append(row + pad, validate=False)
+    return out
+
+
+def nested_loop_join(left: Table, right: Table, predicate: Expression, *,
+                     how: str = "inner") -> Table:
+    """General theta-join; the predicate sees right columns prefixed
+    with ``right_`` whenever names clash."""
+    if how not in _JOIN_KINDS:
+        raise TableError(f"unsupported join kind {how!r}; use {_JOIN_KINDS}")
+    schema = left.schema.concat(right.schema, prefix_on_clash="right_")
+    names = schema.names
+    out = Table(schema)
+    pad = (None,) * len(right.schema)
+    for left_row in left:
+        matched = False
+        for right_row in right:
+            combined = left_row + right_row
+            if predicate.evaluate(dict(zip(names, combined))) is True:
+                out.append(combined, validate=False)
+                matched = True
+        if not matched and how == "left":
+            out.append(left_row + pad, validate=False)
+    return out

@@ -1,0 +1,142 @@
+"""Row-at-a-time relational operators: filter, project, sort, union,
+distinct, limit.
+
+These are the building blocks under GROUP BY (Figure 2) and under the
+naive union-of-GROUP-BYs cube computation (Section 2's "64-way union").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TableError
+from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import DataType, sort_key
+
+__all__ = [
+    "filter_rows",
+    "project",
+    "sort",
+    "union_all",
+    "union_distinct",
+    "distinct",
+    "limit",
+]
+
+
+def filter_rows(table: Table, predicate: Expression) -> Table:
+    """WHERE: keep rows for which the predicate is *true* (not NULL)."""
+    names = table.schema.names
+    out = table.empty_like()
+    for row in table:
+        if predicate.evaluate(dict(zip(names, row))) is True:
+            out.append(row, validate=False)
+    return out
+
+
+def _output_column(expr: Expression, alias: str | None,
+                   schema: Schema) -> Column:
+    name = alias or expr.default_name()
+    if isinstance(expr, ColumnRef) and expr.name in schema:
+        return schema.column(expr.name).renamed(name)
+    return Column(name, DataType.ANY, nullable=True, all_allowed=True)
+
+
+def project(table: Table,
+            items: Sequence[Expression | tuple[Expression, str] | str]) -> Table:
+    """SELECT-list projection.
+
+    Each item is a column name, an expression, or an
+    ``(expression, alias)`` pair.
+    """
+    normalized: list[tuple[Expression, str | None]] = []
+    for item in items:
+        if isinstance(item, str):
+            normalized.append((ColumnRef(item), item))
+        elif isinstance(item, tuple):
+            expr, alias = item
+            normalized.append((expr, alias))
+        elif isinstance(item, Expression):
+            normalized.append((item, None))
+        else:
+            raise TableError(f"cannot project {item!r}")
+    out_schema = Schema([
+        _output_column(expr, alias, table.schema)
+        for expr, alias in normalized
+    ])
+    names = table.schema.names
+    out = Table(out_schema)
+    for row in table:
+        context = dict(zip(names, row))
+        out.append(tuple(expr.evaluate(context) for expr, _ in normalized),
+                   validate=False)
+    return out
+
+
+def sort(table: Table, keys: Sequence[str | tuple[str, bool]]) -> Table:
+    """ORDER BY.  Each key is a column name or ``(name, descending)``.
+
+    Uses the library-wide total order (:func:`repro.types.sort_key`), so
+    NULL and ALL rows land at the end in ascending order -- the layout
+    report writers expect for sub-total rows.
+    """
+    specs: list[tuple[int, bool]] = []
+    for key in keys:
+        if isinstance(key, tuple):
+            name, descending = key
+        else:
+            name, descending = key, False
+        specs.append((table.schema.index_of(name), descending))
+
+    rows = list(table.rows)
+    # stable multi-key sort: apply keys right-to-left
+    for idx, descending in reversed(specs):
+        rows.sort(key=lambda row: sort_key(row[idx]), reverse=descending)
+    out = table.empty_like()
+    out.extend(rows, validate=False)
+    return out
+
+
+def _check_union_compatible(left: Table, right: Table) -> None:
+    if len(left.schema) != len(right.schema):
+        raise TableError(
+            f"UNION arity mismatch: {len(left.schema)} vs {len(right.schema)}")
+
+
+def union_all(*tables: Table) -> Table:
+    """UNION ALL: concatenation keeping duplicates."""
+    if not tables:
+        raise TableError("union_all needs at least one table")
+    first = tables[0]
+    out = first.empty_like()
+    for table in tables:
+        _check_union_compatible(first, table)
+        out.extend(table.rows, validate=False)
+    return out
+
+
+def union_distinct(*tables: Table) -> Table:
+    """SQL UNION: concatenation with duplicate elimination."""
+    return distinct(union_all(*tables))
+
+
+def distinct(table: Table) -> Table:
+    """Duplicate elimination preserving first-seen order."""
+    seen: set = set()
+    out = table.empty_like()
+    for row in table:
+        if row not in seen:
+            seen.add(row)
+            out.append(row, validate=False)
+    return out
+
+
+def limit(table: Table, n: int) -> Table:
+    """First ``n`` rows."""
+    if n < 0:
+        raise TableError("limit must be non-negative")
+    out = table.empty_like()
+    out.extend(table.rows[:n], validate=False)
+    return out

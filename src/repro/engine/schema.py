@@ -1,0 +1,178 @@
+"""Schemas: ordered, typed column lists.
+
+Includes the paper's proposed ``ALL [NOT] ALLOWED`` column attribute
+(Section 3.3): columns that may carry the ALL sentinel in derived cube
+relations declare ``all_allowed=True`` (the default for grouping outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import (
+    DuplicateColumnError,
+    TypeMismatchError,
+    UnknownColumnError,
+)
+from repro.types import ALL, DataType
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    ``nullable`` governs NULL admission; ``all_allowed`` governs the ALL
+    sentinel (the paper's proposed column attribute, Section 3.3).
+    """
+
+    name: str
+    dtype: DataType = DataType.ANY
+    nullable: bool = True
+    all_allowed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if isinstance(self.dtype, str):
+            object.__setattr__(self, "dtype", DataType(self.dtype.upper()))
+        elif not isinstance(self.dtype, DataType):
+            raise TypeError(f"dtype must be a DataType, got {self.dtype!r}")
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TypeMismatchError` if ``value`` is inadmissible."""
+        if value is None:
+            if not self.nullable:
+                raise TypeMismatchError(
+                    f"column {self.name!r} is NOT NULL but got NULL")
+            return
+        if value is ALL:
+            if not self.all_allowed:
+                raise TypeMismatchError(
+                    f"column {self.name!r} is ALL NOT ALLOWED but got ALL")
+            return
+        if not self.dtype.validate(value):
+            raise TypeMismatchError(
+                f"column {self.name!r} expects {self.dtype.value}, "
+                f"got {value!r} ({type(value).__name__})")
+
+    def with_all_allowed(self) -> "Column":
+        """Copy of this column that admits the ALL sentinel."""
+        if self.all_allowed:
+            return self
+        return replace(self, all_allowed=True)
+
+    def renamed(self, name: str) -> "Column":
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of uniquely-named columns."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __init__(self, columns: Iterable[Column | tuple | str]) -> None:
+        normalized: list[Column] = []
+        for item in columns:
+            if isinstance(item, Column):
+                normalized.append(item)
+            elif isinstance(item, str):
+                normalized.append(Column(item))
+            elif isinstance(item, tuple):
+                normalized.append(Column(*item))
+            else:
+                raise TypeError(f"cannot build a Column from {item!r}")
+        index: dict[str, int] = {}
+        for pos, column in enumerate(normalized):
+            if column.name in index:
+                raise DuplicateColumnError(
+                    f"duplicate column name {column.name!r}")
+            index[column.name] = pos
+        object.__setattr__(self, "columns", tuple(normalized))
+        object.__setattr__(self, "_index", index)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: int | str) -> Column:
+        if isinstance(key, int):
+            return self.columns[key]
+        return self.columns[self.index_of(key)]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name``; raises :class:`UnknownColumnError`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"unknown column {name!r}; have {list(self.names)}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise TypeMismatchError(
+                f"row has {len(row)} values, schema has "
+                f"{len(self.columns)} columns")
+        for column, value in zip(self.columns, row):
+            column.validate(value)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``."""
+        return Schema([self.column(name) for name in names])
+
+    def concat(self, other: "Schema", *, prefix_on_clash: str = "") -> "Schema":
+        """Concatenate two schemas, optionally prefixing clashing names."""
+        merged: list[Column] = list(self.columns)
+        taken = set(self.names)
+        for column in other.columns:
+            name = column.name
+            if name in taken:
+                if not prefix_on_clash:
+                    raise DuplicateColumnError(
+                        f"column {name!r} exists in both schemas")
+                name = f"{prefix_on_clash}{name}"
+                if name in taken:
+                    raise DuplicateColumnError(
+                        f"column {name!r} still clashes after prefixing")
+            merged.append(column.renamed(name))
+            taken.add(name)
+        return Schema(merged)
+
+    def renamed(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with columns renamed per ``mapping`` (missing keys kept)."""
+        return Schema([
+            column.renamed(mapping.get(column.name, column.name))
+            for column in self.columns
+        ])
+
+    def with_all_allowed(self, names: Iterable[str]) -> "Schema":
+        """Mark the given columns as admitting ALL (for cube outputs)."""
+        wanted = set(names)
+        for name in wanted:
+            self.index_of(name)  # raise early on unknown names
+        return Schema([
+            column.with_all_allowed() if column.name in wanted else column
+            for column in self.columns
+        ])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{c.name}:{c.dtype.value}" for c in self.columns)
+        return f"Schema({inner})"

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the data-cube reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one root type. Sub-hierarchies mirror the subsystems:
+the relational engine, the aggregate framework, the cube operators, the
+SQL front-end, and cube maintenance.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference cannot be resolved."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to its column's declared type."""
+
+
+class DuplicateColumnError(SchemaError):
+    """Two columns in one schema share a name."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema."""
+
+
+class TableError(ReproError):
+    """A table operation failed (arity mismatch, bad row, ...)."""
+
+
+class ExpressionError(ReproError):
+    """A scalar expression could not be evaluated."""
+
+
+class AggregateError(ReproError):
+    """An aggregate function was misused."""
+
+
+class NotMergeableError(AggregateError):
+    """``merge`` (the paper's Iter_super) was called on a holistic
+    aggregate running in strict mode, which keeps no mergeable
+    scratchpad (Section 5 of the paper)."""
+
+
+class UnknownAggregateError(AggregateError):
+    """An aggregate name is not present in the registry."""
+
+
+class CubeError(ReproError):
+    """A CUBE/ROLLUP operation was malformed."""
+
+
+class GroupingError(CubeError):
+    """A grouping specification is invalid (duplicate keys, empty CUBE...)."""
+
+
+class AddressingError(CubeError):
+    """A cube-cell address did not resolve to exactly one cell."""
+
+
+class DecorationError(CubeError):
+    """A decoration column is not functionally dependent on the
+    grouping columns (Section 3.5)."""
+
+
+class MaintenanceError(ReproError):
+    """A materialized-cube maintenance operation failed."""
+
+
+class DeleteRequiresRecomputeError(MaintenanceError):
+    """A delete hit a cell whose aggregate is delete-holistic (Section 6);
+    the caller must allow recomputation for the cube to stay correct."""
+
+
+class SQLError(ReproError):
+    """Root of SQL front-end errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None) -> None:
+        self.position = position
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SQLPlanError(SQLError):
+    """The parsed statement cannot be turned into an executable plan."""
+
+
+class SQLExecutionError(SQLError):
+    """Plan execution failed at runtime."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload definition is inconsistent."""

@@ -1,0 +1,17 @@
+"""Maintaining materialized cubes (Section 6 of the paper).
+
+"We have been surprised that some customers use these operators to
+compute and store the cube.  These customers then define triggers on
+the underlying tables so that when the tables change, the cube is
+dynamically updated."
+"""
+
+from repro.maintenance.materialized import MaterializedCube
+from repro.maintenance.propagation import MaintenanceStats
+from repro.maintenance.triggers import attach_cube_maintenance
+
+__all__ = [
+    "MaintenanceStats",
+    "MaterializedCube",
+    "attach_cube_maintenance",
+]

@@ -1,0 +1,297 @@
+"""Materialized cubes with incremental maintenance (Section 6).
+
+A :class:`MaterializedCube` stores a live scratchpad (Figure 7 handle)
+per aggregate per cube cell and keeps it consistent under INSERT,
+DELETE, and UPDATE of the base table:
+
+- **INSERT** visits the record's cell in each grouping set -- at most
+  2^N cells -- folding the new values in with ``Iter``.  For
+  insert-monotone functions (MIN/MAX) the paper's short-circuit prunes
+  the walk: "if the new value loses one competition, then it will lose
+  in all lower dimensions", so all coarser cells below a losing cell
+  are skipped.
+- **DELETE** asks each aggregate to ``unapply`` the departing values.
+  Functions that are algebraic for delete (COUNT, SUM, AVG, VARIANCE)
+  absorb it in O(1); delete-holistic functions (MIN/MAX when the
+  extreme leaves, MEDIAN in strict mode) decline, and the affected cell
+  is **recomputed from retained base data** -- the cost asymmetry the
+  paper highlights ("max is distributive for SELECT and INSERT, but it
+  is holistic for DELETE").
+- **UPDATE** is DELETE + INSERT, as Section 6 treats it.
+
+Cells whose contributing-row count reaches zero are evicted, so the
+materialized cube stays exactly equal to a from-scratch recomputation
+(a property the test-suite asserts under random operation streams).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.aggregates.base import Handle
+from repro.aggregates.registry import AggregateRegistry, default_registry
+from repro.compute.base import build_task
+from repro.core.addressing import CubeView
+from repro.core.cube import _normalize_requests
+from repro.core.grouping import GroupingSpec, Mask
+from repro.core.lattice import CubeLattice
+from repro.engine.groupby import normalize_keys
+from repro.engine.table import Table
+from repro.errors import DeleteRequiresRecomputeError, MaintenanceError
+from repro.maintenance.propagation import MaintenanceStats
+
+__all__ = ["MaterializedCube"]
+
+
+class MaterializedCube:
+    """A cube kept consistent with its base table under mutation."""
+
+    def __init__(self, base: Table, dims: Sequence, aggregates: Sequence, *,
+                 kind: str = "cube",
+                 registry: AggregateRegistry | None = None,
+                 retain_base: bool = True,
+                 short_circuit: bool = True) -> None:
+        """``short_circuit=False`` ablates the Section 6 insert pruning
+        (every insert then visits all 2^N cells for every aggregate);
+        the ablation bench measures what the rule saves."""
+        registry = registry or default_registry
+        self._specs = _normalize_requests(aggregates, registry)
+        self._keys = normalize_keys(dims)
+        self._source_names = base.schema.names
+        if kind == "cube":
+            spec = GroupingSpec.for_cube(tuple(a for _, a in self._keys))
+        elif kind == "rollup":
+            spec = GroupingSpec.for_rollup(tuple(a for _, a in self._keys))
+        else:
+            raise MaintenanceError(f"unknown kind {kind!r}; use cube/rollup")
+        self._grouping = spec
+        self.retain_base = retain_base
+        self.short_circuit = short_circuit
+        self.stats = MaintenanceStats()
+
+        task = build_task(base, dims, self._specs, spec.grouping_sets())
+        self._task = task  # reused for coordinates / folding helpers
+        self._lattice = CubeLattice(task.dims, task.masks)
+        # mask -> coordinate -> handles ; and per-cell contributing rows
+        self._cells: dict[Mask, dict[tuple, list[Handle]]] = {
+            mask: {} for mask in task.masks}
+        self._counts: dict[Mask, dict[tuple, int]] = {
+            mask: {} for mask in task.masks}
+        self._base_rows: list[tuple] = []
+
+        from repro.compute.stats import ComputeStats
+        self._fold_stats = ComputeStats(algorithm="maintenance")
+        for row in task.rows:
+            self._apply_insert(row, initial=True)
+        self._base_rows = list(task.rows) if retain_base else []
+
+    # -- public surface ---------------------------------------------------
+
+    @property
+    def dims(self) -> tuple[str, ...]:
+        return self._task.dims
+
+    @property
+    def masks(self) -> tuple[Mask, ...]:
+        return self._task.masks
+
+    def __len__(self) -> int:
+        return sum(len(cells) for cells in self._cells.values())
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Propagate one base-table INSERT; returns cells touched."""
+        task_row = self._to_task_row(row)
+        touched = self._apply_insert(task_row, initial=False)
+        if self.retain_base:
+            self._base_rows.append(task_row)
+        self.stats.inserts += 1
+        self.stats.per_operation_touched.append(touched)
+        return touched
+
+    def delete(self, row: Sequence[Any]) -> int:
+        """Propagate one base-table DELETE; returns cells touched.
+
+        Raises :class:`DeleteRequiresRecomputeError` when a
+        delete-holistic aggregate needs a recompute but the base data
+        was not retained (``retain_base=False``).
+        """
+        task_row = self._to_task_row(row)
+        if self.retain_base:
+            try:
+                self._base_rows.remove(task_row)
+            except ValueError:
+                raise MaintenanceError(
+                    f"delete of a row not present in the base: {row!r}"
+                ) from None
+        touched = 0
+        dim_values = self._task.dim_values(task_row)
+        agg_values = self._task.agg_values(task_row)
+        for mask in self._task.masks:
+            coordinate = self._task.coordinate(mask, dim_values)
+            cells = self._cells[mask]
+            counts = self._counts[mask]
+            if coordinate not in cells:
+                raise MaintenanceError(
+                    f"delete hit a missing cube cell {coordinate}")
+            counts[coordinate] -= 1
+            if counts[coordinate] == 0:
+                del cells[coordinate]
+                del counts[coordinate]
+                touched += 1
+                continue
+            handles = cells[coordinate]
+            needs_recompute = False
+            for position, spec in enumerate(self._specs):
+                fn = spec.function
+                value = agg_values[position]
+                if not fn.accepts(value):
+                    continue
+                new_handle, supported = fn.unapply(handles[position], value)
+                if supported:
+                    handles[position] = new_handle
+                else:
+                    needs_recompute = True
+                    break
+            if needs_recompute:
+                self._recompute_cell(mask, coordinate)
+                self.stats.cells_recomputed += 1
+            else:
+                self.stats.cells_updated += 1
+            touched += 1
+        self.stats.deletes += 1
+        self.stats.per_operation_touched.append(touched)
+        return touched
+
+    def update(self, old_row: Sequence[Any], new_row: Sequence[Any]) -> int:
+        """UPDATE = DELETE + INSERT (Section 6)."""
+        touched = self.delete(old_row)
+        touched += self.insert(new_row)
+        self.stats.updates += 1
+        return touched
+
+    def as_table(self, *, sort_result: bool = True) -> Table:
+        """The cube relation, finalized from the live scratchpads."""
+        cells = []
+        for mask in self._task.masks:
+            for coordinate, handles in self._cells[mask].items():
+                values = tuple(spec.function.end(handle)
+                               for spec, handle in zip(self._specs, handles))
+                cells.append((coordinate, values))
+        if 0 in self._task.masks and not self._cells[0]:
+            # the global aggregate exists even over an empty base table
+            # (SELECT SUM(x) FROM empty returns one row)
+            values = tuple(spec.function.end(spec.function.start())
+                           for spec in self._specs)
+            cells.append((self._task.coordinate(0, ()), values))
+        table = self._task.result_table(cells)
+        if sort_result:
+            from repro.engine.operators import sort as sort_op
+            table = sort_op(table, list(self._task.dims))
+        return table
+
+    def view(self) -> CubeView:
+        return CubeView(self.as_table(sort_result=False), list(self.dims))
+
+    def value(self, *coords: Any, measure: str | None = None) -> Any:
+        """One cell's current value without materializing the table."""
+        mask = 0
+        for i, coordinate in enumerate(coords):
+            from repro.types import ALL
+            if coordinate is not ALL:
+                mask |= 1 << i
+        if mask not in self._cells:
+            raise MaintenanceError(
+                f"grouping set of {coords} is not materialized")
+        handles = self._cells[mask].get(tuple(coords))
+        if handles is None:
+            return None
+        position = 0
+        if measure is not None:
+            names = [spec.name for spec in self._specs]
+            try:
+                position = names.index(measure)
+            except ValueError:
+                raise MaintenanceError(
+                    f"unknown measure {measure!r}; have {names}") from None
+        spec = self._specs[position]
+        return spec.function.end(handles[position])
+
+    # -- internals ----------------------------------------------------------
+
+    def _to_task_row(self, row: Sequence[Any]) -> tuple:
+        if len(row) != len(self._source_names):
+            raise MaintenanceError(
+                f"row has {len(row)} values; base table has "
+                f"{len(self._source_names)} columns")
+        context = dict(zip(self._source_names, row))
+        dim_values = tuple(expr.evaluate(context) for expr, _ in self._keys)
+        agg_values = tuple(spec.evaluate_input(context)
+                           for spec in self._specs)
+        return dim_values + agg_values
+
+    def _apply_insert(self, task_row: tuple, *, initial: bool) -> int:
+        """Walk the lattice fine-to-coarse folding the new record in,
+        pruning per-aggregate below cells where the value is dominated."""
+        dim_values = self._task.dim_values(task_row)
+        agg_values = self._task.agg_values(task_row)
+        n_aggs = len(self._specs)
+        # per-aggregate set of masks pruned by the short-circuit
+        pruned: list[set[Mask]] = [set() for _ in range(n_aggs)]
+        touched = 0
+        for level_masks in self._lattice.by_level_descending():
+            for mask in level_masks:
+                coordinate = self._task.coordinate(mask, dim_values)
+                cells = self._cells[mask]
+                counts = self._counts[mask]
+                handles = cells.get(coordinate)
+                if handles is None:
+                    handles = [spec.function.start() for spec in self._specs]
+                    cells[coordinate] = handles
+                    counts[coordinate] = 0
+                counts[coordinate] += 1
+                cell_active = False
+                for position, spec in enumerate(self._specs):
+                    if mask in pruned[position]:
+                        self.stats.cells_short_circuited += not initial
+                        continue
+                    fn = spec.function
+                    value = agg_values[position]
+                    if not fn.accepts(value):
+                        continue
+                    if not initial and self.short_circuit \
+                            and fn.insert_dominated(handles[position],
+                                                    value):
+                        # prune every coarser cell for this aggregate
+                        for descendant in self._lattice.descendants(mask):
+                            pruned[position].add(descendant)
+                        continue
+                    handles[position] = fn.next(handles[position], value)
+                    cell_active = True
+                if cell_active or initial:
+                    touched += 1
+                    if not initial:
+                        self.stats.cells_updated += 1
+        return touched
+
+    def _recompute_cell(self, mask: Mask, coordinate: tuple) -> None:
+        """Rebuild one cell's scratchpads from retained base rows --
+        the delete-holistic path of Section 6."""
+        if not self.retain_base:
+            raise DeleteRequiresRecomputeError(
+                f"cell {coordinate} needs recomputation (delete-holistic "
+                "aggregate) but retain_base=False")
+        handles = [spec.function.start() for spec in self._specs]
+        scanned = 0
+        for task_row in self._base_rows:
+            scanned += 1
+            if self._task.coordinate(mask, self._task.dim_values(task_row)) \
+                    != coordinate:
+                continue
+            agg_values = self._task.agg_values(task_row)
+            for position, spec in enumerate(self._specs):
+                fn = spec.function
+                value = agg_values[position]
+                if fn.accepts(value):
+                    handles[position] = fn.next(handles[position], value)
+        self._cells[mask][coordinate] = handles
+        self.stats.rows_rescanned += scanned

@@ -1,0 +1,40 @@
+"""Propagation bookkeeping for materialized-cube maintenance.
+
+Counters mirror Section 6's cost discussion: an INSERT should touch at
+most 2^N cells (fewer with the max short-circuit); a DELETE of a
+delete-holistic aggregate's extreme forces cell recomputation from the
+base table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MaintenanceStats"]
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters accumulated across maintenance operations."""
+
+    inserts: int = 0
+    deletes: int = 0
+    updates: int = 0
+    #: cells whose scratchpads were updated in place
+    cells_updated: int = 0
+    #: cells visited but skipped by the Section 6 short-circuit
+    #: ("if the new value loses one competition, it will lose in all
+    #: lower dimensions")
+    cells_short_circuited: int = 0
+    #: cells recomputed from base data (delete-holistic functions)
+    cells_recomputed: int = 0
+    #: base rows re-scanned during recomputations
+    rows_rescanned: int = 0
+    per_operation_touched: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"inserts={self.inserts} deletes={self.deletes} "
+                f"updated={self.cells_updated} "
+                f"short-circuited={self.cells_short_circuited} "
+                f"recomputed={self.cells_recomputed} "
+                f"rescanned={self.rows_rescanned}")

@@ -1,0 +1,36 @@
+"""Trigger-based cube maintenance (Section 6).
+
+"These customers then define triggers on the underlying tables so that
+when the tables change, the cube is dynamically updated."
+
+:func:`attach_cube_maintenance` builds a :class:`MaterializedCube` over
+a catalog table and registers insert/delete triggers so every mutation
+made *through the catalog* keeps the cube fresh automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.catalog import Catalog
+from repro.maintenance.materialized import MaterializedCube
+
+__all__ = ["attach_cube_maintenance"]
+
+
+def attach_cube_maintenance(catalog: Catalog, table_name: str,
+                            dims: Sequence, aggregates: Sequence, *,
+                            kind: str = "cube",
+                            retain_base: bool = True) -> MaterializedCube:
+    """Materialize a cube over ``table_name`` and keep it maintained.
+
+    Returns the :class:`MaterializedCube`; from now on
+    ``catalog.insert(table_name, row)`` / ``catalog.delete(...)`` /
+    ``catalog.update(...)`` update the cube incrementally.
+    """
+    base = catalog.get(table_name)
+    cube = MaterializedCube(base, dims, aggregates, kind=kind,
+                            retain_base=retain_base)
+    catalog.on_insert(table_name, cube.insert)
+    catalog.on_delete(table_name, cube.delete)
+    return cube

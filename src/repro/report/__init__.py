@@ -1,0 +1,31 @@
+"""Presentation layer: the report shapes the paper contrasts with the
+relational cube representation -- roll-up reports (Table 3.a), Chris
+Date's 2^N-column layout (Table 3.b), Excel-style pivots (Table 4),
+cross-tabs (Tables 6.a/6.b) and histograms.
+
+Every renderer consumes *relations* (base data or cube outputs),
+demonstrating the paper's point that the ALL-value representation is
+the common substrate all of these views derive from.
+"""
+
+from repro.report.render import render_grid
+from repro.report.crosstab import crosstab, CrossTab
+from repro.report.pivot import pivot_table, PivotTable
+from repro.report.rollup_report import rollup_report
+from repro.report.wide import date_wide_rollup
+from repro.report.histogram import histogram
+from repro.report.navigation import CubeNavigator
+from repro.report.cumulative import cumulative_rollup
+
+__all__ = [
+    "CrossTab",
+    "CubeNavigator",
+    "PivotTable",
+    "crosstab",
+    "cumulative_rollup",
+    "date_wide_rollup",
+    "histogram",
+    "pivot_table",
+    "render_grid",
+    "rollup_report",
+]

@@ -1,0 +1,43 @@
+"""Histograms over computed categories (Section 2).
+
+"The standard SQL GROUP BY operator does not allow a direct
+construction of histograms (aggregation over computed categories)."
+
+:func:`histogram` is that direct construction: group by the value of an
+arbitrary expression (``Day(Time)``, ``Nation(lat, lon)``, a numeric
+bucket) and aggregate -- the capability the paper's extended
+``GROUP BY <aggregation list>`` syntax provides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cube import AggregateRequest, agg as agg_request, groupby
+from repro.engine.expressions import ColumnRef, Expression, FunctionCall, lit
+from repro.engine.table import Table
+
+__all__ = ["histogram", "bucket_expression"]
+
+
+def bucket_expression(column: str, width: float) -> Expression:
+    """An equi-width bucketing expression: ``floor(col / width) * width``.
+
+    Usable directly as a histogram category (and in SQL as
+    ``BUCKET(col, width)``).
+    """
+    return FunctionCall("BUCKET", [ColumnRef(column), lit(width)])
+
+
+def histogram(table: Table,
+              category: "str | Expression | tuple[Expression, str]",
+              aggregates: "Sequence[AggregateRequest | tuple] | None" = None,
+              *, where: Expression | None = None) -> Table:
+    """One-dimensional histogram: COUNT(*) (and any further aggregates)
+    per value of ``category``.
+
+    >>> histogram(weather, (FunctionCall("DAY", [col("Time")]), "day"))
+    """
+    if aggregates is None:
+        aggregates = [agg_request("COUNT", "*", "count")]
+    return groupby(table, [category], list(aggregates), where=where)

@@ -1,0 +1,136 @@
+"""Interactive roll-up / drill-down navigation (Section 2).
+
+"Reports commonly aggregate data at a coarse level, and then at
+successively finer levels.  Going up the levels is called rolling-up
+the data.  Going down is called drilling-down into the data."
+
+:class:`CubeNavigator` holds a cursor into a cube relation: a set of
+*expanded* dimensions (currently drilled into) plus fixed coordinates.
+``drill_down`` expands one more dimension; ``roll_up`` collapses one;
+``rows()`` returns the stratum the analyst is looking at.  This is the
+Extract-Visualize-Analyze loop of Figure 1 with the cube as the
+pre-extracted store: every navigation step is a lookup, not a
+recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.addressing import CubeView
+from repro.engine.table import Table
+from repro.errors import AddressingError
+from repro.types import ALL
+
+__all__ = ["CubeNavigator"]
+
+
+class CubeNavigator:
+    """A drill-down cursor over a :class:`CubeView`."""
+
+    def __init__(self, view: CubeView) -> None:
+        self.view = view
+        self._expanded: list[str] = []
+        self._fixed: dict[str, Any] = {}
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def expanded(self) -> tuple[str, ...]:
+        """Dimensions currently drilled into, in drill order."""
+        return tuple(self._expanded)
+
+    @property
+    def fixed(self) -> dict[str, Any]:
+        """Dimensions pinned to one value by :meth:`focus`."""
+        return dict(self._fixed)
+
+    def level_name(self) -> str:
+        if not self._expanded:
+            return "grand total"
+        return "by " + " by ".join(self._expanded)
+
+    # -- navigation ----------------------------------------------------------
+
+    def drill_down(self, dim: str) -> "CubeNavigator":
+        """Expand one more dimension (finer data)."""
+        if dim not in self.view.dims:
+            raise AddressingError(f"{dim!r} is not a dimension")
+        if dim in self._expanded:
+            raise AddressingError(f"already drilled into {dim!r}")
+        if dim in self._fixed:
+            raise AddressingError(
+                f"{dim!r} is focused to {self._fixed[dim]!r}; unfocus "
+                "before drilling")
+        self._expanded.append(dim)
+        return self
+
+    def roll_up(self, dim: str | None = None) -> "CubeNavigator":
+        """Collapse a dimension (coarser data); default: the last one
+        drilled."""
+        if not self._expanded:
+            raise AddressingError("already at the grand total")
+        if dim is None:
+            self._expanded.pop()
+        else:
+            try:
+                self._expanded.remove(dim)
+            except ValueError:
+                raise AddressingError(
+                    f"{dim!r} is not currently expanded") from None
+        return self
+
+    def focus(self, dim: str, value: Any) -> "CubeNavigator":
+        """Pin one dimension to a single value (slice)."""
+        if dim not in self.view.dims:
+            raise AddressingError(f"{dim!r} is not a dimension")
+        if dim in self._expanded:
+            self._expanded.remove(dim)
+        self._fixed[dim] = value
+        return self
+
+    def unfocus(self, dim: str) -> "CubeNavigator":
+        if dim not in self._fixed:
+            raise AddressingError(f"{dim!r} is not focused")
+        del self._fixed[dim]
+        return self
+
+    # -- reading ----------------------------------------------------------------
+
+    def rows(self) -> Table:
+        """The stratum under the cursor: expanded dims carry real
+        values, focused dims their pinned value, the rest ALL."""
+        out = self.view.table.empty_like()
+        dims = self.view.dims
+        for key in self.view.coordinates():
+            keep = True
+            for position, name in enumerate(dims):
+                value = key[position]
+                if name in self._fixed:
+                    if value != self._fixed[name]:
+                        keep = False
+                        break
+                elif name in self._expanded:
+                    if value is ALL:
+                        keep = False
+                        break
+                else:
+                    if value is not ALL:
+                        keep = False
+                        break
+            if keep:
+                out.append(self.view._cells[key], validate=False)
+        return out
+
+    def total(self, measure: str | None = None) -> Any:
+        """The single aggregate at the current focus, all expanded
+        dimensions rolled up."""
+        coords = []
+        for name in self.view.dims:
+            coords.append(self._fixed.get(name, ALL))
+        return self.view.get(*coords, measure=measure)
+
+    def __repr__(self) -> str:
+        focus = ", ".join(f"{k}={v!r}" for k, v in self._fixed.items())
+        return (f"<CubeNavigator {self.level_name()}"
+                f"{' | ' + focus if focus else ''}>")

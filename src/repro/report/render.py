@@ -1,0 +1,45 @@
+"""Plain-text grid rendering shared by the report builders."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.types import display_value
+
+__all__ = ["render_grid"]
+
+
+def render_grid(headers: Sequence[Any], rows: Sequence[Sequence[Any]], *,
+                title: str = "") -> str:
+    """Render a rectangular grid with padded columns.
+
+    ``headers`` and cell values go through
+    :func:`repro.types.display_value`, so ALL and NULL print with the
+    paper's conventions.  Empty-string cells stay blank (Table 3.a's
+    suppressed repeating groups).
+    """
+    header_cells = [display_value(h) if h is not None else "" for h in headers]
+    body = [[("" if cell == "" else display_value(cell)) if cell is not None
+             else "" for cell in row] for row in rows]
+    n_cols = max([len(header_cells)] + [len(r) for r in body]) if body \
+        else len(header_cells)
+    header_cells += [""] * (n_cols - len(header_cells))
+    body = [row + [""] * (n_cols - len(row)) for row in body]
+
+    widths = [len(c) for c in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "| " + " | ".join(
+            f"{cell:<{w}}" for cell, w in zip(cells, widths)) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.extend([separator, line(header_cells), separator])
+    out.extend(line(row) for row in body)
+    out.append(separator)
+    return "\n".join(out)

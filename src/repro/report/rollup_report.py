@@ -1,0 +1,88 @@
+"""The Table 3.a roll-up report.
+
+"Data is aggregated by Model, then by Year, then by Color.  The report
+shows data aggregated at three levels.  Going up the levels is called
+rolling-up the data.  Going down is called drilling-down."
+
+The paper notes this layout "is not relational because the empty cells
+(presumably NULL values) cannot form a key" -- which is exactly why the
+CUBE paper replaces it with the ALL representation.  Here the report is
+*rendered from* a relational ROLLUP result, showing the two forms carry
+the same information.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.cube import agg, rollup
+from repro.engine.table import Table
+from repro.report.render import render_grid
+from repro.types import ALL
+
+__all__ = ["rollup_report"]
+
+
+def rollup_report(table: Table, dims: Sequence[str], measure: str, *,
+                  function: str = "SUM",
+                  render: bool = True) -> "str | list[list]":
+    """Produce the Table 3.a staircase layout for an N-level roll-up.
+
+    Output columns: the N dimension columns (with repeating group
+    values suppressed, as Table 3.a prints them), then one sub-total
+    column per aggregation level, finest first (``Sales by Model by
+    Year by Color``, ``Sales by Model by Year``, ``Sales by Model``,
+    ...).  Each ROLLUP result row becomes one report line whose value
+    lands in the column matching its level.  With ``render=False`` the
+    raw grid (list of lists, ``None`` for blanks) is returned for
+    programmatic use.
+    """
+    dims = list(dims)
+    result = rollup(table, dims, [agg(function, measure, measure)])
+    n = len(dims)
+
+    level_names = []
+    for level in range(n + 1):
+        grouped = dims[: n - level]
+        if grouped:
+            level_names.append(f"{function} by " + " by ".join(grouped))
+        else:
+            level_names.append(f"{function} total")
+
+    lines: list[list[Any]] = []
+    previous: list[Any] = [object()] * n  # never equals real data
+    for row in result:
+        dim_values = list(row[:n])
+        value = row[n]
+        n_all = sum(1 for v in dim_values if v is ALL)
+        lines.append(_line(dim_values, previous, value, n, n_all))
+        if n_all == 0:
+            previous = dim_values
+
+    headers = dims + level_names
+    if render:
+        return render_grid(headers, lines,
+                           title=f"Roll Up of {function}({measure}) by "
+                                 + " by ".join(dims))
+    return [headers] + lines
+
+
+def _line(dim_values: list[Any], previous: list[Any], value: Any,
+          n: int, n_all: int) -> list[Any]:
+    cells: list[Any] = []
+    for position, dim_value in enumerate(dim_values):
+        if dim_value is ALL:
+            cells.append("")
+        elif previous[position] == dim_value and _prefix_matches(
+                dim_values, previous, position):
+            cells.append("")  # suppress repeating group value
+        else:
+            cells.append(dim_value)
+    totals: list[Any] = [None] * (n + 1)
+    totals[n_all] = value
+    return cells + totals
+
+
+def _prefix_matches(current: list[Any], previous: list[Any],
+                    position: int) -> bool:
+    return all(current[i] == previous[i] for i in range(position))

@@ -1,0 +1,69 @@
+"""Chris Date's 2^N-column representation (Table 3.b).
+
+"Table 3.a suggests creating 2^N aggregation columns for a roll-up of N
+elements.  Indeed, Chris Date recommends this approach [Date1]. [...]
+Representation 3.b is an elegant solution to this problem, but we
+rejected it because it implies enormous numbers of domains in the
+resulting tables."
+
+:func:`date_wide_rollup` builds that rejected representation from the
+same ROLLUP result, so the benchmarks can show *why* it was rejected:
+the column count grows with N while the ALL representation's schema
+stays N+1 columns wide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.addressing import CubeView
+from repro.core.cube import agg, rollup
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import ALL, DataType
+
+__all__ = ["date_wide_rollup"]
+
+
+def date_wide_rollup(table: Table, dims: Sequence[str], measure: str, *,
+                     function: str = "SUM") -> Table:
+    """Table 3.b: one row per base group, with the aggregate at *every*
+    roll-up level as an extra column.
+
+    For ``dims = [Model, Year, Color]`` the output schema is::
+
+        Model, Year, Color,
+        <fn> by Model by Year by Color, <fn> by Model by Year,
+        <fn> by Model, <fn> total
+
+    i.e. N dimension columns plus N+1 aggregate columns -- the per-level
+    totals are *denormalized onto every detail row*, which is what makes
+    the representation explode for real cubes (the paper's "64 columns
+    for a 6D TPC-D query").
+    """
+    dims = list(dims)
+    n = len(dims)
+    result = rollup(table, dims, [agg(function, measure, measure)])
+    view = CubeView(result, dims)
+
+    columns = [result.schema.column(d) for d in dims]
+    for level in range(n + 1):
+        grouped = dims[: n - level]
+        if grouped:
+            name = f"{function} by " + " by ".join(grouped)
+        else:
+            name = f"{function} total"
+        columns.append(Column(name, DataType.ANY))
+    out = Table(Schema(columns))
+
+    for key in sorted(view.coordinates(),
+                      key=lambda coordinate: tuple(
+                          (v is ALL, str(v)) for v in coordinate)):
+        if any(v is ALL for v in key):
+            continue  # only detail rows appear in Table 3.b
+        values: list[Any] = []
+        for level in range(n + 1):
+            coords = list(key[: n - level]) + [ALL] * level
+            values.append(view.get(*coords))
+        out.append(tuple(key) + tuple(values), validate=False)
+    return out

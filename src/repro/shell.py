@@ -1,0 +1,153 @@
+"""An interactive SQL shell for the data-cube engine.
+
+Run with ``python -m repro.shell``.  Statements end with ``;``;
+meta-commands start with a backslash:
+
+    \\help                this text
+    \\tables              list catalog tables
+    \\schema <table>      show a table's columns
+    \\load <dataset>      load a built-in dataset
+                          (sales, chevy, figure4, weather)
+    \\nullmode            toggle ALL vs NULL+GROUPING output (Sec. 3.4)
+    \\quit                exit
+
+The shell is a thin, testable wrapper over
+:class:`repro.sql.SQLSession`: every statement the paper prints runs
+here, including ``GROUP BY CUBE ...``, ``EXPLAIN``, and DML that drives
+trigger-maintained cubes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+from repro.data import (
+    chevy_sales_table,
+    figure4_sales_table,
+    sales_summary_table,
+    weather_table,
+)
+from repro.engine.catalog import Catalog
+from repro.errors import ReproError
+from repro.sql.executor import SQLSession
+from repro.types import NullMode
+
+__all__ = ["Shell", "main"]
+
+_DATASETS: dict[str, Callable] = {
+    "sales": sales_summary_table,
+    "chevy": chevy_sales_table,
+    "figure4": figure4_sales_table,
+    "weather": lambda: weather_table(500),
+}
+
+_HELP = __doc__.split("Run with")[1]
+
+
+class Shell:
+    """The REPL's state machine, separated from I/O for testability.
+
+    Feed lines to :meth:`handle_line`; each call returns the text to
+    print (possibly empty while a multi-line statement accumulates).
+    :attr:`done` flips when the user quits.
+    """
+
+    def __init__(self, session: SQLSession | None = None) -> None:
+        self.session = session if session is not None else SQLSession(
+            Catalog())
+        self.buffer: list[str] = []
+        self.done = False
+
+    @property
+    def prompt(self) -> str:
+        return "   ...> " if self.buffer else "cube=> "
+
+    def handle_line(self, line: str) -> str:
+        stripped = line.strip()
+        if not self.buffer and stripped.startswith("\\"):
+            return self._meta(stripped)
+        if not stripped and not self.buffer:
+            return ""
+        self.buffer.append(line)
+        if not stripped.endswith(";"):
+            return ""
+        sql = "\n".join(self.buffer)
+        self.buffer = []
+        return self._run(sql)
+
+    def _run(self, sql: str) -> str:
+        try:
+            result = self.session.execute(sql)
+        except ReproError as error:
+            return f"error: {error}"
+        if len(result.schema) == 1 \
+                and result.schema.names == ("rows_affected",):
+            return f"{result.rows[0][0]} row(s) affected"
+        return result.to_ascii(max_rows=40)
+
+    def _meta(self, command: str) -> str:
+        parts = command.split()
+        name = parts[0]
+        if name in ("\\quit", "\\q"):
+            self.done = True
+            return "bye"
+        if name in ("\\help", "\\h"):
+            return "Run with" + _HELP
+        if name == "\\tables":
+            names = self.session.catalog.names()
+            return "\n".join(names) if names else "(no tables)"
+        if name == "\\schema":
+            if len(parts) != 2:
+                return "usage: \\schema <table>"
+            try:
+                table = self.session.catalog.get(parts[1])
+            except ReproError as error:
+                return f"error: {error}"
+            return "\n".join(
+                f"{c.name:<20} {c.dtype.value}"
+                f"{'' if c.nullable else ' NOT NULL'}"
+                for c in table.schema.columns)
+        if name == "\\load":
+            if len(parts) != 2 or parts[1] not in _DATASETS:
+                return ("usage: \\load <dataset>; datasets: "
+                        + ", ".join(sorted(_DATASETS)))
+            dataset = parts[1]
+            table = _DATASETS[dataset]()
+            table_name = table.name or dataset
+            self.session.register(table_name, table, replace=True)
+            return f"loaded {table_name} ({len(table)} rows)"
+        if name == "\\nullmode":
+            if self.session.null_mode is NullMode.ALL_VALUE:
+                self.session.null_mode = NullMode.NULL_WITH_GROUPING
+                return "output mode: NULL + GROUPING() (Section 3.4)"
+            self.session.null_mode = NullMode.ALL_VALUE
+            return "output mode: ALL value (Section 3.3)"
+        return f"unknown command {name}; try \\help"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: loop over stdin."""
+    shell = Shell()
+    print("repro data-cube shell -- \\help for help, \\quit to exit")
+    print("tip: \\load sales  then  "
+          "SELECT Model, Year, Color, SUM(Units) FROM Sales "
+          "GROUP BY CUBE Model, Year, Color;")
+    while not shell.done:
+        try:
+            line = input(shell.prompt)
+        except EOFError:
+            print()
+            break
+        except KeyboardInterrupt:
+            print()
+            shell.buffer = []
+            continue
+        output = shell.handle_line(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""SQL front-end for the paper's dialect.
+
+Covers every query literally printed in the paper: the standard
+aggregate queries of Section 1.1, the union-of-GROUP-BYs of Section 2,
+the ``GROUP BY ... ROLLUP ... CUBE ...`` syntax of Section 3.2 (the
+standards-track infix notation the paper describes), ``GROUPING()``
+(Section 3.4), computed grouping columns (``Day(Time) AS day``), the
+Red Brick table functions (``N_tile``, ``Rank``...), HAVING, ORDER BY,
+UNION [ALL], joins, and uncorrelated scalar subqueries (the Section 4
+percent-of-total query).
+"""
+
+from repro.sql.tokens import tokenize, Token, TokenType
+from repro.sql.parser import parse, parse_any, parse_expression
+from repro.sql.executor import execute, SQLSession
+from repro.sql.analysis import count_aggregates, count_group_bys
+
+__all__ = [
+    "SQLSession",
+    "Token",
+    "TokenType",
+    "count_aggregates",
+    "count_group_bys",
+    "execute",
+    "parse",
+    "parse_any",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,117 @@
+"""Static analysis over parsed SQL -- the counting used to reproduce
+Table 2 ("SQL Aggregates in Standard Benchmarks").
+
+The paper counted, for each benchmark's query set, how many aggregate
+function invocations and how many GROUP BY clauses appear.  These
+helpers walk our AST and produce the same counts for any statement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.expressions import (
+    Arithmetic,
+    Between,
+    BooleanExpr,
+    CaseExpr,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    NotExpr,
+)
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    ScalarSubquery,
+    SelectStmt,
+    Star,
+    Statement,
+    UnionStmt,
+)
+
+__all__ = ["count_aggregates", "count_group_bys", "iter_selects",
+           "iter_expressions", "iter_aggregate_calls"]
+
+
+def iter_selects(statement: Statement) -> Iterator[SelectStmt]:
+    """Every SELECT in a statement, including UNION branches and scalar
+    subqueries (depth-first)."""
+    body = statement.body
+    selects = body.selects if isinstance(body, UnionStmt) else [body]
+    for select in selects:
+        yield select
+        for expr in _select_expressions(select):
+            for node in _walk(expr):
+                if isinstance(node, ScalarSubquery):
+                    yield from iter_selects(node.statement)
+
+
+def _select_expressions(select: SelectStmt) -> Iterator[Expression]:
+    for item in select.items:
+        if not isinstance(item.expression, Star):
+            yield item.expression
+    if select.where is not None:
+        yield select.where
+    if select.group is not None:
+        for expr, _ in select.group.all_items():
+            yield expr
+    if select.having is not None:
+        yield select.having
+    for join in select.joins:
+        if join.on is not None:
+            yield join.on
+
+
+def _walk(expr: Expression) -> Iterator[Expression]:
+    yield expr
+    children: list[Expression] = []
+    if isinstance(expr, (Arithmetic, Comparison)):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, BooleanExpr):
+        children = list(expr.operands)
+    elif isinstance(expr, NotExpr):
+        children = [expr.operand]
+    elif isinstance(expr, (InList, IsNull, LikeExpr)):
+        children = [expr.operand]
+    elif isinstance(expr, Between):
+        children = [expr.operand, expr.low, expr.high]
+    elif isinstance(expr, CaseExpr):
+        for condition, value in expr.branches:
+            children.extend((condition, value))
+        if expr.default is not None:
+            children.append(expr.default)
+    elif isinstance(expr, FunctionCall):
+        children = list(expr.args)
+    elif isinstance(expr, AggregateCall):
+        if expr.argument != "*":
+            children = [expr.argument]
+    for child in children:
+        yield from _walk(child)
+
+
+def iter_expressions(statement: Statement) -> Iterator[Expression]:
+    for select in iter_selects(statement):
+        for expr in _select_expressions(select):
+            yield from _walk(expr)
+
+
+def iter_aggregate_calls(statement: Statement) -> Iterator[AggregateCall]:
+    for expr in iter_expressions(statement):
+        if isinstance(expr, AggregateCall):
+            yield expr
+
+
+def count_aggregates(statement: Statement) -> int:
+    """Aggregate-function invocations in the statement (Table 2's
+    "Aggregates" column)."""
+    return sum(1 for _ in iter_aggregate_calls(statement))
+
+
+def count_group_bys(statement: Statement) -> int:
+    """GROUP BY clauses in the statement (Table 2's "GROUP BYs"
+    column)."""
+    return sum(1 for select in iter_selects(statement)
+               if select.group is not None)

@@ -1,0 +1,851 @@
+"""SQL execution: AST -> relational plan -> Table.
+
+The execution pipeline for one SELECT:
+
+1. **FROM** -- catalog lookup plus joins (hash join for USING, nested
+   loop for ON);
+2. **scalar subqueries** -- uncorrelated ``(SELECT ...)`` expressions
+   are evaluated once and replaced by literals (the Section 4
+   percent-of-total pattern);
+3. **WHERE** -- row filter;
+4. **table functions** -- Red Brick whole-column functions (``N_tile``,
+   ``Rank``...) are computed over the filtered input and become derived
+   columns, so they can serve as grouping columns (the paper's
+   ``GROUP BY N_tile(Temp, 10) AS Percentile`` query);
+5. **grouping** -- plain / ROLLUP / CUBE per the Section 3.2 clause,
+   executed by the :mod:`repro.compute` machinery with automatic
+   algorithm choice;
+6. **HAVING**, **select-list projection** (with ``GROUPING()``
+   rewritten to an ALL test), **DISTINCT**;
+7. statement level: **UNION [ALL]** folding and **ORDER BY**.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.aggregates.registry import AggregateRegistry, default_registry
+from repro.core.grouping import GroupingSpec
+from repro.compute.base import build_task
+from repro.compute.optimizer import choose_algorithm
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import (
+    Arithmetic,
+    Between,
+    BooleanExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    NotExpr,
+)
+from repro.engine.groupby import AggregateSpec, hash_group_by
+from repro.engine.join import hash_join, nested_loop_join
+from repro.engine.operators import distinct as distinct_op
+from repro.engine.operators import filter_rows, union_all, union_distinct
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import SQLExecutionError, SQLPlanError
+from repro.sql import functions as _functions  # noqa: F401  (registers)
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    CreateTableStmt,
+    DeleteStmt,
+    ExplainStmt,
+    GroupClause,
+    GroupingCall,
+    InsertStmt,
+    OrderItem,
+    ScalarSubquery,
+    SelectItem,
+    SelectStmt,
+    Star,
+    Statement,
+    TableFunctionCall,
+    UnionStmt,
+    UpdateStmt,
+)
+from repro.sql.parser import parse, parse_any
+from repro.aggregates import redbrick
+from repro.types import ALL, DataType, NullMode, sort_key
+
+__all__ = ["SQLSession", "execute"]
+
+
+# -- expression rewriting ------------------------------------------------------
+
+
+def transform(expr: Expression,
+              mapper: Callable[[Expression], Optional[Expression]]
+              ) -> Expression:
+    """Bottom-up rewrite: ``mapper`` may replace any node; children of
+    un-replaced nodes are rebuilt recursively."""
+    replacement = mapper(expr)
+    if replacement is not None:
+        return replacement
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(expr.op, transform(expr.left, mapper),
+                          transform(expr.right, mapper))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, transform(expr.left, mapper),
+                          transform(expr.right, mapper))
+    if isinstance(expr, BooleanExpr):
+        return BooleanExpr(expr.op,
+                           [transform(o, mapper) for o in expr.operands])
+    if isinstance(expr, NotExpr):
+        return NotExpr(transform(expr.operand, mapper))
+    if isinstance(expr, InList):
+        return InList(transform(expr.operand, mapper), expr.values)
+    if isinstance(expr, Between):
+        return Between(transform(expr.operand, mapper),
+                       transform(expr.low, mapper),
+                       transform(expr.high, mapper))
+    if isinstance(expr, IsNull):
+        return IsNull(transform(expr.operand, mapper), negated=expr.negated)
+    if isinstance(expr, LikeExpr):
+        return LikeExpr(transform(expr.operand, mapper), expr.pattern,
+                        negated=expr.negated)
+    if isinstance(expr, CaseExpr):
+        branches = [(transform(c, mapper), transform(v, mapper))
+                    for c, v in expr.branches]
+        default = transform(expr.default, mapper) \
+            if expr.default is not None else None
+        return CaseExpr(branches, default)
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name,
+                            [transform(a, mapper) for a in expr.args],
+                            registry=expr.registry,
+                            propagate_null=expr.propagate_null)
+    if isinstance(expr, AggregateCall):
+        argument = expr.argument
+        if argument != "*":
+            argument = transform(argument, mapper)
+        return AggregateCall(expr.name, argument, distinct=expr.distinct,
+                             extra_args=expr.extra_args)
+    if isinstance(expr, TableFunctionCall):
+        return TableFunctionCall(expr.name,
+                                 transform(expr.argument, mapper),
+                                 extra_args=expr.extra_args)
+    return expr
+
+
+def contains(expr: Expression, kind: type) -> bool:
+    found = False
+
+    def probe(node: Expression) -> Optional[Expression]:
+        nonlocal found
+        if isinstance(node, kind):
+            found = True
+        return None
+
+    transform(expr, probe)
+    return found
+
+
+class _IsAllTest(Expression):
+    """Rewritten ``GROUPING(col)``: TRUE iff the column carries ALL."""
+
+    __slots__ = ("column",)
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def evaluate(self, row) -> bool:
+        return row.get(self.column) is ALL
+
+    def references(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def default_name(self) -> str:
+        return f"GROUPING({self.column})"
+
+
+_TABLE_FUNCTION_IMPL = {
+    "RANK": lambda values, extra: redbrick.rank(values),
+    "N_TILE": lambda values, extra: redbrick.n_tile(values, int(extra[0])),
+    "NTILE": lambda values, extra: redbrick.n_tile(values, int(extra[0])),
+    "RATIO_TO_TOTAL": lambda values, extra: redbrick.ratio_to_total(values),
+    "CUMULATIVE": lambda values, extra: redbrick.cumulative(values),
+    "RUNNING_SUM": lambda values, extra: redbrick.running_sum(
+        values, int(extra[0])),
+    "RUNNING_AVERAGE": lambda values, extra: redbrick.running_average(
+        values, int(extra[0])),
+}
+
+
+class SQLSession:
+    """A catalog plus execution options.
+
+    ``null_mode`` selects between the paper's "real" ALL representation
+    (:attr:`~repro.types.NullMode.ALL_VALUE`, the default) and the
+    Section 3.4 minimalist design where ALL prints as NULL (use
+    ``GROUPING()`` in the select list to discriminate).
+    """
+
+    def __init__(self, catalog: Catalog | None = None, *,
+                 registry: AggregateRegistry | None = None,
+                 null_mode: NullMode = NullMode.ALL_VALUE) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.registry = registry or default_registry
+        self.null_mode = null_mode
+
+    def register(self, name: str, table: Table, *,
+                 replace: bool = False) -> Table:
+        return self.catalog.register(name, table, replace=replace)
+
+    # -- entry points -----------------------------------------------------
+
+    def execute(self, sql: str) -> Table:
+        """Parse and run one statement (SELECT or DML/DDL).
+
+        DML statements return a one-row ``rows_affected`` relation;
+        CREATE TABLE returns an empty relation with the new schema.
+        Inserts and deletes go through the catalog, so triggers fire --
+        SQL is a full driver for Section 6's maintained cubes.
+        """
+        statement = parse_any(sql, registry=self.registry)
+        if isinstance(statement, ExplainStmt):
+            return self.explain(statement.statement)
+        if isinstance(statement, InsertStmt):
+            return self._run_insert(statement)
+        if isinstance(statement, DeleteStmt):
+            return self._run_delete(statement)
+        if isinstance(statement, UpdateStmt):
+            return self._run_update(statement)
+        if isinstance(statement, CreateTableStmt):
+            return self._run_create(statement)
+        return self.run(statement)
+
+    @staticmethod
+    def _affected(count: int) -> Table:
+        return Table(Schema([Column("rows_affected", DataType.INTEGER)]),
+                     [(count,)])
+
+    def _run_insert(self, statement: InsertStmt) -> Table:
+        table = self.catalog.get(statement.table)
+        names = table.schema.names
+        for values in statement.rows:
+            if statement.columns:
+                if len(values) != len(statement.columns):
+                    raise SQLExecutionError(
+                        f"INSERT row has {len(values)} values for "
+                        f"{len(statement.columns)} named columns")
+                mapping = dict(zip(statement.columns, values))
+                unknown = set(statement.columns) - set(names)
+                if unknown:
+                    raise SQLExecutionError(
+                        f"INSERT names unknown columns {sorted(unknown)}")
+                row = tuple(mapping.get(name) for name in names)
+            else:
+                if len(values) != len(names):
+                    raise SQLExecutionError(
+                        f"INSERT row has {len(values)} values; table has "
+                        f"{len(names)} columns")
+                row = values
+            self.catalog.insert(statement.table, row)
+        return self._affected(len(statement.rows))
+
+    def _matching_rows(self, table: Table,
+                       where: Optional[Expression]) -> list[tuple]:
+        if where is None:
+            return list(table.rows)
+        names = table.schema.names
+        return [row for row in table
+                if where.evaluate(dict(zip(names, row))) is True]
+
+    def _run_delete(self, statement: DeleteStmt) -> Table:
+        table = self.catalog.get(statement.table)
+        victims = self._matching_rows(table, statement.where)
+        for row in victims:
+            self.catalog.delete(statement.table, row)
+        return self._affected(len(victims))
+
+    def _run_update(self, statement: UpdateStmt) -> Table:
+        table = self.catalog.get(statement.table)
+        names = table.schema.names
+        for column, _ in statement.assignments:
+            table.schema.index_of(column)  # validate early
+        victims = self._matching_rows(table, statement.where)
+        for old_row in victims:
+            context = dict(zip(names, old_row))
+            updates = {column: expr.evaluate(context)
+                       for column, expr in statement.assignments}
+            new_row = tuple(updates.get(name, value)
+                            for name, value in zip(names, old_row))
+            # UPDATE = DELETE + INSERT (Section 6)
+            self.catalog.update(statement.table, old_row, new_row)
+        return self._affected(len(victims))
+
+    def _run_create(self, statement: CreateTableStmt) -> Table:
+        columns = []
+        for name, type_name, nullable in statement.columns:
+            try:
+                dtype = DataType(type_name.upper())
+            except ValueError:
+                raise SQLExecutionError(
+                    f"unknown column type {type_name!r}; have "
+                    f"{[t.value for t in DataType]}") from None
+            columns.append(Column(name, dtype, nullable=nullable))
+        table = Table(Schema(columns))
+        self.catalog.register(statement.table, table)
+        return table
+
+    # -- EXPLAIN ----------------------------------------------------------
+
+    def explain(self, statement: Statement) -> Table:
+        """The plan as a (step, detail) relation -- no rows computed.
+
+        Exposes what Section 2 says the union-of-GROUP-BYs hides from
+        the optimizer: the grouping structure, the number of grouping
+        sets, the selected algorithm and its rationale, and the
+        estimated result cardinality via the Π(Ci+1) law.
+        """
+        steps: list[tuple[str, str]] = []
+        body = statement.body
+        selects = body.selects if isinstance(body, UnionStmt) else [body]
+        for position, select in enumerate(selects):
+            prefix = f"branch {position}: " if len(selects) > 1 else ""
+            steps.extend(self._explain_select(select, prefix))
+        if len(selects) > 1:
+            steps.append(("union", f"{len(selects)} branches"))
+        if statement.order_by:
+            keys = ", ".join(
+                item.expression.default_name()
+                + (" DESC" if item.descending else "")
+                for item in statement.order_by)
+            steps.append(("order by", keys))
+        return Table(Schema([Column("step", DataType.STRING),
+                             Column("detail", DataType.STRING)]), steps)
+
+    def _explain_select(self, select: SelectStmt,
+                        prefix: str) -> list[tuple[str, str]]:
+        import math
+
+        from repro.compute.optimizer import explain_choice
+
+        steps: list[tuple[str, str]] = []
+        if select.table is not None:
+            steps.append((f"{prefix}scan", select.table.name))
+            for join in select.joins:
+                how = (f"USING ({', '.join(join.using)})" if join.using
+                       else "ON <predicate>")
+                steps.append((f"{prefix}join",
+                              f"{join.table.name} {how}"))
+        if select.where is not None:
+            steps.append((f"{prefix}filter", repr(select.where)))
+
+        group = select.group
+        if group is not None:
+            spec = GroupingSpec(
+                plain=tuple(alias or expr.default_name()
+                            for expr, alias in group.plain),
+                rollup=tuple(alias or expr.default_name()
+                             for expr, alias in group.rollup),
+                cube=tuple(alias or expr.default_name()
+                           for expr, alias in group.cube))
+            steps.append((f"{prefix}group", spec.describe()))
+            steps.append((f"{prefix}grouping sets",
+                          str(spec.set_count())))
+            # estimate result size + algorithm on the real input when
+            # the table resolves
+            if select.table is not None and select.table.name in \
+                    self.catalog:
+                table = self._run_from(select)
+                resolved = self._resolve_subqueries_in_select(select)
+                table, rewritten = self._materialize_table_functions(
+                    table, resolved)
+                dims = [(expr, alias or expr.default_name())
+                        for expr, alias in rewritten.group.all_items()]
+                probe = self._collect_aggregate_specs(rewritten)
+                if not probe:
+                    from repro.aggregates.distributive import CountStar
+                    probe = [AggregateSpec(function=CountStar(),
+                                           input="*", name="__n")]
+                task = build_task(table, dims, probe,
+                                  spec.grouping_sets())
+                cardinalities = task.cardinalities()
+                estimate = math.prod(c + 1 for c in cardinalities) \
+                    if cardinalities else 1
+                steps.append((
+                    f"{prefix}cardinalities",
+                    ", ".join(f"{name}={c}" for (_, name), c
+                              in zip(dims, cardinalities))))
+                steps.append((f"{prefix}estimated rows",
+                              f"<= {estimate} (Π(Ci+1) law)"))
+                from repro.core.lattice import CubeLattice
+                lattice = CubeLattice(task.dims, task.masks)
+                expected = lattice.expected_cube_cells(
+                    cardinalities, len(task.rows))
+                steps.append((f"{prefix}expected rows",
+                              f"~ {expected} (sparse estimate, "
+                              f"T={len(task.rows)})"))
+                steps.append((f"{prefix}algorithm",
+                              explain_choice(task)))
+        if select.having is not None:
+            steps.append((f"{prefix}having", repr(select.having)))
+        if select.distinct:
+            steps.append((f"{prefix}distinct", ""))
+        return steps
+
+    def run(self, statement: Statement) -> Table:
+        body = statement.body
+        if isinstance(body, UnionStmt):
+            result = self._run_select(body.selects[0])
+            for flag, select in zip(body.all_flags, body.selects[1:]):
+                branch = self._run_select(select)
+                branch = self._align_schemas(result, branch)
+                result = union_all(result, branch) if flag \
+                    else union_distinct(result, branch)
+        else:
+            result = self._run_select(body)
+        if statement.order_by:
+            result = self._order(result, statement.order_by)
+        return result
+
+    # -- select pipeline -----------------------------------------------------
+
+    def _run_select(self, select: SelectStmt) -> Table:
+        table = self._run_from(select)
+
+        subquery_free = self._resolve_subqueries_in_select(select)
+
+        if subquery_free.where is not None:
+            where = subquery_free.where
+            if contains(where, AggregateCall):
+                raise SQLPlanError("aggregates are not allowed in WHERE")
+            table = filter_rows(table, where)
+
+        table, rewritten = self._materialize_table_functions(
+            table, subquery_free)
+
+        has_aggregates = any(
+            not isinstance(item.expression, Star)
+            and contains(item.expression, AggregateCall)
+            for item in rewritten.items)
+        if rewritten.having is not None:
+            has_aggregates = has_aggregates or contains(
+                rewritten.having, AggregateCall)
+
+        if rewritten.group is None and not has_aggregates:
+            result = self._project_plain(table, rewritten.items)
+        else:
+            result = self._run_grouped(table, rewritten)
+
+        if rewritten.distinct:
+            result = distinct_op(result)
+        if self.null_mode is NullMode.NULL_WITH_GROUPING:
+            result = self._replace_all_with_null(result)
+        return result
+
+    def _run_from(self, select: SelectStmt) -> Table:
+        if select.table is None:
+            return Table(Schema([Column("__dummy", DataType.INTEGER)]),
+                         [(0,)])
+        table = self.catalog.get(select.table.name)
+        for join in select.joins:
+            right = self.catalog.get(join.table.name)
+            if join.using:
+                table = hash_join(table, right,
+                                  list(join.using), list(join.using))
+            else:
+                table = nested_loop_join(table, right, join.on)
+        return table
+
+    def _resolve_subqueries_in_select(self, select: SelectStmt) -> SelectStmt:
+        def resolve(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, ScalarSubquery):
+                return Literal(self._scalar(expr))
+            return None
+
+        items = [item if isinstance(item.expression, Star)
+                 else SelectItem(transform(item.expression, resolve),
+                                 item.alias)
+                 for item in select.items]
+        where = transform(select.where, resolve) \
+            if select.where is not None else None
+        having = transform(select.having, resolve) \
+            if select.having is not None else None
+        group = select.group
+        if group is not None:
+            group = GroupClause(
+                plain=[(transform(e, resolve), a) for e, a in group.plain],
+                rollup=[(transform(e, resolve), a) for e, a in group.rollup],
+                cube=[(transform(e, resolve), a) for e, a in group.cube])
+        return SelectStmt(items=items, table=select.table,
+                          joins=select.joins, where=where, group=group,
+                          having=having, distinct=select.distinct)
+
+    def _scalar(self, subquery: ScalarSubquery) -> Any:
+        result = self.run(subquery.statement)
+        if len(result) != 1 or len(result.schema) != 1:
+            raise SQLExecutionError(
+                f"scalar subquery returned {len(result)} rows x "
+                f"{len(result.schema)} columns; needs exactly 1 x 1")
+        return result.rows[0][0]
+
+    def _materialize_table_functions(
+            self, table: Table,
+            select: SelectStmt) -> tuple[Table, SelectStmt]:
+        """Compute Red Brick whole-column functions as derived columns."""
+        calls: dict[tuple, TableFunctionCall] = {}
+
+        def collect(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, TableFunctionCall):
+                calls.setdefault(expr.key(), expr)
+            return None
+
+        for item in select.items:
+            if not isinstance(item.expression, Star):
+                transform(item.expression, collect)
+        if select.group is not None:
+            for expr, _ in select.group.all_items():
+                transform(expr, collect)
+        if select.having is not None:
+            transform(select.having, collect)
+        if not calls:
+            return table, select
+
+        names = table.schema.names
+        derived_names: dict[tuple, str] = {}
+        columns = list(table.schema.columns)
+        new_column_values: list[list] = []
+        for position, (key, call) in enumerate(calls.items()):
+            impl = _TABLE_FUNCTION_IMPL.get(call.name)
+            if impl is None:
+                raise SQLPlanError(f"unknown table function {call.name}")
+            values = [call.argument.evaluate(dict(zip(names, row)))
+                      for row in table]
+            derived = impl(values, call.extra_args)
+            column_name = f"__tf{position}_{call.name.lower()}"
+            derived_names[key] = column_name
+            columns.append(Column(column_name, DataType.ANY))
+            new_column_values.append(derived)
+
+        out = Table(Schema(columns))
+        for row_index, row in enumerate(table):
+            extra = tuple(vals[row_index] for vals in new_column_values)
+            out.append(row + extra, validate=False)
+
+        def rewrite(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, TableFunctionCall):
+                return ColumnRef(derived_names[expr.key()])
+            return None
+
+        items = [item if isinstance(item.expression, Star)
+                 else SelectItem(transform(item.expression, rewrite),
+                                 item.alias)
+                 for item in select.items]
+        group = select.group
+        if group is not None:
+            group = GroupClause(
+                plain=[(transform(e, rewrite), a) for e, a in group.plain],
+                rollup=[(transform(e, rewrite), a) for e, a in group.rollup],
+                cube=[(transform(e, rewrite), a) for e, a in group.cube])
+        having = transform(select.having, rewrite) \
+            if select.having is not None else None
+        return out, SelectStmt(items=items, table=select.table,
+                               joins=select.joins, where=select.where,
+                               group=group, having=having,
+                               distinct=select.distinct)
+
+    # -- plain (non-grouped) projection ------------------------------------
+
+    def _project_plain(self, table: Table,
+                       items: list[SelectItem]) -> Table:
+        columns: list[Column] = []
+        evaluators: list[Expression | None] = []  # None = expand Star
+        for item in items:
+            if isinstance(item.expression, Star):
+                columns.extend(table.schema.columns)
+                evaluators.append(None)
+            else:
+                name = item.alias or item.expression.default_name()
+                if isinstance(item.expression, ColumnRef) \
+                        and item.expression.name in table.schema:
+                    columns.append(
+                        table.schema.column(item.expression.name)
+                        .renamed(name))
+                else:
+                    columns.append(Column(name, DataType.ANY,
+                                          all_allowed=True))
+                evaluators.append(item.expression)
+        schema = Schema(self._dedupe_names(columns))
+        names = table.schema.names
+        out = Table(schema)
+        for row in table:
+            context = dict(zip(names, row))
+            values: list[Any] = []
+            for evaluator in evaluators:
+                if evaluator is None:
+                    values.extend(row)
+                else:
+                    values.append(evaluator.evaluate(context))
+            out.append(tuple(values), validate=False)
+        return out
+
+    @staticmethod
+    def _dedupe_names(columns: list[Column]) -> list[Column]:
+        seen: dict[str, int] = {}
+        out = []
+        for column in columns:
+            name = column.name
+            if name in seen:
+                seen[name] += 1
+                name = f"{name}_{seen[column.name]}"
+            else:
+                seen[name] = 0
+            out.append(column.renamed(name))
+        return out
+
+    # -- grouped execution -------------------------------------------------
+
+    def _run_grouped(self, table: Table, select: SelectStmt) -> Table:
+        group = select.group
+
+        # dimension list with output aliases
+        dims: list[tuple[Expression, str]] = []
+        plain_names: list[str] = []
+        rollup_names: list[str] = []
+        cube_names: list[str] = []
+        if group is not None:
+            for bucket, names_out in ((group.plain, plain_names),
+                                      (group.rollup, rollup_names),
+                                      (group.cube, cube_names)):
+                for expr, alias in bucket:
+                    name = alias or expr.default_name()
+                    dims.append((expr, name))
+                    names_out.append(name)
+
+        # collect aggregate calls from select list and HAVING
+        agg_calls: dict[tuple, AggregateCall] = {}
+
+        def collect(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, AggregateCall):
+                agg_calls.setdefault(expr.key(), expr)
+            return None
+
+        for item in select.items:
+            if isinstance(item.expression, Star):
+                raise SQLPlanError("SELECT * cannot be combined with "
+                                   "GROUP BY or aggregates")
+            transform(item.expression, collect)
+        if select.having is not None:
+            transform(select.having, collect)
+
+        specs: list[AggregateSpec] = []
+        agg_names: dict[tuple, str] = {}
+        taken = {name for _, name in dims}
+        for position, (key, call) in enumerate(agg_calls.items()):
+            fn = self._make_aggregate(call)
+            name = call.default_name()
+            if name in taken:
+                name = f"{name}#{position}"
+            taken.add(name)
+            agg_names[key] = name
+            specs.append(AggregateSpec(function=fn, input=call.argument,
+                                       name=name))
+        if not specs:
+            # GROUP BY with no aggregates: count rows invisibly so the
+            # grouping machinery still has work; column dropped later
+            from repro.aggregates.distributive import CountStar
+            hidden = "__rows"
+            specs.append(AggregateSpec(function=CountStar(), input="*",
+                                       name=hidden))
+            agg_names[("__rows",)] = hidden
+
+        if not dims:
+            grouped = hash_group_by(table, [], specs).table
+        else:
+            spec = GroupingSpec(plain=tuple(plain_names),
+                                rollup=tuple(rollup_names),
+                                cube=tuple(cube_names))
+            task = build_task(table, dims, specs, spec.grouping_sets())
+            algorithm = choose_algorithm(task)
+            grouped = algorithm.compute(task).table
+
+        # rewrite select/having expressions against the grouped schema
+        dim_name_set = {name for _, name in dims}
+
+        # the Section 4 shorthand: an aggregate's select alias becomes a
+        # cell-addressing function -- `SUM(Sales) AS total` makes
+        # `total(ALL, ALL, ALL)` the global-cell value
+        alias_cells = self._alias_cell_lookup(select, agg_calls, agg_names,
+                                              dims, grouped)
+
+        def rewrite(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, AggregateCall):
+                return ColumnRef(agg_names[expr.key()])
+            if isinstance(expr, GroupingCall):
+                if expr.column not in dim_name_set:
+                    raise SQLPlanError(
+                        f"GROUPING({expr.column}) references a column "
+                        "that is not grouped")
+                return _IsAllTest(expr.column)
+            if isinstance(expr, FunctionCall) and alias_cells is not None:
+                resolved = alias_cells(expr)
+                if resolved is not None:
+                    return resolved
+            return None
+
+        if select.having is not None:
+            having = transform(select.having, rewrite)
+            grouped = filter_rows(grouped, having)
+
+        out_items = []
+        for item in select.items:
+            rewritten = transform(item.expression, rewrite)
+            self._check_grouped_references(rewritten, dim_name_set,
+                                           set(agg_names.values()))
+            out_items.append(SelectItem(rewritten, item.alias))
+        return self._project_plain(grouped, out_items)
+
+    def _collect_aggregate_specs(self,
+                                 select: SelectStmt) -> list[AggregateSpec]:
+        """The query's aggregate calls as specs (used by EXPLAIN so the
+        algorithm choice reflects the real functions, e.g. a holistic
+        MEDIAN routing to the 2^N-algorithm)."""
+        calls: dict[tuple, AggregateCall] = {}
+
+        def collect(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, AggregateCall):
+                calls.setdefault(expr.key(), expr)
+            return None
+
+        for item in select.items:
+            if not isinstance(item.expression, Star):
+                transform(item.expression, collect)
+        if select.having is not None:
+            transform(select.having, collect)
+        return [AggregateSpec(function=self._make_aggregate(call),
+                              input=call.argument,
+                              name=f"__agg{i}")
+                for i, (_, call) in enumerate(calls.items())]
+
+    def _alias_cell_lookup(self, select: SelectStmt, agg_calls: dict,
+                           agg_names: dict, dims: list,
+                           grouped: Table):
+        """Build the Section 4 alias-addressing resolver.
+
+        Returns a callable mapping a :class:`FunctionCall` whose name is
+        an aggregate's select alias and whose arguments are coordinate
+        literals to the addressed cell's value, or None when no aliases
+        exist.  ``total(ALL, ALL, ALL)`` is the paper's shorthand for
+        the nested percent-of-total subquery.
+        """
+        aliases: dict[str, str] = {}
+        for item in select.items:
+            if item.alias and isinstance(item.expression, AggregateCall):
+                aliases[item.alias.upper()] = agg_names[
+                    item.expression.key()]
+        if not aliases:
+            return None
+
+        dim_names = [name for _, name in dims]
+        dim_idx = [grouped.schema.index_of(name) for name in dim_names]
+        cells: dict[tuple, tuple] = {
+            tuple(row[i] for i in dim_idx): row for row in grouped}
+
+        def resolve(call: FunctionCall) -> Optional[Expression]:
+            column = aliases.get(call.name.upper())
+            if column is None:
+                return None
+            if len(call.args) != len(dim_names):
+                raise SQLPlanError(
+                    f"{call.name}(...) addresses a {len(dim_names)}-"
+                    f"dimensional cube; got {len(call.args)} coordinates")
+            coords = []
+            for arg in call.args:
+                if not isinstance(arg, Literal):
+                    raise SQLPlanError(
+                        f"{call.name}(...) coordinates must be literals "
+                        "or ALL")
+                coords.append(arg.value)
+            row = cells.get(tuple(coords))
+            if row is None:
+                raise SQLPlanError(
+                    f"{call.name}{tuple(coords)} addresses no cube cell")
+            return Literal(row[grouped.schema.index_of(column)])
+
+        return resolve
+
+    def _check_grouped_references(self, expr: Expression,
+                                  dims: set[str], aggs: set[str]) -> None:
+        """Enforce the SQL rule the paper's Section 3.5 discusses: every
+        output column must be grouped or aggregated (decorations are
+        provided by :mod:`repro.core.decorations`, not bare SQL)."""
+        allowed = dims | aggs
+        for name in expr.references():
+            if name not in allowed:
+                raise SQLPlanError(
+                    f"column {name!r} is neither grouped nor aggregated; "
+                    "add it to GROUP BY or use repro.core decorations")
+
+    def _make_aggregate(self, call: AggregateCall):
+        name = call.name
+        if call.distinct:
+            if name == "COUNT":
+                fn = self.registry.create("COUNT_DISTINCT")
+            else:
+                raise SQLPlanError(
+                    f"DISTINCT is only supported with COUNT, not {name}")
+        elif name == "COUNT" and call.argument == "*":
+            fn = self.registry.create("COUNT(*)")
+        else:
+            fn = self.registry.create(name, *call.extra_args)
+        # SQL runs holistic functions in strict mode, so the optimizer
+        # routes them through the 2^N-algorithm exactly as Section 5
+        # prescribes (carrying mode is a library-level research knob)
+        from repro.aggregates.holistic import HolisticAggregate
+        if isinstance(fn, HolisticAggregate):
+            fn.carrying = False
+        return fn
+
+    # -- output post-processing ------------------------------------------------
+
+    def _replace_all_with_null(self, table: Table) -> Table:
+        out = Table(table.schema)
+        for row in table:
+            out.append(tuple(None if v is ALL else v for v in row),
+                       validate=False)
+        return out
+
+    def _align_schemas(self, left: Table, right: Table) -> Table:
+        if len(left.schema) != len(right.schema):
+            raise SQLExecutionError(
+                "UNION branches have different column counts")
+        if left.schema.names == right.schema.names:
+            return right
+        renamed = Schema([
+            column.renamed(name) for column, name
+            in zip(right.schema.columns, left.schema.names)])
+        return Table(renamed, right.rows, validate=False)
+
+    def _order(self, table: Table, order_items: list[OrderItem]) -> Table:
+        names = table.schema.names
+        decorated = []
+        for row in table:
+            context = dict(zip(names, row))
+            keys = []
+            for item in order_items:
+                value = item.expression.evaluate(context)
+                keys.append(sort_key(value))
+            decorated.append((keys, row))
+        for position in range(len(order_items) - 1, -1, -1):
+            decorated.sort(key=lambda pair: pair[0][position],
+                           reverse=order_items[position].descending)
+        out = table.empty_like()
+        out.extend((row for _, row in decorated), validate=False)
+        return out
+
+
+def execute(sql: str, catalog: Catalog, *,
+            registry: AggregateRegistry | None = None,
+            null_mode: NullMode = NullMode.ALL_VALUE) -> Table:
+    """One-shot convenience: run ``sql`` against ``catalog``."""
+    session = SQLSession(catalog, registry=registry, null_mode=null_mode)
+    return session.execute(sql)

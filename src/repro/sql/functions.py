@@ -1,0 +1,109 @@
+"""Scalar SQL functions.
+
+Registers into the process-wide scalar-function registry the functions
+the paper's queries use as computed grouping columns (Section 2's
+histogram fix): calendar bucketing (``Day``, ``Month``, ``Year``,
+``Week``...) and geography (``Nation``, ``Country``, ``Continent`` over
+the synthetic world of :mod:`repro.data.weather`), plus a handful of
+generic scalar helpers.
+
+Importing this module (which :mod:`repro.sql` does) performs the
+registration once.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Any
+
+from repro.engine.expressions import scalar_functions
+from repro.data.weather import continent_of, nation_of
+
+__all__ = ["register_builtin_functions"]
+
+
+def _coerce_datetime(value: Any) -> datetime.date | datetime.datetime:
+    if isinstance(value, (datetime.datetime, datetime.date)):
+        return value
+    raise TypeError(f"expected a date/timestamp, got {value!r}")
+
+
+def day(value: Any) -> datetime.date:
+    """``Day(Time)``: the calendar day containing a timestamp."""
+    moment = _coerce_datetime(value)
+    if isinstance(moment, datetime.datetime):
+        return moment.date()
+    return moment
+
+
+def month(value: Any) -> str:
+    """``Month(Time)`` as 'YYYY-MM' (sorts chronologically)."""
+    moment = _coerce_datetime(value)
+    return f"{moment.year:04d}-{moment.month:02d}"
+
+
+def year(value: Any) -> int:
+    """``Year(Time)``."""
+    return _coerce_datetime(value).year
+
+def week(value: Any) -> str:
+    """``Week(Time)`` as 'YYYY-Www' (ISO week).
+
+    Weeks deliberately do *not* nest inside months or years -- the
+    Section 3.6 lattice example ("some weeks are partly in two years").
+    """
+    moment = _coerce_datetime(value)
+    iso = moment.isocalendar()
+    return f"{iso[0]:04d}-W{iso[1]:02d}"
+
+
+def quarter(value: Any) -> str:
+    """``Quarter(Time)`` as 'YYYY-Qn'."""
+    moment = _coerce_datetime(value)
+    return f"{moment.year:04d}-Q{(moment.month - 1) // 3 + 1}"
+
+
+def weekday(value: Any) -> str:
+    """``Weekday(Time)``: Mon..Sun (the analyst categories of 3.6)."""
+    names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    return names[_coerce_datetime(value).weekday()]
+
+
+def hour(value: Any) -> int:
+    moment = _coerce_datetime(value)
+    if isinstance(moment, datetime.datetime):
+        return moment.hour
+    return 0
+
+
+def register_builtin_functions() -> None:
+    """Idempotently register all built-in scalar functions."""
+    entries = {
+        "DAY": day,
+        "MONTH": month,
+        "YEAR": year,
+        "WEEK": week,
+        "QUARTER": quarter,
+        "WEEKDAY": weekday,
+        "HOUR": hour,
+        # the paper uses both Nation(...) and Country(...) for the same
+        # thing in different sections
+        "NATION": nation_of,
+        "COUNTRY": nation_of,
+        "CONTINENT": continent_of,
+        "ABS": abs,
+        "ROUND": round,
+        "FLOOR": math.floor,
+        "CEIL": math.ceil,
+        "SQRT": math.sqrt,
+        "UPPER": lambda s: str(s).upper(),
+        "LOWER": lambda s: str(s).lower(),
+        "LENGTH": lambda s: len(str(s)),
+        "BUCKET": lambda v, size: int(v // size) * size,
+    }
+    for name, fn in entries.items():
+        scalar_functions.register(name, fn, replace=True)
+
+
+register_builtin_functions()

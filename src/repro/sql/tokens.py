@@ -1,0 +1,161 @@
+"""SQL tokenizer.
+
+Hand-rolled single-pass lexer producing a flat token list the
+recursive-descent parser consumes.  Tracks line/column for error
+messages.  The dialect's quirks:
+
+- string literals use single quotes with ``''`` escaping;
+- the paper writes set literals in braces (``Model IN {'Ford',
+  'Chevy'}``), so ``{`` and ``}`` are punctuation;
+- identifiers are case-preserving but keyword recognition is
+  case-insensitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "CUBE", "ROLLUP", "HAVING",
+    "ORDER", "UNION", "ALL", "DISTINCT", "AS", "AND", "OR", "NOT", "IN",
+    "BETWEEN", "IS", "NULL", "TRUE", "FALSE", "JOIN", "ON", "USING",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "LIKE",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+    "CREATE", "TABLE", "EXPLAIN",
+})
+
+_TWO_CHAR_SYMBOLS = ("<>", "<=", ">=", "!=")
+_ONE_CHAR_SYMBOLS = "(),.;*/+-=<>%{}"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}({self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        ch = text[position]
+
+        if ch == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if ch in " \t\r":
+            position += 1
+            continue
+        if ch == "-" and text.startswith("--", position):
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+
+        if ch == "'":
+            start_line, start_col = line, column()
+            position += 1
+            chars: list[str] = []
+            while True:
+                if position >= length:
+                    raise SQLSyntaxError("unterminated string literal",
+                                         line=start_line, column=start_col)
+                ch = text[position]
+                if ch == "'":
+                    if position + 1 < length and text[position + 1] == "'":
+                        chars.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if ch == "\n":
+                    line += 1
+                    line_start = position + 1
+                chars.append(ch)
+                position += 1
+            tokens.append(Token(TokenType.STRING, "".join(chars),
+                                start_line, start_col))
+            continue
+
+        if ch.isdigit() or (ch == "." and position + 1 < length
+                            and text[position + 1].isdigit()):
+            start_line, start_col = line, column()
+            start = position
+            seen_dot = False
+            while position < length:
+                ch = text[position]
+                if ch.isdigit():
+                    position += 1
+                elif ch == "." and not seen_dot and position + 1 < length \
+                        and text[position + 1].isdigit():
+                    seen_dot = True
+                    position += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[start:position],
+                                start_line, start_col))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column()
+            start = position
+            while position < length and (text[position].isalnum()
+                                         or text[position] == "_"):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper,
+                                    start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word,
+                                    start_line, start_col))
+            continue
+
+        two = text[position:position + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, two, line, column()))
+            position += 2
+            continue
+        if ch in _ONE_CHAR_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, line, column()))
+            position += 1
+            continue
+
+        raise SQLSyntaxError(f"unexpected character {ch!r}",
+                             line=line, column=column())
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

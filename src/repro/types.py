@@ -1,0 +1,225 @@
+"""Value domain shared by the whole library.
+
+Defines the column data types, the NULL convention (Python ``None``), and
+the ALL sentinel from Section 3.3 of the paper.  ALL is *not* a value from
+any column domain: it is a token standing for "the set of values this
+aggregate was computed over".  Like NULL it does not participate in any
+aggregate except COUNT (Section 3.3), and it needs a total order against
+ordinary values so cube results can be sorted deterministically (ALL
+sorts after everything else, mirroring how report writers print the
+"total" line last).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Any, Iterable
+
+__all__ = [
+    "ALL",
+    "AllValue",
+    "DataType",
+    "NullMode",
+    "display_value",
+    "is_all",
+    "is_null_or_all",
+    "sort_key",
+    "sort_key_tuple",
+]
+
+
+class AllValue:
+    """The ALL sentinel of Section 3.3.
+
+    A singleton: ``AllValue() is ALL`` always holds, so identity checks
+    (``value is ALL``) are safe everywhere.  ALL compares equal only to
+    itself and orders *after* every ordinary value and after NULL.
+    """
+
+    _instance: "AllValue | None" = None
+
+    def __new__(cls) -> "AllValue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+    def __str__(self) -> str:
+        return "ALL"
+
+    def __hash__(self) -> int:
+        return hash("repro.types.ALL")
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __ne__(self, other: object) -> bool:
+        return other is not self
+
+    def __lt__(self, other: object) -> bool:
+        return False  # nothing is greater than ALL
+
+    def __gt__(self, other: object) -> bool:
+        return other is not self
+
+    def __le__(self, other: object) -> bool:
+        return other is self
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __reduce__(self):  # keep singleton across pickling
+        return (AllValue, ())
+
+
+ALL = AllValue()
+
+
+def is_all(value: Any) -> bool:
+    """True iff ``value`` is the ALL sentinel."""
+    return value is ALL
+
+
+def is_null_or_all(value: Any) -> bool:
+    """True for the two non-values that skip aggregation (except COUNT)."""
+    return value is None or value is ALL
+
+
+class NullMode(enum.Enum):
+    """How super-aggregate rows mark aggregated-out columns (Sections 3.3-3.4).
+
+    ``ALL_VALUE``
+        The paper's "real" design: the ALL sentinel appears in the data
+        column.
+    ``NULL_WITH_GROUPING``
+        The minimalist design of Section 3.4 (and SQL Server 6.5 / the SQL
+        standard): the data column holds NULL and a companion
+        ``GROUPING(col)`` boolean column discriminates "aggregated out"
+        from a genuine NULL group.
+    """
+
+    ALL_VALUE = "all"
+    NULL_WITH_GROUPING = "null+grouping"
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    TIMESTAMP = "TIMESTAMP"
+    ANY = "ANY"
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        return _PYTHON_TYPES[self]
+
+    def validate(self, value: Any) -> bool:
+        """True iff ``value`` is NULL, ALL, or an instance of this type."""
+        if value is None or value is ALL:
+            return True
+        if self is DataType.ANY:
+            return True
+        if self is DataType.FLOAT and isinstance(value, int) \
+                and not isinstance(value, bool):
+            return True  # ints are acceptable floats
+        if self is DataType.INTEGER and isinstance(value, bool):
+            return False  # bools are ints in Python; keep domains apart
+        return isinstance(value, self.python_types)
+
+    @classmethod
+    def infer(cls, value: Any) -> "DataType":
+        """Best-effort type inference used by ad-hoc table constructors."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.STRING
+        if isinstance(value, datetime.datetime):
+            return cls.TIMESTAMP
+        if isinstance(value, datetime.date):
+            return cls.DATE
+        return cls.ANY
+
+
+_PYTHON_TYPES: dict[DataType, tuple[type, ...]] = {
+    DataType.INTEGER: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.STRING: (str,),
+    DataType.BOOLEAN: (bool,),
+    DataType.DATE: (datetime.date,),
+    DataType.TIMESTAMP: (datetime.datetime,),
+    DataType.ANY: (object,),
+}
+
+# Rank groups for the cross-type total order used in sorting mixed columns:
+# ordinary values sort within their type group, NULL precedes ALL at the end.
+_TYPE_RANK: dict[type, int] = {
+    bool: 0,
+    int: 1,
+    float: 1,
+    str: 2,
+    datetime.date: 3,
+    datetime.datetime: 4,
+}
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order key valid across mixed-type columns.
+
+    Ordinary values sort first (grouped by type, then by value), NULL
+    next, ALL last.  This gives cube output the conventional report
+    layout where sub-total and total rows trail their detail rows.
+    """
+    if value is ALL:
+        return (3, 0, 0)
+    if value is None:
+        return (2, 0, 0)
+    rank = _TYPE_RANK.get(type(value))
+    if rank is None:
+        for base, base_rank in _TYPE_RANK.items():
+            if isinstance(value, base):
+                rank = base_rank
+                break
+        else:
+            rank = 9
+    if rank == 9:
+        return (1, rank, repr(value))
+    if isinstance(value, datetime.datetime):
+        return (1, rank, value.isoformat())
+    if isinstance(value, datetime.date):
+        return (1, rank, value.isoformat())
+    return (1, rank, value)
+
+
+def sort_key_tuple(values: Iterable[Any]) -> tuple:
+    """Sort key for a whole row (tuple of values)."""
+    return tuple(sort_key(v) for v in values)
+
+
+def display_value(value: Any, null_mode: NullMode = NullMode.ALL_VALUE) -> str:
+    """Render a single cell for reports.
+
+    In ``NULL_WITH_GROUPING`` mode the ALL sentinel never reaches display
+    code, but we render it as ``NULL`` defensively to match Section 3.4.
+    """
+    if value is ALL:
+        if null_mode is NullMode.NULL_WITH_GROUPING:
+            return "NULL"
+        return "ALL"
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,28 @@
+"""Star and snowflake schemas with granularity hierarchies (Section 3.6).
+
+"It is common to record events and activities with a detailed record
+giving all the dimensions of the event [...] There are side tables
+that for each dimension value give its attributes. [...] These
+dimension tables define a spectrum of aggregation granularities for
+the dimension."
+"""
+
+from repro.warehouse.hierarchy import (
+    Granularity,
+    Hierarchy,
+    add_granularity_columns,
+    calendar_hierarchy,
+)
+from repro.warehouse.dimension import DimensionTable
+from repro.warehouse.star import StarSchema
+from repro.warehouse.snowflake import SnowflakeSchema
+
+__all__ = [
+    "DimensionTable",
+    "Granularity",
+    "Hierarchy",
+    "SnowflakeSchema",
+    "StarSchema",
+    "add_granularity_columns",
+    "calendar_hierarchy",
+]

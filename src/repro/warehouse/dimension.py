@@ -1,0 +1,75 @@
+"""Dimension tables (Section 3.6).
+
+"There are side tables that for each dimension value give its
+attributes.  For example, the San Francisco sales office is in the
+Northern California District, the Western Region, and the US
+Geography."
+
+A :class:`DimensionTable` wraps a relation with a declared key column;
+its non-key columns are attributes usable as aggregation granularities
+and as decorations (every attribute is functionally dependent on the
+key by construction -- enforced at build time).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.decorations import Decoration, verify_functional_dependency
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+__all__ = ["DimensionTable"]
+
+
+class DimensionTable:
+    """A keyed dimension relation with attribute lookups."""
+
+    def __init__(self, table: Table, key: str, *, name: str = "") -> None:
+        self.table = table
+        self.key = key
+        self.name = name or table.name or key
+        key_idx = table.schema.index_of(key)
+        seen: set = set()
+        for row in table:
+            value = row[key_idx]
+            if value in seen:
+                raise SchemaError(
+                    f"dimension {self.name!r} key {key!r} is not unique: "
+                    f"{value!r} repeats")
+            seen.add(value)
+        self._lookups: dict[str, dict[tuple, Any]] = {}
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All non-key columns: the aggregation granularities this
+        dimension offers."""
+        return tuple(c.name for c in self.table.schema.columns
+                     if c.name != self.key)
+
+    def lookup(self, attribute: str) -> dict[tuple, Any]:
+        """key-tuple -> attribute value mapping (cached, FD-verified)."""
+        if attribute not in self._lookups:
+            self._lookups[attribute] = verify_functional_dependency(
+                self.table, [self.key], attribute)
+        return self._lookups[attribute]
+
+    def attribute_of(self, key_value: Any, attribute: str) -> Any:
+        return self.lookup(attribute).get((key_value,))
+
+    def decoration(self, attribute: str, *,
+                   determinant: str | None = None) -> Decoration:
+        """A :class:`~repro.core.decorations.Decoration` mapping the fact
+        table's foreign-key column (``determinant``, defaulting to this
+        dimension's key name) to the attribute."""
+        return Decoration(name=attribute,
+                          determinants=(determinant or self.key,),
+                          lookup=self.lookup(attribute))
+
+    def members(self) -> list[Any]:
+        """All key values."""
+        return self.table.column_values(self.key)
+
+    def __repr__(self) -> str:
+        return (f"<DimensionTable {self.name} key={self.key} "
+                f"attributes={list(self.attributes)}>")

@@ -1,0 +1,194 @@
+"""Granularity hierarchies and lattices (Section 3.6).
+
+"The diagram of Figure 6 suggests that the granularities form a pure
+hierarchy.  In reality, the granularities typically form a lattice.
+To take just a very simple example, days nest in weeks but weeks do not
+nest in months or quarters or years (some weeks are partly in two
+years)."
+
+A :class:`Hierarchy` is a DAG of :class:`Granularity` levels connected
+by *nesting edges*, each carrying the coarsening function (day ->
+week, day -> month, month -> quarter, ...).  ``nests_in`` answers
+reachability; ``roll_path`` returns the composition of coarsening
+functions along a path, which the warehouse layer uses to roll a cube
+up to any reachable granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError
+
+__all__ = ["Granularity", "Hierarchy", "add_granularity_columns",
+           "calendar_hierarchy"]
+
+
+class HierarchyError(ReproError):
+    """A granularity graph operation failed."""
+
+
+@dataclass(frozen=True)
+class Granularity:
+    """One aggregation granularity of a dimension (day, week, region...)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Hierarchy:
+    """A DAG of granularities with coarsening functions on the edges."""
+
+    dimension: str
+    _edges: dict[str, dict[str, Callable[[Any], Any]]] = field(
+        default_factory=dict)
+    _levels: dict[str, Granularity] = field(default_factory=dict)
+
+    def add_level(self, name: str) -> Granularity:
+        if name in self._levels:
+            return self._levels[name]
+        level = Granularity(name)
+        self._levels[name] = level
+        self._edges.setdefault(name, {})
+        return level
+
+    def add_nesting(self, finer: str, coarser: str,
+                    mapping: Callable[[Any], Any]) -> None:
+        """Declare that ``finer`` values nest in ``coarser`` via
+        ``mapping`` (e.g. day -> the week containing it)."""
+        for name in (finer, coarser):
+            if name not in self._levels:
+                raise HierarchyError(
+                    f"unknown granularity {name!r}; add_level it first")
+        if self._reachable(coarser, finer):
+            raise HierarchyError(
+                f"nesting {finer} -> {coarser} would create a cycle")
+        self._edges[finer][coarser] = mapping
+
+    def levels(self) -> list[str]:
+        return sorted(self._levels)
+
+    def nests_in(self, finer: str, coarser: str) -> bool:
+        """True iff every ``finer`` value lies inside one ``coarser``
+        value (reachability in the DAG).  ``nests_in('week', 'month')``
+        is False in the calendar lattice, as the paper insists."""
+        if finer == coarser:
+            return True
+        return self._reachable(finer, coarser)
+
+    def _reachable(self, start: str, goal: str) -> bool:
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            current = frontier.pop()
+            for neighbor in self._edges.get(current, {}):
+                if neighbor == goal:
+                    return True
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return False
+
+    def roll_path(self, finer: str,
+                  coarser: str) -> Callable[[Any], Any]:
+        """The composed coarsening function along a shortest path.
+
+        Raises :class:`HierarchyError` when ``coarser`` is not reachable
+        -- e.g. asking to roll weeks up to months.
+        """
+        if finer == coarser:
+            return lambda value: value
+        # BFS storing predecessor functions
+        frontier: list[tuple[str, list[Callable]]] = [(finer, [])]
+        seen = {finer}
+        while frontier:
+            current, path = frontier.pop(0)
+            for neighbor, mapping in self._edges.get(current, {}).items():
+                if neighbor in seen:
+                    continue
+                new_path = path + [mapping]
+                if neighbor == coarser:
+                    def composed(value: Any,
+                                 _fns: tuple = tuple(new_path)) -> Any:
+                        for fn in _fns:
+                            value = fn(value)
+                        return value
+                    return composed
+                seen.add(neighbor)
+                frontier.append((neighbor, new_path))
+        raise HierarchyError(
+            f"{coarser!r} is not reachable from {finer!r} in the "
+            f"{self.dimension} granularity graph (the paper's point: "
+            "granularities form a lattice, not a chain)")
+
+    def common_coarsenings(self, level_a: str, level_b: str) -> list[str]:
+        """Granularities both levels roll up to (lattice joins)."""
+        out = []
+        for candidate in self._levels:
+            if self.nests_in(level_a, candidate) \
+                    and self.nests_in(level_b, candidate):
+                out.append(candidate)
+        return sorted(out)
+
+
+def add_granularity_columns(table: "Table", column: str,
+                            hierarchy: Hierarchy, base_level: str,
+                            levels: "Sequence[str]") -> "Table":
+    """Derive one column per requested granularity of ``column``.
+
+    "These dimension tables define a spectrum of aggregation
+    granularities for the dimension.  Analysts might want to cube
+    various dimensions and then aggregate or roll-up the cube at any or
+    all of these granularities" (Section 3.6).  This helper widens a
+    fact table with the coarsened values so ROLLUP/CUBE can group on
+    them -- and lets tests demonstrate the paper's warning that a CUBE
+    over functionally-nested levels (year/month/day) "would be
+    meaningless" while a ROLLUP is exactly right.
+
+    Each new column is named ``<level>(<column>)``.  Levels must be
+    reachable from ``base_level`` in the hierarchy.
+    """
+    from repro.engine.schema import Column as _Column, Schema as _Schema
+    from repro.engine.table import Table as _Table
+    from repro.types import DataType as _DataType
+
+    rollers = [(level, hierarchy.roll_path(base_level, level))
+               for level in levels]
+    source_idx = table.schema.index_of(column)
+    columns = list(table.schema.columns)
+    for level, _ in rollers:
+        columns.append(_Column(f"{level}({column})", _DataType.ANY))
+    out = _Table(_Schema(columns))
+    for row in table:
+        base_value = row[source_idx]
+        extra = tuple(None if base_value is None else roll(base_value)
+                      for _, roll in rollers)
+        out.append(row + extra, validate=False)
+    return out
+
+
+def calendar_hierarchy() -> Hierarchy:
+    """The paper's example time lattice: days nest in weeks, months,
+    quarters, and years; weeks nest in nothing else ("some weeks are
+    partly in two years")."""
+    from repro.sql.functions import month, quarter, week, year
+
+    hierarchy = Hierarchy("time")
+    for name in ("day", "week", "month", "quarter", "year", "weekday"):
+        hierarchy.add_level(name)
+
+    hierarchy.add_nesting("day", "week", week)
+    hierarchy.add_nesting("day", "month", month)
+    hierarchy.add_nesting("day", "weekday",
+                          lambda d: ("Mon", "Tue", "Wed", "Thu", "Fri",
+                                     "Sat", "Sun")[d.weekday()])
+    hierarchy.add_nesting(
+        "month", "quarter",
+        lambda m: f"{m[:4]}-Q{(int(m[5:7]) - 1) // 3 + 1}")
+    hierarchy.add_nesting("month", "year", lambda m: int(m[:4]))
+    hierarchy.add_nesting("quarter", "year", lambda q: int(q[:4]))
+    return hierarchy

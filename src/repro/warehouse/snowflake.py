@@ -1,0 +1,146 @@
+"""Snowflake schemas (Section 3.6, Figure 6).
+
+"Database normalization rules would recommend that the fact that the
+California District [is in the Western Region] be stored once [...] So
+there might be an office, district, and region tables, rather than one
+big denormalized table."
+
+A :class:`SnowflakeSchema` is a star whose dimension tables may
+themselves reference *outrigger* dimension tables (office -> district
+-> region -> geography).  Attribute resolution walks the outrigger
+chain, joining as needed; a snowflake query is then the same
+denormalize-then-cube pipeline as a star query, demonstrating the
+paper's point that the normalized and denormalized designs answer the
+same aggregation questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cube import AggregateRequest, compound_groupby
+from repro.engine.expressions import Expression
+from repro.engine.join import hash_join
+from repro.engine.table import Table
+from repro.errors import SchemaError
+from repro.types import NullMode
+from repro.warehouse.dimension import DimensionTable
+
+__all__ = ["SnowflakeSchema", "Outrigger"]
+
+
+@dataclass(frozen=True)
+class Outrigger:
+    """A normalized refinement: ``source`` dimension's ``via`` column is
+    a foreign key into ``target`` (office.district_id -> district)."""
+
+    source: str  # name of the dimension holding the FK
+    via: str     # FK column on the source dimension
+    target: DimensionTable
+
+
+class SnowflakeSchema:
+    """A fact table, first-level dimensions, and outrigger chains."""
+
+    def __init__(self, fact: Table,
+                 bindings: Sequence[tuple[DimensionTable, str]],
+                 outriggers: Sequence[Outrigger] = ()) -> None:
+        self.fact = fact
+        self.bindings = list(bindings)
+        self.outriggers = list(outriggers)
+        names = [dimension.name for dimension, _ in bindings]
+        names += [o.target.name for o in outriggers]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in {names}")
+
+    def _dimension(self, name: str) -> DimensionTable:
+        for dimension, _ in self.bindings:
+            if dimension.name == name:
+                return dimension
+        for outrigger in self.outriggers:
+            if outrigger.target.name == name:
+                return outrigger.target
+        raise SchemaError(f"unknown dimension {name!r}")
+
+    def owner_of(self, attribute: str) -> str | None:
+        """Which dimension (or outrigger) table carries ``attribute``;
+        None when it is a fact column."""
+        if attribute in self.fact.schema:
+            return None
+        owners = []
+        for dimension, _ in self.bindings:
+            if attribute in dimension.attributes:
+                owners.append(dimension.name)
+        for outrigger in self.outriggers:
+            if attribute in outrigger.target.attributes:
+                owners.append(outrigger.target.name)
+        if not owners:
+            raise SchemaError(f"no table offers attribute {attribute!r}")
+        if len(owners) > 1:
+            raise SchemaError(
+                f"attribute {attribute!r} ambiguous across {owners}")
+        return owners[0]
+
+    def _join_chain_for(self, owner: str) -> list[str]:
+        """Dimension names to join, fact-outwards, to reach ``owner``."""
+        first_level = {d.name for d, _ in self.bindings}
+        if owner in first_level:
+            return [owner]
+        # walk outriggers backwards: who references `owner`?
+        for outrigger in self.outriggers:
+            if outrigger.target.name == owner:
+                return self._join_chain_for(outrigger.source) + [owner]
+        raise SchemaError(f"dimension {owner!r} is not reachable from the "
+                          "fact table")
+
+    def denormalize(self, attributes: Sequence[str]) -> Table:
+        """Join outwards along every chain needed for ``attributes``."""
+        chains: list[str] = []
+        for attribute in attributes:
+            owner = self.owner_of(attribute)
+            if owner is None:
+                continue
+            for name in self._join_chain_for(owner):
+                if name not in chains:
+                    chains.append(name)
+        table = self.fact
+        joined: set[str] = set()
+        for name in chains:
+            if name in joined:
+                continue
+            table = self._join_one(table, name)
+            joined.add(name)
+        return table
+
+    def _join_one(self, table: Table, name: str) -> Table:
+        for dimension, fact_key in self.bindings:
+            if dimension.name == name:
+                return hash_join(table, dimension.table, [fact_key],
+                                 [dimension.key], how="left")
+        for outrigger in self.outriggers:
+            if outrigger.target.name == name:
+                return hash_join(table, outrigger.target.table,
+                                 [outrigger.via], [outrigger.target.key],
+                                 how="left")
+        raise SchemaError(f"unknown dimension {name!r}")
+
+    def query(self, *,
+              group: Sequence[str] = (),
+              rollup: Sequence[str] = (),
+              cube: Sequence[str] = (),
+              aggregates: Sequence[AggregateRequest],
+              where: Expression | None = None,
+              null_mode: NullMode = NullMode.ALL_VALUE) -> Table:
+        """A snowflake query: denormalize along the needed chains, then
+        the Section 3.2 grouping clause."""
+        attributes = list(group) + list(rollup) + list(cube)
+        if not attributes:
+            raise SchemaError("a snowflake query needs at least one "
+                              "grouping attribute")
+        table = self.denormalize(attributes)
+        return compound_groupby(table, plain=list(group),
+                                rollup_dims=list(rollup),
+                                cube_dims=list(cube),
+                                aggregates=list(aggregates),
+                                where=where, null_mode=null_mode)

@@ -1,0 +1,112 @@
+"""Star schemas and star queries (Section 3.6).
+
+"Simpler schemas that have a single dimension table for each dimension
+are called a star schema.  Queries against these schemas are called
+star queries."
+
+A :class:`StarSchema` binds a fact table to its dimension tables via
+foreign keys.  :meth:`StarSchema.query` runs a star query: join the
+fact table with exactly the dimensions whose attributes are referenced,
+then GROUP BY / ROLLUP / CUBE the requested attributes -- "analysts
+might want to cube various dimensions and then aggregate or roll-up the
+cube at any or all of these granularities".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cube import AggregateRequest, compound_groupby
+from repro.engine.expressions import Expression
+from repro.engine.join import hash_join
+from repro.engine.table import Table
+from repro.errors import SchemaError
+from repro.types import NullMode
+from repro.warehouse.dimension import DimensionTable
+
+__all__ = ["StarSchema", "DimensionBinding"]
+
+
+@dataclass(frozen=True)
+class DimensionBinding:
+    """One spoke of the star: a dimension and the fact FK referencing it."""
+
+    dimension: DimensionTable
+    fact_key: str  # foreign-key column in the fact table
+
+
+class StarSchema:
+    """A fact table with its dimension spokes."""
+
+    def __init__(self, fact: Table,
+                 bindings: "Sequence[DimensionBinding | tuple]") -> None:
+        self.fact = fact
+        self.bindings: list[DimensionBinding] = []
+        for binding in bindings:
+            if isinstance(binding, tuple):
+                binding = DimensionBinding(*binding)
+            fact.schema.index_of(binding.fact_key)  # validate early
+            self.bindings.append(binding)
+
+    def binding_for_attribute(self, attribute: str) -> DimensionBinding | None:
+        """The dimension spoke offering ``attribute`` (None if the
+        attribute lives on the fact table itself)."""
+        if attribute in self.fact.schema:
+            return None
+        matches = [b for b in self.bindings
+                   if attribute in b.dimension.attributes]
+        if not matches:
+            raise SchemaError(
+                f"no dimension offers attribute {attribute!r}")
+        if len(matches) > 1:
+            owners = [b.dimension.name for b in matches]
+            raise SchemaError(
+                f"attribute {attribute!r} is ambiguous across {owners}")
+        return matches[0]
+
+    def denormalize(self, attributes: Sequence[str]) -> Table:
+        """Join the fact table with every dimension needed to surface
+        ``attributes`` (the paper's footnote: "query users find it
+        convenient to use the denormalized table")."""
+        needed: dict[str, DimensionBinding] = {}
+        for attribute in attributes:
+            binding = self.binding_for_attribute(attribute)
+            if binding is not None:
+                needed[binding.dimension.name] = binding
+        table = self.fact
+        for binding in needed.values():
+            dimension = binding.dimension
+            if binding.fact_key == dimension.key:
+                table = hash_join(table, dimension.table,
+                                  [binding.fact_key], [dimension.key],
+                                  how="left")
+            else:
+                # keep the FK column; join on differing names
+                right = dimension.table
+                table = hash_join(table, right, [binding.fact_key],
+                                  [dimension.key], how="left")
+        return table
+
+    def query(self, *,
+              group: Sequence[str] = (),
+              rollup: Sequence[str] = (),
+              cube: Sequence[str] = (),
+              aggregates: Sequence[AggregateRequest],
+              where: Expression | None = None,
+              null_mode: NullMode = NullMode.ALL_VALUE) -> Table:
+        """A star query: denormalize, then the full Section 3.2 clause.
+
+        ``group`` / ``rollup`` / ``cube`` name fact columns or dimension
+        attributes (granularities).
+        """
+        attributes = list(group) + list(rollup) + list(cube)
+        if not attributes:
+            raise SchemaError("a star query needs at least one grouping "
+                              "attribute")
+        table = self.denormalize(attributes)
+        return compound_groupby(table, plain=list(group),
+                                rollup_dims=list(rollup),
+                                cube_dims=list(cube),
+                                aggregates=list(aggregates),
+                                where=where, null_mode=null_mode)

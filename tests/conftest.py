@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's datasets and common helper tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Table
+from repro.data import (
+    chevy_sales_table,
+    figure4_sales_table,
+    sales_summary_table,
+    weather_table,
+)
+
+
+@pytest.fixture
+def sales() -> Table:
+    """The Tables 3-6 dataset (Chevy + Ford, 1994-95, black/white)."""
+    return sales_summary_table()
+
+
+@pytest.fixture
+def chevy() -> Table:
+    """The Chevy-only slice (Tables 3.a / 5.a / 6.a)."""
+    return chevy_sales_table()
+
+
+@pytest.fixture
+def figure4() -> Table:
+    """Figure 4's 18-row SALES table (cube = 48 rows, total 941)."""
+    return figure4_sales_table()
+
+
+@pytest.fixture
+def weather() -> Table:
+    """A small deterministic weather relation."""
+    return weather_table(120, seed=3)
+
+
+@pytest.fixture
+def tiny() -> Table:
+    """A 2D table with NULLs and duplicates for edge-case tests."""
+    table = Table([("a", "STRING"), ("b", "INTEGER"), ("x", "INTEGER")])
+    table.extend([
+        ("p", 1, 10),
+        ("p", 1, 20),
+        ("p", 2, None),
+        ("q", 1, 5),
+        ("q", None, 7),
+        ("q", None, 7),
+    ])
+    return table

@@ -1,0 +1,164 @@
+"""Algebraic aggregates: fixed-size scratchpads, exact merges,
+reversible deletes."""
+
+import math
+
+import pytest
+
+from repro.aggregates import (
+    ALGEBRAIC,
+    Average,
+    CenterOfMass,
+    MaxN,
+    MinN,
+    StdDev,
+    Variance,
+)
+from repro.errors import AggregateError
+
+
+class TestAverage:
+    def test_lifecycle(self):
+        assert Average().aggregate([2, 4, 6]) == 4
+
+    def test_empty_is_null(self):
+        assert Average().aggregate([]) is None
+
+    def test_scratchpad_is_sum_count(self):
+        # the paper's own example: the handle stores (sum, count)
+        fn = Average()
+        handle = fn.next(fn.next(fn.start(), 3), 5)
+        assert handle == (8, 2)
+
+    def test_merge(self):
+        fn = Average()
+        merged = fn.merge((8, 2), (4, 1))
+        assert fn.end(merged) == 4
+
+    def test_unapply(self):
+        fn = Average()
+        handle, ok = fn.unapply((8, 2), 3)
+        assert ok and fn.end(handle) == 5
+
+    def test_unapply_empty_declines(self):
+        _, ok = Average().unapply((0, 0), 3)
+        assert not ok
+
+    def test_classification(self):
+        assert Average().classification is ALGEBRAIC
+        assert Average().maintenance.cheap_to_maintain
+
+
+class TestVariance:
+    DATA = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+
+    def test_population_variance(self):
+        assert Variance().aggregate(self.DATA) == pytest.approx(4.0)
+
+    def test_stdev(self):
+        assert StdDev().aggregate(self.DATA) == pytest.approx(2.0)
+
+    def test_empty_is_null(self):
+        assert Variance().aggregate([]) is None
+        assert StdDev().aggregate([]) is None
+
+    def test_single_value_is_zero(self):
+        assert Variance().aggregate([5]) == 0.0
+
+    def test_merge_is_exact(self):
+        fn = Variance()
+        whole = fn.aggregate(self.DATA)
+        a = fn.start()
+        for v in self.DATA[:3]:
+            a = fn.next(a, v)
+        b = fn.start()
+        for v in self.DATA[3:]:
+            b = fn.next(b, v)
+        assert fn.end(fn.merge(a, b)) == pytest.approx(whole)
+
+    def test_merge_with_empty(self):
+        fn = Variance()
+        a = fn.start()
+        for v in self.DATA:
+            a = fn.next(a, v)
+        assert fn.end(fn.merge(a, fn.start())) == pytest.approx(4.0)
+        assert fn.end(fn.merge(fn.start(), a)) == pytest.approx(4.0)
+
+    def test_unapply_reverses_welford(self):
+        fn = Variance()
+        handle = fn.start()
+        for v in self.DATA:
+            handle = fn.next(handle, v)
+        handle, ok = fn.unapply(handle, 9.0)
+        assert ok
+        expected = Variance().aggregate(self.DATA[:-1])
+        assert fn.end(handle) == pytest.approx(expected)
+
+    def test_unapply_to_empty(self):
+        fn = Variance()
+        handle = fn.next(fn.start(), 5.0)
+        handle, ok = fn.unapply(handle, 5.0)
+        assert ok and fn.end(handle) is None
+
+
+class TestTopN:
+    def test_maxn(self):
+        assert MaxN(3).aggregate([5, 1, 9, 7, 3]) == (9, 7, 5)
+
+    def test_minn(self):
+        assert MinN(2).aggregate([5, 1, 9, 7, 3]) == (1, 3)
+
+    def test_short_group(self):
+        assert MaxN(5).aggregate([2, 1]) == (2, 1)
+
+    def test_empty(self):
+        assert MaxN(3).aggregate([]) == ()
+
+    def test_invalid_n(self):
+        with pytest.raises(AggregateError):
+            MaxN(0)
+
+    def test_merge(self):
+        fn = MaxN(2)
+        assert fn.merge((9, 5), (7, 6)) == (9, 7)
+
+    def test_unapply_kept_value_declines(self):
+        _, ok = MaxN(2).unapply((9, 5), 9)
+        assert not ok
+
+    def test_unapply_evicted_value_succeeds(self):
+        handle, ok = MaxN(2).unapply((9, 5), 1)
+        assert ok and handle == (9, 5)
+
+
+class TestCenterOfMass:
+    def test_scalar_positions(self):
+        fn = CenterOfMass()
+        # masses 1 and 3 at positions 0 and 4 -> center at 3
+        assert fn.aggregate([(1, 0.0), (3, 4.0)]) == pytest.approx(3.0)
+
+    def test_vector_positions(self):
+        fn = CenterOfMass()
+        result = fn.aggregate([(2, (0.0, 0.0)), (2, (4.0, 2.0))])
+        assert result == pytest.approx((2.0, 1.0))
+
+    def test_empty_is_null(self):
+        assert CenterOfMass().aggregate([]) is None
+
+    def test_merge(self):
+        fn = CenterOfMass()
+        a = fn.next(fn.start(), (1, 0.0))
+        b = fn.next(fn.start(), (3, 4.0))
+        assert fn.end(fn.merge(a, b)) == pytest.approx(3.0)
+
+    def test_unapply(self):
+        fn = CenterOfMass()
+        handle = fn.start()
+        for pair in [(1, 0.0), (3, 4.0)]:
+            handle = fn.next(handle, pair)
+        handle, ok = fn.unapply(handle, (3, 4.0))
+        assert ok and fn.end(handle) == pytest.approx(0.0)
+
+    def test_malformed_input(self):
+        with pytest.raises(AggregateError):
+            CenterOfMass().aggregate([42])

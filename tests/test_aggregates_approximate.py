@@ -1,0 +1,215 @@
+"""Approximate quantiles (the Section 6 "users avoid holistic
+functions by using approximation techniques" remark, implemented)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import (
+    ALGEBRAIC,
+    ApproximateMedian,
+    ApproximateQuantile,
+    Median,
+    QuantileSketch,
+)
+from repro.errors import AggregateError
+
+
+def exact_quantile(values, p):
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * p // 100))
+    return ordered[int(rank) - 1]
+
+
+class TestSketch:
+    def test_empty(self):
+        sketch = QuantileSketch(n_buckets=8)
+        assert sketch.quantile(50) is None
+
+    def test_single_value_is_exact(self):
+        sketch = QuantileSketch(n_buckets=8)
+        sketch.add(42.0)
+        sketch.add(42.0)
+        assert sketch.quantile(50) == 42.0
+        assert sketch.error_bound == 0.0
+
+    def test_extremes_are_exact(self):
+        sketch = QuantileSketch(n_buckets=8)
+        for value in (3.0, 9.0, 1.0, 7.0):
+            sketch.add(value)
+        assert sketch.quantile(0) == 1.0
+        assert sketch.quantile(100) == 9.0
+
+    def test_error_within_bound(self):
+        rng = random.Random(1)
+        values = [rng.uniform(0, 1000) for _ in range(5000)]
+        sketch = QuantileSketch(n_buckets=64)
+        for value in values:
+            sketch.add(value)
+        for p in (10, 25, 50, 75, 90):
+            estimate = sketch.quantile(p)
+            exact = exact_quantile(values, p)
+            assert abs(estimate - exact) <= 2 * sketch.error_bound
+
+    def test_range_doubling_handles_outliers(self):
+        sketch = QuantileSketch(n_buckets=8)
+        sketch.add(1.0)
+        sketch.add(2.0)
+        sketch.add(1_000_000.0)  # forces many doublings
+        sketch.add(-1_000_000.0)
+        assert sketch.count == 4
+        assert sketch.quantile(0) == -1_000_000.0
+        assert sketch.quantile(100) == 1_000_000.0
+
+    def test_remove(self):
+        sketch = QuantileSketch(n_buckets=8)
+        for value in (1.0, 2.0, 3.0):
+            sketch.add(value)
+        assert sketch.remove(2.0)
+        assert sketch.count == 2
+        assert not sketch.remove(999.0)  # out of range
+
+    def test_remove_single_value_mode(self):
+        sketch = QuantileSketch(n_buckets=8)
+        sketch.add(5.0)
+        assert sketch.remove(5.0)
+        assert sketch.count == 0
+        assert not sketch.remove(5.0)
+
+    def test_merge_counts(self):
+        a = QuantileSketch(n_buckets=16)
+        b = QuantileSketch(n_buckets=16)
+        for value in range(100):
+            a.add(float(value))
+        for value in range(100, 200):
+            b.add(float(value))
+        a.merge(b)
+        assert a.count == 200
+        assert abs(a.quantile(50) - 100) <= 4 * a.error_bound
+
+    def test_merge_into_empty(self):
+        a = QuantileSketch(n_buckets=16)
+        b = QuantileSketch(n_buckets=16)
+        for value in range(50):
+            b.add(float(value))
+        a.merge(b)
+        assert a.count == 50
+
+    def test_merge_single_value_sketches(self):
+        a = QuantileSketch(n_buckets=8)
+        a.add(1.0)
+        b = QuantileSketch(n_buckets=8)
+        b.add(9.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.quantile(0) == 1.0 and a.quantile(100) == 9.0
+
+
+class TestApproximateAggregate:
+    def test_is_algebraic(self):
+        fn = ApproximateMedian()
+        assert fn.classification is ALGEBRAIC
+        assert fn.mergeable
+        assert fn.maintenance.cheap_to_maintain  # the Section 6 payoff
+
+    def test_validation(self):
+        with pytest.raises(AggregateError):
+            ApproximateQuantile(p=101)
+        with pytest.raises(AggregateError):
+            ApproximateQuantile(n_buckets=3)  # must be even
+
+    def test_close_to_exact_median(self):
+        rng = random.Random(7)
+        values = [rng.gauss(100, 15) for _ in range(3000)]
+        approx = ApproximateMedian(n_buckets=128).aggregate(values)
+        exact = Median().aggregate(values)
+        spread = max(values) - min(values)
+        assert abs(approx - exact) <= spread / 128 * 2
+
+    def test_merge_equals_single_pass_within_bound(self):
+        rng = random.Random(9)
+        values = [rng.uniform(0, 100) for _ in range(2000)]
+        fn = ApproximateMedian(n_buckets=64)
+        whole = fn.aggregate(values)
+        a = fn.start()
+        for value in values[:1000]:
+            a = fn.next(a, value)
+        b = fn.start()
+        for value in values[1000:]:
+            b = fn.next(b, value)
+        merged = fn.end(fn.merge(a, b))
+        assert abs(merged - whole) <= 3 * 100 / 64
+
+    def test_unapply_supported(self):
+        fn = ApproximateMedian(n_buckets=16)
+        handle = fn.start()
+        for value in (1.0, 5.0, 9.0):
+            handle = fn.next(handle, value)
+        handle, ok = fn.unapply(handle, 9.0)
+        assert ok
+        assert handle.count == 2
+
+    def test_works_in_cube_from_core(self):
+        """The paper's payoff: the approximate median cubes from the
+        core (from-core algorithm), which the exact median cannot."""
+        from repro import Table, agg, cube
+        from repro.core.cube import cube_with_stats
+
+        rng = random.Random(11)
+        table = Table([("g", "STRING"), ("x", "FLOAT")])
+        for _ in range(400):
+            table.append((rng.choice("abcd"), rng.uniform(0, 100)))
+
+        result = cube_with_stats(table, ["g"],
+                                 [agg("APPROX_MEDIAN", "x", "med")])
+        assert result.stats.algorithm == "from-core"
+
+        # sanity: the approximate group medians track the exact ones
+        exact = cube(table, ["g"], [agg("MEDIAN", "x", "med")],
+                     algorithm="2^N")
+        approx_by_g = {row[0]: row[1] for row in result.table}
+        exact_by_g = {row[0]: row[1] for row in exact}
+        for key, exact_value in exact_by_g.items():
+            assert abs(approx_by_g[key] - exact_value) <= 5.0
+
+    def test_maintained_cube_with_deletes(self):
+        """Approximation restores cheap DELETE maintenance."""
+        from repro import Table, agg
+        from repro.maintenance import MaterializedCube
+
+        table = Table([("g", "STRING"), ("x", "FLOAT")],
+                      [("a", float(v)) for v in range(20)])
+        cube = MaterializedCube(table, ["g"],
+                                [agg("APPROX_MEDIAN", "x", "med")])
+        cube.delete(("a", 19.0))
+        cube.delete(("a", 0.0))
+        assert cube.stats.cells_recomputed == 0  # no rescans needed
+        value = cube.value("a")
+        assert 5.0 <= value <= 14.0  # still near the true median 9.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-1000, max_value=1000,
+                                     allow_nan=False), min_size=1,
+                           max_size=200))
+    def test_property_estimate_within_range(self, values):
+        fn = ApproximateQuantile(p=50, n_buckets=16)
+        estimate = fn.aggregate(values)
+        assert min(values) <= estimate <= max(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0, max_value=100,
+                                     allow_nan=False), min_size=2,
+                           max_size=100),
+           split=st.integers(1, 99))
+    def test_property_merge_count_preserved(self, values, split):
+        fn = ApproximateMedian(n_buckets=8)
+        cut = max(1, min(len(values) - 1, split % len(values)))
+        a = fn.start()
+        for value in values[:cut]:
+            a = fn.next(a, value)
+        b = fn.start()
+        for value in values[cut:]:
+            b = fn.next(b, value)
+        merged = fn.merge(a, b)
+        assert merged.count == len(values)

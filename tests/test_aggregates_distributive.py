@@ -1,0 +1,149 @@
+"""Distributive aggregates: lifecycle, merge (G = F except COUNT where
+G = SUM), maintenance profiles, the Section 6 delete asymmetry."""
+
+import pytest
+
+from repro.aggregates import (
+    ALGEBRAIC,
+    DISTRIBUTIVE,
+    HOLISTIC,
+    Count,
+    CountStar,
+    Max,
+    Min,
+    Sum,
+)
+from repro.types import ALL
+
+
+class TestCount:
+    def test_lifecycle(self):
+        assert Count().aggregate([1, 2, 3]) == 3
+
+    def test_skips_null_and_all(self):
+        assert Count().aggregate([1, None, ALL, 2]) == 2
+
+    def test_empty_is_zero(self):
+        assert Count().aggregate([]) == 0
+
+    def test_merge_is_sum(self):
+        fn = Count()
+        assert fn.merge(3, 4) == 7  # the paper: G = SUM for COUNT
+
+    def test_unapply(self):
+        fn = Count()
+        handle, ok = fn.unapply(3, "anything")
+        assert ok and handle == 2
+
+    def test_classification(self):
+        assert Count().classification is DISTRIBUTIVE
+        assert Count().maintenance.cheap_to_maintain
+
+
+class TestCountStar:
+    def test_counts_everything(self):
+        assert CountStar().aggregate([1, None, ALL]) == 3
+
+    def test_accepts_non_values(self):
+        assert CountStar().accepts(None)
+        assert CountStar().accepts(ALL)
+        assert not Count().accepts(None)
+
+
+class TestSum:
+    def test_lifecycle(self):
+        assert Sum().aggregate([1, 2, 3]) == 6
+
+    def test_empty_sum_is_null(self):
+        assert Sum().aggregate([]) is None
+
+    def test_null_only_sum_is_null(self):
+        assert Sum().aggregate([None, ALL]) is None
+
+    def test_merge(self):
+        fn = Sum()
+        assert fn.merge(3, 4) == 7
+        assert fn.merge(None, 4) == 4
+        assert fn.merge(3, None) == 3
+        assert fn.merge(None, None) is None
+
+    def test_unapply_reverses(self):
+        fn = Sum()
+        handle, ok = fn.unapply(10, 4)
+        assert ok and handle == 6
+
+    def test_unapply_empty_declines(self):
+        _, ok = Sum().unapply(None, 4)
+        assert not ok
+
+    def test_float_sums(self):
+        assert Sum().aggregate([1.5, 2.5]) == 4.0
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert Min().aggregate([3, 1, 2]) == 1
+        assert Max().aggregate([3, 1, 2]) == 3
+
+    def test_empty_is_null(self):
+        assert Min().aggregate([]) is None
+        assert Max().aggregate([]) is None
+
+    def test_merge(self):
+        assert Max().merge(3, 7) == 7
+        assert Min().merge(3, 7) == 3
+        assert Max().merge(None, 7) == 7
+        assert Min().merge(3, None) == 3
+
+    def test_strings(self):
+        assert Max().aggregate(["apple", "pear"]) == "pear"
+
+    def test_delete_holistic(self):
+        # Section 6: max is distributive for INSERT but holistic for DELETE
+        assert Max().maintenance.insert is DISTRIBUTIVE
+        assert Max().maintenance.delete is HOLISTIC
+        assert not Max().maintenance.cheap_to_maintain
+
+    def test_unapply_non_extreme_succeeds(self):
+        handle, ok = Max().unapply(10, 5)
+        assert ok and handle == 10
+
+    def test_unapply_extreme_declines(self):
+        _, ok = Max().unapply(10, 10)
+        assert not ok
+        _, ok = Min().unapply(2, 2)
+        assert not ok
+
+    def test_insert_dominated_short_circuit(self):
+        # "if the new value loses one competition, it will lose in all
+        # lower dimensions"
+        assert Max().insert_dominated(10, 5)
+        assert Max().insert_dominated(10, 10)  # ties change nothing
+        assert not Max().insert_dominated(10, 11)
+        assert not Max().insert_dominated(None, 11)
+        assert Min().insert_dominated(2, 5)
+        assert not Min().insert_dominated(2, 1)
+
+    def test_update_profile_is_worst_of_insert_delete(self):
+        assert Max().maintenance.update is HOLISTIC
+        assert Sum().maintenance.update is DISTRIBUTIVE
+
+
+class TestMergeability:
+    def test_all_distributive_are_mergeable(self):
+        for fn in (Count(), CountStar(), Sum(), Min(), Max()):
+            assert fn.mergeable
+
+    def test_merge_equals_direct_aggregation(self):
+        # F({X}) == G({F(parts)}) -- the distributive definition
+        data = [5, 1, 7, 3, 9, 2]
+        for fn in (Sum(), Min(), Max(), Count()):
+            whole = fn.aggregate(data)
+            left_handle = fn.start()
+            for value in data[:3]:
+                left_handle = fn.next(left_handle, value)
+            right_handle = fn.start()
+            for value in data[3:]:
+                right_handle = fn.next(right_handle, value)
+            merged = fn.merge(left_handle, right_handle)
+            assert fn.end(merged) == whole

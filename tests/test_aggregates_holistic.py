@@ -1,0 +1,124 @@
+"""Holistic aggregates: unbounded scratchpads, strict vs carrying mode,
+the Section 5 "no merge" rule."""
+
+import pytest
+
+from repro.aggregates import (
+    HOLISTIC,
+    CountDistinct,
+    Median,
+    Mode,
+    Percentile,
+    RankOf,
+)
+from repro.errors import AggregateError, NotMergeableError
+
+
+class TestMedian:
+    def test_odd(self):
+        assert Median().aggregate([5, 1, 3]) == 3
+
+    def test_even_takes_lower_middle(self):
+        assert Median().aggregate([1, 2, 3, 4]) == 2
+
+    def test_empty_is_null(self):
+        assert Median().aggregate([]) is None
+
+    def test_classification(self):
+        assert Median().classification is HOLISTIC
+        assert not Median().maintenance.cheap_to_maintain
+
+    def test_strict_mode_refuses_merge(self):
+        fn = Median(carrying=False)
+        assert not fn.mergeable
+        with pytest.raises(NotMergeableError):
+            fn.merge([1], [2])
+
+    def test_carrying_mode_merges_whole_multiset(self):
+        fn = Median(carrying=True)
+        assert fn.mergeable
+        merged = fn.merge([1, 9], [5])
+        assert fn.end(merged) == 5
+
+    def test_unapply_in_carrying_mode(self):
+        fn = Median(carrying=True)
+        handle = [1, 5, 9]
+        handle, ok = fn.unapply(handle, 9)
+        assert ok and fn.end(handle) == 1 or fn.end(handle) == 5
+
+    def test_unapply_missing_value_declines(self):
+        fn = Median(carrying=True)
+        _, ok = fn.unapply([1, 2], 42)
+        assert not ok
+
+    def test_unapply_strict_declines(self):
+        _, ok = Median(carrying=False).unapply([1, 2], 1)
+        assert not ok
+
+
+class TestMode:
+    def test_most_frequent(self):
+        assert Mode().aggregate([1, 2, 2, 3]) == 2
+
+    def test_tie_breaks_to_smallest(self):
+        assert Mode().aggregate([3, 3, 1, 1]) == 1
+
+    def test_empty_is_null(self):
+        assert Mode().aggregate([]) is None
+
+
+class TestPercentile:
+    def test_median_equivalent(self):
+        values = list(range(1, 101))
+        assert Percentile(50).aggregate(values) == 50
+
+    def test_p100_is_max(self):
+        assert Percentile(100).aggregate([3, 1, 2]) == 3
+
+    def test_small_p_is_min(self):
+        assert Percentile(1).aggregate([3, 1, 2]) == 1
+
+    def test_invalid_p(self):
+        with pytest.raises(AggregateError):
+            Percentile(0)
+        with pytest.raises(AggregateError):
+            Percentile(101)
+
+    def test_empty_is_null(self):
+        assert Percentile(50).aggregate([]) is None
+
+
+class TestCountDistinct:
+    def test_counts_distinct(self):
+        assert CountDistinct().aggregate([1, 1, 2, 2, 3]) == 3
+
+    def test_skips_null(self):
+        assert CountDistinct().aggregate([1, None, 1]) == 1
+
+    def test_merge_unions(self):
+        fn = CountDistinct()
+        merged = fn.merge({1, 2}, {2, 3})
+        assert fn.end(merged) == 3
+
+    def test_delete_always_recomputes(self):
+        # removing one duplicate must not drop the distinct value
+        _, ok = CountDistinct().unapply({1, 2}, 1)
+        assert not ok
+
+    def test_strict_mode(self):
+        with pytest.raises(NotMergeableError):
+            CountDistinct(carrying=False).merge({1}, {2})
+
+
+class TestRankOf:
+    def test_red_brick_semantics(self):
+        # highest value has rank N, lowest has rank 1
+        fn = RankOf(target=9)
+        assert fn.aggregate([1, 5, 9]) == 3
+        assert RankOf(target=1).aggregate([1, 5, 9]) == 1
+
+    def test_target_between_values(self):
+        assert RankOf(target=6).aggregate([1, 5, 9]) == 2
+
+    def test_empty_is_null(self):
+        assert RankOf(target=5).aggregate([]) is None

@@ -1,0 +1,125 @@
+"""Red Brick whole-column functions (Section 1.2): Rank, N_tile,
+Ratio_To_Total, Cumulative, Running_Sum, Running_Average."""
+
+import pytest
+
+from repro.aggregates import (
+    cumulative,
+    n_tile,
+    rank,
+    ratio_to_total,
+    running_average,
+    running_sum,
+)
+from repro.errors import AggregateError
+from repro.types import ALL
+
+
+class TestRank:
+    def test_highest_gets_n_lowest_gets_1(self):
+        # "If there are N values in the column, and this is the highest
+        # value, the rank is N, if it is the lowest value the rank is 1"
+        values = [30, 10, 20]
+        assert rank(values) == [3, 1, 2]
+
+    def test_ties_share_lowest_rank(self):
+        assert rank([10, 20, 10]) == [1, 3, 1]
+
+    def test_null_ranks_null(self):
+        assert rank([10, None, 20]) == [1, None, 2]
+
+    def test_empty(self):
+        assert rank([]) == []
+
+
+class TestNTile:
+    def test_deciles(self):
+        values = list(range(1, 101))
+        buckets = n_tile(values, 10)
+        assert buckets[0] == 1
+        assert buckets[-1] == 10
+        assert buckets[49] == 5  # value 50 sits in the middle decile
+
+    def test_equal_population(self):
+        buckets = n_tile(list(range(100)), 4)
+        from collections import Counter
+        counts = Counter(buckets)
+        assert all(count == 25 for count in counts.values())
+
+    def test_account_balance_example(self):
+        # "If your bank account was among the largest 10% then
+        # N_tile(account.balance, 10) would return 10"
+        balances = list(range(1000, 2000, 10))  # 100 accounts
+        buckets = n_tile(balances, 10)
+        top = [b for balance, b in zip(balances, buckets)
+               if balance >= 1900]
+        assert all(b == 10 for b in top)
+
+    def test_invalid_n(self):
+        with pytest.raises(AggregateError):
+            n_tile([1], 0)
+
+    def test_nulls_bucket_null(self):
+        # the single real value is "the largest", so it takes bucket n
+        assert n_tile([None, 5], 3) == [None, 3]
+
+    def test_all_null(self):
+        assert n_tile([None, None], 3) == [None, None]
+
+
+class TestRatioToTotal:
+    def test_shares(self):
+        assert ratio_to_total([1, 3]) == [0.25, 0.75]
+
+    def test_null_passthrough(self):
+        out = ratio_to_total([2, None, 2])
+        assert out == [0.5, None, 0.5]
+
+    def test_zero_total(self):
+        assert ratio_to_total([0, 0]) == [None, None]
+
+    def test_all_sentinel_treated_as_null(self):
+        assert ratio_to_total([ALL, 4]) == [None, 1.0]
+
+
+class TestCumulative:
+    def test_running_total(self):
+        assert cumulative([1, 2, 3]) == [1, 3, 6]
+
+    def test_reset_on_group_change(self):
+        # "optionally reset each time a grouping value changes in an
+        # ordered selection"
+        out = cumulative([1, 2, 3, 4], groups=["a", "a", "b", "b"])
+        assert out == [1, 3, 3, 7]
+
+    def test_null_values_skipped(self):
+        assert cumulative([1, None, 2]) == [1, 1, 3]
+
+    def test_misaligned_groups(self):
+        with pytest.raises(AggregateError):
+            cumulative([1, 2], groups=["a"])
+
+
+class TestRunningSum:
+    def test_window(self):
+        # "The initial n-1 values are NULL"
+        assert running_sum([1, 2, 3, 4], 2) == [None, 3, 5, 7]
+
+    def test_window_of_one(self):
+        assert running_sum([1, 2], 1) == [1, 2]
+
+    def test_group_reset(self):
+        out = running_sum([1, 2, 3, 4], 2, groups=["a", "a", "b", "b"])
+        assert out == [None, 3, None, 7]
+
+    def test_invalid_n(self):
+        with pytest.raises(AggregateError):
+            running_sum([1], 0)
+
+
+class TestRunningAverage:
+    def test_window(self):
+        assert running_average([2, 4, 6], 2) == [None, 3, 5]
+
+    def test_initial_nulls(self):
+        assert running_average([1, 2, 3], 3) == [None, None, 2]

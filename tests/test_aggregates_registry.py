@@ -1,0 +1,134 @@
+"""Aggregate registry and the user-defined-aggregate mechanism
+(the Illustra Init/Iter/Final contract of Section 1.2 / Figure 7)."""
+
+import pytest
+
+from repro.aggregates import (
+    AggregateClass,
+    AggregateRegistry,
+    default_registry,
+    get_aggregate,
+    make_udaf,
+    register_aggregate,
+)
+from repro.aggregates.base import AggregateFunction
+from repro.errors import (
+    AggregateError,
+    NotMergeableError,
+    UnknownAggregateError,
+)
+
+
+class TestRegistry:
+    def test_standard_five_present(self):
+        # "The SQL standard provides five functions"
+        for name in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            assert name in default_registry
+
+    def test_extended_functions_present(self):
+        for name in ("MEDIAN", "MODE", "VARIANCE", "STDEV", "PERCENTILE",
+                     "MAXN", "CENTER_OF_MASS", "COUNT_DISTINCT"):
+            assert name in default_registry
+
+    def test_create_with_args(self):
+        fn = get_aggregate("PERCENTILE", 90)
+        assert fn.aggregate(list(range(1, 101))) == 90
+
+    def test_case_insensitive(self):
+        assert get_aggregate("sum").name == "SUM"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownAggregateError):
+            get_aggregate("BOGUS")
+
+    def test_duplicate_registration(self):
+        registry = AggregateRegistry()
+        registry.register("F", lambda: None)
+        with pytest.raises(AggregateError):
+            registry.register("f", lambda: None)
+        registry.register("f", lambda: None, replace=True)
+
+    def test_copy_is_independent(self):
+        clone = default_registry.copy()
+        clone.register("ONLY_IN_CLONE", lambda: None)
+        assert "ONLY_IN_CLONE" not in default_registry
+
+    def test_names_sorted(self):
+        names = default_registry.names()
+        assert names == sorted(names)
+
+
+class TestMakeUdaf:
+    def test_figure7_lifecycle(self):
+        # the paper's Average example: handle = (count, sum)
+        MyAvg = make_udaf(
+            "MYAVG",
+            init=lambda: (0, 0),
+            iterate=lambda h, v: (h[0] + 1, h[1] + v),
+            final=lambda h: h[1] / h[0] if h[0] else None,
+            merge_fn=lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        fn = MyAvg()
+        assert isinstance(fn, AggregateFunction)
+        assert fn.aggregate([2, 4]) == 3
+        assert fn.classification is AggregateClass.ALGEBRAIC
+
+    def test_merge_works(self):
+        MySum = make_udaf("MYSUM", init=lambda: 0,
+                          iterate=lambda h, v: h + v,
+                          final=lambda h: h,
+                          merge_fn=lambda a, b: a + b)
+        fn = MySum()
+        assert fn.merge(3, 4) == 7
+        assert fn.mergeable
+
+    def test_without_merge_is_holistic(self):
+        # no Iter_super -> holistic -> 2^N algorithm only
+        MyFirst = make_udaf("MYFIRST", init=lambda: None,
+                            iterate=lambda h, v: v if h is None else h,
+                            final=lambda h: h)
+        fn = MyFirst()
+        assert fn.classification is AggregateClass.HOLISTIC
+        assert not fn.mergeable
+        with pytest.raises(NotMergeableError):
+            fn.merge(1, 2)
+
+    def test_mergeable_class_requires_merge(self):
+        with pytest.raises(AggregateError):
+            make_udaf("BAD", init=lambda: 0, iterate=lambda h, v: h,
+                      final=lambda h: h,
+                      classification=AggregateClass.ALGEBRAIC)
+
+    def test_registration_roundtrip(self):
+        MyCount = make_udaf("MYCOUNT", init=lambda: 0,
+                            iterate=lambda h, v: h + 1,
+                            final=lambda h: h,
+                            merge_fn=lambda a, b: a + b)
+        registry = AggregateRegistry()
+        register_aggregate("MYCOUNT", MyCount, registry=registry)
+        assert registry.create("MYCOUNT").aggregate([7, 8]) == 2
+
+    def test_udaf_in_cube(self):
+        from repro import Table, agg, cube
+        Product = make_udaf(
+            "PRODUCT", init=lambda: 1,
+            iterate=lambda h, v: h * v,
+            final=lambda h: h,
+            merge_fn=lambda a, b: a * b,
+            classification=AggregateClass.DISTRIBUTIVE)
+        registry = default_registry.copy()
+        registry.register("PRODUCT", Product)
+        table = Table([("g", "STRING"), ("x", "INTEGER")],
+                      [("a", 2), ("a", 3), ("b", 5)])
+        result = cube(table, ["g"], [agg("PRODUCT", "x", "p")],
+                      registry=registry)
+        rows = {row[0]: row[1] for row in result}
+        assert rows["a"] == 6 and rows["b"] == 5
+        from repro.types import ALL
+        assert rows[ALL] == 30
+
+    def test_cost_attribute(self):
+        Costly = make_udaf("COSTLY", init=lambda: 0,
+                           iterate=lambda h, v: h, final=lambda h: h,
+                           merge_fn=lambda a, b: a, cost=100.0)
+        assert Costly().cost == 100.0

@@ -1,0 +1,138 @@
+"""CubeTask validation, coordinates, fold/merge helpers, build_task."""
+
+import pytest
+
+from repro import Table
+from repro.aggregates import Count, CountStar, Sum
+from repro.compute import build_task
+from repro.compute.base import CubeTask
+from repro.compute.stats import ComputeStats
+from repro.core.grouping import cube_sets
+from repro.engine.expressions import FunctionCall, col, lit
+from repro.engine.groupby import AggregateSpec
+from repro.engine.schema import Column
+from repro.errors import CubeError
+from repro.types import ALL, DataType
+
+
+@pytest.fixture
+def task(sales):
+    return build_task(sales, ["Model", "Year"],
+                      [AggregateSpec(Sum(), "Units", "s")], cube_sets(2))
+
+
+class TestValidation:
+    def test_dims_columns_alignment(self):
+        with pytest.raises(CubeError):
+            CubeTask(dims=("a",), dim_columns=(), functions=(),
+                     agg_names=(), rows=[], masks=(0,))
+
+    def test_functions_names_alignment(self):
+        with pytest.raises(CubeError):
+            CubeTask(dims=("a",),
+                     dim_columns=(Column("a", DataType.ANY),),
+                     functions=(Sum(),), agg_names=(), rows=[],
+                     masks=(0,))
+
+    def test_needs_masks(self):
+        with pytest.raises(CubeError):
+            CubeTask(dims=("a",),
+                     dim_columns=(Column("a", DataType.ANY),),
+                     functions=(Sum(),), agg_names=("s",), rows=[],
+                     masks=())
+
+    def test_duplicate_masks_rejected(self):
+        with pytest.raises(CubeError):
+            CubeTask(dims=("a",),
+                     dim_columns=(Column("a", DataType.ANY),),
+                     functions=(Sum(),), agg_names=("s",), rows=[],
+                     masks=(1, 1))
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(CubeError):
+            CubeTask(dims=("a",),
+                     dim_columns=(Column("a", DataType.ANY),),
+                     functions=(Sum(),), agg_names=("s",), rows=[],
+                     masks=(0b10,))
+
+
+class TestCoordinates:
+    def test_coordinate_substitutes_all(self, task):
+        assert task.coordinate(0b01, ("Chevy", 1994)) == ("Chevy", ALL)
+        assert task.coordinate(0b11, ("Chevy", 1994)) == ("Chevy", 1994)
+        assert task.coordinate(0, ("Chevy", 1994)) == (ALL, ALL)
+
+    def test_cardinalities(self, task):
+        assert task.cardinalities() == [2, 2]
+
+    def test_full_mask(self, task):
+        assert task.full_mask == 0b11
+
+    def test_dim_and_agg_split(self, task):
+        row = task.rows[0]
+        assert len(task.dim_values(row)) == 2
+        assert len(task.agg_values(row)) == 1
+
+
+class TestBuildTask:
+    def test_expression_dims_materialized(self, sales):
+        doubled = (col("Year") * lit(2), "y2")
+        task = build_task(sales, [doubled],
+                          [AggregateSpec(Sum(), "Units", "s")],
+                          cube_sets(1))
+        assert task.dims == ("y2",)
+        assert {row[0] for row in task.rows} == {3988, 3990}
+
+    def test_agg_inputs_pre_evaluated(self, sales):
+        task = build_task(sales, ["Model"],
+                          [AggregateSpec(Sum(), col("Units") + lit(1),
+                                         "s")], cube_sets(1))
+        assert task.rows[0][1] == sales.rows[0][3] + 1
+
+    def test_star_input_becomes_one(self, sales):
+        task = build_task(sales, ["Model"],
+                          [AggregateSpec(CountStar(), "*", "n")],
+                          cube_sets(1))
+        assert all(row[1] == 1 for row in task.rows)
+
+    def test_output_schema_marks_all_allowed(self, task):
+        schema = task.output_schema()
+        assert schema["Model"].all_allowed
+        assert schema["Year"].all_allowed
+        assert not schema["s"].all_allowed
+
+
+class TestFoldHelpers:
+    def test_fold_skips_non_accepted(self, sales):
+        task = build_task(sales, ["Model"],
+                          [AggregateSpec(Count(), "Units", "c")],
+                          cube_sets(1))
+        stats = ComputeStats()
+        handles = task.new_handles(stats)
+        task.fold_row(handles, ("Chevy", None), stats)  # NULL input
+        assert stats.iter_calls == 0
+        task.fold_row(handles, ("Chevy", 5), stats)
+        assert stats.iter_calls == 1
+        assert task.finalize(handles, stats) == (1,)
+
+    def test_merge_counts(self, task):
+        stats = ComputeStats()
+        a = task.new_handles(stats)
+        b = task.new_handles(stats)
+        task.fold_row(a, ("Chevy", 1994, 10), stats)
+        task.fold_row(b, ("Chevy", 1994, 20), stats)
+        task.merge_handles(a, b, stats)
+        assert stats.merge_calls == 1
+        assert task.finalize(a, stats) == (30,)
+
+    def test_stats_merged(self):
+        a = ComputeStats(base_scans=1, iter_calls=10)
+        b = ComputeStats(base_scans=2, iter_calls=5, max_resident_cells=9)
+        a.merged(b)
+        assert a.base_scans == 3
+        assert a.iter_calls == 15
+        assert a.max_resident_cells == 9
+
+    def test_stats_summary_text(self):
+        stats = ComputeStats(algorithm="x", base_scans=1)
+        assert "x" in stats.summary()

@@ -1,0 +1,167 @@
+"""Cross-algorithm equivalence, property-based.
+
+Every algorithm must produce the identical bag of cube rows on any
+input -- the central correctness property.  hypothesis generates random
+relations (dimension counts, cardinalities, NULLs, duplicates) and the
+suite cross-checks all seven algorithms against the naive union.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Table
+from repro.aggregates import Average, Count, CountStar, Max, Median, Min, Sum
+from repro.compute import (
+    ArrayCubeAlgorithm,
+    ExternalCubeAlgorithm,
+    FromCoreAlgorithm,
+    NaiveUnionAlgorithm,
+    ParallelCubeAlgorithm,
+    SortCubeAlgorithm,
+    TwoNAlgorithm,
+    build_task,
+)
+from repro.core.grouping import cube_sets, rollup_sets
+from repro.engine.groupby import AggregateSpec
+
+from repro.compute import PipeSortAlgorithm
+
+MERGEABLE_ALGORITHMS = [
+    TwoNAlgorithm(),
+    FromCoreAlgorithm(),
+    SortCubeAlgorithm(),
+    PipeSortAlgorithm(),
+    ExternalCubeAlgorithm(memory_budget=4),
+    ParallelCubeAlgorithm(n_workers=3, use_threads=False),
+]
+
+
+def random_tables(max_dims=3, allow_nulls=True):
+    """Strategy: (n_dims, rows) with string dims and int measures."""
+    dim_value = st.sampled_from(["a", "b", "c", "d"])
+    if allow_nulls:
+        dim_value = st.one_of(dim_value, st.none())
+    measure = st.one_of(st.integers(-50, 50), st.none())
+    return st.integers(1, max_dims).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(*([dim_value] * n), measure),
+                min_size=0, max_size=25)))
+
+
+def build(n_dims, rows, specs, masks=None):
+    columns = [(f"d{i}", "STRING") for i in range(n_dims)]
+    columns.append(("x", "INTEGER"))
+    table = Table(columns, rows)
+    dims = [f"d{i}" for i in range(n_dims)]
+    return build_task(table, dims, specs,
+                      masks if masks is not None else cube_sets(n_dims))
+
+
+class TestCrossAlgorithmEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_tables())
+    def test_all_algorithms_agree_on_sum_count(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Sum(), "x", "s"),
+                 AggregateSpec(Count(), "x", "c"),
+                 AggregateSpec(CountStar(), "*", "n")]
+        task = build(n_dims, rows, specs)
+        reference = NaiveUnionAlgorithm().compute(task).table
+        for algorithm in MERGEABLE_ALGORITHMS:
+            result = algorithm.compute(task).table
+            assert result.equals_bag(reference), algorithm.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_tables())
+    def test_array_agrees_on_distributive(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Sum(), "x", "s"),
+                 AggregateSpec(Min(), "x", "lo"),
+                 AggregateSpec(Max(), "x", "hi")]
+        task = build(n_dims, rows, specs)
+        reference = NaiveUnionAlgorithm().compute(task).table
+        assert ArrayCubeAlgorithm().compute(task).table.equals_bag(reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_tables())
+    def test_algebraic_merge_is_exact(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Average(), "x", "avg")]
+        task = build(n_dims, rows, specs)
+        reference = NaiveUnionAlgorithm().compute(task).table
+        from_core = FromCoreAlgorithm().compute(task).table
+        assert from_core.equals_bag(reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=random_tables(max_dims=2))
+    def test_holistic_via_twon_matches_carrying_from_core(self, data):
+        n_dims, rows = data
+        strict_task = build(n_dims, rows,
+                            [AggregateSpec(Median(carrying=False), "x",
+                                           "m")])
+        carrying_task = build(n_dims, rows,
+                              [AggregateSpec(Median(carrying=True), "x",
+                                             "m")])
+        strict = TwoNAlgorithm().compute(strict_task).table
+        carrying = FromCoreAlgorithm().compute(carrying_task).table
+        assert strict.equals_bag(carrying)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_tables())
+    def test_rollup_masks_agree(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Sum(), "x", "s")]
+        masks = rollup_sets(n_dims)
+        task = build(n_dims, rows, specs, masks=masks)
+        reference = NaiveUnionAlgorithm().compute(task).table
+        for algorithm in MERGEABLE_ALGORITHMS:
+            assert algorithm.compute(task).table.equals_bag(reference), \
+                algorithm.name
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(data=random_tables(allow_nulls=False))
+    def test_cube_cardinality_law(self, data):
+        """Dense inputs obey the paper's law exactly: Π(Ci + 1)."""
+        n_dims, rows = data
+        if not rows:
+            return
+        task = build(n_dims, rows, [AggregateSpec(CountStar(), "*", "n")])
+        result = TwoNAlgorithm().compute(task).table
+        cardinalities = task.cardinalities()
+        import math
+        upper = math.prod(c + 1 for c in cardinalities)
+        assert len(result) <= upper
+        # exact when the core is the full cross product
+        core_size = len({task.dim_values(r) for r in task.rows})
+        if core_size == math.prod(cardinalities):
+            assert len(result) == upper
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=random_tables())
+    def test_rollup_subset_of_cube(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Sum(), "x", "s")]
+        cube_result = TwoNAlgorithm().compute(
+            build(n_dims, rows, specs)).table
+        rollup_result = TwoNAlgorithm().compute(
+            build(n_dims, rows, specs, masks=rollup_sets(n_dims))).table
+        assert set(rollup_result.rows) <= set(cube_result.rows)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=random_tables())
+    def test_global_total_consistency(self, data):
+        """The (ALL,...,ALL) SUM equals the plain column sum."""
+        from repro.types import ALL
+        n_dims, rows = data
+        task = build(n_dims, rows, [AggregateSpec(Sum(), "x", "s")])
+        result = TwoNAlgorithm().compute(task).table
+        total_row = [row for row in result
+                     if all(v is ALL for v in row[:n_dims])]
+        assert len(total_row) == 1
+        real = [r[-1] for r in rows if r[-1] is not None]
+        expected = sum(real) if real else None
+        assert total_row[0][-1] == expected

@@ -1,0 +1,74 @@
+"""The symmetric chain decomposition and greedy chain cover used by the
+sort-based cube algorithm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compute.sort_cube import (
+    greedy_chain_cover,
+    symmetric_chain_decomposition,
+)
+from repro.core.grouping import cube_sets, rollup_sets
+
+
+class TestSymmetricChains:
+    @pytest.mark.parametrize("n", range(0, 9))
+    def test_partitions_the_power_set(self, n):
+        chains = symmetric_chain_decomposition(n)
+        members = [mask for chain in chains for mask in chain]
+        assert sorted(members) == list(range(1 << n))
+
+    @pytest.mark.parametrize("n", range(1, 9))
+    def test_chain_count_is_central_binomial(self, n):
+        chains = symmetric_chain_decomposition(n)
+        assert len(chains) == math.comb(n, n // 2)
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_chains_are_nested_one_bit_steps(self, n):
+        for chain in symmetric_chain_decomposition(n):
+            for prev, nxt in zip(chain, chain[1:]):
+                assert prev & nxt == prev  # prev subset of nxt
+                assert bin(nxt).count("1") == bin(prev).count("1") + 1
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_chains_are_symmetric_about_middle(self, n):
+        # a symmetric chain from level k runs to level n-k
+        for chain in symmetric_chain_decomposition(n):
+            low = bin(chain[0]).count("1")
+            high = bin(chain[-1]).count("1")
+            assert low + high == n
+
+    def test_n_zero(self):
+        assert symmetric_chain_decomposition(0) == [[0]]
+
+
+class TestGreedyCover:
+    def test_rollup_is_single_chain(self):
+        chains = greedy_chain_cover(rollup_sets(4))
+        assert len(chains) == 1
+        assert len(chains[0]) == 5
+
+    def test_cover_is_a_partition(self):
+        masks = cube_sets(3)
+        chains = greedy_chain_cover(masks)
+        members = [m for chain in chains for m in chain]
+        assert sorted(members) == sorted(masks)
+
+    def test_chains_are_nested(self):
+        for chain in greedy_chain_cover(cube_sets(4)):
+            for prev, nxt in zip(chain, chain[1:]):
+                assert prev & nxt == prev
+
+    @settings(max_examples=50, deadline=None)
+    @given(masks=st.lists(st.integers(0, 31), min_size=1, max_size=20,
+                          unique=True))
+    def test_arbitrary_mask_sets_covered(self, masks):
+        chains = greedy_chain_cover(masks)
+        members = [m for chain in chains for m in chain]
+        assert sorted(members) == sorted(masks)
+        for chain in chains:
+            for prev, nxt in zip(chain, chain[1:]):
+                assert prev & nxt == prev
+                assert prev != nxt

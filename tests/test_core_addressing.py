@@ -1,0 +1,113 @@
+"""Cube addressing (Section 4): v(i, j), slices, percent-of-total,
+and the index() function."""
+
+import pytest
+
+from repro import ALL, CubeView, agg, cube
+from repro.errors import AddressingError
+
+
+@pytest.fixture
+def view(sales):
+    result = cube(sales, ["Model", "Year", "Color"],
+                  [agg("SUM", "Units", "Units"),
+                   agg("COUNT", "*", "n")])
+    return CubeView(result, ["Model", "Year", "Color"])
+
+
+class TestCellAccess:
+    def test_v(self, view):
+        assert view.v("Chevy", 1994, "black") == 50
+        assert view.v("Chevy", ALL, ALL) == 290
+
+    def test_v_named_measure(self, view):
+        assert view.v(ALL, ALL, ALL, measure="n") == 8
+
+    def test_total(self, view):
+        assert view.total() == 510
+
+    def test_missing_cell_raises(self, view):
+        with pytest.raises(AddressingError):
+            view.v("Tesla", 1994, "black")
+
+    def test_get_with_default(self, view):
+        assert view.get("Tesla", 1994, "black", default=0) == 0
+
+    def test_wrong_arity_raises(self, view):
+        with pytest.raises(AddressingError):
+            view.v("Chevy")
+
+    def test_unknown_measure(self, view):
+        with pytest.raises(AddressingError):
+            view.v(ALL, ALL, ALL, measure="bogus")
+
+    def test_contains(self, view):
+        assert ("Chevy", 1994, "black") in view
+        assert ("Tesla", ALL, ALL) not in view
+
+    def test_duplicate_cells_rejected(self, sales):
+        doubled = cube(sales, ["Model"], [agg("SUM", "Units", "u")])
+        doubled.extend(list(doubled.rows))
+        with pytest.raises(AddressingError):
+            CubeView(doubled, ["Model"])
+
+    def test_no_measures_rejected(self, sales):
+        result = cube(sales, ["Model"], [agg("SUM", "Units", "u")])
+        from repro.engine.operators import project
+        only_dims = project(result, ["Model"])
+        with pytest.raises(AddressingError):
+            CubeView(only_dims, ["Model"])
+
+
+class TestSlicing:
+    def test_slice_is_a_plane(self, view):
+        chevy = view.slice(Model="Chevy")
+        assert all(row[0] == "Chevy" for row in chevy)
+        assert len(chevy) == 9  # 3 years(2+ALL) x 3 colors(2+ALL)
+
+    def test_slice_unknown_dim(self, view):
+        with pytest.raises(AddressingError):
+            view.slice(Engine="V8")
+
+    def test_level(self, view):
+        core = view.level(0)
+        assert len(core) == 8
+        total = view.level(3)
+        assert len(total) == 1
+        assert total.rows[0][3] == 510
+
+    def test_dim_values(self, view):
+        assert view.dim_values("Year") == [1994, 1995]
+        with pytest.raises(AddressingError):
+            view.dim_values("Engine")
+
+    def test_coordinates_count(self, view):
+        assert len(view.coordinates()) == 27 == len(view)
+
+
+class TestDerived:
+    def test_percent_of_total(self, view):
+        shared = view.percent_of_total()
+        idx = shared.schema.index_of("Units/total")
+        by_key = {row[:3]: row[idx] for row in shared}
+        assert by_key[("Chevy", ALL, ALL)] == pytest.approx(290 / 510)
+        assert by_key[(ALL, ALL, ALL)] == pytest.approx(1.0)
+
+    def test_percent_of_total_alias(self, view):
+        shared = view.percent_of_total(alias="share")
+        assert "share" in shared.schema.names
+
+    def test_index_1d(self, view):
+        # index(v_i) = v_i / sum_i v_i over models
+        index = view.index_1d("Model")
+        assert index["Chevy"] == pytest.approx(290 / 510)
+        assert index["Ford"] == pytest.approx(220 / 510)
+        assert sum(index.values()) == pytest.approx(1.0)
+
+    def test_index_1d_with_fixed_dims(self, view):
+        index = view.index_1d("Color", Year=1994)
+        assert index["black"] == pytest.approx(100 / 150)
+
+    def test_index_unknown_dim(self, view):
+        with pytest.raises(AddressingError):
+            view.index_1d("Engine")

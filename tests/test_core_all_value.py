@@ -1,0 +1,69 @@
+"""The ALL value functions: ALL(), GROUPING(), and the Section 3.4
+NULL+GROUPING conversion."""
+
+from repro import ALL, Table, agg, cube, grouping
+from repro.core.all_value import (
+    all_of,
+    grouping_column_name,
+    grouping_vector,
+    to_null_mode,
+)
+
+
+class TestAllOf:
+    def test_expands_to_value_set(self, sales):
+        # Section 3.3: Year.ALL = {1994, 1995} for this dataset
+        assert all_of(ALL, sales, "Year") == frozenset({1994, 1995})
+        assert all_of(ALL, sales, "Model") == frozenset({"Chevy", "Ford"})
+
+    def test_non_all_returns_null(self, sales):
+        # "ALL() applied to any other value returns NULL"
+        assert all_of("Chevy", sales, "Model") is None
+        assert all_of(None, sales, "Model") is None
+
+
+class TestGrouping:
+    def test_grouping_function(self):
+        assert grouping(ALL) is True
+        assert grouping("Chevy") is False
+        assert grouping(None) is False  # NULL group is not an aggregate
+
+    def test_grouping_vector(self):
+        row = ("Chevy", ALL, "black", 135)
+        assert grouping_vector(row, [0, 1, 2]) == (False, True, False)
+
+    def test_column_name(self):
+        assert grouping_column_name("Model") == "GROUPING(Model)"
+
+
+class TestNullModeConversion:
+    def test_figure4_tuple_conversion(self, sales):
+        # (ALL, ALL, ALL, 510) -> (NULL, NULL, NULL, 510, TRUE, TRUE, TRUE)
+        result = cube(sales, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        converted = to_null_mode(result, ["Model", "Year", "Color"])
+        total = [row for row in converted if row[4:] == (True, True, True)]
+        assert total == [(None, None, None, 510, True, True, True)]
+
+    def test_real_nulls_keep_grouping_false(self):
+        table = Table([("g", "STRING"), ("x", "INTEGER")],
+                      [(None, 1), ("a", 2)])
+        result = cube(table, ["g"], [agg("SUM", "x", "s")])
+        converted = to_null_mode(result, ["g"])
+        # the genuine NULL group: g NULL but GROUPING(g) FALSE
+        real_null = [row for row in converted
+                     if row[0] is None and row[2] is False]
+        assert real_null == [(None, 1, False)]
+        # the ALL row: g NULL and GROUPING(g) TRUE
+        all_row = [row for row in converted if row[2] is True]
+        assert all_row == [(None, 3, True)]
+
+    def test_schema_gains_grouping_columns(self, sales):
+        result = cube(sales, ["Model"], [agg("SUM", "Units", "u")])
+        converted = to_null_mode(result, ["Model"])
+        assert converted.schema.names == ("Model", "u", "GROUPING(Model)")
+
+    def test_non_dim_columns_untouched(self, sales):
+        result = cube(sales, ["Model"], [agg("SUM", "Units", "u")])
+        converted = to_null_mode(result, ["Model"])
+        assert sum(row[1] for row in converted if row[2] is False) == 510

@@ -1,0 +1,204 @@
+"""The CUBE / ROLLUP / compound operators: the paper's worked examples."""
+
+import pytest
+
+from repro import ALL, Table, agg, compound_groupby, cube, groupby, rollup
+from repro.core.cube import AggregateRequest, cube_with_stats, grouping_sets_op
+from repro.engine.expressions import FunctionCall, col, lit
+from repro.errors import CubeError
+from repro.types import NullMode
+
+
+class TestCube:
+    def test_figure4_cardinality(self, figure4):
+        # 18-row SALES with 2x3x3 dims -> 3x4x4 = 48-row cube
+        result = cube(figure4, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        assert len(result) == 48
+
+    def test_figure4_global_total(self, figure4):
+        result = cube(figure4, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        totals = [row for row in result
+                  if row[0] is ALL and row[1] is ALL and row[2] is ALL]
+        assert totals == [(ALL, ALL, ALL, 941)]  # Section 3.4's tuple
+
+    def test_sales_summary_totals(self, sales):
+        result = cube(sales, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        rows = {row[:3]: row[3] for row in result}
+        # every value in Table 4's pivot
+        assert rows[("Chevy", 1994, ALL)] == 90
+        assert rows[("Chevy", ALL, ALL)] == 290
+        assert rows[("Ford", ALL, ALL)] == 220
+        assert rows[(ALL, 1994, "black")] == 100
+        assert rows[(ALL, ALL, ALL)] == 510
+
+    def test_table5b_rows(self, chevy):
+        # the cross-tab rows the roll-up misses (Table 5.b)
+        result = cube(chevy, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        rows = {row[:3]: row[3] for row in result}
+        assert rows[("Chevy", ALL, "black")] == 135
+        assert rows[("Chevy", ALL, "white")] == 155
+
+    def test_where_clause(self, sales):
+        result = cube(sales, ["Year", "Color"],
+                      [agg("SUM", "Units", "Units")],
+                      where=col("Model").eq(lit("Chevy")))
+        rows = {row[:2]: row[2] for row in result}
+        assert rows[(ALL, ALL)] == 290
+
+    def test_computed_dimension(self, sales):
+        decade = (FunctionCall("BUCKET", [col("Year"), lit(10)]), "decade")
+        result = cube(sales, [decade], [agg("SUM", "Units", "u")])
+        rows = {row[0]: row[1] for row in result}
+        assert rows[1990] == 510
+        assert rows[ALL] == 510
+
+    def test_multiple_aggregates(self, sales):
+        result = cube(sales, ["Model"], [
+            agg("SUM", "Units", "total"),
+            agg("MIN", "Units", "lo"),
+            agg("MAX", "Units", "hi"),
+            agg("COUNT", "*", "n"),
+        ])
+        rows = {row[0]: row[1:] for row in result}
+        assert rows["Chevy"] == (290, 40, 115, 4)
+        assert rows[ALL] == (510, 10, 115, 8)
+
+    def test_aggregate_expression_input(self, sales):
+        result = cube(sales, ["Model"],
+                      [agg("SUM", col("Units") * lit(2), "double")])
+        rows = {row[0]: row[1] for row in result}
+        assert rows[ALL] == 1020
+
+    def test_default_alias(self, sales):
+        result = cube(sales, ["Model"], [AggregateRequest("SUM", "Units")])
+        assert "SUM(Units)" in result.schema.names
+
+    def test_no_aggregates_rejected(self, sales):
+        with pytest.raises(CubeError):
+            cube(sales, ["Model"], [])
+
+    def test_duplicate_aliases_rejected(self, sales):
+        with pytest.raises(CubeError):
+            cube(sales, ["Model"], [agg("SUM", "Units", "x"),
+                                    agg("MAX", "Units", "x")])
+
+    def test_empty_input_has_global_row(self):
+        empty = Table([("g", "STRING"), ("x", "INTEGER")])
+        result = cube(empty, ["g"], [agg("COUNT", "x", "n"),
+                                     agg("SUM", "x", "s")])
+        assert result.rows == [(ALL, 0, None)]
+
+    def test_null_dimension_values_form_groups(self, tiny):
+        result = cube(tiny, ["b"], [agg("COUNT", "*", "n")])
+        rows = {row[0]: row[1] for row in result}
+        assert rows[None] == 2  # NULL is a real group, distinct from ALL
+        assert rows[ALL] == 6
+
+    def test_null_mode_output(self, sales):
+        result = cube(sales, ["Model"], [agg("SUM", "Units", "u")],
+                      null_mode=NullMode.NULL_WITH_GROUPING)
+        assert "GROUPING(Model)" in result.schema.names
+        total = [row for row in result if row[2] is True]
+        assert total == [(None, 510, True)]
+
+
+class TestRollup:
+    def test_rollup_row_count(self, sales):
+        # core(8) + model-year(4) + model(2) + total(1)
+        result = rollup(sales, ["Model", "Year", "Color"],
+                        [agg("SUM", "Units", "u")])
+        assert len(result) == 15
+
+    def test_rollup_is_asymmetric(self, chevy):
+        # Table 5.a aggregates by year but not by color
+        result = rollup(chevy, ["Model", "Year", "Color"],
+                        [agg("SUM", "Units", "u")])
+        coords = {row[:3] for row in result}
+        assert ("Chevy", 1994, ALL) in coords
+        assert ("Chevy", ALL, "black") not in coords
+
+    def test_rollup_subset_of_cube(self, sales):
+        dims = ["Model", "Year"]
+        aggs = [agg("SUM", "Units", "u")]
+        rollup_rows = set(rollup(sales, dims, aggs).rows)
+        cube_rows = set(cube(sales, dims, aggs).rows)
+        assert rollup_rows <= cube_rows
+
+    def test_table_5a(self, chevy):
+        result = rollup(chevy, ["Model", "Year", "Color"],
+                        [agg("SUM", "Units", "Units")])
+        expected = {
+            ("Chevy", 1994, "black", 50),
+            ("Chevy", 1994, "white", 40),
+            ("Chevy", 1994, ALL, 90),
+            ("Chevy", 1995, "black", 85),
+            ("Chevy", 1995, "white", 115),
+            ("Chevy", 1995, ALL, 200),
+            ("Chevy", ALL, ALL, 290),
+            (ALL, ALL, ALL, 290),
+        }
+        assert set(result.rows) == expected
+
+
+class TestGroupBy:
+    def test_plain_groupby(self, sales):
+        result = groupby(sales, ["Model"], [agg("SUM", "Units", "u")])
+        assert set(result.rows) == {("Chevy", 290), ("Ford", 220)}
+
+    def test_no_super_aggregates(self, sales):
+        result = groupby(sales, ["Model", "Year"],
+                         [agg("SUM", "Units", "u")])
+        assert all(ALL not in row for row in result)
+
+
+class TestCompound:
+    def test_figure5_shape(self, sales):
+        result = compound_groupby(
+            sales, plain=["Model"], rollup_dims=["Year"],
+            cube_dims=["Color"], aggregates=[agg("SUM", "Units", "u")])
+        coords = {row[:3] for row in result}
+        # Model always real
+        assert all(key[0] is not ALL for key in coords)
+        # rollup structure on Year x cube on Color
+        assert ("Chevy", ALL, "black") in coords
+        assert ("Chevy", ALL, ALL) in coords
+        assert ("Chevy", 1994, ALL) in coords
+
+    def test_compound_equals_manual_union(self, sales):
+        aggs = [agg("SUM", "Units", "u")]
+        compound = compound_groupby(sales, plain=["Model"],
+                                    rollup_dims=[], cube_dims=["Year"],
+                                    aggregates=aggs)
+        via_sets = grouping_sets_op(
+            sales, ["Model", "Year"],
+            [["Model", "Year"], ["Model"]], aggs)
+        assert compound.equals_bag(via_sets)
+
+
+class TestGroupingSetsOp:
+    def test_explicit_sets(self, sales):
+        result = grouping_sets_op(
+            sales, ["Model", "Year"],
+            [["Model"], ["Year"]], [agg("SUM", "Units", "u")])
+        coords = {row[:2] for row in result}
+        assert ("Chevy", ALL) in coords
+        assert (ALL, 1994) in coords
+        assert ("Chevy", 1994) not in coords
+
+    def test_duplicate_sets_collapsed(self, sales):
+        result = grouping_sets_op(
+            sales, ["Model"], [["Model"], ["Model"]],
+            [agg("COUNT", "*", "n")])
+        assert len(result) == 2
+
+
+class TestStats:
+    def test_stats_surface(self, sales):
+        result = cube_with_stats(sales, ["Model", "Year"],
+                                 [agg("SUM", "Units", "u")])
+        assert result.stats.cells_produced == len(result.table)
+        assert result.stats.base_scans >= 1

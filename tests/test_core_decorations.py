@@ -1,0 +1,99 @@
+"""Decorations (Section 3.5): functional dependency checks and the
+Table 7 NULL-when-aggregated rule."""
+
+import pytest
+
+from repro import ALL, Decoration, Table, agg, apply_decorations, cube
+from repro.core.decorations import (
+    decoration_from_table,
+    verify_functional_dependency,
+)
+from repro.errors import DecorationError
+
+
+@pytest.fixture
+def nation_cube():
+    table = Table([("day", "STRING"), ("nation", "STRING"),
+                   ("temp", "INTEGER")])
+    table.extend([
+        ("mon", "USA", 28), ("tue", "USA", 37),
+        ("mon", "Canada", 15), ("tue", "Mexico", 41),
+    ])
+    return cube(table, ["day", "nation"], [agg("MAX", "temp", "max_temp")])
+
+
+CONTINENTS = {("USA",): "North America", ("Canada",): "North America",
+              ("Mexico",): "North America"}
+
+
+class TestApplyDecorations:
+    def test_table7_rule(self, nation_cube):
+        decorated = apply_decorations(nation_cube, [
+            Decoration("continent", ("nation",), CONTINENTS)])
+        for row in decorated:
+            nation, continent = row[1], row[3]
+            if nation is ALL:
+                # "the continent is not specified unless nation is"
+                assert continent is None
+            else:
+                assert continent == "North America"
+
+    def test_callable_lookup(self, nation_cube):
+        decorated = apply_decorations(nation_cube, [
+            Decoration("first_letter", ("nation",), lambda n: n[0])])
+        real = [row for row in decorated if row[1] is not ALL]
+        assert all(row[3] == row[1][0] for row in real)
+
+    def test_multi_determinant(self, nation_cube):
+        lookup = {("mon", "USA"): "cold snap"}
+        decorated = apply_decorations(nation_cube, [
+            Decoration("note", ("day", "nation"), lookup)])
+        noted = [row for row in decorated if row[3] is not None]
+        assert len(noted) == 1
+        assert noted[0][:2] == ("mon", "USA")
+
+    def test_unknown_determinant_rejected(self, nation_cube):
+        with pytest.raises(DecorationError):
+            apply_decorations(nation_cube, [
+                Decoration("x", ("nonexistent",), {})])
+
+    def test_name_clash_rejected(self, nation_cube):
+        with pytest.raises(DecorationError):
+            apply_decorations(nation_cube, [
+                Decoration("max_temp", ("nation",), {})])
+
+    def test_empty_determinants_rejected(self):
+        with pytest.raises(DecorationError):
+            Decoration("x", (), {})
+
+    def test_null_determinant_yields_null(self):
+        table = Table([("g", "STRING"), ("x", "INTEGER")],
+                      [(None, 1), ("a", 2)])
+        result = cube(table, ["g"], [agg("SUM", "x", "s")])
+        decorated = apply_decorations(result, [
+            Decoration("deco", ("g",), {("a",): "A!"})])
+        values = {row[0]: row[2] for row in decorated}
+        assert values["a"] == "A!"
+        assert values[None] is None
+        assert values[ALL] is None
+
+
+class TestFunctionalDependency:
+    def test_holds(self):
+        table = Table([("dept", "INTEGER"), ("name", "STRING")],
+                      [(1, "toys"), (1, "toys"), (2, "tools")])
+        mapping = verify_functional_dependency(table, ["dept"], "name")
+        assert mapping == {(1,): "toys", (2,): "tools"}
+
+    def test_violation_detected(self):
+        table = Table([("dept", "INTEGER"), ("name", "STRING")],
+                      [(1, "toys"), (1, "tools")])
+        with pytest.raises(DecorationError):
+            verify_functional_dependency(table, ["dept"], "name")
+
+    def test_decoration_from_table(self):
+        dims = Table([("nation", "STRING"), ("continent", "STRING")],
+                     [("USA", "North America"), ("France", "Europe")])
+        decoration = decoration_from_table(dims, ["nation"], "continent")
+        assert decoration.value_for(("France",)) == "Europe"
+        assert decoration.value_for(("Atlantis",)) is None

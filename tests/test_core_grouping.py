@@ -1,0 +1,132 @@
+"""Grouping sets and the GROUP BY / ROLLUP / CUBE algebra (Section 3.1)."""
+
+import pytest
+
+from repro.core.grouping import (
+    GroupingSpec,
+    compose_cube,
+    compose_rollup,
+    cube_sets,
+    groupby_sets,
+    mask_to_names,
+    names_to_mask,
+    rollup_sets,
+)
+from repro.errors import GroupingError
+
+DIMS = ("Model", "Year", "Color")
+
+
+class TestMasks:
+    def test_roundtrip(self):
+        mask = names_to_mask(["Model", "Color"], DIMS)
+        assert mask == 0b101
+        assert mask_to_names(mask, DIMS) == ("Model", "Color")
+
+    def test_unknown_name(self):
+        with pytest.raises(GroupingError):
+            names_to_mask(["Engine"], DIMS)
+
+    def test_order_is_dimension_order(self):
+        mask = names_to_mask(["Color", "Model"], DIMS)
+        assert mask_to_names(mask, DIMS) == ("Model", "Color")
+
+
+class TestSetGenerators:
+    def test_groupby_single_set(self):
+        assert groupby_sets(3) == [0b111]
+
+    def test_rollup_prefixes(self):
+        # (v1,v2,v3), (v1,v2,ALL), (v1,ALL,ALL), (ALL,ALL,ALL)
+        assert rollup_sets(3) == [0b111, 0b011, 0b001, 0b000]
+
+    def test_rollup_adds_n_plus_one(self):
+        assert len(rollup_sets(5)) == 6
+
+    def test_cube_power_set(self):
+        sets = cube_sets(3)
+        assert len(sets) == 8
+        assert sets[0] == 0b111  # core first
+        assert sets[-1] == 0  # grand total last
+
+    def test_cube_2n_sets(self):
+        # "If there are N attributes, there will be 2^N - 1
+        # super-aggregate values" (plus the core)
+        for n in range(6):
+            assert len(cube_sets(n)) == 2 ** n
+
+    def test_cube_zero_dims(self):
+        assert cube_sets(0) == [0]
+
+
+class TestAlgebra:
+    def test_cube_of_rollup_is_cube(self):
+        # Section 3.1: CUBE(ROLLUP) = CUBE
+        assert compose_cube(rollup_sets(3), 3) == cube_sets(3)
+
+    def test_cube_of_groupby_is_cube(self):
+        assert compose_cube(groupby_sets(3), 3) == cube_sets(3)
+
+    def test_cube_of_cube_is_cube(self):
+        assert compose_cube(cube_sets(3), 3) == cube_sets(3)
+
+    def test_rollup_of_groupby_is_rollup(self):
+        # Section 3.1: ROLLUP(GROUP BY) = ROLLUP
+        assert compose_rollup(groupby_sets(3), 3) == rollup_sets(3)
+
+    def test_rollup_of_rollup_is_rollup(self):
+        assert compose_rollup(rollup_sets(3), 3) == rollup_sets(3)
+
+
+class TestGroupingSpec:
+    def test_pure_cube(self):
+        spec = GroupingSpec.for_cube(DIMS)
+        assert spec.grouping_sets() == cube_sets(3)
+        assert spec.set_count() == 8
+
+    def test_pure_rollup(self):
+        spec = GroupingSpec.for_rollup(DIMS)
+        assert spec.grouping_sets() == rollup_sets(3)
+        assert spec.set_count() == 4
+
+    def test_pure_groupby(self):
+        spec = GroupingSpec.for_groupby(DIMS)
+        assert spec.grouping_sets() == [0b111]
+
+    def test_compound_figure5_shape(self):
+        # GROUP BY Manufacturer ROLLUP Year, Month, Day CUBE Color, Model
+        spec = GroupingSpec(plain=("Manufacturer",),
+                            rollup=("Year", "Month", "Day"),
+                            cube=("Color", "Model"))
+        sets = spec.grouping_sets()
+        # (3 rollup + 1) x 2^2 cube = 16 grouping sets
+        assert len(sets) == 16
+        assert spec.set_count() == 16
+        # the plain column is grouped in every set
+        assert all(mask & 0b1 for mask in sets)
+        # the finest set groups everything
+        assert sets[0] == 0b111111
+
+    def test_compound_rollup_prefix_structure(self):
+        spec = GroupingSpec(plain=("m",), rollup=("a", "b"), cube=())
+        sets = spec.grouping_sets()
+        assert sets == [0b111, 0b011, 0b001]
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupingSpec(plain=("a",), cube=("a",))
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupingSpec()
+
+    def test_dims_order(self):
+        spec = GroupingSpec(plain=("p",), rollup=("r",), cube=("c",))
+        assert spec.dims == ("p", "r", "c")
+
+    def test_describe(self):
+        spec = GroupingSpec(plain=("a",), rollup=("b",), cube=("c",))
+        text = spec.describe()
+        assert "GROUP BY a" in text
+        assert "ROLLUP b" in text
+        assert "CUBE c" in text

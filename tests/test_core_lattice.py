@@ -1,0 +1,81 @@
+"""The cube lattice: refinement edges, levels, smallest-parent rule."""
+
+import pytest
+
+from repro.core.grouping import cube_sets, rollup_sets
+from repro.core.lattice import CubeLattice
+from repro.errors import GroupingError
+
+DIMS = ("a", "b", "c")
+
+
+@pytest.fixture
+def full():
+    return CubeLattice(DIMS, cube_sets(3))
+
+
+class TestStructure:
+    def test_core_is_finest(self, full):
+        assert full.core == 0b111
+
+    def test_levels(self, full):
+        assert full.level(0b111) == 3
+        assert full.level(0b000) == 0
+
+    def test_parents_and_children(self, full):
+        assert sorted(full.parents(0b001)) == [0b011, 0b101]
+        assert sorted(full.children(0b011)) == [0b001, 0b010]
+        assert full.parents(0b111) == []
+        assert full.children(0) == []
+
+    def test_ancestors_descendants(self, full):
+        assert set(full.ancestors(0b001)) == {0b011, 0b101, 0b111}
+        assert set(full.descendants(0b110)) == {0b100, 0b010, 0}
+
+    def test_by_level_descending(self, full):
+        levels = full.by_level_descending()
+        assert [len(level) for level in levels] == [1, 3, 3, 1]
+        assert levels[0] == [0b111]
+
+    def test_rollup_lattice_is_a_chain(self):
+        lattice = CubeLattice(DIMS, rollup_sets(3))
+        assert len(lattice) == 4
+        assert lattice.parents(0b001) == [0b011]
+
+    def test_invalid_mask_rejected(self):
+        with pytest.raises(GroupingError):
+            CubeLattice(("a",), [0b10])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GroupingError):
+            CubeLattice(DIMS, [])
+
+    def test_names(self, full):
+        assert full.names(0b101) == ("a", "c")
+
+    def test_contains_and_iter(self, full):
+        assert 0b011 in full
+        assert 0b111 in list(full)
+
+
+class TestCardinalityRules:
+    def test_estimate_rows(self, full):
+        # grouped dims multiply their cardinalities
+        assert full.estimate_rows(0b011, [10, 20, 30]) == 200
+        assert full.estimate_rows(0, [10, 20, 30]) == 1
+
+    def test_estimate_capped_by_table_size(self, full):
+        assert full.estimate_rows(0b111, [100, 100, 100], total_rows=50) == 50
+
+    def test_smallest_parent_picks_min_cardinality(self, full):
+        # node (a): parents are (a,b) and (a,c); Cb=100, Cc=2
+        parent = full.smallest_parent(0b001, [10, 100, 2])
+        assert parent == 0b101  # the (a, c) parent
+
+    def test_smallest_parent_of_core_is_none(self, full):
+        assert full.smallest_parent(0b111, [1, 1, 1]) is None
+
+    def test_cube_size_law(self, full):
+        # the paper: Π(Ci + 1)
+        assert full.estimate_cube_rows([2, 3, 3]) == 48  # Figure 4!
+        assert full.estimate_cube_rows([4, 4, 4, 4]) == 625

@@ -1,0 +1,121 @@
+"""The datasets: the paper's exact tables and the synthetic generator."""
+
+import pytest
+
+from repro.data import (
+    FIGURE4_TOTAL,
+    NATIONS,
+    SyntheticSpec,
+    chevy_sales_table,
+    continent_of,
+    figure4_sales_table,
+    nation_of,
+    sales_summary_table,
+    synthetic_table,
+    weather_table,
+)
+from repro.errors import WorkloadError
+
+
+class TestSalesData:
+    def test_sales_summary_shape(self):
+        table = sales_summary_table()
+        assert len(table) == 8
+        assert sum(row[3] for row in table) == 510  # Table 4 grand total
+
+    def test_chevy_slice(self):
+        table = chevy_sales_table()
+        assert len(table) == 4
+        assert sum(row[3] for row in table) == 290  # Table 3.a
+
+    def test_figure4_structure(self):
+        table = figure4_sales_table()
+        # "the SALES table has 2 x 3 x 3 = 18 rows"
+        assert len(table) == 18
+        assert len(table.distinct_values("Model")) == 2
+        assert len(table.distinct_values("Year")) == 3
+        assert len(table.distinct_values("Color")) == 3
+        # every combination appears exactly once (dense core)
+        assert len({row[:3] for row in table}) == 18
+
+    def test_figure4_total_941(self):
+        # the (ALL, ALL, ALL, 941) tuple of Section 3.4
+        assert sum(row[3] for row in figure4_sales_table()) == 941
+        assert FIGURE4_TOTAL == 941
+
+
+class TestWeatherData:
+    def test_deterministic(self):
+        assert weather_table(50, seed=5).rows == \
+            weather_table(50, seed=5).rows
+
+    def test_different_seeds_differ(self):
+        assert weather_table(50, seed=5).rows != \
+            weather_table(50, seed=6).rows
+
+    def test_schema_matches_table1(self):
+        table = weather_table(10)
+        assert table.schema.names == (
+            "Time", "Latitude", "Longitude", "Altitude", "Temp",
+            "Pressure")
+
+    def test_nation_of_is_functional(self):
+        table = weather_table(100, seed=2)
+        for row in table:
+            nation = nation_of(row[1], row[2])
+            assert nation in NATIONS
+
+    def test_nation_of_open_ocean_is_null(self):
+        assert nation_of(0.0, 0.0) is None
+
+    def test_continent_functional_dependency(self):
+        # Table 7's decoration: continent determined by nation
+        for nation in NATIONS:
+            assert continent_of(nation) is not None
+        assert continent_of(None) is None
+        assert continent_of("Atlantis") is None
+
+    def test_altitude_cools_temperature(self):
+        table = weather_table(400, seed=9)
+        low = [r[4] for r in table if r[3] == 0]
+        high = [r[4] for r in table if r[3] == 2000]
+        assert sum(low) / len(low) > sum(high) / len(high)
+
+
+class TestSyntheticData:
+    def test_shape(self):
+        spec = SyntheticSpec(cardinalities=(3, 4), n_rows=100, seed=1)
+        table = synthetic_table(spec)
+        assert len(table) == 100
+        assert table.schema.names == ("d0", "d1", "m")
+        assert len(table.distinct_values("d0")) <= 3
+
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_rows=50, seed=3)
+        assert synthetic_table(spec).rows == synthetic_table(spec).rows
+
+    def test_skew_concentrates_values(self):
+        from collections import Counter
+        uniform = synthetic_table(SyntheticSpec(
+            cardinalities=(10,), n_rows=2000, skew=0.0, seed=4))
+        skewed = synthetic_table(SyntheticSpec(
+            cardinalities=(10,), n_rows=2000, skew=2.0, seed=4))
+        top_uniform = Counter(uniform.column_values("d0")).most_common(1)
+        top_skewed = Counter(skewed.column_values("d0")).most_common(1)
+        assert top_skewed[0][1] > top_uniform[0][1]
+
+    def test_density_limits_combinations(self):
+        sparse = synthetic_table(SyntheticSpec(
+            cardinalities=(10, 10), n_rows=500, density=0.2, seed=5))
+        combos = {row[:2] for row in sparse}
+        assert len(combos) <= 20
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(cardinalities=())
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(cardinalities=(0,))
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(density=0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(n_rows=-1)

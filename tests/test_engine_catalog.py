@@ -1,0 +1,72 @@
+"""Catalog registration and trigger dispatch (the Section 6 mechanism)."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.register("T", Table([("a", "INTEGER")], [(1,), (2,)]))
+    return c
+
+
+class TestRegistration:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.get("t") is catalog.get("T")
+        assert "t" in catalog
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.register("T", Table([("a", "INTEGER")]))
+        catalog.register("T", Table([("a", "INTEGER")]), replace=True)
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("nope")
+
+    def test_drop(self, catalog):
+        catalog.drop("T")
+        assert "T" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.drop("T")
+
+    def test_names(self, catalog):
+        assert catalog.names() == ["T"]
+
+
+class TestTriggers:
+    def test_insert_trigger_fires(self, catalog):
+        seen = []
+        catalog.on_insert("T", seen.append)
+        catalog.insert("T", (3,))
+        assert seen == [(3,)]
+        assert len(catalog.get("T")) == 3
+
+    def test_delete_trigger_fires_only_on_removal(self, catalog):
+        seen = []
+        catalog.on_delete("T", seen.append)
+        assert catalog.delete("T", (1,))
+        assert not catalog.delete("T", (99,))
+        assert seen == [(1,)]
+
+    def test_update_is_delete_plus_insert(self, catalog):
+        inserts, deletes = [], []
+        catalog.on_insert("T", inserts.append)
+        catalog.on_delete("T", deletes.append)
+        assert catalog.update("T", (2,), (5,))
+        assert deletes == [(2,)] and inserts == [(5,)]
+
+    def test_update_missing_row(self, catalog):
+        assert not catalog.update("T", (42,), (5,))
+
+    def test_insert_many(self, catalog):
+        catalog.insert_many("T", [(7,), (8,)])
+        assert len(catalog.get("T")) == 4
+
+    def test_trigger_on_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.on_insert("nope", print)

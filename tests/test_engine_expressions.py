@@ -1,0 +1,201 @@
+"""Scalar expression evaluation, NULL/ALL propagation, three-valued
+logic, and the scalar-function registry."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Arithmetic,
+    Between,
+    BooleanExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    NotExpr,
+    ScalarFunctionRegistry,
+    col,
+    lit,
+)
+from repro.errors import ExpressionError
+from repro.types import ALL
+
+ROW = {"a": 3, "b": 2, "s": "Chevy", "n": None}
+
+
+class TestBasics:
+    def test_column_ref(self):
+        assert col("a").evaluate(ROW) == 3
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError):
+            col("zzz").evaluate(ROW)
+
+    def test_literal(self):
+        assert lit(42).evaluate({}) == 42
+
+    def test_references(self):
+        expr = (col("a") + col("b")).eq(lit(5))
+        assert expr.references() == {"a", "b"}
+
+    def test_default_names(self):
+        assert col("a").default_name() == "a"
+        assert (col("a") + lit(1)).default_name() == "(a+1)"
+
+
+class TestArithmetic:
+    def test_operators(self):
+        assert (col("a") + col("b")).evaluate(ROW) == 5
+        assert (col("a") - col("b")).evaluate(ROW) == 1
+        assert (col("a") * col("b")).evaluate(ROW) == 6
+        assert (col("a") / col("b")).evaluate(ROW) == 1.5
+        assert Arithmetic("%", col("a"), col("b")).evaluate(ROW) == 1
+
+    def test_null_propagates(self):
+        assert (col("n") + lit(1)).evaluate(ROW) is None
+
+    def test_all_propagates_as_null(self):
+        assert (lit(ALL) + lit(1)).evaluate({}) is None
+
+    def test_division_by_zero_is_null(self):
+        assert (lit(1) / lit(0)).evaluate({}) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("**", lit(1), lit(2))
+
+    def test_type_error_raises(self):
+        with pytest.raises(ExpressionError):
+            (col("s") - lit(1)).evaluate(ROW)
+
+
+class TestComparison:
+    def test_ordering_operators(self):
+        assert col("a").gt(col("b")).evaluate(ROW) is True
+        assert col("a").le(col("b")).evaluate(ROW) is False
+        assert col("a").ne(col("b")).evaluate(ROW) is True
+
+    def test_null_comparison_is_unknown(self):
+        assert col("n").eq(lit(3)).evaluate(ROW) is None
+        assert col("n").lt(lit(3)).evaluate(ROW) is None
+
+    def test_all_equality_follows_set_semantics(self):
+        # Section 3.3: ALL equals only ALL
+        assert Comparison("=", lit(ALL), lit(ALL)).evaluate({}) is True
+        assert Comparison("=", lit(ALL), lit("x")).evaluate({}) is False
+        assert Comparison("<>", lit(ALL), lit("x")).evaluate({}) is True
+
+    def test_all_ordering_is_unknown(self):
+        assert Comparison("<", lit(ALL), lit(5)).evaluate({}) is None
+
+    def test_cross_type_comparison_uses_total_order(self):
+        assert Comparison("<", lit(5), lit("x")).evaluate({}) in (
+            True, False)  # defined, not raising
+
+
+class TestBooleanLogic:
+    def test_and_or(self):
+        t, f = lit(True), lit(False)
+        assert BooleanExpr("AND", [t, t]).evaluate({}) is True
+        assert BooleanExpr("AND", [t, f]).evaluate({}) is False
+        assert BooleanExpr("OR", [f, t]).evaluate({}) is True
+        assert BooleanExpr("OR", [f, f]).evaluate({}) is False
+
+    def test_three_valued_logic(self):
+        t, f, u = lit(True), lit(False), lit(None)
+        assert BooleanExpr("AND", [t, u]).evaluate({}) is None
+        assert BooleanExpr("AND", [f, u]).evaluate({}) is False  # short-circuit
+        assert BooleanExpr("OR", [t, u]).evaluate({}) is True
+        assert BooleanExpr("OR", [f, u]).evaluate({}) is None
+
+    def test_not(self):
+        assert NotExpr(lit(True)).evaluate({}) is False
+        assert NotExpr(lit(None)).evaluate({}) is None
+
+    def test_empty_boolean_rejected(self):
+        with pytest.raises(ExpressionError):
+            BooleanExpr("AND", [])
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert col("s").is_in(["Chevy", "Ford"]).evaluate(ROW) is True
+        assert col("s").is_in(["Ford"]).evaluate(ROW) is False
+        assert col("n").is_in([1]).evaluate(ROW) is None
+
+    def test_between(self):
+        assert col("a").between(1, 5).evaluate(ROW) is True
+        assert col("a").between(4, 5).evaluate(ROW) is False
+        assert col("n").between(1, 5).evaluate(ROW) is None
+
+    def test_is_null(self):
+        assert IsNull(col("n")).evaluate(ROW) is True
+        assert IsNull(col("a")).evaluate(ROW) is False
+        assert IsNull(col("a"), negated=True).evaluate(ROW) is True
+
+    def test_like(self):
+        assert LikeExpr(col("s"), "Che%").evaluate(ROW) is True
+        assert LikeExpr(col("s"), "C_evy").evaluate(ROW) is True
+        assert LikeExpr(col("s"), "Ford%").evaluate(ROW) is False
+        assert LikeExpr(col("s"), "Ford%", negated=True).evaluate(ROW) is True
+        assert LikeExpr(col("n"), "%").evaluate(ROW) is None
+
+    def test_like_escapes_regex_chars(self):
+        assert LikeExpr(lit("a.b"), "a.b").evaluate({}) is True
+        assert LikeExpr(lit("axb"), "a.b").evaluate({}) is False
+
+
+class TestCase:
+    def test_branches(self):
+        expr = CaseExpr([(col("a").gt(lit(2)), lit("big"))], lit("small"))
+        assert expr.evaluate(ROW) == "big"
+        assert expr.evaluate({"a": 1}) == "small"
+
+    def test_no_default_yields_null(self):
+        expr = CaseExpr([(lit(False), lit(1))])
+        assert expr.evaluate({}) is None
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(ExpressionError):
+            CaseExpr([])
+
+
+class TestFunctions:
+    def test_registry_and_call(self):
+        registry = ScalarFunctionRegistry()
+        registry.register("double", lambda v: v * 2)
+        call = FunctionCall("DOUBLE", [col("a")], registry=registry)
+        assert call.evaluate(ROW) == 6
+
+    def test_case_insensitive(self):
+        registry = ScalarFunctionRegistry()
+        registry.register("F", lambda: 1)
+        assert "f" in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScalarFunctionRegistry()
+        registry.register("f", lambda: 1)
+        with pytest.raises(ExpressionError):
+            registry.register("F", lambda: 2)
+        registry.register("F", lambda: 2, replace=True)
+
+    def test_unknown_function(self):
+        registry = ScalarFunctionRegistry()
+        with pytest.raises(ExpressionError):
+            FunctionCall("nope", [], registry=registry).evaluate({})
+
+    def test_null_propagation(self):
+        registry = ScalarFunctionRegistry()
+        registry.register("f", lambda v: v + 1)
+        call = FunctionCall("f", [col("n")], registry=registry)
+        assert call.evaluate(ROW) is None
+
+    def test_null_propagation_can_be_disabled(self):
+        registry = ScalarFunctionRegistry()
+        registry.register("f", lambda v: v is None)
+        call = FunctionCall("f", [col("n")], registry=registry,
+                            propagate_null=False)
+        assert call.evaluate(ROW) is True

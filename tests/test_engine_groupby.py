@@ -1,0 +1,108 @@
+"""The one-grouping GROUP BY operator (Figure 2): hash and sort
+strategies, computed keys, NULL groups, handle retention."""
+
+import pytest
+
+from repro.aggregates import Average, Count, CountStar, Max, Min, Sum
+from repro.engine.expressions import FunctionCall, col, lit
+from repro.engine.groupby import AggregateSpec, hash_group_by, sort_group_by
+from repro.engine.table import Table
+from repro.errors import TableError
+
+
+@pytest.fixture
+def table():
+    t = Table([("g", "STRING"), ("h", "INTEGER"), ("x", "INTEGER")])
+    t.extend([
+        ("a", 1, 10), ("a", 1, 20), ("a", 2, 5),
+        ("b", 1, 7), ("b", 2, None), (None, 1, 3),
+    ])
+    return t
+
+
+def spec_sum():
+    return AggregateSpec(Sum(), "x", "sum_x")
+
+
+class TestHashGroupBy:
+    def test_basic_grouping(self, table):
+        out = hash_group_by(table, ["g"], [spec_sum()]).table
+        assert set(out.rows) == {("a", 35), ("b", 7), (None, 3)}
+
+    def test_multi_key(self, table):
+        out = hash_group_by(table, ["g", "h"], [spec_sum()]).table
+        assert ("a", 1, 30) in out.rows
+        assert ("b", 2, None) in out.rows  # SUM over only-NULL is NULL
+
+    def test_scalar_aggregate_empty_keys(self, table):
+        out = hash_group_by(table, [], [spec_sum()]).table
+        assert out.rows == [(45,)]
+
+    def test_scalar_aggregate_over_empty_input(self):
+        empty = Table([("x", "INTEGER")])
+        out = hash_group_by(empty, [], [AggregateSpec(Count(), "x", "c")])
+        assert out.table.rows == [(0,)]
+
+    def test_grouped_over_empty_input_is_empty(self):
+        empty = Table([("g", "STRING"), ("x", "INTEGER")])
+        out = hash_group_by(empty, ["g"], [AggregateSpec(Sum(), "x", "s")])
+        assert len(out.table) == 0
+
+    def test_count_star_vs_count_column(self, table):
+        out = hash_group_by(table, ["g"], [
+            AggregateSpec(CountStar(), "*", "rows"),
+            AggregateSpec(Count(), "x", "xs"),
+        ]).table
+        by_g = {row[0]: row[1:] for row in out}
+        assert by_g["b"] == (2, 1)  # NULL x not counted by COUNT(x)
+
+    def test_computed_key(self, table):
+        out = hash_group_by(table, [(col("h") * lit(10), "h10")],
+                            [spec_sum()]).table
+        assert set(row[0] for row in out) == {10, 20}
+
+    def test_multiple_aggregates(self, table):
+        out = hash_group_by(table, ["g"], [
+            AggregateSpec(Min(), "x", "lo"),
+            AggregateSpec(Max(), "x", "hi"),
+            AggregateSpec(Average(), "x", "avg"),
+        ]).table
+        by_g = {row[0]: row[1:] for row in out}
+        assert by_g["a"] == (5, 20, 35 / 3)
+
+    def test_keep_handles(self, table):
+        result = hash_group_by(table, ["g"], [spec_sum()],
+                               keep_handles=True)
+        assert result.handles is not None
+        assert result.handles[("a",)] == [35]
+
+    def test_duplicate_output_names_rejected(self, table):
+        with pytest.raises(TableError):
+            hash_group_by(table, ["g", ("g", "g")], [spec_sum()])
+
+    def test_aggregate_expression_input(self, table):
+        out = hash_group_by(table, ["g"], [
+            AggregateSpec(Sum(), col("x") * lit(2), "dbl")]).table
+        by_g = {row[0]: row[1] for row in out}
+        assert by_g["a"] == 70
+
+
+class TestSortGroupBy:
+    def test_matches_hash_group_by(self, table):
+        hashed = hash_group_by(table, ["g", "h"], [spec_sum()]).table
+        sorted_ = sort_group_by(table, ["g", "h"], [spec_sum()]).table
+        assert hashed.equals_bag(sorted_)
+
+    def test_output_is_sorted(self, table):
+        out = sort_group_by(table, ["g"], [spec_sum()]).table
+        groups = [row[0] for row in out]
+        assert groups == ["a", "b", None]  # NULL group last
+
+    def test_scalar_fallthrough(self, table):
+        out = sort_group_by(table, [], [spec_sum()]).table
+        assert out.rows == [(45,)]
+
+    def test_keep_handles(self, table):
+        result = sort_group_by(table, ["g"], [spec_sum()],
+                               keep_handles=True)
+        assert result.handles[("b",)] == [7]

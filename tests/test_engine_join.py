@@ -1,0 +1,76 @@
+"""Joins: hash equi-join (USING semantics) and nested-loop theta join."""
+
+import pytest
+
+from repro.engine.expressions import col
+from repro.engine.join import hash_join, nested_loop_join
+from repro.engine.table import Table
+from repro.errors import TableError
+
+
+@pytest.fixture
+def facts():
+    t = Table([("dept", "INTEGER"), ("amount", "INTEGER")])
+    t.extend([(1, 10), (1, 20), (2, 5), (9, 99), (None, 1)])
+    return t
+
+
+@pytest.fixture
+def depts():
+    t = Table([("dept", "INTEGER"), ("name", "STRING")])
+    t.extend([(1, "toys"), (2, "tools")])
+    return t
+
+
+class TestHashJoin:
+    def test_inner_join(self, facts, depts):
+        out = hash_join(facts, depts, ["dept"], ["dept"])
+        assert out.schema.names == ("dept", "amount", "name")
+        assert ("9" not in str(out.rows)) or (9, 99) not in out.rows
+        assert (1, 10, "toys") in out.rows
+        assert len(out) == 3
+
+    def test_left_join_pads_nulls(self, facts, depts):
+        out = hash_join(facts, depts, ["dept"], ["dept"], how="left")
+        assert (9, 99, None) in out.rows
+        assert len(out) == 5
+
+    def test_null_keys_never_match(self, facts, depts):
+        out = hash_join(facts, depts, ["dept"], ["dept"])
+        assert all(row[0] is not None for row in out)
+
+    def test_duplicate_right_rows_multiply(self, facts):
+        right = Table([("dept", "INTEGER"), ("tag", "STRING")],
+                      [(1, "a"), (1, "b")])
+        out = hash_join(facts, right, ["dept"], ["dept"])
+        assert len(out) == 4  # two left dept=1 rows x two right rows
+
+    def test_differing_key_names(self, facts):
+        right = Table([("dept_id", "INTEGER"), ("name", "STRING")],
+                      [(1, "toys")])
+        out = hash_join(facts, right, ["dept"], ["dept_id"])
+        assert out.schema.names == ("dept", "amount", "name")
+        assert len(out) == 2
+
+    def test_invalid_kind(self, facts, depts):
+        with pytest.raises(TableError):
+            hash_join(facts, depts, ["dept"], ["dept"], how="right")
+
+    def test_key_count_mismatch(self, facts, depts):
+        with pytest.raises(TableError):
+            hash_join(facts, depts, ["dept"], [])
+
+
+class TestNestedLoopJoin:
+    def test_theta_join(self, facts, depts):
+        out = nested_loop_join(facts, depts,
+                               col("amount").gt(col("right_dept")))
+        # right 'dept' clashes with left, so it is prefixed
+        assert "right_dept" in out.schema.names
+        assert all(row[1] > row[2] for row in out)
+
+    def test_left_outer(self, facts, depts):
+        predicate = col("amount").lt(col("right_dept"))
+        out = nested_loop_join(facts, depts, predicate, how="left")
+        unmatched = [row for row in out if row[2] is None]
+        assert unmatched  # large amounts match nothing

@@ -1,0 +1,107 @@
+"""Relational operators: filter, project, sort, union, distinct, limit."""
+
+import pytest
+
+from repro.engine.operators import (
+    distinct,
+    filter_rows,
+    limit,
+    project,
+    sort,
+    union_all,
+    union_distinct,
+)
+from repro.engine.table import Table
+from repro.engine.expressions import col, lit
+from repro.errors import TableError
+from repro.types import ALL
+
+
+@pytest.fixture
+def table():
+    t = Table([("a", "STRING"), ("n", "INTEGER")])
+    t.extend([("x", 3), ("y", 1), ("x", 2), ("z", None)])
+    return t
+
+
+class TestFilter:
+    def test_keeps_true_rows(self, table):
+        out = filter_rows(table, col("n").gt(lit(1)))
+        assert sorted(out.rows) == [("x", 2), ("x", 3)]
+
+    def test_null_predicate_rows_dropped(self, table):
+        # the z row has NULL n: predicate is unknown, row excluded
+        out = filter_rows(table, col("n").ge(lit(0)))
+        assert len(out) == 3
+
+
+class TestProject:
+    def test_by_name(self, table):
+        out = project(table, ["n", "a"])
+        assert out.schema.names == ("n", "a")
+        assert out.rows[0] == (3, "x")
+
+    def test_expression_with_alias(self, table):
+        out = project(table, [(col("n") * lit(2), "double")])
+        assert out.schema.names == ("double",)
+        assert out.rows[0] == (6,)
+
+    def test_expression_default_name(self, table):
+        out = project(table, [col("n") + lit(1)])
+        assert out.schema.names == ("(n+1)",)
+
+    def test_bad_item(self, table):
+        with pytest.raises(TableError):
+            project(table, [42])
+
+
+class TestSort:
+    def test_single_key(self, table):
+        out = sort(table, ["n"])
+        assert [r[1] for r in out] == [1, 2, 3, None]  # NULL last
+
+    def test_descending(self, table):
+        out = sort(table, [("n", True)])
+        assert out.rows[0][1] is None  # reversed: non-values first
+
+    def test_multi_key_stability(self, table):
+        out = sort(table, ["a", "n"])
+        assert [r for r in out.rows if r[0] == "x"] == [("x", 2), ("x", 3)]
+
+    def test_all_sorts_last(self):
+        t = Table([("a", "STRING", True, True)])
+        t.extend([(ALL,), ("m",)])
+        assert sort(t, ["a"]).rows == [("m",), (ALL,)]
+
+
+class TestUnion:
+    def test_union_all_keeps_duplicates(self, table):
+        out = union_all(table, table)
+        assert len(out) == 8
+
+    def test_union_distinct(self, table):
+        out = union_distinct(table, table)
+        assert len(out) == 4
+
+    def test_arity_mismatch(self, table):
+        other = Table([("a", "STRING")])
+        with pytest.raises(TableError):
+            union_all(table, other)
+
+    def test_union_needs_input(self):
+        with pytest.raises(TableError):
+            union_all()
+
+
+class TestDistinctLimit:
+    def test_distinct_preserves_first_seen_order(self):
+        t = Table([("a", "INTEGER")], [(2,), (1,), (2,), (3,)])
+        assert distinct(t).rows == [(2,), (1,), (3,)]
+
+    def test_limit(self, table):
+        assert len(limit(table, 2)) == 2
+        assert len(limit(table, 100)) == 4
+
+    def test_limit_negative(self, table):
+        with pytest.raises(TableError):
+            limit(table, -1)

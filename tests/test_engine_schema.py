@@ -1,0 +1,114 @@
+"""Schema and Column behaviour, including the ALL [NOT] ALLOWED
+column attribute from Section 3.3."""
+
+import pytest
+
+from repro.engine.schema import Column, Schema
+from repro.errors import (
+    DuplicateColumnError,
+    TypeMismatchError,
+    UnknownColumnError,
+)
+from repro.types import ALL, DataType
+
+
+class TestColumn:
+    def test_string_dtype_coercion(self):
+        assert Column("x", "integer").dtype is DataType.INTEGER
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(TypeError):
+            Column("x", 42)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Column("")
+
+    def test_validate_type(self):
+        column = Column("x", DataType.INTEGER)
+        column.validate(5)
+        with pytest.raises(TypeMismatchError):
+            column.validate("five")
+
+    def test_not_null(self):
+        column = Column("x", DataType.INTEGER, nullable=False)
+        with pytest.raises(TypeMismatchError):
+            column.validate(None)
+
+    def test_all_not_allowed_by_default(self):
+        column = Column("x", DataType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            column.validate(ALL)
+
+    def test_all_allowed(self):
+        column = Column("x", DataType.INTEGER, all_allowed=True)
+        column.validate(ALL)  # no raise
+
+    def test_with_all_allowed_copies(self):
+        base = Column("x", DataType.INTEGER)
+        widened = base.with_all_allowed()
+        assert widened.all_allowed
+        assert not base.all_allowed
+        assert widened.with_all_allowed() is widened
+
+    def test_renamed(self):
+        assert Column("x").renamed("y").name == "y"
+
+
+class TestSchema:
+    def test_construction_from_mixed_forms(self):
+        schema = Schema([Column("a"), ("b", DataType.INTEGER), "c"])
+        assert schema.names == ("a", "b", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema(["a", "a"])
+
+    def test_index_and_lookup(self):
+        schema = Schema(["a", "b"])
+        assert schema.index_of("b") == 1
+        assert schema["a"].name == "a"
+        assert schema[1].name == "b"
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(["a"]).index_of("b")
+
+    def test_validate_row_arity(self):
+        schema = Schema([("a", DataType.INTEGER)])
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row((1, 2))
+
+    def test_project_reorders(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_concat_clash_raises_without_prefix(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_concat_with_prefix(self):
+        merged = Schema(["a"]).concat(Schema(["a", "b"]),
+                                      prefix_on_clash="r_")
+        assert merged.names == ("a", "r_a", "b")
+
+    def test_renamed_mapping(self):
+        schema = Schema(["a", "b"]).renamed({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_with_all_allowed_marks_columns(self):
+        schema = Schema([("a", DataType.STRING), ("b", DataType.INTEGER)])
+        widened = schema.with_all_allowed(["a"])
+        assert widened["a"].all_allowed
+        assert not widened["b"].all_allowed
+
+    def test_with_all_allowed_unknown_raises(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(["a"]).with_all_allowed(["z"])
+
+    def test_iteration_and_len(self):
+        schema = Schema(["a", "b"])
+        assert len(schema) == 2
+        assert [c.name for c in schema] == ["a", "b"]

@@ -1,0 +1,121 @@
+"""Table semantics: validation, mutation, bag equality, rendering."""
+
+import pytest
+
+from repro.engine.table import Table, rows_equal_as_bags
+from repro.engine.schema import Schema
+from repro.errors import TableError, TypeMismatchError
+from repro.types import ALL, DataType
+
+
+@pytest.fixture
+def table():
+    t = Table([("a", "STRING"), ("n", "INTEGER")])
+    t.extend([("x", 1), ("y", 2), ("x", 1)])
+    return t
+
+
+class TestConstruction:
+    def test_from_schema_or_column_list(self):
+        t = Table(Schema(["a"]))
+        t2 = Table(["a"])
+        assert t.schema.names == t2.schema.names
+
+    def test_from_dicts_infers_schema(self):
+        t = Table.from_dicts([{"a": "x", "n": 1}, {"a": "y", "n": 2}])
+        assert t.schema["n"].dtype is DataType.INTEGER
+        assert len(t) == 2
+
+    def test_from_dicts_infers_past_leading_nulls(self):
+        t = Table.from_dicts([{"a": None}, {"a": 3}])
+        assert t.schema["a"].dtype is DataType.INTEGER
+
+    def test_from_dicts_empty_needs_schema(self):
+        with pytest.raises(TableError):
+            Table.from_dicts([])
+
+    def test_empty_like(self, table):
+        empty = table.empty_like()
+        assert len(empty) == 0
+        assert empty.schema is table.schema
+
+
+class TestMutation:
+    def test_append_validates(self, table):
+        with pytest.raises(TypeMismatchError):
+            table.append((1, "x"))
+
+    def test_append_without_validation(self, table):
+        table.append((1, "x"), validate=False)  # trusted load
+        assert len(table) == 4
+
+    def test_delete_where(self, table):
+        removed = table.delete_where(lambda row: row[0] == "x")
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_delete_row_removes_one_occurrence(self, table):
+        assert table.delete_row(("x", 1))
+        assert len(table) == 2
+        assert ("x", 1) in table.rows  # the duplicate survives
+
+    def test_delete_missing_row(self, table):
+        assert not table.delete_row(("z", 9))
+
+
+class TestAccess:
+    def test_column_values(self, table):
+        assert table.column_values("n") == [1, 2, 1]
+
+    def test_distinct_values_sorted(self, table):
+        assert table.distinct_values("a") == ["x", "y"]
+
+    def test_distinct_values_excludes_all_by_default(self):
+        t = Table([("a", "STRING", True, True)])
+        t.extend([("x",), (ALL,)])
+        assert t.distinct_values("a") == ["x"]
+        assert ALL in t.distinct_values("a", include_all=True)
+
+    def test_row_dicts(self, table):
+        first = next(table.row_dicts())
+        assert first == {"a": "x", "n": 1}
+
+    def test_empty_relation_is_truthy(self):
+        assert bool(Table(["a"]))
+
+
+class TestEquality:
+    def test_bag_equality_ignores_order(self, table):
+        other = Table(table.schema, [("y", 2), ("x", 1), ("x", 1)])
+        assert table.equals_bag(other)
+        assert table == other
+
+    def test_bag_equality_respects_multiplicity(self, table):
+        other = Table(table.schema, [("x", 1), ("y", 2)])
+        assert not table.equals_bag(other)
+
+    def test_bag_equality_needs_same_column_names(self, table):
+        other = Table([("b", "STRING"), ("n", "INTEGER")], table.rows)
+        assert not table.equals_bag(other)
+
+    def test_rows_equal_as_bags(self):
+        assert rows_equal_as_bags([(1, 2), (3, 4)], [(3, 4), (1, 2)])
+        assert not rows_equal_as_bags([(1,)], [(1,), (1,)])
+
+    def test_sorted_rows_handles_all(self):
+        t = Table([("a", "STRING", True, True), ("n", "INTEGER")])
+        t.extend([(ALL, 3), ("x", 1)])
+        assert t.sorted_rows()[0] == ("x", 1)
+
+
+class TestDisplay:
+    def test_to_ascii_contains_values(self, table):
+        text = table.to_ascii()
+        assert "x" in text and "2" in text
+
+    def test_to_ascii_truncates(self, table):
+        text = table.to_ascii(max_rows=1)
+        assert "2 more rows" in text
+
+    def test_repr(self, table):
+        assert "3 rows" in repr(table)

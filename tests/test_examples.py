@@ -1,0 +1,23 @@
+"""Every example script runs to completion (the examples are the
+library's executable documentation, so they are kept green by CI)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip()  # every example prints something
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7

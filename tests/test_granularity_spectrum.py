@@ -1,0 +1,105 @@
+"""The granularity spectrum (Section 3.6): cubing and rolling up a fact
+table at calendar granularities -- including the paper's warning that a
+CUBE over functionally nested levels is meaningless."""
+
+import datetime
+
+import pytest
+
+from repro import ALL, Table, agg, cube, rollup
+from repro.warehouse import add_granularity_columns, calendar_hierarchy
+from repro.warehouse.hierarchy import HierarchyError
+
+
+@pytest.fixture
+def fact():
+    table = Table([("sale_date", "DATE"), ("units", "INTEGER")])
+    base = datetime.date(1995, 1, 15)
+    for offset, units in [(0, 5), (10, 3), (45, 7), (100, 2), (200, 9),
+                          (340, 4)]:
+        table.append((base + datetime.timedelta(days=offset), units))
+    return table
+
+
+@pytest.fixture
+def widened(fact):
+    hierarchy = calendar_hierarchy()
+    return add_granularity_columns(
+        fact, "sale_date", hierarchy, "day",
+        ["month", "quarter", "year"])
+
+
+class TestAddGranularityColumns:
+    def test_columns_added(self, widened):
+        for name in ("month(sale_date)", "quarter(sale_date)",
+                     "year(sale_date)"):
+            assert name in widened.schema
+
+    def test_values_nest(self, widened):
+        month_idx = widened.schema.index_of("month(sale_date)")
+        quarter_idx = widened.schema.index_of("quarter(sale_date)")
+        year_idx = widened.schema.index_of("year(sale_date)")
+        for row in widened:
+            assert row[month_idx].startswith(str(row[year_idx]))
+            assert row[quarter_idx].startswith(str(row[year_idx]))
+
+    def test_null_dates_stay_null(self):
+        table = Table([("d", "DATE"), ("x", "INTEGER")],
+                      [(None, 1), (datetime.date(1995, 3, 1), 2)])
+        widened = add_granularity_columns(
+            table, "d", calendar_hierarchy(), "day", ["year"])
+        values = widened.column_values("year(d)")
+        assert values == [None, 1995]
+
+    def test_unreachable_level_rejected(self, fact):
+        with pytest.raises(HierarchyError):
+            add_granularity_columns(fact, "sale_date",
+                                    calendar_hierarchy(), "week",
+                                    ["month"])
+
+
+class TestRollupVsMeaninglessCube:
+    """Section 3: 'Roll-ups by year, week, day are common, but a cube on
+    these three attributes would be meaningless.'"""
+
+    DIMS = ["year(sale_date)", "quarter(sale_date)", "month(sale_date)"]
+
+    def test_rollup_is_the_right_shape(self, widened):
+        result = rollup(widened, self.DIMS, [agg("SUM", "units", "u")])
+        # every super-aggregate row is a genuine coarsening
+        coords = {row[:3] for row in result}
+        assert (1995, ALL, ALL) in coords
+
+    def test_cube_rows_are_redundant(self, widened):
+        """The cube's extra strata add no information: with month
+        functionally determining quarter and year, the (ALL, ALL,
+        month) cell duplicates the (year, quarter, month) cell."""
+        cube_result = cube(widened, self.DIMS,
+                           [agg("SUM", "units", "u")])
+        values = {row[:3]: row[3] for row in cube_result}
+        for (year, quarter, month), units in values.items():
+            if year is ALL and quarter is ALL and month is not ALL:
+                # recover the determined year/quarter from the month key
+                full_year = int(month[:4])
+                full_quarter = f"{month[:4]}-Q{(int(month[5:7])-1)//3+1}"
+                assert values[(full_year, full_quarter, month)] == units
+
+    def test_cube_much_larger_for_nothing(self, widened):
+        cube_result = cube(widened, self.DIMS,
+                           [agg("SUM", "units", "u")])
+        rollup_result = rollup(widened, self.DIMS,
+                               [agg("SUM", "units", "u")])
+        # same distinct aggregate information, more rows: redundancy
+        assert len(cube_result) > len(rollup_result)
+        rollup_values = {row[3] for row in rollup_result}
+        cube_values = {row[3] for row in cube_result}
+        assert cube_values == rollup_values  # nothing new learned
+
+    def test_week_cannot_join_the_spectrum(self, fact):
+        """Weeks straddle month/year boundaries, so a year > week
+        roll-path does not exist -- the lattice, not a chain."""
+        hierarchy = calendar_hierarchy()
+        widened = add_granularity_columns(
+            fact, "sale_date", hierarchy, "day", ["week", "year"])
+        # both derivable from day, but week does not nest in year
+        assert not hierarchy.nests_in("week", "year")

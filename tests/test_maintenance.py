@@ -1,0 +1,168 @@
+"""Materialized-cube maintenance (Section 6): insert propagation with
+the short-circuit, delete with the holistic recompute, triggers."""
+
+import pytest
+
+from repro import ALL, Catalog, Table, agg
+from repro.core.cube import cube as cube_op, rollup as rollup_op
+from repro.errors import DeleteRequiresRecomputeError, MaintenanceError
+from repro.maintenance import MaterializedCube, attach_cube_maintenance
+
+
+@pytest.fixture
+def base(sales):
+    return sales
+
+
+def fresh_cube(table, aggs=None):
+    return cube_op(table, ["Model", "Year", "Color"],
+                   aggs or [agg("SUM", "Units", "u")])
+
+
+class TestBuild:
+    def test_initial_contents_match_recompute(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        assert mc.as_table().equals_bag(fresh_cube(base))
+
+    def test_rollup_kind(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")], kind="rollup")
+        expected = rollup_op(base, ["Model", "Year", "Color"],
+                             [agg("SUM", "Units", "u")])
+        assert mc.as_table().equals_bag(expected)
+
+    def test_unknown_kind(self, base):
+        with pytest.raises(MaintenanceError):
+            MaterializedCube(base, ["Model"], [agg("SUM", "Units", "u")],
+                             kind="hypercube")
+
+    def test_cell_count(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        assert len(mc) == 27
+
+    def test_value_accessor(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        assert mc.value("Chevy", ALL, ALL) == 290
+        assert mc.value("Tesla", ALL, ALL) is None
+
+
+class TestInsert:
+    def test_insert_updates_all_levels(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.insert(("Chevy", 1994, "red", 25))
+        assert mc.value(ALL, ALL, ALL) == 535
+        assert mc.value("Chevy", 1994, ALL) == 115
+        assert mc.value("Chevy", 1994, "red") == 25  # new cell appears
+
+    def test_insert_touches_at_most_2n_cells(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        touched = mc.insert(("Ford", 1995, "red", 1))
+        assert touched <= 2 ** 3
+
+    def test_insert_matches_recompute(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.insert(("Ford", 1996, "blue", 12))
+        base.append(("Ford", 1996, "blue", 12))
+        assert mc.as_table().equals_bag(fresh_cube(base))
+
+    def test_max_short_circuit_counts(self, base):
+        # a losing value prunes the MAX walk at coarser cells
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")])
+        before = mc.stats.cells_short_circuited
+        mc.insert(("Chevy", 1994, "black", 1))  # loses instantly
+        assert mc.stats.cells_short_circuited > before
+
+    def test_winning_insert_is_not_short_circuited(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")])
+        mc.insert(("Chevy", 1994, "black", 999))  # beats everything
+        assert mc.value(ALL, ALL, ALL) == 999
+
+
+class TestDelete:
+    def test_sum_delete_is_cheap(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.delete(("Chevy", 1994, "black", 50))
+        assert mc.value(ALL, ALL, ALL) == 460
+        assert mc.stats.cells_recomputed == 0  # SUM absorbs deletes
+
+    def test_deleting_last_row_of_cell_evicts_it(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.delete(("Chevy", 1994, "black", 50))
+        assert mc.value("Chevy", 1994, "black") is None
+        assert len(mc) < 27
+
+    def test_max_delete_forces_recompute(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")])
+        mc.delete(("Chevy", 1995, "white", 115))  # the global max
+        assert mc.stats.cells_recomputed > 0
+        assert mc.stats.rows_rescanned > 0
+        assert mc.value(ALL, ALL, ALL) == 85
+
+    def test_delete_matches_recompute(self, base):
+        aggs = [agg("SUM", "Units", "u"), agg("MAX", "Units", "m"),
+                agg("AVG", "Units", "a")]
+        mc = MaterializedCube(base, ["Model", "Year", "Color"], aggs)
+        mc.delete(("Ford", 1994, "white", 10))
+        base.delete_row(("Ford", 1994, "white", 10))
+        assert mc.as_table().equals_bag(fresh_cube(base, aggs))
+
+    def test_delete_missing_row_raises(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        with pytest.raises(MaintenanceError):
+            mc.delete(("Tesla", 2020, "red", 1))
+
+    def test_delete_holistic_without_base_raises(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")],
+                              retain_base=False)
+        with pytest.raises(DeleteRequiresRecomputeError):
+            mc.delete(("Chevy", 1995, "white", 115))
+
+    def test_delete_without_base_works_for_reversible(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")],
+                              retain_base=False)
+        mc.delete(("Chevy", 1994, "black", 50))
+        assert mc.value(ALL, ALL, ALL) == 460
+
+
+class TestUpdate:
+    def test_update_is_delete_plus_insert(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.update(("Ford", 1994, "white", 10), ("Ford", 1994, "white", 60))
+        assert mc.value("Ford", 1994, "white") == 60
+        assert mc.value(ALL, ALL, ALL) == 560
+        assert mc.stats.updates == 1
+
+
+class TestTriggers:
+    def test_catalog_keeps_cube_fresh(self, base):
+        catalog = Catalog()
+        catalog.register("Sales", base)
+        mc = attach_cube_maintenance(catalog, "Sales",
+                                     ["Model", "Year", "Color"],
+                                     [agg("SUM", "Units", "u")])
+        catalog.insert("Sales", ("Ford", 1995, "red", 5))
+        catalog.delete("Sales", ("Chevy", 1994, "white", 40))
+        catalog.update("Sales", ("Ford", 1994, "black", 50),
+                       ("Ford", 1994, "black", 55))
+        assert mc.as_table().equals_bag(fresh_cube(catalog.get("Sales")))
+
+    def test_view_and_query(self, base):
+        mc = MaterializedCube(base, ["Model", "Year"],
+                              [agg("SUM", "Units", "u")])
+        view = mc.view()
+        assert view.total() == 510

@@ -1,0 +1,228 @@
+"""The paper's quantitative claims, each as an executable assertion.
+
+Each test quotes the sentence it checks.  These are the "evaluation"
+of a concepts paper: the cardinality laws, the cost formulas, and the
+taxonomy consequences of Sections 3, 5, and 6.
+"""
+
+import math
+
+import pytest
+
+from repro import ALL, Table, agg, cube, rollup
+from repro.aggregates import Median, Sum
+from repro.compute import (
+    FromCoreAlgorithm,
+    NaiveUnionAlgorithm,
+    TwoNAlgorithm,
+    build_task,
+)
+from repro.core.cube import cube_with_stats
+from repro.core.grouping import cube_sets
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+
+
+def dense_table(cardinalities, rows_per_cell=2, seed=0):
+    """A fact table covering the full cross-product of dimension values."""
+    import itertools
+    columns = [(f"d{i}", "STRING") for i in range(len(cardinalities))]
+    columns.append(("m", "INTEGER"))
+    table = Table(columns)
+    value = 0
+    for combo in itertools.product(
+            *[range(c) for c in cardinalities]):
+        for _ in range(rows_per_cell):
+            value += 1
+            table.append(tuple(f"v{k}" for k in combo) + (value % 97 + 1,))
+    return table
+
+
+class TestCardinalityLaws:
+    def test_cube_size_is_product_of_ci_plus_1(self):
+        """'an N-dimensional cube of N attributes each with cardinality
+        Ci will have Π(Ci+1) [rows]'"""
+        for cardinalities in [(2, 3), (2, 3, 3), (4, 4, 4), (2, 2, 2, 2)]:
+            table = dense_table(cardinalities)
+            dims = [f"d{i}" for i in range(len(cardinalities))]
+            result = cube(table, dims, [agg("SUM", "m", "s")])
+            assert len(result) == math.prod(c + 1 for c in cardinalities)
+
+    def test_4d_cube_with_ci_4_is_2_4x_group_by(self):
+        """'If each Ci = 4 then a 4D CUBE is 2.4 times larger than the
+        base GROUP BY'"""
+        cardinalities = (4, 4, 4, 4)
+        table = dense_table(cardinalities, rows_per_cell=1)
+        dims = [f"d{i}" for i in range(4)]
+        cube_rows = len(cube(table, dims, [agg("SUM", "m", "s")]))
+        group_by_rows = len({row[:4] for row in table})
+        ratio = cube_rows / group_by_rows
+        assert ratio == pytest.approx(2.4414, abs=0.01)  # 5^4 / 4^4
+
+    def test_large_ci_cube_is_only_a_little_larger(self):
+        """'We expect the Ci to be large (tens or hundreds) so that the
+        CUBE will be only a little larger than the GROUP BY'"""
+        cardinalities = (30, 30)
+        table = dense_table(cardinalities, rows_per_cell=1)
+        cube_rows = len(cube(table, ["d0", "d1"], [agg("SUM", "m", "s")]))
+        group_by_rows = 30 * 30
+        assert cube_rows / group_by_rows < 1.1
+
+    def test_rollup_adds_only_n_records_per_prefix(self):
+        """'an N-dimensional roll-up will add only N records to the
+        answer set' (N super-aggregate levels beyond the core, each one
+        row per group prefix; the grand total closes the chain)"""
+        cardinalities = (2, 3, 3)
+        table = dense_table(cardinalities)
+        dims = ["d0", "d1", "d2"]
+        rolled = rollup(table, dims, [agg("SUM", "m", "s")])
+        core = 2 * 3 * 3
+        # core + (2*3) + 2 + 1
+        assert len(rolled) == core + 6 + 2 + 1
+
+    def test_figure4_18_rows_to_48(self, figure4):
+        """'the SALES table has 2 x 3 x 3 = 18 rows, while the derived
+        data cube has 3 x 4 x 4 = 48 rows'"""
+        result = cube(figure4, ["Model", "Year", "Color"],
+                      [agg("SUM", "Units", "Units")])
+        assert len(figure4) == 18
+        assert len(result) == 48
+
+    def test_2n_super_aggregate_count(self):
+        """'If there are N attributes in the select list, there will be
+        2^N - 1 super-aggregate values'"""
+        for n in range(1, 6):
+            assert len(cube_sets(n)) - 1 == 2 ** n - 1
+
+
+class TestCostClaims:
+    def setup_method(self):
+        self.table = synthetic_table(SyntheticSpec(
+            cardinalities=(4, 4, 4), n_rows=300, seed=13))
+        self.dims = ["d0", "d1", "d2"]
+        self.specs = [AggregateSpec(Sum(), "m", "s")]
+        self.task = build_task(self.table, self.dims, self.specs,
+                               cube_sets(3))
+
+    def test_naive_union_does_2n_scans(self):
+        """'On most SQL systems this will result in 64 scans of the
+        data' (2^N scans; 2^6 = 64 for the 6D case, 2^3 = 8 here)"""
+        stats = NaiveUnionAlgorithm().compute(self.task).stats
+        assert stats.base_scans == 2 ** 3
+
+    def test_6d_naive_union_is_64_group_bys(self):
+        """'A six dimension cross-tab requires a 64-way union of 64
+        different GROUP BY operators'"""
+        table = synthetic_table(SyntheticSpec(
+            cardinalities=(2,) * 6, n_rows=100, seed=7))
+        task = build_task(table, [f"d{i}" for i in range(6)],
+                          [AggregateSpec(Sum(), "m", "s")], cube_sets(6))
+        stats = NaiveUnionAlgorithm().compute(task).stats
+        assert stats.base_scans == 64
+
+    def test_2n_algorithm_iter_calls(self):
+        """'the 2^N-algorithm invokes the Iter() function T x 2^N
+        times'"""
+        stats = TwoNAlgorithm().compute(self.task).stats
+        assert stats.iter_calls == len(self.table) * 2 ** 3
+
+    def test_from_core_reduces_by_factor_of_t(self):
+        """'It is often faster to compute the super-aggregates from the
+        core GROUP BY, reducing the number of calls by approximately a
+        factor of T'"""
+        twon = TwoNAlgorithm().compute(self.task).stats
+        core = FromCoreAlgorithm().compute(self.task).stats
+        # Iter calls drop from T x 2^N to T
+        assert core.iter_calls == len(self.table)
+        # total work (iter + merge) is far below the 2^N algorithm's
+        assert core.iter_calls + core.merge_calls < twon.iter_calls / 2
+
+    def test_super_aggregates_orders_of_magnitude_smaller(self):
+        """'The super-aggregates are likely to be orders of magnitude
+        smaller than the core' -- with large Ci, the core dominates."""
+        table = synthetic_table(SyntheticSpec(
+            cardinalities=(40, 40), n_rows=5000, seed=3))
+        result = cube_with_stats(table, ["d0", "d1"],
+                                 [agg("COUNT", "*", "n")])
+        view_rows = result.table
+        core = sum(1 for row in view_rows
+                   if row[0] is not ALL and row[1] is not ALL)
+        supers = len(view_rows) - core
+        assert core > supers * 5
+
+
+class TestTaxonomyConsequences:
+    def test_holistic_routes_to_2n(self, sales):
+        """'We know of no more efficient way of computing
+        super-aggregates of holistic functions than the
+        2^N-algorithm'"""
+        result = cube_with_stats(
+            sales, ["Model", "Year"],
+            [agg(Median(carrying=False), "Units", "med")])
+        assert result.stats.algorithm == "2^N"
+
+    def test_distributive_aggregates_can_be_aggregated(self):
+        """'The distributive nature of the function F() allows
+        aggregates to be aggregated' -- the cube's super-aggregates
+        from the core equal those from base data."""
+        table = dense_table((3, 3))
+        from_core = cube(table, ["d0", "d1"], [agg("SUM", "m", "s")],
+                         algorithm="from-core")
+        from_base = cube(table, ["d0", "d1"], [agg("SUM", "m", "s")],
+                         algorithm="2^N")
+        assert from_core.equals_bag(from_base)
+
+    def test_algebraic_needs_handles_not_results(self):
+        """'The super-aggregate needs these intermediate results rather
+        than just the raw sub-aggregate' -- averaging averages is wrong;
+        merging (sum, count) scratchpads is right."""
+        table = Table([("g", "STRING"), ("x", "INTEGER")],
+                      [("a", 1), ("a", 1), ("b", 10)])
+        result = cube(table, ["g"], [agg("AVG", "x", "avg")],
+                      algorithm="from-core")
+        rows = {row[0]: row[1] for row in result}
+        # naive average-of-averages would give (1 + 10) / 2 = 5.5
+        assert rows[ALL] == pytest.approx(4.0)
+
+
+class TestMaintenanceClaims:
+    def test_insert_visits_2n_cells(self, sales):
+        """'When a record is inserted into the base table, just visit
+        the 2^N super-aggregates of this record in the cube'"""
+        from repro.maintenance import MaterializedCube
+        mc = MaterializedCube(sales, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        touched = mc.insert(("Chevy", 1994, "green", 1))
+        assert touched == 2 ** 3
+
+    def test_delete_of_max_recomputes(self, sales):
+        """'Now suppose a delete or update changes the largest value in
+        the base table. Then 2^N elements of the cube must be
+        recomputed.'"""
+        from repro.maintenance import MaterializedCube
+        mc = MaterializedCube(sales, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")])
+        mc.delete(("Chevy", 1995, "white", 115))
+        # every cell containing the old max had to be recomputed
+        assert mc.stats.cells_recomputed > 0
+        assert mc.value(ALL, ALL, ALL) == 85
+
+    def test_sum_count_easy_to_maintain(self):
+        """'If a function is algebraic for insert, update, and delete
+        (count() and sum() are such functions), then it is easy to
+        maintain the cube.'"""
+        from repro.aggregates import Count, Sum
+        assert Sum().maintenance.cheap_to_maintain
+        assert Count().maintenance.cheap_to_maintain
+
+    def test_max_cheap_insert_expensive_delete(self, sales):
+        """'So, max is distributive for SELECT and INSERT, but it is
+        holistic for DELETE.'"""
+        from repro.maintenance import MaterializedCube
+        mc = MaterializedCube(sales, ["Model", "Year", "Color"],
+                              [agg("MAX", "Units", "m")])
+        mc.insert(("Ford", 1995, "green", 3))  # loses everywhere
+        inserts_rescanned = mc.stats.rows_rescanned
+        assert inserts_rescanned == 0  # inserts never rescan
+        mc.delete(("Chevy", 1995, "white", 115))  # the max leaves
+        assert mc.stats.rows_rescanned > 0  # deletes of the max do

@@ -1,0 +1,78 @@
+"""Public-API integrity: every ``__all__`` name resolves, the README
+quickstart runs, and the version metadata is consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.engine",
+    "repro.aggregates",
+    "repro.core",
+    "repro.compute",
+    "repro.maintenance",
+    "repro.sql",
+    "repro.report",
+    "repro.warehouse",
+    "repro.data",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_sorted_like_a_maintained_library(self, package):
+        module = importlib.import_module(package)
+        exported = [n for n in module.__all__ if n != "__version__"]
+        assert exported == sorted(exported), f"{package}.__all__ unsorted"
+
+    def test_version(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        from repro import ALL, CubeView, Table, agg, cube
+
+        sales = Table([("Model", "STRING"), ("Year", "INTEGER"),
+                       ("Color", "STRING"), ("Units", "INTEGER")])
+        sales.extend([("Chevy", 1994, "black", 50),
+                      ("Chevy", 1994, "white", 40),
+                      ("Chevy", 1995, "black", 85),
+                      ("Chevy", 1995, "white", 115)])
+
+        summary = cube(sales, ["Model", "Year", "Color"],
+                       [agg("SUM", "Units", "Units")])
+        view = CubeView(summary, ["Model", "Year", "Color"])
+        assert view.total() == 290
+        assert view.v("Chevy", 1994, ALL) == 90
+        share = view.v("Chevy", ALL, ALL) / view.total()
+        assert share == 1.0
+
+    def test_sql_snippet(self):
+        from repro import Catalog, Table
+        from repro.sql import SQLSession
+
+        sales = Table([("Model", "STRING"), ("Year", "INTEGER"),
+                       ("Color", "STRING"), ("Units", "INTEGER")],
+                      [("Chevy", 1994, "black", 50)])
+        session = SQLSession(Catalog())
+        session.register("Sales", sales)
+        result = session.execute("""
+            SELECT Model, Year, Color, SUM(Units),
+                   GROUPING(Model), GROUPING(Year), GROUPING(Color)
+            FROM Sales
+            GROUP BY CUBE Model, Year, Color;""")
+        assert len(result) == 8  # 2^3 strata of a single-row cube
+
+    def test_module_docstring_example(self):
+        import repro
+        assert "Quickstart" in repro.__doc__

@@ -1,0 +1,154 @@
+"""The presentation layer: Tables 3.a, 3.b, 4, 6 and histograms,
+checked against the paper's printed numbers."""
+
+import pytest
+
+from repro import ALL, Table, agg
+from repro.engine.expressions import FunctionCall, col, lit
+from repro.report import (
+    crosstab,
+    date_wide_rollup,
+    histogram,
+    pivot_table,
+    render_grid,
+    rollup_report,
+)
+from repro.report.histogram import bucket_expression
+
+
+class TestCrosstab:
+    def test_table_6a_chevy(self, sales):
+        ct = crosstab(sales, "Color", "Year", "Units",
+                      slice_dim="Model", slice_value="Chevy")
+        assert ct.value("black", 1994) == 50
+        assert ct.value("black", 1995) == 85
+        assert ct.value("black", ALL) == 135
+        assert ct.value("white", ALL) == 155
+        assert ct.value(ALL, 1994) == 90
+        assert ct.value(ALL, 1995) == 200
+        assert ct.grand_total == 290
+
+    def test_table_6b_ford(self, sales):
+        ct = crosstab(sales, "Color", "Year", "Units",
+                      slice_dim="Model", slice_value="Ford")
+        assert ct.value("black", ALL) == 135
+        assert ct.value("white", ALL) == 85
+        assert ct.grand_total == 220
+
+    def test_unsliced(self, sales):
+        ct = crosstab(sales, "Model", "Year", "Units")
+        assert ct.grand_total == 510
+
+    def test_text_rendering(self, sales):
+        text = crosstab(sales, "Color", "Year", "Units").to_text()
+        assert "total (ALL)" in text
+        assert "510" in text
+
+    def test_other_functions(self, sales):
+        ct = crosstab(sales, "Model", "Year", "Units", function="MAX")
+        assert ct.grand_total == 115
+
+
+class TestPivot:
+    def test_table_4_values(self, sales):
+        pt = pivot_table(sales, "Model", "Year", "Color", "Units")
+        # the exact grid the paper prints
+        assert pt.value("Chevy", 1994, "black") == 50
+        assert pt.value("Chevy", 1994, ALL) == 90
+        assert pt.value("Chevy", 1995, ALL) == 200
+        assert pt.value("Chevy", ALL, ALL) == 290
+        assert pt.value("Ford", 1994, "white") == 10
+        assert pt.value("Ford", ALL, ALL) == 220
+        assert pt.value(ALL, 1994, "black") == 100
+        assert pt.value(ALL, ALL, ALL) == 510
+
+    def test_column_key_layout(self, sales):
+        pt = pivot_table(sales, "Model", "Year", "Color", "Units")
+        # (NxM detail + N totals + grand) columns -- the paper's
+        # "N x M values" pivot explosion
+        assert len(pt.column_keys) == 2 * 2 + 2 + 1
+
+    def test_text_has_header_hierarchy(self, sales):
+        text = pivot_table(sales, "Model", "Year", "Color",
+                           "Units").to_text()
+        assert "1994 Total" in text
+        assert "Grand Total" in text
+
+
+class TestRollupReport:
+    def test_table_3a_grid(self, chevy):
+        grid = rollup_report(chevy, ["Model", "Year", "Color"], "Units",
+                             render=False)
+        headers, *lines = grid
+        assert headers[:3] == ["Model", "Year", "Color"]
+        # 8 roll-up rows for the chevy slice
+        assert len(lines) == 8
+        # detail rows put values in the finest column
+        detail = [line for line in lines if line[3] is not None]
+        assert {line[3] for line in detail} == {50, 40, 85, 115}
+        # subtotals in the next column
+        subtotal = [line for line in lines if line[4] is not None]
+        assert {line[4] for line in subtotal} == {90, 200}
+        # model total and grand total
+        assert any(line[5] == 290 for line in lines)
+        assert any(line[6] == 290 for line in lines)
+
+    def test_repeating_groups_suppressed(self, chevy):
+        grid = rollup_report(chevy, ["Model", "Year", "Color"], "Units",
+                             render=False)
+        lines = grid[1:]
+        # the second detail row must not repeat Model/Year
+        assert lines[1][0] == "" and lines[1][1] == ""
+
+    def test_rendered(self, chevy):
+        text = rollup_report(chevy, ["Model", "Year", "Color"], "Units")
+        assert "290" in text
+
+
+class TestDateWide:
+    def test_table_3b_rows(self, chevy):
+        wide = date_wide_rollup(chevy, ["Model", "Year", "Color"], "Units")
+        assert len(wide) == 4  # one per detail group
+        by_key = {row[:3]: row[3:] for row in wide}
+        assert by_key[("Chevy", 1994, "black")] == (50, 90, 290, 290)
+        assert by_key[("Chevy", 1995, "white")] == (115, 200, 290, 290)
+
+    def test_column_explosion(self, sales):
+        # N dims + N+1 aggregate columns: the schema grows with N,
+        # which is why the paper rejected this representation
+        wide = date_wide_rollup(sales, ["Model", "Year", "Color"], "Units")
+        assert len(wide.schema) == 3 + 4
+
+
+class TestHistogram:
+    def test_default_count(self, sales):
+        result = histogram(sales, "Model")
+        assert set(result.rows) == {("Chevy", 4), ("Ford", 4)}
+
+    def test_computed_category(self, sales):
+        result = histogram(sales, (bucket_expression("Units", 50), "bucket"))
+        rows = dict(result.rows)
+        assert rows[0] + rows[50] + rows[100] == 8
+
+    def test_custom_aggregates(self, sales):
+        result = histogram(sales, "Year",
+                           [agg("SUM", "Units", "total")])
+        assert dict(result.rows) == {1994: 150, 1995: 360}
+
+    def test_where(self, sales):
+        result = histogram(sales, "Year", where=col("Model").eq(lit("Ford")))
+        assert dict(result.rows) == {1994: 2, 1995: 2}
+
+
+class TestRenderGrid:
+    def test_alignment_and_blanks(self):
+        text = render_grid(["a", "b"], [["x", None], ["longer", 3]])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        assert render_grid(["a"], [], title="T").startswith("T")
+
+    def test_all_renders(self):
+        text = render_grid(["k"], [[ALL]])
+        assert "ALL" in text

@@ -1,0 +1,137 @@
+"""Roll-up / drill-down navigation (Section 2's report workflow) and
+the 2D index (Section 4)."""
+
+import pytest
+
+from repro import ALL, CubeView, agg, cube
+from repro.errors import AddressingError
+from repro.report import CubeNavigator
+
+
+@pytest.fixture
+def view(sales):
+    result = cube(sales, ["Model", "Year", "Color"],
+                  [agg("SUM", "Units", "Units")])
+    return CubeView(result, ["Model", "Year", "Color"])
+
+
+@pytest.fixture
+def navigator(view):
+    return CubeNavigator(view)
+
+
+class TestDrillDown:
+    def test_starts_at_grand_total(self, navigator):
+        rows = navigator.rows()
+        assert rows.rows == [(ALL, ALL, ALL, 510)]
+        assert navigator.total() == 510
+
+    def test_drill_one_level(self, navigator):
+        rows = navigator.drill_down("Model").rows()
+        assert {row[0]: row[3] for row in rows} == {
+            "Chevy": 290, "Ford": 220}
+
+    def test_drill_two_levels(self, navigator):
+        rows = navigator.drill_down("Model").drill_down("Year").rows()
+        assert len(rows) == 4
+        assert all(row[2] is ALL for row in rows)
+
+    def test_drill_order_does_not_matter_for_rows(self, view):
+        a = CubeNavigator(view).drill_down("Model").drill_down("Year")
+        b = CubeNavigator(view).drill_down("Year").drill_down("Model")
+        assert a.rows().equals_bag(b.rows())
+
+    def test_drill_unknown_dim(self, navigator):
+        with pytest.raises(AddressingError):
+            navigator.drill_down("Engine")
+
+    def test_double_drill_rejected(self, navigator):
+        navigator.drill_down("Model")
+        with pytest.raises(AddressingError):
+            navigator.drill_down("Model")
+
+
+class TestRollUp:
+    def test_roll_up_reverses_drill(self, navigator):
+        navigator.drill_down("Model").drill_down("Year")
+        navigator.roll_up()  # collapses Year
+        assert navigator.expanded == ("Model",)
+        assert len(navigator.rows()) == 2
+
+    def test_roll_up_named_dim(self, navigator):
+        navigator.drill_down("Model").drill_down("Year")
+        navigator.roll_up("Model")
+        assert navigator.expanded == ("Year",)
+
+    def test_roll_up_past_total_rejected(self, navigator):
+        with pytest.raises(AddressingError):
+            navigator.roll_up()
+
+    def test_roll_up_unexpanded_rejected(self, navigator):
+        navigator.drill_down("Model")
+        with pytest.raises(AddressingError):
+            navigator.roll_up("Year")
+
+
+class TestFocus:
+    def test_focus_slices(self, navigator):
+        navigator.focus("Model", "Chevy").drill_down("Year")
+        rows = navigator.rows()
+        assert {row[1]: row[3] for row in rows} == {1994: 90, 1995: 200}
+
+    def test_focus_total(self, navigator):
+        navigator.focus("Model", "Ford")
+        assert navigator.total() == 220
+
+    def test_unfocus(self, navigator):
+        navigator.focus("Model", "Ford").unfocus("Model")
+        assert navigator.total() == 510
+
+    def test_drill_into_focused_dim_rejected(self, navigator):
+        navigator.focus("Model", "Ford")
+        with pytest.raises(AddressingError):
+            navigator.drill_down("Model")
+
+    def test_focus_collapses_expanded_dim(self, navigator):
+        navigator.drill_down("Model").focus("Model", "Chevy")
+        assert navigator.expanded == ()
+
+    def test_level_name_and_repr(self, navigator):
+        assert navigator.level_name() == "grand total"
+        navigator.drill_down("Model").drill_down("Year")
+        assert navigator.level_name() == "by Model by Year"
+        assert "by Model by Year" in repr(navigator)
+
+
+class TestIndex2D:
+    def test_independent_data_indexes_to_one(self):
+        # perfectly proportional data: every cell index is exactly 1
+        from repro import Table
+        table = Table([("a", "STRING"), ("b", "STRING"),
+                       ("x", "INTEGER")])
+        table.extend([("p", "u", 10), ("p", "v", 20),
+                      ("q", "u", 30), ("q", "v", 60)])
+        view = CubeView(cube(table, ["a", "b"], [agg("SUM", "x", "s")]),
+                        ["a", "b"])
+        index = view.index_2d("a", "b")
+        for value in index.values():
+            assert value == pytest.approx(1.0)
+
+    def test_association_detected(self, view):
+        index = view.index_2d("Model", "Color")
+        # Ford sales skew black relative to the marginals
+        assert index[("Ford", "black")] > 1.0
+        assert index[("Ford", "white")] < 1.0
+
+    def test_fixed_dimension(self, view):
+        index = view.index_2d("Model", "Color", Year=1994)
+        assert set(index) == {("Chevy", "black"), ("Chevy", "white"),
+                              ("Ford", "black"), ("Ford", "white")}
+
+    def test_same_dim_rejected(self, view):
+        with pytest.raises(AddressingError):
+            view.index_2d("Model", "Model")
+
+    def test_unknown_dim_rejected(self, view):
+        with pytest.raises(AddressingError):
+            view.index_2d("Model", "Engine")

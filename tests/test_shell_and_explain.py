@@ -1,0 +1,217 @@
+"""The interactive shell's state machine and the EXPLAIN statement."""
+
+import pytest
+
+from repro import Catalog
+from repro.data import sales_summary_table
+from repro.shell import Shell
+from repro.sql import SQLSession
+
+
+@pytest.fixture
+def shell(sales):
+    session = SQLSession(Catalog())
+    session.register("Sales", sales)
+    return Shell(session)
+
+
+class TestShell:
+    def test_single_line_statement(self, shell):
+        output = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert "8" in output
+
+    def test_multi_line_accumulates(self, shell):
+        assert shell.handle_line("SELECT Model, SUM(Units)") == ""
+        assert shell.prompt == "   ...> "
+        output = shell.handle_line("FROM Sales GROUP BY Model;")
+        assert "Chevy" in output and "290" in output
+        assert shell.prompt == "cube=> "
+
+    def test_error_reported_not_raised(self, shell):
+        output = shell.handle_line("SELECT * FROM Nowhere;")
+        assert output.startswith("error:")
+
+    def test_syntax_error_reported(self, shell):
+        output = shell.handle_line("SELEC oops;")
+        assert output.startswith("error:")
+
+    def test_dml_row_counts(self, shell):
+        output = shell.handle_line(
+            "DELETE FROM Sales WHERE Model = 'Ford';")
+        assert output == "4 row(s) affected"
+
+    def test_quit(self, shell):
+        assert shell.handle_line("\\quit") == "bye"
+        assert shell.done
+
+    def test_help(self, shell):
+        assert "\\load" in shell.handle_line("\\help")
+
+    def test_tables(self, shell):
+        assert "SALES" in shell.handle_line("\\tables").upper()
+
+    def test_schema(self, shell):
+        output = shell.handle_line("\\schema Sales")
+        assert "Model" in output and "INTEGER" in output
+
+    def test_schema_unknown(self, shell):
+        assert shell.handle_line("\\schema Nope").startswith("error:")
+
+    def test_load_dataset(self, shell):
+        output = shell.handle_line("\\load figure4")
+        assert "18 rows" in output
+        result = shell.handle_line("SELECT SUM(Units) FROM Sales;")
+        assert "941" in result
+
+    def test_load_usage(self, shell):
+        assert "usage" in shell.handle_line("\\load nothere")
+
+    def test_nullmode_toggle(self, shell):
+        first = shell.handle_line("\\nullmode")
+        assert "NULL" in first
+        output = shell.handle_line(
+            "SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model;")
+        assert "ALL" not in output.replace("rows_affected", "")
+        second = shell.handle_line("\\nullmode")
+        assert "ALL" in second
+
+    def test_unknown_meta(self, shell):
+        assert "unknown command" in shell.handle_line("\\frobnicate")
+
+    def test_blank_lines_ignored(self, shell):
+        assert shell.handle_line("") == ""
+        assert shell.handle_line("   ") == ""
+
+
+class TestExplain:
+    @pytest.fixture
+    def session(self, sales):
+        session = SQLSession(Catalog())
+        session.register("Sales", sales)
+        return session
+
+    def steps(self, session, sql):
+        return dict(session.execute(sql).rows)
+
+    def test_plain_select(self, session):
+        steps = self.steps(session, "EXPLAIN SELECT * FROM Sales;")
+        assert steps["scan"] == "Sales"
+
+    def test_cube_plan(self, session):
+        steps = self.steps(session, """
+            EXPLAIN SELECT Model, Year, SUM(Units) FROM Sales
+            GROUP BY CUBE Model, Year;""")
+        assert steps["group"] == "CUBE Model, Year"
+        assert steps["grouping sets"] == "4"
+        assert "Π(Ci+1)" in steps["estimated rows"]
+        assert "9" in steps["estimated rows"]  # 3 x 3
+
+    def test_algorithm_reflects_taxonomy(self, session):
+        distributive = self.steps(session, """
+            EXPLAIN SELECT Model, SUM(Units) FROM Sales
+            GROUP BY CUBE Model;""")
+        assert "array" in distributive["algorithm"] \
+            or "from-core" in distributive["algorithm"]
+        holistic = self.steps(session, """
+            EXPLAIN SELECT Model, MEDIAN(Units) FROM Sales
+            GROUP BY CUBE Model;""")
+        assert "2^N" in holistic["algorithm"]
+
+    def test_compound_clause_described(self, session):
+        steps = self.steps(session, """
+            EXPLAIN SELECT Model, Year, Color, SUM(Units) FROM Sales
+            GROUP BY Model, ROLLUP Year, CUBE Color;""")
+        assert "GROUP BY Model" in steps["group"]
+        assert "ROLLUP Year" in steps["group"]
+        assert "CUBE Color" in steps["group"]
+        assert steps["grouping sets"] == "4"  # (1+1) x 2^1
+
+    def test_where_having_order_shown(self, session):
+        steps = self.steps(session, """
+            EXPLAIN SELECT Model, SUM(Units) FROM Sales
+            WHERE Year = 1994 GROUP BY Model
+            HAVING SUM(Units) > 10 ORDER BY Model DESC;""")
+        assert "filter" in steps
+        assert "having" in steps
+        assert "DESC" in steps["order by"]
+
+    def test_union_branches(self, session):
+        result = session.execute("""
+            EXPLAIN SELECT Model FROM Sales
+            UNION SELECT Color FROM Sales;""")
+        steps = dict(result.rows)
+        assert steps["union"] == "2 branches"
+        assert steps["branch 0: scan"] == "Sales"
+
+    def test_join_shown(self, session):
+        session.register("Dim", sales_summary_table())
+        steps = self.steps(session, """
+            EXPLAIN SELECT COUNT(*) FROM Sales
+            JOIN Dim USING (Model);""")
+        assert "USING (Model)" in steps["join"]
+
+    def test_explain_does_not_mutate(self, session):
+        session.execute("EXPLAIN SELECT COUNT(*) FROM Sales;")
+        assert len(session.catalog.get("Sales")) == 8
+
+
+class TestCumulativeRollup:
+    def test_running_total_resets_per_group(self, chevy):
+        from repro.report import cumulative_rollup
+        from repro.types import ALL
+        result = cumulative_rollup(chevy, ["Model", "Year", "Color"],
+                                   "Units")
+        cumulative_idx = len(result.schema) - 1
+        detail = [row for row in result
+                  if all(v is not ALL for v in row[:3])]
+        # within (Chevy, 1994): 50, then 90; resets for 1995: 85, 200
+        values = [row[cumulative_idx] for row in detail]
+        assert values == [50, 90, 85, 200]
+
+    def test_final_cumulative_equals_subtotal(self, sales):
+        """The invariant that makes cumulative + ROLLUP compose: the
+        running total at a group's last detail row equals the group's
+        sub-total row."""
+        from repro.report import cumulative_rollup
+        from repro.types import ALL
+        result = cumulative_rollup(sales, ["Model", "Year", "Color"],
+                                   "Units")
+        cumulative_idx = len(result.schema) - 1
+        measure_idx = result.schema.index_of("Units")
+        rows = result.rows
+        for position, row in enumerate(rows):
+            is_subtotal = (row[2] is ALL and row[1] is not ALL)
+            if is_subtotal:
+                previous = rows[position - 1]
+                assert previous[cumulative_idx] == row[measure_idx]
+
+    def test_super_rows_carry_null(self, chevy):
+        from repro.report import cumulative_rollup
+        from repro.types import ALL
+        result = cumulative_rollup(chevy, ["Model", "Year", "Color"],
+                                   "Units")
+        cumulative_idx = len(result.schema) - 1
+        for row in result:
+            if any(v is ALL for v in row[:3]):
+                assert row[cumulative_idx] is None
+
+    def test_running_sum_window(self, sales):
+        from repro.report import cumulative_rollup
+        result = cumulative_rollup(sales, ["Model", "Color"], "Units",
+                                   cumulative_kind="RUNNING_SUM",
+                                   window=2)
+        assert any("RUNNING_SUM" in name for name in result.schema.names)
+
+    def test_window_required(self, sales):
+        from repro.errors import CubeError
+        from repro.report import cumulative_rollup
+        with pytest.raises(CubeError):
+            cumulative_rollup(sales, ["Model"], "Units",
+                              cumulative_kind="RUNNING_SUM")
+
+    def test_bad_kind(self, sales):
+        from repro.errors import CubeError
+        from repro.report import cumulative_rollup
+        with pytest.raises(CubeError):
+            cumulative_rollup(sales, ["Model"], "Units",
+                              cumulative_kind="SLIDING")

@@ -1,0 +1,80 @@
+"""Static SQL analysis and the Table 2 workload counts."""
+
+import pytest
+
+from repro.data import WORKLOADS
+from repro.sql import count_aggregates, count_group_bys, parse
+from repro.sql.analysis import iter_aggregate_calls, iter_selects
+
+
+class TestCounting:
+    def test_simple_counts(self):
+        stmt = parse("SELECT SUM(a), AVG(b) FROM T GROUP BY c;")
+        assert count_aggregates(stmt) == 2
+        assert count_group_bys(stmt) == 1
+
+    def test_no_aggregates(self):
+        stmt = parse("SELECT a FROM T WHERE a > 1;")
+        assert count_aggregates(stmt) == 0
+        assert count_group_bys(stmt) == 0
+
+    def test_union_branches_counted(self):
+        stmt = parse("SELECT SUM(a) FROM T GROUP BY b "
+                     "UNION SELECT SUM(a) FROM U GROUP BY b;")
+        assert count_aggregates(stmt) == 2
+        assert count_group_bys(stmt) == 2
+
+    def test_subquery_aggregates_counted(self):
+        stmt = parse(
+            "SELECT SUM(a) / (SELECT SUM(a) FROM T) FROM T GROUP BY b;")
+        assert count_aggregates(stmt) == 2
+
+    def test_having_aggregates_counted(self):
+        stmt = parse("SELECT a FROM T GROUP BY a HAVING MAX(b) > 1;")
+        assert count_aggregates(stmt) == 1
+
+    def test_nested_expression_aggregates(self):
+        stmt = parse("SELECT SUM(a) + MIN(b) * 2 FROM T;")
+        assert count_aggregates(stmt) == 2
+
+    def test_iter_selects_depth(self):
+        stmt = parse("SELECT (SELECT MAX(x) FROM U) FROM T;")
+        assert len(list(iter_selects(stmt))) == 2
+
+    def test_aggregate_call_names(self):
+        stmt = parse("SELECT COUNT(DISTINCT a) FROM T;")
+        calls = list(iter_aggregate_calls(stmt))
+        assert calls[0].distinct
+
+
+class TestTable2Workloads:
+    @pytest.mark.parametrize("workload", WORKLOADS,
+                             ids=[w.name for w in WORKLOADS])
+    def test_counts_match_paper(self, workload):
+        """Table 2 reproduced: parse each restated benchmark query set
+        and re-derive (queries, aggregates, GROUP BYs)."""
+        aggregates = 0
+        group_bys = 0
+        for sql in workload.queries:
+            statement = parse(sql)
+            aggregates += count_aggregates(statement)
+            group_bys += count_group_bys(statement)
+        assert len(workload.queries) == workload.paper_queries
+        assert aggregates == workload.paper_aggregates
+        assert group_bys == workload.paper_group_bys
+
+    def test_tpcd_has_one_6d_group_by(self):
+        """The paper: "The TPC-D query set has one 6D GROUP BY and three
+        3D GROUP BYs."""
+        tpcd = next(w for w in WORKLOADS if w.name == "TPC-D")
+        dimensionalities = []
+        for sql in tpcd.queries:
+            stmt = parse(sql)
+            for select in iter_selects(stmt):
+                if select.group is not None:
+                    dimensionalities.append(len(select.group.all_items()))
+        assert dimensionalities.count(6) == 1
+        assert dimensionalities.count(3) == 3
+        # "One and two dimensional GROUP BYs are the most common"
+        low_dim = sum(1 for d in dimensionalities if d <= 2)
+        assert low_dim > len(dimensionalities) / 2

@@ -1,0 +1,210 @@
+"""SQL DML/DDL: INSERT, DELETE, UPDATE, CREATE TABLE -- including the
+Section 6 integration where SQL mutations drive maintained cubes, and
+the Section 4 alias-addressing shorthand."""
+
+import pytest
+
+from repro import ALL, Catalog, Table, agg
+from repro.data import sales_summary_table
+from repro.errors import SQLExecutionError, SQLPlanError, SQLSyntaxError
+from repro.maintenance import attach_cube_maintenance
+from repro.sql import SQLSession, parse_any
+from repro.sql.ast_nodes import (
+    CreateTableStmt,
+    DeleteStmt,
+    InsertStmt,
+    UpdateStmt,
+)
+
+
+@pytest.fixture
+def session(sales):
+    catalog = Catalog()
+    catalog.register("Sales", sales)
+    return SQLSession(catalog)
+
+
+class TestParseDml:
+    def test_insert(self):
+        stmt = parse_any("INSERT INTO T VALUES ('x', 1), ('y', -2);")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.rows == [("x", 1), ("y", -2)]
+        assert stmt.columns == ()
+
+    def test_insert_named_columns(self):
+        stmt = parse_any("INSERT INTO T (b, a) VALUES (1, 'x');")
+        assert stmt.columns == ("b", "a")
+
+    def test_delete(self):
+        stmt = parse_any("DELETE FROM T WHERE a = 'x';")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is not None
+
+    def test_delete_all(self):
+        assert parse_any("DELETE FROM T;").where is None
+
+    def test_update(self):
+        stmt = parse_any("UPDATE T SET n = n + 1, a = 'z' WHERE n < 3;")
+        assert isinstance(stmt, UpdateStmt)
+        assert [col for col, _ in stmt.assignments] == ["n", "a"]
+
+    def test_create_table(self):
+        stmt = parse_any(
+            "CREATE TABLE T (a STRING NOT NULL, n INTEGER);")
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns == [("a", "STRING", False),
+                                ("n", "INTEGER", True)]
+
+    def test_select_still_parses(self):
+        from repro.sql.ast_nodes import Statement
+        assert isinstance(parse_any("SELECT 1;"), Statement)
+
+    def test_insert_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_any("INSERT INTO T VALUES (1) garbage;")
+
+
+class TestExecuteDml:
+    def test_create_insert_select_roundtrip(self, session):
+        session.execute("CREATE TABLE Pets (name STRING, age INTEGER);")
+        result = session.execute(
+            "INSERT INTO Pets VALUES ('rex', 3), ('tom', 5);")
+        assert result.rows == [(2,)]
+        rows = session.execute("SELECT * FROM Pets ORDER BY age;")
+        assert rows.rows == [("rex", 3), ("tom", 5)]
+
+    def test_insert_named_columns_reorders(self, session):
+        session.execute("CREATE TABLE P (a STRING, n INTEGER);")
+        session.execute("INSERT INTO P (n, a) VALUES (7, 'x');")
+        assert session.execute("SELECT * FROM P;").rows == [("x", 7)]
+
+    def test_insert_missing_named_columns_are_null(self, session):
+        session.execute("CREATE TABLE Q (a STRING, n INTEGER);")
+        session.execute("INSERT INTO Q (a) VALUES ('only');")
+        assert session.execute("SELECT * FROM Q;").rows == [("only", None)]
+
+    def test_insert_arity_mismatch(self, session):
+        session.execute("CREATE TABLE R (a STRING, n INTEGER);")
+        with pytest.raises(SQLExecutionError):
+            session.execute("INSERT INTO R VALUES (1);")
+        with pytest.raises(SQLExecutionError):
+            session.execute("INSERT INTO R (a) VALUES (1, 2);")
+        with pytest.raises(SQLExecutionError):
+            session.execute("INSERT INTO R (zz) VALUES (1);")
+
+    def test_create_rejects_unknown_type(self, session):
+        with pytest.raises(SQLExecutionError):
+            session.execute("CREATE TABLE Bad (a BLOB);")
+
+    def test_not_null_enforced(self, session):
+        from repro.errors import TypeMismatchError
+        session.execute("CREATE TABLE NN (a STRING NOT NULL);")
+        with pytest.raises(TypeMismatchError):
+            session.execute("INSERT INTO NN VALUES (NULL);")
+
+    def test_delete_where(self, session):
+        result = session.execute(
+            "DELETE FROM Sales WHERE Model = 'Ford';")
+        assert result.rows == [(4,)]
+        remaining = session.execute("SELECT COUNT(*) FROM Sales;")
+        assert remaining.rows == [(4,)]
+
+    def test_update(self, session):
+        result = session.execute(
+            "UPDATE Sales SET Units = Units * 2 WHERE Model = 'Chevy';")
+        assert result.rows == [(4,)]
+        total = session.execute(
+            "SELECT SUM(Units) FROM Sales WHERE Model = 'Chevy';")
+        assert total.rows == [(580,)]
+
+    def test_update_multiple_assignments(self, session):
+        session.execute(
+            "UPDATE Sales SET Color = 'silver', Units = 1 "
+            "WHERE Model = 'Ford' AND Year = 1994;")
+        rows = session.execute(
+            "SELECT Color, Units FROM Sales "
+            "WHERE Model = 'Ford' AND Year = 1994;")
+        assert set(rows.rows) == {("silver", 1)}
+
+    def test_update_unknown_column(self, session):
+        from repro.errors import UnknownColumnError
+        with pytest.raises(UnknownColumnError):
+            session.execute("UPDATE Sales SET Engine = 1;")
+
+
+class TestDmlDrivesMaintainedCubes:
+    def test_sql_mutations_keep_cube_fresh(self, sales):
+        """The full Section 6 story through SQL: triggers keep the
+        materialized cube equal to a recomputation."""
+        catalog = Catalog()
+        catalog.register("Sales", sales)
+        cube = attach_cube_maintenance(
+            catalog, "Sales", ["Model", "Year", "Color"],
+            [agg("SUM", "Units", "u"), agg("MAX", "Units", "hi")])
+        session = SQLSession(catalog)
+
+        session.execute(
+            "INSERT INTO Sales VALUES ('Ford', 1996, 'red', 20);")
+        assert cube.value(ALL, ALL, ALL) == 530
+
+        session.execute(
+            "DELETE FROM Sales WHERE Model = 'Chevy' AND Year = 1995 "
+            "AND Color = 'white';")
+        assert cube.value(ALL, ALL, ALL) == 415
+        assert cube.value(ALL, ALL, ALL, measure="hi") == 85
+
+        session.execute(
+            "UPDATE Sales SET Units = 100 WHERE Model = 'Ford' "
+            "AND Year = 1996;")
+        assert cube.value("Ford", 1996, "red") == 100
+
+        from repro.core.cube import cube as cube_op
+        fresh = cube_op(catalog.get("Sales"), ["Model", "Year", "Color"],
+                        [agg("SUM", "Units", "u"),
+                         agg("MAX", "Units", "hi")])
+        assert cube.as_table().equals_bag(fresh)
+
+
+class TestSection4AliasAddressing:
+    def test_total_all_all_all(self, session):
+        # the paper's preferred shorthand for percent-of-total
+        result = session.execute("""
+            SELECT Model, Year, Color, SUM(Units) AS total,
+                   SUM(Units) / total(ALL, ALL, ALL)
+            FROM Sales
+            GROUP BY CUBE Model, Year, Color;""")
+        shares = {row[:3]: row[4] for row in result}
+        assert shares[(ALL, ALL, ALL)] == pytest.approx(1.0)
+        assert shares[("Chevy", ALL, ALL)] == pytest.approx(290 / 510)
+
+    def test_addressing_specific_cells(self, session):
+        result = session.execute("""
+            SELECT Model, SUM(Units) AS total,
+                   total('Chevy') - total('Ford')
+            FROM Sales
+            GROUP BY CUBE Model;""")
+        deltas = {row[0]: row[2] for row in result}
+        assert deltas["Chevy"] == 290 - 220
+
+    def test_shorthand_matches_nested_subquery(self, session):
+        shorthand = session.execute("""
+            SELECT Model, SUM(Units) AS t, SUM(Units) / t(ALL)
+            FROM Sales GROUP BY CUBE Model;""")
+        nested = session.execute("""
+            SELECT Model, SUM(Units),
+                   SUM(Units) / (SELECT SUM(Units) FROM Sales)
+            FROM Sales GROUP BY CUBE Model;""")
+        assert sorted(r[2] for r in shorthand) == \
+            sorted(r[2] for r in nested)
+
+    def test_wrong_arity_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute("""
+                SELECT Model, SUM(Units) AS t, t(ALL, ALL)
+                FROM Sales GROUP BY CUBE Model;""")
+
+    def test_missing_cell_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute("""
+                SELECT Model, SUM(Units) AS t, t('Tesla')
+                FROM Sales GROUP BY CUBE Model;""")

@@ -1,0 +1,268 @@
+"""SQL execution: projections, grouping, HAVING, UNION, ORDER BY,
+joins, subqueries, table functions, GROUPING()."""
+
+import pytest
+
+from repro import ALL, Catalog, Table
+from repro.data import sales_summary_table
+from repro.errors import SQLExecutionError, SQLPlanError
+from repro.sql import SQLSession
+from repro.types import NullMode
+
+
+@pytest.fixture
+def session(sales):
+    catalog = Catalog()
+    catalog.register("Sales", sales)
+    dept = Table([("department_number", "INTEGER"), ("name", "STRING")],
+                 [(1, "toys"), (2, "tools")])
+    emp = Table([("emp", "STRING"), ("department_number", "INTEGER"),
+                 ("salary", "INTEGER")],
+                [("ann", 1, 100), ("bob", 1, 120), ("cy", 2, 90)])
+    catalog.register("Department", dept)
+    catalog.register("Employee", emp)
+    return SQLSession(catalog)
+
+
+class TestProjection:
+    def test_select_star(self, session):
+        result = session.execute("SELECT * FROM Sales;")
+        assert len(result) == 8
+        assert result.schema.names == ("Model", "Year", "Color", "Units")
+
+    def test_select_columns(self, session):
+        result = session.execute("SELECT Model, Units FROM Sales;")
+        assert result.schema.names == ("Model", "Units")
+
+    def test_expressions_and_aliases(self, session):
+        result = session.execute(
+            "SELECT Units * 2 AS double FROM Sales WHERE Units = 50;")
+        assert set(result.rows) == {(100,)}
+
+    def test_distinct(self, session):
+        result = session.execute("SELECT DISTINCT Model FROM Sales;")
+        assert len(result) == 2
+
+    def test_no_from(self, session):
+        assert session.execute("SELECT 2 + 3;").rows == [(5,)]
+
+    def test_where(self, session):
+        result = session.execute(
+            "SELECT Units FROM Sales WHERE Model = 'Ford' AND Year = 1995;")
+        assert sorted(result.rows) == [(75,), (85,)]
+
+    def test_in_braces(self, session):
+        result = session.execute(
+            "SELECT COUNT(*) FROM Sales WHERE Model IN {'Chevy'};")
+        assert result.rows == [(4,)]
+
+
+class TestScalarAggregates:
+    def test_sum(self, session):
+        assert session.execute(
+            "SELECT SUM(Units) FROM Sales;").rows == [(510,)]
+
+    def test_multiple(self, session):
+        result = session.execute(
+            "SELECT MIN(Units), MAX(Units), COUNT(*) FROM Sales;")
+        assert result.rows == [(10, 115, 8)]
+
+    def test_shared_aggregate_computed_once(self, session):
+        result = session.execute(
+            "SELECT SUM(Units), SUM(Units) / 2 FROM Sales;")
+        assert result.rows == [(510, 255.0)]
+
+    def test_aggregate_in_where_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute("SELECT 1 FROM Sales WHERE SUM(Units) > 1;")
+
+
+class TestGrouping:
+    def test_group_by(self, session):
+        result = session.execute(
+            "SELECT Model, SUM(Units) FROM Sales GROUP BY Model;")
+        assert set(result.rows) == {("Chevy", 290), ("Ford", 220)}
+
+    def test_group_by_cube(self, session):
+        result = session.execute(
+            "SELECT Model, Year, SUM(Units) FROM Sales "
+            "GROUP BY CUBE Model, Year;")
+        assert len(result) == 9
+        rows = {row[:2]: row[2] for row in result}
+        assert rows[(ALL, ALL)] == 510
+
+    def test_group_by_rollup(self, session):
+        result = session.execute(
+            "SELECT Model, Year, SUM(Units) FROM Sales "
+            "GROUP BY ROLLUP Model, Year;")
+        assert len(result) == 7  # 4 + 2 + 1
+
+    def test_compound(self, session):
+        result = session.execute(
+            "SELECT Model, Year, Color, SUM(Units) FROM Sales "
+            "GROUP BY Model, ROLLUP Year, CUBE Color;")
+        coords = {row[:3] for row in result}
+        assert all(key[0] is not ALL for key in coords)
+        assert ("Chevy", ALL, "black") in coords
+
+    def test_grouping_function(self, session):
+        result = session.execute(
+            "SELECT Model, SUM(Units), GROUPING(Model) FROM Sales "
+            "GROUP BY CUBE Model;")
+        flags = {row[0]: row[2] for row in result}
+        assert flags[ALL] is True
+        assert flags["Chevy"] is False
+
+    def test_grouping_of_ungrouped_column_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute(
+                "SELECT GROUPING(Units) FROM Sales GROUP BY Model;")
+
+    def test_ungrouped_column_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute(
+                "SELECT Color, SUM(Units) FROM Sales GROUP BY Model;")
+
+    def test_group_by_without_aggregates(self, session):
+        result = session.execute(
+            "SELECT Model FROM Sales GROUP BY Model;")
+        assert set(result.rows) == {("Chevy",), ("Ford",)}
+
+    def test_having(self, session):
+        result = session.execute(
+            "SELECT Model, SUM(Units) FROM Sales GROUP BY Model "
+            "HAVING SUM(Units) > 250;")
+        assert result.rows == [("Chevy", 290)]
+
+    def test_having_on_group_alias(self, session):
+        result = session.execute(
+            "SELECT y, SUM(Units) FROM Sales GROUP BY Year AS y "
+            "HAVING y = 1994;")
+        assert result.rows == [(1994, 150)]
+
+    def test_computed_grouping_column(self, session):
+        result = session.execute(
+            "SELECT half, COUNT(*) FROM Sales "
+            "GROUP BY BUCKET(Units, 100) AS half;")
+        rows = dict(result.rows)
+        assert rows[0] == 7 and rows[100] == 1
+
+    def test_select_star_with_group_rejected(self, session):
+        with pytest.raises(SQLPlanError):
+            session.execute("SELECT * FROM Sales GROUP BY Model;")
+
+    def test_null_mode_session(self, sales):
+        catalog = Catalog()
+        catalog.register("Sales", sales)
+        session = SQLSession(catalog,
+                             null_mode=NullMode.NULL_WITH_GROUPING)
+        result = session.execute(
+            "SELECT Model, SUM(Units), GROUPING(Model) FROM Sales "
+            "GROUP BY CUBE Model;")
+        total = [row for row in result if row[2] is True]
+        assert total == [(None, 510, True)]
+
+
+class TestJoins:
+    def test_join_using(self, session):
+        result = session.execute(
+            "SELECT name, SUM(salary) FROM Employee "
+            "JOIN Department USING (department_number) "
+            "GROUP BY name;")
+        assert set(result.rows) == {("toys", 220), ("tools", 90)}
+
+    def test_join_on(self, session):
+        result = session.execute(
+            "SELECT COUNT(*) FROM Employee "
+            "JOIN Department ON department_number = right_department_number;")
+        assert result.rows == [(3,)]
+
+
+class TestTableFunctions:
+    def test_rank(self, session):
+        result = session.execute(
+            "SELECT Units, RANK(Units) AS r FROM Sales "
+            "WHERE Model = 'Chevy' ORDER BY r;")
+        assert [row[0] for row in result] == [40, 50, 85, 115]
+
+    def test_ntile_group_by_having(self, session):
+        # the paper's Red Brick query shape
+        result = session.execute(
+            "SELECT Percentile, MIN(Units), MAX(Units) FROM Sales "
+            "GROUP BY N_tile(Units, 4) AS Percentile "
+            "HAVING Percentile = 4;")
+        assert len(result) == 1
+        assert result.rows[0][2] == 115
+
+    def test_ratio_to_total(self, session):
+        result = session.execute(
+            "SELECT Model, RATIO_TO_TOTAL(Units) AS share FROM Sales "
+            "WHERE Model = 'Ford' AND Year = 1994;")
+        shares = dict(result.rows)
+        assert shares["Ford"] in (50 / 60, 10 / 60)
+
+    def test_cumulative(self, session):
+        result = session.execute(
+            "SELECT Units, CUMULATIVE(Units) AS c FROM Sales "
+            "WHERE Model = 'Chevy' AND Year = 1994;")
+        assert [row[1] for row in result] == [50, 90]
+
+    def test_running_sum(self, session):
+        result = session.execute(
+            "SELECT RUNNING_SUM(Units, 2) AS rs FROM Sales "
+            "WHERE Model = 'Chevy';")
+        values = [row[0] for row in result]
+        assert values[0] is None  # initial n-1 values are NULL
+        assert values[1] == 90
+
+
+class TestSubqueries:
+    def test_percent_of_total(self, session):
+        # the Section 4 nested-SELECT percent-of-total pattern
+        result = session.execute("""
+            SELECT Model, SUM(Units),
+                   SUM(Units) / (SELECT SUM(Units) FROM Sales)
+            FROM Sales GROUP BY Model;""")
+        shares = {row[0]: row[2] for row in result}
+        assert shares["Chevy"] == pytest.approx(290 / 510)
+
+    def test_subquery_in_where(self, session):
+        result = session.execute(
+            "SELECT COUNT(*) FROM Sales "
+            "WHERE Units > (SELECT AVG(Units) FROM Sales);")
+        assert result.rows == [(4,)]
+
+    def test_non_scalar_subquery_rejected(self, session):
+        with pytest.raises(SQLExecutionError):
+            session.execute(
+                "SELECT (SELECT Units FROM Sales) FROM Sales;")
+
+
+class TestUnionOrder:
+    def test_union_distinct(self, session):
+        result = session.execute(
+            "SELECT Model FROM Sales UNION SELECT Model FROM Sales;")
+        assert len(result) == 2
+
+    def test_union_all(self, session):
+        result = session.execute(
+            "SELECT Model FROM Sales UNION ALL SELECT Model FROM Sales;")
+        assert len(result) == 16
+
+    def test_order_by_column(self, session):
+        result = session.execute(
+            "SELECT DISTINCT Units FROM Sales ORDER BY Units DESC;")
+        values = [row[0] for row in result]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_by_alias(self, session):
+        result = session.execute(
+            "SELECT Model, SUM(Units) AS total FROM Sales "
+            "GROUP BY Model ORDER BY total;")
+        assert [row[0] for row in result] == ["Ford", "Chevy"]
+
+    def test_union_arity_mismatch(self, session):
+        with pytest.raises(SQLExecutionError):
+            session.execute(
+                "SELECT Model FROM Sales UNION SELECT Model, Year "
+                "FROM Sales;")

@@ -1,0 +1,249 @@
+"""SQL parser: the Section 3.2 grammar, expressions, and AST shapes."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Arithmetic,
+    Between,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    LikeExpr,
+    Literal,
+    NotExpr,
+)
+from repro.errors import SQLSyntaxError
+from repro.sql.ast_nodes import (
+    AggregateCall,
+    GroupingCall,
+    ScalarSubquery,
+    SelectStmt,
+    Star,
+    TableFunctionCall,
+    UnionStmt,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectBasics:
+    def test_star(self):
+        stmt = parse("SELECT * FROM T;")
+        assert isinstance(stmt.body.items[0].expression, Star)
+        assert stmt.body.table.name == "T"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM T;")
+        assert stmt.body.items[0].alias == "x"
+        assert stmt.body.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM T;").body.distinct
+
+    def test_no_from(self):
+        stmt = parse("SELECT 1 + 1;")
+        assert stmt.body.table is None
+
+    def test_where(self):
+        stmt = parse("SELECT a FROM T WHERE a > 5;")
+        assert isinstance(stmt.body.where, Comparison)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM T extra nonsense ;")
+
+
+class TestGroupClause:
+    def test_plain(self):
+        stmt = parse("SELECT a, SUM(x) FROM T GROUP BY a;")
+        group = stmt.body.group
+        assert len(group.plain) == 1 and not group.rollup and not group.cube
+
+    def test_cube_directly_after_by(self):
+        stmt = parse("SELECT a, SUM(x) FROM T GROUP BY CUBE a, b;")
+        assert len(stmt.body.group.cube) == 2
+        assert not stmt.body.group.plain
+
+    def test_rollup(self):
+        stmt = parse("SELECT a, SUM(x) FROM T GROUP BY ROLLUP a, b, c;")
+        assert len(stmt.body.group.rollup) == 3
+
+    def test_compound_figure5(self):
+        stmt = parse("""
+            SELECT m, SUM(p) FROM Sales
+            GROUP BY m,
+                     ROLLUP y, mo, d,
+                     CUBE color, model;""")
+        group = stmt.body.group
+        assert len(group.plain) == 1
+        assert len(group.rollup) == 3
+        assert len(group.cube) == 2
+
+    def test_computed_grouping_column_with_alias(self):
+        stmt = parse("SELECT day, MAX(t) FROM W "
+                     "GROUP BY Day(Time) AS day;")
+        expr, alias = stmt.body.group.plain[0]
+        assert isinstance(expr, FunctionCall)
+        assert alias == "day"
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM T GROUP BY;")
+
+    def test_having(self):
+        stmt = parse("SELECT a, SUM(x) FROM T GROUP BY a HAVING SUM(x) > 3;")
+        assert isinstance(stmt.body.having, Comparison)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Arithmetic) and expr.op == "+"
+        assert isinstance(expr.right, Arithmetic) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BooleanExpr) and expr.op == "OR"
+        assert isinstance(expr.operands[1], BooleanExpr)
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, NotExpr)
+
+    def test_in_parenthesized(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert expr.values == [1, 2, 3]
+
+    def test_in_braces_paper_form(self):
+        # WHERE Model IN {'Ford', 'Chevy'} -- as printed in Section 4
+        expr = parse_expression("Model IN {'Ford', 'Chevy'}")
+        assert isinstance(expr, InList)
+        assert expr.values == ["Ford", "Chevy"]
+
+    def test_not_in(self):
+        expr = parse_expression("a NOT IN (1)")
+        assert isinstance(expr, NotExpr)
+
+    def test_between(self):
+        expr = parse_expression("Year BETWEEN 1990 AND 1992")
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        assert isinstance(parse_expression("y NOT BETWEEN 1 AND 2"), NotExpr)
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'THE%'")
+        assert isinstance(expr, LikeExpr)
+
+    def test_is_null(self):
+        expr = parse_expression("a IS NULL")
+        assert expr.evaluate({"a": None}) is True
+        expr = parse_expression("a IS NOT NULL")
+        assert expr.evaluate({"a": None}) is False
+
+    def test_case(self):
+        expr = parse_expression(
+            "CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert expr.evaluate({"a": 5}) == "big"
+
+    def test_unary_minus(self):
+        assert parse_expression("-5").evaluate({}) == -5
+        assert parse_expression("+5").evaluate({}) == 5
+
+    def test_qualified_column_drops_qualifier(self):
+        expr = parse_expression("t.col")
+        assert isinstance(expr, ColumnRef) and expr.name == "col"
+
+    def test_literals(self):
+        assert parse_expression("NULL").value is None
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+        assert parse_expression("3.5").value == 3.5
+
+
+class TestFunctionResolution:
+    def test_aggregate_call(self):
+        expr = parse_expression("SUM(Sales)")
+        assert isinstance(expr, AggregateCall)
+        assert expr.name == "SUM"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, AggregateCall)
+        assert expr.argument == "*"
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT Time)")
+        assert expr.distinct
+
+    def test_aggregate_with_extra_args(self):
+        expr = parse_expression("PERCENTILE(Temp, 90)")
+        assert expr.extra_args == (90,)
+
+    def test_grouping_call(self):
+        expr = parse_expression("GROUPING(Model)")
+        assert isinstance(expr, GroupingCall)
+        assert expr.column == "Model"
+
+    def test_table_function(self):
+        expr = parse_expression("N_tile(Temp, 10)")
+        assert isinstance(expr, TableFunctionCall)
+        assert expr.extra_args == (10,)
+
+    def test_scalar_function(self):
+        expr = parse_expression("Day(Time)")
+        assert isinstance(expr, FunctionCall)
+
+    def test_nested_aggregate_argument(self):
+        expr = parse_expression("SUM(price * quantity)")
+        assert isinstance(expr.argument, Arithmetic)
+
+    def test_table_function_non_literal_extra_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("N_tile(Temp, Temp)")
+
+
+class TestStatementLevel:
+    def test_union(self):
+        stmt = parse("SELECT a FROM T UNION SELECT a FROM U;")
+        assert isinstance(stmt.body, UnionStmt)
+        assert stmt.body.all_flags == [False]
+
+    def test_union_all(self):
+        stmt = parse("SELECT a FROM T UNION ALL SELECT a FROM U;")
+        assert stmt.body.all_flags == [True]
+
+    def test_four_way_union(self):
+        stmt = parse("SELECT 1 UNION SELECT 2 UNION SELECT 3 "
+                     "UNION SELECT 4;")
+        assert len(stmt.body.selects) == 4
+
+    def test_order_by(self):
+        stmt = parse("SELECT a FROM T ORDER BY a DESC, b;")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_scalar_subquery(self):
+        stmt = parse("SELECT a / (SELECT SUM(a) FROM T) FROM T;")
+        expr = stmt.body.items[0].expression
+        assert isinstance(expr, Arithmetic)
+        assert isinstance(expr.right, ScalarSubquery)
+
+    def test_joins(self):
+        stmt = parse("SELECT * FROM sales JOIN department "
+                     "USING (department_number);")
+        assert stmt.body.joins[0].using == ("department_number",)
+
+    def test_join_on(self):
+        stmt = parse("SELECT * FROM a JOIN b ON x = y;")
+        assert stmt.body.joins[0].on is not None
+
+    def test_join_without_condition_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM a JOIN b;")

@@ -1,0 +1,79 @@
+"""SQL tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_keywords_uppercase(self):
+        tokens = kinds("select from where")
+        assert tokens == [(TokenType.KEYWORD, "SELECT"),
+                          (TokenType.KEYWORD, "FROM"),
+                          (TokenType.KEYWORD, "WHERE")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Weather")[0] == (TokenType.IDENT, "Weather")
+
+    def test_cube_rollup_grouping_are_keywords(self):
+        tokens = kinds("CUBE rollup GROUP BY")
+        assert all(t[0] is TokenType.KEYWORD for t in tokens)
+
+    def test_numbers(self):
+        tokens = kinds("42 3.14 .5")
+        assert tokens == [(TokenType.NUMBER, "42"),
+                          (TokenType.NUMBER, "3.14"),
+                          (TokenType.NUMBER, ".5")]
+
+    def test_number_then_dot_access(self):
+        # "1." should not swallow a trailing dot with no digits
+        tokens = kinds("1.x")
+        assert tokens[0] == (TokenType.NUMBER, "1")
+        assert tokens[1] == (TokenType.SYMBOL, ".")
+
+    def test_strings_with_escapes(self):
+        tokens = kinds("'Chevy' 'it''s'")
+        assert tokens == [(TokenType.STRING, "Chevy"),
+                          (TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        tokens = kinds("<> <= >= !=")
+        assert [t[1] for t in tokens] == ["<>", "<=", ">=", "!="]
+
+    def test_braces_for_in_sets(self):
+        # the paper's IN {'Ford', 'Chevy'} syntax
+        tokens = kinds("{ }")
+        assert [t[1] for t in tokens] == ["{", "}"]
+
+    def test_comments_stripped(self):
+        tokens = kinds("SELECT -- a comment\n1")
+        assert [t[1] for t in tokens] == ["SELECT", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.column == 8
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  Model")
+        model = tokens[1]
+        assert model.line == 2
+        assert model.column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_is_keyword_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")

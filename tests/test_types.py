@@ -1,0 +1,134 @@
+"""Tests for the value domain: the ALL sentinel, ordering, display."""
+
+import datetime
+import pickle
+
+import pytest
+
+from repro.types import (
+    ALL,
+    AllValue,
+    DataType,
+    NullMode,
+    display_value,
+    is_all,
+    is_null_or_all,
+    sort_key,
+    sort_key_tuple,
+)
+
+
+class TestAllSingleton:
+    def test_all_is_singleton(self):
+        assert AllValue() is ALL
+
+    def test_identity_check(self):
+        assert is_all(ALL)
+        assert not is_all(None)
+        assert not is_all("ALL")
+
+    def test_equals_only_itself(self):
+        assert ALL == ALL
+        assert not (ALL == "ALL")
+        assert ALL != "ALL"
+        assert ALL != None  # noqa: E711 -- deliberate: ALL is not NULL
+
+    def test_hashable_and_stable(self):
+        assert hash(ALL) == hash(AllValue())
+        assert len({ALL, AllValue()}) == 1
+
+    def test_survives_pickling_as_singleton(self):
+        clone = pickle.loads(pickle.dumps(ALL))
+        assert clone is ALL
+
+    def test_repr(self):
+        assert repr(ALL) == "ALL"
+        assert str(ALL) == "ALL"
+
+    def test_orders_after_everything(self):
+        assert ALL >= "zzz"
+        assert ALL >= 10 ** 9
+        assert ALL > "anything"
+        assert not (ALL < "anything")
+        assert ALL >= ALL
+        assert not (ALL > ALL)
+
+    def test_null_and_all_are_both_non_values(self):
+        assert is_null_or_all(None)
+        assert is_null_or_all(ALL)
+        assert not is_null_or_all(0)
+        assert not is_null_or_all("")
+
+
+class TestSortKey:
+    def test_ordinary_before_null_before_all(self):
+        ordered = sorted(["b", ALL, None, "a"], key=sort_key)
+        assert ordered == ["a", "b", None, ALL]
+
+    def test_mixed_types_are_totally_ordered(self):
+        values = [3, "x", 1.5, None, ALL, datetime.date(1996, 6, 1), True]
+        ordered = sorted(values, key=sort_key)
+        # must not raise, and non-values land last
+        assert ordered[-1] is ALL
+        assert ordered[-2] is None
+
+    def test_numbers_sort_numerically_across_int_float(self):
+        assert sorted([2.5, 1, 3], key=sort_key) == [1, 2.5, 3]
+
+    def test_tuple_key(self):
+        rows = [("b", 1), ("a", 2), ("a", 1), (ALL, 0)]
+        ordered = sorted(rows, key=sort_key_tuple)
+        assert ordered == [("a", 1), ("a", 2), ("b", 1), (ALL, 0)]
+
+    def test_datetimes_sort_chronologically(self):
+        a = datetime.datetime(1996, 6, 1, 12)
+        b = datetime.datetime(1996, 6, 2, 0)
+        assert sorted([b, a], key=sort_key) == [a, b]
+
+
+class TestDataType:
+    def test_integer_validation(self):
+        assert DataType.INTEGER.validate(5)
+        assert not DataType.INTEGER.validate("5")
+        assert not DataType.INTEGER.validate(True)  # bools are not ints here
+
+    def test_float_accepts_int(self):
+        assert DataType.FLOAT.validate(5)
+        assert DataType.FLOAT.validate(5.5)
+
+    def test_null_and_all_always_validate(self):
+        for dtype in DataType:
+            assert dtype.validate(None)
+            assert dtype.validate(ALL)
+
+    def test_any_accepts_everything(self):
+        assert DataType.ANY.validate(object())
+
+    def test_infer(self):
+        assert DataType.infer(True) is DataType.BOOLEAN
+        assert DataType.infer(1) is DataType.INTEGER
+        assert DataType.infer(1.5) is DataType.FLOAT
+        assert DataType.infer("s") is DataType.STRING
+        assert DataType.infer(datetime.date(1996, 1, 1)) is DataType.DATE
+        assert DataType.infer(
+            datetime.datetime(1996, 1, 1)) is DataType.TIMESTAMP
+
+    def test_date_vs_timestamp(self):
+        assert DataType.DATE.validate(datetime.date(1996, 1, 1))
+        assert not DataType.STRING.validate(datetime.date(1996, 1, 1))
+
+
+class TestDisplay:
+    def test_all_displays_per_mode(self):
+        assert display_value(ALL) == "ALL"
+        assert display_value(ALL, NullMode.NULL_WITH_GROUPING) == "NULL"
+
+    def test_null_displays(self):
+        assert display_value(None) == "NULL"
+
+    def test_integral_float_displays_clean(self):
+        assert display_value(90.0) == "90"
+        assert display_value(2.5) == "2.5"
+
+    def test_string_passthrough(self):
+        assert display_value("Chevy") == "Chevy"

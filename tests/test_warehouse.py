@@ -1,0 +1,224 @@
+"""Star/snowflake schemas, dimension tables, and granularity lattices
+(Section 3.6)."""
+
+import datetime
+
+import pytest
+
+from repro import ALL, Table, agg
+from repro.errors import SchemaError
+from repro.warehouse import (
+    DimensionTable,
+    SnowflakeSchema,
+    StarSchema,
+)
+from repro.warehouse.hierarchy import (
+    Hierarchy,
+    HierarchyError,
+    calendar_hierarchy,
+)
+from repro.warehouse.snowflake import Outrigger
+
+
+@pytest.fixture
+def fact():
+    t = Table([("office_id", "INTEGER"), ("product_id", "INTEGER"),
+               ("units", "INTEGER")])
+    t.extend([(1, 100, 3), (1, 101, 1), (2, 100, 2), (3, 101, 5)])
+    return t
+
+
+@pytest.fixture
+def office_dim():
+    return DimensionTable(Table(
+        [("office_id", "INTEGER"), ("city", "STRING"),
+         ("district_id", "INTEGER")],
+        [(1, "SF", 10), (2, "SJ", 10), (3, "SEA", 20)]),
+        "office_id", name="office")
+
+
+@pytest.fixture
+def product_dim():
+    return DimensionTable(Table(
+        [("product_id", "INTEGER"), ("product", "STRING"),
+         ("category", "STRING")],
+        [(100, "widget", "hw"), (101, "gizmo", "hw")]),
+        "product_id", name="product")
+
+
+@pytest.fixture
+def district_dim():
+    return DimensionTable(Table(
+        [("district_id", "INTEGER"), ("district", "STRING")],
+        [(10, "NorCal"), (20, "PNW")]), "district_id", name="district")
+
+
+class TestDimensionTable:
+    def test_attributes(self, office_dim):
+        assert office_dim.attributes == ("city", "district_id")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionTable(Table([("k", "INTEGER"), ("v", "STRING")],
+                                 [(1, "a"), (1, "b")]), "k")
+
+    def test_attribute_lookup(self, office_dim):
+        assert office_dim.attribute_of(2, "city") == "SJ"
+        assert office_dim.attribute_of(99, "city") is None
+
+    def test_decoration(self, office_dim):
+        decoration = office_dim.decoration("city")
+        assert decoration.determinants == ("office_id",)
+        assert decoration.value_for((1,)) == "SF"
+
+    def test_members(self, office_dim):
+        assert office_dim.members() == [1, 2, 3]
+
+
+class TestStarSchema:
+    def test_denormalize(self, fact, office_dim, product_dim):
+        star = StarSchema(fact, [(office_dim, "office_id"),
+                                 (product_dim, "product_id")])
+        wide = star.denormalize(["city", "category"])
+        assert "city" in wide.schema.names
+        assert "category" in wide.schema.names
+        assert len(wide) == 4
+
+    def test_star_query_cube(self, fact, office_dim, product_dim):
+        star = StarSchema(fact, [(office_dim, "office_id"),
+                                 (product_dim, "product_id")])
+        result = star.query(cube=["city", "product"],
+                            aggregates=[agg("SUM", "units", "u")])
+        rows = {row[:2]: row[2] for row in result}
+        assert rows[(ALL, ALL)] == 11
+        assert rows[("SF", ALL)] == 4
+
+    def test_fact_column_attributes_skip_join(self, fact, office_dim):
+        star = StarSchema(fact, [(office_dim, "office_id")])
+        result = star.query(group=["product_id"],
+                            aggregates=[agg("SUM", "units", "u")])
+        assert dict((row[0], row[1]) for row in result) == {100: 5, 101: 6}
+
+    def test_unknown_attribute(self, fact, office_dim):
+        star = StarSchema(fact, [(office_dim, "office_id")])
+        with pytest.raises(SchemaError):
+            star.query(group=["nonexistent"],
+                       aggregates=[agg("SUM", "units", "u")])
+
+    def test_empty_grouping_rejected(self, fact, office_dim):
+        star = StarSchema(fact, [(office_dim, "office_id")])
+        with pytest.raises(SchemaError):
+            star.query(aggregates=[agg("SUM", "units", "u")])
+
+    def test_ambiguous_attribute(self, fact, office_dim):
+        clone = DimensionTable(Table(
+            [("product_id", "INTEGER"), ("city", "STRING")],
+            [(100, "X")]), "product_id", name="clone")
+        star = StarSchema(fact, [(office_dim, "office_id"),
+                                 (clone, "product_id")])
+        with pytest.raises(SchemaError):
+            star.binding_for_attribute("city")
+
+
+class TestSnowflake:
+    def test_outrigger_chain(self, fact, office_dim, product_dim,
+                             district_dim):
+        snowflake = SnowflakeSchema(
+            fact, [(office_dim, "office_id"), (product_dim, "product_id")],
+            [Outrigger("office", "district_id", district_dim)])
+        result = snowflake.query(
+            rollup=["district", "city"],
+            aggregates=[agg("SUM", "units", "u")])
+        rows = {row[:2]: row[2] for row in result}
+        assert rows[("NorCal", ALL)] == 6
+        assert rows[("PNW", ALL)] == 5
+        assert rows[(ALL, ALL)] == 11
+
+    def test_owner_resolution(self, fact, office_dim, district_dim):
+        snowflake = SnowflakeSchema(
+            fact, [(office_dim, "office_id")],
+            [Outrigger("office", "district_id", district_dim)])
+        assert snowflake.owner_of("district") == "district"
+        assert snowflake.owner_of("city") == "office"
+        assert snowflake.owner_of("units") is None
+        with pytest.raises(SchemaError):
+            snowflake.owner_of("never")
+
+    def test_duplicate_dimension_names_rejected(self, fact, office_dim):
+        with pytest.raises(SchemaError):
+            SnowflakeSchema(fact, [(office_dim, "office_id")],
+                            [Outrigger("office", "district_id",
+                                       office_dim)])
+
+    def test_snowflake_equals_star_on_denormalized(self, fact, office_dim,
+                                                   district_dim):
+        """Normalized and denormalized designs answer the same query."""
+        snowflake = SnowflakeSchema(
+            fact, [(office_dim, "office_id")],
+            [Outrigger("office", "district_id", district_dim)])
+        snow_result = snowflake.query(
+            cube=["district"], aggregates=[agg("SUM", "units", "u")])
+
+        denormalized = snowflake.denormalize(["district"])
+        from repro.core.cube import cube as cube_op
+        star_result = cube_op(denormalized, ["district"],
+                              [agg("SUM", "units", "u")])
+        assert snow_result.equals_bag(star_result)
+
+
+class TestHierarchy:
+    def test_nesting_reachability(self):
+        h = Hierarchy("time")
+        for level in ("day", "month", "year"):
+            h.add_level(level)
+        h.add_nesting("day", "month", lambda d: (d.year, d.month))
+        h.add_nesting("month", "year", lambda m: m[0])
+        assert h.nests_in("day", "year")
+        assert h.nests_in("day", "day")
+        assert not h.nests_in("year", "day")
+
+    def test_cycle_rejected(self):
+        h = Hierarchy("x")
+        h.add_level("a")
+        h.add_level("b")
+        h.add_nesting("a", "b", lambda v: v)
+        with pytest.raises(HierarchyError):
+            h.add_nesting("b", "a", lambda v: v)
+
+    def test_unknown_level(self):
+        h = Hierarchy("x")
+        h.add_level("a")
+        with pytest.raises(HierarchyError):
+            h.add_nesting("a", "zz", lambda v: v)
+
+    def test_roll_path_composition(self):
+        h = calendar_hierarchy()
+        roll = h.roll_path("day", "year")
+        assert roll(datetime.date(1996, 6, 1)) == 1996
+
+    def test_identity_path(self):
+        h = calendar_hierarchy()
+        assert h.roll_path("day", "day")(5) == 5
+
+    def test_weeks_do_not_nest_in_months(self):
+        # the paper's lattice point, verbatim
+        h = calendar_hierarchy()
+        assert h.nests_in("day", "week")
+        assert not h.nests_in("week", "month")
+        assert not h.nests_in("week", "year")
+        with pytest.raises(HierarchyError):
+            h.roll_path("week", "month")
+
+    def test_common_coarsenings(self):
+        h = calendar_hierarchy()
+        # weeks and months share no common coarsening (weeks straddle
+        # month and year boundaries) -- the lattice has no join here
+        assert h.common_coarsenings("week", "month") == []
+        # months and quarters both coarsen to quarter and year
+        assert h.common_coarsenings("month", "quarter") == [
+            "quarter", "year"]
+
+    def test_quarter_roll(self):
+        h = calendar_hierarchy()
+        roll = h.roll_path("day", "quarter")
+        assert roll(datetime.date(1995, 2, 11)) == "1995-Q1"

@@ -1,0 +1,124 @@
+"""End-to-end integration on the Figure 6 warehouse: snowflake queries,
+cubes over dimension attributes, decorations, maintenance, SQL -- the
+subsystems composed the way a real deployment would."""
+
+import pytest
+
+from repro import ALL, Catalog, agg
+from repro.core.addressing import CubeView
+from repro.core.decorations import decoration_from_table
+from repro.core.cube import cube as cube_op
+from repro.core.decorations import apply_decorations
+from repro.data import build_figure6_warehouse
+from repro.engine.expressions import col
+from repro.sql import SQLSession
+
+
+@pytest.fixture(scope="module")
+def warehouse():
+    return build_figure6_warehouse(1500, seed=5)
+
+
+class TestSnowflakeQueries:
+    def test_geography_rollup_totals(self, warehouse):
+        result = warehouse.snowflake.query(
+            rollup=["geography", "region", "district", "office"],
+            aggregates=[agg("SUM", "units", "units")])
+        rows = {row[:4]: row[4] for row in result}
+        grand_total = rows[(ALL, ALL, ALL, ALL)]
+        assert grand_total == sum(
+            row[5] for row in warehouse.fact)
+        # each level re-partitions the same total
+        by_geography = sum(v for k, v in rows.items()
+                           if k[0] is not ALL and k[1] is ALL)
+        assert by_geography == grand_total
+
+    def test_cube_over_mixed_granularities(self, warehouse):
+        revenue = col("units") * col("price")
+        result = warehouse.snowflake.query(
+            cube=["region", "category"],
+            aggregates=[agg("SUM", revenue, "revenue")])
+        view = CubeView(result, ["region", "category"])
+        total = view.total()
+        per_region = sum(view.v(region, ALL)
+                         for region in view.dim_values("region"))
+        assert per_region == pytest.approx(total)
+
+    def test_buyer_seller_cross(self, warehouse):
+        result = warehouse.snowflake.query(
+            cube=["buyer_segment", "seller_segment"],
+            aggregates=[agg("COUNT", "*", "n")])
+        view = CubeView(result, ["buyer_segment", "seller_segment"])
+        assert view.total() == len(warehouse.fact)
+
+    def test_consistency_across_chains(self, warehouse):
+        """The same total regardless of which dimension chain sums it."""
+        totals = []
+        for attribute in ("office", "district", "region", "geography",
+                          "category", "buyer_segment"):
+            result = warehouse.snowflake.query(
+                group=[attribute],
+                aggregates=[agg("SUM", "units", "u")])
+            totals.append(sum(row[1] for row in result))
+        assert len(set(totals)) == 1
+
+
+class TestDecorationsOnWarehouse:
+    def test_district_decorated_with_region(self, warehouse):
+        # join district -> region to build a decorated dimension table
+        from repro.engine.join import hash_join
+        district_region = hash_join(
+            warehouse.district.table, warehouse.region.table,
+            ["region_id"], ["region_id"])
+        decoration = decoration_from_table(
+            district_region, ["district"], "region")
+        by_district = cube_op(
+            warehouse.snowflake.denormalize(["district"]),
+            ["district"], [agg("SUM", "units", "u")])
+        decorated = apply_decorations(by_district, [decoration])
+        for row in decorated:
+            district, _units, region = row
+            if district is ALL:
+                assert region is None
+            else:
+                assert region is not None
+
+
+class TestMaintenanceOnWarehouse:
+    def test_maintained_cube_over_denormalized_fact(self, warehouse):
+        from repro.maintenance import MaterializedCube
+        table = warehouse.snowflake.denormalize(["region", "category"])
+        cube = MaterializedCube(table, ["region", "category"],
+                                [agg("SUM", "units", "u")])
+        total_before = cube.value(ALL, ALL)
+        sample = table.rows[0]
+        cube.delete(sample)
+        assert cube.value(ALL, ALL) == total_before - sample[
+            table.schema.index_of("units")]
+
+
+class TestSqlOnWarehouse:
+    def test_sql_star_query(self, warehouse):
+        catalog = Catalog()
+        catalog.register("Sales",
+                         warehouse.snowflake.denormalize(
+                             ["region", "category", "product"]))
+        session = SQLSession(catalog)
+        result = session.execute("""
+            SELECT region, category, SUM(units)
+            FROM Sales
+            GROUP BY CUBE region, category;""")
+        rows = {row[:2]: row[2] for row in result}
+        assert rows[(ALL, ALL)] == sum(r[5] for r in warehouse.fact)
+
+    def test_sql_histogram_by_month(self, warehouse):
+        catalog = Catalog()
+        catalog.register("Sales", warehouse.fact)
+        session = SQLSession(catalog)
+        result = session.execute("""
+            SELECT month, SUM(units) FROM Sales
+            GROUP BY Month(sale_date) AS month
+            ORDER BY month;""")
+        months = [row[0] for row in result]
+        assert months == sorted(months)
+        assert len(months) == 12
