@@ -68,7 +68,9 @@ class QuantileSketch:
         if span == 0:
             span = max(1.0, abs(anchor)) * 1e-9
         self.lo = min(anchor, value)
-        self.width = (span * 2) / self.n_buckets
+        # subnormal spans can underflow the division to exactly 0.0;
+        # clamp to the smallest positive float so binning stays defined
+        self.width = max((span * 2) / self.n_buckets, math.ulp(0.0))
         self.counts = [0] * self.n_buckets
         if self.single_value is not None:
             pending, self.single_value = self.single_value, None
@@ -79,7 +81,10 @@ class QuantileSketch:
         self._ensure_covers(value)
 
     def _bucket_of(self, value: float) -> int:
-        return int((value - self.lo) / self.width)
+        offset = (value - self.lo) / self.width
+        if offset >= self.n_buckets:  # covers inf from a tiny width
+            return self.n_buckets
+        return int(offset)
 
     def _ensure_covers(self, value: float) -> None:
         """Double the range (coarsening buckets) until value fits."""

@@ -8,6 +8,8 @@ SQL front-end, and cube maintenance.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 
 class ReproError(Exception):
     """Root of every exception raised by this library."""
@@ -101,6 +103,23 @@ class SQLPlanError(SQLError):
 
 class SQLExecutionError(SQLError):
     """Plan execution failed at runtime."""
+
+
+class LintError(ReproError):
+    """Static analysis (:mod:`repro.lint`) found error-severity
+    diagnostics and the caller asked for strict mode.
+
+    Carries the offending :class:`~repro.lint.diagnostics.Diagnostic`
+    records on :attr:`diagnostics` so callers can render or filter them.
+    """
+
+    def __init__(self, diagnostics: Sequence[Any]) -> None:
+        self.diagnostics = list(diagnostics)
+        detail = "; ".join(
+            f"{getattr(d, 'code', '?')}: {getattr(d, 'message', d)}"
+            for d in self.diagnostics)
+        super().__init__(
+            f"lint failed with {len(self.diagnostics)} error(s): {detail}")
 
 
 class CatalogError(ReproError):

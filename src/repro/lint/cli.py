@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro.lint``.
+
+Usage::
+
+    python -m repro.lint queries.sql more.sql     # lint SQL files
+    python -m repro.lint - < queries.sql          # lint stdin
+    python -m repro.lint examples/*.py --self-check
+    python -m repro.lint --list-rules
+    python -m repro.lint queries.sql --rules C001,C009 --format json
+
+Exit codes (stable, for CI gating):
+
+- ``0`` -- no error-severity diagnostics (warnings allowed);
+- ``1`` -- at least one error-severity diagnostic (including parse
+  errors in ``.sql`` input);
+- ``2`` -- usage problems (unknown flag, unreadable file, unknown rule
+  code, ``.py`` input without ``--self-check``).
+
+``--self-check`` mode scans Python sources for embedded SQL string
+literals (the repo's examples) and lints every statement it can parse;
+fragments that don't parse are skipped, since example files legitimately
+contain partial SQL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.diagnostics import LintReport
+from repro.lint.engine import DEFAULT_BLOWUP_THRESHOLD, Linter
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+_SQL_LITERAL = re.compile(r"^\s*(SELECT|EXPLAIN)\b", re.IGNORECASE)
+
+EXIT_OK = 0
+EXIT_LINT_ERRORS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static semantic linter for CUBE/ROLLUP queries "
+                    "(rules grounded in Gray et al. 1996).")
+    parser.add_argument("paths", nargs="*",
+                        help=".sql files (or '-' for stdin); .py files "
+                             "with --self-check")
+    parser.add_argument("--rules", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--threshold", type=int,
+                        default=DEFAULT_BLOWUP_THRESHOLD,
+                        help="C009 cube-size blow-up threshold "
+                             "(default %(default)s cells)")
+    parser.add_argument("--self-check", action="store_true",
+                        help="scan .py files for embedded SQL literals "
+                             "and lint those (parse failures skipped)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _extract_sql_literals(source: str) -> list[str]:
+    """SQL-looking string constants in a Python source file."""
+    out: list[str] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return out
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value
+            if _SQL_LITERAL.match(text) and "FROM" in text.upper():
+                out.append(text)
+    return out
+
+
+def _lint_py_self_check(linter: Linter, source: str) -> LintReport:
+    report = LintReport()
+    for literal in _extract_sql_literals(source):
+        sub = linter.lint_sql(literal)
+        # embedded strings may be fragments; parse failures (C000) are
+        # not findings about the example, drop them
+        report.extend(d for d in sub if d.code != "C000")
+    return report
+
+
+def _emit(report: LintReport, location: str, fmt: str,
+          out: Iterable[str]) -> None:
+    if fmt == "json":
+        print(report.format_json(location=location))
+    else:
+        print(report.format_text(location=location))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:
+        # argparse exits 2 on usage errors, 0 on --help: preserve both
+        return int(exit_.code or 0)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            registered = RULES[code]
+            print(f"{code}  {registered.slug:<22} "
+                  f"[{registered.paper_section}] {registered.summary}")
+        return EXIT_OK
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no input files (use '-' for stdin)",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    rules = None
+    if args.rules:
+        rules = [code.strip() for code in args.rules.split(",")
+                 if code.strip()]
+    try:
+        linter = Linter(rules=rules, blowup_threshold=args.threshold)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    any_errors = False
+    for path in args.paths:
+        if path == "-":
+            source = sys.stdin.read()
+            location = "<stdin>"
+            is_python = False
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as error:
+                print(f"error: cannot read {path}: {error}",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            location = path
+            is_python = path.endswith(".py")
+
+        if is_python:
+            if not args.self_check:
+                print(f"error: {path} is a Python file; pass "
+                      "--self-check to lint its embedded SQL",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            report = _lint_py_self_check(linter, source)
+        else:
+            report = linter.lint_sql(source)
+
+        _emit(report, location, args.format, sys.stdout)
+        if not report.ok:
+            any_errors = True
+
+    return EXIT_LINT_ERRORS if any_errors else EXIT_OK

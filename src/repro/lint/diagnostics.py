@@ -1,0 +1,150 @@
+"""Structured diagnostics emitted by the cube semantic linter.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``C001``...),
+a severity, a human-readable message, the column names involved, an
+optional source span (character offsets into the linted SQL text), and a
+suggested fix.  :class:`LintReport` is an ordered collection with the
+filtering and formatting helpers the CLI, EXPLAIN, and strict mode use.
+
+The paper's correctness arguments are static properties of the query or
+plan (Sections 3.4, 3.5, 5, and 6); each diagnostic names the section it
+is grounded in so a reader can go from a finding straight to the
+argument.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe plans that are wrong or will fail at
+    runtime (a holistic aggregate handed to a merge-based algorithm);
+    strict mode raises on them.  ``WARNING`` findings describe plans
+    that run but mislead or blow up (ALL/NULL ambiguity, cube size).
+    ``INFO`` findings are advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str                       # stable rule code, e.g. "C001"
+    severity: Severity
+    message: str
+    rule: str = ""                  # rule slug, e.g. "holistic-merge"
+    paper_section: str = ""         # e.g. "Section 5"
+    columns: tuple[str, ...] = ()   # column names involved, if any
+    span: tuple[int, int] | None = None  # char offsets in the SQL source
+    statement_index: int | None = None   # which statement in a multi-stmt file
+    suggestion: str = ""            # suggested fix, may be empty
+
+    def format_line(self, *, location: str = "") -> str:
+        """One-line rendering: ``C001 error: message (fix: ...)``."""
+        prefix = f"{location}: " if location else ""
+        where = ""
+        if self.statement_index is not None:
+            where = f"stmt {self.statement_index + 1}: "
+        fix = f" (fix: {self.suggestion})" if self.suggestion else ""
+        return (f"{prefix}{where}{self.code} {self.severity}: "
+                f"{self.message}{fix}")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "rule": self.rule,
+            "paper_section": self.paper_section,
+            "columns": list(self.columns),
+            "suggestion": self.suggestion,
+        }
+        if self.span is not None:
+            out["span"] = list(self.span)
+        if self.statement_index is not None:
+            out["statement_index"] = self.statement_index
+        return out
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of diagnostics for one lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def append(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_severity(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.severity.rank, d.code))
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostics at all were produced."""
+        return not self.diagnostics
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity diagnostics were produced."""
+        return not self.errors()
+
+    def format_text(self, *, location: str = "") -> str:
+        if self.clean:
+            prefix = f"{location}: " if location else ""
+            return f"{prefix}clean"
+        return "\n".join(d.format_line(location=location)
+                         for d in self.by_severity())
+
+    def format_json(self, *, location: str = "") -> str:
+        payload: dict[str, Any] = {
+            "diagnostics": [d.to_dict() for d in self.by_severity()],
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "ok": self.ok,
+        }
+        if location:
+            payload["file"] = location
+        return json.dumps(payload, indent=2)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)

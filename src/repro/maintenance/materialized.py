@@ -50,13 +50,26 @@ class MaterializedCube:
                  kind: str = "cube",
                  registry: AggregateRegistry | None = None,
                  retain_base: bool = True,
-                 short_circuit: bool = True) -> None:
+                 short_circuit: bool = True,
+                 strict: bool = False) -> None:
         """``short_circuit=False`` ablates the Section 6 insert pruning
         (every insert then visits all 2^N cells for every aggregate);
-        the ablation bench measures what the rule saves."""
+        the ablation bench measures what the rule saves.
+
+        ``strict=True`` lints the maintenance plan first
+        (:func:`repro.lint.lint_maintenance_spec`): a delete-holistic
+        aggregate with ``retain_base=False`` is rejected up front
+        instead of failing on the first unlucky DELETE."""
         registry = registry or default_registry
         self._specs = _normalize_requests(aggregates, registry)
         self._keys = normalize_keys(dims)
+        if strict:
+            from repro.lint import lint_maintenance_spec, require_clean
+            require_clean(lint_maintenance_spec(
+                base, [(expr, alias) for expr, alias in self._keys],
+                list(self._specs), kind=kind,
+                operations=("insert", "delete", "update"),
+                retain_base=retain_base, registry=registry))
         self._source_names = base.schema.names
         if kind == "cube":
             spec = GroupingSpec.for_cube(tuple(a for _, a in self._keys))

@@ -9,6 +9,8 @@ meta-commands start with a backslash:
     \\load <dataset>      load a built-in dataset
                           (sales, chevy, figure4, weather)
     \\nullmode            toggle ALL vs NULL+GROUPING output (Sec. 3.4)
+    \\lint                toggle strict lint mode (repro.lint checks
+                          run before execution; errors block the query)
     \\quit                exit
 
 The shell is a thin, testable wrapper over
@@ -123,6 +125,12 @@ class Shell:
                 return "output mode: NULL + GROUPING() (Section 3.4)"
             self.session.null_mode = NullMode.ALL_VALUE
             return "output mode: ALL value (Section 3.3)"
+        if name == "\\lint":
+            self.session.strict = not self.session.strict
+            if self.session.strict:
+                return ("strict lint mode ON: queries are checked "
+                        "before execution (see docs/LINTING.md)")
+            return "strict lint mode OFF"
         return f"unknown command {name}; try \\help"
 
 

@@ -32,21 +32,42 @@ from repro.sql.ast_nodes import (
     UnionStmt,
 )
 
-__all__ = ["count_aggregates", "count_group_bys", "iter_selects",
-           "iter_expressions", "iter_aggregate_calls"]
+__all__ = ["count_aggregates", "count_group_bys", "iter_statements",
+           "iter_selects", "iter_expressions", "iter_aggregate_calls"]
+
+
+def iter_statements(statement: Statement) -> Iterator[Statement]:
+    """This statement plus every scalar-subquery statement nested
+    anywhere inside it -- select clauses *and* ORDER BY keys --
+    depth-first."""
+    yield statement
+    for expr in _statement_expressions(statement):
+        for node in _walk(expr):
+            if isinstance(node, ScalarSubquery):
+                yield from iter_statements(node.statement)
 
 
 def iter_selects(statement: Statement) -> Iterator[SelectStmt]:
     """Every SELECT in a statement, including UNION branches and scalar
     subqueries (depth-first)."""
+    for nested in iter_statements(statement):
+        body = nested.body
+        if isinstance(body, UnionStmt):
+            yield from body.selects
+        else:
+            yield body
+
+
+def _statement_expressions(statement: Statement) -> Iterator[Expression]:
+    """Top-level expression roots: every SELECT clause in the body plus
+    the statement-level ORDER BY keys (aggregates are legal there, e.g.
+    ``ORDER BY SUM(Units) DESC``, so Table 2 counts must see them)."""
     body = statement.body
     selects = body.selects if isinstance(body, UnionStmt) else [body]
     for select in selects:
-        yield select
-        for expr in _select_expressions(select):
-            for node in _walk(expr):
-                if isinstance(node, ScalarSubquery):
-                    yield from iter_selects(node.statement)
+        yield from _select_expressions(select)
+    for item in statement.order_by:
+        yield item.expression
 
 
 def _select_expressions(select: SelectStmt) -> Iterator[Expression]:
@@ -93,8 +114,8 @@ def _walk(expr: Expression) -> Iterator[Expression]:
 
 
 def iter_expressions(statement: Statement) -> Iterator[Expression]:
-    for select in iter_selects(statement):
-        for expr in _select_expressions(select):
+    for nested in iter_statements(statement):
+        for expr in _statement_expressions(nested):
             yield from _walk(expr)
 
 

@@ -185,14 +185,22 @@ class SQLSession:
     (:attr:`~repro.types.NullMode.ALL_VALUE`, the default) and the
     Section 3.4 minimalist design where ALL prints as NULL (use
     ``GROUPING()`` in the select list to discriminate).
+
+    ``strict=True`` runs the :mod:`repro.lint` semantic checks on every
+    SELECT before execution and raises
+    :class:`~repro.errors.LintError` on error-severity findings;
+    warnings never block.  EXPLAIN always reports the diagnostics
+    (as ``lint`` steps) without raising.
     """
 
     def __init__(self, catalog: Catalog | None = None, *,
                  registry: AggregateRegistry | None = None,
-                 null_mode: NullMode = NullMode.ALL_VALUE) -> None:
+                 null_mode: NullMode = NullMode.ALL_VALUE,
+                 strict: bool = False) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.registry = registry or default_registry
         self.null_mode = null_mode
+        self.strict = strict
 
     def register(self, name: str, table: Table, *,
                  replace: bool = False) -> Table:
@@ -319,8 +327,17 @@ class SQLSession:
                 + (" DESC" if item.descending else "")
                 for item in statement.order_by)
             steps.append(("order by", keys))
+        for diagnostic in self._lint(statement):
+            steps.append(("lint", diagnostic.format_line()))
         return Table(Schema([Column("step", DataType.STRING),
                              Column("detail", DataType.STRING)]), steps)
+
+    def _lint(self, statement: Statement):
+        """Run the static checks against the session's catalog."""
+        from repro.lint import lint_statement
+        return lint_statement(statement, catalog=self.catalog,
+                              registry=self.registry,
+                              null_mode=self.null_mode)
 
     def _explain_select(self, select: SelectStmt,
                         prefix: str) -> list[tuple[str, str]]:
@@ -393,6 +410,9 @@ class SQLSession:
         return steps
 
     def run(self, statement: Statement) -> Table:
+        if self.strict:
+            from repro.lint import require_clean
+            require_clean(self._lint(statement))
         body = statement.body
         if isinstance(body, UnionStmt):
             result = self._run_select(body.selects[0])
@@ -845,7 +865,9 @@ class SQLSession:
 
 def execute(sql: str, catalog: Catalog, *,
             registry: AggregateRegistry | None = None,
-            null_mode: NullMode = NullMode.ALL_VALUE) -> Table:
+            null_mode: NullMode = NullMode.ALL_VALUE,
+            strict: bool = False) -> Table:
     """One-shot convenience: run ``sql`` against ``catalog``."""
-    session = SQLSession(catalog, registry=registry, null_mode=null_mode)
+    session = SQLSession(catalog, registry=registry, null_mode=null_mode,
+                         strict=strict)
     return session.execute(sql)

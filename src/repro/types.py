@@ -71,7 +71,8 @@ class AllValue:
     def __ge__(self, other: object) -> bool:
         return True
 
-    def __reduce__(self):  # keep singleton across pickling
+    def __reduce__(self) -> "tuple[type[AllValue], tuple[()]]":
+        # keep singleton across pickling
         return (AllValue, ())
 
 
@@ -173,7 +174,7 @@ _TYPE_RANK: dict[type, int] = {
 }
 
 
-def sort_key(value: Any) -> tuple:
+def sort_key(value: Any) -> tuple[Any, ...]:
     """A total-order key valid across mixed-type columns.
 
     Ordinary values sort first (grouped by type, then by value), NULL
@@ -201,7 +202,7 @@ def sort_key(value: Any) -> tuple:
     return (1, rank, value)
 
 
-def sort_key_tuple(values: Iterable[Any]) -> tuple:
+def sort_key_tuple(values: Iterable[Any]) -> tuple[Any, ...]:
     """Sort key for a whole row (tuple of values)."""
     return tuple(sort_key(v) for v in values)
 

@@ -1,0 +1,35 @@
+"""Shared builders for the lint rule test modules (test_lint_rule_*)."""
+
+from __future__ import annotations
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.types import DataType
+
+
+def sales_table(rows=None) -> Table:
+    """A small Sales relation; Color contains a real NULL."""
+    schema = Schema([
+        Column("Model", DataType.STRING),
+        Column("Year", DataType.INTEGER),
+        Column("Color", DataType.STRING, nullable=True),
+        Column("Units", DataType.INTEGER),
+    ])
+    return Table(schema, rows if rows is not None else [
+        ("Chevy", 1994, "black", 10),
+        ("Chevy", 1995, "white", 12),
+        ("Ford", 1994, "black", 7),
+        ("Ford", 1995, None, 5),
+    ])
+
+
+def sales_catalog(rows=None) -> tuple[Catalog, Table]:
+    table = sales_table(rows)
+    catalog = Catalog()
+    catalog.register("Sales", table)
+    return catalog, table
+
+
+def codes(report) -> set[str]:
+    return {d.code for d in report}

@@ -1,0 +1,102 @@
+"""Property: linting is a pure read -- it never mutates the AST, the
+table data, or the aggregate instances it inspects, and it is
+deterministic."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.cube import agg
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.lint import lint_cube_spec, lint_sql, lint_statement
+from repro.sql.analysis import count_aggregates, count_group_bys
+from repro.sql.parser import parse
+from repro.types import DataType, NullMode
+
+_DIMS = ("Model", "Year", "Color")
+_AGG_NAMES = ("SUM", "MIN", "MAX", "COUNT", "AVG", "MEDIAN", "FROBNICATE")
+
+_value = st.one_of(st.none(), st.integers(-5, 5),
+                   st.sampled_from(["red", "blue", "x"]))
+_row = st.tuples(st.sampled_from(["Chevy", "Ford"]),
+                 st.integers(1990, 1995), _value, st.integers(0, 100))
+
+
+def _make_table(rows):
+    schema = Schema([
+        Column("Model", DataType.STRING),
+        Column("Year", DataType.INTEGER),
+        Column("Color", DataType.ANY, nullable=True),
+        Column("Units", DataType.INTEGER),
+    ])
+    return Table(schema, rows)
+
+
+@st.composite
+def _sql_query(draw):
+    n_dims = draw(st.integers(1, 3))
+    dims = list(draw(st.permutations(_DIMS)))[:n_dims]
+    clause = draw(st.sampled_from(["", "CUBE ", "ROLLUP "]))
+    fn = draw(st.sampled_from(_AGG_NAMES))
+    select_grouping = draw(st.booleans())
+    items = list(dims)
+    if select_grouping:
+        items.append(f"GROUPING({dims[0]})")
+    items.append(f"{fn}(Units)")
+    return (f"SELECT {', '.join(items)} FROM Sales "
+            f"GROUP BY {clause}{', '.join(dims)}")
+
+
+class TestLintIsPure:
+    @given(rows=st.lists(_row, min_size=1, max_size=8),
+           query=_sql_query(),
+           null_mode=st.sampled_from(list(NullMode)))
+    @settings(max_examples=60, deadline=None)
+    def test_sql_lint_mutates_nothing(self, rows, query, null_mode):
+        table = _make_table(rows)
+        catalog = Catalog()
+        catalog.register("Sales", table)
+        before_rows = [tuple(row) for row in table.rows]
+
+        statement = parse(query + ";")
+        aggs_before = count_aggregates(statement)
+        groups_before = count_group_bys(statement)
+
+        first = lint_statement(statement, catalog=catalog,
+                               null_mode=null_mode)
+        second = lint_statement(statement, catalog=catalog,
+                                null_mode=null_mode)
+
+        # table data untouched
+        assert [tuple(row) for row in table.rows] == before_rows
+        # AST untouched (the analysis counts are a structural fingerprint)
+        assert count_aggregates(statement) == aggs_before
+        assert count_group_bys(statement) == groups_before
+        # deterministic: same input, same findings
+        assert [d.to_dict() for d in first] == [d.to_dict() for d in second]
+
+    @given(rows=st.lists(_row, min_size=1, max_size=8),
+           fn=st.sampled_from(("SUM", "MEDIAN", "MAX")),
+           kind=st.sampled_from(("cube", "rollup", "groupby")))
+    @settings(max_examples=40, deadline=None)
+    def test_spec_lint_mutates_nothing(self, rows, fn, kind):
+        table = _make_table(rows)
+        before_rows = [tuple(row) for row in table.rows]
+        request = agg(fn, "Units")
+
+        lint_cube_spec(table, ["Model", "Year"], [request], kind=kind)
+
+        assert [tuple(row) for row in table.rows] == before_rows
+        # the request object itself is untouched
+        assert request.function == fn and request.input == "Units"
+
+    @given(query=_sql_query())
+    @settings(max_examples=30, deadline=None)
+    def test_carrying_flag_of_registry_instances_survives(self, query):
+        """The SQL context mirrors the executor's carrying=False on
+        *fresh* instances; the shared registry default must not flip."""
+        from repro.aggregates.registry import default_registry
+        lint_sql(query)
+        median = default_registry.create("MEDIAN")
+        assert median.carrying is True

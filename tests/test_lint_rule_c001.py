@@ -1,0 +1,48 @@
+"""C001 holistic-merge: a holistic aggregate on a merge-based algorithm
+(Section 5: no Iter_super exists for holistic functions)."""
+
+from lintutil import codes, sales_table
+
+from repro.core.cube import agg
+from repro.lint import lint_cube_spec
+from repro.lint.diagnostics import Severity
+
+
+class TestC001:
+    def test_median_on_from_core_is_error(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("MEDIAN", "Units")],
+                                algorithm="from-core")
+        findings = [d for d in report if d.code == "C001"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "MEDIAN" in findings[0].message
+        assert findings[0].paper_section == "Section 5"
+
+    def test_every_merge_based_algorithm_flagged(self):
+        for algorithm in ("from-core", "pipesort", "sort", "parallel",
+                          "external", "array"):
+            report = lint_cube_spec(sales_table(), ["Model"],
+                                    [agg("MEDIAN", "Units")],
+                                    algorithm=algorithm)
+            assert "C001" in codes(report), algorithm
+
+    def test_distributive_on_from_core_is_clean(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("SUM", "Units")],
+                                algorithm="from-core")
+        assert "C001" not in codes(report)
+
+    def test_median_on_2n_algorithm_is_fine(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("MEDIAN", "Units")],
+                                algorithm="2^N")
+        assert "C001" not in codes(report)
+
+    def test_no_super_aggregates_no_finding(self):
+        # plain GROUP BY computes no super-aggregates, so merging
+        # never happens and the plan is valid
+        report = lint_cube_spec(sales_table(), ["Model"],
+                                [agg("MEDIAN", "Units")],
+                                kind="groupby", algorithm="from-core")
+        assert "C001" not in codes(report)

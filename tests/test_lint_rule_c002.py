@@ -1,0 +1,47 @@
+"""C002 holistic-under-delete: Section 6's asymmetry -- MAX is
+distributive for SELECT and INSERT but holistic for DELETE."""
+
+from lintutil import codes, sales_table
+
+from repro.core.cube import agg
+from repro.lint import lint_maintenance_spec
+from repro.lint.diagnostics import Severity
+
+
+class TestC002:
+    def test_max_without_retained_base_is_error(self):
+        report = lint_maintenance_spec(
+            sales_table(), ["Model"], [agg("MAX", "Units")],
+            operations=("insert", "delete"), retain_base=False)
+        findings = [d for d in report if d.code == "C002"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "DeleteRequiresRecomputeError" in findings[0].message
+
+    def test_max_with_retained_base_is_warning(self):
+        report = lint_maintenance_spec(
+            sales_table(), ["Model"], [agg("MAX", "Units")],
+            operations=("insert", "delete"), retain_base=True)
+        findings = [d for d in report if d.code == "C002"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_sum_under_delete_is_clean(self):
+        # SUM is algebraic for DELETE (subtract), no finding
+        report = lint_maintenance_spec(
+            sales_table(), ["Model"], [agg("SUM", "Units")],
+            operations=("insert", "delete"), retain_base=False)
+        assert "C002" not in codes(report)
+
+    def test_insert_only_plan_is_clean(self):
+        # without deletes the asymmetry never bites
+        report = lint_maintenance_spec(
+            sales_table(), ["Model"], [agg("MAX", "Units")],
+            operations=("insert",), retain_base=False)
+        assert "C002" not in codes(report)
+
+    def test_update_counts_as_delete(self):
+        report = lint_maintenance_spec(
+            sales_table(), ["Model"], [agg("MIN", "Units")],
+            operations=("update",), retain_base=True)
+        assert "C002" in codes(report)

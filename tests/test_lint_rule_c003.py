@@ -1,0 +1,49 @@
+"""C003 all-null-ambiguity: the Section 3.4 minimalist design represents
+ALL as NULL, which collides with real NULLs in the grouping data."""
+
+from lintutil import codes, sales_catalog
+
+from repro.lint import lint_sql
+from repro.lint.diagnostics import Severity
+from repro.types import NullMode
+
+CUBE_SQL = "SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model, Color"
+
+
+class TestC003:
+    def test_null_mode_with_nullable_dim_warns(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(CUBE_SQL, catalog=catalog,
+                          null_mode=NullMode.NULL_WITH_GROUPING)
+        findings = [d for d in report if d.code == "C003"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert findings[0].columns == ("Color",)  # Color has a real NULL
+
+    def test_grouping_call_suppresses_warning(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, GROUPING(Color), SUM(Units) FROM Sales "
+            "GROUP BY CUBE Model, Color",
+            catalog=catalog, null_mode=NullMode.NULL_WITH_GROUPING)
+        assert "C003" not in codes(report)
+
+    def test_all_value_mode_is_clean(self):
+        # the paper's real ALL sentinel is unambiguous by construction
+        catalog, _ = sales_catalog()
+        report = lint_sql(CUBE_SQL, catalog=catalog,
+                          null_mode=NullMode.ALL_VALUE)
+        assert "C003" not in codes(report)
+
+    def test_null_free_column_is_clean(self):
+        catalog, _ = sales_catalog(rows=[("Chevy", 1994, "black", 10),
+                                         ("Ford", 1995, "white", 5)])
+        report = lint_sql(CUBE_SQL, catalog=catalog,
+                          null_mode=NullMode.NULL_WITH_GROUPING)
+        assert "C003" not in codes(report)
+
+    def test_without_catalog_stays_silent(self):
+        # no data -> the rule cannot establish real NULLs, so no guess
+        report = lint_sql(CUBE_SQL,
+                          null_mode=NullMode.NULL_WITH_GROUPING)
+        assert "C003" not in codes(report)

@@ -1,0 +1,41 @@
+"""C005 grouping-non-grouped: GROUPING() only discriminates the ALL rows
+of a *grouping* column (Section 3.4)."""
+
+from lintutil import codes, sales_catalog
+
+from repro.lint import lint_sql
+from repro.lint.diagnostics import Severity
+
+
+class TestC005:
+    def test_grouping_of_ungrouped_column_is_error(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, GROUPING(Units) FROM Sales GROUP BY Model",
+            catalog=catalog)
+        findings = [d for d in report if d.code == "C005"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].columns == ("Units",)
+
+    def test_duplicate_calls_reported_once(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT GROUPING(Units), GROUPING(Units) FROM Sales "
+            "GROUP BY Model",
+            catalog=catalog)
+        assert len([d for d in report if d.code == "C005"]) == 1
+
+    def test_grouping_of_cube_dim_is_clean(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, GROUPING(Model), SUM(Units) FROM Sales "
+            "GROUP BY CUBE Model, Year",
+            catalog=catalog)
+        assert "C005" not in codes(report)
+
+    def test_works_without_catalog(self):
+        # a purely static rule: no table data needed
+        report = lint_sql(
+            "SELECT GROUPING(x) FROM T GROUP BY y")
+        assert "C005" in codes(report)

@@ -1,0 +1,37 @@
+"""C006 duplicate-grouping: the Section 3.2 clause concatenates
+GROUP BY + ROLLUP + CUBE into one dimension list; repeats are invalid."""
+
+from lintutil import codes, sales_table
+
+from repro.core.cube import agg
+from repro.lint import lint_cube_spec, lint_sql
+from repro.lint.diagnostics import Severity
+
+
+class TestC006:
+    def test_duplicate_in_sql_group_by(self):
+        report = lint_sql(
+            "SELECT SUM(x) FROM T GROUP BY a, a")
+        findings = [d for d in report if d.code == "C006"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert findings[0].columns == ("a",)
+
+    def test_duplicate_across_plain_and_cube_lists(self):
+        report = lint_sql(
+            "SELECT SUM(x) FROM T GROUP BY a CUBE a, b")
+        assert "C006" in codes(report)
+
+    def test_duplicate_in_programmatic_spec(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Model"],
+                                [agg("SUM", "Units")])
+        assert "C006" in codes(report)
+
+    def test_distinct_dims_are_clean(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("SUM", "Units")])
+        assert "C006" not in codes(report)
+
+    def test_each_duplicate_reported_once(self):
+        report = lint_sql("SELECT SUM(x) FROM T GROUP BY a, a, a")
+        assert len([d for d in report if d.code == "C006"]) == 1

@@ -1,0 +1,67 @@
+"""C008 udaf-no-itersuper: super-aggregation of a function without
+Iter_super falls back to the 2^N-algorithm (Section 5 / Figure 7)."""
+
+from lintutil import codes, sales_catalog, sales_table
+
+from repro.core.cube import agg
+from repro.lint import lint_cube_spec, lint_sql
+from repro.aggregates.registry import make_udaf
+from repro.lint.diagnostics import Severity
+
+
+def _mergeless_udaf():
+    cls = make_udaf("SPREAD",
+                    init=lambda: [],
+                    iterate=lambda h, v: h + [v],
+                    final=lambda h: (max(h) - min(h)) if h else None)
+    return cls()
+
+
+class TestC008:
+    def test_sql_median_cube_warns(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, MEDIAN(Units) FROM Sales "
+            "GROUP BY CUBE Model, Year",
+            catalog=catalog)
+        findings = [d for d in report if d.code == "C008"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert "MEDIAN" in findings[0].message
+
+    def test_mergeless_udaf_warns_with_fix(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg(_mergeless_udaf(), "Units")])
+        findings = [d for d in report if d.code == "C008"]
+        assert len(findings) == 1
+        assert "merge_fn" in findings[0].suggestion
+
+    def test_mergeable_udaf_is_clean(self):
+        cls = make_udaf("TOTAL",
+                        init=lambda: 0,
+                        iterate=lambda h, v: h + v,
+                        final=lambda h: h,
+                        merge_fn=lambda a, b: a + b)
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg(cls(), "Units")])
+        assert "C008" not in codes(report)
+
+    def test_distributive_builtin_is_clean(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("SUM", "Units")])
+        assert "C008" not in codes(report)
+
+    def test_plain_groupby_no_warning(self):
+        # no super-aggregates -> nothing to merge -> no cost cliff
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, MEDIAN(Units) FROM Sales GROUP BY Model",
+            catalog=catalog)
+        assert "C008" not in codes(report)
+
+    def test_explicit_merge_algorithm_is_c001_territory(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("MEDIAN", "Units")],
+                                algorithm="from-core")
+        assert "C008" not in codes(report)
+        assert "C001" in codes(report)

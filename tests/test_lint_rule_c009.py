@@ -1,0 +1,49 @@
+"""C009 cube-blowup: Section 3's Pi(Ci+1) law -- warn when the estimated
+cube size crosses the configured threshold."""
+
+from lintutil import codes, sales_table
+
+from repro.core.cube import agg
+from repro.lint import lint_cube_spec
+from repro.lint.diagnostics import Severity
+
+
+class TestC009:
+    def test_declared_cardinalities_over_threshold_warn(self):
+        report = lint_cube_spec(
+            None, ["a", "b", "c"], [agg("SUM", "x")],
+            cardinalities={"a": 200, "b": 200, "c": 200})
+        findings = [d for d in report if d.code == "C009"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+        assert "ROLLUP" in findings[0].suggestion
+
+    def test_threshold_is_configurable(self):
+        cardinalities = {"a": 200, "b": 200, "c": 200}
+        low = lint_cube_spec(None, ["a", "b", "c"], [agg("SUM", "x")],
+                             cardinalities=cardinalities,
+                             blowup_threshold=1_000)
+        high = lint_cube_spec(None, ["a", "b", "c"], [agg("SUM", "x")],
+                              cardinalities=cardinalities,
+                              blowup_threshold=10 ** 9)
+        assert "C009" in codes(low)
+        assert "C009" not in codes(high)
+
+    def test_small_cube_is_clean(self):
+        report = lint_cube_spec(sales_table(), ["Model", "Year"],
+                                [agg("SUM", "Units")])
+        assert "C009" not in codes(report)
+
+    def test_unknown_cardinality_stays_silent(self):
+        # one dimension without statistics -> no guessing
+        report = lint_cube_spec(
+            None, ["a", "b", "c"], [agg("SUM", "x")],
+            cardinalities={"a": 10 ** 6, "b": 10 ** 6})
+        assert "C009" not in codes(report)
+
+    def test_message_names_largest_dimensions(self):
+        report = lint_cube_spec(
+            None, ["small", "big"], [agg("SUM", "x")],
+            cardinalities={"small": 2, "big": 10 ** 7})
+        finding = next(d for d in report if d.code == "C009")
+        assert "big=10000000" in finding.message

@@ -1,0 +1,53 @@
+"""C010 unknown-function: names that resolve to no registered aggregate
+or scalar function fail at plan time; the linter catches them first."""
+
+from lintutil import codes, sales_catalog, sales_table
+
+from repro.lint import lint_cube_spec, lint_sql
+from repro.lint.diagnostics import Severity
+
+
+class TestC010:
+    def test_unknown_scalar_function_in_sql(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, FROBNICATE(Units) FROM Sales GROUP BY Model",
+            catalog=catalog)
+        findings = [d for d in report if d.code == "C010"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "FROBNICATE" in findings[0].message
+
+    def test_unknown_programmatic_aggregate(self):
+        report = lint_cube_spec(sales_table(), ["Model"],
+                                [("WOMBAT", "Units")])
+        findings = [d for d in report if d.code == "C010"]
+        assert len(findings) == 1
+        assert "WOMBAT" in findings[0].message
+
+    def test_distinct_non_count_flagged(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT SUM(DISTINCT Units) FROM Sales GROUP BY Model",
+            catalog=catalog)
+        findings = [d for d in report if d.code == "C010"]
+        assert len(findings) == 1
+        assert "DISTINCT" in findings[0].message
+
+    def test_known_functions_are_clean(self):
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, SUM(Units), COUNT(DISTINCT Year) FROM Sales "
+            "GROUP BY Model",
+            catalog=catalog)
+        assert "C010" not in codes(report)
+
+    def test_select_alias_addressing_not_flagged(self):
+        # Section 4's shorthand: an aggregate's alias is callable as a
+        # cell-addressing function, so total(...) must not be "unknown"
+        catalog, _ = sales_catalog()
+        report = lint_sql(
+            "SELECT Model, SUM(Units) AS total FROM Sales "
+            "GROUP BY Model HAVING SUM(Units) > 0",
+            catalog=catalog)
+        assert "C010" not in codes(report)

@@ -4,7 +4,11 @@ import pytest
 
 from repro.data import WORKLOADS
 from repro.sql import count_aggregates, count_group_bys, parse
-from repro.sql.analysis import iter_aggregate_calls, iter_selects
+from repro.sql.analysis import (
+    iter_aggregate_calls,
+    iter_selects,
+    iter_statements,
+)
 
 
 class TestCounting:
@@ -45,6 +49,27 @@ class TestCounting:
         stmt = parse("SELECT COUNT(DISTINCT a) FROM T;")
         calls = list(iter_aggregate_calls(stmt))
         assert calls[0].distinct
+
+    def test_order_by_aggregates_counted(self):
+        stmt = parse("SELECT a, SUM(b) FROM T GROUP BY a "
+                     "ORDER BY SUM(b) DESC;")
+        # SUM(b) appears twice: once projected, once as a sort key
+        assert count_aggregates(stmt) == 2
+
+    def test_order_by_only_aggregate_counted(self):
+        stmt = parse("SELECT a FROM T GROUP BY a ORDER BY MAX(b);")
+        assert count_aggregates(stmt) == 1
+
+    def test_order_by_subquery_found(self):
+        stmt = parse("SELECT a FROM T ORDER BY (SELECT AVG(x) FROM U);")
+        assert len(list(iter_statements(stmt))) == 2
+        assert len(list(iter_selects(stmt))) == 2
+        assert count_aggregates(stmt) == 1
+
+    def test_plain_order_by_adds_nothing(self):
+        stmt = parse("SELECT a, SUM(b) FROM T GROUP BY a ORDER BY a;")
+        assert count_aggregates(stmt) == 1
+        assert count_group_bys(stmt) == 1
 
 
 class TestTable2Workloads:
