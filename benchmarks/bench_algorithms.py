@@ -60,6 +60,8 @@ def test_algorithm_wall_time(benchmark, task, name):
     algorithm = ALGORITHMS[name]()
     result = benchmark(algorithm.compute, task)
     assert result.stats.cells_produced == len(result.table)
+    # machine-independent counters ride along into BENCH_results.json
+    benchmark.extra_info["counters"] = result.stats.as_dict()
 
 
 def test_cost_shapes(benchmark, medium_fact, task):

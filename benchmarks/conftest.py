@@ -3,9 +3,19 @@
 Each bench module regenerates one of the paper's tables/figures (the
 rows are checked by assertion and printed under ``pytest -s``), then
 times the computation that produces it with pytest-benchmark.
+
+A session hook additionally writes ``BENCH_results.json`` at the repo
+root: one record per benchmark with the wall-clock statistics and any
+machine-independent :class:`~repro.compute.stats.ComputeStats`
+counters a bench attached via ``benchmark.extra_info`` -- the
+machine-readable trajectory CI archives per commit so perf regressions
+are diffable without re-running old builds.
 """
 
 from __future__ import annotations
+
+import json
+import platform
 
 import pytest
 
@@ -50,3 +60,42 @@ def show(title: str, body: str) -> None:
     """Print one reproduced artifact (visible with ``pytest -s``)."""
     print(f"\n=== {title} ===")
     print(body)
+
+
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "rounds",
+                "iterations")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_results.json next to pyproject.toml.
+
+    Only fires when pytest-benchmark actually collected timings (a
+    plain test run, or ``--benchmark-disable``, leaves no session).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    records = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        timings = {}
+        for field in _STAT_FIELDS:
+            value = getattr(stats, field, None)
+            if value is not None:
+                timings[field] = value
+        records.append({
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "group": bench.group,
+            "params": bench.params,
+            "timings_s": timings,
+            "counters": (bench.extra_info or {}).get("counters"),
+        })
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": records,
+    }
+    path = session.config.rootpath / "BENCH_results.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    print(f"\nwrote {path} ({len(records)} benchmarks)")

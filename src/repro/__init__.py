@@ -34,6 +34,9 @@ Subpackages:
   histogram presentation (Tables 3-6);
 - :mod:`repro.warehouse` -- star/snowflake schemas and granularity
   hierarchies (Section 3.6);
+- :mod:`repro.obs` -- tracing spans, the process-wide metrics registry,
+  and the exporters behind ``EXPLAIN ANALYZE`` and the shell's
+  ``\\timing``/``\\metrics`` (see docs/OBSERVABILITY.md);
 - :mod:`repro.data` -- the paper's datasets and benchmark workloads.
 """
 

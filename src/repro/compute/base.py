@@ -14,6 +14,7 @@ exists.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
@@ -88,6 +89,14 @@ class CubeTask:
             dim_values[i] if mask & (1 << i) else ALL
             for i in range(self.n_dims))
 
+    def mask_label(self, mask: Mask) -> str:
+        """Human-readable grouping-set label (span attributes, EXPLAIN
+        ANALYZE rows): the grouped dimension names, or ``()`` for the
+        global-total set."""
+        names = [self.dims[i] for i in range(self.n_dims)
+                 if mask & (1 << i)]
+        return ",".join(names) if names else "()"
+
     def cardinalities(self) -> list[int]:
         """Distinct-value count per dimension (used by the smallest-
         parent rule and by size estimates)."""
@@ -153,13 +162,38 @@ class CubeResult:
 
 
 class CubeAlgorithm(ABC):
-    """Interface every cube computation strategy implements."""
+    """Interface every cube computation strategy implements.
+
+    :meth:`compute` is a template method: it opens a ``cube.compute``
+    tracing span, delegates to the strategy's :meth:`_compute`, then
+    attaches the result's :class:`ComputeStats` snapshot to the span
+    and publishes the counters to the process-wide metrics registry.
+    Every algorithm is therefore observable uniformly -- strategies only
+    implement :meth:`_compute` (and may open child spans for their
+    per-lattice-node / per-chain / per-partition structure).
+    """
 
     name: str = ""
 
-    @abstractmethod
     def compute(self, task: CubeTask) -> CubeResult:
-        """Produce the cube relation for ``task``."""
+        """Produce the cube relation for ``task`` (traced + metered)."""
+        from repro.obs import instrument, trace
+        started = time.perf_counter()
+        with trace.span("cube.compute",
+                        algorithm=self.name or type(self).__name__,
+                        grouping_sets=len(task.masks),
+                        input_rows=len(task.rows)) as span:
+            result = self._compute(task)
+            span.set(cells=result.stats.cells_produced)
+            span.attach_stats(result.stats)
+        instrument.record_cube_compute(
+            result.stats, time.perf_counter() - started,
+            input_rows=len(task.rows))
+        return result
+
+    @abstractmethod
+    def _compute(self, task: CubeTask) -> CubeResult:
+        """The strategy body; called by :meth:`compute` under a span."""
 
     def _new_stats(self) -> ComputeStats:
         return ComputeStats(algorithm=self.name or type(self).__name__)

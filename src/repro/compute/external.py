@@ -30,6 +30,7 @@ from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import CubeError, NotMergeableError
+from repro.obs import trace
 
 __all__ = ["ExternalCubeAlgorithm"]
 
@@ -42,7 +43,7 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
             raise CubeError("memory_budget must be at least 1 cell")
         self.memory_budget = memory_budget
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         if not task.all_mergeable():
             bad = [fn.name for fn in task.functions if not fn.mergeable]
             raise NotMergeableError(
@@ -54,18 +55,25 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
         super_masks = [m for m in task.masks if m != core_mask]
 
         # -- pass 1: hash-partition on the full dimension key --------------
-        stats.base_scans = 1
-        stats.passes = 1
-        core_keys = {task.coordinate(core_mask, task.dim_values(r))
-                     for r in task.rows}
-        estimated_core = max(1, len(core_keys))
-        n_partitions = max(1, -(-estimated_core // self.memory_budget))
-        partitions: list[list[tuple]] = [[] for _ in range(n_partitions)]
-        for row in task.rows:
-            key = task.coordinate(core_mask, task.dim_values(row))
-            partitions[hash(key) % n_partitions].append(row)
-        stats.partitions = n_partitions
-        stats.spills = n_partitions if n_partitions > 1 else 0
+        with trace.span("cube.partition_pass", rows=len(task.rows),
+                        memory_budget=self.memory_budget) as pass_span:
+            stats.base_scans = 1
+            stats.passes = 1
+            core_keys = {task.coordinate(core_mask, task.dim_values(r))
+                         for r in task.rows}
+            estimated_core = max(1, len(core_keys))
+            n_partitions = max(1, -(-estimated_core // self.memory_budget))
+            partitions: list[list[tuple]] = [[] for _ in range(n_partitions)]
+            for row in task.rows:
+                key = task.coordinate(core_mask, task.dim_values(row))
+                partitions[hash(key) % n_partitions].append(row)
+            stats.partitions = n_partitions
+            stats.spills = n_partitions if n_partitions > 1 else 0
+            pass_span.set(partitions=n_partitions, spills=stats.spills)
+            if n_partitions > 1:
+                for index, partition in enumerate(partitions):
+                    pass_span.event("spill", partition=index,
+                                    rows=len(partition))
 
         # resident super-aggregate cells (stay in memory throughout)
         supers: dict[Mask, dict[tuple, list[Handle]]] = {
@@ -75,32 +83,38 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
         max_resident = 0
         # -- pass 2: one partition at a time ---------------------------------
         stats.passes += 1
-        for partition in partitions:
-            core_cells: dict[tuple, list[Handle]] = {}
-            for row in partition:
-                coordinate = task.coordinate(core_mask, task.dim_values(row))
-                handles = core_cells.get(coordinate)
-                if handles is None:
-                    handles = task.new_handles(stats)
-                    core_cells[coordinate] = handles
-                task.fold_row(handles, row, stats)
+        for index, partition in enumerate(partitions):
+            with trace.span("cube.partition", index=index,
+                            rows=len(partition)) as span:
+                core_cells: dict[tuple, list[Handle]] = {}
+                for row in partition:
+                    coordinate = task.coordinate(core_mask,
+                                                 task.dim_values(row))
+                    handles = core_cells.get(coordinate)
+                    if handles is None:
+                        handles = task.new_handles(stats)
+                        core_cells[coordinate] = handles
+                    task.fold_row(handles, row, stats)
 
-            resident = (len(core_cells)
-                        + sum(len(c) for c in supers.values()))
-            max_resident = max(max_resident, resident)
+                resident = (len(core_cells)
+                            + sum(len(c) for c in supers.values()))
+                max_resident = max(max_resident, resident)
+                span.set(core_cells=len(core_cells), resident=resident)
 
-            # fold this partition's core into the resident supers, walking
-            # each core cell straight to every requested super-aggregate
-            for coordinate, handles in core_cells.items():
-                for mask in super_masks:
-                    super_coord = task.coordinate(mask, coordinate)
-                    super_handles = supers[mask].get(super_coord)
-                    if super_handles is None:
-                        super_handles = task.new_handles(stats)
-                        supers[mask][super_coord] = super_handles
-                    task.merge_handles(super_handles, handles, stats)
-                # the core cell is complete: finalize and evict
-                cells.append((coordinate, task.finalize(handles, stats)))
+                # fold this partition's core into the resident supers,
+                # walking each core cell straight to every requested
+                # super-aggregate
+                for coordinate, handles in core_cells.items():
+                    for mask in super_masks:
+                        super_coord = task.coordinate(mask, coordinate)
+                        super_handles = supers[mask].get(super_coord)
+                        if super_handles is None:
+                            super_handles = task.new_handles(stats)
+                            supers[mask][super_coord] = super_handles
+                        task.merge_handles(super_handles, handles, stats)
+                    # the core cell is complete: finalize and evict
+                    cells.append((coordinate,
+                                  task.finalize(handles, stats)))
 
         if 0 in task.masks and not task.rows:
             target = supers.get(0)

@@ -22,6 +22,7 @@ from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import NotMergeableError
+from repro.obs import trace
 
 __all__ = ["FromCoreAlgorithm"]
 
@@ -44,7 +45,7 @@ class FromCoreAlgorithm(CubeAlgorithm):
                 f"parent_choice must be smallest|first, got {parent_choice!r}")
         self.parent_choice = parent_choice
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         if not task.all_mergeable():
             bad = [fn.name for fn in task.functions if not fn.mergeable]
             raise NotMergeableError(
@@ -55,16 +56,19 @@ class FromCoreAlgorithm(CubeAlgorithm):
         core_mask = lattice.core
 
         # -- pass 1: the core GROUP BY, scratchpads kept live --------------
-        stats.base_scans = 1
         nodes: dict[Mask, dict[tuple, list[Handle]]] = {core_mask: {}}
         core_cells = nodes[core_mask]
-        for row in task.rows:
-            coordinate = task.coordinate(core_mask, task.dim_values(row))
-            handles = core_cells.get(coordinate)
-            if handles is None:
-                handles = task.new_handles(stats)
-                core_cells[coordinate] = handles
-            task.fold_row(handles, row, stats)
+        with trace.span("cube.node", dims=task.mask_label(core_mask),
+                        role="core", rows=len(task.rows)) as span:
+            stats.base_scans = 1
+            for row in task.rows:
+                coordinate = task.coordinate(core_mask, task.dim_values(row))
+                handles = core_cells.get(coordinate)
+                if handles is None:
+                    handles = task.new_handles(stats)
+                    core_cells[coordinate] = handles
+                task.fold_row(handles, row, stats)
+            span.set(cells=len(core_cells))
 
         # -- pass 2: walk the lattice, smallest parent first ----------------
         for level_masks in lattice.by_level_descending():
@@ -72,18 +76,22 @@ class FromCoreAlgorithm(CubeAlgorithm):
                 if mask == core_mask:
                     continue
                 parent = self._smallest_computed_parent(lattice, mask, nodes)
-                cells: dict[tuple, list[Handle]] = {}
-                nodes[mask] = cells
-                if mask == 0 and not task.rows:
-                    # empty input still yields one global-total cell
-                    cells[task.coordinate(0, ())] = task.new_handles(stats)
-                for parent_coord, parent_handles in nodes[parent].items():
-                    coordinate = self._project(parent_coord, mask, task)
-                    handles = cells.get(coordinate)
-                    if handles is None:
-                        handles = task.new_handles(stats)
-                        cells[coordinate] = handles
-                    task.merge_handles(handles, parent_handles, stats)
+                with trace.span("cube.node", dims=task.mask_label(mask),
+                                parent_node=task.mask_label(parent),
+                                parent_cells=len(nodes[parent])) as span:
+                    cells: dict[tuple, list[Handle]] = {}
+                    nodes[mask] = cells
+                    if mask == 0 and not task.rows:
+                        # empty input still yields one global-total cell
+                        cells[task.coordinate(0, ())] = task.new_handles(stats)
+                    for parent_coord, parent_handles in nodes[parent].items():
+                        coordinate = self._project(parent_coord, mask, task)
+                        handles = cells.get(coordinate)
+                        if handles is None:
+                            handles = task.new_handles(stats)
+                            cells[coordinate] = handles
+                        task.merge_handles(handles, parent_handles, stats)
+                    span.set(cells=len(cells))
         if 0 in task.masks and not task.rows and 0 == core_mask:
             core_cells[task.coordinate(0, ())] = task.new_handles(stats)
 

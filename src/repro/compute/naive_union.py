@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+from repro.obs import trace
 
 __all__ = ["NaiveUnionAlgorithm"]
 
@@ -23,27 +24,30 @@ __all__ = ["NaiveUnionAlgorithm"]
 class NaiveUnionAlgorithm(CubeAlgorithm):
     name = "naive-union"
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         stats = self._new_stats()
         cells: list[tuple[tuple, tuple]] = []
 
         for mask in task.masks:
-            stats.base_scans += 1  # each GROUP BY re-scans the base data
-            groups: dict[tuple, list[Handle]] = {}
-            if mask == 0:
-                # the (ALL, ALL, ..., ALL) global aggregate: one group
-                # even over empty input, like a grand-total GROUP BY ()
-                groups[task.coordinate(0, ())] = task.new_handles(stats)
-            for row in task.rows:
-                coordinate = task.coordinate(mask, task.dim_values(row))
-                handles = groups.get(coordinate)
-                if handles is None:
-                    handles = task.new_handles(stats)
-                    groups[coordinate] = handles
-                task.fold_row(handles, row, stats)
-            stats.observe_resident(len(groups))
-            for coordinate, handles in groups.items():
-                cells.append((coordinate, task.finalize(handles, stats)))
+            with trace.span("cube.groupby", dims=task.mask_label(mask),
+                            rows=len(task.rows)) as span:
+                stats.base_scans += 1  # each GROUP BY re-scans the base
+                groups: dict[tuple, list[Handle]] = {}
+                if mask == 0:
+                    # the (ALL, ALL, ..., ALL) global aggregate: one
+                    # group even over empty input, like GROUP BY ()
+                    groups[task.coordinate(0, ())] = task.new_handles(stats)
+                for row in task.rows:
+                    coordinate = task.coordinate(mask, task.dim_values(row))
+                    handles = groups.get(coordinate)
+                    if handles is None:
+                        handles = task.new_handles(stats)
+                        groups[coordinate] = handles
+                    task.fold_row(handles, row, stats)
+                stats.observe_resident(len(groups))
+                span.set(cells=len(groups))
+                for coordinate, handles in groups.items():
+                    cells.append((coordinate, task.finalize(handles, stats)))
 
         stats.cells_produced = len(cells)
         return CubeResult(table=task.result_table(cells), stats=stats)

@@ -29,6 +29,8 @@ from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.compute.stats import ComputeStats
 from repro.errors import CubeError, NotMergeableError
+from repro.obs import trace
+from repro.obs.trace import Span
 
 __all__ = ["ParallelCubeAlgorithm"]
 
@@ -44,7 +46,7 @@ class ParallelCubeAlgorithm(CubeAlgorithm):
         self.n_workers = n_workers
         self.use_threads = use_threads
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         if not task.all_mergeable():
             bad = [fn.name for fn in task.functions if not fn.mergeable]
             raise NotMergeableError(
@@ -57,57 +59,80 @@ class ParallelCubeAlgorithm(CubeAlgorithm):
         for position, row in enumerate(task.rows):
             partitions[position % self.n_workers].append(row)
 
+        # worker threads have their own (empty) span stacks, so the
+        # coordinating thread's open span is passed down explicitly
+        parent = trace.current_span()
         if self.use_threads and self.n_workers > 1:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 outcomes = list(pool.map(
-                    lambda p: _local_cube(task, p), partitions))
+                    lambda item: _local_cube(task, item[1], worker=item[0],
+                                             parent=parent),
+                    enumerate(partitions)))
         else:
-            outcomes = [_local_cube(task, p) for p in partitions]
+            outcomes = [_local_cube(task, p, worker=i, parent=parent)
+                        for i, p in enumerate(partitions)]
 
         locals_, local_stats = zip(*outcomes)
         for worker_stats in local_stats:
             stats.merged(worker_stats)
 
         # -- coalesce: merge local cubes cell-by-cell -----------------------
-        combined: LocalCube = {}
-        for local in locals_:
-            for coordinate, handles in local.items():
-                target = combined.get(coordinate)
-                if target is None:
-                    target = task.new_handles(stats)
-                    combined[coordinate] = target
-                task.merge_handles(target, handles, stats)
+        with trace.span("cube.parallel.coalesce",
+                        workers=self.n_workers) as span:
+            combined: LocalCube = {}
+            for local in locals_:
+                for coordinate, handles in local.items():
+                    target = combined.get(coordinate)
+                    if target is None:
+                        target = task.new_handles(stats)
+                        combined[coordinate] = target
+                    task.merge_handles(target, handles, stats)
 
-        if 0 in task.masks and not task.rows:
-            key = task.coordinate(0, ())
-            if key not in combined:
-                combined[key] = task.new_handles(stats)
+            if 0 in task.masks and not task.rows:
+                key = task.coordinate(0, ())
+                if key not in combined:
+                    combined[key] = task.new_handles(stats)
 
-        stats.observe_resident(len(combined))
+            # peak residency: every worker's local cube is still alive
+            # while the coordinator folds it into ``combined``, so the
+            # true peak is all local cells plus the coalesced cube --
+            # counting only the final dict would under-report it
+            stats.observe_resident(
+                sum(len(local) for local in locals_) + len(combined))
+            span.set(cells=len(combined))
         cells = [(coordinate, task.finalize(handles, stats))
                  for coordinate, handles in combined.items()]
         stats.cells_produced = len(cells)
         return CubeResult(table=task.result_table(cells), stats=stats)
 
 
-def _local_cube(task: CubeTask,
-                rows: Sequence[tuple]) -> tuple[LocalCube, ComputeStats]:
+def _local_cube(task: CubeTask, rows: Sequence[tuple], *,
+                worker: int = 0,
+                parent: "Span | None" = None
+                ) -> tuple[LocalCube, ComputeStats]:
     """One worker: a complete local cube with live scratchpads.
 
     Uses the 2^N fold over the partition -- every local grouping-set
-    cell keeps its handle so the coordinator can merge.
+    cell keeps its handle so the coordinator can merge.  ``base_scans``
+    is 1 per worker (each worker scans only its own partition), so the
+    coordinator's merged total is ``n_workers`` -- see the
+    :class:`~repro.compute.stats.ComputeStats` docstring.
     """
-    stats = ComputeStats(algorithm="parallel-worker")
-    stats.base_scans = 1
-    cells: LocalCube = {}
-    for row in rows:
-        dim_values = task.dim_values(row)
-        for mask in task.masks:
-            coordinate = task.coordinate(mask, dim_values)
-            handles = cells.get(coordinate)
-            if handles is None:
-                handles = task.new_handles(stats)
-                cells[coordinate] = handles
-            task.fold_row(handles, row, stats)
-    stats.observe_resident(len(cells))
+    with trace.span("cube.parallel.worker", parent=parent, worker=worker,
+                    rows=len(rows)) as span:
+        stats = ComputeStats(algorithm="parallel-worker")
+        stats.base_scans = 1
+        cells: LocalCube = {}
+        for row in rows:
+            dim_values = task.dim_values(row)
+            for mask in task.masks:
+                coordinate = task.coordinate(mask, dim_values)
+                handles = cells.get(coordinate)
+                if handles is None:
+                    handles = task.new_handles(stats)
+                    cells[coordinate] = handles
+                task.fold_row(handles, row, stats)
+        stats.observe_resident(len(cells))
+        span.set(cells=len(cells))
+        span.attach_stats(stats)
     return cells, stats

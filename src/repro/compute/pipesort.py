@@ -29,6 +29,7 @@ from repro.compute.sort_cube import (
 from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import NotMergeableError
+from repro.obs import trace
 from repro.types import sort_key_tuple
 
 __all__ = ["PipeSortAlgorithm"]
@@ -37,7 +38,7 @@ __all__ = ["PipeSortAlgorithm"]
 class PipeSortAlgorithm(CubeAlgorithm):
     name = "pipesort"
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         if not task.all_mergeable():
             bad = [fn.name for fn in task.functions if not fn.mergeable]
             raise NotMergeableError(
@@ -67,12 +68,19 @@ class PipeSortAlgorithm(CubeAlgorithm):
         for chain in ordered:
             head = chain[-1]  # finest member
             dim_order = self._chain_dim_order(task, chain)
+            label = " > ".join(task.mask_label(m) for m in chain)
             if head == core_mask and core_mask not in nodes:
-                self._run_base_chain(task, chain, dim_order, nodes, stats)
+                with trace.span("cube.pipeline", members=label,
+                                source="base", rows_sorted=len(task.rows)):
+                    self._run_base_chain(task, chain, dim_order, nodes,
+                                         stats)
             else:
                 parent = self._smallest_ready_parent(lattice, head, nodes)
-                self._run_parent_chain(task, chain, dim_order, parent,
-                                       nodes, stats)
+                with trace.span("cube.pipeline", members=label,
+                                source=task.mask_label(parent),
+                                rows_sorted=len(nodes[parent])):
+                    self._run_parent_chain(task, chain, dim_order, parent,
+                                           nodes, stats)
 
         if 0 in task.masks and not task.rows:
             nodes.setdefault(0, []).append(

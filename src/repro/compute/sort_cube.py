@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.core.grouping import Mask
+from repro.obs import trace
 from repro.types import sort_key_tuple
 
 __all__ = ["SortCubeAlgorithm", "symmetric_chain_decomposition",
@@ -109,7 +110,7 @@ def greedy_chain_cover(masks: list[Mask]) -> list[list[Mask]]:
 class SortCubeAlgorithm(CubeAlgorithm):
     name = "sort"
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         stats = self._new_stats()
         n = task.n_dims
         mask_set = set(task.masks)
@@ -126,7 +127,10 @@ class SortCubeAlgorithm(CubeAlgorithm):
         cells: list[tuple[tuple, tuple]] = []
         max_resident = 0
         for chain in chains:
-            resident = self._run_chain(task, chain, cells, stats)
+            label = " > ".join(task.mask_label(m) for m in chain)
+            with trace.span("cube.chain", members=label,
+                            rows_sorted=len(task.rows)):
+                resident = self._run_chain(task, chain, cells, stats)
             max_resident = max(max_resident, resident)
         stats.observe_resident(max_resident)
         stats.cells_produced = len(cells)

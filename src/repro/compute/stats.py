@@ -13,15 +13,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ComputeStats"]
+__all__ = ["ComputeStats", "COUNTER_FIELDS"]
+
+
+#: The additive counter fields :meth:`ComputeStats.merged` combines
+#: (``max_resident_cells`` is combined by max, not addition).
+COUNTER_FIELDS = ("base_scans", "iter_calls", "merge_calls", "start_calls",
+                  "end_calls", "sort_operations", "rows_sorted",
+                  "cells_produced", "partitions", "spills", "passes")
 
 
 @dataclass
 class ComputeStats:
-    """Counters one cube computation accumulates."""
+    """Counters one cube computation accumulates.
+
+    For partitioned algorithms (``external``, ``parallel``) the
+    counters are summed across sub-computations, so ``base_scans``
+    counts *partition* scans: the parallel algorithm reports
+    ``base_scans == n_workers`` by design -- each worker scans its own
+    partition once, and the sum is the paper's "data spans many disks"
+    accounting (every base row is still read exactly once).
+    """
 
     algorithm: str = ""
-    #: full scans of the base (input) data
+    #: full scans of the base (input) data; for partitioned algorithms,
+    #: one per partition scanned (sums to n_workers / n_partitions)
     base_scans: int = 0
     #: Iter() invocations -- one value folded into one scratchpad
     iter_calls: int = 0
@@ -53,20 +69,27 @@ class ComputeStats:
             self.max_resident_cells = resident_cells
 
     def merged(self, other: "ComputeStats") -> "ComputeStats":
-        """Combine counters from a sub-computation (partition, chain)."""
-        self.base_scans += other.base_scans
-        self.iter_calls += other.iter_calls
-        self.merge_calls += other.merge_calls
-        self.start_calls += other.start_calls
-        self.end_calls += other.end_calls
-        self.sort_operations += other.sort_operations
-        self.rows_sorted += other.rows_sorted
-        self.cells_produced += other.cells_produced
-        self.partitions += other.partitions
-        self.spills += other.spills
-        self.passes += other.passes
+        """Combine counters from a sub-computation (partition, chain).
+
+        Additive on every :data:`COUNTER_FIELDS` counter and max-combining
+        on ``max_resident_cells``, so it is associative (asserted by the
+        property tests): merging worker stats in any grouping yields the
+        same totals.
+        """
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         self.observe_resident(other.max_resident_cells)
         return self
+
+    def as_dict(self) -> dict:
+        """A plain-dict snapshot (span attachments, JSON exporters)."""
+        out: dict = {"algorithm": self.algorithm}
+        for name in COUNTER_FIELDS:
+            out[name] = getattr(self, name)
+        out["max_resident_cells"] = self.max_resident_cells
+        if self.notes:
+            out["notes"] = dict(self.notes)
+        return out
 
     def summary(self) -> str:
         return (f"{self.algorithm or 'cube'}: scans={self.base_scans} "

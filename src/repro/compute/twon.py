@@ -28,7 +28,7 @@ __all__ = ["TwoNAlgorithm"]
 class TwoNAlgorithm(CubeAlgorithm):
     name = "2^N"
 
-    def compute(self, task: CubeTask) -> CubeResult:
+    def _compute(self, task: CubeTask) -> CubeResult:
         stats = self._new_stats()
         stats.base_scans = 1
         cells: dict[tuple, list[Handle]] = {}

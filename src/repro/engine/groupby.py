@@ -29,6 +29,7 @@ from repro.engine.expressions import ColumnRef, Expression
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.errors import TableError
+from repro.obs import instrument, trace
 from repro.types import DataType, sort_key_tuple
 
 __all__ = ["AggregateSpec", "GroupByResult", "hash_group_by", "sort_group_by",
@@ -135,20 +136,25 @@ def hash_group_by(table: Table, keys: Sequence[KeySpec],
     schema = _output_schema(table, normalized, specs)
     names = table.schema.names
 
-    groups: dict[tuple, list[Handle]] = {}
-    if not normalized:
-        groups[()] = [spec.function.start() for spec in specs]
-    for row in table:
-        context = dict(zip(names, row))
-        key = tuple(expr.evaluate(context) for expr, _ in normalized)
-        handles = groups.get(key)
-        if handles is None:
-            handles = [spec.function.start() for spec in specs]
-            groups[key] = handles
-        for position, spec in enumerate(specs):
-            value = spec.evaluate_input(context)
-            if spec.function.accepts(value):
-                handles[position] = spec.function.next(handles[position], value)
+    with trace.span("groupby.hash", rows=len(table),
+                    keys=",".join(a for _, a in normalized) or "()") as span:
+        groups: dict[tuple, list[Handle]] = {}
+        if not normalized:
+            groups[()] = [spec.function.start() for spec in specs]
+        for row in table:
+            context = dict(zip(names, row))
+            key = tuple(expr.evaluate(context) for expr, _ in normalized)
+            handles = groups.get(key)
+            if handles is None:
+                handles = [spec.function.start() for spec in specs]
+                groups[key] = handles
+            for position, spec in enumerate(specs):
+                value = spec.evaluate_input(context)
+                if spec.function.accepts(value):
+                    handles[position] = spec.function.next(
+                        handles[position], value)
+        span.set(groups=len(groups))
+    instrument.record_groupby("hash", len(table), len(groups))
     return _finalize(groups, specs, schema, keep_handles=keep_handles)
 
 
@@ -169,23 +175,28 @@ def sort_group_by(table: Table, keys: Sequence[KeySpec],
     if not normalized:
         return hash_group_by(table, keys, specs, keep_handles=keep_handles)
 
-    keyed_rows: list[tuple[tuple, dict[str, Any]]] = []
-    for row in table:
-        context = dict(zip(names, row))
-        key = tuple(expr.evaluate(context) for expr, _ in normalized)
-        keyed_rows.append((key, context))
-    keyed_rows.sort(key=lambda pair: sort_key_tuple(pair[0]))
+    with trace.span("groupby.sort", rows=len(table),
+                    keys=",".join(a for _, a in normalized)) as span:
+        keyed_rows: list[tuple[tuple, dict[str, Any]]] = []
+        for row in table:
+            context = dict(zip(names, row))
+            key = tuple(expr.evaluate(context) for expr, _ in normalized)
+            keyed_rows.append((key, context))
+        keyed_rows.sort(key=lambda pair: sort_key_tuple(pair[0]))
 
-    ordered_groups: list[tuple[tuple, list[Handle]]] = []
-    current_key: tuple | None = None
-    handles: list[Handle] = []
-    for key, context in keyed_rows:
-        if current_key is None or key != current_key:
-            current_key = key
-            handles = [spec.function.start() for spec in specs]
-            ordered_groups.append((key, handles))
-        for position, spec in enumerate(specs):
-            value = spec.evaluate_input(context)
-            if spec.function.accepts(value):
-                handles[position] = spec.function.next(handles[position], value)
+        ordered_groups: list[tuple[tuple, list[Handle]]] = []
+        current_key: tuple | None = None
+        handles: list[Handle] = []
+        for key, context in keyed_rows:
+            if current_key is None or key != current_key:
+                current_key = key
+                handles = [spec.function.start() for spec in specs]
+                ordered_groups.append((key, handles))
+            for position, spec in enumerate(specs):
+                value = spec.evaluate_input(context)
+                if spec.function.accepts(value):
+                    handles[position] = spec.function.next(
+                        handles[position], value)
+        span.set(groups=len(ordered_groups))
+    instrument.record_groupby("sort", len(table), len(ordered_groups))
     return _finalize(ordered_groups, specs, schema, keep_handles=keep_handles)

@@ -128,3 +128,8 @@ class CatalogError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload definition is inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """A tracing or metrics misuse (e.g. re-registering a metric name
+    with a different kind, or decreasing a counter)."""

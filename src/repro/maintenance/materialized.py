@@ -39,6 +39,7 @@ from repro.engine.groupby import normalize_keys
 from repro.engine.table import Table
 from repro.errors import DeleteRequiresRecomputeError, MaintenanceError
 from repro.maintenance.propagation import MaintenanceStats
+from repro.obs import instrument, trace
 
 __all__ = ["MaterializedCube"]
 
@@ -113,12 +114,15 @@ class MaterializedCube:
 
     def insert(self, row: Sequence[Any]) -> int:
         """Propagate one base-table INSERT; returns cells touched."""
-        task_row = self._to_task_row(row)
-        touched = self._apply_insert(task_row, initial=False)
-        if self.retain_base:
-            self._base_rows.append(task_row)
+        with trace.span("maintenance.insert") as span:
+            task_row = self._to_task_row(row)
+            touched = self._apply_insert(task_row, initial=False)
+            if self.retain_base:
+                self._base_rows.append(task_row)
+            span.set(cells_touched=touched)
         self.stats.inserts += 1
         self.stats.per_operation_touched.append(touched)
+        self.stats.note_operation("insert", touched)
         return touched
 
     def delete(self, row: Sequence[Any]) -> int:
@@ -128,58 +132,71 @@ class MaterializedCube:
         delete-holistic aggregate needs a recompute but the base data
         was not retained (``retain_base=False``).
         """
-        task_row = self._to_task_row(row)
-        if self.retain_base:
-            try:
-                self._base_rows.remove(task_row)
-            except ValueError:
-                raise MaintenanceError(
-                    f"delete of a row not present in the base: {row!r}"
-                ) from None
-        touched = 0
-        dim_values = self._task.dim_values(task_row)
-        agg_values = self._task.agg_values(task_row)
-        for mask in self._task.masks:
-            coordinate = self._task.coordinate(mask, dim_values)
-            cells = self._cells[mask]
-            counts = self._counts[mask]
-            if coordinate not in cells:
-                raise MaintenanceError(
-                    f"delete hit a missing cube cell {coordinate}")
-            counts[coordinate] -= 1
-            if counts[coordinate] == 0:
-                del cells[coordinate]
-                del counts[coordinate]
-                touched += 1
-                continue
-            handles = cells[coordinate]
-            needs_recompute = False
-            for position, spec in enumerate(self._specs):
-                fn = spec.function
-                value = agg_values[position]
-                if not fn.accepts(value):
+        with trace.span("maintenance.delete") as span:
+            task_row = self._to_task_row(row)
+            if self.retain_base:
+                try:
+                    self._base_rows.remove(task_row)
+                except ValueError:
+                    raise MaintenanceError(
+                        f"delete of a row not present in the base: {row!r}"
+                    ) from None
+            touched = 0
+            recomputed = 0
+            dim_values = self._task.dim_values(task_row)
+            agg_values = self._task.agg_values(task_row)
+            for mask in self._task.masks:
+                coordinate = self._task.coordinate(mask, dim_values)
+                cells = self._cells[mask]
+                counts = self._counts[mask]
+                if coordinate not in cells:
+                    raise MaintenanceError(
+                        f"delete hit a missing cube cell {coordinate}")
+                counts[coordinate] -= 1
+                if counts[coordinate] == 0:
+                    del cells[coordinate]
+                    del counts[coordinate]
+                    touched += 1
                     continue
-                new_handle, supported = fn.unapply(handles[position], value)
-                if supported:
-                    handles[position] = new_handle
+                handles = cells[coordinate]
+                needs_recompute = False
+                for position, spec in enumerate(self._specs):
+                    fn = spec.function
+                    value = agg_values[position]
+                    if not fn.accepts(value):
+                        continue
+                    new_handle, supported = fn.unapply(handles[position],
+                                                       value)
+                    if supported:
+                        handles[position] = new_handle
+                    else:
+                        needs_recompute = True
+                        break
+                if needs_recompute:
+                    self._recompute_cell(mask, coordinate)
+                    self.stats.cells_recomputed += 1
+                    recomputed += 1
                 else:
-                    needs_recompute = True
-                    break
-            if needs_recompute:
-                self._recompute_cell(mask, coordinate)
-                self.stats.cells_recomputed += 1
-            else:
-                self.stats.cells_updated += 1
-            touched += 1
+                    self.stats.cells_updated += 1
+                touched += 1
+            span.set(cells_touched=touched, recomputed=recomputed)
         self.stats.deletes += 1
         self.stats.per_operation_touched.append(touched)
+        self.stats.note_operation("delete", touched)
         return touched
 
     def update(self, old_row: Sequence[Any], new_row: Sequence[Any]) -> int:
-        """UPDATE = DELETE + INSERT (Section 6)."""
-        touched = self.delete(old_row)
-        touched += self.insert(new_row)
+        """UPDATE = DELETE + INSERT (Section 6).
+
+        Metrics-wise the constituent insert and delete are recorded as
+        themselves plus one ``update`` operation, mirroring how the
+        paper costs it as the sum of the two."""
+        with trace.span("maintenance.update") as span:
+            touched = self.delete(old_row)
+            touched += self.insert(new_row)
+            span.set(cells_touched=touched)
         self.stats.updates += 1
+        self.stats.note_operation("update", touched)
         return touched
 
     def as_table(self, *, sort_result: bool = True) -> Table:
@@ -216,6 +233,7 @@ class MaterializedCube:
             raise MaintenanceError(
                 f"grouping set of {coords} is not materialized")
         handles = self._cells[mask].get(tuple(coords))
+        instrument.record_materialized_lookup(hit=handles is not None)
         if handles is None:
             return None
         position = 0

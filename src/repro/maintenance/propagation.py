@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import instrument
+
 __all__ = ["MaintenanceStats"]
 
 
@@ -38,3 +40,21 @@ class MaintenanceStats:
                 f"short-circuited={self.cells_short_circuited} "
                 f"recomputed={self.cells_recomputed} "
                 f"rescanned={self.rows_rescanned}")
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as plain data (exporter-friendly)."""
+        return {
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "updates": self.updates,
+            "cells_updated": self.cells_updated,
+            "cells_short_circuited": self.cells_short_circuited,
+            "cells_recomputed": self.cells_recomputed,
+            "rows_rescanned": self.rows_rescanned,
+        }
+
+    def note_operation(self, op: str, cells_touched: int) -> None:
+        """Mirror one finished operation into the process-wide metrics
+        registry (``repro_maintenance_*``); a no-op when metrics are
+        disabled, so callers invoke it unconditionally."""
+        instrument.record_maintenance(op, cells_touched)

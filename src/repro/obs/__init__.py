@@ -1,0 +1,96 @@
+"""repro.obs: observability for the data-cube engine.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.trace` -- nested, timed spans with attributes and
+  attached :class:`~repro.compute.stats.ComputeStats` snapshots.  Off
+  by default (a shared no-op span); enable with :func:`enable_tracing`
+  or the scoped :func:`tracing` context manager.  ``EXPLAIN ANALYZE``
+  is built on this.
+- :mod:`repro.obs.metrics` -- a process-wide registry of counters,
+  gauges, and histograms (:data:`REGISTRY`), updated by every engine
+  entry point via :mod:`repro.obs.instrument`.
+- :mod:`repro.obs.export` -- JSON-lines and Prometheus-text exporters
+  for both.
+
+Quick look::
+
+    from repro.obs import tracing, REGISTRY
+
+    with tracing() as tracer:
+        cube(table, ["Model", "Year"], [agg("SUM", "Units", "Units")])
+    for root in tracer.finished():
+        print(root)                       # <Span cube.compute 1.8ms ...>
+
+    print(REGISTRY.to_prometheus())
+"""
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    render_span_rows,
+    span,
+    tracing,
+    tracing_enabled,
+    use_tracer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    format_delta,
+)
+from repro.obs.export import (
+    metrics_to_json_lines,
+    metrics_to_prometheus,
+    spans_to_json_lines,
+    write_metrics_json_lines,
+    write_metrics_prometheus,
+    write_spans_json_lines,
+)
+from repro.obs.instrument import (
+    record_cube_compute,
+    record_groupby,
+    record_maintenance,
+    record_materialized_lookup,
+    record_query,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "format_delta",
+    "metrics_to_json_lines",
+    "metrics_to_prometheus",
+    "record_cube_compute",
+    "record_groupby",
+    "record_maintenance",
+    "record_materialized_lookup",
+    "record_query",
+    "render_span_rows",
+    "span",
+    "spans_to_json_lines",
+    "tracing",
+    "tracing_enabled",
+    "use_tracer",
+    "write_metrics_json_lines",
+    "write_metrics_prometheus",
+    "write_spans_json_lines",
+]

@@ -1,0 +1,62 @@
+"""File exporters for spans and metrics.
+
+Two wire formats, both dependency-free:
+
+- **JSON lines** -- one JSON object per line; metrics export their
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` records, spans
+  export their :meth:`~repro.obs.trace.Span.to_dict` trees (one root
+  span per line).  This is the machine-diffable format the benchmark
+  trajectory (``BENCH_results.json``) and log shippers consume.
+- **Prometheus text exposition** -- the de-facto pull format, so a
+  scrape endpoint (or a file-based textfile collector) can ingest the
+  registry directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "metrics_to_json_lines",
+    "metrics_to_prometheus",
+    "spans_to_json_lines",
+    "write_metrics_json_lines",
+    "write_metrics_prometheus",
+    "write_spans_json_lines",
+]
+
+
+def metrics_to_json_lines(registry: MetricsRegistry | None = None) -> str:
+    return (registry or REGISTRY).to_json_lines()
+
+
+def metrics_to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    return (registry or REGISTRY).to_prometheus()
+
+
+def spans_to_json_lines(roots: Iterable[Span]) -> str:
+    """One JSON object per root span (children nested inside)."""
+    return "\n".join(json.dumps(root.to_dict(), sort_keys=True,
+                                default=str)
+                     for root in roots)
+
+
+def write_metrics_json_lines(path: str,
+                             registry: MetricsRegistry | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_json_lines(registry) + "\n")
+
+
+def write_metrics_prometheus(path: str,
+                             registry: MetricsRegistry | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_prometheus(registry))
+
+
+def write_spans_json_lines(path: str, roots: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(spans_to_json_lines(roots) + "\n")

@@ -1,0 +1,120 @@
+"""The built-in metric names and their update helpers.
+
+Every instrumentation site in the engine goes through one of these
+functions, so the metric catalogue lives in exactly one place (and is
+documented once, in ``docs/OBSERVABILITY.md``):
+
+=============================================  =========  =============================
+metric                                         kind       labels
+=============================================  =========  =============================
+``repro_sql_queries_total``                    counter    ``kind`` (statement class)
+``repro_sql_query_seconds``                    histogram  --
+``repro_cube_computations_total``              counter    ``algorithm``
+``repro_cube_compute_seconds``                 histogram  ``algorithm``
+``repro_cube_rows_scanned_total``              counter    --
+``repro_cube_cells_produced_total``            counter    --
+``repro_cube_iter_calls_total``                counter    --
+``repro_cube_merge_calls_total``               counter    --
+``repro_cube_sort_operations_total``           counter    --
+``repro_cube_sort_spills_total``               counter    --
+``repro_groupby_operations_total``             counter    ``strategy`` (hash/sort)
+``repro_groupby_rows_total``                   counter    ``strategy``
+``repro_maintenance_operations_total``         counter    ``op`` (insert/delete/update)
+``repro_maintenance_cells_touched_total``      counter    ``op``
+``repro_materialized_cube_lookups_total``      counter    ``result`` (hit/miss)
+=============================================  =========  =============================
+
+All helpers no-op (one flag check) when the process-wide registry is
+disabled.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compute.stats import ComputeStats
+
+__all__ = [
+    "record_cube_compute",
+    "record_groupby",
+    "record_maintenance",
+    "record_materialized_lookup",
+    "record_query",
+]
+
+
+def record_query(duration_s: float, *, kind: str = "select") -> None:
+    """One SQL statement served."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_sql_queries_total",
+                     help="SQL statements executed", kind=kind).inc()
+    REGISTRY.histogram("repro_sql_query_seconds",
+                       help="SQL statement latency").observe(duration_s)
+
+
+def record_cube_compute(stats: "ComputeStats", duration_s: float, *,
+                        input_rows: int = 0) -> None:
+    """One cube computation finished (any algorithm)."""
+    if not REGISTRY.enabled:
+        return
+    algorithm = stats.algorithm or "unknown"
+    REGISTRY.counter("repro_cube_computations_total",
+                     help="cube computations by algorithm",
+                     algorithm=algorithm).inc()
+    REGISTRY.histogram("repro_cube_compute_seconds",
+                       help="cube computation latency by algorithm",
+                       algorithm=algorithm).observe(duration_s)
+    REGISTRY.counter("repro_cube_rows_scanned_total",
+                     help="base rows scanned (rows x scans)"
+                     ).inc(input_rows * max(stats.base_scans, 1))
+    REGISTRY.counter("repro_cube_cells_produced_total",
+                     help="result cells produced"
+                     ).inc(stats.cells_produced)
+    REGISTRY.counter("repro_cube_iter_calls_total",
+                     help="Iter() scratchpad folds").inc(stats.iter_calls)
+    REGISTRY.counter("repro_cube_merge_calls_total",
+                     help="Iter_super() scratchpad merges"
+                     ).inc(stats.merge_calls)
+    REGISTRY.counter("repro_cube_sort_operations_total",
+                     help="sort passes").inc(stats.sort_operations)
+    REGISTRY.counter("repro_cube_sort_spills_total",
+                     help="partitions spilled out of memory"
+                     ).inc(stats.spills)
+
+
+def record_groupby(strategy: str, rows: int, groups: int) -> None:
+    """One single-grouping GROUP BY (hash or sort strategy)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_groupby_operations_total",
+                     help="GROUP BY operations by physical strategy",
+                     strategy=strategy).inc()
+    REGISTRY.counter("repro_groupby_rows_total",
+                     help="rows aggregated by GROUP BY",
+                     strategy=strategy).inc(rows)
+
+
+def record_maintenance(op: str, cells_touched: int) -> None:
+    """One materialized-cube maintenance operation."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_maintenance_operations_total",
+                     help="materialized-cube maintenance operations",
+                     op=op).inc()
+    REGISTRY.counter("repro_maintenance_cells_touched_total",
+                     help="cube cells touched by maintenance",
+                     op=op).inc(cells_touched)
+
+
+def record_materialized_lookup(hit: bool) -> None:
+    """A point lookup against a materialized cube (cache-style
+    hit/miss hook)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_materialized_cube_lookups_total",
+                     help="materialized-cube point lookups",
+                     result="hit" if hit else "miss").inc()

@@ -1,0 +1,315 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Metrics are the durable, cumulative complement to spans: a span tells
+you where one query's time went, the registry tells you what the
+process has done since it started -- queries served, rows scanned,
+cells produced, sort spills, materialized-cube hit/miss ratios.
+
+Zero dependencies.  Metrics are identified by (name, labels); the
+get-or-create accessors (:meth:`MetricsRegistry.counter` etc.) return
+the same instance for the same identity, so instrumentation sites just
+call ``registry.counter("repro_x_total", algorithm="sort").inc()``.
+
+Export formats (see :mod:`repro.obs.export` for file helpers):
+
+- :meth:`MetricsRegistry.to_json_lines` -- one JSON object per metric;
+- :meth:`MetricsRegistry.to_prometheus` -- Prometheus text exposition
+  (``# HELP`` / ``# TYPE`` / ``name{labels} value``; histograms render
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``).
+
+The registry can be disabled (``set_enabled(False)``); accessors then
+return a shared no-op metric so instrumented code pays one flag check.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterator
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "format_delta",
+]
+
+#: Default histogram buckets, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class _Metric:
+    """Common identity + lock for all metric kinds."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "labels", "_lock")
+
+    def __init__(self, name: str, help_text: str,
+                 labels: dict[str, str]) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels = labels
+        self._lock = threading.Lock()
+
+    def label_suffix(self) -> str:
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"'
+                         for k, v in sorted(self.labels.items()))
+        return "{" + inner + "}"
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str,
+                 labels: dict[str, str]) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str,
+                 labels: dict[str, str]) -> None:
+        super().__init__(name, help_text, labels)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+
+class Histogram(_Metric):
+    """Bucketed observations plus count/sum/min/max."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, help_text: str, labels: dict[str, str],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, labels)
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[position] += 1
+                    break
+
+
+class _NoopMetric:
+    """Absorbs updates while the registry is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_METRIC = _NoopMetric()
+
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, labelled metrics."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: dict[_Key, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- accessors --------------------------------------------------------
+
+    def _get(self, cls: type, name: str, help_text: str,
+             labels: dict[str, Any], **extra: Any) -> Any:
+        if not self.enabled:
+            return _NOOP_METRIC
+        label_strs = {k: str(v) for k, v in labels.items()}
+        key: _Key = (name, tuple(sorted(label_strs.items())))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, help_text, label_strs, **extra)
+                self._metrics[key] = metric
+            elif type(metric) is not cls:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def set_enabled(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def reset(self) -> None:
+        """Drop every metric (tests and between-benchmark isolation)."""
+        with self._lock:
+            self._metrics = {}
+
+    # -- introspection / export -------------------------------------------
+
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Every metric as a plain dict (stable across exporters)."""
+        out = []
+        for metric in self:
+            record: dict[str, Any] = {"name": metric.name,
+                                      "type": metric.kind,
+                                      "labels": dict(metric.labels)}
+            if isinstance(metric, (Counter, Gauge)):
+                record["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["min"] = metric.min
+                record["max"] = metric.max
+                record["buckets"] = {
+                    str(bound): count for bound, count
+                    in zip(metric.buckets, metric.bucket_counts)}
+            out.append(record)
+        out.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return out
+
+    def to_json_lines(self) -> str:
+        return "\n".join(json.dumps(record, sort_keys=True)
+                         for record in self.snapshot())
+
+    def to_prometheus(self) -> str:
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        metrics = sorted(self, key=lambda m: (m.name,
+                                              sorted(m.labels.items())))
+        for metric in metrics:
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            suffix = metric.label_suffix()
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{metric.name}{suffix} {_num(metric.value)}")
+            elif isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets,
+                                        metric.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_with_le(metric.labels, bound)} {cumulative}")
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f'{_with_le(metric.labels, "+Inf")} {metric.count}')
+                lines.append(
+                    f"{metric.name}_sum{suffix} {_num(metric.sum)}")
+                lines.append(
+                    f"{metric.name}_count{suffix} {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _with_le(labels: dict[str, str], bound: Any) -> str:
+    items = sorted(labels.items()) + [("le", str(bound))]
+    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def format_delta(before: list[dict], after: list[dict]) -> list[str]:
+    """Human-readable lines for metrics that changed between two
+    :meth:`MetricsRegistry.snapshot` calls (the shell's ``\\metrics``
+    display)."""
+
+    def key(record: dict) -> tuple:
+        return (record["name"], tuple(sorted(record["labels"].items())))
+
+    def scalar(record: dict) -> float:
+        if record["type"] == "histogram":
+            return record["count"]
+        return record["value"]
+
+    previous = {key(r): scalar(r) for r in before}
+    lines = []
+    for record in after:
+        now = scalar(record)
+        delta = now - previous.get(key(record), 0)
+        if delta == 0:
+            continue
+        labels = "".join(
+            f" {k}={v}" for k, v in sorted(record["labels"].items()))
+        unit = " observations" if record["type"] == "histogram" else ""
+        lines.append(f"{record['name']}{labels} +{_num(delta)}{unit} "
+                     f"(now {_num(now)})")
+    return lines
+
+
+#: The process-wide default registry all built-in instrumentation uses.
+REGISTRY = MetricsRegistry()

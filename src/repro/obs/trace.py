@@ -1,0 +1,320 @@
+"""A lightweight tracing API for cube computations.
+
+The paper argues about cube algorithms entirely in observable cost
+terms -- scans, ``Iter()`` calls, ``Iter_super`` merges, sort passes --
+and :class:`~repro.compute.stats.ComputeStats` counts them.  Spans add
+the missing half: *where the wall-clock time went*.  A span is a named,
+timed region with attributes, optional point events, an optional
+attached counter snapshot, and child spans, forming a tree per query:
+
+    sql.query
+      cube.compute (algorithm=from-core)
+        cube.node (dims=Model,Year,Color, role=core)
+        cube.node (dims=Model,Year, parent=Model,Year,Color)
+        ...
+
+Tracing is **off by default** and near-zero-overhead while off:
+:func:`span` returns a shared no-op object whose context-manager and
+mutator methods do nothing, so instrumented code pays one module-global
+load and a ``None`` check per span site.  Enable with
+:func:`enable_tracing` (process-wide) or the :func:`tracing` context
+manager (scoped, used by ``EXPLAIN ANALYZE``).
+
+Thread model: each :class:`Tracer` keeps a per-thread stack of open
+spans, so nesting is automatic within a thread.  Code that fans work
+out to a pool (the parallel algorithm) captures :func:`current_span`
+in the coordinating thread and passes it as ``parent=`` so the worker
+spans attach under the right node.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "render_span_rows",
+    "span",
+    "tracing",
+    "tracing_enabled",
+    "use_tracer",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def attach_stats(self, stats: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One named, timed region of work.
+
+    Use as a context manager; duration is measured with
+    ``time.perf_counter`` and stored in :attr:`duration_ms` at exit.
+    """
+
+    __slots__ = ("name", "attributes", "children", "events", "stats",
+                 "duration_ms", "error", "_started", "_tracer", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 parent: Optional["Span"],
+                 attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.events: list[dict[str, Any]] = []
+        self.stats: dict[str, Any] | None = None
+        self.duration_ms: float | None = None
+        self.error: str | None = None
+        self._started: float | None = None
+        self._tracer = tracer
+        self._parent = parent
+
+    # -- context manager --------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._attach(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._started is not None
+        self.duration_ms = (time.perf_counter() - self._started) * 1000.0
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._detach(self)
+        return False
+
+    # -- mutators ---------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Add/overwrite attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event (e.g. a partition spill)."""
+        at_ms = 0.0
+        if self._started is not None:
+            at_ms = (time.perf_counter() - self._started) * 1000.0
+        self.events.append({"name": name, "at_ms": at_ms, **attributes})
+
+    def attach_stats(self, stats: Any) -> None:
+        """Snapshot a counter object (duck-typed ``as_dict()``)."""
+        if hasattr(stats, "as_dict"):
+            self.stats = stats.as_dict()
+        elif isinstance(stats, dict):
+            self.stats = dict(stats)
+        else:
+            self.stats = {"repr": repr(stats)}
+
+    # -- introspection ----------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span then every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name,
+                               "duration_ms": self.duration_ms}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.stats is not None:
+            out["stats"] = dict(self.stats)
+        if self.events:
+            out["events"] = list(self.events)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        timing = (f"{self.duration_ms:.3f}ms"
+                  if self.duration_ms is not None else "open")
+        return f"<Span {self.name} {timing} children={len(self.children)}>"
+
+
+class Tracer:
+    """Collects finished root spans; hands out child spans per thread."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, *, parent: Span | None = None,
+             **attributes: Any) -> Span:
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        return Span(self, name, parent, attributes)
+
+    def _attach(self, span: Span) -> None:
+        parent = span._parent
+        with self._lock:
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+        self._stack().append(span)
+
+    def _detach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return list(self.roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots = []
+
+
+# -- module-level switchboard --------------------------------------------------
+
+_active: Tracer | None = None
+
+
+def span(name: str, *, parent: Span | None = None,
+         **attributes: Any) -> "Span | _NoopSpan":
+    """A span under the active tracer, or the shared no-op when
+    tracing is disabled (the default)."""
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, parent=parent, **attributes)
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if tracing is active."""
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.current()
+
+
+def current_tracer() -> Tracer | None:
+    return _active
+
+
+def tracing_enabled() -> bool:
+    return _active is not None
+
+
+def enable_tracing() -> Tracer:
+    """Install a fresh process-wide tracer and return it."""
+    global _active
+    _active = Tracer()
+    return _active
+
+
+def disable_tracing() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None) -> Iterator[Tracer | None]:
+    """Temporarily install ``tracer`` (or None) as the active tracer."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous
+
+
+@contextmanager
+def tracing() -> Iterator[Tracer]:
+    """Scoped tracing: a fresh tracer active for the block only."""
+    with use_tracer(Tracer()) as tracer:
+        assert tracer is not None
+        yield tracer
+
+
+# -- rendering -----------------------------------------------------------------
+
+_STAT_ORDER = ("base_scans", "iter_calls", "merge_calls", "sort_operations",
+               "rows_sorted", "cells_produced", "max_resident_cells",
+               "partitions", "spills", "passes")
+_STAT_SHORT = {"base_scans": "scans", "iter_calls": "iter",
+               "merge_calls": "merge", "sort_operations": "sorts",
+               "rows_sorted": "rows_sorted", "cells_produced": "cells",
+               "max_resident_cells": "resident", "partitions": "parts",
+               "spills": "spills", "passes": "passes"}
+
+
+def _format_detail(span: Span) -> str:
+    parts: list[str] = []
+    if span.duration_ms is not None:
+        parts.append(f"{span.duration_ms:.3f} ms")
+    for key, value in span.attributes.items():
+        parts.append(f"{key}={value}")
+    if span.stats:
+        counters = " ".join(
+            f"{_STAT_SHORT[k]}={span.stats[k]}" for k in _STAT_ORDER
+            if span.stats.get(k))
+        if counters:
+            parts.append(f"[{counters}]")
+    if span.error is not None:
+        parts.append(f"error={span.error}")
+    return "  ".join(parts)
+
+
+def render_span_rows(root: Span, *, indent: str = "  ",
+                     depth: int = 0) -> list[tuple[str, str]]:
+    """The span tree as (step, detail) rows for EXPLAIN ANALYZE."""
+    rows = [(indent * depth + root.name, _format_detail(root))]
+    for event in root.events:
+        extras = " ".join(f"{k}={v}" for k, v in event.items()
+                          if k not in ("name", "at_ms"))
+        rows.append((indent * (depth + 1) + f"@ {event['name']}",
+                     f"{event['at_ms']:.3f} ms  {extras}".rstrip()))
+    for child in root.children:
+        rows.extend(render_span_rows(child, indent=indent, depth=depth + 1))
+    return rows

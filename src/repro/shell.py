@@ -11,6 +11,9 @@ meta-commands start with a backslash:
     \\nullmode            toggle ALL vs NULL+GROUPING output (Sec. 3.4)
     \\lint                toggle strict lint mode (repro.lint checks
                           run before execution; errors block the query)
+    \\timing              toggle wall-clock timing of each statement
+    \\metrics             toggle per-statement metric deltas (the
+                          repro.obs registry; see docs/OBSERVABILITY.md)
     \\quit                exit
 
 The shell is a thin, testable wrapper over
@@ -22,6 +25,7 @@ trigger-maintained cubes.
 from __future__ import annotations
 
 import sys
+import time
 from typing import Callable
 
 from repro.data import (
@@ -32,6 +36,7 @@ from repro.data import (
 )
 from repro.engine.catalog import Catalog
 from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY, format_delta
 from repro.sql.executor import SQLSession
 from repro.types import NullMode
 
@@ -60,6 +65,8 @@ class Shell:
             Catalog())
         self.buffer: list[str] = []
         self.done = False
+        self.timing = False
+        self.metrics = False
 
     @property
     def prompt(self) -> str:
@@ -79,14 +86,25 @@ class Shell:
         return self._run(sql)
 
     def _run(self, sql: str) -> str:
+        before = REGISTRY.snapshot() if self.metrics else None
+        started = time.perf_counter()
         try:
             result = self.session.execute(sql)
         except ReproError as error:
             return f"error: {error}"
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
         if len(result.schema) == 1 \
                 and result.schema.names == ("rows_affected",):
-            return f"{result.rows[0][0]} row(s) affected"
-        return result.to_ascii(max_rows=40)
+            output = f"{result.rows[0][0]} row(s) affected"
+        else:
+            output = result.to_ascii(max_rows=40)
+        if self.metrics:
+            lines = format_delta(before, REGISTRY.snapshot())
+            if lines:
+                output += "\n" + "\n".join(lines)
+        if self.timing:
+            output += f"\nTime: {elapsed_ms:.2f} ms"
+        return output
 
     def _meta(self, command: str) -> str:
         parts = command.split()
@@ -131,6 +149,16 @@ class Shell:
                 return ("strict lint mode ON: queries are checked "
                         "before execution (see docs/LINTING.md)")
             return "strict lint mode OFF"
+        if name == "\\timing":
+            self.timing = not self.timing
+            return f"timing {'ON' if self.timing else 'OFF'}"
+        if name == "\\metrics":
+            self.metrics = not self.metrics
+            if self.metrics:
+                return ("metrics ON: each statement prints the "
+                        "repro.obs registry delta "
+                        "(see docs/OBSERVABILITY.md)")
+            return "metrics OFF"
         return f"unknown command {name}; try \\help"
 
 

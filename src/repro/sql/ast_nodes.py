@@ -295,6 +295,13 @@ class ExplainStmt:
     analyzable, and EXPLAIN shows it: the grouping specification, the
     grouping-set count, the chosen algorithm with its rationale, and
     the estimated result size.
+
+    With ``analyze=True`` (``EXPLAIN ANALYZE ...``) the statement is
+    actually executed under a tracer and the rendered span tree -- wall
+    clock per step plus the machine-independent
+    :class:`~repro.compute.stats.ComputeStats` counters -- is returned
+    instead of the static plan.
     """
 
     statement: "Statement"
+    analyze: bool = False

@@ -22,12 +22,13 @@ The execution pipeline for one SELECT:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Optional
 
 from repro.aggregates.registry import AggregateRegistry, default_registry
 from repro.core.grouping import GroupingSpec
 from repro.compute.base import build_task
-from repro.compute.optimizer import choose_algorithm
+from repro.compute.optimizer import choose_algorithm, make_algorithm
 from repro.engine.catalog import Catalog
 from repro.engine.expressions import (
     Arithmetic,
@@ -51,6 +52,8 @@ from repro.engine.operators import filter_rows, union_all, union_distinct
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.errors import SQLExecutionError, SQLPlanError
+from repro.obs import instrument, trace
+from repro.obs.trace import Tracer, render_span_rows, use_tracer
 from repro.sql import functions as _functions  # noqa: F401  (registers)
 from repro.sql.ast_nodes import (
     AggregateCall,
@@ -191,16 +194,23 @@ class SQLSession:
     :class:`~repro.errors.LintError` on error-severity findings;
     warnings never block.  EXPLAIN always reports the diagnostics
     (as ``lint`` steps) without raising.
+
+    ``algorithm`` pins the cube algorithm for grouped queries (a name
+    from :data:`repro.compute.optimizer.ALGORITHMS`) instead of letting
+    the optimizer choose -- the knob EXPLAIN ANALYZE uses to profile
+    one strategy against another on the same query.
     """
 
     def __init__(self, catalog: Catalog | None = None, *,
                  registry: AggregateRegistry | None = None,
                  null_mode: NullMode = NullMode.ALL_VALUE,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 algorithm: str | None = None) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.registry = registry or default_registry
         self.null_mode = null_mode
         self.strict = strict
+        self.algorithm = algorithm
 
     def register(self, name: str, table: Table, *,
                  replace: bool = False) -> Table:
@@ -217,17 +227,29 @@ class SQLSession:
         SQL is a full driver for Section 6's maintained cubes.
         """
         statement = parse_any(sql, registry=self.registry)
+        kind, runner = self._dispatch(statement)
+        started = time.perf_counter()
+        with trace.span("sql.query", kind=kind):
+            result = runner()
+        instrument.record_query(time.perf_counter() - started, kind=kind)
+        return result
+
+    def _dispatch(self, statement) -> tuple[str, Callable[[], Table]]:
+        """Statement kind label plus the thunk that runs it."""
         if isinstance(statement, ExplainStmt):
-            return self.explain(statement.statement)
+            if statement.analyze:
+                return ("explain_analyze",
+                        lambda: self.explain_analyze(statement.statement))
+            return "explain", lambda: self.explain(statement.statement)
         if isinstance(statement, InsertStmt):
-            return self._run_insert(statement)
+            return "insert", lambda: self._run_insert(statement)
         if isinstance(statement, DeleteStmt):
-            return self._run_delete(statement)
+            return "delete", lambda: self._run_delete(statement)
         if isinstance(statement, UpdateStmt):
-            return self._run_update(statement)
+            return "update", lambda: self._run_update(statement)
         if isinstance(statement, CreateTableStmt):
-            return self._run_create(statement)
-        return self.run(statement)
+            return "create", lambda: self._run_create(statement)
+        return "select", lambda: self.run(statement)
 
     @staticmethod
     def _affected(count: int) -> Table:
@@ -329,6 +351,30 @@ class SQLSession:
             steps.append(("order by", keys))
         for diagnostic in self._lint(statement):
             steps.append(("lint", diagnostic.format_line()))
+        return Table(Schema([Column("step", DataType.STRING),
+                             Column("detail", DataType.STRING)]), steps)
+
+    def explain_analyze(self, statement: Statement) -> Table:
+        """``EXPLAIN ANALYZE``: execute, then render the observed plan.
+
+        The statement runs for real (rows are computed and discarded)
+        under a private :class:`~repro.obs.trace.Tracer`, so spans are
+        collected even when session-wide tracing is off and nothing
+        leaks into a tracer the caller may have installed.  The result
+        is the span tree as (step, detail) rows: indentation shows
+        nesting, each row carries the wall-clock duration, and cube
+        spans append their :class:`ComputeStats` counters.
+        """
+        tracer = Tracer()
+        started = time.perf_counter()
+        with use_tracer(tracer):
+            with tracer.span("sql.query", kind="select"):
+                result = self.run(statement)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        steps: list[tuple[str, str]] = [
+            ("analyze", f"{len(result)} rows in {elapsed_ms:.2f} ms")]
+        for root in tracer.roots:
+            steps.extend(render_span_rows(root))
         return Table(Schema([Column("step", DataType.STRING),
                              Column("detail", DataType.STRING)]), steps)
 
@@ -685,7 +731,8 @@ class SQLSession:
                                 rollup=tuple(rollup_names),
                                 cube=tuple(cube_names))
             task = build_task(table, dims, specs, spec.grouping_sets())
-            algorithm = choose_algorithm(task)
+            algorithm = (make_algorithm(self.algorithm) if self.algorithm
+                         else choose_algorithm(task))
             grouped = algorithm.compute(task).table
 
         # rewrite select/having expressions against the grouped schema

@@ -142,7 +142,15 @@ class Parser:
             return self.parse_create_table()
         if self.check_keyword("EXPLAIN"):
             self.advance()
-            return ExplainStmt(statement=self.parse_statement())
+            # ANALYZE is deliberately not a reserved keyword (columns may
+            # be named "analyze"); it only means something right here.
+            analyze = False
+            if (self.current.type is TokenType.IDENT
+                    and self.current.value.upper() == "ANALYZE"):
+                self.advance()
+                analyze = True
+            return ExplainStmt(statement=self.parse_statement(),
+                               analyze=analyze)
         return self.parse_statement()
 
     def parse_insert(self) -> InsertStmt:

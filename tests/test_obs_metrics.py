@@ -1,0 +1,113 @@
+"""Unit tests for the metrics half of :mod:`repro.obs`."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import REGISTRY, MetricsRegistry, format_delta
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_basics(registry):
+    c = registry.counter("requests_total", help="requests")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ObservabilityError):
+        c.inc(-1)
+
+
+def test_labels_create_distinct_series(registry):
+    a = registry.counter("ops_total", kind="a")
+    b = registry.counter("ops_total", kind="b")
+    assert a is not b
+    a.inc()
+    assert a.value == 1
+    assert b.value == 0
+    # same name+labels returns the same instance (get-or-create)
+    assert registry.counter("ops_total", kind="a") is a
+
+
+def test_kind_mismatch_raises(registry):
+    registry.counter("thing")
+    with pytest.raises(ObservabilityError):
+        registry.gauge("thing")
+
+
+def test_gauge_set_inc_dec(registry):
+    g = registry.gauge("resident_cells")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12
+
+
+def test_histogram_observe_and_buckets(registry):
+    h = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    assert h.count == 3
+    assert h.sum == pytest.approx(5.55)
+    assert h.min == pytest.approx(0.05)
+    assert h.max == pytest.approx(5.0)
+
+
+def test_disabled_registry_hands_out_noops(registry):
+    registry.set_enabled(False)
+    c = registry.counter("ignored_total")
+    c.inc(100)
+    registry.set_enabled(True)
+    real = registry.counter("ignored_total")
+    assert real.value == 0
+
+
+def test_reset_clears_series(registry):
+    registry.counter("x_total").inc()
+    registry.reset()
+    assert registry.counter("x_total").value == 0
+
+
+def test_json_lines_export(registry):
+    registry.counter("a_total", help="help a").inc(2)
+    registry.histogram("b_seconds", buckets=(1.0,)).observe(0.5)
+    lines = registry.to_json_lines().strip().splitlines()
+    records = [json.loads(line) for line in lines]
+    by_name = {r["name"]: r for r in records}
+    assert by_name["a_total"]["value"] == 2
+    assert by_name["b_seconds"]["count"] == 1
+
+
+def test_prometheus_export_shapes(registry):
+    registry.counter("q_total", help="queries", kind="select").inc(3)
+    registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    text = registry.to_prometheus()
+    assert "# TYPE q_total counter" in text
+    assert 'q_total{kind="select"} 3' in text
+    assert "# TYPE lat_seconds histogram" in text
+    # cumulative buckets plus the +Inf catch-all, _sum and _count
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1.0"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_count 1" in text
+
+
+def test_format_delta_reports_only_changes(registry):
+    c = registry.counter("grew_total")
+    registry.counter("static_total").inc(7)
+    before = registry.snapshot()
+    c.inc(2)
+    lines = format_delta(before, registry.snapshot())
+    assert any("grew_total +2 (now 2)" in line for line in lines)
+    assert not any("static_total" in line for line in lines)
+
+
+def test_process_registry_is_shared():
+    from repro.obs import metrics
+    assert metrics.REGISTRY is REGISTRY
+    assert isinstance(REGISTRY, MetricsRegistry)

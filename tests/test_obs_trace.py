@@ -1,0 +1,142 @@
+"""Unit tests for the tracing half of :mod:`repro.obs`."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    current_span,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    render_span_rows,
+    span,
+    tracing,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+def test_disabled_by_default_returns_shared_noop():
+    assert not tracing_enabled()
+    s = span("anything", foo=1)
+    assert s is NOOP_SPAN
+    # the no-op span supports the full protocol without doing anything
+    with s as inner:
+        inner.set(bar=2)
+        inner.event("boom")
+        inner.attach_stats(object())
+    assert current_span() is None
+    assert current_tracer() is None
+
+
+def test_enable_disable_roundtrip():
+    tracer = enable_tracing()
+    try:
+        assert tracing_enabled()
+        assert current_tracer() is tracer
+    finally:
+        disable_tracing()
+    assert not tracing_enabled()
+
+
+def test_span_nesting_and_attributes():
+    with tracing() as tracer:
+        with span("outer", a=1) as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                inner.set(b=2)
+                inner.event("tick", n=3)
+            with span("inner2"):
+                pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "outer"
+    assert root.attributes == {"a": 1}
+    assert [child.name for child in root.children] == ["inner", "inner2"]
+    assert root.children[0].attributes == {"b": 2}
+    (event,) = root.children[0].events
+    assert event["name"] == "tick"
+    assert event["n"] == 3
+    assert event["at_ms"] >= 0
+    assert root.duration_ms is not None and root.duration_ms >= 0
+    for child in root.children:
+        assert child.duration_ms <= root.duration_ms
+
+
+def test_tracing_context_restores_previous_tracer():
+    outer_tracer = enable_tracing()
+    try:
+        with use_tracer(Tracer()) as inner_tracer:
+            with span("inside"):
+                pass
+            assert current_tracer() is inner_tracer
+        assert current_tracer() is outer_tracer
+        assert outer_tracer.roots == []
+        assert inner_tracer.roots[0].name == "inside"
+    finally:
+        disable_tracing()
+
+
+def test_span_records_error_on_exception():
+    with tracing() as tracer:
+        with pytest.raises(ValueError):
+            with span("fails"):
+                raise ValueError("boom")
+    root = tracer.roots[0]
+    assert root.error is not None
+    assert "boom" in root.error
+    assert root.duration_ms is not None
+
+
+def test_explicit_parent_for_worker_threads():
+    """Worker threads attach to a coordinator span passed explicitly."""
+    with tracing() as tracer:
+        with span("coordinator") as parent:
+            def work(i):
+                with span("worker", parent=parent, worker=i):
+                    pass
+            threads = [threading.Thread(target=work, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+    root = tracer.roots[0]
+    names = [child.name for child in root.children]
+    assert names == ["worker"] * 3
+    assert sorted(c.attributes["worker"] for c in root.children) == [0, 1, 2]
+
+
+def test_walk_and_to_dict():
+    with tracing() as tracer:
+        with span("a"):
+            with span("b"):
+                with span("c"):
+                    pass
+    root = tracer.roots[0]
+    assert [s.name for s in root.walk()] == ["a", "b", "c"]
+    as_dict = root.to_dict()
+    assert as_dict["name"] == "a"
+    assert as_dict["children"][0]["children"][0]["name"] == "c"
+
+
+def test_render_span_rows_shows_durations_and_stats():
+    from repro.compute.stats import ComputeStats
+
+    with tracing() as tracer:
+        with span("cube.compute", algorithm="x") as s:
+            stats = ComputeStats(algorithm="x")
+            stats.iter_calls = 7
+            stats.cells_produced = 3
+            s.attach_stats(stats)
+            with span("cube.node", dims="a"):
+                pass
+    rows = render_span_rows(tracer.roots[0])
+    assert rows[0][0] == "cube.compute"
+    assert "ms" in rows[0][1]
+    assert "iter=7" in rows[0][1]
+    assert "cells=3" in rows[0][1]
+    assert rows[1][0].startswith("  ")  # child indented

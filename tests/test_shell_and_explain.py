@@ -82,6 +82,31 @@ class TestShell:
         assert shell.handle_line("") == ""
         assert shell.handle_line("   ") == ""
 
+    def test_timing_toggle(self, shell):
+        assert "timing ON" in shell.handle_line("\\timing")
+        output = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert "Time:" in output and "ms" in output
+        assert "timing OFF" in shell.handle_line("\\timing")
+        output = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert "Time:" not in output
+
+    def test_metrics_toggle(self, shell):
+        assert "metrics ON" in shell.handle_line("\\metrics")
+        output = shell.handle_line(
+            "SELECT Model, SUM(Units) FROM Sales GROUP BY CUBE Model;")
+        assert "repro_sql_queries_total" in output
+        assert "repro_cube_cells_produced_total" in output
+        assert "metrics OFF" in shell.handle_line("\\metrics")
+        output = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert "repro_sql_queries_total" not in output
+
+    def test_explain_analyze_via_shell(self, shell):
+        output = shell.handle_line(
+            "EXPLAIN ANALYZE SELECT Model, SUM(Units) FROM Sales "
+            "GROUP BY CUBE Model;")
+        assert "analyze" in output
+        assert "cube.compute" in output
+
 
 class TestExplain:
     @pytest.fixture
