@@ -27,6 +27,7 @@ import numpy as np
 from repro.aggregates.distributive import Count, CountStar, Max, Min, Sum
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.errors import CubeError
+from repro.resilience import context as rctx
 from repro.types import ALL, is_null_or_all, sort_key
 
 __all__ = ["ArrayCubeAlgorithm"]
@@ -113,10 +114,15 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
             value_lists.append(values)
             encoders.append({v: j for j, v in enumerate(values)})
         shape = tuple(len(values) + 1 for values in value_lists)  # +1 = ALL
+        # the dense array commits to one slot per coordinate up front --
+        # charge the whole allocation, so sparse data over wide domains
+        # trips the budget here and degrades to the external algorithm
+        dense_slots = int(np.prod(shape))
+        rctx.charge_cells(dense_slots, "array dense allocation")
         # every dense slot is an initialized scratchpad per aggregate
         # (the array analogue of Init), so emitted cells never outnumber
         # starts -- the Figure 7 accounting the property tests assert
-        stats.start_calls = int(np.prod(shape)) * task.n_aggs
+        stats.start_calls = dense_slots * task.n_aggs
 
         t_rows = len(task.rows)
         coords = np.empty((t_rows, n), dtype=np.int64)
@@ -141,6 +147,7 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
                        reverse=self.projection_order == "largest")
         stats.notes["projection_order"] = [task.dims[i] for i in order]
         for axis in order:
+            rctx.checkpoint("array projection axis")
             ci = len(value_lists[axis])
             core_slice = [slice(None)] * n
             core_slice[axis] = slice(0, ci)
@@ -177,6 +184,7 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
                                for acc in accumulators)
                 cells.append((coordinate, values))
 
+        rctx.release_cells(dense_slots)
         stats.end_calls += len(cells) * task.n_aggs
         stats.cells_produced = len(cells)
         return CubeResult(table=task.result_table(cells), stats=stats)

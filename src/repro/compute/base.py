@@ -127,6 +127,8 @@ class CubeTask:
     # -- shared fold helpers -------------------------------------------------
 
     def new_handles(self, stats: ComputeStats) -> list[Handle]:
+        from repro.resilience import context as rctx
+        rctx.charge_cells(1)
         stats.start_calls += len(self.functions)
         return [fn.start() for fn in self.functions]
 
@@ -171,12 +173,47 @@ class CubeAlgorithm(ABC):
     Every algorithm is therefore observable uniformly -- strategies only
     implement :meth:`_compute` (and may open child spans for their
     per-lattice-node / per-chain / per-partition structure).
+
+    When an :class:`~repro.resilience.ExecutionContext` is supplied (or
+    already active), :meth:`compute` additionally enforces the runtime
+    side of the Section 5 memory economics: the strategy runs under the
+    context's cell accountant, and a mid-flight
+    :class:`~repro.errors.ResourceBudgetExceededError` degrades the
+    computation to the memory-bounded external algorithm instead of
+    failing -- provided degradation is enabled, every aggregate is
+    mergeable, and the breaching algorithm is not already the external
+    one.
     """
 
     name: str = ""
 
-    def compute(self, task: CubeTask) -> CubeResult:
-        """Produce the cube relation for ``task`` (traced + metered)."""
+    def compute(self, task: CubeTask, *,
+                context: "Any" = None) -> CubeResult:
+        """Produce the cube relation for ``task`` (traced + metered).
+
+        ``context`` is an optional
+        :class:`~repro.resilience.ExecutionContext`; when omitted, any
+        context already installed via
+        :func:`repro.resilience.use_context` governs the run.
+        """
+        from repro.resilience import context as rctx
+        ctx = context if context is not None else rctx.current_context()
+        if ctx is None:
+            return self._instrumented_compute(task)
+        from repro.errors import ResourceBudgetExceededError
+        with rctx.use_context(ctx):
+            ctx.check("cube.compute")
+            try:
+                with ctx.attempt():
+                    return self._instrumented_compute(task)
+            except ResourceBudgetExceededError:
+                if (not ctx.degrade or not task.all_mergeable()
+                        or self.name == "external"):
+                    raise
+            return self._degraded_compute(ctx, task)
+
+    def _instrumented_compute(self, task: CubeTask) -> CubeResult:
+        """The original span + metrics envelope around :meth:`_compute`."""
         from repro.obs import instrument, trace
         started = time.perf_counter()
         with trace.span("cube.compute",
@@ -189,6 +226,29 @@ class CubeAlgorithm(ABC):
         instrument.record_cube_compute(
             result.stats, time.perf_counter() - started,
             input_rows=len(task.rows))
+        return result
+
+    def _degraded_compute(self, ctx: "Any", task: CubeTask) -> CubeResult:
+        """Re-run ``task`` under the external (memory-bounded) algorithm
+        after a budget breach -- the paper's "even the core exceeds the
+        memory budget" fallback, applied at runtime."""
+        from repro.compute.external import ExternalCubeAlgorithm
+        from repro.obs import instrument, trace
+        from_name = self.name or type(self).__name__
+        budget = ctx.memory_budget if ctx.memory_budget is not None else 1024
+        instrument.record_degradation(from_name)
+        fallback = ExternalCubeAlgorithm(memory_budget=budget)
+        with trace.span("cube.degrade",
+                        from_algorithm=from_name,
+                        to_algorithm=fallback.name,
+                        memory_budget=budget) as span:
+            span.event("budget_exceeded", resident_cells=ctx.peak_cells,
+                       memory_budget=budget)
+            # The external algorithm bounds its own residency; charging
+            # its scratchpad against the blown budget would re-raise.
+            with ctx.attempt(), ctx.budget_suspended():
+                result = fallback._instrumented_compute(task)
+        result.stats.notes["degraded_from"] = from_name
         return result
 
     @abstractmethod

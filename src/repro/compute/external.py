@@ -31,6 +31,8 @@ from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import CubeError, NotMergeableError
 from repro.obs import trace
+from repro.resilience import context as rctx
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = ["ExternalCubeAlgorithm"]
 
@@ -44,6 +46,17 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
         self.memory_budget = memory_budget
 
     def _compute(self, task: CubeTask) -> CubeResult:
+        # The external algorithm bounds its own residency (that is its
+        # whole point), so the context accountant observes but never
+        # enforces here -- otherwise a context budget equal to ours
+        # would fail the exact algorithm meant to honor it.
+        ctx = rctx.current_context()
+        if ctx is None:
+            return self._compute_inner(task)
+        with ctx.budget_suspended():
+            return self._compute_inner(task)
+
+    def _compute_inner(self, task: CubeTask) -> CubeResult:
         if not task.all_mergeable():
             bad = [fn.name for fn in task.functions if not fn.mergeable]
             raise NotMergeableError(
@@ -71,9 +84,10 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
             stats.spills = n_partitions if n_partitions > 1 else 0
             pass_span.set(partitions=n_partitions, spills=stats.spills)
             if n_partitions > 1:
+                ctx = rctx.current_context()
+                policy = ctx.retry if ctx is not None else RetryPolicy()
                 for index, partition in enumerate(partitions):
-                    pass_span.event("spill", partition=index,
-                                    rows=len(partition))
+                    self._write_spill(pass_span, index, partition, policy)
 
         # resident super-aggregate cells (stay in memory throughout)
         supers: dict[Mask, dict[tuple, list[Handle]]] = {
@@ -84,6 +98,7 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
         # -- pass 2: one partition at a time ---------------------------------
         stats.passes += 1
         for index, partition in enumerate(partitions):
+            rctx.checkpoint("external partition")
             with trace.span("cube.partition", index=index,
                             rows=len(partition)) as span:
                 core_cells: dict[tuple, list[Handle]] = {}
@@ -115,6 +130,7 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
                     # the core cell is complete: finalize and evict
                     cells.append((coordinate,
                                   task.finalize(handles, stats)))
+                rctx.release_cells(len(core_cells))
 
         if 0 in task.masks and not task.rows:
             target = supers.get(0)
@@ -127,8 +143,26 @@ class ExternalCubeAlgorithm(CubeAlgorithm):
         for mask in super_masks:
             for coordinate, handles in supers[mask].items():
                 cells.append((coordinate, task.finalize(handles, stats)))
+        rctx.release_cells(sum(len(c) for c in supers.values()))
 
         stats.observe_resident(max_resident)
         stats.cells_produced = len(cells)
         stats.notes["memory_budget"] = self.memory_budget
         return CubeResult(table=task.result_table(cells), stats=stats)
+
+    @staticmethod
+    def _write_spill(pass_span, index: int, partition: list,
+                     policy: RetryPolicy) -> None:
+        """Emit one partition's spill event, retrying injected write
+        failures (the ``spill_write`` chaos point) with bounded backoff."""
+        def on_failure(attempt: int, error: BaseException) -> None:
+            from repro.obs import instrument
+            instrument.record_spill_retry()
+            pass_span.event("spill_retry", partition=index,
+                            attempt=attempt, error=str(error))
+
+        def write(attempt: int) -> None:
+            rctx.inject("spill_write", partition=index, attempt=attempt)
+            pass_span.event("spill", partition=index, rows=len(partition))
+
+        call_with_retry(write, policy=policy, on_failure=on_failure)

@@ -23,6 +23,7 @@ from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import NotMergeableError
 from repro.obs import trace
+from repro.resilience import context as rctx
 
 __all__ = ["FromCoreAlgorithm"]
 
@@ -61,7 +62,9 @@ class FromCoreAlgorithm(CubeAlgorithm):
         with trace.span("cube.node", dims=task.mask_label(core_mask),
                         role="core", rows=len(task.rows)) as span:
             stats.base_scans = 1
-            for row in task.rows:
+            for position, row in enumerate(task.rows):
+                if position & 255 == 0:
+                    rctx.checkpoint("from-core core scan")
                 coordinate = task.coordinate(core_mask, task.dim_values(row))
                 handles = core_cells.get(coordinate)
                 if handles is None:
@@ -75,6 +78,7 @@ class FromCoreAlgorithm(CubeAlgorithm):
             for mask in level_masks:
                 if mask == core_mask:
                     continue
+                rctx.checkpoint("from-core lattice node")
                 parent = self._smallest_computed_parent(lattice, mask, nodes)
                 with trace.span("cube.node", dims=task.mask_label(mask),
                                 parent_node=task.mask_label(parent),
@@ -101,6 +105,7 @@ class FromCoreAlgorithm(CubeAlgorithm):
         for mask in task.masks:
             for coordinate, handles in nodes[mask].items():
                 finalized.append((coordinate, task.finalize(handles, stats)))
+        rctx.release_cells(sum(len(c) for c in nodes.values()))
         stats.cells_produced = len(finalized)
         return CubeResult(table=task.result_table(finalized), stats=stats)
 

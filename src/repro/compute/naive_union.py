@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.obs import trace
+from repro.resilience import context as rctx
 
 __all__ = ["NaiveUnionAlgorithm"]
 
@@ -29,6 +30,7 @@ class NaiveUnionAlgorithm(CubeAlgorithm):
         cells: list[tuple[tuple, tuple]] = []
 
         for mask in task.masks:
+            rctx.checkpoint("naive-union grouping set")
             with trace.span("cube.groupby", dims=task.mask_label(mask),
                             rows=len(task.rows)) as span:
                 stats.base_scans += 1  # each GROUP BY re-scans the base
@@ -37,7 +39,9 @@ class NaiveUnionAlgorithm(CubeAlgorithm):
                     # the (ALL, ALL, ..., ALL) global aggregate: one
                     # group even over empty input, like GROUP BY ()
                     groups[task.coordinate(0, ())] = task.new_handles(stats)
-                for row in task.rows:
+                for position, row in enumerate(task.rows):
+                    if position & 255 == 0:
+                        rctx.checkpoint("naive-union scan")
                     coordinate = task.coordinate(mask, task.dim_values(row))
                     handles = groups.get(coordinate)
                     if handles is None:
@@ -48,6 +52,7 @@ class NaiveUnionAlgorithm(CubeAlgorithm):
                 span.set(cells=len(groups))
                 for coordinate, handles in groups.items():
                     cells.append((coordinate, task.finalize(handles, stats)))
+                rctx.release_cells(len(groups))
 
         stats.cells_produced = len(cells)
         return CubeResult(table=task.result_table(cells), stats=stats)

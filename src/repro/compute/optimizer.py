@@ -30,6 +30,17 @@ from repro.types import is_null_or_all
 
 __all__ = ["ALGORITHMS", "choose_algorithm", "explain_choice"]
 
+
+def _validate_budgets(memory_budget: int | None, dense_budget: int) -> None:
+    """Match ``ExternalCubeAlgorithm.__init__``'s check at plan time, so
+    a bad budget fails before any work rather than mid-selection."""
+    if memory_budget is not None and memory_budget < 1:
+        raise CubeError(
+            f"memory_budget must be at least 1 cell, got {memory_budget}")
+    if dense_budget < 1:
+        raise CubeError(
+            f"dense_budget must be at least 1 cell, got {dense_budget}")
+
 #: Name -> zero-argument factory for every registered algorithm.
 ALGORITHMS: dict[str, type[CubeAlgorithm]] = {
     "naive-union": NaiveUnionAlgorithm,
@@ -63,6 +74,7 @@ def choose_algorithm(task: CubeTask, *,
                      memory_budget: int | None = None,
                      dense_budget: int = 1 << 20) -> CubeAlgorithm:
     """Pick a cube algorithm per the Section 5 decision rules."""
+    _validate_budgets(memory_budget, dense_budget)
     if not task.all_mergeable():
         return TwoNAlgorithm()
     core_estimate = len({task.dim_values(r) for r in task.rows})
@@ -77,6 +89,7 @@ def explain_choice(task: CubeTask, *,
                    memory_budget: int | None = None,
                    dense_budget: int = 1 << 20) -> str:
     """Human-readable rationale for :func:`choose_algorithm`."""
+    _validate_budgets(memory_budget, dense_budget)
     if not task.all_mergeable():
         bad = [fn.name for fn in task.functions if not fn.mergeable]
         return (f"2^N: {bad} are holistic (no Iter_super), so only the "

@@ -18,6 +18,16 @@ scheduling because coalescing iterates partitions in index order.
 Requires mergeable functions: a strict-mode holistic aggregate cannot
 be combined across partitions, which is the parallel-database half of
 the paper's holistic warning.
+
+**Fault isolation.** When an :class:`~repro.resilience.ExecutionContext`
+is active, each worker runs under the context's retry policy: a failed
+attempt is retried with bounded backoff, and a worker that exhausts its
+retries surrenders its partition to the coordinator, which re-executes
+it *serially* after the pool drains (so a genuine, deterministic error
+still propagates -- serial recovery re-raises it).  Coalescing iterates
+partitions in index order regardless of which path produced them, so
+results are bit-identical to the all-healthy (and the fully serial)
+run.  Cancellation is never retried and never recovered.
 """
 
 from __future__ import annotations
@@ -28,13 +38,24 @@ from typing import Sequence
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.compute.stats import ComputeStats
-from repro.errors import CubeError, NotMergeableError
+from repro.errors import CubeError, NotMergeableError, QueryCancelledError
 from repro.obs import trace
 from repro.obs.trace import Span
+from repro.resilience import context as rctx
+from repro.resilience.retry import call_with_retry
 
 __all__ = ["ParallelCubeAlgorithm"]
 
 LocalCube = dict[tuple, list[Handle]]
+
+
+class _FailedWorker:
+    """Sentinel outcome for a worker that exhausted its retries; the
+    coordinator recovers its partition serially."""
+
+    def __init__(self, worker: int, error: BaseException) -> None:
+        self.worker = worker
+        self.error = error
 
 
 class ParallelCubeAlgorithm(CubeAlgorithm):
@@ -62,15 +83,40 @@ class ParallelCubeAlgorithm(CubeAlgorithm):
         # worker threads have their own (empty) span stacks, so the
         # coordinating thread's open span is passed down explicitly
         parent = trace.current_span()
+        ctx = rctx.current_context()
+        if ctx is None:
+            run_worker = (lambda i, rows:
+                          _local_cube(task, rows, worker=i, parent=parent))
+        else:
+            run_worker = (lambda i, rows:
+                          _guarded_local_cube(task, rows, worker=i,
+                                              parent=parent, ctx=ctx))
         if self.use_threads and self.n_workers > 1:
             with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
                 outcomes = list(pool.map(
-                    lambda item: _local_cube(task, item[1], worker=item[0],
-                                             parent=parent),
+                    lambda item: run_worker(item[0], item[1]),
                     enumerate(partitions)))
         else:
-            outcomes = [_local_cube(task, p, worker=i, parent=parent)
-                        for i, p in enumerate(partitions)]
+            outcomes = [run_worker(i, p) for i, p in enumerate(partitions)]
+
+        # -- recover surrendered partitions serially ------------------------
+        failed = [o for o in outcomes if isinstance(o, _FailedWorker)]
+        if failed:
+            from repro.obs import instrument
+            stats.notes["recovered_partitions"] = len(failed)
+            with trace.span("cube.parallel.recover",
+                            failures=len(failed)) as recover_span:
+                for lost in failed:
+                    rctx.checkpoint("parallel recovery")
+                    recover_span.event("recover_partition",
+                                       worker=lost.worker,
+                                       error=str(lost.error))
+                    instrument.record_worker_recovery()
+                    # plain serial re-execution: chaos-exempt, so a
+                    # genuine deterministic error re-raises here
+                    outcomes[lost.worker] = _local_cube(
+                        task, partitions[lost.worker],
+                        worker=lost.worker, parent=recover_span)
 
         locals_, local_stats = zip(*outcomes)
         for worker_stats in local_stats:
@@ -136,3 +182,40 @@ def _local_cube(task: CubeTask, rows: Sequence[tuple], *,
         span.set(cells=len(cells))
         span.attach_stats(stats)
     return cells, stats
+
+
+def _guarded_local_cube(task: CubeTask, rows: Sequence[tuple], *,
+                        worker: int, parent: "Span | None",
+                        ctx) -> "tuple[LocalCube, ComputeStats] | _FailedWorker":
+    """One worker under the context's fault envelope.
+
+    Each attempt polls the cancellation token and fires the
+    ``slow_node`` / ``worker_crash`` chaos points (keyed on worker and
+    attempt, so a seed can crash attempt 0 and spare the retry).
+    Failures retry with bounded backoff; exhausted retries return a
+    :class:`_FailedWorker` sentinel for serial recovery instead of
+    sinking the whole query.  Cancellation propagates immediately.
+    """
+    from repro.obs import instrument
+
+    def on_failure(attempt: int, error: BaseException) -> None:
+        instrument.record_worker_retry()
+        if parent is not None:
+            parent.event("worker_retry", worker=worker, attempt=attempt,
+                         error=str(error))
+
+    def run(attempt: int) -> tuple[LocalCube, ComputeStats]:
+        ctx.check(f"parallel worker {worker}")
+        ctx.inject("slow_node", worker=worker, attempt=attempt)
+        ctx.inject("worker_crash", worker=worker, attempt=attempt)
+        return _local_cube(task, rows, worker=worker, parent=parent)
+
+    try:
+        return call_with_retry(run, policy=ctx.retry, on_failure=on_failure)
+    except QueryCancelledError:
+        raise
+    except Exception as error:
+        instrument.record_worker_failure()
+        if parent is not None:
+            parent.event("worker_failed", worker=worker, error=str(error))
+        return _FailedWorker(worker, error)

@@ -30,6 +30,7 @@ from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import NotMergeableError
 from repro.obs import trace
+from repro.resilience import context as rctx
 from repro.types import sort_key_tuple
 
 __all__ = ["PipeSortAlgorithm"]
@@ -66,6 +67,7 @@ class PipeSortAlgorithm(CubeAlgorithm):
         core_mask = lattice.core
 
         for chain in ordered:
+            rctx.checkpoint("pipesort pipeline")
             head = chain[-1]  # finest member
             dim_order = self._chain_dim_order(task, chain)
             label = " > ".join(task.mask_label(m) for m in chain)
@@ -90,6 +92,7 @@ class PipeSortAlgorithm(CubeAlgorithm):
         for mask in task.masks:
             for coordinate, handles in nodes.get(mask, []):
                 cells.append((coordinate, task.finalize(handles, stats)))
+        rctx.release_cells(sum(len(v) for v in nodes.values()))
         stats.cells_produced = len(cells)
         stats.observe_resident(sum(len(v) for v in nodes.values()))
         return CubeResult(table=task.result_table(cells), stats=stats)
@@ -183,7 +186,9 @@ class PipeSortAlgorithm(CubeAlgorithm):
                 fold(open_handles[level])
 
         if source_rows is not None:
-            for row in source_rows:
+            for position, row in enumerate(source_rows):
+                if position & 255 == 0:
+                    rctx.checkpoint("pipesort scan")
                 values = tuple(row[i] for i in dim_order)
                 feed(values, lambda handles, row=row: task.fold_row(
                     handles, row, stats))

@@ -28,6 +28,7 @@ from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
 from repro.core.grouping import Mask
 from repro.obs import trace
+from repro.resilience import context as rctx
 from repro.types import sort_key_tuple
 
 __all__ = ["SortCubeAlgorithm", "symmetric_chain_decomposition",
@@ -127,6 +128,7 @@ class SortCubeAlgorithm(CubeAlgorithm):
         cells: list[tuple[tuple, tuple]] = []
         max_resident = 0
         for chain in chains:
+            rctx.checkpoint("sort chain")
             label = " > ".join(task.mask_label(m) for m in chain)
             with trace.span("cube.chain", members=label,
                             rows_sorted=len(task.rows)):
@@ -175,10 +177,13 @@ class SortCubeAlgorithm(CubeAlgorithm):
                 mask,
                 tuple(dim_values.get(i) for i in range(task.n_dims)))
             cells.append((coord, task.finalize(handles, stats)))
+            rctx.release_cells(1)
             open_keys[level] = None
             open_handles[level] = None
 
-        for row in ordered_rows:
+        for position, row in enumerate(ordered_rows):
+            if position & 255 == 0:
+                rctx.checkpoint("sort chain scan")
             sort_values = tuple(row[i] for i in dim_order)
             for level, prefix_len in enumerate(prefix_lens):
                 key = sort_values[:prefix_len]
@@ -195,4 +200,5 @@ class SortCubeAlgorithm(CubeAlgorithm):
             handles = task.new_handles(stats)
             cells.append((task.coordinate(0, ()),
                           task.finalize(handles, stats)))
+            rctx.release_cells(1)
         return len(chain)  # open scratchpads resident at once

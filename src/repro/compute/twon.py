@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+from repro.resilience import context as rctx
 
 __all__ = ["TwoNAlgorithm"]
 
@@ -37,7 +38,9 @@ class TwoNAlgorithm(CubeAlgorithm):
             # the global-total cell exists even over empty input
             cells[task.coordinate(0, ())] = task.new_handles(stats)
 
-        for row in task.rows:
+        for position, row in enumerate(task.rows):
+            if position & 255 == 0:
+                rctx.checkpoint("2^N scan")
             dim_values = task.dim_values(row)
             for mask in task.masks:
                 coordinate = task.coordinate(mask, dim_values)
@@ -50,5 +53,6 @@ class TwoNAlgorithm(CubeAlgorithm):
 
         finalized = [(coordinate, task.finalize(handles, stats))
                      for coordinate, handles in cells.items()]
+        rctx.release_cells(len(finalized))
         stats.cells_produced = len(finalized)
         return CubeResult(table=task.result_table(finalized), stats=stats)

@@ -16,7 +16,7 @@ operator in the library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.aggregates.base import AggregateFunction
 from repro.aggregates.registry import AggregateRegistry, default_registry
@@ -30,6 +30,9 @@ from repro.engine.operators import filter_rows, sort as sort_op
 from repro.engine.table import Table
 from repro.errors import CubeError
 from repro.types import NullMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience import ExecutionContext
 
 __all__ = [
     "AggregateRequest",
@@ -119,7 +122,8 @@ def _run(table: Table,
          sort_result: bool,
          registry: AggregateRegistry | None,
          memory_budget: int | None,
-         strict: bool = False) -> CubeResult:
+         strict: bool = False,
+         context: "ExecutionContext | None" = None) -> CubeResult:
     registry = registry or default_registry
     specs = _normalize_requests(aggregates, registry)
     if where is not None:
@@ -143,7 +147,7 @@ def _run(table: Table,
     else:
         chosen = algorithm
 
-    result = chosen.compute(task)
+    result = chosen.compute(task, context=context)
     out = result.table
 
     if sort_result:
@@ -188,7 +192,8 @@ def cube(table: Table, dims: Sequence, aggregates: Sequence, *,
          sort_result: bool = True,
          registry: AggregateRegistry | None = None,
          memory_budget: int | None = None,
-         strict: bool = False) -> Table:
+         strict: bool = False,
+         context: "ExecutionContext | None" = None) -> Table:
     """The CUBE operator: GROUP BY ``dims`` plus all 2^N super-aggregates.
 
     >>> cube(sales, ["Model", "Year", "Color"], [agg("SUM", "Units")])
@@ -200,7 +205,8 @@ def cube(table: Table, dims: Sequence, aggregates: Sequence, *,
     return _run(table, dims, aggregates, spec, where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
-                memory_budget=memory_budget, strict=strict).table
+                memory_budget=memory_budget, strict=strict,
+                context=context).table
 
 
 def rollup(table: Table, dims: Sequence, aggregates: Sequence, *,
@@ -210,7 +216,8 @@ def rollup(table: Table, dims: Sequence, aggregates: Sequence, *,
            sort_result: bool = True,
            registry: AggregateRegistry | None = None,
            memory_budget: int | None = None,
-           strict: bool = False) -> Table:
+           strict: bool = False,
+           context: "ExecutionContext | None" = None) -> Table:
     """The ROLLUP operator: the core plus the N prefix super-aggregates,
 
         (v1, ..., vn), (v1, ..., ALL), ..., (ALL, ..., ALL)
@@ -222,7 +229,8 @@ def rollup(table: Table, dims: Sequence, aggregates: Sequence, *,
     return _run(table, dims, aggregates, spec, where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
-                memory_budget=memory_budget, strict=strict).table
+                memory_budget=memory_budget, strict=strict,
+                context=context).table
 
 
 def groupby(table: Table, dims: Sequence, aggregates: Sequence, *,
@@ -251,7 +259,8 @@ def compound_groupby(table: Table, *,
                      sort_result: bool = True,
                      registry: AggregateRegistry | None = None,
                      memory_budget: int | None = None,
-                     strict: bool = False) -> Table:
+                     strict: bool = False,
+                     context: "ExecutionContext | None" = None) -> Table:
     """The full Section 3.2 clause:
 
         GROUP BY <plain> ROLLUP <rollup_dims> CUBE <cube_dims>
@@ -266,7 +275,8 @@ def compound_groupby(table: Table, *,
     return _run(table, dims, aggregates, spec, where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
-                memory_budget=memory_budget, strict=strict).table
+                memory_budget=memory_budget, strict=strict,
+                context=context).table
 
 
 def grouping_sets_op(table: Table, dims: Sequence,
@@ -330,7 +340,8 @@ def cube_with_stats(table: Table, dims: Sequence, aggregates: Sequence, *,
                     sort_result: bool = False,
                     registry: AggregateRegistry | None = None,
                     memory_budget: int | None = None,
-                    strict: bool = False) -> CubeResult:
+                    strict: bool = False,
+                    context: "ExecutionContext | None" = None) -> CubeResult:
     """Like :func:`cube` / :func:`rollup` but returning the
     :class:`~repro.compute.base.CubeResult` with its cost counters --
     what the benchmark harness uses to check Section 5's claims."""
@@ -345,4 +356,5 @@ def cube_with_stats(table: Table, dims: Sequence, aggregates: Sequence, *,
     return _run(table, dims, aggregates, spec, where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
-                memory_budget=memory_budget, strict=strict)
+                memory_budget=memory_budget, strict=strict,
+                context=context)

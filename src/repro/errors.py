@@ -133,3 +133,35 @@ class WorkloadError(ReproError):
 class ObservabilityError(ReproError):
     """A tracing or metrics misuse (e.g. re-registering a metric name
     with a different kind, or decreasing a counter)."""
+
+
+class ResilienceError(ReproError):
+    """Root of runtime-resilience errors (:mod:`repro.resilience`);
+    also raised directly for invalid resilience configuration
+    (negative timeouts, out-of-range chaos rates)."""
+
+
+class QueryCancelledError(ResilienceError):
+    """The query's cancellation token was triggered; execution stopped
+    cooperatively at the next checkpoint (lattice-node / partition /
+    chunk boundary)."""
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """The query's deadline (``statement_timeout``) passed.  A timeout
+    is a cancellation, so ``except QueryCancelledError`` handles both;
+    catch this subclass to treat deadline expiry specially."""
+
+
+class ResourceBudgetExceededError(ResilienceError):
+    """An in-flight computation exceeded its
+    :class:`~repro.resilience.ExecutionContext` memory budget and could
+    not degrade to the external (memory-bounded) algorithm -- either
+    degradation was disabled or the aggregates are not mergeable."""
+
+
+class FaultInjectedError(ResilienceError):
+    """A deterministic fault from the chaos harness
+    (:mod:`repro.resilience.chaos`).  Only ever raised when a
+    :class:`~repro.resilience.ChaosInjector` is installed on the active
+    execution context -- production paths never construct one."""

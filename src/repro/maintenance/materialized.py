@@ -22,11 +22,24 @@ DELETE, and UPDATE of the base table:
 Cells whose contributing-row count reaches zero are evicted, so the
 materialized cube stays exactly equal to a from-scratch recomputation
 (a property the test-suite asserts under random operation streams).
+
+**Transactions.**  Every operation is apply-or-rollback: a DELETE that
+raises :class:`~repro.errors.DeleteRequiresRecomputeError` halfway down
+the lattice walk (some super-cells decremented, others not) restores
+the pre-operation state instead of leaving the cube inconsistent.
+:meth:`MaterializedCube.transaction` widens the same guarantee to a
+whole batch -- wrap any sequence of inserts/deletes/updates and either
+all of them land or none do -- and :meth:`MaterializedCube.apply_batch`
+is the convenience form.  Rollbacks count on
+``repro_maintenance_rollbacks_total`` and appear as ``rollback`` span
+events.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import contextlib
+import copy
+from typing import Any, Iterator, Sequence
 
 from repro.aggregates.base import Handle
 from repro.aggregates.registry import AggregateRegistry, default_registry
@@ -95,6 +108,7 @@ class MaterializedCube:
 
         from repro.compute.stats import ComputeStats
         self._fold_stats = ComputeStats(algorithm="maintenance")
+        self._txn_depth = 0
         for row in task.rows:
             self._apply_insert(row, initial=True)
         self._base_rows = list(task.rows) if retain_base else []
@@ -112,13 +126,74 @@ class MaterializedCube:
     def __len__(self) -> int:
         return sum(len(cells) for cells in self._cells.values())
 
+    @contextlib.contextmanager
+    def transaction(self, op: str = "batch") -> Iterator["MaterializedCube"]:
+        """All-or-nothing scope for any sequence of operations.
+
+        On entry the cube's full state (cells, counts, retained base
+        rows, stats) is snapshotted; if the block raises, the snapshot
+        is restored -- scratchpad handles mutate in place, so the
+        snapshot deep-copies them -- the rollback is counted on
+        ``repro_maintenance_rollbacks_total{op=...}``, and the error
+        propagates.  Nested transactions join the outermost one (the
+        outermost snapshot is the only restore point), which is how the
+        per-operation guarantee composes with user batches.
+        """
+        if self._txn_depth > 0:
+            self._txn_depth += 1
+            try:
+                yield self
+            finally:
+                self._txn_depth -= 1
+            return
+        snapshot = (copy.deepcopy(self._cells),
+                    copy.deepcopy(self._counts),
+                    list(self._base_rows),
+                    copy.deepcopy(self.stats))
+        self._txn_depth = 1
+        try:
+            yield self
+        except BaseException as error:
+            self._cells, self._counts, self._base_rows, self.stats = snapshot
+            instrument.record_rollback(op)
+            self.stats.rollbacks += 1
+            span = trace.current_span()
+            if span is not None:
+                span.event("rollback", op=op, error=str(error))
+            raise
+        finally:
+            self._txn_depth = 0
+
+    def apply_batch(self, operations: Sequence[tuple]) -> int:
+        """Apply ``operations`` -- ``("insert", row)``,
+        ``("delete", row)``, or ``("update", old_row, new_row)`` tuples
+        -- atomically; returns total cells touched.  A failure anywhere
+        in the batch rolls every prior operation back."""
+        with trace.span("maintenance.batch", operations=len(operations)):
+            with self.transaction(op="batch"):
+                touched = 0
+                for operation in operations:
+                    kind = operation[0]
+                    if kind == "insert":
+                        touched += self.insert(operation[1])
+                    elif kind == "delete":
+                        touched += self.delete(operation[1])
+                    elif kind == "update":
+                        touched += self.update(operation[1], operation[2])
+                    else:
+                        raise MaintenanceError(
+                            f"unknown batch operation {kind!r}; "
+                            "use insert/delete/update")
+                return touched
+
     def insert(self, row: Sequence[Any]) -> int:
         """Propagate one base-table INSERT; returns cells touched."""
         with trace.span("maintenance.insert") as span:
-            task_row = self._to_task_row(row)
-            touched = self._apply_insert(task_row, initial=False)
-            if self.retain_base:
-                self._base_rows.append(task_row)
+            with self.transaction(op="insert"):
+                task_row = self._to_task_row(row)
+                touched = self._apply_insert(task_row, initial=False)
+                if self.retain_base:
+                    self._base_rows.append(task_row)
             span.set(cells_touched=touched)
         self.stats.inserts += 1
         self.stats.per_operation_touched.append(touched)
@@ -130,55 +205,58 @@ class MaterializedCube:
 
         Raises :class:`DeleteRequiresRecomputeError` when a
         delete-holistic aggregate needs a recompute but the base data
-        was not retained (``retain_base=False``).
+        was not retained (``retain_base=False``) -- in which case the
+        whole operation rolls back, so super-cells already decremented
+        by the lattice walk are restored rather than left inconsistent.
         """
         with trace.span("maintenance.delete") as span:
-            task_row = self._to_task_row(row)
-            if self.retain_base:
-                try:
-                    self._base_rows.remove(task_row)
-                except ValueError:
-                    raise MaintenanceError(
-                        f"delete of a row not present in the base: {row!r}"
-                    ) from None
-            touched = 0
-            recomputed = 0
-            dim_values = self._task.dim_values(task_row)
-            agg_values = self._task.agg_values(task_row)
-            for mask in self._task.masks:
-                coordinate = self._task.coordinate(mask, dim_values)
-                cells = self._cells[mask]
-                counts = self._counts[mask]
-                if coordinate not in cells:
-                    raise MaintenanceError(
-                        f"delete hit a missing cube cell {coordinate}")
-                counts[coordinate] -= 1
-                if counts[coordinate] == 0:
-                    del cells[coordinate]
-                    del counts[coordinate]
-                    touched += 1
-                    continue
-                handles = cells[coordinate]
-                needs_recompute = False
-                for position, spec in enumerate(self._specs):
-                    fn = spec.function
-                    value = agg_values[position]
-                    if not fn.accepts(value):
+            with self.transaction(op="delete"):
+                task_row = self._to_task_row(row)
+                if self.retain_base:
+                    try:
+                        self._base_rows.remove(task_row)
+                    except ValueError:
+                        raise MaintenanceError(
+                            f"delete of a row not present in the base: "
+                            f"{row!r}") from None
+                touched = 0
+                recomputed = 0
+                dim_values = self._task.dim_values(task_row)
+                agg_values = self._task.agg_values(task_row)
+                for mask in self._task.masks:
+                    coordinate = self._task.coordinate(mask, dim_values)
+                    cells = self._cells[mask]
+                    counts = self._counts[mask]
+                    if coordinate not in cells:
+                        raise MaintenanceError(
+                            f"delete hit a missing cube cell {coordinate}")
+                    counts[coordinate] -= 1
+                    if counts[coordinate] == 0:
+                        del cells[coordinate]
+                        del counts[coordinate]
+                        touched += 1
                         continue
-                    new_handle, supported = fn.unapply(handles[position],
-                                                       value)
-                    if supported:
-                        handles[position] = new_handle
+                    handles = cells[coordinate]
+                    needs_recompute = False
+                    for position, spec in enumerate(self._specs):
+                        fn = spec.function
+                        value = agg_values[position]
+                        if not fn.accepts(value):
+                            continue
+                        new_handle, supported = fn.unapply(handles[position],
+                                                           value)
+                        if supported:
+                            handles[position] = new_handle
+                        else:
+                            needs_recompute = True
+                            break
+                    if needs_recompute:
+                        self._recompute_cell(mask, coordinate)
+                        self.stats.cells_recomputed += 1
+                        recomputed += 1
                     else:
-                        needs_recompute = True
-                        break
-                if needs_recompute:
-                    self._recompute_cell(mask, coordinate)
-                    self.stats.cells_recomputed += 1
-                    recomputed += 1
-                else:
-                    self.stats.cells_updated += 1
-                touched += 1
+                        self.stats.cells_updated += 1
+                    touched += 1
             span.set(cells_touched=touched, recomputed=recomputed)
         self.stats.deletes += 1
         self.stats.per_operation_touched.append(touched)
@@ -192,8 +270,9 @@ class MaterializedCube:
         themselves plus one ``update`` operation, mirroring how the
         paper costs it as the sum of the two."""
         with trace.span("maintenance.update") as span:
-            touched = self.delete(old_row)
-            touched += self.insert(new_row)
+            with self.transaction(op="update"):
+                touched = self.delete(old_row)
+                touched += self.insert(new_row)
             span.set(cells_touched=touched)
         self.stats.updates += 1
         self.stats.note_operation("update", touched)

@@ -32,6 +32,8 @@ class MaintenanceStats:
     cells_recomputed: int = 0
     #: base rows re-scanned during recomputations
     rows_rescanned: int = 0
+    #: operations (or batches) that failed and were rolled back
+    rollbacks: int = 0
     per_operation_touched: list = field(default_factory=list)
 
     def summary(self) -> str:
@@ -39,7 +41,8 @@ class MaintenanceStats:
                 f"updated={self.cells_updated} "
                 f"short-circuited={self.cells_short_circuited} "
                 f"recomputed={self.cells_recomputed} "
-                f"rescanned={self.rows_rescanned}")
+                f"rescanned={self.rows_rescanned} "
+                f"rollbacks={self.rollbacks}")
 
     def as_dict(self) -> dict[str, int]:
         """The counters as plain data (exporter-friendly)."""
@@ -51,6 +54,7 @@ class MaintenanceStats:
             "cells_short_circuited": self.cells_short_circuited,
             "cells_recomputed": self.cells_recomputed,
             "rows_rescanned": self.rows_rescanned,
+            "rollbacks": self.rollbacks,
         }
 
     def note_operation(self, op: str, cells_touched: int) -> None:

@@ -22,6 +22,14 @@ metric                                         kind       labels
 ``repro_maintenance_operations_total``         counter    ``op`` (insert/delete/update)
 ``repro_maintenance_cells_touched_total``      counter    ``op``
 ``repro_materialized_cube_lookups_total``      counter    ``result`` (hit/miss)
+``repro_maintenance_rollbacks_total``          counter    ``op`` (insert/delete/update)
+``repro_resilience_degradations_total``        counter    ``from_algorithm``
+``repro_resilience_cancellations_total``       counter    ``reason`` (timeout/cancelled)
+``repro_resilience_worker_failures_total``     counter    --
+``repro_resilience_worker_retries_total``      counter    --
+``repro_resilience_worker_recoveries_total``   counter    --
+``repro_resilience_spill_retries_total``       counter    --
+``repro_chaos_injected_faults_total``          counter    ``point``
 =============================================  =========  =============================
 
 All helpers no-op (one flag check) when the process-wide registry is
@@ -38,11 +46,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.compute.stats import ComputeStats
 
 __all__ = [
+    "record_cancellation",
     "record_cube_compute",
+    "record_degradation",
     "record_groupby",
+    "record_injected_fault",
     "record_maintenance",
     "record_materialized_lookup",
     "record_query",
+    "record_rollback",
+    "record_spill_retry",
+    "record_worker_failure",
+    "record_worker_recovery",
+    "record_worker_retry",
 ]
 
 
@@ -118,3 +134,72 @@ def record_materialized_lookup(hit: bool) -> None:
     REGISTRY.counter("repro_materialized_cube_lookups_total",
                      help="materialized-cube point lookups",
                      result="hit" if hit else "miss").inc()
+
+
+def record_rollback(op: str) -> None:
+    """A maintenance batch failed mid-apply and was rolled back."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_maintenance_rollbacks_total",
+                     help="maintenance batches rolled back", op=op).inc()
+
+
+def record_degradation(from_algorithm: str) -> None:
+    """A budget breach degraded an in-memory cube to the external
+    algorithm."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_degradations_total",
+                     help="budget-driven degradations to the external "
+                          "algorithm",
+                     from_algorithm=from_algorithm).inc()
+
+
+def record_cancellation(reason: str) -> None:
+    """A query stopped at a checkpoint (``timeout`` or ``cancelled``)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_cancellations_total",
+                     help="queries stopped by deadline or cancellation",
+                     reason=reason).inc()
+
+
+def record_worker_failure() -> None:
+    """A parallel worker exhausted its retries and lost its partition."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_worker_failures_total",
+                     help="parallel workers that exhausted retries").inc()
+
+
+def record_worker_retry() -> None:
+    """A parallel worker attempt failed and will be retried."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_worker_retries_total",
+                     help="parallel worker attempts retried").inc()
+
+
+def record_worker_recovery() -> None:
+    """A failed worker's partition was re-executed serially."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_worker_recoveries_total",
+                     help="failed partitions recovered serially").inc()
+
+
+def record_spill_retry() -> None:
+    """An external-algorithm spill write failed and was retried."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_resilience_spill_retries_total",
+                     help="spill writes retried").inc()
+
+
+def record_injected_fault(point: str) -> None:
+    """The chaos harness injected a fault at ``point``."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_chaos_injected_faults_total",
+                     help="faults injected by the chaos harness",
+                     point=point).inc()

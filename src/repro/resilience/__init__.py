@@ -1,0 +1,38 @@
+"""Runtime resilience: budgets, deadlines, retry, fault injection.
+
+The §5 optimizer picks an algorithm *statically*; this package enforces
+the same economics *at runtime*.  An :class:`ExecutionContext` carries a
+scratchpad-cell budget, a deadline, a cancellation token, a
+:class:`RetryPolicy`, and optionally a :class:`ChaosInjector`; the
+compute layer polls it at natural boundaries and degrades to the
+memory-bounded external algorithm when the budget is breached.
+
+See ``docs/RESILIENCE.md`` for the operator-facing guide.
+"""
+
+from repro.resilience.chaos import ChaosInjector
+from repro.resilience.context import (
+    CancellationToken,
+    ExecutionContext,
+    charge_cells,
+    checkpoint,
+    current_context,
+    inject,
+    release_cells,
+    use_context,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "CancellationToken",
+    "ChaosInjector",
+    "ExecutionContext",
+    "RetryPolicy",
+    "call_with_retry",
+    "charge_cells",
+    "checkpoint",
+    "current_context",
+    "inject",
+    "release_cells",
+    "use_context",
+]

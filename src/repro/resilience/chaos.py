@@ -1,0 +1,140 @@
+"""Deterministic, seed-driven fault injection.
+
+The resilience machinery (worker retry, serial re-execution, budget
+degradation, spill retry) only earns trust if the failures it guards
+against can be produced on demand.  A :class:`ChaosInjector` does that:
+it is installed on an :class:`~repro.resilience.ExecutionContext` and
+consulted at four injection points wired into the engine:
+
+``worker_crash``
+    A parallel worker raises :class:`~repro.errors.FaultInjectedError`
+    before computing its local cube (``compute/parallel.py``).
+``spill_write``
+    A partition spill write fails during the external algorithm's
+    partition pass (``compute/external.py``).
+``slow_node``
+    A parallel worker sleeps ``slow_node_delay`` seconds before
+    working -- combined with a deadline this exercises the timeout path
+    without wall-clock-sensitive tests.
+``budget_pressure``
+    Phantom scratchpad cells are charged against the memory accountant
+    (``ExecutionContext.charge_cells``), forcing graceful degradation
+    under budgets that would normally fit.
+
+Decisions are **deterministic**: a draw for a labelled site (e.g.
+``worker=2, attempt=0``) is a pure function of ``(seed, point,
+labels)``, so the same seed produces the same fault schedule regardless
+of thread scheduling; unlabelled draws come from a per-point seeded
+stream.  Seeding uses :class:`random.Random` with a string key, which
+is stable across processes (no ``PYTHONHASHSEED`` dependence).
+
+Every injected fault is counted on :attr:`ChaosInjector.injected` and
+published as ``repro_chaos_injected_faults_total{point=...}``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any
+
+from repro.errors import FaultInjectedError, ResilienceError
+
+__all__ = ["ChaosInjector", "INJECTION_POINTS"]
+
+#: The engine's wired injection points.
+INJECTION_POINTS = ("worker_crash", "spill_write", "slow_node",
+                    "budget_pressure")
+
+
+class ChaosInjector:
+    """Seed-driven fault source, one rate per injection point.
+
+    Rates are probabilities in ``[0, 1]``; ``1.0`` means every visit to
+    the point faults (useful with per-``attempt`` labels: attempt 0
+    always crashes, and recovery must succeed some other way).
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 worker_crash: float = 0.0,
+                 spill_write: float = 0.0,
+                 slow_node: float = 0.0,
+                 slow_node_delay: float = 0.005,
+                 budget_pressure: float = 0.0,
+                 budget_pressure_cells: int = 64) -> None:
+        rates = {"worker_crash": worker_crash, "spill_write": spill_write,
+                 "slow_node": slow_node, "budget_pressure": budget_pressure}
+        for point, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ResilienceError(
+                    f"chaos rate for {point!r} must be in [0, 1], "
+                    f"got {rate}")
+        if slow_node_delay < 0:
+            raise ResilienceError("slow_node_delay must be >= 0")
+        if budget_pressure_cells < 0:
+            raise ResilienceError("budget_pressure_cells must be >= 0")
+        self.seed = seed
+        self.rates = rates
+        self.slow_node_delay = slow_node_delay
+        self.budget_pressure_cells = budget_pressure_cells
+        self.injected: dict[str, int] = {point: 0
+                                         for point in INJECTION_POINTS}
+        self._lock = threading.Lock()
+        self._streams = {point: random.Random(f"{seed}:{point}")
+                         for point in INJECTION_POINTS}
+
+    # -- decision ---------------------------------------------------------
+
+    def _draw(self, point: str, labels: dict[str, Any]) -> float:
+        if labels:
+            key = ":".join([str(self.seed), point]
+                           + [f"{k}={labels[k]}" for k in sorted(labels)])
+            return random.Random(key).random()
+        with self._lock:
+            return self._streams[point].random()
+
+    def should_inject(self, point: str, **labels: Any) -> bool:
+        """Decide (and record) whether this visit to ``point`` faults."""
+        if point not in self.rates:
+            raise ResilienceError(
+                f"unknown injection point {point!r}; "
+                f"have {INJECTION_POINTS}")
+        rate = self.rates[point]
+        if rate <= 0.0:
+            return False
+        hit = rate >= 1.0 or self._draw(point, labels) < rate
+        if hit:
+            with self._lock:
+                self.injected[point] += 1
+            from repro.obs import instrument
+            instrument.record_injected_fault(point)
+        return hit
+
+    # -- effects ----------------------------------------------------------
+
+    def inject(self, point: str, **labels: Any) -> None:
+        """Apply the point's effect if the draw says so.
+
+        ``slow_node`` sleeps; every other point raises
+        :class:`~repro.errors.FaultInjectedError`.
+        """
+        if not self.should_inject(point, **labels):
+            return
+        if point == "slow_node":
+            time.sleep(self.slow_node_delay)
+            return
+        detail = " ".join(f"{k}={labels[k]}" for k in sorted(labels))
+        raise FaultInjectedError(
+            f"chaos: injected {point}" + (f" ({detail})" if detail else ""))
+
+    def extra_cells(self, **labels: Any) -> int:
+        """Phantom cells to add to one accountant charge (the
+        ``budget_pressure`` point); 0 when the draw declines."""
+        if self.should_inject("budget_pressure", **labels):
+            return self.budget_pressure_cells
+        return 0
+
+    def __repr__(self) -> str:
+        active = {p: r for p, r in self.rates.items() if r > 0}
+        return f"<ChaosInjector seed={self.seed} rates={active}>"

@@ -1,0 +1,291 @@
+"""Execution context: budgets, deadlines, cancellation, chaos.
+
+One :class:`ExecutionContext` travels with a query and carries the
+four runtime-resilience concerns the static §5 optimizer cannot
+enforce:
+
+* a **memory accountant** -- algorithms charge scratchpad cells as they
+  allocate them and release them as they finalize; crossing
+  ``memory_budget`` raises
+  :class:`~repro.errors.ResourceBudgetExceededError`, which the
+  :class:`~repro.compute.base.CubeAlgorithm` template method turns into
+  graceful degradation to the external algorithm;
+* a **deadline** (``timeout`` seconds on a monotonic clock) and a
+  **cancellation token** -- algorithms poll :func:`checkpoint` at
+  lattice-node / partition / chunk boundaries, so a timeout or Ctrl-C
+  stops the query cooperatively instead of killing the process;
+* a **retry policy** shared by the recovery sites (parallel workers,
+  spill writes);
+* an optional **chaos injector** for deterministic fault injection.
+
+The active context is installed with :func:`use_context` into a
+module-level slot -- deliberately *not* thread-local, so pool worker
+threads spawned by ``ParallelCubeAlgorithm`` inherit the coordinator's
+context and its cancellation token.  The engine only ever runs one
+query at a time per process, which is the regime this engine targets;
+the module-level helpers (:func:`checkpoint`, :func:`charge_cells`,
+:func:`release_cells`, :func:`inject`) are no-ops when no context is
+active, so the resilience layer costs one ``None`` check on the hot
+path when unused.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Iterator, Optional
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResilienceError,
+    ResourceBudgetExceededError,
+)
+from repro.resilience.chaos import ChaosInjector
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "CancellationToken",
+    "ExecutionContext",
+    "charge_cells",
+    "checkpoint",
+    "current_context",
+    "inject",
+    "release_cells",
+    "use_context",
+]
+
+
+class CancellationToken:
+    """Thread-safe flag a query polls to stop cooperatively.
+
+    ``cancel`` can be called from any thread (the shell's Ctrl-C
+    handler, a supervisor); workers observe it at their next
+    :meth:`ExecutionContext.check`.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = ""
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self.reason}" if self.cancelled else "live"
+        return f"<CancellationToken {state}>"
+
+
+class ExecutionContext:
+    """Per-query resilience state: budget, deadline, token, chaos.
+
+    ``timeout`` is seconds from construction (``0`` means already
+    expired -- handy for deterministic timeout tests); ``deadline`` is
+    an absolute ``time.monotonic()`` instant and wins over ``timeout``
+    if both are given.  ``memory_budget`` is a cell count matching the
+    unit of ``ExternalCubeAlgorithm(memory_budget=...)``.  ``degrade``
+    controls whether a budget breach falls back to the external
+    algorithm or propagates.
+    """
+
+    def __init__(self, *,
+                 timeout: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 memory_budget: Optional[int] = None,
+                 degrade: bool = True,
+                 retry: Optional[RetryPolicy] = None,
+                 chaos: Optional[ChaosInjector] = None,
+                 token: Optional[CancellationToken] = None) -> None:
+        if timeout is not None and timeout < 0:
+            raise ResilienceError(f"timeout must be >= 0, got {timeout}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ResilienceError(
+                f"memory_budget must be at least 1 cell, got {memory_budget}")
+        if deadline is None and timeout is not None:
+            deadline = time.monotonic() + timeout
+        self.timeout = timeout
+        self.deadline = deadline
+        self.memory_budget = memory_budget
+        self.degrade = degrade
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
+        self.cancel_token = token if token is not None else CancellationToken()
+        self._lock = threading.Lock()
+        self._resident_cells = 0
+        self._peak_cells = 0
+        self._budget_suspended = 0
+
+    # -- cancellation and deadline ----------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.cancel_token.cancel(reason)
+
+    def check(self, where: str = "") -> None:
+        """Raise if the query is cancelled or past its deadline.
+
+        Algorithms call this (via the module-level :func:`checkpoint`)
+        at every lattice-node / partition / chunk boundary; it is the
+        cooperative-cancellation poll.
+        """
+        if self.cancel_token.cancelled:
+            from repro.obs import instrument
+            instrument.record_cancellation("cancelled")
+            suffix = f" (at {where})" if where else ""
+            raise QueryCancelledError(
+                f"query cancelled: {self.cancel_token.reason}{suffix}")
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            from repro.obs import instrument
+            instrument.record_cancellation("timeout")
+            suffix = f" (at {where})" if where else ""
+            shown = self.timeout if self.timeout is not None else self.deadline
+            raise QueryTimeoutError(
+                f"statement timeout ({shown}s) exceeded{suffix}")
+
+    # -- memory accounting -------------------------------------------------
+
+    def charge_cells(self, n: int = 1, where: str = "") -> None:
+        """Account ``n`` newly allocated scratchpad cells.
+
+        Raises :class:`~repro.errors.ResourceBudgetExceededError` when
+        the resident count crosses ``memory_budget`` (unless suspended
+        by :meth:`budget_suspended`, e.g. during a degraded re-run).
+        A chaos injector with ``budget_pressure`` configured may add
+        phantom cells here to force the degradation path.
+        """
+        if self.chaos is not None:
+            # An empty ``where`` must stay label-free so repeated charges
+            # draw from the advancing per-point stream, not one fixed key.
+            n += (self.chaos.extra_cells(where=where) if where
+                  else self.chaos.extra_cells())
+        with self._lock:
+            self._resident_cells += n
+            if self._resident_cells > self._peak_cells:
+                self._peak_cells = self._resident_cells
+            over = (self.memory_budget is not None
+                    and self._budget_suspended == 0
+                    and self._resident_cells > self.memory_budget)
+            resident = self._resident_cells
+        if over:
+            suffix = f" (at {where})" if where else ""
+            raise ResourceBudgetExceededError(
+                f"resident scratchpad cells ({resident}) exceed the "
+                f"memory budget of {self.memory_budget} cells{suffix}")
+
+    def release_cells(self, n: int = 1) -> None:
+        """Return ``n`` cells to the accountant (finalize/evict)."""
+        with self._lock:
+            self._resident_cells = max(0, self._resident_cells - n)
+
+    @property
+    def resident_cells(self) -> int:
+        with self._lock:
+            return self._resident_cells
+
+    @property
+    def peak_cells(self) -> int:
+        with self._lock:
+            return self._peak_cells
+
+    @contextlib.contextmanager
+    def budget_suspended(self) -> Iterator[None]:
+        """Temporarily stop enforcing the budget (degraded re-runs:
+        the external algorithm bounds its own memory, and charging its
+        scratchpad against the already-blown budget would make
+        degradation impossible)."""
+        with self._lock:
+            self._budget_suspended += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._budget_suspended -= 1
+
+    @contextlib.contextmanager
+    def attempt(self) -> Iterator[None]:
+        """Snapshot/restore the accountant around one compute attempt,
+        so cells charged by an attempt that failed (budget breach,
+        injected fault) are not double-counted by its retry or its
+        degraded re-run."""
+        with self._lock:
+            snapshot = self._resident_cells
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._resident_cells = snapshot
+
+    # -- chaos -------------------------------------------------------------
+
+    def inject(self, point: str, **labels: Any) -> None:
+        """Fire the chaos injector at ``point`` (no-op without one)."""
+        if self.chaos is not None:
+            self.chaos.inject(point, **labels)
+
+    def __repr__(self) -> str:
+        bits = []
+        if self.timeout is not None:
+            bits.append(f"timeout={self.timeout}")
+        if self.memory_budget is not None:
+            bits.append(f"budget={self.memory_budget}")
+        if self.chaos is not None:
+            bits.append("chaos")
+        if self.cancel_token.cancelled:
+            bits.append("cancelled")
+        return f"<ExecutionContext {' '.join(bits) or 'unbounded'}>"
+
+
+# -- active-context plumbing ----------------------------------------------
+
+_ACTIVE: Optional[ExecutionContext] = None
+
+
+def current_context() -> Optional[ExecutionContext]:
+    """The context installed by :func:`use_context`, or ``None``."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def use_context(ctx: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Install ``ctx`` as the process-wide active context.
+
+    Module-level rather than thread-local on purpose: worker threads
+    spawned inside the ``with`` block must see the coordinator's
+    context (its token, budget, and chaos schedule).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = previous
+
+
+def checkpoint(where: str = "") -> None:
+    """Poll the active context's token/deadline; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(where)
+
+
+def charge_cells(n: int = 1, where: str = "") -> None:
+    """Charge cells against the active context; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.charge_cells(n, where)
+
+
+def release_cells(n: int = 1) -> None:
+    """Release cells on the active context; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.release_cells(n)
+
+
+def inject(point: str, **labels: Any) -> None:
+    """Fire the active context's chaos injector; no-op when inactive."""
+    if _ACTIVE is not None:
+        _ACTIVE.inject(point, **labels)

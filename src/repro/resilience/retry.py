@@ -1,0 +1,91 @@
+"""Bounded retry with exponential backoff.
+
+The paper's Section 5 treats the cube as a long-running physical
+operator ("64 scans of the data, 64 sorts or hashes, and a long wait");
+at production scale pieces of that work fail -- a worker thread dies, a
+spill write errors -- and the recovery discipline is always the same:
+retry a bounded number of times with growing delays, then fall back to
+a slower-but-safe path.  :class:`RetryPolicy` is that discipline as a
+value object, and :func:`call_with_retry` is the one retry loop every
+recovery site shares.
+
+Cancellation always wins: :class:`~repro.errors.QueryCancelledError`
+(and its :class:`~repro.errors.QueryTimeoutError` subclass) is never
+retried -- a cancelled query must stop at the next boundary, not burn
+its retry budget first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import QueryCancelledError, ResilienceError
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    ``delay(attempt)`` is ``base_delay * multiplier**attempt`` capped at
+    ``max_delay`` -- bounded backoff, so a retry storm cannot wedge a
+    query for longer than ``max_retries * max_delay`` seconds.  The
+    defaults keep recovery sub-second; tests use ``base_delay=0``.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("retry delays must be >= 0")
+        if self.multiplier < 1:
+            raise ResilienceError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt + 1``."""
+        return min(self.base_delay * (self.multiplier ** attempt),
+                   self.max_delay)
+
+    def sleep(self, attempt: int) -> None:
+        delay = self.delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+
+def call_with_retry(
+        fn: Callable[[int], Any], *,
+        policy: RetryPolicy,
+        on_failure: Optional[Callable[[int, BaseException], None]] = None
+) -> Any:
+    """Run ``fn(attempt)`` until it succeeds or retries are exhausted.
+
+    ``fn`` receives the zero-based attempt number (chaos injection
+    points key their deterministic draws on it).  ``on_failure`` is
+    called before each backoff sleep with the attempt number and the
+    error -- the hook recovery sites use to emit span events and retry
+    metrics.  Cancellation propagates immediately; after the final
+    attempt the last error propagates unchanged.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn(attempt)
+        except QueryCancelledError:
+            raise
+        except Exception as error:
+            if attempt >= policy.max_retries:
+                raise
+            if on_failure is not None:
+                on_failure(attempt, error)
+            policy.sleep(attempt)
+            attempt += 1

@@ -14,7 +14,14 @@ meta-commands start with a backslash:
     \\timing              toggle wall-clock timing of each statement
     \\metrics             toggle per-statement metric deltas (the
                           repro.obs registry; see docs/OBSERVABILITY.md)
+    \\timeout <s|off>     set a statement deadline in seconds; a query
+                          past it raises QueryTimeoutError at the next
+                          checkpoint (see docs/RESILIENCE.md)
     \\quit                exit
+
+Ctrl-C while a statement runs cancels that query (via the cooperative
+cancellation token) and returns to the prompt -- it never kills the
+shell.
 
 The shell is a thin, testable wrapper over
 :class:`repro.sql.SQLSession`: every statement the paper prints runs
@@ -35,8 +42,9 @@ from repro.data import (
     weather_table,
 )
 from repro.engine.catalog import Catalog
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, ReproError
 from repro.obs.metrics import REGISTRY, format_delta
+from repro.resilience import ExecutionContext
 from repro.sql.executor import SQLSession
 from repro.types import NullMode
 
@@ -67,6 +75,9 @@ class Shell:
         self.done = False
         self.timing = False
         self.metrics = False
+        #: the running statement's context; another thread (or the
+        #: KeyboardInterrupt handler) can cancel it mid-flight
+        self.active_context: ExecutionContext | None = None
 
     @property
     def prompt(self) -> str:
@@ -88,10 +99,25 @@ class Shell:
     def _run(self, sql: str) -> str:
         before = REGISTRY.snapshot() if self.metrics else None
         started = time.perf_counter()
+        context = self.session._make_context()
+        if context is None:
+            # always run under a context so Ctrl-C has a token to fire
+            context = ExecutionContext()
+        self.active_context = context
         try:
-            result = self.session.execute(sql)
+            result = self.session.execute(sql, context=context)
+        except KeyboardInterrupt:
+            # the signal already unwound the statement; cancel the token
+            # too so any still-running worker threads stop at their next
+            # checkpoint instead of computing into the void
+            context.cancel("ctrl-c")
+            return "query cancelled (^C)"
+        except QueryCancelledError as error:
+            return f"cancelled: {error}"
         except ReproError as error:
             return f"error: {error}"
+        finally:
+            self.active_context = None
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         if len(result.schema) == 1 \
                 and result.schema.names == ("rows_affected",):
@@ -159,6 +185,23 @@ class Shell:
                         "repro.obs registry delta "
                         "(see docs/OBSERVABILITY.md)")
             return "metrics OFF"
+        if name == "\\timeout":
+            if len(parts) == 1:
+                current = self.session.statement_timeout
+                return (f"statement_timeout: {current}s"
+                        if current is not None else "statement_timeout: off")
+            if parts[1].lower() == "off":
+                self.session.statement_timeout = None
+                return "statement_timeout OFF"
+            try:
+                seconds = float(parts[1])
+            except ValueError:
+                seconds = -1.0
+            if seconds < 0:
+                return "usage: \\timeout <seconds|off>"
+            self.session.statement_timeout = seconds
+            return (f"statement_timeout {seconds}s: a statement past the "
+                    "deadline raises QueryTimeoutError (docs/RESILIENCE.md)")
         return f"unknown command {name}; try \\help"
 
 

@@ -51,9 +51,10 @@ from repro.engine.operators import distinct as distinct_op
 from repro.engine.operators import filter_rows, union_all, union_distinct
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
-from repro.errors import SQLExecutionError, SQLPlanError
+from repro.errors import ResilienceError, SQLExecutionError, SQLPlanError
 from repro.obs import instrument, trace
 from repro.obs.trace import Tracer, render_span_rows, use_tracer
+from repro.resilience import context as rctx
 from repro.sql import functions as _functions  # noqa: F401  (registers)
 from repro.sql.ast_nodes import (
     AggregateCall,
@@ -199,18 +200,35 @@ class SQLSession:
     from :data:`repro.compute.optimizer.ALGORITHMS`) instead of letting
     the optimizer choose -- the knob EXPLAIN ANALYZE uses to profile
     one strategy against another on the same query.
+
+    ``statement_timeout`` (seconds) gives every statement a deadline: a
+    statement still running when it expires raises
+    :class:`~repro.errors.QueryTimeoutError` at the next cooperative
+    checkpoint.  ``memory_budget`` (cells) caps resident scratchpads;
+    an in-memory cube that crosses it degrades to the external
+    algorithm mid-flight (see :mod:`repro.resilience`).
     """
 
     def __init__(self, catalog: Catalog | None = None, *,
                  registry: AggregateRegistry | None = None,
                  null_mode: NullMode = NullMode.ALL_VALUE,
                  strict: bool = False,
-                 algorithm: str | None = None) -> None:
+                 algorithm: str | None = None,
+                 statement_timeout: float | None = None,
+                 memory_budget: int | None = None) -> None:
+        if statement_timeout is not None and statement_timeout < 0:
+            raise ResilienceError(
+                f"statement_timeout must be >= 0, got {statement_timeout}")
+        if memory_budget is not None and memory_budget < 1:
+            raise ResilienceError(
+                f"memory_budget must be at least 1 cell, got {memory_budget}")
         self.catalog = catalog if catalog is not None else Catalog()
         self.registry = registry or default_registry
         self.null_mode = null_mode
         self.strict = strict
         self.algorithm = algorithm
+        self.statement_timeout = statement_timeout
+        self.memory_budget = memory_budget
 
     def register(self, name: str, table: Table, *,
                  replace: bool = False) -> Table:
@@ -218,21 +236,44 @@ class SQLSession:
 
     # -- entry points -----------------------------------------------------
 
-    def execute(self, sql: str) -> Table:
+    def execute(self, sql: str, *,
+                context: "Any" = None) -> Table:
         """Parse and run one statement (SELECT or DML/DDL).
 
         DML statements return a one-row ``rows_affected`` relation;
         CREATE TABLE returns an empty relation with the new schema.
         Inserts and deletes go through the catalog, so triggers fire --
         SQL is a full driver for Section 6's maintained cubes.
+
+        ``context`` overrides the session's per-statement
+        :class:`~repro.resilience.ExecutionContext` (built from
+        ``statement_timeout`` / ``memory_budget``); pass one to share a
+        cancellation token with another thread (the shell's Ctrl-C
+        handler does).
         """
         statement = parse_any(sql, registry=self.registry)
         kind, runner = self._dispatch(statement)
+        ctx = context if context is not None else self._make_context()
         started = time.perf_counter()
         with trace.span("sql.query", kind=kind):
-            result = runner()
+            if ctx is None:
+                result = runner()
+            else:
+                with rctx.use_context(ctx):
+                    ctx.check("sql.query")
+                    result = runner()
         instrument.record_query(time.perf_counter() - started, kind=kind)
         return result
+
+    def _make_context(self):
+        """A fresh per-statement context, or None when the session sets
+        no resilience options (the deadline must start at execute time,
+        not session construction)."""
+        if self.statement_timeout is None and self.memory_budget is None:
+            return None
+        from repro.resilience import ExecutionContext
+        return ExecutionContext(timeout=self.statement_timeout,
+                                memory_budget=self.memory_budget)
 
     def _dispatch(self, statement) -> tuple[str, Callable[[], Table]]:
         """Statement kind label plus the thunk that runs it."""
@@ -476,11 +517,13 @@ class SQLSession:
     # -- select pipeline -----------------------------------------------------
 
     def _run_select(self, select: SelectStmt) -> Table:
+        rctx.checkpoint("sql.from")
         table = self._run_from(select)
 
         subquery_free = self._resolve_subqueries_in_select(select)
 
         if subquery_free.where is not None:
+            rctx.checkpoint("sql.where")
             where = subquery_free.where
             if contains(where, AggregateCall):
                 raise SQLPlanError("aggregates are not allowed in WHERE")
@@ -727,12 +770,14 @@ class SQLSession:
         if not dims:
             grouped = hash_group_by(table, [], specs).table
         else:
+            rctx.checkpoint("sql.group")
             spec = GroupingSpec(plain=tuple(plain_names),
                                 rollup=tuple(rollup_names),
                                 cube=tuple(cube_names))
             task = build_task(table, dims, specs, spec.grouping_sets())
             algorithm = (make_algorithm(self.algorithm) if self.algorithm
-                         else choose_algorithm(task))
+                         else choose_algorithm(
+                             task, memory_budget=self.memory_budget))
             grouped = algorithm.compute(task).table
 
         # rewrite select/having expressions against the grouped schema

@@ -1,0 +1,111 @@
+"""Unit tests for the fault-injection harness
+(:mod:`repro.resilience.chaos`): configuration validation, deterministic
+seed-driven decisions, and the per-point effects."""
+
+import pytest
+
+from repro.errors import FaultInjectedError, ResilienceError
+from repro.obs.metrics import REGISTRY
+from repro.resilience import ChaosInjector
+from repro.resilience.chaos import INJECTION_POINTS
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ResilienceError):
+            ChaosInjector(worker_crash=1.5)
+        with pytest.raises(ResilienceError):
+            ChaosInjector(spill_write=-0.1)
+
+    def test_delay_and_cells_must_be_non_negative(self):
+        with pytest.raises(ResilienceError):
+            ChaosInjector(slow_node_delay=-1)
+        with pytest.raises(ResilienceError):
+            ChaosInjector(budget_pressure_cells=-1)
+
+    def test_unknown_injection_point_rejected(self):
+        injector = ChaosInjector()
+        with pytest.raises(ResilienceError):
+            injector.should_inject("disk_full")
+
+    def test_the_wired_points_are_exactly_four(self):
+        assert INJECTION_POINTS == ("worker_crash", "spill_write",
+                                    "slow_node", "budget_pressure")
+
+
+class TestDeterminism:
+    def test_rate_zero_never_fires(self):
+        injector = ChaosInjector(seed=1)
+        for point in INJECTION_POINTS:
+            assert not injector.should_inject(point)
+        assert sum(injector.injected.values()) == 0
+
+    def test_rate_one_always_fires(self):
+        injector = ChaosInjector(seed=1, worker_crash=1.0)
+        assert injector.should_inject("worker_crash", worker=0, attempt=0)
+        assert injector.should_inject("worker_crash", worker=0, attempt=5)
+        assert injector.injected["worker_crash"] == 2
+
+    def test_labelled_draws_are_pure_functions_of_the_seed(self):
+        # Two injectors with the same seed must agree on every labelled
+        # site, regardless of the order the sites are visited in.
+        a = ChaosInjector(seed=7, worker_crash=0.5)
+        b = ChaosInjector(seed=7, worker_crash=0.5)
+        sites = [(w, t) for w in range(8) for t in range(3)]
+        decisions_a = [a.should_inject("worker_crash", worker=w, attempt=t)
+                       for w, t in sites]
+        decisions_b = [b.should_inject("worker_crash", worker=w, attempt=t)
+                       for w, t in reversed(sites)]
+        assert decisions_a == list(reversed(decisions_b))
+        # a mid-range rate on 24 sites should both fire and spare
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_give_different_schedules(self):
+        sites = [(w, t) for w in range(16) for t in range(2)]
+        schedules = set()
+        for seed in range(4):
+            injector = ChaosInjector(seed=seed, worker_crash=0.5)
+            schedules.add(tuple(
+                injector.should_inject("worker_crash", worker=w, attempt=t)
+                for w, t in sites))
+        assert len(schedules) > 1
+
+    def test_unlabelled_draws_advance_a_per_point_stream(self):
+        # With no labels the draw must not be a constant, or a rate of
+        # 0.5 would fire always-or-never.
+        injector = ChaosInjector(seed=3, budget_pressure=0.5,
+                                 budget_pressure_cells=10)
+        outcomes = {injector.extra_cells() for _ in range(64)}
+        assert outcomes == {0, 10}
+
+
+class TestEffects:
+    def test_crash_points_raise_fault_injected(self):
+        injector = ChaosInjector(worker_crash=1.0)
+        with pytest.raises(FaultInjectedError) as info:
+            injector.inject("worker_crash", worker=2, attempt=0)
+        assert "worker_crash" in str(info.value)
+        assert "worker=2" in str(info.value)
+
+    def test_slow_node_sleeps_instead_of_raising(self):
+        injector = ChaosInjector(slow_node=1.0, slow_node_delay=0.0)
+        injector.inject("slow_node", worker=0)  # returns, no exception
+        assert injector.injected["slow_node"] == 1
+
+    def test_budget_pressure_returns_phantom_cells(self):
+        injector = ChaosInjector(budget_pressure=1.0,
+                                 budget_pressure_cells=64)
+        assert injector.extra_cells(where="scan") == 64
+        quiet = ChaosInjector(budget_pressure=0.0)
+        assert quiet.extra_cells(where="scan") == 0
+
+    def test_injections_are_counted_and_published(self):
+        before = REGISTRY.counter("repro_chaos_injected_faults_total",
+                                  point="spill_write").value
+        injector = ChaosInjector(spill_write=1.0)
+        with pytest.raises(FaultInjectedError):
+            injector.inject("spill_write", partition=0, attempt=0)
+        assert injector.injected["spill_write"] == 1
+        after = REGISTRY.counter("repro_chaos_injected_faults_total",
+                                 point="spill_write").value
+        assert after == before + 1

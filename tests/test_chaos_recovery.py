@@ -1,0 +1,181 @@
+"""End-to-end fault-injection tests: injected worker crashes, spill
+write failures, and budget pressure must all recover with results
+identical to the undisturbed run -- and leave an audit trail of metrics
+and span events.
+
+The seed matrix job in CI re-runs this module under several
+``CHAOS_SEED`` values; locally the seed defaults to 0."""
+
+import os
+
+import pytest
+
+from repro import agg, cube
+from repro.compute.parallel import ParallelCubeAlgorithm
+from repro.core.cube import cube_with_stats
+from repro.errors import FaultInjectedError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import tracing
+from repro.resilience import ChaosInjector, ExecutionContext, RetryPolicy
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+DIMS = ["Model", "Year", "Color"]
+AGGS = [agg("SUM", "Units", "Units"), agg("COUNT"), agg("MAX", "Units")]
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.0)
+
+
+def _counter_value(name, **labels):
+    return REGISTRY.counter(name, **labels).value
+
+
+class TestWorkerCrashRecovery:
+    def test_every_worker_crashing_still_yields_the_serial_cube(
+            self, figure4):
+        chaos = ChaosInjector(seed=CHAOS_SEED, worker_crash=1.0)
+        ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+        algorithm = ParallelCubeAlgorithm(n_workers=4)
+        failures = _counter_value("repro_resilience_worker_failures_total")
+        recoveries = _counter_value(
+            "repro_resilience_worker_recoveries_total")
+        result = cube_with_stats(figure4, DIMS, AGGS, algorithm=algorithm,
+                                 context=ctx)
+        plain = cube_with_stats(figure4, DIMS, AGGS,
+                                algorithm=ParallelCubeAlgorithm(n_workers=4))
+        # bit-identical to the undisturbed parallel run (same row order,
+        # same values), and set-identical to the serial algorithm
+        assert result.table.rows == plain.table.rows
+        serial = cube(figure4, DIMS, AGGS, algorithm="2^N")
+        assert sorted(map(repr, result.table.rows)) \
+            == sorted(map(repr, serial.rows))
+        assert result.stats.notes["recovered_partitions"] == 4
+        assert chaos.injected["worker_crash"] == 4 * 3  # every attempt
+        assert _counter_value(
+            "repro_resilience_worker_failures_total") == failures + 4
+        assert _counter_value(
+            "repro_resilience_worker_recoveries_total") == recoveries + 4
+
+    def test_partial_crashes_are_deterministic_for_a_seed(self, figure4):
+        def run():
+            chaos = ChaosInjector(seed=CHAOS_SEED, worker_crash=0.5)
+            ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+            result = cube(figure4, DIMS, AGGS,
+                          algorithm=ParallelCubeAlgorithm(n_workers=4),
+                          context=ctx)
+            return result.rows, dict(chaos.injected)
+
+        rows_a, injected_a = run()
+        rows_b, injected_b = run()
+        assert rows_a == rows_b
+        assert injected_a == injected_b
+        plain = cube(figure4, DIMS, AGGS,
+                     algorithm=ParallelCubeAlgorithm(n_workers=4))
+        assert rows_a == plain.rows
+
+    def test_recovery_emits_span_events(self, figure4):
+        chaos = ChaosInjector(seed=CHAOS_SEED, worker_crash=1.0)
+        ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+        with tracing() as tracer:
+            cube(figure4, DIMS, AGGS,
+                 algorithm=ParallelCubeAlgorithm(n_workers=2), context=ctx)
+        spans = [s for root in tracer.finished() for s in root.walk()]
+        recover = [s for s in spans if s.name == "cube.parallel.recover"]
+        assert len(recover) == 1
+        assert recover[0].attributes["failures"] == 2
+        names = [e["name"] for e in recover[0].events]
+        assert names.count("recover_partition") == 2
+
+    def test_slow_nodes_do_not_change_results(self, figure4):
+        chaos = ChaosInjector(seed=CHAOS_SEED, slow_node=1.0,
+                              slow_node_delay=0.0)
+        ctx = ExecutionContext(chaos=chaos)
+        result = cube(figure4, DIMS, AGGS,
+                      algorithm=ParallelCubeAlgorithm(n_workers=4),
+                      context=ctx)
+        plain = cube(figure4, DIMS, AGGS,
+                     algorithm=ParallelCubeAlgorithm(n_workers=4))
+        assert result.rows == plain.rows
+        assert chaos.injected["slow_node"] == 4
+
+
+def _spill_partitions(figure4, memory_budget):
+    """The partition count the external algorithm will choose: the
+    distinct full-dimension core, one budget's worth per partition."""
+    names = figure4.schema.names
+    positions = [names.index(d) for d in DIMS]
+    core = {tuple(row[p] for p in positions) for row in figure4}
+    return -(-len(core) // memory_budget)
+
+
+def _spill_seed(n_partitions):
+    """A seed whose schedule fails at least one spill write on attempt 0
+    and spares every partition's retries (attempts 1-2), so the retry
+    path both fires and succeeds.  Draws are pure functions of
+    (seed, point, labels), so probing a throwaway injector is exact."""
+    for seed in range(512):
+        probe = ChaosInjector(seed, spill_write=0.25)
+        first_try_hits = [
+            probe.should_inject("spill_write", partition=p, attempt=0)
+            for p in range(n_partitions)]
+        retries_clear = not any(
+            probe.should_inject("spill_write", partition=p, attempt=a)
+            for p in range(n_partitions) for a in (1, 2))
+        if any(first_try_hits) and retries_clear:
+            return seed
+    raise AssertionError("no suitable spill seed in range")
+
+
+class TestSpillRetry:
+    def test_failed_spill_writes_are_retried(self, figure4):
+        seed = _spill_seed(_spill_partitions(figure4, 4))
+        chaos = ChaosInjector(seed, spill_write=0.25)
+        ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+        retries = _counter_value("repro_resilience_spill_retries_total")
+        result = cube(figure4, DIMS, AGGS, algorithm="external",
+                      memory_budget=4, context=ctx, sort_result=True)
+        expected = cube(figure4, DIMS, AGGS, sort_result=True)
+        assert result.rows == expected.rows
+        injected = chaos.injected["spill_write"]
+        assert injected >= 1
+        assert _counter_value(
+            "repro_resilience_spill_retries_total") == retries + injected
+
+    def test_unrecoverable_spill_failure_propagates(self, figure4):
+        chaos = ChaosInjector(seed=CHAOS_SEED, spill_write=1.0)
+        ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+        with pytest.raises(FaultInjectedError):
+            cube(figure4, DIMS, AGGS, algorithm="external",
+                 memory_budget=4, context=ctx)
+
+
+class TestBudgetPressure:
+    def test_phantom_cells_force_degradation(self, sales):
+        chaos = ChaosInjector(seed=CHAOS_SEED, budget_pressure=1.0,
+                              budget_pressure_cells=500)
+        ctx = ExecutionContext(memory_budget=100, chaos=chaos)
+        degradations = _counter_value(
+            "repro_resilience_degradations_total", from_algorithm="2^N")
+        result = cube_with_stats(sales, DIMS, [agg("SUM", "Units", "Units")],
+                                 algorithm="2^N", context=ctx,
+                                 sort_result=True)
+        expected = cube(sales, DIMS, [agg("SUM", "Units", "Units")],
+                        sort_result=True)
+        assert result.table.rows == expected.rows
+        assert result.stats.notes["degraded_from"] == "2^N"
+        assert chaos.injected["budget_pressure"] >= 1
+        assert _counter_value(
+            "repro_resilience_degradations_total",
+            from_algorithm="2^N") == degradations + 1
+
+
+@pytest.mark.parametrize("rate", [0.3, 1.0])
+def test_seed_matrix_worker_crashes_never_change_the_answer(figure4, rate):
+    """The CI chaos job re-runs this under a CHAOS_SEED matrix: for any
+    seed and crash rate, the recovered parallel cube must match the
+    undisturbed one exactly."""
+    chaos = ChaosInjector(seed=CHAOS_SEED, worker_crash=rate)
+    ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+    result = cube(figure4, DIMS, AGGS,
+                  algorithm=ParallelCubeAlgorithm(n_workers=4), context=ctx)
+    plain = cube(figure4, DIMS, AGGS,
+                 algorithm=ParallelCubeAlgorithm(n_workers=4))
+    assert result.rows == plain.rows

@@ -87,3 +87,31 @@ class TestMakeAlgorithm:
     def test_unknown_name(self):
         with pytest.raises(CubeError):
             make_algorithm("quantum")
+
+
+class TestBudgetValidation:
+    """Budget arguments are validated up front, matching
+    ``ExternalCubeAlgorithm.__init__``'s contract."""
+
+    @pytest.mark.parametrize("budget", [0, -1, -1024])
+    def test_memory_budget_below_one_rejected(self, numeric_table, budget):
+        task = make(numeric_table, [AggregateSpec(Sum(), "x", "s")])
+        with pytest.raises(CubeError) as info:
+            choose_algorithm(task, memory_budget=budget)
+        assert "memory_budget" in str(info.value)
+        with pytest.raises(CubeError):
+            explain_choice(task, memory_budget=budget)
+
+    @pytest.mark.parametrize("budget", [0, -7])
+    def test_dense_budget_below_one_rejected(self, numeric_table, budget):
+        task = make(numeric_table, [AggregateSpec(Sum(), "x", "s")])
+        with pytest.raises(CubeError) as info:
+            choose_algorithm(task, dense_budget=budget)
+        assert "dense_budget" in str(info.value)
+        with pytest.raises(CubeError):
+            explain_choice(task, dense_budget=budget)
+
+    def test_minimal_budgets_are_accepted(self, numeric_table):
+        task = make(numeric_table, [AggregateSpec(Sum(), "x", "s")])
+        assert choose_algorithm(task, memory_budget=1).name == "external"
+        assert choose_algorithm(task, dense_budget=1).name != "array"

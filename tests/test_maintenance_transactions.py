@@ -1,0 +1,136 @@
+"""Transactional maintenance: every insert/delete/update is
+apply-or-rollback, batches are atomic, and rollbacks leave an audit
+trail (``MaintenanceStats.rollbacks`` and the
+``repro_maintenance_rollbacks_total`` counter)."""
+
+import pytest
+
+from repro import agg
+from repro.engine.table import Table
+from repro.errors import DeleteRequiresRecomputeError, MaintenanceError
+from repro.maintenance.materialized import MaterializedCube
+from repro.obs.metrics import REGISTRY
+
+
+def _base():
+    table = Table([("Model", "STRING"), ("Year", "INTEGER"),
+                   ("Units", "INTEGER")])
+    table.extend([("Chevy", 1994, 50),
+                  ("Chevy", 1995, 85),
+                  ("Ford", 1994, 60),
+                  ("Ford", 1995, 100)])
+    return table
+
+
+def _snapshot(cube):
+    return [tuple(row) for row in cube.as_table(sort_result=True)]
+
+
+class TestBatchAtomicity:
+    def test_successful_batch_applies_everything(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        touched = cube.apply_batch([
+            ("insert", ("Chevy", 1996, 30)),
+            ("delete", ("Ford", 1994, 60)),
+            ("update", ("Chevy", 1994, 50), ("Chevy", 1994, 55)),
+        ])
+        assert touched > 0
+        reference = MaterializedCube(
+            Table(_base().schema,
+                  [("Chevy", 1995, 85), ("Ford", 1995, 100),
+                   ("Chevy", 1996, 30), ("Chevy", 1994, 55)]),
+            ["Model", "Year"], [agg("SUM", "Units", "Units")])
+        assert _snapshot(cube) == _snapshot(reference)
+
+    def test_failing_batch_rolls_back_every_prior_operation(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        before = _snapshot(cube)
+        rollbacks = REGISTRY.counter("repro_maintenance_rollbacks_total",
+                                     op="batch").value
+        with pytest.raises(MaintenanceError):
+            cube.apply_batch([
+                ("insert", ("Chevy", 1996, 30)),
+                ("insert", ("Ford", 1996, 40)),
+                ("delete", ("Nissan", 2000, 1)),  # not in the base
+            ])
+        assert _snapshot(cube) == before
+        assert cube.stats.rollbacks == 1
+        assert REGISTRY.counter("repro_maintenance_rollbacks_total",
+                                op="batch").value == rollbacks + 1
+
+    def test_unknown_batch_operation_rejected_and_rolled_back(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        before = _snapshot(cube)
+        with pytest.raises(MaintenanceError):
+            cube.apply_batch([("insert", ("Chevy", 1996, 30)),
+                              ("upsert", ("Chevy", 1996, 30))])
+        assert _snapshot(cube) == before
+
+    def test_stats_counters_roll_back_with_the_cells(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        inserts_before = cube.stats.inserts
+        with pytest.raises(MaintenanceError):
+            cube.apply_batch([("insert", ("Chevy", 1996, 30)),
+                              ("delete", ("Nissan", 2000, 1))])
+        assert cube.stats.inserts == inserts_before
+
+
+class TestPerOperationRollback:
+    def test_delete_requiring_recompute_rolls_back_cleanly(self):
+        # MAX is delete-holistic: deleting the maximum forces a
+        # recompute, impossible without the base data -- the half-applied
+        # lattice walk (super-cells already decremented) must roll back.
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("MAX", "Units", "M")],
+                                retain_base=False)
+        before = _snapshot(cube)
+        with pytest.raises(DeleteRequiresRecomputeError):
+            cube.delete(("Ford", 1995, 100))  # the global maximum
+        assert _snapshot(cube) == before
+        assert cube.stats.rollbacks == 1
+
+    def test_delete_of_missing_row_rolls_back(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        before = _snapshot(cube)
+        with pytest.raises(MaintenanceError):
+            cube.delete(("Chevy", 1789, 1))
+        assert _snapshot(cube) == before
+
+    def test_update_is_atomic_across_its_delete_and_insert(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("MAX", "Units", "M")],
+                                retain_base=False)
+        before = _snapshot(cube)
+        with pytest.raises(DeleteRequiresRecomputeError):
+            cube.update(("Ford", 1995, 100), ("Ford", 1995, 90))
+        assert _snapshot(cube) == before
+        # only the outermost transaction restores (and counts) once
+        assert cube.stats.rollbacks == 1
+
+
+class TestNestedTransactions:
+    def test_nested_blocks_join_the_outermost(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        before = _snapshot(cube)
+        with pytest.raises(RuntimeError):
+            with cube.transaction(op="batch"):
+                cube.insert(("Chevy", 1996, 30))
+                with cube.transaction(op="batch"):
+                    cube.insert(("Ford", 1996, 40))
+                raise RuntimeError("abort the lot")
+        assert _snapshot(cube) == before
+        assert cube.stats.rollbacks == 1
+
+    def test_transaction_commits_when_the_block_succeeds(self):
+        cube = MaterializedCube(_base(), ["Model", "Year"],
+                                [agg("SUM", "Units", "Units")])
+        with cube.transaction():
+            cube.insert(("Chevy", 1996, 30))
+        assert cube.stats.inserts == 1
+        assert cube.stats.rollbacks == 0

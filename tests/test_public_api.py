@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.report",
     "repro.warehouse",
     "repro.data",
+    "repro.resilience",
 ]
 
 

@@ -1,0 +1,213 @@
+"""Unit tests for :mod:`repro.resilience`: the execution context
+(budgets, deadlines, cancellation), the retry policy, and the
+module-level active-context plumbing."""
+
+import pytest
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResilienceError,
+    ResourceBudgetExceededError,
+)
+from repro.resilience import (
+    CancellationToken,
+    ExecutionContext,
+    RetryPolicy,
+    call_with_retry,
+)
+from repro.resilience import context as rctx
+
+
+class TestCancellationToken:
+    def test_starts_live(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert token.reason == ""
+
+    def test_cancel_records_reason(self):
+        token = CancellationToken()
+        token.cancel("ctrl-c")
+        assert token.cancelled
+        assert token.reason == "ctrl-c"
+        assert "ctrl-c" in repr(token)
+
+
+class TestExecutionContextValidation:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ResilienceError):
+            ExecutionContext(timeout=-1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ResilienceError):
+            ExecutionContext(memory_budget=0)
+
+    def test_defaults_are_unbounded(self):
+        ctx = ExecutionContext()
+        assert ctx.deadline is None
+        assert ctx.memory_budget is None
+        ctx.check()  # never raises without a deadline or cancellation
+
+
+class TestDeadlineAndCancellation:
+    def test_zero_timeout_expires_at_first_check(self):
+        ctx = ExecutionContext(timeout=0)
+        with pytest.raises(QueryTimeoutError) as info:
+            ctx.check("unit test")
+        assert "unit test" in str(info.value)
+
+    def test_timeout_is_a_cancellation(self):
+        ctx = ExecutionContext(timeout=0)
+        with pytest.raises(QueryCancelledError):
+            ctx.check()
+
+    def test_cancel_trips_next_check(self):
+        ctx = ExecutionContext()
+        ctx.cancel("supervisor said so")
+        with pytest.raises(QueryCancelledError) as info:
+            ctx.check("lattice node")
+        assert "supervisor said so" in str(info.value)
+
+    def test_shared_token_cancels_both_contexts(self):
+        token = CancellationToken()
+        a = ExecutionContext(token=token)
+        b = ExecutionContext(token=token)
+        a.cancel()
+        with pytest.raises(QueryCancelledError):
+            b.check()
+
+
+class TestMemoryAccountant:
+    def test_charge_release_and_peak(self):
+        ctx = ExecutionContext(memory_budget=10)
+        ctx.charge_cells(4)
+        ctx.charge_cells(3)
+        ctx.release_cells(5)
+        assert ctx.resident_cells == 2
+        assert ctx.peak_cells == 7
+
+    def test_budget_breach_raises(self):
+        ctx = ExecutionContext(memory_budget=2)
+        ctx.charge_cells(2)
+        with pytest.raises(ResourceBudgetExceededError) as info:
+            ctx.charge_cells(1, "array dense allocation")
+        assert "array dense allocation" in str(info.value)
+
+    def test_release_never_goes_negative(self):
+        ctx = ExecutionContext()
+        ctx.release_cells(10)
+        assert ctx.resident_cells == 0
+
+    def test_budget_suspension_nests(self):
+        ctx = ExecutionContext(memory_budget=1)
+        with ctx.budget_suspended():
+            with ctx.budget_suspended():
+                ctx.charge_cells(50)
+            ctx.charge_cells(50)  # still suspended at depth 1
+        assert ctx.peak_cells == 100
+        with pytest.raises(ResourceBudgetExceededError):
+            ctx.charge_cells(1)
+
+    def test_attempt_restores_resident_count(self):
+        ctx = ExecutionContext(memory_budget=100)
+        ctx.charge_cells(5)
+        with pytest.raises(RuntimeError):
+            with ctx.attempt():
+                ctx.charge_cells(40)
+                raise RuntimeError("attempt failed")
+        assert ctx.resident_cells == 5
+        assert ctx.peak_cells == 45  # the peak survives for diagnostics
+
+
+class TestActiveContextPlumbing:
+    def test_helpers_are_noops_without_a_context(self):
+        assert rctx.current_context() is None
+        rctx.checkpoint("nowhere")
+        rctx.charge_cells(10)
+        rctx.release_cells(10)
+        rctx.inject("worker_crash")  # no injector, no context: nothing
+
+    def test_use_context_installs_and_restores(self):
+        outer = ExecutionContext()
+        inner = ExecutionContext()
+        with rctx.use_context(outer):
+            assert rctx.current_context() is outer
+            with rctx.use_context(inner):
+                assert rctx.current_context() is inner
+            assert rctx.current_context() is outer
+        assert rctx.current_context() is None
+
+    def test_use_context_restores_on_error(self):
+        ctx = ExecutionContext()
+        with pytest.raises(RuntimeError):
+            with rctx.use_context(ctx):
+                raise RuntimeError("boom")
+        assert rctx.current_context() is None
+
+    def test_module_helpers_route_to_active_context(self):
+        ctx = ExecutionContext(memory_budget=100)
+        with rctx.use_context(ctx):
+            rctx.charge_cells(3)
+            rctx.release_cells(1)
+        assert ctx.resident_cells == 2
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_exponential_backoff_is_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.25)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(5) == pytest.approx(0.25)
+
+    def test_succeeds_after_transient_failures(self):
+        policy = RetryPolicy(max_retries=2, base_delay=0.0)
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise ValueError("transient")
+            return "ok"
+
+        assert call_with_retry(flaky, policy=policy) == "ok"
+        assert attempts == [0, 1, 2]
+
+    def test_exhausted_retries_raise_last_error(self):
+        policy = RetryPolicy(max_retries=1, base_delay=0.0)
+        with pytest.raises(ValueError, match="always"):
+            call_with_retry(lambda attempt: (_ for _ in ()).throw(
+                ValueError("always")), policy=policy)
+
+    def test_cancellation_is_never_retried(self):
+        policy = RetryPolicy(max_retries=5, base_delay=0.0)
+        attempts = []
+
+        def cancelled(attempt):
+            attempts.append(attempt)
+            raise QueryCancelledError("user hit ctrl-c")
+
+        with pytest.raises(QueryCancelledError):
+            call_with_retry(cancelled, policy=policy)
+        assert attempts == [0]
+
+    def test_on_failure_hook_sees_each_failed_attempt(self):
+        policy = RetryPolicy(max_retries=2, base_delay=0.0)
+        seen = []
+
+        def flaky(attempt):
+            if attempt == 0:
+                raise ValueError("once")
+            return attempt
+
+        result = call_with_retry(
+            flaky, policy=policy,
+            on_failure=lambda attempt, error: seen.append(
+                (attempt, str(error))))
+        assert result == 1
+        assert seen == [(0, "once")]

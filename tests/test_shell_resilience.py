@@ -1,0 +1,92 @@
+"""Shell-level resilience: the ``\\timeout`` meta-command, statement
+deadlines surfacing as friendly messages, and Ctrl-C cancelling the
+running query instead of killing the REPL."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.shell import Shell
+from repro.sql.executor import SQLSession
+
+
+@pytest.fixture
+def shell():
+    shell = Shell()
+    shell.handle_line("\\load sales")
+    return shell
+
+
+class TestTimeoutMeta:
+    def test_defaults_to_off(self, shell):
+        assert shell.handle_line("\\timeout") == "statement_timeout: off"
+
+    def test_set_and_show(self, shell):
+        out = shell.handle_line("\\timeout 2.5")
+        assert "2.5" in out
+        assert shell.session.statement_timeout == 2.5
+        assert shell.handle_line("\\timeout") == "statement_timeout: 2.5s"
+
+    def test_off_clears(self, shell):
+        shell.handle_line("\\timeout 2")
+        assert shell.handle_line("\\timeout off") == "statement_timeout OFF"
+        assert shell.session.statement_timeout is None
+
+    def test_bad_values_show_usage(self, shell):
+        assert "usage" in shell.handle_line("\\timeout soon")
+        assert "usage" in shell.handle_line("\\timeout -3")
+        assert shell.session.statement_timeout is None
+
+
+class TestStatementDeadline:
+    def test_expired_deadline_reports_cancelled_not_crash(self, shell):
+        shell.handle_line("\\timeout 0")
+        out = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert out.startswith("cancelled:")
+        assert "timeout" in out
+        assert not shell.done
+
+    def test_shell_recovers_after_a_timeout(self, shell):
+        shell.handle_line("\\timeout 0")
+        shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        shell.handle_line("\\timeout off")
+        out = shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert "cancelled" not in out
+        assert "8" in out
+
+    def test_active_context_is_cleared_after_each_statement(self, shell):
+        shell.handle_line("SELECT COUNT(*) FROM Sales;")
+        assert shell.active_context is None
+
+
+class TestCtrlC:
+    def test_keyboard_interrupt_cancels_the_query(self):
+        seen = {}
+
+        class InterruptingSession(SQLSession):
+            def execute(self, sql, *, context=None):
+                seen["context"] = context
+                raise KeyboardInterrupt
+
+        shell = Shell(InterruptingSession(Catalog()))
+        out = shell.handle_line("SELECT 1;")
+        assert out == "query cancelled (^C)"
+        assert not shell.done  # the REPL survives
+        assert shell.active_context is None
+        # the statement's token was fired so in-flight workers stop too
+        assert seen["context"].cancel_token.cancelled
+        assert seen["context"].cancel_token.reason == "ctrl-c"
+
+    def test_interrupt_between_statements_leaves_session_usable(self):
+        calls = {"n": 0}
+
+        class FlakySession(SQLSession):
+            def execute(self, sql, *, context=None):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise KeyboardInterrupt
+                return super().execute(sql, context=context)
+
+        shell = Shell(FlakySession(Catalog()))
+        assert shell.handle_line("SELECT 1;") == "query cancelled (^C)"
+        out = shell.handle_line("SELECT 1 AS x;")
+        assert "1" in out
