@@ -83,13 +83,18 @@ def pytest_sessionfinish(session, exitstatus):
             value = getattr(stats, field, None)
             if value is not None:
                 timings[field] = value
+        extra = dict(bench.extra_info or {})
+        counters = extra.pop("counters", None)
         records.append({
             "name": bench.name,
             "fullname": bench.fullname,
             "group": bench.group,
             "params": bench.params,
             "timings_s": timings,
-            "counters": (bench.extra_info or {}).get("counters"),
+            "counters": counters,
+            # anything else a bench attached (e.g. the serving cache's
+            # warm-vs-cold hit/miss/eviction counters)
+            "extra": extra or None,
         })
     payload = {
         "python": platform.python_version(),

@@ -205,10 +205,14 @@ def _guarded_local_cube(task: CubeTask, rows: Sequence[tuple], *,
                          error=str(error))
 
     def run(attempt: int) -> tuple[LocalCube, ComputeStats]:
-        ctx.check(f"parallel worker {worker}")
-        ctx.inject("slow_node", worker=worker, attempt=attempt)
-        ctx.inject("worker_crash", worker=worker, attempt=attempt)
-        return _local_cube(task, rows, worker=worker, parent=parent)
+        # the active-context slot is thread-local, so the worker thread
+        # re-installs the coordinator's context before doing any work --
+        # budget charges and checkpoints then hit the shared accountant
+        with rctx.use_context(ctx):
+            ctx.check(f"parallel worker {worker}")
+            ctx.inject("slow_node", worker=worker, attempt=attempt)
+            ctx.inject("worker_crash", worker=worker, attempt=attempt)
+            return _local_cube(task, rows, worker=worker, parent=parent)
 
     try:
         return call_with_retry(run, policy=ctx.retry, on_failure=on_failure)

@@ -14,7 +14,11 @@ the cube".  This module implements that idea on our lattice:
   from ``w`` instead of its current cheapest materialized ancestor;
 - :class:`PartialCube` materializes the selected views and answers any
   grouping-set query from the smallest materialized ancestor, counting
-  the rows scanned so benchmarks can compare selection policies.
+  the rows scanned so policies can be compared on work done rather than
+  wall time alone.  :meth:`PartialCube.answer` is also the answering
+  engine behind the serving layer's semantic cuboid cache
+  (:mod:`repro.serve.cache`): a repeated or coarser query folds a
+  stored cuboid instead of rescanning the fact table.
 
 Works for distributive and algebraic aggregates (answering from an
 ancestor is an Iter_super fold); holistic functions would need the base
@@ -25,6 +29,7 @@ users avoid holistic functions").
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 from repro.aggregates.base import Handle
@@ -35,22 +40,39 @@ from repro.core.lattice import CubeLattice
 from repro.engine.groupby import AggregateSpec
 from repro.engine.table import Table
 from repro.errors import CubeError, NotMergeableError
+from repro.obs import instrument, trace
+from repro.resilience import context as rctx
 
 __all__ = ["view_sizes", "greedy_select", "PartialCube"]
 
 
-def view_sizes(task: CubeTask) -> dict[Mask, int]:
+def view_sizes(task: CubeTask, *,
+               stats: ComputeStats | None = None) -> dict[Mask, int]:
     """Exact row count of every grouping set in ``task.masks``.
 
-    One scan per level would do; for simplicity (these are planning
-    statistics) we count distinct coordinates per mask in one pass.
+    One pass over the fact table counts distinct coordinates for every
+    mask simultaneously.  The result is memoized on the task, so the
+    several call sites that plan against the same task (selection,
+    benchmarks, the serving cache) share a single scan instead of each
+    silently rescanning the fact table.  When ``stats`` is given, the
+    scan that actually happens is recorded on it (``base_scans`` plus a
+    ``view_sizes_rows`` note); a memo hit records nothing, because no
+    work was done.
     """
+    cached = getattr(task, "_view_sizes_memo", None)
+    if cached is not None:
+        return dict(cached)
     seen: dict[Mask, set] = {mask: set() for mask in task.masks}
     for row in task.rows:
         dim_values = task.dim_values(row)
         for mask in task.masks:
             seen[mask].add(task.coordinate(mask, dim_values))
-    return {mask: max(1, len(coords)) for mask, coords in seen.items()}
+    sizes = {mask: max(1, len(coords)) for mask, coords in seen.items()}
+    task._view_sizes_memo = dict(sizes)  # type: ignore[attr-defined]
+    if stats is not None:
+        stats.base_scans += 1
+        stats.notes["view_sizes_rows"] = len(task.rows)
+    return sizes
 
 
 def _cheapest_ancestor(mask: Mask, materialized: set[Mask],
@@ -114,40 +136,59 @@ class PartialCube:
     ``stats.iter_calls`` counts base-row folds, ``stats.merge_calls``
     the ancestor-cell folds per query, so policies can be compared on
     work done rather than wall time alone.
+
+    ``universe`` restricts the lattice the cube plans over: the masks
+    whose sizes are measured and which :func:`greedy_select` may pick.
+    It defaults to the full 2^N power set (the HRU setting); the
+    serving cache passes just the query's grouping sets plus the core,
+    so admitting a plain GROUP BY does not pay a 2^N planning pass.
+    Any mask over the dimensions can still be *answered* -- the core is
+    always materialized and is an ancestor of everything.
     """
 
     def __init__(self, table: Table, dims: Sequence,
                  aggregates: Sequence[AggregateSpec], *,
                  materialize: Sequence[Mask] | None = None,
-                 budget: int | None = None) -> None:
-        full = cube_sets(len(list(dims)))
-        self._task = build_task(table, dims, list(aggregates), full)
+                 budget: int | None = None,
+                 universe: Sequence[Mask] | None = None) -> None:
+        n_dims = len(list(dims))
+        if universe is None:
+            universe = cube_sets(n_dims)
+        full = (1 << n_dims) - 1
+        # the full mask anchors the lattice (every mask's ancestor), and
+        # explicitly materialized views must be measurable
+        universe = list(dict.fromkeys(
+            [full, *universe, *(materialize or ())]))
+        self._task = build_task(table, dims, list(aggregates), universe)
         if not self._task.all_mergeable():
             bad = [fn.name for fn in self._task.functions
                    if not fn.mergeable]
             raise NotMergeableError(
                 f"partial cubes need mergeable scratchpads; {bad} are "
                 "holistic in strict mode")
-        self.sizes = view_sizes(self._task)
-        self._lattice = CubeLattice(self._task.dims, full)
+        self.stats = ComputeStats(algorithm="partial-cube")
+        self.sizes = view_sizes(self._task, stats=self.stats)
+        self._lattice = CubeLattice(self._task.dims, universe)
 
         if materialize is None:
-            k = budget if budget is not None else len(full) // 4
+            k = budget if budget is not None else len(universe) // 4
             materialize = greedy_select(self.sizes, k,
                                         dims=self._task.dims)
         self.materialized: tuple[Mask, ...] = tuple(dict.fromkeys(
             [self._lattice.core, *materialize]))
 
-        self.stats = ComputeStats(algorithm="partial-cube")
         self._views: dict[Mask, dict[tuple, list[Handle]]] = {}
         self._build()
 
     def _build(self) -> None:
+        started = time.perf_counter()
         task = self._task
         core_mask = self._lattice.core
         core: dict[tuple, list[Handle]] = {}
-        self.stats.base_scans = 1
-        for row in task.rows:
+        self.stats.base_scans += 1
+        for position, row in enumerate(task.rows):
+            if position % 256 == 0:
+                rctx.checkpoint("partial-cube build")
             coordinate = task.coordinate(core_mask, task.dim_values(row))
             handles = core.get(coordinate)
             if handles is None:
@@ -160,9 +201,17 @@ class PartialCube:
                            key=lambda m: -bin(m).count("1")):
             if mask == core_mask:
                 continue
+            rctx.checkpoint("partial-cube materialize")
             source_mask = _cheapest_ancestor(
                 mask, set(self._views), self.sizes, self._lattice)
             self._views[mask] = self._fold_down(source_mask, mask)
+        self.stats.cells_produced = self.materialized_rows
+        # a partial-cube build is a cube computation: meter it like one,
+        # so cold builds and warm answers land in the same catalogue
+        # (repro_cube_rows_scanned_total vs repro_view_rows_scanned_total)
+        instrument.record_cube_compute(
+            self.stats, time.perf_counter() - started,
+            input_rows=len(task.rows))
 
     def _fold_down(self, source_mask: Mask,
                    target_mask: Mask) -> dict[tuple, list[Handle]]:
@@ -186,7 +235,7 @@ class PartialCube:
         """Answer one grouping-set query (grouped column names)."""
         from repro.core.grouping import names_to_mask
         mask = names_to_mask(grouped, self._task.dims)
-        return self._answer(mask)
+        return self.answer(mask)
 
     def query_cost(self, grouped: Sequence[str]) -> int:
         """Rows of the materialized ancestor a query must scan."""
@@ -196,18 +245,48 @@ class PartialCube:
                                     self._lattice)
         return len(self._views[source])
 
-    def _answer(self, mask: Mask) -> Table:
+    def answer(self, mask: Mask) -> Table:
+        """Answer one grouping-set query given as a mask over the
+        cube's dimensions."""
+        table, _ = self.answer_with_cost(mask)
+        return table
+
+    def answer_with_cost(self, mask: Mask) -> tuple[Table, int]:
+        """Answer ``mask`` and report the rows of materialized data
+        scanned to do it.
+
+        The ancestor-answering path is traced (``view.answer`` spans,
+        visible in EXPLAIN ANALYZE when a query is served from the
+        cuboid cache) and metered
+        (``repro_view_rows_scanned_total``), so reuse is as observable
+        as a cold computation.
+        """
         task = self._task
-        if mask in self._views:
-            cells = [(coordinate, task.finalize(list(handles), self.stats))
-                     for coordinate, handles in self._views[mask].items()]
-            return task.result_table(cells)
-        source_mask = _cheapest_ancestor(mask, set(self._views),
-                                         self.sizes, self._lattice)
-        folded = self._fold_down(source_mask, mask)
-        cells = [(coordinate, task.finalize(handles, self.stats))
-                 for coordinate, handles in folded.items()]
-        return task.result_table(cells)
+        materialized = mask in self._views
+        with trace.span("view.answer",
+                        grouping_set=task.mask_label(mask),
+                        materialized=materialized) as span:
+            if materialized:
+                source_mask = mask
+                scanned = len(self._views[mask])
+                cells = [(coordinate,
+                          task.finalize(list(handles), self.stats))
+                         for coordinate, handles
+                         in self._views[mask].items()]
+            else:
+                source_mask = _cheapest_ancestor(
+                    mask, set(self._views), self.sizes, self._lattice)
+                scanned = len(self._views[source_mask])
+                folded = self._fold_down(source_mask, mask)
+                cells = [(coordinate, task.finalize(handles, self.stats))
+                         for coordinate, handles in folded.items()]
+            span.set(source=task.mask_label(source_mask),
+                     rows_scanned=scanned, cells=len(cells))
+        instrument.record_view_answer(scanned)
+        return task.result_table(cells), scanned
+
+    def _answer(self, mask: Mask) -> Table:
+        return self.answer(mask)
 
     def describe(self) -> str:
         names = [" ".join(mask_to_names(m, self._task.dims)) or "(total)"

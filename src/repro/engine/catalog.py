@@ -20,10 +20,22 @@ DeleteTrigger = Callable[[tuple], None]
 
 
 class Catalog:
-    """Named tables with trigger dispatch on mutation."""
+    """Named tables with trigger dispatch on mutation.
+
+    Every table carries a **version**: a monotonically increasing
+    counter bumped on registration and on every mutation routed through
+    the catalog (:meth:`insert`, :meth:`delete`, :meth:`update`).  The
+    semantic cuboid cache (:mod:`repro.serve.cache`) keys cached
+    answers on the versions of every table a query read, so DML
+    invalidates stale entries implicitly: a version that moved can
+    never match again.  Mutating a :class:`Table` object directly
+    (bypassing the catalog) does *not* bump the version -- SQL DML and
+    trigger-maintained cubes always go through here.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._versions: dict[str, int] = {}
         self._insert_triggers: dict[str, list[InsertTrigger]] = {}
         self._delete_triggers: dict[str, list[DeleteTrigger]] = {}
 
@@ -36,7 +48,19 @@ class Catalog:
             raise CatalogError(f"table {name!r} already registered")
         table.name = name
         self._tables[key] = table
+        self._bump(key)
         return table
+
+    def version(self, name: str) -> int:
+        """The table's mutation counter (0 for never-registered names).
+
+        Versions survive :meth:`drop`, so a dropped-and-recreated table
+        never aliases cache entries from its previous incarnation.
+        """
+        return self._versions.get(name.upper(), 0)
+
+    def _bump(self, key: str) -> None:
+        self._versions[key] = self._versions.get(key, 0) + 1
 
     def get(self, name: str) -> Table:
         try:
@@ -75,6 +99,7 @@ class Catalog:
     def insert(self, name: str, row: Sequence[Any]) -> None:
         table = self.get(name)
         table.append(row)
+        self._bump(name.upper())
         stored = tuple(row)
         for trigger in self._insert_triggers.get(name.upper(), []):
             trigger(stored)
@@ -89,6 +114,7 @@ class Catalog:
         table = self.get(name)
         removed = table.delete_row(row)
         if removed:
+            self._bump(name.upper())
             stored = tuple(row)
             for trigger in self._delete_triggers.get(name.upper(), []):
                 trigger(stored)

@@ -160,6 +160,18 @@ class ResourceBudgetExceededError(ResilienceError):
     degradation was disabled or the aggregates are not mergeable."""
 
 
+class ServeError(ReproError):
+    """Root of query-serving errors (:mod:`repro.serve`): protocol
+    violations, connection failures, server lifecycle misuse."""
+
+
+class ServerOverloadedError(ServeError):
+    """Admission control shed the request: the in-flight limit was
+    reached and the wait queue was full.  Clients should back off and
+    retry; the server stays healthy by refusing work instead of
+    accepting unbounded concurrency."""
+
+
 class FaultInjectedError(ResilienceError):
     """A deterministic fault from the chaos harness
     (:mod:`repro.resilience.chaos`).  Only ever raised when a

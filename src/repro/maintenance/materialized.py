@@ -41,6 +41,8 @@ import contextlib
 import copy
 from typing import Any, Iterator, Sequence
 
+from typing import Callable
+
 from repro.aggregates.base import Handle
 from repro.aggregates.registry import AggregateRegistry, default_registry
 from repro.compute.base import build_task
@@ -109,6 +111,7 @@ class MaterializedCube:
         from repro.compute.stats import ComputeStats
         self._fold_stats = ComputeStats(algorithm="maintenance")
         self._txn_depth = 0
+        self._mutation_listeners: list[Callable[[str], None]] = []
         for row in task.rows:
             self._apply_insert(row, initial=True)
         self._base_rows = list(task.rows) if retain_base else []
@@ -125,6 +128,22 @@ class MaterializedCube:
 
     def __len__(self) -> int:
         return sum(len(cells) for cells in self._cells.values())
+
+    def add_mutation_listener(self,
+                              listener: Callable[[str], None]) -> None:
+        """Register ``listener(op)`` to fire after every *successful*
+        top-level mutation (``insert`` / ``delete`` / ``update`` /
+        ``batch``).  Operations inside a larger transaction notify once
+        when the outermost scope commits; rolled-back operations raise
+        before notifying.  The serving layer's semantic cache uses this
+        to invalidate cuboids derived from the cube's base table
+        (:meth:`repro.serve.CuboidCache.watch`)."""
+        self._mutation_listeners.append(listener)
+
+    def _notify_mutation(self, op: str) -> None:
+        if self._txn_depth == 0:
+            for listener in self._mutation_listeners:
+                listener(op)
 
     @contextlib.contextmanager
     def transaction(self, op: str = "batch") -> Iterator["MaterializedCube"]:
@@ -184,7 +203,8 @@ class MaterializedCube:
                         raise MaintenanceError(
                             f"unknown batch operation {kind!r}; "
                             "use insert/delete/update")
-                return touched
+            self._notify_mutation("batch")
+            return touched
 
     def insert(self, row: Sequence[Any]) -> int:
         """Propagate one base-table INSERT; returns cells touched."""
@@ -198,6 +218,7 @@ class MaterializedCube:
         self.stats.inserts += 1
         self.stats.per_operation_touched.append(touched)
         self.stats.note_operation("insert", touched)
+        self._notify_mutation("insert")
         return touched
 
     def delete(self, row: Sequence[Any]) -> int:
@@ -261,6 +282,7 @@ class MaterializedCube:
         self.stats.deletes += 1
         self.stats.per_operation_touched.append(touched)
         self.stats.note_operation("delete", touched)
+        self._notify_mutation("delete")
         return touched
 
     def update(self, old_row: Sequence[Any], new_row: Sequence[Any]) -> int:
@@ -276,6 +298,7 @@ class MaterializedCube:
             span.set(cells_touched=touched)
         self.stats.updates += 1
         self.stats.note_operation("update", touched)
+        self._notify_mutation("update")
         return touched
 
     def as_table(self, *, sort_result: bool = True) -> Table:

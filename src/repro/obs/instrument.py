@@ -30,6 +30,16 @@ metric                                         kind       labels
 ``repro_resilience_worker_recoveries_total``   counter    --
 ``repro_resilience_spill_retries_total``       counter    --
 ``repro_chaos_injected_faults_total``          counter    ``point``
+``repro_view_rows_scanned_total``              counter    --
+``repro_cache_lookups_total``                  counter    ``result`` (hit/miss/bypass)
+``repro_cache_admissions_total``               counter    ``result`` (admitted/rejected)
+``repro_cache_evictions_total``                counter    ``reason`` (space/invalidated)
+``repro_cache_resident_cells``                 gauge      --
+``repro_serve_connections_total``              counter    --
+``repro_serve_requests_total``                 counter    ``op``
+``repro_serve_shed_total``                     counter    ``reason`` (queue_full/deadline)
+``repro_serve_inflight``                       gauge      --
+``repro_serve_queue_depth``                    gauge      --
 =============================================  =========  =============================
 
 All helpers no-op (one flag check) when the process-wide registry is
@@ -46,6 +56,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.compute.stats import ComputeStats
 
 __all__ = [
+    "record_cache_admission",
+    "record_cache_eviction",
+    "record_cache_lookup",
     "record_cancellation",
     "record_cube_compute",
     "record_degradation",
@@ -55,10 +68,17 @@ __all__ = [
     "record_materialized_lookup",
     "record_query",
     "record_rollback",
+    "record_serve_connection",
+    "record_serve_request",
+    "record_serve_shed",
     "record_spill_retry",
+    "record_view_answer",
     "record_worker_failure",
     "record_worker_recovery",
     "record_worker_retry",
+    "set_cache_resident_cells",
+    "set_serve_inflight",
+    "set_serve_queue_depth",
 ]
 
 
@@ -203,3 +223,94 @@ def record_injected_fault(point: str) -> None:
     REGISTRY.counter("repro_chaos_injected_faults_total",
                      help="faults injected by the chaos harness",
                      point=point).inc()
+
+
+def record_view_answer(rows_scanned: int) -> None:
+    """A query answered from a materialized view / cached cuboid
+    (:meth:`PartialCube.answer`); counts the stored cells folded
+    instead of base rows rescanned."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_view_rows_scanned_total",
+                     help="materialized-view cells scanned to answer "
+                          "queries").inc(rows_scanned)
+
+
+def record_cache_lookup(result: str) -> None:
+    """One semantic-cache probe: ``hit``, ``miss``, or ``bypass``
+    (holistic aggregates, no base table, disabled)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cache_lookups_total",
+                     help="semantic cuboid cache probes",
+                     result=result).inc()
+
+
+def record_cache_admission(result: str) -> None:
+    """A miss finished computing: entry ``admitted`` or ``rejected``
+    by the admission policy."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cache_admissions_total",
+                     help="semantic cache admission decisions",
+                     result=result).inc()
+
+
+def record_cache_eviction(reason: str) -> None:
+    """A cached cuboid was dropped: ``space`` (budget pressure) or
+    ``invalidated`` (table mutated)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cache_evictions_total",
+                     help="semantic cache entries evicted",
+                     reason=reason).inc()
+
+
+def set_cache_resident_cells(cells: int) -> None:
+    """Current cells held by the semantic cache (its space budget)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_cache_resident_cells",
+                   help="cells resident in the semantic cache").set(cells)
+
+
+def record_serve_connection() -> None:
+    """A client connection was accepted by the query server."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_serve_connections_total",
+                     help="client connections accepted").inc()
+
+
+def record_serve_request(op: str) -> None:
+    """One wire request handled (``query``, ``ping``, ``stats``, ...)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_serve_requests_total",
+                     help="wire requests handled", op=op).inc()
+
+
+def record_serve_shed(reason: str) -> None:
+    """Admission control refused a request: ``queue_full`` or
+    ``deadline`` (shed while queued)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_serve_shed_total",
+                     help="requests shed by admission control",
+                     reason=reason).inc()
+
+
+def set_serve_inflight(n: int) -> None:
+    """Queries currently executing on connection threads."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_serve_inflight",
+                   help="queries currently executing").set(n)
+
+
+def set_serve_queue_depth(n: int) -> None:
+    """Requests waiting for an execution slot."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_serve_queue_depth",
+                   help="requests waiting for an execution slot").set(n)

@@ -19,14 +19,17 @@ enforce:
 * an optional **chaos injector** for deterministic fault injection.
 
 The active context is installed with :func:`use_context` into a
-module-level slot -- deliberately *not* thread-local, so pool worker
-threads spawned by ``ParallelCubeAlgorithm`` inherit the coordinator's
-context and its cancellation token.  The engine only ever runs one
-query at a time per process, which is the regime this engine targets;
-the module-level helpers (:func:`checkpoint`, :func:`charge_cells`,
-:func:`release_cells`, :func:`inject`) are no-ops when no context is
-active, so the resilience layer costs one ``None`` check on the hot
-path when unused.
+**thread-local** slot, so concurrent queries -- the
+:mod:`repro.serve` server runs one per connection thread -- each see
+only their own deadline, budget, and cancellation token.  Code that
+fans work out to a pool must propagate the context explicitly:
+``ParallelCubeAlgorithm`` captures the coordinator's context and each
+worker re-installs it (via :func:`use_context`) in its own thread, so
+workers still share the coordinator's token, accountant, and chaos
+schedule.  The module-level helpers (:func:`checkpoint`,
+:func:`charge_cells`, :func:`release_cells`, :func:`inject`) are
+no-ops when no context is active, so the resilience layer costs one
+``None`` check on the hot path when unused.
 """
 
 from __future__ import annotations
@@ -242,50 +245,56 @@ class ExecutionContext:
 
 # -- active-context plumbing ----------------------------------------------
 
-_ACTIVE: Optional[ExecutionContext] = None
+_ACTIVE = threading.local()
 
 
 def current_context() -> Optional[ExecutionContext]:
-    """The context installed by :func:`use_context`, or ``None``."""
-    return _ACTIVE
+    """The context installed by :func:`use_context` on *this thread*,
+    or ``None``."""
+    return getattr(_ACTIVE, "ctx", None)
 
 
 @contextlib.contextmanager
 def use_context(ctx: ExecutionContext) -> Iterator[ExecutionContext]:
-    """Install ``ctx`` as the process-wide active context.
+    """Install ``ctx`` as this thread's active context.
 
-    Module-level rather than thread-local on purpose: worker threads
-    spawned inside the ``with`` block must see the coordinator's
-    context (its token, budget, and chaos schedule).
+    Thread-local on purpose: the query server runs concurrent
+    statements on separate connection threads, and each must observe
+    only its own deadline/budget/token.  Pool coordinators (the
+    parallel algorithm) capture the context and re-install it inside
+    each worker thread, so a shared token still cancels every worker.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = ctx
+    previous = getattr(_ACTIVE, "ctx", None)
+    _ACTIVE.ctx = ctx
     try:
         yield ctx
     finally:
-        _ACTIVE = previous
+        _ACTIVE.ctx = previous
 
 
 def checkpoint(where: str = "") -> None:
     """Poll the active context's token/deadline; no-op when inactive."""
-    if _ACTIVE is not None:
-        _ACTIVE.check(where)
+    ctx = getattr(_ACTIVE, "ctx", None)
+    if ctx is not None:
+        ctx.check(where)
 
 
 def charge_cells(n: int = 1, where: str = "") -> None:
     """Charge cells against the active context; no-op when inactive."""
-    if _ACTIVE is not None:
-        _ACTIVE.charge_cells(n, where)
+    ctx = getattr(_ACTIVE, "ctx", None)
+    if ctx is not None:
+        ctx.charge_cells(n, where)
 
 
 def release_cells(n: int = 1) -> None:
     """Release cells on the active context; no-op when inactive."""
-    if _ACTIVE is not None:
-        _ACTIVE.release_cells(n)
+    ctx = getattr(_ACTIVE, "ctx", None)
+    if ctx is not None:
+        ctx.release_cells(n)
 
 
 def inject(point: str, **labels: Any) -> None:
     """Fire the active context's chaos injector; no-op when inactive."""
-    if _ACTIVE is not None:
-        _ACTIVE.inject(point, **labels)
+    ctx = getattr(_ACTIVE, "ctx", None)
+    if ctx is not None:
+        ctx.inject(point, **labels)

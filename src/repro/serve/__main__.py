@@ -1,0 +1,157 @@
+"""``python -m repro.serve`` -- run the query server (or its smoke test).
+
+Default mode binds a TCP port, loads the demo datasets (the paper's
+Table 3 sales data plus a synthetic fact table), and serves until
+interrupted.  ``--smoke`` is the CI driver: it starts an in-process
+server on an ephemeral port, hammers it with concurrent clients running
+a mixed CUBE/ROLLUP/GROUP BY workload, and exits 0 only if every
+client's every result matched a locally computed reference, the cache
+registered at least one hit, and shutdown was clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.catalog import Catalog
+from repro.serve.cache import CachePolicy, CuboidCache
+from repro.serve.client import QueryClient
+from repro.serve.server import QueryServer
+from repro.sql.executor import SQLSession
+
+
+def _demo_catalog() -> Catalog:
+    """The sales demo table plus a synthetic 3-dim fact table."""
+    from repro.shell import _DATASETS
+
+    catalog = Catalog()
+    for name, loader in _DATASETS.items():
+        catalog.register(name.upper(), loader())
+    catalog.register("FACTS", synthetic_table(
+        SyntheticSpec(cardinalities=(8, 4, 2), n_rows=600, seed=71)))
+    return catalog
+
+
+def _build_server(args: argparse.Namespace) -> QueryServer:
+    policy = CachePolicy(budget_cells=args.cache_budget)
+    return QueryServer(
+        _demo_catalog(),
+        cache=CuboidCache(policy=policy),
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        statement_timeout=args.timeout)
+
+
+#: the smoke workload -- repeated grouped queries over FACTS, designed
+#: so later statements are answerable from the first CUBE's cuboids.
+_SMOKE_QUERIES = [
+    "SELECT d0, d1, d2, SUM(m) FROM FACTS GROUP BY CUBE d0, d1, d2",
+    "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY ROLLUP d0, d1",
+    "SELECT d0, SUM(m) FROM FACTS GROUP BY d0",
+    "SELECT d1, d0, SUM(m) FROM FACTS GROUP BY d1, d0",
+    "SELECT d2, SUM(m) FROM FACTS GROUP BY d2",
+    "SELECT Model, Year, SUM(Units) FROM SALES GROUP BY ROLLUP Model, Year",
+]
+
+
+def _canonical(table) -> list[str]:
+    return sorted(repr(row) for row in table.rows)
+
+
+def _smoke_client(address: tuple[str, int], queries: list[str],
+                  references: dict[str, list[str]],
+                  failures: list[str]) -> None:
+    try:
+        with QueryClient(*address, timeout=30.0) as client:
+            for sql in queries:
+                result = client.execute(sql)
+                if _canonical(result) != references[sql]:
+                    failures.append(f"result mismatch for: {sql}")
+    except Exception as error:  # noqa: BLE001 -- smoke must report, not die
+        failures.append(f"{type(error).__name__}: {error}")
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    args.port = 0  # ephemeral -- never collide in CI
+    server = _build_server(args)
+
+    # reference answers from a plain cache-less session on the same data
+    reference_session = SQLSession(_demo_catalog())
+    references = {sql: _canonical(reference_session.execute(sql))
+                  for sql in _SMOKE_QUERIES}
+
+    n_clients = args.smoke_clients
+    failures: list[str] = []
+    with server:
+        address = server.address
+        print(f"smoke: server on {address[0]}:{address[1]}, "
+              f"{n_clients} clients")
+        threads = []
+        for i in range(n_clients):
+            # rotate the workload so clients interleave different shapes
+            queries = _SMOKE_QUERIES[i % len(_SMOKE_QUERIES):] \
+                + _SMOKE_QUERIES[:i % len(_SMOKE_QUERIES)]
+            thread = threading.Thread(
+                target=_smoke_client,
+                args=(address, queries, references, failures),
+                name=f"smoke-client-{i}")
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=60.0)
+            if thread.is_alive():
+                failures.append(f"{thread.name} hung")
+        with QueryClient(*address) as client:
+            stats = client.stats()
+    cache_stats = stats.get("cache", {})
+    print(f"smoke: cache stats {cache_stats}")
+    if not failures and cache_stats.get("hits", 0) < 1:
+        failures.append("expected at least one cache hit, got "
+                        f"{cache_stats.get('hits', 0)}")
+    for failure in failures:
+        print(f"smoke: FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("smoke: OK -- all clients consistent, cache hit, clean shutdown")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve the demo catalog over the JSON wire protocol.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7432,
+                        help="TCP port (0 for ephemeral)")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="statements executing concurrently")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="statements waiting for admission")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-statement deadline in seconds")
+    parser.add_argument("--cache-budget", type=int, default=None,
+                        help="cuboid cache budget in cells")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI smoke workload and exit")
+    parser.add_argument("--smoke-clients", type=int, default=8,
+                        help="concurrent clients in --smoke mode")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args)
+
+    server = _build_server(args)
+    server.start()
+    host, port = server.address
+    print(f"repro query server on {host}:{port} "
+          f"(tables: {', '.join(server.catalog.names())})")
+    print("Ctrl-C to stop.")
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""A minimal client for the query server's JSON wire protocol.
+
+Used by the shell's ``\\connect`` and by the smoke/CI drivers; one
+socket, synchronous request/response, server errors re-raised as their
+original :mod:`repro.errors` class when the name resolves (so
+``except SQLSyntaxError`` works the same against a remote server as
+against a local session).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro import errors as _errors
+from repro.engine.table import Table
+from repro.errors import ServeError
+from repro.serve import protocol
+
+__all__ = ["QueryClient"]
+
+
+def _rebuild_error(payload: dict) -> Exception:
+    """The server-side error as its original class when possible."""
+    name = payload.get("type", "ServeError")
+    message = payload.get("message", "remote error")
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        try:
+            return cls(message)
+        except TypeError:
+            pass  # classes with mandatory structured args
+    return ServeError(f"{name}: {message}")
+
+
+class QueryClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7432, *,
+                 timeout: float | None = 30.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as error:
+            raise ServeError(
+                f"cannot connect to {host}:{port}: {error}") from None
+        self._stream = self._sock.makefile("rwb")
+        self._next_id = 0
+        self._closed = False
+        self.last_elapsed_ms: float | None = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, op: str, **fields: Any) -> dict:
+        if self._closed:
+            raise ServeError("client is closed")
+        self._next_id += 1
+        message = {"id": self._next_id, "op": op, **fields}
+        try:
+            protocol.write_message(self._stream, message)
+            response = protocol.read_message(self._stream)
+        except OSError as error:
+            raise ServeError(f"connection lost: {error}") from None
+        if response is None:
+            raise ServeError("server closed the connection")
+        if not response.get("ok"):
+            raise _rebuild_error(response.get("error", {}))
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    def execute(self, sql: str) -> Table:
+        """Run one statement remotely; returns the result relation
+        (ALL values decoded back to the singleton)."""
+        response = self._request("query", sql=sql)
+        self.last_elapsed_ms = response.get("elapsed_ms")
+        return protocol.decode_table(response)
+
+    def ping(self) -> bool:
+        return bool(self._request("ping").get("pong"))
+
+    def stats(self) -> dict:
+        """Server-side stats: cache counters, admission state, tables."""
+        return self._request("stats").get("stats", {})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            protocol.write_message(self._stream,
+                                   {"id": 0, "op": "close"})
+        except OSError:
+            pass
+        for resource in (self._stream, self._sock):
+            try:
+                resource.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,106 @@
+"""Line-delimited JSON wire protocol for the query server.
+
+One request or response per line, UTF-8 JSON.  Requests:
+
+    {"id": 1, "op": "query", "sql": "SELECT ..."}
+    {"id": 2, "op": "ping"}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "close"}
+
+Responses mirror the id:
+
+    {"id": 1, "ok": true, "columns": [{"name": ..., "dtype": ...}],
+     "rows": [[...], ...], "elapsed_ms": 1.2}
+    {"id": 1, "ok": false,
+     "error": {"type": "SQLSyntaxError", "message": "..."}}
+
+The paper's ALL value is not JSON; it travels as the tagged object
+``{"$": "ALL"}`` and is decoded back to the :data:`repro.types.ALL`
+singleton, so a CUBE result round-trips bit-identically.  Dates,
+timestamps, and other non-JSON scalars travel as strings (the engine's
+ANY-typed columns accept them back).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, BinaryIO
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import ServeError
+from repro.types import ALL, DataType
+
+__all__ = [
+    "decode_table",
+    "decode_value",
+    "encode_table",
+    "encode_value",
+    "read_message",
+    "write_message",
+]
+
+_ALL_TAG = {"$": "ALL"}
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value: Any) -> Any:
+    """One cell to its JSON form (ALL -> tagged object)."""
+    if value is ALL:
+        return dict(_ALL_TAG)
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    return str(value)  # dates, decimals, ... -- stringly but lossless
+    # enough for display; typed columns re-parse on their own terms
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` for the ALL tag."""
+    if isinstance(value, dict) and value.get("$") == "ALL":
+        return ALL
+    return value
+
+
+def encode_table(table: Table) -> dict:
+    return {
+        "columns": [{"name": column.name, "dtype": column.dtype.value}
+                    for column in table.schema.columns],
+        "rows": [[encode_value(v) for v in row] for row in table],
+    }
+
+
+def decode_table(payload: dict) -> Table:
+    columns = []
+    for spec in payload["columns"]:
+        try:
+            dtype = DataType(spec["dtype"])
+        except ValueError:
+            dtype = DataType.ANY
+        columns.append(Column(spec["name"], dtype, all_allowed=True))
+    rows = [tuple(decode_value(v) for v in row)
+            for row in payload["rows"]]
+    return Table(Schema(columns), rows, validate=False)
+
+
+def write_message(stream: BinaryIO, message: dict) -> None:
+    stream.write(json.dumps(message, separators=(",", ":"))
+                 .encode("utf-8") + b"\n")
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> dict | None:
+    """The next message, or ``None`` on a cleanly closed connection."""
+    line = stream.readline()
+    if not line:
+        return None
+    line = line.strip()
+    if not line:
+        return {}
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ServeError(f"malformed wire message: {error}") from None
+    if not isinstance(message, dict):
+        raise ServeError(
+            f"wire message must be a JSON object, got {type(message).__name__}")
+    return message

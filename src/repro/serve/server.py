@@ -1,0 +1,399 @@
+"""The concurrent query service: threaded TCP server over SQLSessions.
+
+Architecture (the ROADMAP's "serves heavy traffic" north star, scaled
+to a reference implementation):
+
+- one **listener thread** accepts connections; each connection gets a
+  thread and its own :class:`~repro.sql.SQLSession` -- sessions share
+  the catalog and one :class:`~repro.serve.cache.CuboidCache`;
+- a **versioned read/write lock** orders statements: SELECT and plain
+  EXPLAIN run shared (concurrent readers), DML/DDL and EXPLAIN ANALYZE
+  run exclusive.  DML is exclusive for catalog consistency; EXPLAIN
+  ANALYZE because it installs a process-global tracer
+  (:func:`repro.obs.trace.use_tracer`), which concurrent readers would
+  pollute.  The lock's version counter bumps on every write release --
+  a cheap global "something changed" epoch the stats op reports;
+- an **admission controller** bounds concurrency: at most
+  ``max_inflight`` statements execute, at most ``max_queue`` wait, and
+  a queued statement whose :class:`ExecutionContext` deadline passes is
+  shed with :class:`~repro.errors.QueryTimeoutError` instead of running
+  a query nobody is waiting for.  Queue-full rejections raise
+  :class:`~repro.errors.ServerOverloadedError`
+  (``repro_serve_shed_total{reason=queue_full}``).
+
+Per-connection resilience: every query statement runs under a fresh
+``ExecutionContext`` carrying the server's ``statement_timeout`` and
+``memory_budget``, so one slow or hungry client degrades or times out
+alone.  Contexts are thread-local (see :mod:`repro.resilience.context`),
+which is what makes concurrent sessions safe at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+from typing import Iterator, Optional
+
+from repro.engine.catalog import Catalog
+from repro.errors import (
+    QueryTimeoutError,
+    ReproError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.obs import instrument
+from repro.resilience.context import ExecutionContext
+from repro.serve import protocol
+from repro.serve.cache import CuboidCache
+from repro.sql.executor import SQLSession
+
+__all__ = ["AdmissionController", "QueryServer", "VersionedRWLock"]
+
+
+class VersionedRWLock:
+    """Writer-priority readers/writer lock with a change epoch.
+
+    Readers share; a writer excludes everyone and bumps ``version`` on
+    release.  Waiting writers block *new* readers (writer priority), so
+    DML cannot starve behind a stream of SELECTs.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        with self._cond:
+            return self._version
+
+    @contextlib.contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._version += 1
+                self._cond.notify_all()
+
+
+class AdmissionController:
+    """Bounded concurrency with deadline shedding.
+
+    ``slot`` blocks until an execution slot frees up; it refuses
+    immediately when the wait queue is full (queue_full shed) and gives
+    up when the caller's deadline passes while queued (deadline shed).
+    """
+
+    def __init__(self, max_inflight: int = 4, max_queue: int = 16) -> None:
+        if max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ServeError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def _publish(self) -> None:
+        instrument.set_serve_inflight(self._inflight)
+        instrument.set_serve_queue_depth(self._queued)
+
+    @contextlib.contextmanager
+    def slot(self, deadline: Optional[float] = None) -> Iterator[None]:
+        with self._cond:
+            if self._inflight >= self.max_inflight \
+                    and self._queued >= self.max_queue:
+                instrument.record_serve_shed("queue_full")
+                raise ServerOverloadedError(
+                    f"server overloaded: {self._inflight} in flight, "
+                    f"{self._queued} queued (max_queue={self.max_queue})")
+            self._queued += 1
+            self._publish()
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            instrument.record_serve_shed("deadline")
+                            raise QueryTimeoutError(
+                                "statement deadline passed while queued "
+                                "for admission")
+                    self._cond.wait(timeout=remaining)
+            finally:
+                self._queued -= 1
+            self._inflight += 1
+            self._publish()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._publish()
+                self._cond.notify()
+
+
+def classify_statement(sql: str) -> str:
+    """``read`` for SELECT / plain EXPLAIN, ``write`` for DML/DDL and
+    EXPLAIN ANALYZE (the latter swaps the process-global tracer)."""
+    tokens = sql.strip().rstrip(";").split()
+    if not tokens:
+        return "read"
+    first = tokens[0].upper()
+    if first in ("INSERT", "DELETE", "UPDATE", "CREATE", "DROP"):
+        return "write"
+    if first == "EXPLAIN" and len(tokens) > 1 \
+            and tokens[1].upper() == "ANALYZE":
+        return "write"
+    return "read"
+
+
+class QueryServer:
+    """The TCP front door (see module docstring).
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  ``python -m repro.serve`` wraps this class.
+    """
+
+    def __init__(self, catalog: Catalog | None = None, *,
+                 cache: CuboidCache | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 4, max_queue: int = 16,
+                 statement_timeout: Optional[float] = None,
+                 memory_budget: Optional[int] = None) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.cache = cache if cache is not None else CuboidCache()
+        self.host = host
+        self.port = port
+        self.statement_timeout = statement_timeout
+        self.memory_budget = memory_budget
+        self.lock = VersionedRWLock()
+        self.admission = AdmissionController(max_inflight=max_inflight,
+                                             max_queue=max_queue)
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ServeError("server not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "QueryServer":
+        if self._started:
+            raise ServeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        listener.settimeout(0.2)  # lets the accept loop poll _stop
+        self._listener = listener
+        self._started = True
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="repro-serve-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self
+
+    def serve_forever(self) -> None:
+        if not self._started:
+            self.start()
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, close live connections, join all threads."""
+        self._stop.set()
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "QueryServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._conn_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-serve-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _make_session(self) -> SQLSession:
+        return SQLSession(self.catalog, cache=self.cache,
+                          statement_timeout=self.statement_timeout,
+                          memory_budget=self.memory_budget)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        instrument.record_serve_connection()
+        session = self._make_session()
+        stream = conn.makefile("rwb")
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = protocol.read_message(stream)
+                except ServeError as error:
+                    protocol.write_message(stream, {
+                        "id": None, "ok": False,
+                        "error": {"type": "ServeError",
+                                  "message": str(error)}})
+                    continue
+                except OSError:
+                    break
+                if request is None:
+                    break
+                response = self._handle(session, request)
+                if response is None:  # close op
+                    break
+                try:
+                    protocol.write_message(stream, response)
+                except OSError:
+                    break
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                stream.close()
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _handle(self, session: SQLSession,
+                request: dict) -> Optional[dict]:
+        request_id = request.get("id")
+        op = request.get("op", "query")
+        instrument.record_serve_request(op)
+        if op == "close":
+            return None
+        if op == "ping":
+            return {"id": request_id, "ok": True, "pong": True}
+        if op == "stats":
+            return {"id": request_id, "ok": True,
+                    "stats": self._stats()}
+        if op == "query":
+            sql = request.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                return self._error(request_id, ServeError(
+                    "query op needs a non-empty 'sql' string"))
+            return self._run_query(session, request_id, sql)
+        return self._error(request_id,
+                           ServeError(f"unknown op {op!r}"))
+
+    def _stats(self) -> dict:
+        return {
+            "cache": self.cache.stats(),
+            "inflight": self.admission.inflight,
+            "queued": self.admission.queued,
+            "catalog_version": self.lock.version,
+            "tables": self.catalog.names(),
+        }
+
+    def _run_query(self, session: SQLSession, request_id,
+                   sql: str) -> dict:
+        started = time.perf_counter()
+        ctx = ExecutionContext(timeout=self.statement_timeout,
+                               memory_budget=self.memory_budget)
+        try:
+            with self.admission.slot(deadline=ctx.deadline):
+                guard = (self.lock.write()
+                         if classify_statement(sql) == "write"
+                         else self.lock.read())
+                with guard:
+                    result = session.execute(sql, context=ctx)
+        except ReproError as error:
+            return self._error(request_id, error)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        payload = protocol.encode_table(result)
+        return {"id": request_id, "ok": True,
+                "columns": payload["columns"], "rows": payload["rows"],
+                "elapsed_ms": round(elapsed_ms, 3)}
+
+    @staticmethod
+    def _error(request_id, error: Exception) -> dict:
+        return {"id": request_id, "ok": False,
+                "error": {"type": type(error).__name__,
+                          "message": str(error)}}

@@ -17,6 +17,9 @@ meta-commands start with a backslash:
     \\timeout <s|off>     set a statement deadline in seconds; a query
                           past it raises QueryTimeoutError at the next
                           checkpoint (see docs/RESILIENCE.md)
+    \\connect host:port   route statements to a running query server
+                          (python -m repro.serve; see docs/SERVING.md)
+    \\disconnect          back to the local in-process session
     \\quit                exit
 
 Ctrl-C while a statement runs cancels that query (via the cooperative
@@ -78,10 +81,15 @@ class Shell:
         #: the running statement's context; another thread (or the
         #: KeyboardInterrupt handler) can cancel it mid-flight
         self.active_context: ExecutionContext | None = None
+        #: when set, statements go over the wire instead of the local
+        #: session (see repro.serve)
+        self.remote = None
 
     @property
     def prompt(self) -> str:
-        return "   ...> " if self.buffer else "cube=> "
+        if self.buffer:
+            return "   ...> "
+        return "remote=> " if self.remote is not None else "cube=> "
 
     def handle_line(self, line: str) -> str:
         stripped = line.strip()
@@ -97,6 +105,8 @@ class Shell:
         return self._run(sql)
 
     def _run(self, sql: str) -> str:
+        if self.remote is not None:
+            return self._run_remote(sql)
         before = REGISTRY.snapshot() if self.metrics else None
         started = time.perf_counter()
         context = self.session._make_context()
@@ -132,6 +142,25 @@ class Shell:
             output += f"\nTime: {elapsed_ms:.2f} ms"
         return output
 
+    def _run_remote(self, sql: str) -> str:
+        started = time.perf_counter()
+        try:
+            result = self.remote.execute(sql)
+        except ReproError as error:
+            return f"error: {error}"
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if len(result.schema) == 1 \
+                and result.schema.names == ("rows_affected",):
+            output = f"{result.rows[0][0]} row(s) affected"
+        else:
+            output = result.to_ascii(max_rows=40)
+        if self.timing:
+            server_ms = self.remote.last_elapsed_ms
+            output += f"\nTime: {elapsed_ms:.2f} ms"
+            if server_ms is not None:
+                output += f" (server: {server_ms:.2f} ms)"
+        return output
+
     def _meta(self, command: str) -> str:
         parts = command.split()
         name = parts[0]
@@ -141,7 +170,13 @@ class Shell:
         if name in ("\\help", "\\h"):
             return "Run with" + _HELP
         if name == "\\tables":
-            names = self.session.catalog.names()
+            if self.remote is not None:
+                try:
+                    names = self.remote.stats().get("tables", [])
+                except ReproError as error:
+                    return f"error: {error}"
+            else:
+                names = self.session.catalog.names()
             return "\n".join(names) if names else "(no tables)"
         if name == "\\schema":
             if len(parts) != 2:
@@ -202,6 +237,32 @@ class Shell:
             self.session.statement_timeout = seconds
             return (f"statement_timeout {seconds}s: a statement past the "
                     "deadline raises QueryTimeoutError (docs/RESILIENCE.md)")
+        if name == "\\connect":
+            if len(parts) != 2 or ":" not in parts[1]:
+                return "usage: \\connect host:port"
+            host, _, port_text = parts[1].rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                return "usage: \\connect host:port"
+            from repro.serve.client import QueryClient
+            if self.remote is not None:
+                self.remote.close()
+                self.remote = None
+            try:
+                client = QueryClient(host, port)
+                client.ping()
+            except ReproError as error:
+                return f"error: {error}"
+            self.remote = client
+            return (f"connected to {host}:{port}; statements now run "
+                    "remotely (\\disconnect to go back local)")
+        if name == "\\disconnect":
+            if self.remote is None:
+                return "not connected"
+            self.remote.close()
+            self.remote = None
+            return "disconnected; statements run in the local session"
         return f"unknown command {name}; try \\help"
 
 

@@ -207,6 +207,13 @@ class SQLSession:
     checkpoint.  ``memory_budget`` (cells) caps resident scratchpads;
     an in-memory cube that crosses it degrades to the external
     algorithm mid-flight (see :mod:`repro.resilience`).
+
+    ``cache`` is an optional :class:`~repro.serve.CuboidCache` (shared
+    across sessions by the query server): grouped SELECTs probe it
+    before planning -- a containment hit re-aggregates a cached cuboid
+    instead of rescanning the base table, and appears as a
+    ``serve.answer`` span with ``cache_hit=True`` in EXPLAIN ANALYZE.
+    DML through this session invalidates the mutated table's entries.
     """
 
     def __init__(self, catalog: Catalog | None = None, *,
@@ -215,7 +222,8 @@ class SQLSession:
                  strict: bool = False,
                  algorithm: str | None = None,
                  statement_timeout: float | None = None,
-                 memory_budget: int | None = None) -> None:
+                 memory_budget: int | None = None,
+                 cache: Any | None = None) -> None:
         if statement_timeout is not None and statement_timeout < 0:
             raise ResilienceError(
                 f"statement_timeout must be >= 0, got {statement_timeout}")
@@ -229,6 +237,7 @@ class SQLSession:
         self.algorithm = algorithm
         self.statement_timeout = statement_timeout
         self.memory_budget = memory_budget
+        self.cache = cache
 
     def register(self, name: str, table: Table, *,
                  replace: bool = False) -> Table:
@@ -297,6 +306,13 @@ class SQLSession:
         return Table(Schema([Column("rows_affected", DataType.INTEGER)]),
                      [(count,)])
 
+    def _invalidate_cache(self, table_name: str) -> None:
+        """Drop cached cuboids derived from a mutated table.  The
+        version-keyed source signature already makes them unmatchable
+        (the catalog bumped the version); this frees their memory."""
+        if self.cache is not None:
+            self.cache.invalidate_table(table_name)
+
     def _run_insert(self, statement: InsertStmt) -> Table:
         table = self.catalog.get(statement.table)
         names = table.schema.names
@@ -319,6 +335,7 @@ class SQLSession:
                         f"{len(names)} columns")
                 row = values
             self.catalog.insert(statement.table, row)
+        self._invalidate_cache(statement.table)
         return self._affected(len(statement.rows))
 
     def _matching_rows(self, table: Table,
@@ -334,6 +351,7 @@ class SQLSession:
         victims = self._matching_rows(table, statement.where)
         for row in victims:
             self.catalog.delete(statement.table, row)
+        self._invalidate_cache(statement.table)
         return self._affected(len(victims))
 
     def _run_update(self, statement: UpdateStmt) -> Table:
@@ -350,6 +368,7 @@ class SQLSession:
                             for name, value in zip(names, old_row))
             # UPDATE = DELETE + INSERT (Section 6)
             self.catalog.update(statement.table, old_row, new_row)
+        self._invalidate_cache(statement.table)
         return self._affected(len(victims))
 
     def _run_create(self, statement: CreateTableStmt) -> Table:
@@ -364,6 +383,7 @@ class SQLSession:
             columns.append(Column(name, dtype, nullable=nullable))
         table = Table(Schema(columns))
         self.catalog.register(statement.table, table)
+        self._invalidate_cache(statement.table)
         return table
 
     # -- EXPLAIN ----------------------------------------------------------
@@ -529,6 +549,9 @@ class SQLSession:
                 raise SQLPlanError("aggregates are not allowed in WHERE")
             table = filter_rows(table, where)
 
+        source = self._cache_source_signature(subquery_free) \
+            if self.cache is not None else None
+
         table, rewritten = self._materialize_table_functions(
             table, subquery_free)
 
@@ -543,7 +566,7 @@ class SQLSession:
         if rewritten.group is None and not has_aggregates:
             result = self._project_plain(table, rewritten.items)
         else:
-            result = self._run_grouped(table, rewritten)
+            result = self._run_grouped(table, rewritten, source=source)
 
         if rewritten.distinct:
             result = distinct_op(result)
@@ -596,6 +619,55 @@ class SQLSession:
                 f"scalar subquery returned {len(result)} rows x "
                 f"{len(result.schema)} columns; needs exactly 1 x 1")
         return result.rows[0][0]
+
+    def _cache_source_signature(self,
+                                select: SelectStmt) -> Optional[tuple]:
+        """The semantic-cache source key for a (subquery-resolved,
+        pre-table-function) SELECT: the base/joined tables with their
+        catalog versions, the WHERE predicate's structural repr, the
+        join shape, and the *ordered* table-function keys.
+
+        The table-function keys matter because the rewrite names
+        derived columns positionally (``__tf0_rank``): two queries
+        grouping different RANK() arguments would otherwise collide on
+        the same dimension repr.  ``None`` (no base table, or an
+        unknown one) disables caching for this query.
+        """
+        if select.table is None or select.table.name not in self.catalog:
+            return None
+        tables = [(select.table.name.upper(),
+                   self.catalog.version(select.table.name))]
+        joins = []
+        for join in select.joins:
+            if join.table.name not in self.catalog:
+                return None
+            tables.append((join.table.name.upper(),
+                           self.catalog.version(join.table.name)))
+            joins.append((join.table.name.upper(),
+                          tuple(join.using) if join.using
+                          else repr(join.on)))
+        tf_keys: list[tuple] = []
+
+        def collect(expr: Expression) -> Optional[Expression]:
+            if isinstance(expr, TableFunctionCall):
+                key = expr.key()
+                if key not in tf_keys:
+                    tf_keys.append(key)
+            return None
+
+        # same collection order as _materialize_table_functions, so
+        # positional __tfN names map to the same calls
+        for item in select.items:
+            if not isinstance(item.expression, Star):
+                transform(item.expression, collect)
+        if select.group is not None:
+            for expr, _ in select.group.all_items():
+                transform(expr, collect)
+        if select.having is not None:
+            transform(select.having, collect)
+
+        where_sig = repr(select.where) if select.where is not None else ""
+        return (tuple(tables), where_sig, tuple(joins), tuple(tf_keys))
 
     def _materialize_table_functions(
             self, table: Table,
@@ -713,7 +785,8 @@ class SQLSession:
 
     # -- grouped execution -------------------------------------------------
 
-    def _run_grouped(self, table: Table, select: SelectStmt) -> Table:
+    def _run_grouped(self, table: Table, select: SelectStmt, *,
+                     source: Optional[tuple] = None) -> Table:
         group = select.group
 
         # dimension list with output aliases
@@ -748,6 +821,7 @@ class SQLSession:
 
         specs: list[AggregateSpec] = []
         agg_names: dict[tuple, str] = {}
+        agg_sigs: list[tuple] = []
         taken = {name for _, name in dims}
         for position, (key, call) in enumerate(agg_calls.items()):
             fn = self._make_aggregate(call)
@@ -756,6 +830,7 @@ class SQLSession:
                 name = f"{name}#{position}"
             taken.add(name)
             agg_names[key] = name
+            agg_sigs.append(key)
             specs.append(AggregateSpec(function=fn, input=call.argument,
                                        name=name))
         if not specs:
@@ -766,6 +841,9 @@ class SQLSession:
             specs.append(AggregateSpec(function=CountStar(), input="*",
                                        name=hidden))
             agg_names[("__rows",)] = hidden
+            # structurally this is COUNT(*): a cached explicit COUNT(*)
+            # column can serve it, and vice versa
+            agg_sigs.append(("COUNT", "*", False, ()))
 
         if not dims:
             grouped = hash_group_by(table, [], specs).table
@@ -774,11 +852,25 @@ class SQLSession:
             spec = GroupingSpec(plain=tuple(plain_names),
                                 rollup=tuple(rollup_names),
                                 cube=tuple(cube_names))
-            task = build_task(table, dims, specs, spec.grouping_sets())
-            algorithm = (make_algorithm(self.algorithm) if self.algorithm
-                         else choose_algorithm(
-                             task, memory_budget=self.memory_budget))
-            grouped = algorithm.compute(task).table
+            grouped = None
+            if self.cache is not None and source is not None:
+                grouped = self.cache.serve(
+                    table=table, source=source,
+                    dim_items=dims,
+                    dim_sigs=tuple(repr(expr) for expr, _ in dims),
+                    dim_names=tuple(name for _, name in dims),
+                    specs=specs,
+                    agg_sigs=tuple(agg_sigs),
+                    agg_names=tuple(s.name for s in specs),
+                    masks=tuple(spec.grouping_sets()))
+            if grouped is None:
+                task = build_task(table, dims, specs,
+                                  spec.grouping_sets())
+                algorithm = (make_algorithm(self.algorithm)
+                             if self.algorithm
+                             else choose_algorithm(
+                                 task, memory_budget=self.memory_budget))
+                grouped = algorithm.compute(task).table
 
         # rewrite select/having expressions against the grouped schema
         dim_name_set = {name for _, name in dims}

@@ -159,3 +159,56 @@ class TestCheapestAncestor:
         # the total (0b00) can use any view; the (a,) view is smallest
         assert _cheapest_ancestor(0b00, {0b11, 0b01, 0b10}, sizes,
                                   lattice) == 0b01
+
+
+class TestViewSizesMemo:
+    def test_single_pass_memoized_on_task(self, fact):
+        task = make_task(fact)
+        first = view_sizes(task)
+        second = view_sizes(task)
+        assert first == second
+        assert second is not task._view_sizes_memo  # callers get a copy
+
+    def test_stats_recorded_once_per_actual_scan(self, fact):
+        from repro.compute.stats import ComputeStats
+        task = make_task(fact)
+        stats = ComputeStats()
+        view_sizes(task, stats=stats)
+        assert stats.base_scans == 1
+        assert stats.notes["view_sizes_rows"] == len(fact)
+        view_sizes(task, stats=stats)  # memo hit: no work, no charge
+        assert stats.base_scans == 1
+
+    def test_partial_cube_reuses_the_sizing_pass(self, fact):
+        partial = PartialCube(fact, DIMS, AGGS, budget=1)
+        # one sizing pass + one build pass, never a third
+        assert partial.stats.base_scans == 2
+        assert partial.stats.notes["view_sizes_rows"] == len(fact)
+
+
+class TestAnswerInstrumentation:
+    def test_answer_emits_span_and_metric(self, fact):
+        from repro.obs.metrics import REGISTRY
+        from repro.obs.trace import Tracer, use_tracer
+
+        partial = PartialCube(fact, DIMS, AGGS, materialize=[])
+        counter = REGISTRY.counter("repro_view_rows_scanned_total")
+        before = counter.value
+        with use_tracer(Tracer()) as tracer:
+            result, scanned = partial.answer_with_cost(
+                names_to_mask(["d0"], DIMS))
+        assert scanned == partial.sizes[names_to_mask(DIMS, DIMS)]
+        assert len(result) == len(fact.distinct_values("d0"))
+        assert counter.value == before + scanned
+        spans = [s for s in tracer.roots if s.name == "view.answer"]
+        assert len(spans) == 1
+        attrs = spans[0].attributes
+        assert attrs["materialized"] is False
+        assert attrs["rows_scanned"] == scanned
+        assert attrs["grouping_set"] == "d0"
+
+    def test_materialized_answer_scans_only_itself(self, fact):
+        d0 = names_to_mask(["d0"], DIMS)
+        partial = PartialCube(fact, DIMS, AGGS, materialize=[d0])
+        _, scanned = partial.answer_with_cost(d0)
+        assert scanned == partial.sizes[d0]

@@ -172,6 +172,20 @@ def _trigger_fault_injected():
     ChaosInjector(worker_crash=1.0).inject("worker_crash")
 
 
+def _trigger_serve_error():
+    import io
+    from repro.serve.protocol import read_message
+    read_message(io.BytesIO(b"not json\n"))
+
+
+def _trigger_server_overloaded():
+    from repro.serve import AdmissionController
+    controller = AdmissionController(max_inflight=1, max_queue=0)
+    with controller.slot():
+        with controller.slot():
+            pass
+
+
 TRIGGERS = {
     errors.GroupingError: _trigger_grouping_error,
     errors.TypeMismatchError: _trigger_type_mismatch,
@@ -200,6 +214,8 @@ TRIGGERS = {
     errors.QueryTimeoutError: _trigger_query_timeout,
     errors.ResourceBudgetExceededError: _trigger_budget_exceeded,
     errors.FaultInjectedError: _trigger_fault_injected,
+    errors.ServeError: _trigger_serve_error,
+    errors.ServerOverloadedError: _trigger_server_overloaded,
     # pure umbrella types: never raised directly, covered by any subclass
     errors.ReproError: _trigger_grouping_error,
     errors.SQLError: _trigger_sql_syntax,

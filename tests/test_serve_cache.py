@@ -1,0 +1,195 @@
+"""Unit tests for the semantic cuboid cache (repro.serve.cache):
+containment hits, holistic/ambiguity bypasses, admission and
+benefit-weighted eviction under a cell budget, and invalidation --
+both eager (invalidate_table, MaterializedCube watch) and implicit
+(version-keyed source signatures)."""
+
+import pytest
+
+from repro import agg, cube as cube_op
+from repro.aggregates import Median, Sum
+from repro.core.grouping import cube_sets, names_to_mask
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.groupby import AggregateSpec
+from repro.maintenance import MaterializedCube
+from repro.serve import CachePolicy, CuboidCache
+from repro.types import ALL
+
+DIMS = ("d0", "d1", "d2")
+SUM_SIG = ("SUM", "m", False, ())
+
+
+@pytest.fixture
+def fact():
+    return synthetic_table(SyntheticSpec(
+        cardinalities=(8, 4, 2), n_rows=600, seed=71))
+
+
+def source_for(name, version=1):
+    """A source signature shaped like the SQL executor's: ((table,
+    version), ...), WHERE repr, join shape, table-function keys."""
+    return (((name.upper(), version),), None, (), ())
+
+
+def request(cache, table, *, dims=DIMS, names=None, specs=None,
+            sigs=None, agg_names=("s",), masks=None, source=None):
+    specs = specs if specs is not None else [AggregateSpec(Sum(), "m", "s")]
+    sigs = tuple(sigs) if sigs is not None else (SUM_SIG,)
+    masks = tuple(masks) if masks is not None else tuple(cube_sets(len(dims)))
+    return cache.serve(
+        table=table,
+        source=source if source is not None else source_for("T"),
+        dim_items=list(dims),
+        dim_sigs=tuple(dims),
+        dim_names=tuple(names if names is not None else dims),
+        specs=list(specs),
+        agg_sigs=sigs,
+        agg_names=tuple(agg_names),
+        masks=masks)
+
+
+def canon(table):
+    return sorted(repr(row) for row in table.rows)
+
+
+class TestHitAndMiss:
+    def test_miss_admits_then_identical_hit(self, fact):
+        cache = CuboidCache()
+        cold = request(cache, fact)
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["admitted"] == 1
+        warm = request(cache, fact)
+        assert cache.stats()["hits"] == 1
+        assert canon(cold) == canon(warm)
+        reference = cube_op(fact, list(DIMS), [agg("SUM", "m", "s")])
+        assert canon(cold) == canon(reference)
+
+    def test_subset_permutation_alias_hit(self, fact):
+        cache = CuboidCache()
+        request(cache, fact)  # admit the full CUBE
+        mask = names_to_mask(["d1", "d0"], ["d1", "d0"])
+        result = request(cache, fact, dims=("d1", "d0"),
+                         names=("b", "a"), masks=[mask])
+        assert cache.stats()["hits"] == 1
+        assert result.schema.names == ("b", "a", "s")
+        reference = cube_op(fact, ["d1", "d0"], [agg("SUM", "m", "s")])
+        finest = [row for row in reference if ALL not in row[:2]]
+        assert canon(result) == sorted(repr(row) for row in finest)
+
+    def test_rollup_served_from_cached_cube(self, fact):
+        cache = CuboidCache()
+        request(cache, fact)
+        rollup_masks = [0b11, 0b01, 0b00]  # ROLLUP d0, d1
+        result = request(cache, fact, dims=("d0", "d1"),
+                         masks=rollup_masks)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert len(result) > 0
+
+    def test_different_source_version_misses(self, fact):
+        cache = CuboidCache()
+        request(cache, fact, source=source_for("T", 1))
+        request(cache, fact, source=source_for("T", 2))
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 2
+
+
+class TestBypass:
+    def test_holistic_aggregate_bypasses(self, fact):
+        cache = CuboidCache()
+        spec = AggregateSpec(Median(carrying=False), "m", "med")
+        out = request(cache, fact, specs=[spec],
+                      sigs=[("MEDIAN", "m", False, ())],
+                      agg_names=("med",))
+        assert out is None
+        assert cache.stats()["bypasses"] == 1
+        assert len(cache) == 0
+
+    def test_duplicate_dim_signatures_bypass(self, fact):
+        cache = CuboidCache()
+        out = request(cache, fact, dims=("d0", "d0"), names=("a", "b"),
+                      masks=[0b11])
+        assert out is None
+        assert cache.stats()["bypasses"] == 1
+
+    def test_too_many_dims_bypass(self, fact):
+        cache = CuboidCache(CachePolicy(max_dims=2))
+        assert request(cache, fact) is None
+        assert cache.stats()["bypasses"] == 1
+
+
+class TestAdmission:
+    def test_min_rows_refuses_tiny_tables(self, fact):
+        cache = CuboidCache(CachePolicy(min_rows=10_000))
+        assert request(cache, fact) is None
+        assert cache.stats()["misses"] == 1
+        assert len(cache) == 0
+
+    def test_admit_max_cells_answers_but_does_not_keep(self, fact):
+        cache = CuboidCache(CachePolicy(admit_max_cells=1))
+        out = request(cache, fact)
+        assert out is not None  # the miss still answers the query
+        assert cache.stats()["rejected"] == 1
+        assert len(cache) == 0
+        request(cache, fact)
+        assert cache.stats()["misses"] == 2  # nothing was retained
+
+    def test_budget_evicts_lowest_score(self, fact):
+        unbounded = CuboidCache()
+        request(unbounded, fact)
+        one_entry_cells = unbounded.stats()["resident_cells"]
+
+        cache = CuboidCache(CachePolicy(budget_cells=one_entry_cells + 10))
+        request(cache, fact, source=source_for("T"))
+        request(cache, fact, source=source_for("U"))
+        stats = cache.stats()
+        assert stats["evicted_space"] >= 1
+        assert stats["resident_cells"] <= one_entry_cells + 10
+        assert len(cache) == 1
+
+    def test_accounting_balances_after_clear(self, fact):
+        cache = CuboidCache()
+        request(cache, fact)
+        assert cache.stats()["resident_cells"] > 0
+        cache.clear()
+        assert cache.stats()["resident_cells"] == 0
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_invalidate_table_drops_only_matching_entries(self, fact):
+        cache = CuboidCache()
+        request(cache, fact, source=source_for("T"))
+        request(cache, fact, source=source_for("U"))
+        assert cache.invalidate_table("t") == 1
+        assert len(cache) == 1
+        assert cache.stats()["evicted_invalidated"] == 1
+        # the survivor still answers
+        request(cache, fact, source=source_for("U"))
+        assert cache.stats()["hits"] == 1
+
+    def test_watch_materialized_cube_mutations(self, fact):
+        cache = CuboidCache()
+        cube = MaterializedCube(fact, ["d0", "d1"],
+                                [agg("SUM", "m", "s")])
+        cache.watch(cube, "T")
+        request(cache, fact, source=source_for("T"))
+        assert len(cache) == 1
+        cube.insert(("v0", "v0", "v0", 5))
+        assert len(cache) == 0
+        assert cache.stats()["evicted_invalidated"] == 1
+
+    def test_watch_apply_batch_notifies_once(self, fact):
+        cache = CuboidCache()
+        cube = MaterializedCube(fact, ["d0", "d1"],
+                                [agg("SUM", "m", "s")])
+        seen = []
+        cube.add_mutation_listener(seen.append)
+        cache.watch(cube, "T")
+        request(cache, fact, source=source_for("T"))
+        cube.apply_batch([("insert", ("v0", "v0", "v0", 5)),
+                          ("delete", ("v0", "v0", "v0", 5))])
+        # inner insert/delete are suppressed inside the transaction;
+        # only the batch itself notifies
+        assert seen == ["batch"]
+        assert len(cache) == 0

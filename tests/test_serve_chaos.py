@@ -1,0 +1,108 @@
+"""Chaos seeds against the serving path: under budget pressure and
+slow-node injection, answers served from (or around) the cuboid cache
+must stay bit-identical to an undisturbed cold recompute.
+
+The CI chaos matrix re-runs this module under several ``CHAOS_SEED``
+values; locally the seed defaults to 0."""
+
+import os
+
+import pytest
+
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.catalog import Catalog
+from repro.resilience import ChaosInjector, ExecutionContext, RetryPolicy
+from repro.serve import CuboidCache
+from repro.sql.executor import SQLSession
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+FAST_RETRY = RetryPolicy(max_retries=2, base_delay=0.0)
+SPEC = SyntheticSpec(cardinalities=(6, 4, 2), n_rows=400, seed=23)
+
+CUBE_SQL = "SELECT d0, d1, d2, SUM(m) FROM FACTS GROUP BY CUBE d0, d1, d2"
+GROUPBY_SQL = "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY d0, d1"
+
+
+def canon(table):
+    return sorted(repr(row) for row in table.rows)
+
+
+def make_session(cache=None, **session_kwargs):
+    session = SQLSession(Catalog(), cache=cache, **session_kwargs)
+    session.register("FACTS", synthetic_table(SPEC))
+    return session
+
+
+@pytest.fixture
+def cold_reference():
+    plain = make_session()
+    return {sql: canon(plain.execute(sql))
+            for sql in (CUBE_SQL, GROUPBY_SQL)}
+
+
+class TestBudgetPressure:
+    def test_warm_hits_survive_budget_pressure(self, cold_reference):
+        """A cached entry admitted in calm weather answers bit-identically
+        while later statements run under phantom-cell pressure (the hit
+        path folds resident cuboids and allocates almost nothing)."""
+        cache = CuboidCache()
+        session = make_session(cache)
+        assert canon(session.execute(CUBE_SQL)) == cold_reference[CUBE_SQL]
+        chaos = ChaosInjector(seed=CHAOS_SEED, budget_pressure=1.0,
+                              budget_pressure_cells=500)
+        ctx = ExecutionContext(memory_budget=5_000, chaos=chaos)
+        result = session.execute(GROUPBY_SQL, context=ctx)
+        assert cache.stats()["hits"] == 1
+        assert canon(result) == cold_reference[GROUPBY_SQL]
+
+    def test_pressured_miss_bypasses_and_degrades_correctly(
+            self, cold_reference):
+        """When phantom cells blow the budget *during* the cache build,
+        the cache bypasses and the normal planning path degrades to the
+        external algorithm -- the answer must still be exact."""
+        cache = CuboidCache()
+        session = make_session(cache)
+        chaos = ChaosInjector(seed=CHAOS_SEED, budget_pressure=1.0,
+                              budget_pressure_cells=500)
+        ctx = ExecutionContext(memory_budget=100, chaos=chaos)
+        result = session.execute(CUBE_SQL, context=ctx)
+        assert canon(result) == cold_reference[CUBE_SQL]
+        assert chaos.injected["budget_pressure"] >= 1
+        stats = cache.stats()
+        assert stats["bypasses"] >= 1
+        assert stats["entries"] == 0  # nothing half-built was admitted
+
+    def test_cache_accounting_survives_failed_build(self, cold_reference):
+        """The attempt() envelope must roll phantom-inflated residency
+        back: after a failed build, a calm retry admits normally."""
+        cache = CuboidCache()
+        session = make_session(cache)
+        chaos = ChaosInjector(seed=CHAOS_SEED, budget_pressure=1.0,
+                              budget_pressure_cells=500)
+        session.execute(CUBE_SQL, context=ExecutionContext(
+            memory_budget=100, chaos=chaos))
+        result = session.execute(CUBE_SQL)  # calm weather
+        assert canon(result) == cold_reference[CUBE_SQL]
+        assert cache.stats()["admitted"] == 1
+        assert cache.stats()["entries"] == 1
+
+
+class TestSlowNode:
+    def test_slow_parallel_recompute_matches_cached_answer(
+            self, cold_reference):
+        """The cold recompute runs on the parallel algorithm with every
+        worker slowed; the cached session's warm answer must match it
+        exactly -- straggling never changes values, only latency."""
+        chaos = ChaosInjector(seed=CHAOS_SEED, slow_node=1.0,
+                              slow_node_delay=0.0)
+        ctx = ExecutionContext(chaos=chaos, retry=FAST_RETRY)
+        slow = make_session(algorithm="parallel")
+        disturbed = slow.execute(CUBE_SQL, context=ctx)
+        assert chaos.injected["slow_node"] >= 1
+
+        cache = CuboidCache()
+        cached = make_session(cache)
+        cached.execute(CUBE_SQL)
+        warm = cached.execute(CUBE_SQL)
+        assert cache.stats()["hits"] == 1
+        assert canon(disturbed) == canon(warm) == cold_reference[CUBE_SQL]

@@ -1,0 +1,266 @@
+"""The concurrent query service: wire protocol round-trips, the
+versioned read/write lock, admission control and shedding, concurrent
+clients against a live server, error propagation, the shell's
+\\connect, and clean shutdown."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.catalog import Catalog
+from repro.errors import (
+    QueryTimeoutError,
+    ServeError,
+    ServerOverloadedError,
+    SQLSyntaxError,
+)
+from repro.serve import (
+    AdmissionController,
+    QueryClient,
+    QueryServer,
+    VersionedRWLock,
+    classify_statement,
+)
+from repro.serve import protocol
+from repro.shell import Shell
+from repro.types import ALL
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register("FACTS", synthetic_table(SyntheticSpec(
+        cardinalities=(4, 3, 2), n_rows=200, seed=9)))
+    return catalog
+
+
+def canon(table):
+    return sorted(repr(row) for row in table.rows)
+
+
+class TestProtocol:
+    def test_all_value_round_trips(self):
+        from repro.engine.schema import Column, Schema
+        from repro.engine.table import Table
+        from repro.types import DataType
+        schema = Schema([Column("a", DataType.STRING, all_allowed=True),
+                         Column("s", DataType.INTEGER)])
+        table = Table(schema, [("x", 1), (ALL, 7)])
+        decoded = protocol.decode_table(protocol.encode_table(table))
+        assert decoded.rows == table.rows
+        assert decoded.rows[1][0] is ALL
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ServeError):
+            protocol.read_message(io.BytesIO(b"{not json\n"))
+        with pytest.raises(ServeError):
+            protocol.read_message(io.BytesIO(b"[1, 2]\n"))
+
+    def test_eof_returns_none(self):
+        assert protocol.read_message(io.BytesIO(b"")) is None
+
+
+class TestClassifyStatement:
+    @pytest.mark.parametrize("sql,expected", [
+        ("SELECT 1", "read"),
+        ("  select d0 from facts", "read"),
+        ("EXPLAIN SELECT 1", "read"),
+        ("EXPLAIN ANALYZE SELECT 1", "write"),
+        ("INSERT INTO t VALUES (1)", "write"),
+        ("DELETE FROM t", "write"),
+        ("UPDATE t SET a = 1", "write"),
+        ("CREATE TABLE t (a INTEGER)", "write"),
+        ("DROP TABLE t", "write"),
+        ("", "read"),
+    ])
+    def test_classification(self, sql, expected):
+        assert classify_statement(sql) == expected
+
+
+class TestVersionedRWLock:
+    def test_readers_share(self):
+        lock = VersionedRWLock()
+        inside = threading.Barrier(2, timeout=5.0)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # both readers hold the lock at once
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_and_bumps_version(self):
+        lock = VersionedRWLock()
+        order = []
+        with lock.write():
+            order.append("w")
+        assert lock.version == 1
+
+        ready = threading.Event()
+
+        def writer():
+            ready.set()
+            with lock.write():
+                order.append("w2")
+
+        with lock.read():
+            thread = threading.Thread(target=writer)
+            thread.start()
+            ready.wait(timeout=5.0)
+            time.sleep(0.05)
+            assert "w2" not in order  # writer waits for the reader
+        thread.join(timeout=5.0)
+        assert "w2" in order
+        assert lock.version == 2
+
+
+class TestAdmissionController:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ServeError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServeError):
+            AdmissionController(max_queue=-1)
+
+    def test_queue_full_sheds(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        with controller.slot():
+            with pytest.raises(ServerOverloadedError):
+                with controller.slot():
+                    pass
+        with controller.slot():  # slot freed after release
+            pass
+
+    def test_deadline_shed_while_queued(self):
+        controller = AdmissionController(max_inflight=1, max_queue=4)
+        release = threading.Event()
+        holding = threading.Event()
+
+        def holder():
+            with controller.slot():
+                holding.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        holding.wait(timeout=5.0)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                with controller.slot(deadline=time.monotonic() + 0.05):
+                    pass
+        finally:
+            release.set()
+            thread.join(timeout=5.0)
+        assert controller.inflight == 0
+        assert controller.queued == 0
+
+
+class TestServerEndToEnd:
+    def test_query_matches_local_session(self):
+        from repro.sql.executor import SQLSession
+        local = SQLSession(make_catalog())
+        sql = "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY ROLLUP d0, d1"
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                assert client.ping()
+                result = client.execute(sql)
+                assert client.last_elapsed_ms is not None
+        assert canon(result) == canon(local.execute(sql))
+
+    def test_concurrent_clients_shared_cache(self):
+        sql_cube = "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY CUBE d0, d1"
+        sql_gb = "SELECT d0, SUM(m) FROM FACTS GROUP BY d0"
+        failures = []
+
+        def worker(address):
+            try:
+                with QueryClient(*address) as client:
+                    for sql in (sql_cube, sql_gb, sql_gb):
+                        client.execute(sql)
+            except Exception as error:  # noqa: BLE001
+                failures.append(error)
+
+        with QueryServer(make_catalog()) as server:
+            threads = [threading.Thread(target=worker,
+                                        args=(server.address,))
+                       for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            with QueryClient(*server.address) as client:
+                stats = client.stats()
+        assert not failures
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["entries"] >= 1
+
+    def test_dml_visible_across_connections(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as writer:
+                writer.execute(
+                    "INSERT INTO FACTS VALUES ('zz', 'zz', 'zz', 1)")
+            with QueryClient(*server.address) as reader:
+                rows = reader.execute(
+                    "SELECT d0, SUM(m) FROM FACTS WHERE d0 = 'zz' "
+                    "GROUP BY d0").rows
+        assert rows == [("zz", 1)]
+
+    def test_remote_errors_rebuild_as_original_class(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                with pytest.raises(SQLSyntaxError):
+                    client.execute("SELEC nope")
+                with pytest.raises(ServeError):
+                    client._request("frobnicate")
+                # connection survives errors
+                assert client.ping()
+
+    def test_stats_op_shape(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                stats = client.stats()
+        assert "FACTS" in stats["tables"]
+        assert {"cache", "inflight", "queued",
+                "catalog_version"} <= set(stats)
+
+    def test_shutdown_is_clean_and_final(self):
+        server = QueryServer(make_catalog()).start()
+        address = server.address
+        client = QueryClient(*address)
+        assert client.ping()
+        server.shutdown()
+        with pytest.raises(ServeError):
+            for _ in range(10):  # the in-flight socket may need a beat
+                client.ping()
+                time.sleep(0.05)
+        client.close()
+        with pytest.raises(ServeError):
+            QueryClient(*address, timeout=0.5)
+
+
+class TestShellConnect:
+    def test_connect_run_disconnect(self):
+        with QueryServer(make_catalog()) as server:
+            host, port = server.address
+            shell = Shell()
+            assert "connected" in shell._meta(f"\\connect {host}:{port}")
+            assert shell.prompt == "remote=> "
+            out = shell.handle_line(
+                "SELECT d0, SUM(m) FROM FACTS GROUP BY d0;")
+            assert "SUM(m)" in out or "d0" in out
+            assert "FACTS" in shell._meta("\\tables")
+            assert "error:" in shell.handle_line("SELEC nope;")
+            assert "disconnected" in shell._meta("\\disconnect")
+            assert shell.prompt == "cube=> "
+            assert shell._meta("\\disconnect") == "not connected"
+
+    def test_connect_usage_and_refused(self):
+        shell = Shell()
+        assert "usage" in shell._meta("\\connect nonsense")
+        assert "usage" in shell._meta("\\connect host:notaport")
+        assert "error:" in shell._meta("\\connect 127.0.0.1:1")
