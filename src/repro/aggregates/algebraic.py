@@ -38,6 +38,7 @@ class Average(AggregateFunction):
         select=AggregateClass.ALGEBRAIC,
         insert=AggregateClass.ALGEBRAIC,
         delete=AggregateClass.ALGEBRAIC)
+    vector_kernel = "avg"
 
     def start(self) -> Handle:
         return (0, 0)  # (sum, count)
@@ -75,6 +76,11 @@ class Variance(AggregateFunction):
         select=AggregateClass.ALGEBRAIC,
         insert=AggregateClass.ALGEBRAIC,
         delete=AggregateClass.ALGEBRAIC)
+    # The kernel accumulates (count, sum, sum of squares) and rebuilds
+    # the (count, mean, M2) scratchpad; algebraically identical to the
+    # Welford form but rounded differently, so cross-path comparisons
+    # of VARIANCE/STDEV are approximate, not bit-exact.
+    vector_kernel = "var"
 
     def start(self) -> Handle:
         return (0, 0.0, 0.0)

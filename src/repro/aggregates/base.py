@@ -55,6 +55,15 @@ class AggregateFunction(ABC):
         Relative per-call cost the optimizer may use to order expensive
         functions last (the paper mentions systems that let aggregates
         declare a cost).
+    ``vector_kernel``
+        Name of an optional fused grouped-aggregation kernel in
+        :mod:`repro.compute.columnar.kernels`, or ``None`` (the
+        default).  Declaring a kernel lets the columnar backend compute
+        this function with vectorized scatter-aggregation instead of
+        per-row ``next`` dispatch; functions without one (holistic
+        scratchpads, UDAFs) transparently fall back to the row path.
+        The kernel must produce, per group, a handle ``end``/``merge``
+        accept -- the two paths share Final/Iter_super unchanged.
     """
 
     name: str = ""
@@ -63,6 +72,7 @@ class AggregateFunction(ABC):
         AggregateClass.DISTRIBUTIVE)
     skips_non_values: bool = True
     cost: float = 1.0
+    vector_kernel: str | None = None
 
     # -- Figure 7 lifecycle ----------------------------------------------
 

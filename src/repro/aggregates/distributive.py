@@ -16,6 +16,7 @@ Maintenance classes follow Section 6:
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from repro.aggregates.base import AggregateFunction, Handle, UnapplyResult
@@ -37,6 +38,7 @@ class CountStar(AggregateFunction):
         insert=AggregateClass.DISTRIBUTIVE,
         delete=AggregateClass.DISTRIBUTIVE)
     skips_non_values = False
+    vector_kernel = "count_star"
 
     def start(self) -> Handle:
         return 0
@@ -51,6 +53,10 @@ class CountStar(AggregateFunction):
         return handle + other  # G = SUM for COUNT
 
     def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        # A replayed delete (chaos-injected retry) must never drive the
+        # count negative: decline so the maintenance layer recomputes.
+        if handle <= 0:
+            return 0, False
         return handle - 1, True
 
 
@@ -63,6 +69,7 @@ class Count(AggregateFunction):
         select=AggregateClass.DISTRIBUTIVE,
         insert=AggregateClass.DISTRIBUTIVE,
         delete=AggregateClass.DISTRIBUTIVE)
+    vector_kernel = "count"
 
     def start(self) -> Handle:
         return 0
@@ -77,6 +84,8 @@ class Count(AggregateFunction):
         return handle + other
 
     def unapply(self, handle: Handle, value: Any) -> UnapplyResult:
+        if handle <= 0:
+            return 0, False  # underflow: force a recompute, never go negative
         return handle - 1, True
 
 
@@ -89,6 +98,7 @@ class Sum(AggregateFunction):
         select=AggregateClass.DISTRIBUTIVE,
         insert=AggregateClass.DISTRIBUTIVE,
         delete=AggregateClass.DISTRIBUTIVE)
+    vector_kernel = "sum"
 
     def start(self) -> Handle:
         return None  # no value seen yet
@@ -131,6 +141,16 @@ class _Extreme(AggregateFunction):
     def _better(self, a: Any, b: Any) -> Any:
         raise NotImplementedError
 
+    def accepts(self, value: Any) -> bool:
+        # NaN compares False against everything, so feeding it to
+        # ``_better`` would let a NaN that arrives after the current
+        # extreme stick forever -- and whether it sticks would depend on
+        # partition order, breaking the parallel backend's bit-identical
+        # guarantee.  Treat NaN like NULL/ALL: it never participates.
+        if isinstance(value, float) and math.isnan(value):
+            return False
+        return super().accepts(value)
+
     def start(self) -> Handle:
         return None
 
@@ -169,6 +189,7 @@ class _Extreme(AggregateFunction):
 
 class Min(_Extreme):
     name = "MIN"
+    vector_kernel = "min"
 
     def _better(self, a: Any, b: Any) -> Any:
         return a if a <= b else b
@@ -176,6 +197,7 @@ class Min(_Extreme):
 
 class Max(_Extreme):
     name = "MAX"
+    vector_kernel = "max"
 
     def _better(self, a: Any, b: Any) -> Any:
         return a if a >= b else b

@@ -19,6 +19,7 @@ Two execution modes are provided:
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import Any
 
@@ -111,22 +112,67 @@ class Mode(HolisticAggregate):
 
 
 class Percentile(HolisticAggregate):
-    """The p-th percentile (0 < p <= 100), nearest-rank definition."""
+    """The p-th percentile.
+
+    Two parameter scales and two estimators:
+
+    - ``scale="percent"`` (default): ``0 < p <= 100``, the historical
+      surface this library has always exposed;
+    - ``scale="fraction"``: ``0.0 <= p <= 1.0``, so quantile-style
+      callers can ask for the exact boundaries ``p=0.0`` and ``p=1.0``;
+    - ``interpolation="nearest"`` (default): nearest-rank definition;
+    - ``interpolation="linear"``: interpolate between the two bracketing
+      order statistics (numeric inputs).  The upper bracket index is
+      clamped to the last element: at ``p=1.0`` the exact position *is*
+      the last element, and an unclamped ``floor+1`` index would read
+      one past the end of the sorted scratchpad.
+    """
 
     name = "PERCENTILE"
 
-    def __init__(self, p: float, *, carrying: bool = True) -> None:
+    def __init__(self, p: float, *, scale: str = "percent",
+                 interpolation: str = "nearest",
+                 carrying: bool = True) -> None:
         super().__init__(carrying=carrying)
-        if not 0 < p <= 100:
-            raise AggregateError(f"percentile p must be in (0, 100], got {p}")
+        if scale not in ("percent", "fraction"):
+            raise AggregateError(
+                f"percentile scale must be percent|fraction, got {scale!r}")
+        if interpolation not in ("nearest", "linear"):
+            raise AggregateError(
+                "percentile interpolation must be nearest|linear, "
+                f"got {interpolation!r}")
+        if scale == "percent":
+            if not 0 < p <= 100:
+                raise AggregateError(
+                    f"percentile p must be in (0, 100], got {p}")
+            self.fraction = p / 100
+        else:
+            if not 0.0 <= p <= 1.0:
+                raise AggregateError(
+                    f"fractional percentile p must be in [0, 1], got {p}")
+            self.fraction = p
         self.p = p
+        self.scale = scale
+        self.interpolation = interpolation
 
     def end(self, handle: Handle) -> Any:
         if not handle:
             return None
         ordered = sorted(handle, key=sort_key)
-        rank = max(1, -(-len(ordered) * self.p // 100))  # ceil
-        return ordered[int(rank) - 1]
+        n = len(ordered)
+        if self.interpolation == "linear":
+            position = self.fraction * (n - 1)
+            lower = int(position)
+            upper = min(lower + 1, n - 1)  # clamp: p=1.0 lands on the end
+            weight = position - lower
+            if weight == 0 or lower == upper:
+                return ordered[lower]
+            return ordered[lower] + weight * (ordered[upper] - ordered[lower])
+        if self.scale == "percent":
+            rank = max(1, -(-n * self.p // 100))  # ceil, integer-exact
+        else:
+            rank = max(1, math.ceil(n * self.fraction))
+        return ordered[min(int(rank), n) - 1]
 
 
 class CountDistinct(HolisticAggregate):

@@ -25,6 +25,10 @@ can be verified exactly:
   super-aggregates stay in memory as the paper observes they fit.
 - :class:`ParallelCubeAlgorithm` -- partition-parallel local cubes
   combined with Iter_super, the parallel-database pattern of Section 5.
+- :class:`ColumnarCubeAlgorithm` -- vectorized columnar backend: typed
+  column batches, dictionary-encoded dimensions, fused grouped kernels
+  (numpy when available, pure python otherwise); holistic functions
+  and UDAFs transparently stay on the row path.
 """
 
 from repro.compute.stats import ComputeStats
@@ -37,6 +41,7 @@ from repro.compute.sort_cube import SortCubeAlgorithm
 from repro.compute.external import ExternalCubeAlgorithm
 from repro.compute.parallel import ParallelCubeAlgorithm
 from repro.compute.pipesort import PipeSortAlgorithm
+from repro.compute.columnar import ColumnarCubeAlgorithm
 from repro.compute.optimizer import choose_algorithm, ALGORITHMS
 from repro.compute.view_selection import (
     PartialCube,
@@ -47,6 +52,7 @@ from repro.compute.view_selection import (
 __all__ = [
     "ALGORITHMS",
     "ArrayCubeAlgorithm",
+    "ColumnarCubeAlgorithm",
     "ComputeStats",
     "CubeAlgorithm",
     "CubeResult",

@@ -16,13 +16,22 @@ aggregate level reuses the previous level's ALL slabs.
 Supports the distributive SQL aggregates (COUNT/COUNT(*)/SUM/MIN/MAX)
 over numeric inputs -- exactly the class the paper says array projection
 handles.  Anything else raises and the optimizer falls back.
+
+numpy is optional: without it, the same dense-array plan runs on the
+columnar backend's pure-python kernels (identical semantics, including
+the projection-order ablation), so the algorithm stays available on
+dependency-free installs.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
-import numpy as np
+try:  # optional: the pure-python columnar engine covers its absence
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.aggregates.distributive import Count, CountStar, Max, Min, Sum
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
@@ -91,6 +100,8 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
                     f"array cube supports distributive COUNT/SUM/MIN/MAX, "
                     f"not {fn.name} (Section 5 limits array projection to "
                     "distributive functions)")
+        if np is None:
+            return self._compute_without_numpy(task)
         stats = self._new_stats()
         stats.base_scans = 1
         n = task.n_dims
@@ -189,6 +200,35 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
         stats.cells_produced = len(cells)
         return CubeResult(table=task.result_table(cells), stats=stats)
 
+    def _compute_without_numpy(self, task: CubeTask) -> CubeResult:
+        """Dense-array plan on the columnar pure-python kernels.
+
+        Keeps the array algorithm's contract exactly: the numeric
+        pre-check below raises the same :class:`CubeError` the numpy
+        fill loop would, and the delegated computation is pinned to the
+        dense route with this instance's projection order.
+        """
+        from repro.compute.columnar import ColumnarCubeAlgorithm
+        for position, fn in enumerate(task.functions):
+            if isinstance(fn, (Count, CountStar)):
+                continue  # COUNT folds anything, like the numpy path
+            for row in task.rows:
+                value = task.agg_values(row)[position]
+                if is_null_or_all(value):
+                    continue
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool):
+                    raise CubeError(
+                        f"array cube needs numeric input for {fn.name}, "
+                        f"got {value!r}")
+        delegate = ColumnarCubeAlgorithm(
+            mode="dense", force_python=True,
+            projection_order=self.projection_order)
+        result = delegate._compute(task)
+        result.stats.algorithm = self.name
+        result.stats.notes["backend"] = "python-columnar"
+        return result
+
     @staticmethod
     def _fill_core(fn, inputs: list, flat_core: np.ndarray,
                    shape: tuple) -> _Accumulator:
@@ -210,6 +250,9 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
                     raise CubeError(
                         f"array cube needs numeric input for {fn.name}, "
                         f"got {v!r}")
+                if isinstance(fn, (Min, Max)) and isinstance(v, float) \
+                        and math.isnan(v):
+                    continue  # NaN never participates (_Extreme.accepts)
                 accept_rows.append(r)
                 numeric.append(float(v))
             data = np.array(numeric, dtype=np.float64)

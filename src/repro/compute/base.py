@@ -220,7 +220,20 @@ class CubeAlgorithm(ABC):
                         algorithm=self.name or type(self).__name__,
                         grouping_sets=len(task.masks),
                         input_rows=len(task.rows)) as span:
-            result = self._compute(task)
+            try:
+                result = self._compute(task)
+            except TypeError as exc:
+                # A bare TypeError from deep inside a sort run or a
+                # MIN/MAX comparison carries no query context; when the
+                # cause is a mixed-type input column, re-raise as the
+                # taxonomy error naming the column.
+                mixed = _find_mixed_type_column(task)
+                if mixed is None:
+                    raise
+                from repro.errors import MixedTypeColumnError
+                raise MixedTypeColumnError(
+                    mixed[0], mixed[1],
+                    algorithm=self.name or type(self).__name__) from exc
             span.set(cells=result.stats.cells_produced)
             span.attach_stats(result.stats)
         instrument.record_cube_compute(
@@ -260,6 +273,34 @@ class CubeAlgorithm(ABC):
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
+
+
+#: type groups that are mutually comparable, so ``int`` next to ``float``
+#: (or ``bool``) is not "mixed" while ``int`` next to ``str`` is.
+_COMPARABLE_GROUPS = {bool: "number", int: "number", float: "number"}
+
+
+def _find_mixed_type_column(task: CubeTask) -> tuple[str, list[str]] | None:
+    """The first dimension or aggregate-input column whose non-NULL
+    values span incomparable types, or None.  Used to diagnose a bare
+    ``TypeError`` escaping an algorithm (sort keys themselves use the
+    library total order, so the usual culprit is an ordering aggregate
+    such as MIN/MAX over a mixed column)."""
+    from repro.types import is_null_or_all
+    names = list(task.dims) + list(task.agg_names)
+    for index, name in enumerate(names):
+        groups: set = set()
+        type_names: set[str] = set()
+        for row in task.rows:
+            value = row[index]
+            if is_null_or_all(value):
+                continue
+            kind = type(value)
+            groups.add(_COMPARABLE_GROUPS.get(kind, kind))
+            type_names.add(kind.__name__)
+            if len(groups) > 1:
+                return name, sorted(type_names)
+    return None
 
 
 def build_task(table: Table,

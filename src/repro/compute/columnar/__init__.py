@@ -1,0 +1,36 @@
+"""Vectorized columnar execution backend for the cube hot path.
+
+Batches rows into typed column arrays, dictionary-encodes dimensions,
+and scatter-aggregates through fused grouped kernels; super-aggregates
+fold either through the Section 5 dense-array projections or through
+the shared from-core lattice walk.  Pure-python buffers throughout,
+with an optional numpy fast path auto-detected at import.
+"""
+
+from repro.compute.columnar.algorithm import (
+    COLUMNAR_ROW_THRESHOLD,
+    ColumnarCubeAlgorithm,
+)
+from repro.compute.columnar.batch import (
+    AggColumn,
+    ColumnBatch,
+    DictEncodedColumn,
+    HAVE_NUMPY,
+)
+from repro.compute.columnar.kernels import (
+    KERNELS,
+    kernel_for,
+    kernel_needs_numeric,
+)
+
+__all__ = [
+    "AggColumn",
+    "COLUMNAR_ROW_THRESHOLD",
+    "ColumnBatch",
+    "ColumnarCubeAlgorithm",
+    "DictEncodedColumn",
+    "HAVE_NUMPY",
+    "KERNELS",
+    "kernel_for",
+    "kernel_needs_numeric",
+]

@@ -1,0 +1,394 @@
+"""The columnar (vectorized) cube algorithm.
+
+Execution plan:
+
+1. **Batch**: the task's rows are transposed into a
+   :class:`~repro.compute.columnar.batch.ColumnBatch` -- dictionary-
+   encoded dimension codes plus typed aggregate columns (256-row
+   checkpoint cadence).
+2. **Partition the aggregate list**: functions that declared a
+   ``vector_kernel`` (and whose input column satisfies the kernel's
+   numeric requirement) run on the kernels; the rest -- holistic
+   aggregates, UDAFs, non-numeric SUM inputs -- form the *residual* and
+   transparently run on the row path (from-core when mergeable, the
+   2^N-algorithm otherwise).  Both halves are joined per cell, so mixed
+   aggregate lists work.
+3. **Vector half, dense route** (when the Section 5 dense array,
+   ``prod(Ci+1)`` slots, fits ``dense_budget``): group codes become
+   flat dense offsets via :func:`repro.core.addressing.dense_strides`;
+   each kernel scatter-aggregates into dense accumulators, then the
+   2^N super-aggregate fold projects one dimension at a time, smallest
+   cardinality first, through the shared slab addressing
+   (:func:`repro.core.addressing.iter_slab_offsets`).
+4. **Vector half, sparse route** (otherwise): rows are grouped to
+   dense group ids over the lattice core's dimensions (first-seen
+   order, matching from-core's cell discovery order), kernels
+   scatter-aggregate per group, and each group's accumulator is
+   rebuilt into ordinary scratchpad handles.  The super-aggregate walk
+   is then *literally* :func:`repro.compute.from_core.fold_super_aggregates`
+   -- which is what makes sparse columnar results bit-identical to the
+   from-core row path by construction.
+
+The kernels auto-select numpy when importable and fall back to pure
+python otherwise (``force_python=True`` pins the fallback, used by the
+parity tests and the no-numpy CI leg).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Any
+
+from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+from repro.compute.columnar.batch import (
+    BATCH_ROWS,
+    ColumnBatch,
+    numpy_backend,
+)
+from repro.compute.columnar.kernels import (
+    kernel_for,
+    kernel_needs_numeric,
+    make_state,
+)
+from repro.compute.from_core import finalize_nodes, fold_super_aggregates
+from repro.compute.stats import ComputeStats
+from repro.core.addressing import dense_shape, dense_strides, iter_slab_offsets
+from repro.core.lattice import CubeLattice
+from repro.obs import instrument, trace
+from repro.resilience import context as rctx
+from repro.types import ALL
+
+__all__ = ["COLUMNAR_ROW_THRESHOLD", "ColumnarCubeAlgorithm"]
+
+#: Below this row count the optimizer prefers the row algorithms: the
+#: batching overhead only pays off once the scan dominates.
+COLUMNAR_ROW_THRESHOLD = 512
+
+
+class ColumnarCubeAlgorithm(CubeAlgorithm):
+    """Vectorized columnar backend.
+
+    - ``dense_budget``: max dense slots (``prod(Ci+1)``) before the
+      sparse route takes over (``mode="auto"``);
+    - ``mode``: ``"auto"`` | ``"dense"`` | ``"sparse"`` route pin;
+    - ``projection_order``: ``"smallest"`` (the paper's rule) or
+      ``"largest"`` (ablation) for the dense projections;
+    - ``force_python``: skip numpy even when importable.
+    """
+
+    name = "columnar"
+
+    def __init__(self, dense_budget: int = 1 << 20, *,
+                 mode: str = "auto",
+                 projection_order: str = "smallest",
+                 force_python: bool = False) -> None:
+        if mode not in ("auto", "dense", "sparse"):
+            raise ValueError(f"mode must be auto|dense|sparse, got {mode!r}")
+        if projection_order not in ("smallest", "largest"):
+            raise ValueError("projection_order must be smallest|largest, "
+                             f"got {projection_order!r}")
+        self.dense_budget = dense_budget
+        self.mode = mode
+        self.projection_order = projection_order
+        self.force_python = force_python
+
+    # -- top level ------------------------------------------------------------
+
+    def _compute(self, task: CubeTask) -> CubeResult:
+        stats = self._new_stats()
+        stats.base_scans = 1
+
+        if not task.rows:
+            cells = []
+            if 0 in task.masks:
+                coordinate = tuple(ALL for _ in range(task.n_dims))
+                values = tuple(fn.end(fn.start()) for fn in task.functions)
+                cells.append((coordinate, values))
+                stats.start_calls = task.n_aggs
+                stats.end_calls = task.n_aggs
+            stats.cells_produced = len(cells)
+            return CubeResult(table=task.result_table(cells), stats=stats)
+
+        xp = numpy_backend(self.force_python)
+        with trace.span("cube.batch", rows=len(task.rows),
+                        backend="numpy" if xp is not None else "python"):
+            batch = ColumnBatch.from_task(task)
+        stats.notes["backend"] = "numpy" if xp is not None else "python"
+
+        vector_positions = [
+            p for p, fn in enumerate(task.functions)
+            if kernel_for(fn) is not None
+            and (not kernel_needs_numeric(fn) or batch.aggs[p].numeric)
+            # a float64 MIN/MAX can't tell which *type* won a cross-type
+            # tie, so mixed int/float columns stay on the exact row path
+            # (the pure-python kernels fold raw objects and are exact)
+            and (xp is None or kernel_for(fn) not in ("min", "max")
+                 or not batch.aggs[p].mixed_number_types)
+        ]
+        residual_positions = [p for p in range(task.n_aggs)
+                              if p not in vector_positions]
+
+        if not vector_positions:
+            return self._fallback(task)
+
+        vector_task = replace(
+            task,
+            functions=tuple(task.functions[p] for p in vector_positions),
+            agg_names=tuple(task.agg_names[p] for p in vector_positions))
+        columns = [batch.aggs[p] for p in vector_positions]
+
+        residual_result = None
+        if residual_positions:
+            residual_result = self._residual(task, residual_positions, stats)
+
+        cards = batch.cardinalities()
+        dense_cells = math.prod(c + 1 for c in cards)
+        use_dense = (self.mode == "dense"
+                     or (self.mode == "auto"
+                         and dense_cells <= self.dense_budget))
+        stats.notes["route"] = "dense" if use_dense else "sparse"
+        instrument.record_columnar_batch(stats.notes["backend"],
+                                         stats.notes["route"],
+                                         batch.n_rows)
+        if use_dense:
+            finalized = self._dense(vector_task, batch, columns, xp, stats)
+        else:
+            finalized = self._sparse(vector_task, batch, columns, xp, stats)
+
+        if residual_result is None:
+            stats.cells_produced = len(finalized)
+            return CubeResult(table=task.result_table(finalized),
+                              stats=stats)
+
+        residual_values = {}
+        n_dims = task.n_dims
+        for row in residual_result.table.rows:
+            residual_values[row[:n_dims]] = row[n_dims:]
+        cells = []
+        for coordinate, vector_vals in finalized:
+            values: list[Any] = [None] * task.n_aggs
+            for j, p in enumerate(vector_positions):
+                values[p] = vector_vals[j]
+            for j, p in enumerate(residual_positions):
+                values[p] = residual_values[coordinate][j]
+            cells.append((coordinate, tuple(values)))
+        stats.merged(residual_result.stats)
+        stats.cells_produced = len(cells)
+        return CubeResult(table=task.result_table(cells), stats=stats)
+
+    # -- row-path delegates ---------------------------------------------------
+
+    def _row_algorithm(self, task: CubeTask):
+        from repro.compute.from_core import FromCoreAlgorithm
+        from repro.compute.twon import TwoNAlgorithm
+        if task.all_mergeable():
+            return FromCoreAlgorithm()
+        return TwoNAlgorithm()  # strict holistic: the paper's only option
+
+    def _fallback(self, task: CubeTask) -> CubeResult:
+        """No function is vectorizable: run the whole task on the row
+        path, keeping the columnar label so callers see one algorithm."""
+        inner = self._row_algorithm(task)
+        with trace.span("cube.residual", functions=",".join(
+                fn.name for fn in task.functions), path=inner.name):
+            result = inner._compute(task)
+        result.stats.algorithm = self.name
+        result.stats.notes["fallback"] = inner.name
+        return result
+
+    def _residual(self, task: CubeTask, positions: list[int],
+                  stats: ComputeStats) -> CubeResult:
+        """Row-path pass over the non-vectorizable aggregates only."""
+        n_dims = task.n_dims
+        residual_task = replace(
+            task,
+            functions=tuple(task.functions[p] for p in positions),
+            agg_names=tuple(task.agg_names[p] for p in positions),
+            rows=[row[:n_dims] + tuple(row[n_dims + p] for p in positions)
+                  for row in task.rows])
+        inner = self._row_algorithm(residual_task)
+        stats.notes["residual"] = [fn.name for fn in residual_task.functions]
+        stats.notes["residual_path"] = inner.name
+        with trace.span("cube.residual", functions=",".join(
+                residual_task.agg_names), path=inner.name):
+            return inner._compute(residual_task)
+
+    # -- dense route -----------------------------------------------------------
+
+    def _dense(self, task: CubeTask, batch: ColumnBatch, columns: list,
+               xp, stats: ComputeStats) -> list[tuple]:
+        n = task.n_dims
+        cards = batch.cardinalities()
+        shape = dense_shape(cards)
+        strides = dense_strides(shape)
+        dense_slots = math.prod(shape)
+        # the dense array commits one slot per coordinate up front:
+        # charge it all, so sparse data over wide domains trips the
+        # budget here and degrades to the external algorithm
+        rctx.charge_cells(dense_slots, "columnar dense allocation")
+        stats.start_calls += dense_slots * task.n_aggs
+
+        slots = self._flat_offsets(batch, range(n), strides, xp)
+
+        if xp is None:
+            counts = [0] * dense_slots
+            for code in slots:
+                counts[code] += 1
+        else:
+            counts = xp.zeros(dense_slots, dtype=xp.int64)
+            xp.add.at(counts, slots, 1)
+
+        states = []
+        for fn, column in zip(task.functions, columns):
+            state = make_state(kernel_for(fn), dense_slots, xp)
+            stats.iter_calls += state.scatter(slots, column)
+            states.append(state)
+
+        order = sorted(range(n), key=lambda i: cards[i],
+                       reverse=self.projection_order == "largest")
+        stats.notes["projection_order"] = [task.dims[i] for i in order]
+        for axis in order:
+            rctx.checkpoint("columnar projection axis")
+            ci = cards[axis]
+            if xp is None:
+                stride = strides[axis]
+                for base in iter_slab_offsets(shape, axis):
+                    target = base + ci * stride
+                    offsets = [base + k * stride for k in range(ci)]
+                    counts[target] = sum(counts[o] for o in offsets)
+                    for state in states:
+                        for offset in offsets:
+                            state.fold(target, offset)
+            else:
+                core_slice: list = [slice(None)] * n
+                core_slice[axis] = slice(0, ci)
+                all_slice: list = [slice(None)] * n
+                all_slice[axis] = ci
+                core, target = tuple(core_slice), tuple(all_slice)
+                view = counts.reshape(shape)
+                view[target] = view[core].sum(axis=axis)
+                for state in states:
+                    state.project_np(shape, axis, core, target)
+            slab_cells = math.prod(shape[i] for i in range(n) if i != axis)
+            stats.merge_calls += slab_cells * ci * task.n_aggs
+
+        stats.observe_resident(dense_slots * (2 * task.n_aggs + 1))
+
+        finalized = []
+        for mask in task.masks:
+            grouped = [i for i in range(n) if mask & (1 << i)]
+            base = sum(cards[i] * strides[i]
+                       for i in range(n) if not mask & (1 << i))
+            index = [0] * len(grouped)
+            while True:
+                flat = base + sum(index[j] * strides[i]
+                                  for j, i in enumerate(grouped))
+                if counts[flat] > 0:
+                    coordinate: list = [ALL] * n
+                    for j, i in enumerate(grouped):
+                        coordinate[i] = batch.dims[i].values[index[j]]
+                    values = tuple(
+                        fn.end(state.handle(flat))
+                        for fn, state in zip(task.functions, states))
+                    stats.end_calls += task.n_aggs
+                    finalized.append((tuple(coordinate), values))
+                # odometer over the grouped dimensions' real slots
+                position = len(grouped) - 1
+                while position >= 0:
+                    index[position] += 1
+                    if index[position] < cards[grouped[position]]:
+                        break
+                    index[position] = 0
+                    position -= 1
+                else:
+                    break
+
+        rctx.release_cells(dense_slots)
+        return finalized
+
+    # -- sparse route ----------------------------------------------------------
+
+    def _sparse(self, task: CubeTask, batch: ColumnBatch, columns: list,
+                xp, stats: ComputeStats) -> list[tuple]:
+        n = task.n_dims
+        lattice = CubeLattice(task.dims, task.masks)
+        core_mask = lattice.core
+        core_dims = [i for i in range(n) if core_mask & (1 << i)]
+
+        # flat keys over the core dimensions only (mixed radix of their
+        # real cardinalities -- no ALL slots here, the fold adds those)
+        cards = batch.cardinalities()
+        core_strides = {}
+        stride = 1
+        for i in reversed(core_dims):
+            core_strides[i] = stride
+            stride *= cards[i]
+        flat = self._flat_offsets(batch, core_dims, core_strides, xp)
+        if xp is not None:
+            flat = flat.tolist()
+
+        # group ids in first-seen row order, matching from-core's core
+        # cell insertion order (so downstream float merges agree bitwise)
+        group_of: dict[int, int] = {}
+        gids = [0] * batch.n_rows
+        representatives: list[int] = []
+        for start in range(0, batch.n_rows, BATCH_ROWS):
+            rctx.checkpoint("columnar group scan")
+            for i in range(start, min(start + BATCH_ROWS, batch.n_rows)):
+                key = flat[i]
+                gid = group_of.get(key)
+                if gid is None:
+                    gid = group_of[key] = len(group_of)
+                    representatives.append(i)
+                gids[i] = gid
+        n_groups = len(group_of)
+
+        rctx.charge_cells(n_groups, "columnar core groups")
+        stats.start_calls += n_groups * task.n_aggs
+
+        slots = (xp.asarray(gids, dtype=xp.int64)
+                 if xp is not None else gids)
+        with trace.span("cube.node", dims=task.mask_label(core_mask),
+                        role="core", rows=len(task.rows)) as span:
+            states = []
+            for fn, column in zip(task.functions, columns):
+                state = make_state(kernel_for(fn), n_groups, xp)
+                stats.iter_calls += state.scatter(slots, column)
+                states.append(state)
+            core_cells = {}
+            rows = task.rows
+            for gid in range(n_groups):
+                coordinate = task.coordinate(core_mask,
+                                             rows[representatives[gid]])
+                core_cells[coordinate] = [state.handle(gid)
+                                          for state in states]
+            span.set(cells=n_groups)
+
+        nodes = {core_mask: core_cells}
+        fold_super_aggregates(task, nodes, stats)
+        return finalize_nodes(task, nodes, stats)
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _flat_offsets(self, batch: ColumnBatch, dims, strides, xp):
+        """Per-row flat offsets ``sum(code[d] * stride[d])`` over the
+        given dimensions; int list (python) or int64 ndarray (numpy).
+        ``strides`` may be a sequence or a {dim: stride} mapping."""
+        dims = list(dims)
+        if xp is not None:
+            flat = xp.zeros(batch.n_rows, dtype=xp.int64)
+            for d in dims:
+                flat += batch.dims[d].codes_np(xp) * strides[d]
+            return flat
+        flat = [0] * batch.n_rows
+        for d in dims:
+            codes = batch.dims[d].codes
+            stride = strides[d]
+            if stride == 1:
+                for i, code in enumerate(codes):
+                    flat[i] += code
+            else:
+                for i, code in enumerate(codes):
+                    flat[i] += code * stride
+        return flat

@@ -1,0 +1,254 @@
+"""Typed column batches for the columnar backend.
+
+A :class:`ColumnBatch` is the columnar image of a
+:class:`~repro.compute.base.CubeTask`: each dimension becomes a
+dictionary-encoded column (dense integer codes plus a decode list, the
+paper's "hashed symbol table that maps each string to an integer so the
+values become dense"), and each aggregate-input column becomes a typed
+:class:`AggColumn` carrying a float64 buffer plus validity masks.
+
+The buffers are stdlib ``array``/``bytearray`` objects, so the batch
+works without any third-party dependency; when numpy is importable the
+``*_np`` accessors expose the same buffers zero-copy as ndarrays for
+the vectorized kernels.  Which backend runs is decided once per
+computation (see :mod:`repro.compute.columnar.kernels`).
+
+Encoding notes that keep the batch bit-compatible with the row path:
+
+- dimension codes are assigned in **first-seen row order** (a plain
+  dict), so the sparse path's group discovery order -- and therefore
+  its float merge order -- matches the from-core algorithm's cell
+  insertion order exactly;
+- ``NaN`` dimension values are dict keys, so distinct NaN objects stay
+  distinct groups, exactly as the row algorithms' coordinate dicts
+  treat them;
+- an aggregate column is *numeric* only when every non-NULL value is an
+  ``int`` or ``float`` (``bool`` is excluded, matching the array
+  algorithm); non-numeric columns still carry a validity mask so COUNT
+  kernels can run over them.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from array import array
+from typing import Any, Sequence
+
+from repro.resilience import context as rctx
+from repro.types import is_null_or_all
+
+try:  # optional fast path; every code path below works without it
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _numpy = None
+
+__all__ = ["AggColumn", "BATCH_ROWS", "ColumnBatch", "DictEncodedColumn",
+           "HAVE_NUMPY", "numpy_backend"]
+
+#: Rows between cooperative-cancellation checkpoints while encoding.
+BATCH_ROWS = 256
+
+HAVE_NUMPY = _numpy is not None
+
+
+def numpy_backend(force_python: bool = False):
+    """The numpy module to vectorize with, or None for pure python."""
+    return None if force_python else _numpy
+
+
+class DictEncodedColumn:
+    """One dimension column: dense codes plus the decode list."""
+
+    __slots__ = ("name", "values", "codes")
+
+    def __init__(self, name: str, values: list, codes: array) -> None:
+        self.name = name
+        self.values = values
+        self.codes = codes
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def codes_np(self, xp):
+        return xp.frombuffer(self.codes, dtype=xp.int64)
+
+
+class AggColumn:
+    """One aggregate-input column.
+
+    ``raw`` keeps the original python objects (the pure-python kernels
+    fold them directly, preserving int/float identity); ``data`` is the
+    float64 image for the numpy kernels, present only when the column
+    is numeric.  ``valid`` marks non-NULL rows; ``nan`` marks NaN rows,
+    which MIN/MAX kernels must skip (mirroring ``_Extreme.accepts``);
+    ``floats`` marks float-typed rows, so the numpy kernels can restore
+    the row path's int-vs-float result types exactly (``sum([1, 2])``
+    is ``3`` but ``sum([1.0, 2.0])`` is ``3.0``).
+    """
+
+    __slots__ = ("name", "raw", "valid", "nan", "floats", "numeric",
+                 "data", "n_valid", "n_float")
+
+    def __init__(self, name: str, raw: list, valid: bytearray,
+                 nan: bytearray, floats: bytearray, numeric: bool,
+                 data: array | None, n_valid: int, n_float: int) -> None:
+        self.name = name
+        self.raw = raw
+        self.valid = valid
+        self.nan = nan
+        self.floats = floats
+        self.numeric = numeric
+        self.data = data
+        self.n_valid = n_valid
+        self.n_float = n_float
+
+    @property
+    def mixed_number_types(self) -> bool:
+        """True when the column holds both int- and float-typed values.
+        An order-sensitive numpy kernel (MIN/MAX) cannot reconstruct
+        which *type* won a cross-type tie from the float64 image, so
+        such columns stay on exact backends (python kernels, row path).
+        """
+        return 0 < self.n_float < self.n_valid
+
+    def valid_np(self, xp):
+        return xp.frombuffer(self.valid, dtype=xp.uint8).astype(bool)
+
+    def nan_np(self, xp):
+        return xp.frombuffer(self.nan, dtype=xp.uint8).astype(bool)
+
+    def floats_np(self, xp):
+        return xp.frombuffer(self.floats, dtype=xp.uint8).astype(bool)
+
+    def data_np(self, xp):
+        return xp.frombuffer(self.data, dtype=xp.float64)
+
+
+class ColumnBatch:
+    """The columnar image of one cube task's input rows."""
+
+    __slots__ = ("n_rows", "dims", "aggs")
+
+    def __init__(self, n_rows: int, dims: list, aggs: list) -> None:
+        self.n_rows = n_rows
+        self.dims = dims
+        self.aggs = aggs
+
+    def cardinalities(self) -> list[int]:
+        return [column.cardinality for column in self.dims]
+
+    @classmethod
+    def from_task(cls, task) -> "ColumnBatch":
+        """Batch a task's row list into typed columns, checkpointing
+        every :data:`BATCH_ROWS` rows.
+
+        Aggregate specs that read the same source column put the *same
+        value objects* at each of their row positions, so positions
+        that are element-wise identical share one set of masks and one
+        float64 buffer instead of re-scanning the column per spec."""
+        rows = task.rows
+        n_dims = task.n_dims
+        dims = [
+            DictEncodedColumn(task.dims[i],
+                              *_encode([row[i] for row in rows]))
+            for i in range(n_dims)
+        ]
+        aggs: list[AggColumn] = []
+        built: list[AggColumn] = []
+        for p, name in enumerate(task.agg_names):
+            raw = [row[n_dims + p] for row in rows]
+            for other in built:
+                if all(map(operator.is_, raw, other.raw)):
+                    aggs.append(AggColumn(name, raw, other.valid,
+                                          other.nan, other.floats,
+                                          other.numeric, other.data,
+                                          other.n_valid, other.n_float))
+                    break
+            else:
+                column = _build_agg_column(name, raw)
+                built.append(column)
+                aggs.append(column)
+        return cls(len(rows), dims, aggs)
+
+    @classmethod
+    def from_columns(cls, dim_columns: dict, agg_columns: dict) -> "ColumnBatch":
+        """Build a batch straight from column lists (the shape
+        :meth:`repro.engine.table.Table.columns` returns)."""
+        lengths = {len(vals) for vals in list(dim_columns.values())
+                   + list(agg_columns.values())}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        dims = [DictEncodedColumn(name, *_encode(values))
+                for name, values in dim_columns.items()]
+        aggs = [_build_agg_column(name, list(values))
+                for name, values in agg_columns.items()]
+        return cls(n_rows, dims, aggs)
+
+
+def _encode(values: list) -> tuple[list, array]:
+    """Dictionary-encode one column: (decode list, int64 codes)."""
+    encoder: dict[Any, int] = {}
+    codes = array("q", bytes(8 * len(values)))
+    for start in range(0, len(values), BATCH_ROWS):
+        rctx.checkpoint("columnar encode batch")
+        for i in range(start, min(start + BATCH_ROWS, len(values))):
+            value = values[i]
+            try:
+                codes[i] = encoder[value]
+            except KeyError:
+                codes[i] = encoder[value] = len(encoder)
+    return list(encoder), codes
+
+
+def _build_agg_column(name: str, raw: list) -> AggColumn:
+    n = len(raw)
+    valid = bytearray(n)
+    nan = bytearray(n)
+    floats = bytearray(n)
+    numeric = True
+    n_valid = 0
+    n_float = 0
+    for start in range(0, n, BATCH_ROWS):
+        rctx.checkpoint("columnar encode batch")
+        for i in range(start, min(start + BATCH_ROWS, n)):
+            value = raw[i]
+            # exact-type fast paths first: the hot loop is all ints or
+            # all floats, and ``type() is`` beats the isinstance chain
+            cls = type(value)
+            if cls is int:
+                valid[i] = 1
+                n_valid += 1
+                continue
+            if cls is float:
+                valid[i] = 1
+                n_valid += 1
+                floats[i] = 1
+                n_float += 1
+                if value != value:  # NaN without a math.isnan call
+                    nan[i] = 1
+                continue
+            if is_null_or_all(value):
+                continue
+            valid[i] = 1
+            n_valid += 1
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                numeric = False
+            elif isinstance(value, float):
+                floats[i] = 1
+                n_float += 1
+                if math.isnan(value):
+                    nan[i] = 1
+    data = None
+    if numeric:
+        if n_valid == n:
+            data = array("d", raw)  # no NULL slots: one C-level copy
+        else:
+            data = array("d", bytes(8 * n))
+            for i in range(n):
+                if valid[i]:
+                    data[i] = raw[i]
+    return AggColumn(name, raw, valid, nan, floats, numeric, data,
+                     n_valid, n_float)

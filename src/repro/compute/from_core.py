@@ -13,19 +13,113 @@ scratchpads into its own with ``merge`` (the paper's ``Iter_super``).
 Requires mergeable functions (distributive or algebraic; or holistic in
 carrying mode, at unbounded scratchpad cost -- which the benchmarks use
 to *show* why the paper declares holistic functions hopeless here).
+
+The super-aggregate walk (pass 2) is exposed as module-level functions
+(:func:`fold_super_aggregates`, :func:`finalize_nodes`) because it is
+shared: the columnar backend computes the core with vectorized kernels
+and then reuses exactly this fold, which is what makes its sparse-path
+results bit-identical to ``from-core`` by construction.
 """
 
 from __future__ import annotations
 
 from repro.aggregates.base import Handle
 from repro.compute.base import CubeAlgorithm, CubeResult, CubeTask
+from repro.compute.stats import ComputeStats
 from repro.core.grouping import Mask
 from repro.core.lattice import CubeLattice
 from repro.errors import NotMergeableError
 from repro.obs import trace
 from repro.resilience import context as rctx
 
-__all__ = ["FromCoreAlgorithm"]
+__all__ = ["FromCoreAlgorithm", "finalize_nodes", "fold_super_aggregates"]
+
+#: One cell store per grouping set: coordinate -> live scratchpads.
+Nodes = "dict[Mask, dict[tuple, list[Handle]]]"
+
+
+def _smallest_computed_parent(lattice: CubeLattice, mask: Mask,
+                              nodes: dict, parent_choice: str) -> Mask:
+    """The already-computed parent with the fewest actual cells.
+
+    Uses measured parent sizes rather than estimates: by the time a
+    node is processed, every parent one level up is computed, so the
+    "smallest Ci" rule can use exact counts.  With
+    ``parent_choice="first"`` the rule is ablated and the lowest-mask
+    parent is used regardless of size.
+    """
+    candidates = [m for m in lattice.parents(mask) if m in nodes]
+    if not candidates:
+        raise NotMergeableError(
+            f"grouping set {mask:#b} has no computed parent; "
+            "the task's grouping sets do not form a connected lattice")
+    if parent_choice == "first":
+        return min(candidates)
+    return min(candidates, key=lambda m: (len(nodes[m]), m))
+
+
+def _project(parent_coord: tuple, child_mask: Mask,
+             task: CubeTask) -> tuple:
+    """Project a parent coordinate onto a coarser grouping set: kept
+    dimensions retain their value, dropped ones become ALL."""
+    return task.coordinate(child_mask, parent_coord)
+
+
+def fold_super_aggregates(task: CubeTask, nodes: dict,
+                          stats: ComputeStats, *,
+                          parent_choice: str = "smallest") -> None:
+    """Pass 2 of the from-core strategy: walk the lattice downward from
+    an already-computed core, merging each node from its smallest
+    computed parent (``Iter_super``).
+
+    ``nodes`` must hold the core grouping set's cells on entry; every
+    other grouping set of the task is added.  Also records the peak
+    scratchpad residency.
+    """
+    lattice = CubeLattice(task.dims, task.masks)
+    core_mask = lattice.core
+    for level_masks in lattice.by_level_descending():
+        for mask in level_masks:
+            if mask == core_mask:
+                continue
+            rctx.checkpoint("from-core lattice node")
+            parent = _smallest_computed_parent(lattice, mask, nodes,
+                                               parent_choice)
+            with trace.span("cube.node", dims=task.mask_label(mask),
+                            parent_node=task.mask_label(parent),
+                            parent_cells=len(nodes[parent])) as span:
+                cells: dict[tuple, list[Handle]] = {}
+                nodes[mask] = cells
+                if mask == 0 and not task.rows:
+                    # empty input still yields one global-total cell
+                    cells[task.coordinate(0, ())] = task.new_handles(stats)
+                for parent_coord, parent_handles in nodes[parent].items():
+                    coordinate = _project(parent_coord, mask, task)
+                    handles = cells.get(coordinate)
+                    if handles is None:
+                        handles = task.new_handles(stats)
+                        cells[coordinate] = handles
+                    task.merge_handles(handles, parent_handles, stats)
+                span.set(cells=len(cells))
+    if 0 in task.masks and not task.rows and 0 == core_mask:
+        nodes[core_mask][task.coordinate(0, ())] = task.new_handles(stats)
+    stats.observe_resident(sum(len(c) for c in nodes.values()))
+
+
+def finalize_nodes(task: CubeTask, nodes: dict,
+                   stats: ComputeStats) -> list[tuple]:
+    """Final() every requested cell and release the scratchpad charge.
+
+    Returns ``(coordinate, values)`` pairs for the task's grouping sets
+    and sets ``stats.cells_produced``.
+    """
+    finalized = []
+    for mask in task.masks:
+        for coordinate, handles in nodes[mask].items():
+            finalized.append((coordinate, task.finalize(handles, stats)))
+    rctx.release_cells(sum(len(c) for c in nodes.values()))
+    stats.cells_produced = len(finalized)
+    return finalized
 
 
 class FromCoreAlgorithm(CubeAlgorithm):
@@ -74,64 +168,7 @@ class FromCoreAlgorithm(CubeAlgorithm):
             span.set(cells=len(core_cells))
 
         # -- pass 2: walk the lattice, smallest parent first ----------------
-        for level_masks in lattice.by_level_descending():
-            for mask in level_masks:
-                if mask == core_mask:
-                    continue
-                rctx.checkpoint("from-core lattice node")
-                parent = self._smallest_computed_parent(lattice, mask, nodes)
-                with trace.span("cube.node", dims=task.mask_label(mask),
-                                parent_node=task.mask_label(parent),
-                                parent_cells=len(nodes[parent])) as span:
-                    cells: dict[tuple, list[Handle]] = {}
-                    nodes[mask] = cells
-                    if mask == 0 and not task.rows:
-                        # empty input still yields one global-total cell
-                        cells[task.coordinate(0, ())] = task.new_handles(stats)
-                    for parent_coord, parent_handles in nodes[parent].items():
-                        coordinate = self._project(parent_coord, mask, task)
-                        handles = cells.get(coordinate)
-                        if handles is None:
-                            handles = task.new_handles(stats)
-                            cells[coordinate] = handles
-                        task.merge_handles(handles, parent_handles, stats)
-                    span.set(cells=len(cells))
-        if 0 in task.masks and not task.rows and 0 == core_mask:
-            core_cells[task.coordinate(0, ())] = task.new_handles(stats)
-
-        stats.observe_resident(sum(len(c) for c in nodes.values()))
-
-        finalized = []
-        for mask in task.masks:
-            for coordinate, handles in nodes[mask].items():
-                finalized.append((coordinate, task.finalize(handles, stats)))
-        rctx.release_cells(sum(len(c) for c in nodes.values()))
-        stats.cells_produced = len(finalized)
+        fold_super_aggregates(task, nodes, stats,
+                              parent_choice=self.parent_choice)
+        finalized = finalize_nodes(task, nodes, stats)
         return CubeResult(table=task.result_table(finalized), stats=stats)
-
-    def _smallest_computed_parent(
-            self, lattice: CubeLattice, mask: Mask,
-            nodes: dict[Mask, dict]) -> Mask:
-        """The already-computed parent with the fewest actual cells.
-
-        Uses measured parent sizes rather than estimates: by the time a
-        node is processed, every parent one level up is computed, so the
-        "smallest Ci" rule can use exact counts.  With
-        ``parent_choice="first"`` the rule is ablated and the lowest-
-        mask parent is used regardless of size.
-        """
-        candidates = [m for m in lattice.parents(mask) if m in nodes]
-        if not candidates:
-            raise NotMergeableError(
-                f"grouping set {mask:#b} has no computed parent; "
-                "the task's grouping sets do not form a connected lattice")
-        if self.parent_choice == "first":
-            return min(candidates)
-        return min(candidates, key=lambda m: (len(nodes[m]), m))
-
-    @staticmethod
-    def _project(parent_coord: tuple, child_mask: Mask,
-                 task: CubeTask) -> tuple:
-        """Project a parent coordinate onto a coarser grouping set: kept
-        dimensions retain their value, dropped ones become ALL."""
-        return task.coordinate(child_mask, parent_coord)

@@ -4,6 +4,9 @@ The paper's guidance, encoded:
 
 - **holistic** functions (strict mode): "we know of no more efficient
   way [...] than the 2^N-algorithm" -- pick :class:`TwoNAlgorithm`;
+- kernel-covered aggregates over enough rows that batching pays off:
+  the vectorized **columnar** backend (which itself routes between the
+  Section 5 dense array and the from-core fold);
 - distributive COUNT/SUM/MIN/MAX over dimensions whose dense cube fits
   the budget: use the **array** technique;
 - otherwise distributive/algebraic: compute **from the core**,
@@ -18,6 +21,12 @@ import math
 
 from repro.compute.array_cube import ArrayCubeAlgorithm, _SUPPORTED
 from repro.compute.base import CubeAlgorithm, CubeTask
+from repro.compute.columnar import (
+    COLUMNAR_ROW_THRESHOLD,
+    ColumnarCubeAlgorithm,
+    kernel_for,
+    kernel_needs_numeric,
+)
 from repro.compute.external import ExternalCubeAlgorithm
 from repro.compute.from_core import FromCoreAlgorithm
 from repro.compute.naive_union import NaiveUnionAlgorithm
@@ -47,11 +56,33 @@ ALGORITHMS: dict[str, type[CubeAlgorithm]] = {
     "2^N": TwoNAlgorithm,
     "from-core": FromCoreAlgorithm,
     "array": ArrayCubeAlgorithm,
+    "columnar": ColumnarCubeAlgorithm,
     "sort": SortCubeAlgorithm,
     "pipesort": PipeSortAlgorithm,
     "external": ExternalCubeAlgorithm,
     "parallel": ParallelCubeAlgorithm,
 }
+
+
+def _columnar_eligible(task: CubeTask) -> bool:
+    """Every aggregate has a vector kernel (numeric inputs where the
+    kernel demands them, sampled) and the scan is long enough that the
+    batching overhead amortizes."""
+    if len(task.rows) < COLUMNAR_ROW_THRESHOLD:
+        return False
+    if not all(kernel_for(fn) is not None for fn in task.functions):
+        return False
+    sample = task.rows[:256]
+    for position, fn in enumerate(task.functions):
+        if not kernel_needs_numeric(fn):
+            continue
+        for row in sample:
+            value = row[task.n_dims + position]
+            if is_null_or_all(value):
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return False
+    return True
 
 
 def _array_eligible(task: CubeTask, dense_budget: int) -> bool:
@@ -80,6 +111,8 @@ def choose_algorithm(task: CubeTask, *,
     core_estimate = len({task.dim_values(r) for r in task.rows})
     if memory_budget is not None and core_estimate > memory_budget:
         return ExternalCubeAlgorithm(memory_budget=memory_budget)
+    if _columnar_eligible(task):
+        return ColumnarCubeAlgorithm(dense_budget=dense_budget)
     if _array_eligible(task, dense_budget):
         return ArrayCubeAlgorithm()
     return FromCoreAlgorithm()
@@ -99,6 +132,10 @@ def explain_choice(task: CubeTask, *,
         return (f"external: estimated core ({core_estimate} cells) exceeds "
                 f"the memory budget ({memory_budget}); hybrid-hash "
                 "partitioning required")
+    if _columnar_eligible(task):
+        return (f"columnar: every aggregate has a vector kernel and the "
+                f"scan ({len(task.rows)} rows) is long enough to amortize "
+                f"batching (threshold {COLUMNAR_ROW_THRESHOLD})")
     if _array_eligible(task, dense_budget):
         return ("array: distributive numeric aggregates over a dense cube "
                 f"within budget ({dense_budget} cells)")

@@ -1,22 +1,82 @@
-"""Addressing the data cube (Section 4).
+"""Addressing the data cube (Section 4, plus Section 5's dense arrays).
 
 The paper proposes ``cube.v(:i, :j)`` as shorthand for selecting one
 cell of a cube relation, plus conveniences for the most-requested
 derived quantities: percent-of-total and the *index* of a value
 (``index(v_i) = v_i / sum_i v_i``).  :class:`CubeView` wraps a cube
 relation and provides exactly those.
+
+The module also holds the *dense array* addressing arithmetic from
+Section 5 ("each dimension having size Ci+1"): mixed-radix shapes,
+row-major strides, flat offsets, and the slab iteration that projects
+one dimension of the core into its ALL slab.  Both the numpy array
+algorithm and the columnar backend's dense super-aggregate fold address
+cells through these helpers, so the ALL-slot convention (index ``Ci``)
+lives in exactly one place.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.errors import AddressingError
 from repro.types import ALL, DataType
 
-__all__ = ["CubeView"]
+__all__ = [
+    "CubeView",
+    "dense_shape",
+    "dense_strides",
+    "flat_offset",
+    "iter_slab_offsets",
+]
+
+
+def dense_shape(cardinalities: Sequence[int]) -> tuple[int, ...]:
+    """Section 5's array shape: ``Ci + 1`` per dimension; the extra
+    slot (index ``Ci``) holds that dimension's ALL slab."""
+    return tuple(c + 1 for c in cardinalities)
+
+
+def dense_strides(shape: Sequence[int]) -> tuple[int, ...]:
+    """Row-major (C-order) strides for a dense shape, in slots."""
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return tuple(strides)
+
+
+def flat_offset(coords: Sequence[int], strides: Sequence[int]) -> int:
+    """The flat slot of one dense coordinate (mixed-radix encode)."""
+    return sum(c * s for c, s in zip(coords, strides))
+
+
+def iter_slab_offsets(shape: Sequence[int],
+                      axis: int) -> Iterator[int]:
+    """Flat base offsets of every cell with index 0 along ``axis``.
+
+    Projecting a dimension visits each such base cell once, folding the
+    ``Ci`` real slots ``base + k*strides[axis]`` into the ALL slot
+    ``base + Ci*strides[axis]`` -- the paper's "the N-1 dimensional
+    slabs can be computed by projecting one dimension of the core".
+    """
+    strides = dense_strides(shape)
+    odometer = [0] * len(shape)
+    while True:
+        yield flat_offset(odometer, strides)
+        position = len(shape) - 1
+        while position >= 0:
+            if position == axis:
+                position -= 1
+                continue
+            odometer[position] += 1
+            if odometer[position] < shape[position]:
+                break
+            odometer[position] = 0
+            position -= 1
+        else:
+            return
 
 
 class CubeView:

@@ -120,6 +120,23 @@ class Table:
         idx = self.schema.index_of(name)
         return [row[idx] for row in self._rows]
 
+    def columns(self, names: Sequence[str] | None = None
+                ) -> dict[str, list[Any]]:
+        """Column-major extraction: {name: values in row order}.
+
+        One transposition pass instead of a :meth:`column_values` scan
+        per column -- the shape the columnar compute backend batches
+        from.  ``names`` defaults to every column, in schema order.
+        """
+        if names is None:
+            names = self.schema.names
+        indexes = [self.schema.index_of(name) for name in names]
+        if not self._rows:
+            return {name: [] for name in names}
+        transposed = list(zip(*self._rows))
+        return {name: list(transposed[idx])
+                for name, idx in zip(names, indexes)}
+
     def distinct_values(self, name: str, *,
                         include_all: bool = False) -> list[Any]:
         """Sorted distinct values of a column.

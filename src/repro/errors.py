@@ -65,6 +65,27 @@ class AddressingError(CubeError):
     """A cube-cell address did not resolve to exactly one cell."""
 
 
+class MixedTypeColumnError(CubeError):
+    """One input column mixes mutually incomparable value types (e.g.
+    ``int`` and ``str``), so an ordering-based step -- a sort run, a
+    MIN/MAX comparison -- cannot proceed.  Raised at the compute
+    boundary with the offending column named, instead of the bare
+    ``TypeError`` the comparison would surface from deep inside an
+    algorithm."""
+
+    def __init__(self, column: str, type_names: Sequence[str],
+                 algorithm: str = "") -> None:
+        self.column = column
+        self.type_names = list(type_names)
+        self.algorithm = algorithm
+        where = f" (algorithm: {algorithm})" if algorithm else ""
+        super().__init__(
+            f"column {column!r} mixes incomparable value types "
+            f"[{', '.join(self.type_names)}]{where}; every value in one "
+            "grouping or aggregate-input column must be comparable with "
+            "the others")
+
+
 class DecorationError(CubeError):
     """A decoration column is not functionally dependent on the
     grouping columns (Section 3.5)."""

@@ -15,6 +15,8 @@ metric                                         kind       labels
 ``repro_cube_cells_produced_total``            counter    --
 ``repro_cube_iter_calls_total``                counter    --
 ``repro_cube_merge_calls_total``               counter    --
+``repro_columnar_batches_total``               counter    ``backend`` (numpy/python), ``route`` (dense/sparse)
+``repro_columnar_rows_batched_total``          counter    ``backend``
 ``repro_cube_sort_operations_total``           counter    --
 ``repro_cube_sort_spills_total``               counter    --
 ``repro_groupby_operations_total``             counter    ``strategy`` (hash/sort)
@@ -60,6 +62,7 @@ __all__ = [
     "record_cache_eviction",
     "record_cache_lookup",
     "record_cancellation",
+    "record_columnar_batch",
     "record_cube_compute",
     "record_degradation",
     "record_groupby",
@@ -120,6 +123,19 @@ def record_cube_compute(stats: "ComputeStats", duration_s: float, *,
     REGISTRY.counter("repro_cube_sort_spills_total",
                      help="partitions spilled out of memory"
                      ).inc(stats.spills)
+
+
+def record_columnar_batch(backend: str, route: str, rows: int) -> None:
+    """The columnar algorithm batched one task's rows into typed
+    columns (``backend``: numpy/python; ``route``: dense/sparse)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_columnar_batches_total",
+                     help="columnar batches by backend and route",
+                     backend=backend, route=route).inc()
+    REGISTRY.counter("repro_columnar_rows_batched_total",
+                     help="rows batched into typed columns",
+                     backend=backend).inc(rows)
 
 
 def record_groupby(strategy: str, rows: int, groups: int) -> None:

@@ -199,7 +199,10 @@ class SQLSession:
     ``algorithm`` pins the cube algorithm for grouped queries (a name
     from :data:`repro.compute.optimizer.ALGORITHMS`) instead of letting
     the optimizer choose -- the knob EXPLAIN ANALYZE uses to profile
-    one strategy against another on the same query.
+    one strategy against another on the same query.  ``dense_budget``
+    (cells) caps the Section 5 dense-array allocation the optimizer may
+    commit to (array algorithm, columnar dense route); above it the
+    sparse strategies take over.
 
     ``statement_timeout`` (seconds) gives every statement a deadline: a
     statement still running when it expires raises
@@ -223,6 +226,7 @@ class SQLSession:
                  algorithm: str | None = None,
                  statement_timeout: float | None = None,
                  memory_budget: int | None = None,
+                 dense_budget: int = 1 << 20,
                  cache: Any | None = None) -> None:
         if statement_timeout is not None and statement_timeout < 0:
             raise ResilienceError(
@@ -230,6 +234,9 @@ class SQLSession:
         if memory_budget is not None and memory_budget < 1:
             raise ResilienceError(
                 f"memory_budget must be at least 1 cell, got {memory_budget}")
+        if dense_budget < 1:
+            raise ResilienceError(
+                f"dense_budget must be at least 1 cell, got {dense_budget}")
         self.catalog = catalog if catalog is not None else Catalog()
         self.registry = registry or default_registry
         self.null_mode = null_mode
@@ -237,6 +244,7 @@ class SQLSession:
         self.algorithm = algorithm
         self.statement_timeout = statement_timeout
         self.memory_budget = memory_budget
+        self.dense_budget = dense_budget
         self.cache = cache
 
     def register(self, name: str, table: Table, *,
@@ -509,7 +517,8 @@ class SQLSession:
                               f"~ {expected} (sparse estimate, "
                               f"T={len(task.rows)})"))
                 steps.append((f"{prefix}algorithm",
-                              explain_choice(task)))
+                              explain_choice(
+                                  task, dense_budget=self.dense_budget)))
         if select.having is not None:
             steps.append((f"{prefix}having", repr(select.having)))
         if select.distinct:
@@ -869,7 +878,8 @@ class SQLSession:
                 algorithm = (make_algorithm(self.algorithm)
                              if self.algorithm
                              else choose_algorithm(
-                                 task, memory_budget=self.memory_budget))
+                                 task, memory_budget=self.memory_budget,
+                                 dense_budget=self.dense_budget))
                 grouped = algorithm.compute(task).table
 
         # rewrite select/having expressions against the grouped schema

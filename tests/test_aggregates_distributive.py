@@ -1,7 +1,10 @@
 """Distributive aggregates: lifecycle, merge (G = F except COUNT where
 G = SUM), maintenance profiles, the Section 6 delete asymmetry."""
 
+import math
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.aggregates import (
     ALGEBRAIC,
@@ -34,6 +37,14 @@ class TestCount:
         fn = Count()
         handle, ok = fn.unapply(3, "anything")
         assert ok and handle == 2
+
+    def test_unapply_underflow_declines(self):
+        # regression: a replayed delete (chaos retry) used to drive the
+        # count to -1; it must floor at zero and force a recompute
+        handle, ok = Count().unapply(0, "anything")
+        assert handle == 0 and not ok
+        handle, ok = CountStar().unapply(0, "anything")
+        assert handle == 0 and not ok
 
     def test_classification(self):
         assert Count().classification is DISTRIBUTIVE
@@ -127,6 +138,40 @@ class TestMinMax:
     def test_update_profile_is_worst_of_insert_delete(self):
         assert Max().maintenance.update is HOLISTIC
         assert Sum().maintenance.update is DISTRIBUTIVE
+
+
+class TestExtremeNaN:
+    """Regression: NaN compares False against everything, so a NaN that
+    arrived *after* the current extreme used to stick in the scratchpad
+    forever -- and whether it stuck depended on input order."""
+
+    def test_nan_never_participates(self):
+        nan = float("nan")
+        assert not Min().accepts(nan)
+        assert not Max().accepts(nan)
+        assert Min().aggregate([3.0, nan, 1.0]) == 1.0
+        assert Max().aggregate([nan, 3.0, 1.0]) == 3.0
+
+    def test_all_nan_is_null(self):
+        nan = float("nan")
+        assert Min().aggregate([nan, nan]) is None
+        assert Max().aggregate([nan]) is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(
+        st.one_of(st.floats(-1e6, 1e6, allow_nan=False),
+                  st.just(float("nan"))),
+        min_size=1, max_size=12),
+        seed=st.randoms())
+    def test_result_is_order_independent(self, values, seed):
+        """Any permutation yields the same extreme: NaN position must
+        not matter (the historical bug was order-dependent poisoning)."""
+        shuffled = list(values)
+        seed.shuffle(shuffled)
+        reals = [v for v in values if not math.isnan(v)]
+        for fn, expected in ((Min(), min(reals, default=None)),
+                             (Max(), max(reals, default=None))):
+            assert fn.aggregate(values) == fn.aggregate(shuffled) == expected
 
 
 class TestMergeability:

@@ -87,6 +87,39 @@ class TestPercentile:
     def test_empty_is_null(self):
         assert Percentile(50).aggregate([]) is None
 
+    def test_fraction_scale_boundaries(self):
+        # p=0.0 is min, p=1.0 is max -- the fraction scale admits both
+        # exact endpoints, which the (0, 100] percent scale cannot
+        values = [3, 1, 4, 1, 5]
+        assert Percentile(0.0, scale="fraction").aggregate(values) == 1
+        assert Percentile(1.0, scale="fraction").aggregate(values) == 5
+        with pytest.raises(AggregateError):
+            Percentile(1.5, scale="fraction")
+        with pytest.raises(AggregateError):
+            Percentile(-0.1, scale="fraction")
+
+    def test_linear_interpolation(self):
+        fn = Percentile(0.5, scale="fraction", interpolation="linear")
+        assert fn.aggregate([1, 2, 3, 4]) == 2.5
+
+    def test_linear_p1_clamps_to_last_element(self):
+        # regression: p=1.0 put the exact position on the last order
+        # statistic, and the unclamped floor+1 upper bracket read one
+        # past the end of the sorted scratchpad (IndexError)
+        fn = Percentile(1.0, scale="fraction", interpolation="linear")
+        assert fn.aggregate([10, 30, 20]) == 30
+
+    def test_linear_p0_is_min(self):
+        fn = Percentile(0.0, scale="fraction", interpolation="linear")
+        assert fn.aggregate([10, 30, 20]) == 10
+
+    def test_single_element_any_p(self):
+        for p in (0.0, 0.5, 1.0):
+            for interpolation in ("nearest", "linear"):
+                fn = Percentile(p, scale="fraction",
+                                interpolation=interpolation)
+                assert fn.aggregate([42]) == 42
+
 
 class TestCountDistinct:
     def test_counts_distinct(self):

@@ -3,7 +3,7 @@
 Every algorithm must produce the identical bag of cube rows on any
 input -- the central correctness property.  hypothesis generates random
 relations (dimension counts, cardinalities, NULLs, duplicates) and the
-suite cross-checks all seven algorithms against the naive union.
+suite cross-checks every algorithm against the naive union.
 """
 
 import pytest
@@ -13,6 +13,7 @@ from repro import Table
 from repro.aggregates import Average, Count, CountStar, Max, Median, Min, Sum
 from repro.compute import (
     ArrayCubeAlgorithm,
+    ColumnarCubeAlgorithm,
     ExternalCubeAlgorithm,
     FromCoreAlgorithm,
     NaiveUnionAlgorithm,
@@ -21,6 +22,7 @@ from repro.compute import (
     TwoNAlgorithm,
     build_task,
 )
+from repro.compute.columnar import HAVE_NUMPY
 from repro.core.grouping import cube_sets, rollup_sets
 from repro.engine.groupby import AggregateSpec
 
@@ -33,6 +35,9 @@ MERGEABLE_ALGORITHMS = [
     PipeSortAlgorithm(),
     ExternalCubeAlgorithm(memory_budget=4),
     ParallelCubeAlgorithm(n_workers=3, use_threads=False),
+    ColumnarCubeAlgorithm(),
+    ColumnarCubeAlgorithm(mode="dense"),
+    ColumnarCubeAlgorithm(mode="sparse", force_python=True),
 ]
 
 
@@ -119,6 +124,122 @@ class TestCrossAlgorithmEquivalence:
         for algorithm in MERGEABLE_ALGORITHMS:
             assert algorithm.compute(task).table.equals_bag(reference), \
                 algorithm.name
+
+
+def _bit_rows(table):
+    """Rows as (type-name, repr) pairs, sorted: repr of a float is its
+    shortest round-trip form, so equal pairs means bit-identical values
+    and no silent int/float coercion between algorithms."""
+    return sorted(tuple((type(v).__name__, repr(v)) for v in row)
+                  for row in table.rows)
+
+
+class TestColumnarBitIdentity:
+    """The adversarial workload from the columnar bugfix sweep: NaN
+    floats, NULL measures, all-NULL (empty) groups, and a distributive +
+    holistic aggregate mix.  Every algorithm pair -- columnar included,
+    on both backends and both routes -- must be *bit-identical*, not
+    just bag-equal."""
+
+    NAN = float("nan")
+    ROWS = [
+        ("a", "x", 1.5, 10),
+        ("a", "x", NAN, None),     # NaN must not poison MIN/MAX
+        ("a", "y", -2.25, 3),
+        ("b", "x", NAN, 7),
+        ("b", None, 0.5, None),    # NULL dimension value
+        ("b", "y", None, -4),      # NULL measure
+        (None, "y", 3.75, 12),
+        ("c", "x", NAN, None),     # group whose MIN/MAX/SUM are all NULL
+        ("c", "x", None, None),
+        ("a", "x", 1.5, 10),       # exact duplicate row
+        ("d", "y", 2.0, 5),        # integral floats: MIN/MAX/SUM must
+        ("d", "y", 4.0, None),     # come back 2.0/4.0/6.0, never 2/4/6
+    ]
+
+    def _task(self, specs):
+        table = Table([("d0", "STRING"), ("d1", "STRING"),
+                       ("f", "FLOAT"), ("x", "INTEGER")], self.ROWS)
+        return build_task(table, ["d0", "d1"], specs, cube_sets(2))
+
+    def _specs(self):
+        return [AggregateSpec(Sum(), "x", "s"),
+                AggregateSpec(Sum(), "f", "fs"),
+                AggregateSpec(Min(), "f", "lo"),
+                AggregateSpec(Max(), "f", "hi"),
+                AggregateSpec(Count(), "f", "c"),
+                AggregateSpec(CountStar(), "*", "n"),
+                AggregateSpec(Average(), "x", "avg"),
+                AggregateSpec(Median(carrying=True), "x", "med")]
+
+    def test_all_algorithm_pairs_bit_identical(self):
+        task = self._task(self._specs())
+        results = {"naive": _bit_rows(
+            NaiveUnionAlgorithm().compute(task).table)}
+        for algorithm in MERGEABLE_ALGORITHMS:
+            key = f"{algorithm.name}:{id(algorithm)}"
+            results[key] = _bit_rows(algorithm.compute(task).table)
+        reference = results["naive"]
+        for key, rows in results.items():
+            assert rows == reference, f"{key} diverged from naive union"
+
+    def test_columnar_residual_notes(self):
+        """Median has no vector kernel, so columnar must take the
+        residual path for it and still agree."""
+        task = self._task(self._specs())
+        result = ColumnarCubeAlgorithm().compute(task)
+        assert result.stats.notes.get("residual") == ["MEDIAN"]
+
+    def test_empty_input_all_algorithms(self):
+        table = Table([("d0", "STRING"), ("d1", "STRING"),
+                       ("f", "FLOAT"), ("x", "INTEGER")])
+        task = build_task(table, ["d0", "d1"], self._specs(), cube_sets(2))
+        reference = _bit_rows(NaiveUnionAlgorithm().compute(task).table)
+        for algorithm in MERGEABLE_ALGORITHMS:
+            assert _bit_rows(algorithm.compute(task).table) == reference
+
+    def test_mixed_int_float_column_stays_exact(self):
+        """A measure column mixing int- and float-typed values: the
+        winner's *type* in MIN/MAX depends on which value won, which a
+        float64 buffer can't represent -- so the numpy backend must
+        route extremes through the exact row path (SUM stays
+        vectorized: any float in a group makes the row path's sum a
+        float, which the kernels reproduce)."""
+        rows = [("a", "x", 2, 1), ("a", "x", 3.0, 2), ("a", "y", 2.0, 3),
+                ("b", "x", 5, 4), ("b", "x", 1.5, 5), ("b", "y", 7, 6)]
+        table = Table([("d0", "STRING"), ("d1", "STRING"),
+                       ("m", "ANY"), ("x", "INTEGER")], rows)
+        specs = [AggregateSpec(Min(), "m", "lo"),
+                 AggregateSpec(Max(), "m", "hi"),
+                 AggregateSpec(Sum(), "m", "s")]
+        task = build_task(table, ["d0", "d1"], specs, cube_sets(2))
+        reference = _bit_rows(FromCoreAlgorithm().compute(task).table)
+        for mode in ("sparse", "dense"):
+            for force_python in (False, True):
+                algorithm = ColumnarCubeAlgorithm(
+                    mode=mode, force_python=force_python)
+                assert _bit_rows(algorithm.compute(task).table) == \
+                    reference, (mode, force_python)
+        if HAVE_NUMPY:
+            result = ColumnarCubeAlgorithm().compute(task)
+            assert result.stats.notes.get("residual") == ["MIN", "MAX"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=random_tables())
+    def test_columnar_matches_from_core_bitwise(self, data):
+        n_dims, rows = data
+        specs = [AggregateSpec(Sum(), "x", "s"),
+                 AggregateSpec(Min(), "x", "lo"),
+                 AggregateSpec(Average(), "x", "avg"),
+                 AggregateSpec(CountStar(), "*", "n")]
+        task = build(n_dims, rows, specs)
+        reference = _bit_rows(FromCoreAlgorithm().compute(task).table)
+        for mode in ("sparse", "dense"):
+            for force_python in (False, True):
+                algorithm = ColumnarCubeAlgorithm(
+                    mode=mode, force_python=force_python)
+                assert _bit_rows(algorithm.compute(task).table) == \
+                    reference, (mode, force_python)
 
 
 class TestStructuralInvariants:

@@ -78,6 +78,13 @@ def _trigger_addressing_error():
     view.v("p", "too", "many")
 
 
+def _trigger_mixed_type_column():
+    from repro import Table, agg, cube
+    table = Table([("d", "STRING"), ("x", "ANY")],
+                  [("p", 1), ("p", "mixed")])
+    cube(table, ["d"], [agg("MIN", "x", "m")], algorithm="sort")
+
+
 def _trigger_decoration_error():
     from repro.core.decorations import Decoration
     Decoration("nation", (), {})
@@ -199,6 +206,7 @@ TRIGGERS = {
     errors.UnknownAggregateError: _trigger_unknown_aggregate,
     errors.CubeError: _trigger_cube_error,
     errors.AddressingError: _trigger_addressing_error,
+    errors.MixedTypeColumnError: _trigger_mixed_type_column,
     errors.DecorationError: _trigger_decoration_error,
     errors.MaintenanceError: _trigger_maintenance_error,
     errors.DeleteRequiresRecomputeError: _trigger_delete_requires_recompute,

@@ -137,6 +137,21 @@ class TestDelete:
         mc.delete(("Chevy", 1994, "black", 50))
         assert mc.value(ALL, ALL, ALL) == 460
 
+    def test_replayed_delete_never_drives_count_negative(self):
+        # regression: a replayed delete (a chaos-injected retry) used to
+        # unapply COUNT below zero.  It must decline at zero -- without
+        # the retained base that surfaces as DeleteRequiresRecompute and
+        # rolls the whole walk back, leaving the cube consistent.
+        table = Table([("g", "STRING"), ("x", "INTEGER")],
+                      [("p", 5), ("p", None), ("p", None)])
+        mc = MaterializedCube(table, ["g"], [agg("COUNT", "x", "c")],
+                              retain_base=False)
+        mc.delete(("p", 5))
+        assert mc.value("p") == 0
+        with pytest.raises(DeleteRequiresRecomputeError):
+            mc.delete(("p", 5))  # the replay
+        assert mc.value("p") == 0  # rollback left the cell intact
+
 
 class TestUpdate:
     def test_update_is_delete_plus_insert(self, base):
