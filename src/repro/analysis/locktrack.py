@@ -1,0 +1,220 @@
+"""Runtime lock-order sanitizer for the serve layer.
+
+The static rules prove lock *syntax* discipline (S007/S008); this
+module watches lock *dynamics*.  A :class:`LockTracker` receives
+``note_acquire``/``note_release`` events from instrumented locks (the
+serve layer's :class:`~repro.serve.server.VersionedRWLock`, the cuboid
+cache's RLock, the connection-set lock) and maintains, per thread, the
+stack of locks currently held.  From those stacks it derives:
+
+- the **order graph**: a directed edge ``A -> B`` whenever some thread
+  acquired ``B`` while holding ``A``, remembered with the first
+  acquisition site.  A cycle in this graph (``A -> B`` and ``B -> A``)
+  means two threads *can* deadlock, even if this run got lucky with
+  timing -- exactly the classic lock-order-inversion check;
+- **held-across-blocking** hazards: ``note_blocking`` marks blocking
+  operations (socket recv/send in the wire protocol); performing one
+  while any tracked lock is held would let one stalled client starve
+  every other connection.
+
+The tracker is a passive observer: it never blocks, never changes lock
+behaviour, and costs one dict lookup per event when installed (a
+module-level ``None`` check when not).  Tests enable it by setting
+``REPRO_SANITIZE=1`` (see ``tests/conftest.py``); violations collected
+during a test fail that test with the full cycle/hazard report.
+
+Re-entrant acquisition of the same lock (RLock semantics) is recognised
+and never creates a self-edge.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["LockOrderViolation", "LockTracker", "current", "install",
+           "uninstall", "note_acquire", "note_release", "note_blocking"]
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """One detected hazard, with enough context to fix it."""
+
+    kind: str            # "order-cycle" | "held-across-blocking"
+    message: str         # human-readable report naming the locks
+    locks: tuple[str, ...]  # the locks involved, in report order
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class _ThreadState:
+    held: list[str] = field(default_factory=list)
+
+
+def _site() -> str:
+    """Cheap acquisition-site label: thread name only.
+
+    Walking the Python stack per acquisition would dominate lock cost;
+    the thread name plus the edge endpoints has been enough to locate
+    every ordering bug this tracker is meant to catch.
+    """
+    return threading.current_thread().name
+
+
+class LockTracker:
+    """Collects lock events and derives ordering violations."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._threads: dict[int, _ThreadState] = {}
+        # (held, acquired) -> description of where the edge first arose
+        self._edges: dict[tuple[str, str], str] = {}
+        self.violations: list[LockOrderViolation] = []
+
+    # -- event intake ------------------------------------------------------
+
+    def note_acquire(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            state = self._threads.setdefault(ident, _ThreadState())
+            for held in state.held:
+                if held == name:   # re-entrant acquire: no self-edge
+                    continue
+                edge = (held, name)
+                if edge not in self._edges:
+                    self._edges[edge] = (
+                        f"thread {_site()!r} acquired {name!r} while "
+                        f"holding {held!r}")
+                    self._check_cycle(held, name)
+            state.held.append(name)
+
+    def note_release(self, name: str) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            state = self._threads.get(ident)
+            if state is None:
+                return
+            # release the innermost matching hold (LIFO, tolerant of
+            # out-of-order releases)
+            for index in range(len(state.held) - 1, -1, -1):
+                if state.held[index] == name:
+                    del state.held[index]
+                    break
+
+    def note_blocking(self, operation: str) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            state = self._threads.get(ident)
+            if state is None or not state.held:
+                return
+            held = tuple(dict.fromkeys(state.held))
+            self.violations.append(LockOrderViolation(
+                kind="held-across-blocking",
+                message=(f"blocking operation {operation!r} performed "
+                         f"by thread {_site()!r} while holding "
+                         f"{', '.join(repr(h) for h in held)}; a "
+                         "stalled peer would hold the lock for the "
+                         "full socket timeout"),
+                locks=held))
+
+    # -- analysis ----------------------------------------------------------
+
+    def _check_cycle(self, held: str, acquired: str) -> None:
+        """Adding held->acquired: does 'acquired' already reach 'held'?
+
+        Called with ``_mutex`` taken.  DFS over the (tiny) edge set.
+        """
+        stack, seen = [acquired], set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for (src, dst), where in self._edges.items():
+                if src != node or (src, dst) == (held, acquired):
+                    continue
+                if dst == held:
+                    cycle = (f"{held!r} -> {acquired!r} "
+                             f"({self._edges[(held, acquired)]}) and "
+                             f"{acquired!r} ..-> {held!r} ({where})")
+                    self.violations.append(LockOrderViolation(
+                        kind="order-cycle",
+                        message=(f"lock-order cycle between {held!r} "
+                                 f"and {acquired!r}: {cycle}; two "
+                                 "threads taking these locks in "
+                                 "opposite orders can deadlock"),
+                        locks=(held, acquired)))
+                    return
+                stack.append(dst)
+
+    # -- reporting ---------------------------------------------------------
+
+    def held_by_current_thread(self) -> tuple[str, ...]:
+        with self._mutex:
+            state = self._threads.get(threading.get_ident())
+            return tuple(state.held) if state else ()
+
+    def edge_count(self) -> int:
+        with self._mutex:
+            return len(self._edges)
+
+    def drain_violations(self) -> list[LockOrderViolation]:
+        """Return collected violations and reset the list (edges and
+        held-stacks are kept: ordering knowledge spans tests)."""
+        with self._mutex:
+            out, self.violations = self.violations, []
+            return out
+
+    def report(self) -> str:
+        with self._mutex:
+            if not self.violations:
+                return "lock sanitizer: clean"
+            lines = [f"lock sanitizer: {len(self.violations)} "
+                     "violation(s)"]
+            lines += [f"  - {violation}"
+                      for violation in self.violations]
+            return "\n".join(lines)
+
+
+# -- process-global installation ----------------------------------------------
+#
+# The serve layer calls the module-level note_* helpers; when no tracker
+# is installed they cost one global load and a None check.
+
+_TRACKER: Optional[LockTracker] = None
+
+
+def install(tracker: Optional[LockTracker] = None) -> LockTracker:
+    """Install (and return) the process-global tracker."""
+    global _TRACKER
+    if tracker is None:
+        tracker = LockTracker()
+    _TRACKER = tracker
+    return tracker
+
+
+def uninstall() -> None:
+    global _TRACKER
+    _TRACKER = None
+
+
+def current() -> Optional[LockTracker]:
+    return _TRACKER
+
+
+def note_acquire(name: str) -> None:
+    if _TRACKER is not None:
+        _TRACKER.note_acquire(name)
+
+
+def note_release(name: str) -> None:
+    if _TRACKER is not None:
+        _TRACKER.note_release(name)
+
+
+def note_blocking(operation: str) -> None:
+    if _TRACKER is not None:
+        _TRACKER.note_blocking(operation)

@@ -1,0 +1,196 @@
+"""The analyzer's view of the source tree.
+
+An :class:`AnalysisProject` bundles everything the S-rules need to
+cross-reference:
+
+- the **target files** (parsed ASTs + raw source of every ``.py`` file
+  under the paths being analyzed);
+- the **project root** (auto-detected by walking up from the first
+  target until a marker file -- ``pyproject.toml``, ``.git``,
+  ``ROADMAP.md`` -- appears, or passed explicitly);
+- the **documentation** the catalogue rules diff against
+  (``docs/OBSERVABILITY.md`` for S002/S003);
+- the **test sources** the coverage rules consult (S004's error
+  taxonomy, S009's chaos matrix);
+- the **errors module** (``src/repro/errors.py``) whose class set S004
+  treats as the public exception taxonomy.
+
+Everything is loaded once, up front, so rules are pure functions of the
+project -- no filesystem access inside a rule, which keeps the fixture
+tests hermetic.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import AnalysisError
+
+__all__ = ["SourceFile", "AnalysisProject", "find_project_root"]
+
+#: Files whose presence marks a project root, in probe order.
+ROOT_MARKERS = ("pyproject.toml", ".git", "ROADMAP.md", "setup.py")
+
+#: Directory names never descended into while collecting targets.
+SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache",
+             ".ruff_cache", ".pytest_cache"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed target file."""
+
+    path: Path                      # absolute
+    rel: str                        # project-root-relative, "/"-separated
+    source: str
+    tree: Optional[ast.AST]         # None when the file failed to parse
+    parse_error: str = ""
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """1-based line contents ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from ``start`` to the nearest directory containing a
+    root marker; fall back to ``start`` itself (its parent for files)."""
+    base = start if start.is_dir() else start.parent
+    probe = base.resolve()
+    for candidate in [probe, *probe.parents]:
+        if any((candidate / marker).exists() for marker in ROOT_MARKERS):
+            return candidate
+    return base.resolve()
+
+
+def _iter_py_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield Path(dirpath) / name
+
+
+def _load(path: Path, rel: str) -> SourceFile:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree: Optional[ast.AST] = ast.parse(source, filename=str(path))
+        error = ""
+    except SyntaxError as exc:
+        tree, error = None, f"{exc.msg} (line {exc.lineno})"
+    return SourceFile(path=path, rel=rel, source=source, tree=tree,
+                      parse_error=error)
+
+
+class AnalysisProject:
+    """Targets + cross-reference material for one analyzer run."""
+
+    #: Relative path of the catalogue document S002/S003 diff against.
+    OBSERVABILITY_DOC = "docs/OBSERVABILITY.md"
+    #: Relative path of the exception taxonomy module.
+    ERRORS_MODULE = "src/repro/errors.py"
+    #: Relative path of the taxonomy coverage test.
+    TAXONOMY_TEST = "tests/test_error_taxonomy.py"
+    #: Test-file name prefixes that make up the chaos matrix (S009).
+    CHAOS_TEST_PREFIXES = ("test_chaos", "test_serve_chaos",
+                          "test_resilience")
+
+    def __init__(self, paths: Iterable[Path | str], *,
+                 root: Path | str | None = None) -> None:
+        resolved = [Path(p).resolve() for p in paths]
+        missing = [p for p in resolved if not p.exists()]
+        if missing:
+            raise AnalysisError(
+                f"no such file or directory: {missing[0]}")
+        if not resolved:
+            raise AnalysisError("no paths to analyze")
+        self.root = (Path(root).resolve() if root is not None
+                     else find_project_root(resolved[0]))
+        self.files: list[SourceFile] = []
+        seen: set[Path] = set()
+        for path in resolved:
+            for py in _iter_py_files(path):
+                if py in seen:
+                    continue
+                seen.add(py)
+                self.files.append(_load(py, self._rel(py)))
+
+        self.docs: dict[str, str] = {}
+        doc = self.root / self.OBSERVABILITY_DOC
+        if doc.is_file():
+            self.docs[self.OBSERVABILITY_DOC] = doc.read_text(
+                encoding="utf-8")
+
+        self.test_sources: dict[str, str] = {}
+        tests_dir = self.root / "tests"
+        if tests_dir.is_dir():
+            for py in sorted(tests_dir.glob("test_*.py")):
+                self.test_sources[py.name] = py.read_text(encoding="utf-8")
+
+        self.errors_file: Optional[SourceFile] = None
+        errors_path = self.root / self.ERRORS_MODULE
+        if errors_path.is_file():
+            self.errors_file = _load(errors_path,
+                                     self._rel(errors_path))
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- conveniences used by several rules --------------------------------
+
+    def parsed(self) -> Iterator[SourceFile]:
+        """Target files that parsed cleanly."""
+        return (f for f in self.files if f.tree is not None)
+
+    def in_package(self, *parts: str) -> Iterator[SourceFile]:
+        """Parsed targets whose relative path contains ``/part/`` for
+        any of ``parts`` (e.g. ``in_package("serve", "compute")``)."""
+        for file in self.parsed():
+            segments = file.rel.split("/")
+            if any(part in segments for part in parts):
+                yield file
+
+    def doc_text(self) -> str:
+        """The observability catalogue text ('' when absent)."""
+        return self.docs.get(self.OBSERVABILITY_DOC, "")
+
+    def doc_lines(self) -> list[str]:
+        return self.doc_text().splitlines()
+
+    def chaos_test_text(self) -> str:
+        """Concatenated chaos/resilience test sources (S009)."""
+        return "\n".join(
+            text for name, text in sorted(self.test_sources.items())
+            if name.startswith(self.CHAOS_TEST_PREFIXES))
+
+    def taxonomy_test_text(self) -> str:
+        return self.test_sources.get(Path(self.TAXONOMY_TEST).name, "")
+
+    def error_class_names(self) -> set[str]:
+        """Exception classes defined by the taxonomy module."""
+        if self.errors_file is None or self.errors_file.tree is None:
+            return set()
+        return {node.name
+                for node in ast.walk(self.errors_file.tree)
+                if isinstance(node, ast.ClassDef)}
+
+    def __repr__(self) -> str:
+        return (f"<AnalysisProject root={self.root} "
+                f"files={len(self.files)}>")

@@ -1,0 +1,55 @@
+"""Shared plumbing for the ``repro`` command-line tools.
+
+``python -m repro.lint`` (query linter) and ``python -m repro.analysis``
+(engine invariant analyzer) deliberately present the same surface:
+
+- the same ``--format json|text`` flag (:func:`add_format_argument`);
+- the same ``--rules CODES`` selection semantics
+  (:func:`parse_rule_selection`): absent means *all* rules, while an
+  explicitly empty selection (``--rules ""`` or ``--rules ,``) is a
+  usage error -- silently running zero rules would report "clean" for a
+  run that checked nothing;
+- the same stable exit codes: ``0`` no error findings (warnings
+  allowed), ``1`` error findings, ``2`` usage problems (bad flag,
+  unreadable path, unknown or empty rule selection) -- reported as a
+  one-line message, never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.errors import CLIUsageError
+
+__all__ = ["EXIT_OK", "EXIT_FINDINGS", "EXIT_USAGE", "CLIUsageError",
+           "add_format_argument", "parse_rule_selection"]
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_format_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--format json|text`` flag shared by both CLIs."""
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+
+
+def parse_rule_selection(text: Optional[str]) -> Optional[list[str]]:
+    """Parse a ``--rules`` value into a code list.
+
+    ``None`` (flag absent) selects every rule and returns ``None``.  An
+    explicitly empty selection raises :class:`CLIUsageError`: a run
+    that executes zero rules can only ever say "clean", which is a lie
+    waiting for a CI pipeline to believe it.
+    """
+    if text is None:
+        return None
+    codes = [code.strip().upper() for code in text.split(",")
+             if code.strip()]
+    if not codes:
+        raise CLIUsageError(
+            "--rules selected no rules; pass at least one code "
+            "(e.g. --rules S001,S007) or drop the flag to run all")
+    return codes

@@ -89,7 +89,8 @@ class ArrayCubeAlgorithm(CubeAlgorithm):
 
     def __init__(self, projection_order: str = "smallest") -> None:
         if projection_order not in ("smallest", "largest"):
-            raise ValueError("projection_order must be smallest|largest, "
+            # constructor-arg validation, documented as ValueError
+            raise ValueError("projection_order must be smallest|largest, "  # repro: allow-S004
                              f"got {projection_order!r}")
         self.projection_order = projection_order
 

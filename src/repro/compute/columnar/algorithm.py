@@ -84,9 +84,10 @@ class ColumnarCubeAlgorithm(CubeAlgorithm):
                  projection_order: str = "smallest",
                  force_python: bool = False) -> None:
         if mode not in ("auto", "dense", "sparse"):
-            raise ValueError(f"mode must be auto|dense|sparse, got {mode!r}")
+            # constructor-arg validation, documented as ValueError
+            raise ValueError(f"mode must be auto|dense|sparse, got {mode!r}")  # repro: allow-S004
         if projection_order not in ("smallest", "largest"):
-            raise ValueError("projection_order must be smallest|largest, "
+            raise ValueError("projection_order must be smallest|largest, "  # repro: allow-S004
                              f"got {projection_order!r}")
         self.dense_budget = dense_budget
         self.mode = mode

@@ -179,7 +179,8 @@ class ColumnBatch:
         lengths = {len(vals) for vals in list(dim_columns.values())
                    + list(agg_columns.values())}
         if len(lengths) > 1:
-            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+            # caller-contract violation, documented as ValueError
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")  # repro: allow-S004
         n_rows = lengths.pop() if lengths else 0
         dims = [DictEncodedColumn(name, *_encode(values))
                 for name, values in dim_columns.items()]

@@ -136,6 +136,7 @@ class FromCoreAlgorithm(CubeAlgorithm):
 
     def __init__(self, parent_choice: str = "smallest") -> None:
         if parent_choice not in ("smallest", "first"):
+            # repro: allow-S004 -- constructor-arg validation (ValueError)
             raise ValueError(
                 f"parent_choice must be smallest|first, got {parent_choice!r}")
         self.parent_choice = parent_choice

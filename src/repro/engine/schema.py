@@ -35,10 +35,12 @@ class Column:
 
     def __post_init__(self) -> None:
         if not self.name:
+            # repro: allow-S004 -- construction-time misuse (ValueError)
             raise ValueError("column name must be non-empty")
         if isinstance(self.dtype, str):
             object.__setattr__(self, "dtype", DataType(self.dtype.upper()))
         elif not isinstance(self.dtype, DataType):
+            # repro: allow-S004 -- construction-time misuse (TypeError)
             raise TypeError(f"dtype must be a DataType, got {self.dtype!r}")
 
     def validate(self, value: Any) -> None:
@@ -86,6 +88,7 @@ class Schema:
             elif isinstance(item, tuple):
                 normalized.append(Column(*item))
             else:
+                # repro: allow-S004 -- construction-time misuse (TypeError)
                 raise TypeError(f"cannot build a Column from {item!r}")
         index: dict[str, int] = {}
         for pos, column in enumerate(normalized):

@@ -91,6 +91,12 @@ class DecorationError(CubeError):
     grouping columns (Section 3.5)."""
 
 
+class HierarchyError(ReproError):
+    """A granularity graph operation failed (unknown level, no
+    nesting path, cyclic edge) -- see
+    :mod:`repro.warehouse.hierarchy`."""
+
+
 class MaintenanceError(ReproError):
     """A materialized-cube maintenance operation failed."""
 
@@ -124,6 +130,19 @@ class SQLPlanError(SQLError):
 
 class SQLExecutionError(SQLError):
     """Plan execution failed at runtime."""
+
+
+class CLIUsageError(ReproError):
+    """A command-line invocation problem shared by the repro CLIs
+    (:mod:`repro.cliutil`): empty ``--rules`` selections and similar.
+    CLIs report the message and exit 2, never a traceback."""
+
+
+class AnalysisError(ReproError):
+    """The engine invariant analyzer (:mod:`repro.analysis`) was
+    misused: unknown rule codes, nonexistent target paths, or an empty
+    rule selection.  Findings themselves are reported as data, never
+    raised."""
 
 
 class LintError(ReproError):

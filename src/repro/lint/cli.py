@@ -13,8 +13,11 @@ Exit codes (stable, for CI gating):
 - ``0`` -- no error-severity diagnostics (warnings allowed);
 - ``1`` -- at least one error-severity diagnostic (including parse
   errors in ``.sql`` input);
-- ``2`` -- usage problems (unknown flag, unreadable file, unknown rule
-  code, ``.py`` input without ``--self-check``).
+- ``2`` -- usage problems (unknown flag, unreadable file, unknown or
+  empty rule selection, ``.py`` input without ``--self-check``).
+
+The flag surface and exit codes are shared with
+``python -m repro.analysis`` via :mod:`repro.cliutil`.
 
 ``--self-check`` mode scans Python sources for embedded SQL string
 literals (the repo's examples) and lints every statement it can parse;
@@ -30,6 +33,14 @@ import re
 import sys
 from typing import Iterable, Sequence
 
+from repro.cliutil import (
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    CLIUsageError,
+    add_format_argument,
+    parse_rule_selection,
+)
 from repro.errors import LintError
 from repro.lint.diagnostics import LintReport
 from repro.lint.engine import DEFAULT_BLOWUP_THRESHOLD, Linter
@@ -39,9 +50,7 @@ __all__ = ["main"]
 
 _SQL_LITERAL = re.compile(r"^\s*(SELECT|EXPLAIN)\b", re.IGNORECASE)
 
-EXIT_OK = 0
-EXIT_LINT_ERRORS = 1
-EXIT_USAGE = 2
+EXIT_LINT_ERRORS = EXIT_FINDINGS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,8 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rules", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text", help="output format")
+    add_format_argument(parser)
     parser.add_argument("--threshold", type=int,
                         default=DEFAULT_BLOWUP_THRESHOLD,
                         help="C009 cube-size blow-up threshold "
@@ -123,13 +131,10 @@ def main(argv: Sequence[str] | None = None) -> int:
               file=sys.stderr)
         return EXIT_USAGE
 
-    rules = None
-    if args.rules:
-        rules = [code.strip() for code in args.rules.split(",")
-                 if code.strip()]
     try:
+        rules = parse_rule_selection(args.rules)
         linter = Linter(rules=rules, blowup_threshold=args.threshold)
-    except LintError as error:
+    except (CLIUsageError, LintError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
 

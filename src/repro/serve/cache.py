@@ -45,15 +45,21 @@ share a single cache instance behind it.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
+from repro.analysis import locktrack
 from repro.compute.view_selection import PartialCube
 from repro.core.grouping import Mask
 from repro.engine.schema import Schema
 from repro.engine.table import Table
-from repro.errors import NotMergeableError, ResourceBudgetExceededError
+from repro.errors import (
+    NotMergeableError,
+    ResourceBudgetExceededError,
+    ServeError,
+)
 from repro.obs import instrument, trace
 from repro.resilience import context as rctx
 from repro.resilience.context import ExecutionContext
@@ -156,6 +162,19 @@ class CuboidCache:
                          "admitted": 0, "rejected": 0,
                          "evicted_space": 0, "evicted_invalidated": 0}
 
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """The cache lock with lock-order sanitizer bookkeeping.
+
+        Re-entrant like the RLock it wraps; the sanitizer recognises
+        nested acquires and records no self-edge."""
+        with self._lock:
+            locktrack.note_acquire("serve.cache")
+            try:
+                yield
+            finally:
+                locktrack.note_release("serve.cache")
+
     # -- public surface ----------------------------------------------------
 
     def serve(self, *, table: Table, source: SourceSignature,
@@ -173,7 +192,7 @@ class CuboidCache:
             self.counters["bypasses"] += 1
             instrument.record_cache_lookup("bypass")
             return None
-        with self._lock:
+        with self._locked():
             self._clock += 1
             entry = self._probe(source, dim_sigs, agg_sigs)
             if entry is not None:
@@ -191,7 +210,7 @@ class CuboidCache:
         :meth:`watch` listeners call it)."""
         key = name.upper()
         dropped = 0
-        with self._lock:
+        with self._locked():
             for entry_key in list(self._entries):
                 entry = self._entries[entry_key]
                 if any(table_name == key
@@ -208,18 +227,18 @@ class CuboidCache:
             lambda op: self.invalidate_table(table_name))
 
     def stats(self) -> dict:
-        with self._lock:
+        with self._locked():
             return {**self.counters,
                     "entries": len(self._entries),
                     "resident_cells": self._accountant.resident_cells}
 
     def clear(self) -> None:
-        with self._lock:
+        with self._locked():
             for entry_key in list(self._entries):
                 self._evict(entry_key, reason="invalidated")
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._locked():
             return len(self._entries)
 
     # -- probe / answer ----------------------------------------------------
@@ -330,7 +349,7 @@ class CuboidCache:
         names = list(dim_names) + list(agg_names)
         template = strata[0] if strata else None
         if template is None:
-            raise ValueError("no strata to project")
+            raise ServeError("no strata to project")
         schema = Schema([template.schema.columns[i].renamed(name)
                          for i, name in zip(indexes, names)])
         out = Table(schema)

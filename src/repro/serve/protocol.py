@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 from typing import Any, BinaryIO
 
+from repro.analysis import locktrack
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.errors import ServeError
@@ -83,6 +84,7 @@ def decode_table(payload: dict) -> Table:
 
 
 def write_message(stream: BinaryIO, message: dict) -> None:
+    locktrack.note_blocking("write_message")
     stream.write(json.dumps(message, separators=(",", ":"))
                  .encode("utf-8") + b"\n")
     stream.flush()
@@ -90,6 +92,7 @@ def write_message(stream: BinaryIO, message: dict) -> None:
 
 def read_message(stream: BinaryIO) -> dict | None:
     """The next message, or ``None`` on a cleanly closed connection."""
+    locktrack.note_blocking("read_message")
     line = stream.readline()
     if not line:
         return None

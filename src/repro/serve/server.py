@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Iterator, Optional
 
+from repro.analysis import locktrack
 from repro.engine.catalog import Catalog
 from repro.errors import (
     QueryTimeoutError,
@@ -72,15 +73,20 @@ class VersionedRWLock:
         with self._cond:
             return self._version
 
+    #: Name the lock-order sanitizer tracks this lock under.
+    SANITIZER_NAME = "serve.rwlock"
+
     @contextlib.contextmanager
     def read(self) -> Iterator[None]:
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        locktrack.note_acquire(self.SANITIZER_NAME)
         try:
             yield
         finally:
+            locktrack.note_release(self.SANITIZER_NAME)
             with self._cond:
                 self._readers -= 1
                 if self._readers == 0:
@@ -94,9 +100,11 @@ class VersionedRWLock:
                 self._cond.wait()
             self._writers_waiting -= 1
             self._writer = True
+        locktrack.note_acquire(self.SANITIZER_NAME)
         try:
             yield
         finally:
+            locktrack.note_release(self.SANITIZER_NAME)
             with self._cond:
                 self._writer = False
                 self._version += 1
@@ -216,6 +224,16 @@ class QueryServer:
         self._stop = threading.Event()
         self._started = False
 
+    @contextlib.contextmanager
+    def _conn_locked(self) -> Iterator[None]:
+        """``_conn_lock`` with lock-order sanitizer bookkeeping."""
+        with self._conn_lock:
+            locktrack.note_acquire("serve.connections")
+            try:
+                yield
+            finally:
+                locktrack.note_release("serve.connections")
+
     # -- lifecycle ---------------------------------------------------------
 
     @property
@@ -254,7 +272,7 @@ class QueryServer:
     def shutdown(self) -> None:
         """Stop accepting, close live connections, join all threads."""
         self._stop.set()
-        with self._conn_lock:
+        with self._conn_locked():
             connections = list(self._connections)
         for conn in connections:
             try:
@@ -290,7 +308,7 @@ class QueryServer:
                 continue
             except OSError:
                 break
-            with self._conn_lock:
+            with self._conn_locked():
                 self._connections.add(conn)
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
@@ -329,7 +347,7 @@ class QueryServer:
                 except OSError:
                     break
         finally:
-            with self._conn_lock:
+            with self._conn_locked():
                 self._connections.discard(conn)
             try:
                 stream.close()

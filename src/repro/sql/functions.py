@@ -26,6 +26,7 @@ __all__ = ["register_builtin_functions"]
 def _coerce_datetime(value: Any) -> datetime.date | datetime.datetime:
     if isinstance(value, (datetime.datetime, datetime.date)):
         return value
+    # repro: allow-S004 -- TypeError is the signal base.py diagnoses
     raise TypeError(f"expected a date/timestamp, got {value!r}")
 
 

@@ -19,14 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import ReproError
+from repro.errors import HierarchyError
 
-__all__ = ["Granularity", "Hierarchy", "add_granularity_columns",
-           "calendar_hierarchy"]
-
-
-class HierarchyError(ReproError):
-    """A granularity graph operation failed."""
+__all__ = ["Granularity", "Hierarchy", "HierarchyError",
+           "add_granularity_columns", "calendar_hierarchy"]
 
 
 @dataclass(frozen=True)

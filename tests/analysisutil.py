@@ -1,0 +1,44 @@
+"""Fixture harness for the S-rule test modules (test_analysis_rule_*).
+
+``run_analysis`` materializes a miniature project tree under
+``tmp_path`` -- the same layout the real repo uses (``src/repro/...``,
+``docs/OBSERVABILITY.md``, ``tests/test_*.py``) -- and runs the
+analyzer over its ``src`` directory, so every rule test is a hermetic
+end-to-end: real files, real parsing, real cross-references.
+
+Assertions come from :mod:`lintutil` (``assert_fires`` /
+``assert_clean``), shared with the query-linter rule tests.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.engine import Analyzer
+from repro.analysis.project import AnalysisProject
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    """Write ``rel-path -> content`` files under ``root`` (dedented)."""
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+
+
+def make_project(tmp_path: Path, files: dict[str, str], *,
+                 analyze: tuple[str, ...] = ("src",)) -> AnalysisProject:
+    write_tree(tmp_path, files)
+    marker = tmp_path / "ROADMAP.md"
+    if not marker.exists():
+        marker.write_text("fixture project\n", encoding="utf-8")
+    return AnalysisProject([tmp_path / target for target in analyze],
+                           root=tmp_path)
+
+
+def run_analysis(tmp_path: Path, files: dict[str, str], *,
+                 rules=None, analyze: tuple[str, ...] = ("src",)):
+    """Build the fixture project and return its AnalysisReport."""
+    project = make_project(tmp_path, files, analyze=analyze)
+    return Analyzer(rules=rules).analyze(project)

@@ -1,6 +1,9 @@
-"""Shared fixtures: the paper's datasets and common helper tables."""
+"""Shared fixtures: the paper's datasets, common helper tables, and
+the opt-in lock-order sanitizer (``REPRO_SANITIZE=1``)."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -11,6 +14,43 @@ from repro.data import (
     sales_summary_table,
     weather_table,
 )
+
+#: When truthy, every test runs under the serve-layer lock sanitizer
+#: and fails on any lock-order cycle or held-across-blocking hazard.
+SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer_session():
+    """Install the process-global LockTracker for the whole run."""
+    if not SANITIZE:
+        yield
+        return
+    from repro.analysis import locktrack
+    tracker = locktrack.install()
+    try:
+        yield
+    finally:
+        locktrack.uninstall()
+    leftover = tracker.drain_violations()
+    assert not leftover, "lock sanitizer (end of session):\n" + \
+        "\n".join(f"  - {violation}" for violation in leftover)
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_check():
+    """Fail the test that produced a lock-order violation, with the
+    full cycle/hazard report."""
+    yield
+    if not SANITIZE:
+        return
+    from repro.analysis import locktrack
+    tracker = locktrack.current()
+    if tracker is None:
+        return
+    violations = tracker.drain_violations()
+    assert not violations, "lock sanitizer:\n" + "\n".join(
+        f"  - {violation}" for violation in violations)
 
 
 @pytest.fixture

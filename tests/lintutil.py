@@ -1,4 +1,9 @@
-"""Shared builders for the lint rule test modules (test_lint_rule_*)."""
+"""Shared builders and assertions for the per-rule test modules.
+
+Used by both rule families: the query linter's ``test_lint_rule_c0*``
+and the engine analyzer's ``test_analysis_rule_s0*`` (via
+``analysisutil``).  Both emit records with ``.code``/``.severity``/
+``.message``, so one harness serves both."""
 
 from __future__ import annotations
 
@@ -33,3 +38,50 @@ def sales_catalog(rows=None) -> tuple[Catalog, Table]:
 
 def codes(report) -> set[str]:
     return {d.code for d in report}
+
+
+def rule_findings(report, code: str) -> list:
+    """Every diagnostic/finding in ``report`` with ``code``."""
+    return [d for d in report if d.code == code]
+
+
+def assert_fires(report, code: str, *, count: int | None = None,
+                 severity=None, contains: str | tuple = ()) -> list:
+    """Assert the rule fired; returns its findings for further checks.
+
+    ``count`` pins the exact number of findings; ``severity`` checks
+    every finding's severity; ``contains`` asserts each given substring
+    appears in at least one finding message.
+    """
+    findings = rule_findings(report, code)
+    assert findings, (
+        f"{code} did not fire; got {sorted(codes(report))}")
+    if count is not None:
+        assert len(findings) == count, (
+            f"{code}: expected {count} finding(s), got {len(findings)}: "
+            f"{[d.message for d in findings]}")
+    if severity is not None:
+        for finding in findings:
+            assert finding.severity is severity, (
+                f"{code}: expected {severity}, got {finding.severity} "
+                f"({finding.message})")
+    if isinstance(contains, str):
+        contains = (contains,)
+    for needle in contains:
+        assert any(needle in d.message for d in findings), (
+            f"{code}: no finding message contains {needle!r}: "
+            f"{[d.message for d in findings]}")
+    return findings
+
+
+def assert_clean(report, *rule_codes: str) -> None:
+    """Assert none of ``rule_codes`` fired (all codes when empty)."""
+    if not rule_codes:
+        assert not list(report), (
+            f"expected a clean report, got {sorted(codes(report))}")
+        return
+    for code in rule_codes:
+        findings = rule_findings(report, code)
+        assert not findings, (
+            f"{code} fired unexpectedly: "
+            f"{[d.message for d in findings]}")

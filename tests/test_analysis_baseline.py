@@ -1,0 +1,71 @@
+"""The analyzer against this repository's own source: the tree must be
+clean (the CI gate), and the suppression syntax must work."""
+
+import pathlib
+
+from analysisutil import run_analysis
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestRepositoryBaseline:
+    def test_src_repro_is_clean(self):
+        """The acceptance gate: ``python -m repro.analysis src/repro``
+        exits 0 on the final tree.  Any finding here is a real
+        invariant regression -- fix the code or suppress with an
+        explicit ``# repro: allow-SXXX`` and a justification."""
+        report = analyze_paths([str(REPO_ROOT / "src" / "repro")],
+                               root=str(REPO_ROOT))
+        assert report.ok, "\n" + report.format_text()
+        # stronger than ok: not even warnings have accumulated
+        assert report.clean, "\n" + report.format_text()
+
+    def test_benchmarks_are_clean(self):
+        benchmarks = REPO_ROOT / "benchmarks"
+        if not benchmarks.is_dir():
+            return
+        report = analyze_paths([str(benchmarks)], root=str(REPO_ROOT))
+        assert report.ok, "\n" + report.format_text()
+
+
+DIRTY = """
+    def run(rows):
+        try:
+            return len(rows)
+        except:
+            return 0
+"""
+
+
+class TestSuppressions:
+    def test_allow_comment_on_anchor_line(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/thing.py": DIRTY.replace(
+                "except:", "except:  # repro: allow-S006"),
+        }, rules=["S006"])
+        assert report.clean, report.format_text()
+
+    def test_allow_comment_on_line_above(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/thing.py": DIRTY.replace(
+                "except:",
+                "# repro: allow-S006\n        except:"),
+        }, rules=["S006"])
+        assert report.clean, report.format_text()
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/thing.py": DIRTY.replace(
+                "except:", "except:  # repro: allow-S001"),
+        }, rules=["S006"])
+        assert not report.clean
+
+    def test_no_blanket_allow(self, tmp_path):
+        # there is deliberately no allow-all spelling
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/thing.py": DIRTY.replace(
+                "except:", "except:  # repro: allow-all"),
+        }, rules=["S006"])
+        assert not report.clean

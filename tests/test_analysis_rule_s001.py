@@ -1,0 +1,88 @@
+"""S001 cancellation-coverage: every concrete CubeAlgorithm polls the
+cancellation/deadline checkpoint."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+BASE = """
+    class CubeAlgorithm:
+        def compute(self, task):
+            return self._compute(task)
+"""
+
+
+class TestS001:
+    def test_concrete_subclass_without_checkpoint_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/base.py": BASE,
+            "src/repro/compute/rushed.py": """
+                from repro.compute.base import CubeAlgorithm
+
+                class RushedAlgorithm(CubeAlgorithm):
+                    name = "rushed"
+
+                    def _compute(self, task):
+                        return [row for row in task.rows]
+            """,
+        }, rules=["S001"])
+        findings = assert_fires(report, "S001", count=1,
+                                severity=Severity.ERROR,
+                                contains="RushedAlgorithm")
+        assert findings[0].path.endswith("rushed.py")
+        assert findings[0].line > 0
+
+    def test_checkpoint_in_hot_loop_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/base.py": BASE,
+            "src/repro/compute/polite.py": """
+                from repro.compute.base import CubeAlgorithm
+                from repro.resilience import context as rctx
+
+                class PoliteAlgorithm(CubeAlgorithm):
+                    name = "polite"
+
+                    def _compute(self, task):
+                        out = []
+                        for node in task.nodes:
+                            rctx.checkpoint("lattice node")
+                            out.append(node)
+                        return out
+            """,
+        }, rules=["S001"])
+        assert_clean(report, "S001")
+
+    def test_abstract_subclass_without_compute_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/base.py": BASE,
+            "src/repro/compute/partial.py": """
+                from repro.compute.base import CubeAlgorithm
+
+                class StillAbstract(CubeAlgorithm):
+                    name = "abstract"
+            """,
+        }, rules=["S001"])
+        assert_clean(report, "S001")
+
+    def test_module_level_checkpoint_helper_counts(self, tmp_path):
+        # the poll may live in a module helper the hot loop calls
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/base.py": BASE,
+            "src/repro/compute/helperful.py": """
+                from repro.compute.base import CubeAlgorithm
+                from repro.resilience import context as rctx
+
+                def _drain(rows):
+                    for row in rows:
+                        rctx.checkpoint("chunk")
+                        yield row
+
+                class HelperAlgorithm(CubeAlgorithm):
+                    name = "helperful"
+
+                    def _compute(self, task):
+                        return list(_drain(task.rows))
+            """,
+        }, rules=["S001"])
+        assert_clean(report, "S001")

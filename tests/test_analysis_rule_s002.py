@@ -1,0 +1,83 @@
+"""S002 metric-catalogue: metrics emitted through the registry agree
+with docs/OBSERVABILITY.md, in both directions."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+DOCS = """
+    # Observability
+
+    ## Tracing
+
+    | Span | Emitted by | Attributes |
+    |------|------------|------------|
+    | `cube.compute` | compute | — |
+
+    ## Metrics
+
+    | Metric | Type | Labels |
+    |--------|------|--------|
+    | `repro_widget_total` | counter | — |
+"""
+
+EMITTER = """
+    from repro.obs.metrics import REGISTRY
+
+    def record_widget():
+        REGISTRY.counter("repro_widget_total").inc()
+"""
+
+
+class TestS002:
+    def test_emitted_but_undocumented_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/obs/instrument.py": EMITTER + """
+
+    def record_mystery():
+        REGISTRY.counter("repro_mystery_total").inc()
+""",
+        }, rules=["S002"])
+        findings = assert_fires(report, "S002", count=1,
+                                contains="repro_mystery_total")
+        assert findings[0].path.endswith("instrument.py")
+
+    def test_documented_but_never_emitted_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS + """\
+    | `repro_ghost_total` | counter | — |
+""",
+            "src/repro/obs/instrument.py": EMITTER,
+        }, rules=["S002"])
+        findings = assert_fires(report, "S002", count=1,
+                                contains="repro_ghost_total")
+        # the docs row is the anchor for catalogue-side drift
+        assert findings[0].path == "docs/OBSERVABILITY.md"
+
+    def test_matching_catalogue_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/obs/instrument.py": EMITTER,
+        }, rules=["S002"])
+        assert_clean(report, "S002")
+
+    def test_non_literal_metric_names_are_skipped(self, tmp_path):
+        # benchmarks pass computed names; the rule only audits literals
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/obs/instrument.py": EMITTER + """
+
+    def record_dynamic(name):
+        REGISTRY.counter(name).inc()
+""",
+        }, rules=["S002"])
+        assert_clean(report, "S002")
+
+    def test_no_emit_sites_skips_doc_direction(self, tmp_path):
+        # analyzing a slice without the instrumentation module must not
+        # report the whole catalogue as stale
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/serve/thing.py": "x = 1\n",
+        }, rules=["S002"])
+        assert_clean(report, "S002")

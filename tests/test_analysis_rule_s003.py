@@ -1,0 +1,93 @@
+"""S003 span-catalogue: trace.span() names agree with the documented
+span catalogue, in both directions."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+DOCS = """
+    # Observability
+
+    ## Tracing
+
+    | Span | Emitted by | Attributes |
+    |------|------------|------------|
+    | `cube.compute` | compute | — |
+    | `maintenance.insert/delete/update` | `MaterializedCube` | — |
+
+    ## Metrics
+
+    | Metric | Type | Labels |
+    |--------|------|--------|
+"""
+
+SPANNER = """
+    from repro.obs import trace
+
+    def compute():
+        with trace.span("cube.compute", rows=1):
+            pass
+"""
+
+
+class TestS003:
+    def test_undocumented_span_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS.replace(
+                "| `maintenance.insert/delete/update` "
+                "| `MaterializedCube` | — |\n", ""),
+            "src/repro/compute/thing.py": SPANNER + """
+
+    def mystery():
+        with trace.span("cube.mystery"):
+            pass
+""",
+        }, rules=["S003"])
+        findings = assert_fires(report, "S003", count=1,
+                                contains="cube.mystery")
+        assert findings[0].path.endswith("thing.py")
+
+    def test_documented_but_never_opened_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/compute/thing.py": SPANNER,
+        }, rules=["S003"])
+        # the maintenance.* shorthand rows are documented but unopened
+        findings = assert_fires(report, "S003",
+                                contains="maintenance.insert")
+        assert {f.path for f in findings} == {"docs/OBSERVABILITY.md"}
+
+    def test_slash_shorthand_expands(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS,
+            "src/repro/compute/thing.py": SPANNER + """
+
+    def maintain(op):
+        with trace.span("maintenance.insert"):
+            pass
+        with trace.span("maintenance.delete"):
+            pass
+        with trace.span("maintenance.update"):
+            pass
+""",
+        }, rules=["S003"])
+        assert_clean(report, "S003")
+
+    def test_prose_backticks_are_not_catalogue_rows(self, tmp_path):
+        # dotted tokens outside table rows (`time.perf_counter` in
+        # prose) must not be treated as documented spans
+        report = run_analysis(tmp_path, {
+            "docs/OBSERVABILITY.md": DOCS + """
+    Durations come from `time.perf_counter` deltas.
+""",
+            "src/repro/compute/thing.py": SPANNER + """
+
+    def maintain():
+        with trace.span("maintenance.insert"):
+            pass
+        with trace.span("maintenance.delete"):
+            pass
+        with trace.span("maintenance.update"):
+            pass
+""",
+        }, rules=["S003"])
+        assert_clean(report, "S003")

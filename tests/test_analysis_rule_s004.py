@@ -1,0 +1,110 @@
+"""S004 exception-taxonomy: raised exceptions belong to repro.errors
+and are covered by test_error_taxonomy."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+ERRORS = """
+    class ReproError(Exception):
+        pass
+
+    class WidgetError(ReproError):
+        pass
+"""
+
+TAXONOMY_TEST = """
+    def test_widget_error():
+        assert WidgetError
+"""
+
+
+class TestS004:
+    def test_raising_class_outside_taxonomy_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": TAXONOMY_TEST,
+            "src/repro/gadget.py": """
+                class GadgetError(Exception):
+                    pass
+
+                def explode():
+                    raise GadgetError("boom")
+            """,
+        }, rules=["S004"])
+        findings = assert_fires(report, "S004", count=1,
+                                severity=Severity.ERROR,
+                                contains="GadgetError")
+        assert findings[0].path.endswith("gadget.py")
+
+    def test_builtin_raise_warns_outside_serve(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": TAXONOMY_TEST,
+            "src/repro/compute/thing.py": """
+                def check(mode):
+                    if mode not in ("a", "b"):
+                        raise ValueError(mode)
+            """,
+        }, rules=["S004"])
+        assert_fires(report, "S004", count=1,
+                     severity=Severity.WARNING, contains="ValueError")
+
+    def test_builtin_raise_errors_inside_serve(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": TAXONOMY_TEST,
+            "src/repro/serve/thing.py": """
+                def check(mode):
+                    raise ValueError(mode)
+            """,
+        }, rules=["S004"])
+        assert_fires(report, "S004", count=1, severity=Severity.ERROR)
+
+    def test_taxonomy_class_without_coverage_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": """
+                def test_nothing():
+                    pass
+            """,
+            "src/repro/widget.py": """
+                from repro.errors import WidgetError
+
+                def explode():
+                    raise WidgetError("pop")
+            """,
+        }, rules=["S004"])
+        assert_fires(report, "S004", count=1,
+                     contains="test_error_taxonomy")
+
+    def test_covered_taxonomy_raise_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": TAXONOMY_TEST,
+            "src/repro/widget.py": """
+                from repro.errors import WidgetError
+
+                def explode():
+                    raise WidgetError("pop")
+            """,
+        }, rules=["S004"])
+        assert_clean(report, "S004")
+
+    def test_bare_reraise_and_not_implemented_are_exempt(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/errors.py": ERRORS,
+            "tests/test_error_taxonomy.py": TAXONOMY_TEST,
+            "src/repro/widget.py": """
+                def passthrough():
+                    try:
+                        return 1
+                    except KeyError:
+                        raise
+
+                def todo():
+                    raise NotImplementedError
+            """,
+        }, rules=["S004"])
+        assert_clean(report, "S004")

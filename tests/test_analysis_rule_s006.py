@@ -1,0 +1,73 @@
+"""S006 hot-path-except: no bare except / swallowed except Exception on
+compute and serve hot paths."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+
+class TestS006:
+    def test_bare_except_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/sloppy.py": """
+                def run(task):
+                    try:
+                        return task()
+                    except:
+                        return None
+            """,
+        }, rules=["S006"])
+        assert_fires(report, "S006", count=1, severity=Severity.ERROR,
+                     contains="bare except")
+
+    def test_swallowed_except_exception_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/sloppy.py": """
+                def run(task):
+                    try:
+                        return task()
+                    except Exception:
+                        pass
+            """,
+        }, rules=["S006"])
+        assert_fires(report, "S006", count=1, contains="swallows")
+
+    def test_handled_except_exception_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/careful.py": """
+                def run(task, log):
+                    try:
+                        return task()
+                    except Exception as error:
+                        log.append(error)
+                        raise
+            """,
+        }, rules=["S006"])
+        assert_clean(report, "S006")
+
+    def test_specific_except_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/careful.py": """
+                def run(sock):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            """,
+        }, rules=["S006"])
+        assert_clean(report, "S006")
+
+    def test_outside_hot_paths_not_in_scope(self, tmp_path):
+        # the rule is scoped to compute/ and serve/: a CLI entry point
+        # may legitimately catch-all at its outermost boundary
+        report = run_analysis(tmp_path, {
+            "src/repro/toolbox/cli.py": """
+                def main(run):
+                    try:
+                        run()
+                    except Exception:
+                        pass
+            """,
+        }, rules=["S006"])
+        assert_clean(report, "S006")

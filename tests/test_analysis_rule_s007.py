@@ -1,0 +1,91 @@
+"""S007 lock-context-manager: serve-layer locks are acquired via
+context managers (or try/finally), never a naked .acquire()."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+
+class TestS007:
+    def test_naked_acquire_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/risky.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def mutate(state):
+                    lock.acquire()
+                    state.bump()
+                    lock.release()
+            """,
+        }, rules=["S007"])
+        findings = assert_fires(report, "S007", count=1,
+                                severity=Severity.ERROR,
+                                contains="try/finally")
+        assert findings[0].line == 7
+
+    def test_acquire_with_try_finally_release_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/guarded.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def mutate(state):
+                    lock.acquire()
+                    try:
+                        state.bump()
+                    finally:
+                        lock.release()
+            """,
+        }, rules=["S007"])
+        assert_clean(report, "S007")
+
+    def test_acquire_inside_try_with_finally_release_is_clean(
+            self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/guarded.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def mutate(state):
+                    try:
+                        lock.acquire()
+                        state.bump()
+                    finally:
+                        lock.release()
+            """,
+        }, rules=["S007"])
+        assert_clean(report, "S007")
+
+    def test_with_statement_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/guarded.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def mutate(state):
+                    with lock:
+                        state.bump()
+            """,
+        }, rules=["S007"])
+        assert_clean(report, "S007")
+
+    def test_outside_serve_not_in_scope(self, tmp_path):
+        # worker pools in compute/ manage raw semaphores; S007 is the
+        # serve layer's contract
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/pool.py": """
+                import threading
+
+                gate = threading.Semaphore(4)
+
+                def enter():
+                    gate.acquire()
+            """,
+        }, rules=["S007"])
+        assert_clean(report, "S007")

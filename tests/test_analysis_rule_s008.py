@@ -1,0 +1,73 @@
+"""S008 lock-blocking-io: no blocking socket/file I/O while holding a
+serve-layer lock (the lock-held-across-recv hazard)."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+
+class TestS008:
+    def test_recv_under_lock_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/stall.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def pump(sock, state):
+                    with lock:
+                        data = sock.recv(4096)
+                        state.feed(data)
+            """,
+        }, rules=["S008"])
+        assert_fires(report, "S008", count=1, severity=Severity.ERROR,
+                     contains="recv")
+
+    def test_protocol_io_under_rwlock_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/stall.py": """
+                def answer(server, stream, message):
+                    with server.lock.read():
+                        payload = read_message(stream)
+                    return payload
+            """,
+        }, rules=["S008"])
+        assert_fires(report, "S008", count=1,
+                     contains="read_message")
+
+    def test_open_under_cache_lock_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/stall.py": """
+                def snapshot(cache, path):
+                    with cache._locked():
+                        with open(path, "w") as handle:
+                            handle.write(str(cache.stats()))
+            """,
+        }, rules=["S008"])
+        assert_fires(report, "S008", contains="open")
+
+    def test_io_outside_lock_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/healthy.py": """
+                import threading
+
+                lock = threading.Lock()
+
+                def pump(sock, state):
+                    data = sock.recv(4096)
+                    with lock:
+                        state.feed(data)
+            """,
+        }, rules=["S008"])
+        assert_clean(report, "S008")
+
+    def test_non_lock_context_manager_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/serve/healthy.py": """
+                def collect(tracer, sock):
+                    with tracer.span("serve.read"):
+                        return sock.recv(4096)
+            """,
+        }, rules=["S008"])
+        assert_clean(report, "S008")

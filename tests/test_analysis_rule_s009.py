@@ -1,0 +1,78 @@
+"""S009 chaos-matrix: injection points are declared in
+INJECTION_POINTS and each declared point has an exercising chaos test."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+CHAOS = """
+    INJECTION_POINTS = ("worker_crash", "spill_write")
+
+    class ChaosInjector:
+        def inject(self, point, **labels):
+            return point
+"""
+
+MATRIX_TEST = """
+    import pytest
+
+    @pytest.mark.parametrize("point", ["worker_crash", "spill_write"])
+    def test_point_recovers(point):
+        assert point
+"""
+
+
+class TestS009:
+    def test_undeclared_injection_point_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/resilience/chaos.py": CHAOS,
+            "tests/test_chaos_matrix.py": MATRIX_TEST,
+            "src/repro/compute/thing.py": """
+                def run(ctx):
+                    ctx.inject("surprise_fault", stage=1)
+            """,
+        }, rules=["S009"])
+        findings = assert_fires(report, "S009", count=1,
+                                severity=Severity.ERROR,
+                                contains="surprise_fault")
+        assert findings[0].path.endswith("thing.py")
+
+    def test_declared_point_without_matrix_test_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/resilience/chaos.py": CHAOS,
+            "tests/test_chaos_matrix.py": """
+                def test_only_crash():
+                    assert "worker_crash"
+            """,
+            "src/repro/compute/thing.py": """
+                def run(ctx):
+                    ctx.inject("spill_write", partition=0)
+            """,
+        }, rules=["S009"])
+        findings = assert_fires(report, "S009", count=1,
+                                contains="spill_write")
+        # anchored at the declaration, where the matrix is defined
+        assert findings[0].path.endswith("chaos.py")
+
+    def test_declared_and_exercised_is_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/resilience/chaos.py": CHAOS,
+            "tests/test_chaos_matrix.py": MATRIX_TEST,
+            "src/repro/compute/thing.py": """
+                def run(ctx):
+                    ctx.inject("worker_crash", worker=1)
+                    ctx.inject("spill_write", partition=0)
+            """,
+        }, rules=["S009"])
+        assert_clean(report, "S009")
+
+    def test_no_chaos_module_in_targets_skips(self, tmp_path):
+        # analyzing a slice without the chaos module must not guess
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/thing.py": """
+                def run(ctx):
+                    ctx.inject("worker_crash", worker=1)
+            """,
+        }, rules=["S009"])
+        assert_clean(report, "S009")

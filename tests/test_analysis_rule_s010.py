@@ -1,0 +1,96 @@
+"""S010 registry-roundtrip: the algorithm table and the aggregate
+registry must round-trip through their lookup keys."""
+
+from analysisutil import run_analysis
+from lintutil import assert_clean, assert_fires
+
+from repro.analysis.diagnostics import Severity
+
+ALGOS = """
+    class FastAlgorithm:
+        name = "fast"
+
+    class SlowAlgorithm:
+        name = "slow"
+
+    ALGORITHMS = {
+        "fast": FastAlgorithm,
+        "slow": SlowAlgorithm,
+    }
+"""
+
+
+class TestS010:
+    def test_key_name_mismatch_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/optimizer.py": ALGOS.replace(
+                'name = "slow"', 'name = "sluggish"'),
+        }, rules=["S010"])
+        findings = assert_fires(report, "S010", count=1,
+                                severity=Severity.ERROR,
+                                contains="round-trip")
+        assert "'sluggish'" in findings[0].message
+
+    def test_unknown_class_in_table_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/optimizer.py": """
+                ALGORITHMS = {"ghost": GhostAlgorithm}
+            """,
+        }, rules=["S010"])
+        assert_fires(report, "S010", count=1, contains="GhostAlgorithm")
+
+    def test_duplicate_aggregate_registration_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/aggregates/registry.py": """
+                class Sum:
+                    pass
+
+                def _register_defaults(registry):
+                    registry.register("SUM", Sum)
+                    registry.register("sum", Sum)
+            """,
+        }, rules=["S010"])
+        assert_fires(report, "S010", count=1,
+                     contains="registered twice")
+
+    def test_unknown_aggregate_factory_fires(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/aggregates/registry.py": """
+                def _register_defaults(registry):
+                    registry.register("FROB", Frobnicator)
+            """,
+        }, rules=["S010"])
+        assert_fires(report, "S010", count=1, contains="Frobnicator")
+
+    def test_roundtripping_registries_are_clean(self, tmp_path):
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/optimizer.py": ALGOS,
+            "src/repro/aggregates/registry.py": """
+                class Sum:
+                    pass
+
+                class Count:
+                    pass
+
+                def _register_defaults(registry):
+                    registry.register("SUM", Sum)
+                    registry.register("COUNT", Count)
+            """,
+        }, rules=["S010"])
+        assert_clean(report, "S010")
+
+    def test_classes_may_live_in_other_modules(self, tmp_path):
+        # the optimizer imports algorithm classes; the rule resolves
+        # them project-wide, not per-file
+        report = run_analysis(tmp_path, {
+            "src/repro/compute/fast.py": """
+                class FastAlgorithm:
+                    name = "fast"
+            """,
+            "src/repro/compute/optimizer.py": """
+                from repro.compute.fast import FastAlgorithm
+
+                ALGORITHMS = {"fast": FastAlgorithm}
+            """,
+        }, rules=["S010"])
+        assert_clean(report, "S010")

@@ -90,6 +90,21 @@ def _trigger_decoration_error():
     Decoration("nation", (), {})
 
 
+def _trigger_hierarchy_error():
+    from repro.warehouse.hierarchy import calendar_hierarchy
+    calendar_hierarchy().roll_path("week", "month")
+
+
+def _trigger_analysis_error():
+    from repro.analysis import Analyzer
+    Analyzer(rules=["S999"])
+
+
+def _trigger_cli_usage_error():
+    from repro.cliutil import parse_rule_selection
+    parse_rule_selection(", ,")
+
+
 def _trigger_maintenance_error():
     from repro.engine.table import Table
     from repro.maintenance.materialized import MaterializedCube
@@ -208,6 +223,9 @@ TRIGGERS = {
     errors.AddressingError: _trigger_addressing_error,
     errors.MixedTypeColumnError: _trigger_mixed_type_column,
     errors.DecorationError: _trigger_decoration_error,
+    errors.HierarchyError: _trigger_hierarchy_error,
+    errors.AnalysisError: _trigger_analysis_error,
+    errors.CLIUsageError: _trigger_cli_usage_error,
     errors.MaintenanceError: _trigger_maintenance_error,
     errors.DeleteRequiresRecomputeError: _trigger_delete_requires_recompute,
     errors.SQLSyntaxError: _trigger_sql_syntax,

@@ -42,6 +42,19 @@ class TestExitCodes:
         path = _write(tmp_path, "q.sql", CLEAN_SQL)
         assert main([path, "--rules", "C999"]) == EXIT_USAGE
 
+    def test_empty_rule_selection_is_usage_error(self, tmp_path, capsys):
+        # --rules "" would run zero rules and report a hollow "clean";
+        # shared cliutil semantics make it an explicit usage error
+        path = _write(tmp_path, "q.sql", CLEAN_SQL)
+        assert main([path, "--rules", ""]) == EXIT_USAGE
+        captured = capsys.readouterr()
+        assert "no rules" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_lowercase_rule_codes_are_accepted(self, tmp_path, capsys):
+        path = _write(tmp_path, "q.sql", CLEAN_SQL)
+        assert main([path, "--rules", "c001"]) == EXIT_OK
+
     def test_py_without_self_check_is_usage_error(self, tmp_path, capsys):
         path = _write(tmp_path, "ex.py", "x = 1\n")
         assert main([path]) == EXIT_USAGE

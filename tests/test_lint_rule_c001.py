@@ -1,7 +1,7 @@
 """C001 holistic-merge: a holistic aggregate on a merge-based algorithm
 (Section 5: no Iter_super exists for holistic functions)."""
 
-from lintutil import codes, sales_table
+from lintutil import assert_fires, codes, sales_table
 
 from repro.core.cube import agg
 from repro.lint import lint_cube_spec
@@ -13,10 +13,9 @@ class TestC001:
         report = lint_cube_spec(sales_table(), ["Model", "Year"],
                                 [agg("MEDIAN", "Units")],
                                 algorithm="from-core")
-        findings = [d for d in report if d.code == "C001"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
-        assert "MEDIAN" in findings[0].message
+        findings = assert_fires(report, "C001", count=1,
+                                severity=Severity.ERROR,
+                                contains="MEDIAN")
         assert findings[0].paper_section == "Section 5"
 
     def test_every_merge_based_algorithm_flagged(self):

@@ -1,7 +1,7 @@
 """C002 holistic-under-delete: Section 6's asymmetry -- MAX is
 distributive for SELECT and INSERT but holistic for DELETE."""
 
-from lintutil import codes, sales_table
+from lintutil import assert_fires, codes, sales_table
 
 from repro.core.cube import agg
 from repro.lint import lint_maintenance_spec
@@ -13,18 +13,16 @@ class TestC002:
         report = lint_maintenance_spec(
             sales_table(), ["Model"], [agg("MAX", "Units")],
             operations=("insert", "delete"), retain_base=False)
-        findings = [d for d in report if d.code == "C002"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
-        assert "DeleteRequiresRecomputeError" in findings[0].message
+        assert_fires(report, "C002", count=1,
+                     severity=Severity.ERROR,
+                     contains="DeleteRequiresRecomputeError")
 
     def test_max_with_retained_base_is_warning(self):
         report = lint_maintenance_spec(
             sales_table(), ["Model"], [agg("MAX", "Units")],
             operations=("insert", "delete"), retain_base=True)
-        findings = [d for d in report if d.code == "C002"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.WARNING
+        assert_fires(report, "C002", count=1,
+                     severity=Severity.WARNING)
 
     def test_sum_under_delete_is_clean(self):
         # SUM is algebraic for DELETE (subtract), no finding

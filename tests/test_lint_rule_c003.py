@@ -1,7 +1,7 @@
 """C003 all-null-ambiguity: the Section 3.4 minimalist design represents
 ALL as NULL, which collides with real NULLs in the grouping data."""
 
-from lintutil import codes, sales_catalog
+from lintutil import assert_fires, codes, sales_catalog
 
 from repro.lint import lint_sql
 from repro.lint.diagnostics import Severity
@@ -15,9 +15,8 @@ class TestC003:
         catalog, _ = sales_catalog()
         report = lint_sql(CUBE_SQL, catalog=catalog,
                           null_mode=NullMode.NULL_WITH_GROUPING)
-        findings = [d for d in report if d.code == "C003"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.WARNING
+        findings = assert_fires(report, "C003", count=1,
+                                severity=Severity.WARNING)
         assert findings[0].columns == ("Color",)  # Color has a real NULL
 
     def test_grouping_call_suppresses_warning(self):

@@ -2,7 +2,7 @@
 GROUP BY is only defined when functionally dependent on a grouping
 column."""
 
-from lintutil import codes, sales_catalog, sales_table
+from lintutil import assert_fires, codes, sales_catalog, sales_table
 
 from repro.core.cube import agg
 from repro.core.decorations import Decoration
@@ -16,9 +16,8 @@ class TestC004Sql:
         report = lint_sql(
             "SELECT Model, Color, SUM(Units) FROM Sales GROUP BY Model",
             catalog=catalog)
-        findings = [d for d in report if d.code == "C004"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
+        findings = assert_fires(report, "C004", count=1,
+                                severity=Severity.ERROR)
         assert findings[0].columns == ("Color",)
 
     def test_grouped_and_aggregated_outputs_are_clean(self):
@@ -47,9 +46,8 @@ class TestC004Decorations:
         report = lint_cube_spec(table, ["Model", "Year"],
                                 [agg("SUM", "Units")],
                                 decorations=[decoration])
-        findings = [d for d in report if d.code == "C004"]
-        assert len(findings) == 1
-        assert "not functionally dependent" in findings[0].message
+        assert_fires(report, "C004", count=1,
+                     contains="not functionally dependent")
 
     def test_holding_dependency_is_clean(self):
         # Model -> Model is trivially functional; use a real FD:

@@ -1,7 +1,7 @@
 """C005 grouping-non-grouped: GROUPING() only discriminates the ALL rows
 of a *grouping* column (Section 3.4)."""
 
-from lintutil import codes, sales_catalog
+from lintutil import assert_fires, codes, sales_catalog
 
 from repro.lint import lint_sql
 from repro.lint.diagnostics import Severity
@@ -13,9 +13,8 @@ class TestC005:
         report = lint_sql(
             "SELECT Model, GROUPING(Units) FROM Sales GROUP BY Model",
             catalog=catalog)
-        findings = [d for d in report if d.code == "C005"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
+        findings = assert_fires(report, "C005", count=1,
+                                severity=Severity.ERROR)
         assert findings[0].columns == ("Units",)
 
     def test_duplicate_calls_reported_once(self):

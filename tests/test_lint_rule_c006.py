@@ -1,7 +1,7 @@
 """C006 duplicate-grouping: the Section 3.2 clause concatenates
 GROUP BY + ROLLUP + CUBE into one dimension list; repeats are invalid."""
 
-from lintutil import codes, sales_table
+from lintutil import assert_fires, codes, sales_table
 
 from repro.core.cube import agg
 from repro.lint import lint_cube_spec, lint_sql
@@ -12,9 +12,8 @@ class TestC006:
     def test_duplicate_in_sql_group_by(self):
         report = lint_sql(
             "SELECT SUM(x) FROM T GROUP BY a, a")
-        findings = [d for d in report if d.code == "C006"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
+        findings = assert_fires(report, "C006", count=1,
+                                severity=Severity.ERROR)
         assert findings[0].columns == ("a",)
 
     def test_duplicate_across_plain_and_cube_lists(self):

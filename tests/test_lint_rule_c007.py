@@ -1,7 +1,7 @@
 """C007 constant-grouping: a cardinality-1 dimension still doubles the
 cube by the Pi(Ci+1) law, adding no information."""
 
-from lintutil import codes, sales_table
+from lintutil import assert_fires, codes, sales_table
 
 from repro.core.cube import agg
 from repro.engine.expressions import Literal
@@ -14,9 +14,8 @@ class TestC007:
         report = lint_cube_spec(sales_table(),
                                 ["Model", (Literal(1), "one")],
                                 [agg("SUM", "Units")])
-        findings = [d for d in report if d.code == "C007"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.WARNING
+        findings = assert_fires(report, "C007", count=1,
+                                severity=Severity.WARNING)
         assert findings[0].columns == ("one",)
 
     def test_single_valued_column_warns(self):
@@ -25,8 +24,7 @@ class TestC007:
                 ("Chevy", 1994, "black", 7)]
         report = lint_cube_spec(sales_table(rows), ["Model", "Year"],
                                 [agg("SUM", "Units")])
-        findings = [d for d in report if d.code == "C007"]
-        assert len(findings) == 1
+        findings = assert_fires(report, "C007", count=1)
         assert findings[0].columns == ("Model",)
 
     def test_declared_cardinality_one_warns(self):

@@ -1,7 +1,7 @@
 """C008 udaf-no-itersuper: super-aggregation of a function without
 Iter_super falls back to the 2^N-algorithm (Section 5 / Figure 7)."""
 
-from lintutil import codes, sales_catalog, sales_table
+from lintutil import assert_fires, codes, sales_catalog, sales_table
 
 from repro.core.cube import agg
 from repro.lint import lint_cube_spec, lint_sql
@@ -24,16 +24,13 @@ class TestC008:
             "SELECT Model, MEDIAN(Units) FROM Sales "
             "GROUP BY CUBE Model, Year",
             catalog=catalog)
-        findings = [d for d in report if d.code == "C008"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.WARNING
-        assert "MEDIAN" in findings[0].message
+        assert_fires(report, "C008", count=1,
+                     severity=Severity.WARNING, contains="MEDIAN")
 
     def test_mergeless_udaf_warns_with_fix(self):
         report = lint_cube_spec(sales_table(), ["Model", "Year"],
                                 [agg(_mergeless_udaf(), "Units")])
-        findings = [d for d in report if d.code == "C008"]
-        assert len(findings) == 1
+        findings = assert_fires(report, "C008", count=1)
         assert "merge_fn" in findings[0].suggestion
 
     def test_mergeable_udaf_is_clean(self):

@@ -1,7 +1,7 @@
 """C009 cube-blowup: Section 3's Pi(Ci+1) law -- warn when the estimated
 cube size crosses the configured threshold."""
 
-from lintutil import codes, sales_table
+from lintutil import assert_fires, codes, sales_table
 
 from repro.core.cube import agg
 from repro.lint import lint_cube_spec
@@ -13,9 +13,8 @@ class TestC009:
         report = lint_cube_spec(
             None, ["a", "b", "c"], [agg("SUM", "x")],
             cardinalities={"a": 200, "b": 200, "c": 200})
-        findings = [d for d in report if d.code == "C009"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.WARNING
+        findings = assert_fires(report, "C009", count=1,
+                                severity=Severity.WARNING)
         assert "ROLLUP" in findings[0].suggestion
 
     def test_threshold_is_configurable(self):

@@ -1,7 +1,7 @@
 """C010 unknown-function: names that resolve to no registered aggregate
 or scalar function fail at plan time; the linter catches them first."""
 
-from lintutil import codes, sales_catalog, sales_table
+from lintutil import assert_fires, codes, sales_catalog, sales_table
 
 from repro.lint import lint_cube_spec, lint_sql
 from repro.lint.diagnostics import Severity
@@ -13,26 +13,20 @@ class TestC010:
         report = lint_sql(
             "SELECT Model, FROBNICATE(Units) FROM Sales GROUP BY Model",
             catalog=catalog)
-        findings = [d for d in report if d.code == "C010"]
-        assert len(findings) == 1
-        assert findings[0].severity is Severity.ERROR
-        assert "FROBNICATE" in findings[0].message
+        assert_fires(report, "C010", count=1,
+                     severity=Severity.ERROR, contains="FROBNICATE")
 
     def test_unknown_programmatic_aggregate(self):
         report = lint_cube_spec(sales_table(), ["Model"],
                                 [("WOMBAT", "Units")])
-        findings = [d for d in report if d.code == "C010"]
-        assert len(findings) == 1
-        assert "WOMBAT" in findings[0].message
+        assert_fires(report, "C010", count=1, contains="WOMBAT")
 
     def test_distinct_non_count_flagged(self):
         catalog, _ = sales_catalog()
         report = lint_sql(
             "SELECT SUM(DISTINCT Units) FROM Sales GROUP BY Model",
             catalog=catalog)
-        findings = [d for d in report if d.code == "C010"]
-        assert len(findings) == 1
-        assert "DISTINCT" in findings[0].message
+        assert_fires(report, "C010", count=1, contains="DISTINCT")
 
     def test_known_functions_are_clean(self):
         catalog, _ = sales_catalog()

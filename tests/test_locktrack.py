@@ -1,0 +1,203 @@
+"""The lock-order sanitizer: seeded hazards it must flag, healthy
+workloads it must pass, and the serve-layer wiring end-to-end."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import threading
+
+from repro.analysis import locktrack
+from repro.analysis.locktrack import LockTracker
+
+
+@contextlib.contextmanager
+def installed(tracker: LockTracker):
+    """Install ``tracker`` globally, restoring whatever was there
+    before (the REPRO_SANITIZE=1 session tracker, usually)."""
+    previous = locktrack.current()
+    locktrack.install(tracker)
+    try:
+        yield tracker
+    finally:
+        if previous is not None:
+            locktrack.install(previous)
+        else:
+            locktrack.uninstall()
+
+
+def _run_in_thread(fn) -> None:
+    thread = threading.Thread(target=fn)
+    thread.start()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestSeededDeadlock:
+    def test_two_thread_lock_order_cycle_is_detected(self):
+        """The acceptance fixture: thread 1 takes rwlock->cache, thread
+        2 takes cache->rwlock.  No actual deadlock occurs (the threads
+        run sequentially), but the order graph has a cycle -- exactly
+        the hazard that *would* deadlock under the wrong timing."""
+        tracker = LockTracker()
+
+        def thread_one():
+            tracker.note_acquire("serve.rwlock")
+            tracker.note_acquire("serve.cache")
+            tracker.note_release("serve.cache")
+            tracker.note_release("serve.rwlock")
+
+        def thread_two():
+            tracker.note_acquire("serve.cache")
+            tracker.note_acquire("serve.rwlock")
+            tracker.note_release("serve.rwlock")
+            tracker.note_release("serve.cache")
+
+        _run_in_thread(thread_one)
+        _run_in_thread(thread_two)
+
+        violations = tracker.drain_violations()
+        cycles = [v for v in violations if v.kind == "order-cycle"]
+        assert len(cycles) == 1
+        # the report names both locks, in the report and structurally
+        assert set(cycles[0].locks) == {"serve.rwlock", "serve.cache"}
+        assert "serve.rwlock" in cycles[0].message
+        assert "serve.cache" in cycles[0].message
+        assert "deadlock" in cycles[0].message
+
+    def test_three_lock_transitive_cycle_is_detected(self):
+        tracker = LockTracker()
+        for first, second in (("a", "b"), ("b", "c"), ("c", "a")):
+            def worker(first=first, second=second):
+                tracker.note_acquire(first)
+                tracker.note_acquire(second)
+                tracker.note_release(second)
+                tracker.note_release(first)
+            _run_in_thread(worker)
+        cycles = [v for v in tracker.drain_violations()
+                  if v.kind == "order-cycle"]
+        assert cycles, "a->b, b->c, c->a must close a cycle"
+
+    def test_consistent_order_is_not_a_cycle(self):
+        tracker = LockTracker()
+        for _ in range(3):
+            def worker():
+                tracker.note_acquire("serve.rwlock")
+                tracker.note_acquire("serve.cache")
+                tracker.note_release("serve.cache")
+                tracker.note_release("serve.rwlock")
+            _run_in_thread(worker)
+        assert tracker.drain_violations() == []
+
+    def test_reentrant_acquire_makes_no_self_edge(self):
+        tracker = LockTracker()
+        tracker.note_acquire("serve.cache")
+        tracker.note_acquire("serve.cache")  # RLock re-entry
+        tracker.note_release("serve.cache")
+        tracker.note_release("serve.cache")
+        assert tracker.drain_violations() == []
+        assert tracker.edge_count() == 0
+
+
+class TestBlockingHazard:
+    def test_protocol_write_under_lock_is_flagged(self):
+        from repro.serve.protocol import write_message
+        tracker = LockTracker()
+        with installed(tracker):
+            tracker.note_acquire("serve.cache")
+            write_message(io.BytesIO(), {"id": 1, "ok": True})
+            tracker.note_release("serve.cache")
+        violations = tracker.drain_violations()
+        assert len(violations) == 1
+        assert violations[0].kind == "held-across-blocking"
+        assert "write_message" in violations[0].message
+        assert "serve.cache" in violations[0].locks
+
+    def test_protocol_io_without_lock_is_clean(self):
+        from repro.serve.protocol import read_message, write_message
+        tracker = LockTracker()
+        with installed(tracker):
+            write_message(io.BytesIO(), {"id": 1})
+            read_message(io.BytesIO(b'{"op": "ping"}\n'))
+        assert tracker.drain_violations() == []
+
+
+class TestServeWiring:
+    def test_clean_rwlock_workload_has_no_false_positives(self):
+        """A realistic mixed reader/writer workload over the real
+        VersionedRWLock + tracked cache lock, all threads taking locks
+        in the same order: the sanitizer must stay silent."""
+        from repro.serve.cache import CuboidCache
+        from repro.serve.server import VersionedRWLock
+
+        lock = VersionedRWLock()
+        cache = CuboidCache()
+        tracker = LockTracker()
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                for _ in range(20):
+                    with lock.read():
+                        cache.stats()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def writer():
+            try:
+                for _ in range(10):
+                    with lock.write():
+                        cache.clear()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        with installed(tracker):
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            threads += [threading.Thread(target=writer) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive()
+        assert not errors
+        assert tracker.drain_violations() == []
+        # the workload really did exercise the nested order
+        assert tracker.edge_count() >= 1
+
+    def test_query_server_end_to_end_is_clean(self):
+        """Full wire round-trips through the threaded server under the
+        sanitizer: DDL, DML, SELECT, stats -- no cycles, no blocking
+        I/O under a lock."""
+        import json
+        import socket
+
+        from repro.serve.server import QueryServer
+
+        tracker = LockTracker()
+        with installed(tracker):
+            with QueryServer(max_inflight=2) as server:
+                host, port = server.address
+                client = socket.create_connection((host, port),
+                                                  timeout=5.0)
+                stream = client.makefile("rwb")
+                try:
+                    statements = [
+                        "CREATE TABLE T (a STRING, x INTEGER);",
+                        "INSERT INTO T VALUES ('p', 1);",
+                        "INSERT INTO T VALUES ('q', 2);",
+                        "SELECT a, SUM(x) FROM T GROUP BY CUBE (a);",
+                    ]
+                    for number, sql in enumerate(statements):
+                        stream.write(json.dumps(
+                            {"id": number, "op": "query", "sql": sql})
+                            .encode() + b"\n")
+                        stream.flush()
+                        response = json.loads(stream.readline())
+                        assert response["ok"], response
+                    stream.write(b'{"id": 99, "op": "stats"}\n')
+                    stream.flush()
+                    assert json.loads(stream.readline())["ok"]
+                finally:
+                    stream.close()
+                    client.close()
+        assert tracker.drain_violations() == []
