@@ -199,7 +199,15 @@ class CubeAlgorithm(ABC):
         from repro.resilience import context as rctx
         ctx = context if context is not None else rctx.current_context()
         if ctx is None:
-            return self._instrumented_compute(task)
+            result = self._instrumented_compute(task)
+        else:
+            result = self._compute_in_context(ctx, task)
+        self._log_query(task, result)
+        return result
+
+    def _compute_in_context(self, ctx: "Any",
+                            task: CubeTask) -> CubeResult:
+        from repro.resilience import context as rctx
         from repro.errors import ResourceBudgetExceededError
         with rctx.use_context(ctx):
             ctx.check("cube.compute")
@@ -211,6 +219,17 @@ class CubeAlgorithm(ABC):
                         or self.name == "external"):
                     raise
             return self._degraded_compute(ctx, task)
+
+    def _log_query(self, task: CubeTask, result: CubeResult) -> None:
+        """Enrich the active query-log record (no-op outside one)."""
+        from repro.obs import querylog
+        stats = result.stats
+        querylog.annotate(
+            algorithm=stats.algorithm or self.name or type(self).__name__,
+            degraded_from=stats.notes.get("degraded_from"))
+        querylog.add(
+            rows_scanned=len(task.rows) * max(stats.base_scans, 1),
+            cells=stats.cells_produced)
 
     def _instrumented_compute(self, task: CubeTask) -> CubeResult:
         """The original span + metrics envelope around :meth:`_compute`."""

@@ -29,6 +29,7 @@ from repro.engine.groupby import AggregateSpec
 from repro.engine.operators import filter_rows, sort as sort_op
 from repro.engine.table import Table
 from repro.errors import CubeError
+from repro.obs import querylog
 from repro.types import NullMode
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -116,6 +117,7 @@ def _run(table: Table,
          aggregates: Sequence,
          spec: GroupingSpec,
          *,
+         kind: str,
          where: Expression | None,
          algorithm: "str | CubeAlgorithm | None",
          null_mode: NullMode,
@@ -124,6 +126,27 @@ def _run(table: Table,
          memory_budget: int | None,
          strict: bool = False,
          context: "ExecutionContext | None" = None) -> CubeResult:
+    with querylog.track(kind):
+        return _run_tracked(table, dims, aggregates, spec, where=where,
+                            algorithm=algorithm, null_mode=null_mode,
+                            sort_result=sort_result, registry=registry,
+                            memory_budget=memory_budget, strict=strict,
+                            context=context)
+
+
+def _run_tracked(table: Table,
+                 dims: Sequence,
+                 aggregates: Sequence,
+                 spec: GroupingSpec,
+                 *,
+                 where: Expression | None,
+                 algorithm: "str | CubeAlgorithm | None",
+                 null_mode: NullMode,
+                 sort_result: bool,
+                 registry: AggregateRegistry | None,
+                 memory_budget: int | None,
+                 strict: bool = False,
+                 context: "ExecutionContext | None" = None) -> CubeResult:
     registry = registry or default_registry
     specs = _normalize_requests(aggregates, registry)
     if where is not None:
@@ -136,6 +159,8 @@ def _run(table: Table,
                      registry)
 
     task = build_task(table, dims, specs, spec.grouping_sets())
+    querylog.annotate(signature=querylog.cuboid_signature(
+        tuple(task.dims), tuple(s.name for s in specs)))
 
     if algorithm is None or algorithm == "auto":
         chosen = choose_algorithm(task, memory_budget=memory_budget)
@@ -156,6 +181,7 @@ def _run(table: Table,
     if null_mode is NullMode.NULL_WITH_GROUPING:
         out = to_null_mode(out, list(task.dims))
 
+    querylog.add(rows=len(out))
     return CubeResult(table=out, stats=result.stats)
 
 
@@ -202,7 +228,7 @@ def cube(table: Table, dims: Sequence, aggregates: Sequence, *,
     dense input yields exactly prod(Ci + 1) rows.
     """
     spec = GroupingSpec.for_cube(_dim_names(dims))
-    return _run(table, dims, aggregates, spec, where=where,
+    return _run(table, dims, aggregates, spec, kind="cube", where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
                 memory_budget=memory_budget, strict=strict,
@@ -226,7 +252,7 @@ def rollup(table: Table, dims: Sequence, aggregates: Sequence, *,
     plain GROUP BY per group prefix (Section 5).
     """
     spec = GroupingSpec.for_rollup(_dim_names(dims))
-    return _run(table, dims, aggregates, spec, where=where,
+    return _run(table, dims, aggregates, spec, kind="rollup", where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
                 memory_budget=memory_budget, strict=strict,
@@ -242,7 +268,7 @@ def groupby(table: Table, dims: Sequence, aggregates: Sequence, *,
     """Plain GROUP BY expressed through the same machinery (the paper:
     GROUP BY is the degenerate form of the CUBE operator)."""
     spec = GroupingSpec.for_groupby(_dim_names(dims))
-    return _run(table, dims, aggregates, spec, where=where,
+    return _run(table, dims, aggregates, spec, kind="groupby", where=where,
                 algorithm="naive-union", null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
                 memory_budget=None, strict=strict).table
@@ -272,7 +298,7 @@ def compound_groupby(table: Table, *,
     spec = GroupingSpec(plain=_dim_names(plain),
                         rollup=_dim_names(rollup_dims),
                         cube=_dim_names(cube_dims))
-    return _run(table, dims, aggregates, spec, where=where,
+    return _run(table, dims, aggregates, spec, kind="compound", where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
                 memory_budget=memory_budget, strict=strict,
@@ -291,6 +317,22 @@ def grouping_sets_op(table: Table, dims: Sequence,
     """Arbitrary grouping sets (the generalization the SQL standard
     later adopted as GROUPING SETS): each entry of ``sets`` names the
     columns grouped in one stratum."""
+    with querylog.track("grouping_sets"):
+        return _grouping_sets_tracked(
+            table, dims, sets, aggregates, where=where,
+            algorithm=algorithm, null_mode=null_mode,
+            sort_result=sort_result, registry=registry, strict=strict)
+
+
+def _grouping_sets_tracked(table: Table, dims: Sequence,
+                           sets: Sequence[Sequence[str]],
+                           aggregates: Sequence, *,
+                           where: Expression | None,
+                           algorithm: "str | CubeAlgorithm | None",
+                           null_mode: NullMode,
+                           sort_result: bool,
+                           registry: AggregateRegistry | None,
+                           strict: bool) -> Table:
     registry = registry or default_registry
     specs = _normalize_requests(aggregates, registry)
     if where is not None:
@@ -318,6 +360,8 @@ def grouping_sets_op(table: Table, dims: Sequence,
             algorithm=algorithm if algorithm is not None else "auto",
             null_mode=null_mode, registry=registry))
     task = build_task(table, dims, specs, masks)
+    querylog.annotate(signature=querylog.cuboid_signature(
+        tuple(task.dims), tuple(s.name for s in specs)))
     if algorithm is None or algorithm == "auto":
         chosen: CubeAlgorithm = make_algorithm("2^N")
     elif isinstance(algorithm, str):
@@ -353,7 +397,7 @@ def cube_with_stats(table: Table, dims: Sequence, aggregates: Sequence, *,
         spec = GroupingSpec.for_groupby(_dim_names(dims))
     else:
         raise CubeError(f"unknown kind {kind!r}; use cube/rollup/groupby")
-    return _run(table, dims, aggregates, spec, where=where,
+    return _run(table, dims, aggregates, spec, kind=kind, where=where,
                 algorithm=algorithm, null_mode=null_mode,
                 sort_result=sort_result, registry=registry,
                 memory_budget=memory_budget, strict=strict,

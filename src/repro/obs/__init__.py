@@ -10,8 +10,12 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.metrics` -- a process-wide registry of counters,
   gauges, and histograms (:data:`REGISTRY`), updated by every engine
   entry point via :mod:`repro.obs.instrument`.
-- :mod:`repro.obs.export` -- JSON-lines and Prometheus-text exporters
-  for both.
+- :mod:`repro.obs.export` -- JSON-lines, Prometheus-text, and
+  collapsed-stack (flamegraph) exporters.
+- :mod:`repro.obs.querylog` -- the structured query log
+  (:data:`QUERY_LOG`): one :class:`QueryRecord` per top-level
+  execution, plus the per-signature :class:`WorkloadHistory`.
+  ``python -m repro.obs`` tails and summarizes it.
 
 Quick look::
 
@@ -31,13 +35,17 @@ from repro.obs.trace import (
     Tracer,
     current_span,
     current_tracer,
+    current_trace_id,
     disable_tracing,
     enable_tracing,
+    new_span_id,
+    new_trace_id,
     render_span_rows,
     span,
     tracing,
     tracing_enabled,
     use_tracer,
+    with_trace_id,
 )
 from repro.obs.metrics import (
     Counter,
@@ -50,9 +58,11 @@ from repro.obs.metrics import (
 from repro.obs.export import (
     metrics_to_json_lines,
     metrics_to_prometheus,
+    spans_to_collapsed,
     spans_to_json_lines,
     write_metrics_json_lines,
     write_metrics_prometheus,
+    write_spans_collapsed,
     write_spans_json_lines,
 )
 from repro.obs.instrument import (
@@ -61,6 +71,14 @@ from repro.obs.instrument import (
     record_maintenance,
     record_materialized_lookup,
     record_query,
+    record_slow_query,
+)
+from repro.obs.querylog import (
+    QUERY_LOG,
+    QueryLog,
+    QueryRecord,
+    WorkloadHistory,
+    cuboid_signature,
 )
 
 __all__ = [
@@ -69,28 +87,40 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "QUERY_LOG",
+    "QueryLog",
+    "QueryRecord",
     "REGISTRY",
     "Span",
     "Tracer",
+    "WorkloadHistory",
+    "cuboid_signature",
     "current_span",
     "current_tracer",
+    "current_trace_id",
     "disable_tracing",
     "enable_tracing",
     "format_delta",
     "metrics_to_json_lines",
     "metrics_to_prometheus",
+    "new_span_id",
+    "new_trace_id",
     "record_cube_compute",
     "record_groupby",
     "record_maintenance",
     "record_materialized_lookup",
     "record_query",
+    "record_slow_query",
     "render_span_rows",
     "span",
+    "spans_to_collapsed",
     "spans_to_json_lines",
     "tracing",
     "tracing_enabled",
     "use_tracer",
+    "with_trace_id",
     "write_metrics_json_lines",
     "write_metrics_prometheus",
+    "write_spans_collapsed",
     "write_spans_json_lines",
 ]

@@ -10,6 +10,10 @@ Two wire formats, both dependency-free:
 - **Prometheus text exposition** -- the de-facto pull format, so a
   scrape endpoint (or a file-based textfile collector) can ingest the
   registry directly.
+- **collapsed stacks** -- span trees folded into the
+  ``frame;frame;frame value`` profile format flamegraph.pl and
+  speedscope consume, weighted by per-span *self* time in
+  microseconds.
 """
 
 from __future__ import annotations
@@ -23,9 +27,11 @@ from repro.obs.trace import Span
 __all__ = [
     "metrics_to_json_lines",
     "metrics_to_prometheus",
+    "spans_to_collapsed",
     "spans_to_json_lines",
     "write_metrics_json_lines",
     "write_metrics_prometheus",
+    "write_spans_collapsed",
     "write_spans_json_lines",
 ]
 
@@ -43,6 +49,45 @@ def spans_to_json_lines(roots: Iterable[Span]) -> str:
     return "\n".join(json.dumps(root.to_dict(), sort_keys=True,
                                 default=str)
                      for root in roots)
+
+
+def _frame(name: str) -> str:
+    """A span name as a collapsed-stack frame: the format reserves
+    ``;`` (stack separator) and the last space (value separator)."""
+    return name.replace(";", ":").replace(" ", "_") or "?"
+
+
+def spans_to_collapsed(roots: Iterable[Span]) -> str:
+    """Span trees as collapsed stacks (flamegraph.pl / speedscope).
+
+    One line per distinct stack, ``root;child;leaf value``, where the
+    value is the stack's *self* time (duration minus the children's
+    summed durations) in integer microseconds.  Overlapping children
+    -- parallel workers attached under one coordinator span -- can sum
+    past their parent's wall clock; self time is floored at zero so
+    the output is always a valid profile.
+    """
+    weights: dict[str, int] = {}
+
+    def visit(span: Span, prefix: str) -> None:
+        stack = f"{prefix};{_frame(span.name)}" if prefix \
+            else _frame(span.name)
+        child_ms = sum(c.duration_ms or 0.0 for c in span.children)
+        self_ms = max((span.duration_ms or 0.0) - child_ms, 0.0)
+        weights[stack] = weights.get(stack, 0) + int(round(self_ms * 1000))
+        for child in span.children:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, "")
+    return "\n".join(f"{stack} {value}"
+                     for stack, value in weights.items())
+
+
+def write_spans_collapsed(path: str, roots: Iterable[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        text = spans_to_collapsed(roots)
+        handle.write(text + "\n" if text else "")
 
 
 def write_metrics_json_lines(path: str,

@@ -9,6 +9,7 @@ metric                                         kind       labels
 =============================================  =========  =============================
 ``repro_sql_queries_total``                    counter    ``kind`` (statement class)
 ``repro_sql_query_seconds``                    histogram  --
+``repro_slow_queries_total``                   counter    ``kind``
 ``repro_cube_computations_total``              counter    ``algorithm``
 ``repro_cube_compute_seconds``                 histogram  ``algorithm``
 ``repro_cube_rows_scanned_total``              counter    --
@@ -74,6 +75,7 @@ __all__ = [
     "record_serve_connection",
     "record_serve_request",
     "record_serve_shed",
+    "record_slow_query",
     "record_spill_retry",
     "record_view_answer",
     "record_worker_failure",
@@ -93,6 +95,16 @@ def record_query(duration_s: float, *, kind: str = "select") -> None:
                      help="SQL statements executed", kind=kind).inc()
     REGISTRY.histogram("repro_sql_query_seconds",
                        help="SQL statement latency").observe(duration_s)
+
+
+def record_slow_query(kind: str = "select") -> None:
+    """A statement crossed its session's / server's ``slow_query_ms``
+    threshold (the query-log record is marked ``slow`` alongside)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_slow_queries_total",
+                     help="statements over the slow-query threshold",
+                     kind=kind).inc()
 
 
 def record_cube_compute(stats: "ComputeStats", duration_s: float, *,

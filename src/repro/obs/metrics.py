@@ -135,6 +135,43 @@ class Histogram(_Metric):
                     self.bucket_counts[position] += 1
                     break
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile by linear interpolation inside
+        the bucket the target rank falls in.
+
+        Observations above the last bucket bound (tracked only by
+        count/sum/min/max) interpolate between that bound and the
+        observed maximum.  The estimate is clamped to the observed
+        ``[min, max]`` range, so ``quantile(0.0)`` is exact and
+        ``quantile(1.0)`` returns the true maximum.  ``None`` with no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile q must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return None
+            assert self.min is not None and self.max is not None
+            target = q * self.count
+            cumulative = 0
+            lower = 0.0
+            for bound, bucket_count in zip(self.buckets,
+                                           self.bucket_counts):
+                if bucket_count and cumulative + bucket_count >= target:
+                    fraction = (target - cumulative) / bucket_count
+                    value = lower + (bound - lower) * fraction
+                    return min(max(value, self.min), self.max)
+                cumulative += bucket_count
+                lower = bound
+            # the rank lands in the open-ended overflow region
+            overflow = self.count - cumulative
+            if overflow <= 0:
+                return self.max
+            fraction = (target - cumulative) / overflow
+            value = lower + (self.max - lower) * fraction
+            return min(max(value, self.min), self.max)
+
 
 class _NoopMetric:
     """Absorbs updates while the registry is disabled."""

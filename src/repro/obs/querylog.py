@@ -1,0 +1,564 @@
+"""The structured query log: one record per top-level execution.
+
+Spans say where one query's time went, metrics say what the process
+has done so far -- neither records *queries*.  This module does: every
+top-level execution (``SQLSession.execute``, a direct ``cube()`` /
+``rollup()`` call, every :class:`~repro.serve.server.QueryServer`
+request) appends exactly one :class:`QueryRecord` to the process-wide
+:data:`QUERY_LOG`, tying the statement to its normalized cuboid
+signature, the algorithm chosen, the cache outcome, the scan counters,
+the admission wait, the end-to-end latency, the outcome, and a trace
+id shared with the span tree (and, over the wire, with the client).
+
+That per-signature view of the workload is exactly what Gray et al.'s
+materialization arguments (and the ROADMAP's workload-adaptive view
+advisor) need as input: :class:`WorkloadHistory` rolls the records up
+by signature -- count, hit rate, p50/p95/p99 latency from histogram
+buckets, total rows scanned.
+
+Design notes:
+
+- **one record per query**: :meth:`QueryLog.track` keeps a per-thread
+  pending-record stack; a nested ``track`` (a session executing inside
+  a server request, a ``cube()`` call inside a session) enriches the
+  outermost record instead of appending a second one;
+- **near-free when off**: with ``QUERY_LOG.enabled = False``,
+  ``track`` yields a shared no-op and :func:`annotate` / :func:`add`
+  return after one thread-local read -- the disabled path is
+  benchmarked (<3 % on the Figure 2 workload, see
+  ``benchmarks/bench_querylog_overhead.py``);
+- **bounded**: the log is a ring of ``capacity`` records; the history
+  keeps the ``history_capacity`` most recently used signatures.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import (
+    ObservabilityError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerOverloadedError,
+)
+from repro.obs import trace
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "OUTCOMES",
+    "QUERY_LOG",
+    "QueryLog",
+    "QueryRecord",
+    "WorkloadHistory",
+    "add",
+    "annotate",
+    "cuboid_signature",
+    "format_records",
+    "format_workload",
+    "track",
+]
+
+#: Latency histogram buckets for the per-signature history, in
+#: milliseconds (the query log speaks ms end to end).
+LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+                      10000.0)
+
+#: The closed outcome taxonomy, mapped from the error hierarchy.
+OUTCOMES = ("ok", "error", "timeout", "cancelled", "shed")
+
+
+def cuboid_signature(dim_sigs: Sequence, agg_sigs: Sequence) -> str:
+    """The normalized, order-insensitive cuboid signature.
+
+    Reuses the serve cache's identity ingredients -- structural
+    dimension signatures plus ``AggregateCall.key()``-style aggregate
+    signatures -- sorted so ``GROUP BY a, b`` and ``GROUP BY b, a``
+    aggregate into the same workload-history entry.
+    """
+    dims = " + ".join(sorted(str(sig) for sig in dim_sigs)) or "()"
+    aggs = " + ".join(sorted(_agg_label(sig) for sig in agg_sigs)) or "-"
+    return f"{dims} :: {aggs}"
+
+
+def _agg_label(sig: Any) -> str:
+    if isinstance(sig, tuple):
+        # (FUNC, argument, distinct, extra) -- AggregateCall.key()
+        name = str(sig[0]) if sig else "?"
+        argument = str(sig[1]) if len(sig) > 1 else "*"
+        distinct = "DISTINCT " if len(sig) > 2 and sig[2] else ""
+        return f"{name}({distinct}{argument})"
+    return str(sig)
+
+
+@dataclass
+class QueryRecord:
+    """One logged execution (all latencies in milliseconds)."""
+
+    trace_id: str
+    kind: str
+    outcome: str
+    duration_ms: float
+    statement: Optional[str] = None
+    signature: Optional[str] = None
+    algorithm: Optional[str] = None
+    degraded_from: Optional[str] = None
+    cache: Optional[str] = None
+    rows_scanned: int = 0
+    cells: int = 0
+    rows: int = 0
+    admission_wait_ms: float = 0.0
+    slow: bool = False
+    error: Optional[str] = None
+    unix_time: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; ``None`` fields are dropped."""
+        out: dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryRecord":
+        """Tolerant inverse of :meth:`to_dict` (unknown keys ignored,
+        missing keys defaulted) -- the CLI reads foreign JSONL files."""
+        if not isinstance(payload, dict):
+            raise ObservabilityError(
+                f"query record must be an object, got "
+                f"{type(payload).__name__}")
+        known = {name: payload[name] for name in cls.__dataclass_fields__
+                 if name in payload}
+        known.setdefault("trace_id", "-")
+        known.setdefault("kind", "unknown")
+        known.setdefault("outcome", "ok")
+        known.setdefault("duration_ms", 0.0)
+        return cls(**known)
+
+
+#: Numeric fields :func:`add` may accumulate into.
+_ADDITIVE = ("rows_scanned", "cells", "rows")
+
+
+class _NoopPending:
+    """Shared do-nothing pending record (log disabled)."""
+
+    __slots__ = ()
+
+    def fill(self, **fields: Any) -> None:
+        pass
+
+    def note(self, **fields: Any) -> None:
+        pass
+
+    def accumulate(self, **fields: Any) -> None:
+        pass
+
+
+_NOOP_PENDING = _NoopPending()
+
+
+class _Pending:
+    """The mutable record-under-construction for one tracked scope."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, kind: Optional[str], statement: Optional[str],
+                 trace_id: str) -> None:
+        self.fields: dict[str, Any] = {
+            "kind": kind, "statement": statement, "trace_id": trace_id}
+
+    def fill(self, **fields: Any) -> None:
+        """Set fields not yet known (nested scopes refine the outer
+        record without clobbering what it already knows)."""
+        for key, value in fields.items():
+            if value is not None and self.fields.get(key) is None:
+                self.fields[key] = value
+
+    def note(self, **fields: Any) -> None:
+        """Set/overwrite fields (``None`` values are ignored)."""
+        for key, value in fields.items():
+            if value is not None:
+                self.fields[key] = value
+
+    def accumulate(self, **fields: Any) -> None:
+        """Add numeric deltas (a query may run several computations --
+        scalar subqueries, union branches -- whose scans all count)."""
+        for key, value in fields.items():
+            if key not in _ADDITIVE:
+                raise ObservabilityError(
+                    f"cannot accumulate query-log field {key!r}; "
+                    f"additive fields are {_ADDITIVE}")
+            self.fields[key] = self.fields.get(key, 0) + value
+
+
+def _classify(exc: Optional[BaseException]) -> tuple[str, Optional[str]]:
+    """Map an exception escaping a tracked scope onto the outcome
+    taxonomy (timeout before cancelled: QueryTimeoutError subclasses
+    QueryCancelledError)."""
+    if exc is None:
+        return "ok", None
+    if isinstance(exc, ServerOverloadedError):
+        return "shed", str(exc)
+    if isinstance(exc, QueryTimeoutError):
+        return "timeout", str(exc)
+    if isinstance(exc, QueryCancelledError):
+        return "cancelled", str(exc)
+    return "error", f"{type(exc).__name__}: {exc}"
+
+
+@dataclass
+class _HistoryEntry:
+    """Rolling per-signature aggregation."""
+
+    signature: str
+    count: int = 0
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+    slow: int = 0
+    rows_scanned: int = 0
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "workload_latency_ms", "", {}, buckets=LATENCY_BUCKETS_MS))
+
+    def observe(self, record: QueryRecord) -> None:
+        self.count += 1
+        if record.cache == "hit":
+            self.hits += 1
+        elif record.cache == "miss":
+            self.misses += 1
+        if record.outcome != "ok":
+            self.errors += 1
+        if record.slow:
+            self.slow += 1
+        self.rows_scanned += record.rows_scanned
+        self.latency.observe(record.duration_ms)
+
+    def snapshot(self) -> dict[str, Any]:
+        probes = self.hits + self.misses
+        return {
+            "signature": self.signature,
+            "count": self.count,
+            "hits": self.hits,
+            "misses": self.misses,
+            "errors": self.errors,
+            "slow": self.slow,
+            "hit_rate": round(self.hits / probes, 4) if probes else None,
+            "rows_scanned": self.rows_scanned,
+            "p50_ms": _round3(self.latency.quantile(0.50)),
+            "p95_ms": _round3(self.latency.quantile(0.95)),
+            "p99_ms": _round3(self.latency.quantile(0.99)),
+        }
+
+
+def _round3(value: Optional[float]) -> Optional[float]:
+    return round(value, 3) if value is not None else None
+
+
+class WorkloadHistory:
+    """Per-signature rolling aggregation over logged queries.
+
+    Bounded: at most ``capacity`` signatures are tracked; when a new
+    one arrives over capacity, the least recently *used* signature is
+    dropped (an LRU over signatures, not records).  Not itself locked
+    -- :class:`QueryLog` updates it under its own lock.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ObservabilityError(
+                f"history capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, _HistoryEntry]" = OrderedDict()
+
+    def observe(self, record: QueryRecord) -> None:
+        signature = record.signature
+        if not signature:
+            return
+        entry = self._entries.get(signature)
+        if entry is None:
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            entry = _HistoryEntry(signature)
+            self._entries[signature] = entry
+        else:
+            self._entries.move_to_end(signature)
+        entry.observe(record)
+
+    def feed(self, records: Iterable[QueryRecord]) -> "WorkloadHistory":
+        """Rebuild from records (the CLI's offline JSONL mode)."""
+        for record in records:
+            self.observe(record)
+        return self
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Every tracked signature's aggregation, busiest first."""
+        out = [entry.snapshot() for entry in self._entries.values()]
+        out.sort(key=lambda e: (-e["count"], e["signature"]))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class QueryLog:
+    """Bounded, thread-safe, process-wide log of executed queries."""
+
+    def __init__(self, capacity: int = 512, *,
+                 history_capacity: int = 128,
+                 enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ObservabilityError(
+                f"query log capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.total = 0
+        self.history = WorkloadHistory(capacity=history_capacity)
+        self._records: "deque[QueryRecord]" = deque(maxlen=capacity)
+        self._outcomes: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- tracking ----------------------------------------------------------
+
+    def _stack(self) -> list[_Pending]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def track(self, kind: Optional[str] = None, *,
+              statement: Optional[str] = None,
+              trace_id: Optional[str] = None
+              ) -> Iterator["_Pending | _NoopPending"]:
+        """Log the execution inside the ``with`` block as one record.
+
+        Nested ``track`` scopes on the same thread do not append: they
+        fill in fields the outermost record does not know yet (a server
+        request learns its statement kind from the session executing
+        inside it).  The outermost scope measures the duration,
+        classifies the outcome from any escaping exception
+        (re-raised untouched), and installs the trace id for root
+        spans via :func:`repro.obs.trace.with_trace_id`.
+        """
+        if not self.enabled:
+            yield _NOOP_PENDING
+            return
+        stack = self._stack()
+        if stack:
+            pending = stack[-1]
+            pending.fill(kind=kind, statement=statement)
+            yield pending
+            return
+        tid = trace_id or trace.current_trace_id() or trace.new_trace_id()
+        pending = _Pending(kind, statement, tid)
+        stack.append(pending)
+        started = time.perf_counter()
+        try:
+            with trace.with_trace_id(tid):
+                yield pending
+        except BaseException as exc:
+            self._finish(pending, started, exc)
+            raise
+        else:
+            self._finish(pending, started, None)
+        finally:
+            stack.pop()
+
+    def _finish(self, pending: _Pending, started: float,
+                exc: Optional[BaseException]) -> None:
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        outcome, error = _classify(exc)
+        fields = pending.fields
+        record = QueryRecord(
+            trace_id=fields["trace_id"],
+            kind=fields.get("kind") or "unknown",
+            outcome=outcome,
+            duration_ms=round(duration_ms, 3),
+            statement=_clip(fields.get("statement")),
+            signature=fields.get("signature"),
+            algorithm=fields.get("algorithm"),
+            degraded_from=fields.get("degraded_from"),
+            cache=fields.get("cache"),
+            rows_scanned=fields.get("rows_scanned", 0),
+            cells=fields.get("cells", 0),
+            rows=fields.get("rows", 0),
+            admission_wait_ms=fields.get("admission_wait_ms", 0.0),
+            slow=bool(fields.get("slow", False)),
+            error=error if error is not None else fields.get("error"),
+            unix_time=time.time(),
+        )
+        with self._lock:
+            self.total += 1
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+            self._records.append(record)
+            self.history.observe(record)
+
+    def annotate(self, **fields: Any) -> None:
+        """Set fields on this thread's active record; no-op when no
+        scope is open or the log is disabled (one thread-local read)."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        stack[-1].note(**fields)
+
+    def add(self, **fields: Any) -> None:
+        """Accumulate additive counters (``rows_scanned``, ``cells``,
+        ``rows``) onto this thread's active record."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        stack[-1].accumulate(**fields)
+
+    def active(self) -> bool:
+        """True when this thread has an open tracked scope."""
+        return bool(getattr(self._local, "stack", None))
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self, n: Optional[int] = None, *,
+                 kind: Optional[str] = None,
+                 outcome: Optional[str] = None,
+                 signature: Optional[str] = None,
+                 slow: Optional[bool] = None,
+                 min_duration_ms: Optional[float] = None
+                 ) -> list[QueryRecord]:
+        """The most recent matching records, oldest first.  ``n``
+        bounds the result *after* filtering (the last ``n`` matches)."""
+        with self._lock:
+            records = list(self._records)
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        if outcome is not None:
+            records = [r for r in records if r.outcome == outcome]
+        if signature is not None:
+            records = [r for r in records if r.signature == signature]
+        if slow is not None:
+            records = [r for r in records if r.slow is slow]
+        if min_duration_ms is not None:
+            records = [r for r in records
+                       if r.duration_ms >= min_duration_ms]
+        if n is not None and n >= 0:
+            records = records[-n:] if n else []
+        return records
+
+    def summary(self) -> dict[str, Any]:
+        """Totals for the ``stats`` op and the CLI header."""
+        with self._lock:
+            records = list(self._records)
+            total = self.total
+            outcomes = dict(self._outcomes)
+        durations = sorted(r.duration_ms for r in records)
+        return {
+            "enabled": self.enabled,
+            "total": total,
+            "retained": len(records),
+            "dropped": total - len(records),
+            "outcomes": outcomes,
+            "slow": sum(1 for r in records if r.slow),
+            "signatures": len(self.history),
+            "max_ms": durations[-1] if durations else None,
+        }
+
+    def to_json_lines(self, n: Optional[int] = None) -> str:
+        return "\n".join(json.dumps(record.to_dict(), sort_keys=True,
+                                    default=str)
+                         for record in self.snapshot(n))
+
+    def write_json_lines(self, path: str,
+                         n: Optional[int] = None) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_json_lines(n)
+            handle.write(text + "\n" if text else "")
+
+    def clear(self) -> None:
+        """Drop records, history, and totals (test isolation)."""
+        with self._lock:
+            self._records.clear()
+            self._outcomes = {}
+            self.total = 0
+            self.history = WorkloadHistory(
+                capacity=self.history.capacity)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def _clip(statement: Optional[str], limit: int = 200) -> Optional[str]:
+    if statement is None:
+        return None
+    statement = " ".join(statement.split())
+    if len(statement) > limit:
+        return statement[: limit - 3] + "..."
+    return statement
+
+
+#: The process-wide query log all built-in entry points append to.
+QUERY_LOG = QueryLog()
+
+
+def track(kind: Optional[str] = None, *, statement: Optional[str] = None,
+          trace_id: Optional[str] = None):
+    """Module-level shorthand for :meth:`QueryLog.track` on
+    :data:`QUERY_LOG`."""
+    return QUERY_LOG.track(kind, statement=statement, trace_id=trace_id)
+
+
+def annotate(**fields: Any) -> None:
+    """Annotate this thread's active record on :data:`QUERY_LOG`."""
+    QUERY_LOG.annotate(**fields)
+
+
+def add(**fields: Any) -> None:
+    """Accumulate counters onto this thread's active record."""
+    QUERY_LOG.add(**fields)
+
+
+# -- rendering (shared by the shell's \log/\top and python -m repro.obs) ------
+
+
+def format_records(records: Sequence[QueryRecord]) -> list[str]:
+    """Fixed-width lines, one per record (oldest first)."""
+    lines = []
+    for record in records:
+        cache = record.cache or "-"
+        flags = "S" if record.slow else " "
+        label = record.signature or record.statement or "-"
+        lines.append(
+            f"{record.trace_id:<16} {record.kind:<9} "
+            f"{record.outcome:<9} {cache:<7} "
+            f"{record.duration_ms:>9.2f}ms {flags} {label}")
+    return lines
+
+
+def format_workload(entries: Sequence[dict]) -> list[str]:
+    """Fixed-width lines for :meth:`WorkloadHistory.snapshot` rows."""
+    lines = []
+    for entry in entries:
+        hit_rate = entry.get("hit_rate")
+        rate = f"{hit_rate * 100:5.1f}%" if hit_rate is not None else "    -"
+        p50 = entry.get("p50_ms")
+        p95 = entry.get("p95_ms")
+        p99 = entry.get("p99_ms")
+        lines.append(
+            f"n={entry['count']:<5} hit={rate} "
+            f"p50={_fmt_ms(p50)} p95={_fmt_ms(p95)} p99={_fmt_ms(p99)} "
+            f"scanned={entry.get('rows_scanned', 0):<8} "
+            f"{entry['signature']}")
+    return lines
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:8.2f}ms" if value is not None else "       -  "

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
@@ -40,14 +41,53 @@ __all__ = [
     "Tracer",
     "current_span",
     "current_tracer",
+    "current_trace_id",
     "disable_tracing",
     "enable_tracing",
+    "new_span_id",
+    "new_trace_id",
     "render_span_rows",
     "span",
     "tracing",
     "tracing_enabled",
     "use_tracer",
+    "with_trace_id",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (links a client call, the server's
+    query record, and the span tree it produced)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id."""
+    return uuid.uuid4().hex[:8]
+
+
+#: Per-thread trace-id override for *root* spans: a root opened while
+#: an override is installed adopts it instead of minting its own, so
+#: one id can link a wire request, its query-log record, and its spans.
+_trace_context = threading.local()
+
+
+def current_trace_id() -> str | None:
+    """The trace id installed by :func:`with_trace_id`, if any."""
+    return getattr(_trace_context, "trace_id", None)
+
+
+@contextmanager
+def with_trace_id(trace_id: str) -> Iterator[str]:
+    """Scope a trace id onto this thread: root spans opened inside the
+    block (and the query log's records) adopt ``trace_id`` instead of
+    generating one.  The server installs the client-supplied id here."""
+    previous = getattr(_trace_context, "trace_id", None)
+    _trace_context.trace_id = trace_id
+    try:
+        yield trace_id
+    finally:
+        _trace_context.trace_id = previous
 
 
 class _NoopSpan:
@@ -82,7 +122,8 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "children", "events", "stats",
-                 "duration_ms", "error", "_started", "_tracer", "_parent")
+                 "duration_ms", "error", "span_id", "trace_id",
+                 "_started", "_tracer", "_parent")
 
     def __init__(self, tracer: "Tracer", name: str,
                  parent: Optional["Span"],
@@ -94,6 +135,13 @@ class Span:
         self.stats: dict[str, Any] | None = None
         self.duration_ms: float | None = None
         self.error: str | None = None
+        self.span_id = new_span_id()
+        # children share the root's trace id; roots adopt the
+        # thread-scoped override (with_trace_id) or mint their own
+        if parent is not None:
+            self.trace_id = parent.trace_id
+        else:
+            self.trace_id = current_trace_id() or new_trace_id()
         self._started: float | None = None
         self._tracer = tracer
         self._parent = parent
@@ -146,6 +194,8 @@ class Span:
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {"name": self.name,
+                               "span_id": self.span_id,
+                               "trace_id": self.trace_id,
                                "duration_ms": self.duration_ms}
         if self.attributes:
             out["attributes"] = dict(self.attributes)
@@ -303,6 +353,7 @@ def _format_detail(span: Span) -> str:
             parts.append(f"[{counters}]")
     if span.error is not None:
         parts.append(f"error={span.error}")
+    parts.append(f"span={span.span_id}")
     return "  ".join(parts)
 
 

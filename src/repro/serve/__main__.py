@@ -42,7 +42,8 @@ def _build_server(args: argparse.Namespace) -> QueryServer:
         cache=CuboidCache(policy=policy),
         host=args.host, port=args.port,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
-        statement_timeout=args.timeout)
+        statement_timeout=args.timeout,
+        slow_query_ms=args.slow_query_ms)
 
 
 #: the smoke workload -- repeated grouped queries over FACTS, designed
@@ -108,6 +109,13 @@ def run_smoke(args: argparse.Namespace) -> int:
             stats = client.stats()
     cache_stats = stats.get("cache", {})
     print(f"smoke: cache stats {cache_stats}")
+    querylog_stats = stats.get("querylog", {})
+    print(f"smoke: query log {querylog_stats}")
+    if args.smoke_querylog:
+        from repro.obs.querylog import QUERY_LOG
+        QUERY_LOG.write_json_lines(args.smoke_querylog)
+        print(f"smoke: query log written to {args.smoke_querylog} "
+              f"({len(QUERY_LOG)} records)")
     if not failures and cache_stats.get("hits", 0) < 1:
         failures.append("expected at least one cache hit, got "
                         f"{cache_stats.get('hits', 0)}")
@@ -134,10 +142,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-statement deadline in seconds")
     parser.add_argument("--cache-budget", type=int, default=None,
                         help="cuboid cache budget in cells")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="mark statements at/over this latency as "
+                             "slow (repro_slow_queries_total)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI smoke workload and exit")
     parser.add_argument("--smoke-clients", type=int, default=8,
                         help="concurrent clients in --smoke mode")
+    parser.add_argument("--smoke-querylog", metavar="PATH", default=None,
+                        help="in --smoke mode, write the query log as "
+                             "JSON lines to PATH (CI artifact)")
     args = parser.parse_args(argv)
 
     if args.smoke:

@@ -60,7 +60,7 @@ from repro.errors import (
     ResourceBudgetExceededError,
     ServeError,
 )
-from repro.obs import instrument, trace
+from repro.obs import instrument, querylog, trace
 from repro.resilience import context as rctx
 from repro.resilience.context import ExecutionContext
 
@@ -188,9 +188,12 @@ class CuboidCache:
         request names, then aggregates) or ``None`` for bypass."""
         dim_sigs = tuple(dim_sigs)
         agg_sigs = tuple(agg_sigs)
+        querylog.annotate(
+            signature=querylog.cuboid_signature(dim_sigs, agg_sigs))
         if self._bypasses(dim_sigs, agg_sigs, specs):
             self.counters["bypasses"] += 1
             instrument.record_cache_lookup("bypass")
+            querylog.annotate(cache="bypass")
             return None
         with self._locked():
             self._clock += 1
@@ -272,6 +275,7 @@ class CuboidCache:
         entry.last_used = self._clock
         self.counters["hits"] += 1
         instrument.record_cache_lookup("hit")
+        querylog.annotate(cache="hit")
         with trace.span("serve.answer", cache_hit=True,
                         grouping_sets=len(masks)) as span:
             scanned = 0
@@ -284,6 +288,7 @@ class CuboidCache:
             result = self._project(entry, strata, dim_sigs, dim_names,
                                    agg_sigs, agg_names)
             span.set(rows_scanned=scanned, rows=len(result))
+        querylog.add(rows_scanned=scanned)
         return result
 
     def _answer_miss(self, table: Table, source: SourceSignature,
@@ -293,6 +298,7 @@ class CuboidCache:
                      masks: Sequence[Mask]) -> Optional[Table]:
         self.counters["misses"] += 1
         instrument.record_cache_lookup("miss")
+        querylog.annotate(cache="miss")
         if len(table) < self.policy.min_rows:
             return None  # not worth caching; normal path recomputes
         masks = tuple(dict.fromkeys(masks))
@@ -313,6 +319,7 @@ class CuboidCache:
             # which knows how to degrade to the external algorithm
             self.counters["bypasses"] += 1
             instrument.record_cache_lookup("bypass")
+            querylog.annotate(cache="bypass")
             return None
         entry = CacheEntry(source=source, dim_sigs=dim_sigs,
                            dim_names=tuple(dim_names),

@@ -15,6 +15,7 @@ from typing import Any
 from repro import errors as _errors
 from repro.engine.table import Table
 from repro.errors import ServeError
+from repro.obs import trace
 from repro.serve import protocol
 
 __all__ = ["QueryClient"]
@@ -50,6 +51,9 @@ class QueryClient:
         self._next_id = 0
         self._closed = False
         self.last_elapsed_ms: float | None = None
+        #: trace id of the last query (client-generated, echoed by the
+        #: server in both ok and error responses)
+        self.last_trace_id: str | None = None
 
     # -- plumbing ----------------------------------------------------------
 
@@ -65,6 +69,8 @@ class QueryClient:
             raise ServeError(f"connection lost: {error}") from None
         if response is None:
             raise ServeError("server closed the connection")
+        if "trace" in response:
+            self.last_trace_id = response["trace"]
         if not response.get("ok"):
             raise _rebuild_error(response.get("error", {}))
         return response
@@ -73,8 +79,15 @@ class QueryClient:
 
     def execute(self, sql: str) -> Table:
         """Run one statement remotely; returns the result relation
-        (ALL values decoded back to the singleton)."""
-        response = self._request("query", sql=sql)
+        (ALL values decoded back to the singleton).
+
+        Each call generates a fresh trace id, sends it with the
+        request, and records the id the server echoed back in
+        :attr:`last_trace_id` -- the handle that joins this call to
+        the server's query-log record and span tree."""
+        trace_id = trace.new_trace_id()
+        self.last_trace_id = trace_id
+        response = self._request("query", sql=sql, trace=trace_id)
         self.last_elapsed_ms = response.get("elapsed_ms")
         return protocol.decode_table(response)
 
@@ -84,6 +97,16 @@ class QueryClient:
     def stats(self) -> dict:
         """Server-side stats: cache counters, admission state, tables."""
         return self._request("stats").get("stats", {})
+
+    def log(self, n: int = 50, **filters: Any) -> dict:
+        """The server's recent query records + workload history.
+
+        ``filters`` pass through to the ``log`` op (``kind=``,
+        ``outcome=``, ``slow=``)."""
+        response = self._request("log", n=n, **filters)
+        return {"records": response.get("records", []),
+                "workload": response.get("workload", []),
+                "summary": response.get("summary", {})}
 
     def close(self) -> None:
         if self._closed:

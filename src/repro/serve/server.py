@@ -44,7 +44,8 @@ from repro.errors import (
     ServeError,
     ServerOverloadedError,
 )
-from repro.obs import instrument
+from repro.obs import instrument, querylog, trace
+from repro.obs.querylog import QUERY_LOG
 from repro.resilience.context import ExecutionContext
 from repro.serve import protocol
 from repro.serve.cache import CuboidCache
@@ -207,13 +208,15 @@ class QueryServer:
                  host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 4, max_queue: int = 16,
                  statement_timeout: Optional[float] = None,
-                 memory_budget: Optional[int] = None) -> None:
+                 memory_budget: Optional[int] = None,
+                 slow_query_ms: Optional[float] = None) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.cache = cache if cache is not None else CuboidCache()
         self.host = host
         self.port = port
         self.statement_timeout = statement_timeout
         self.memory_budget = memory_budget
+        self.slow_query_ms = slow_query_ms
         self.lock = VersionedRWLock()
         self.admission = AdmissionController(max_inflight=max_inflight,
                                              max_queue=max_queue)
@@ -319,7 +322,8 @@ class QueryServer:
     def _make_session(self) -> SQLSession:
         return SQLSession(self.catalog, cache=self.cache,
                           statement_timeout=self.statement_timeout,
-                          memory_budget=self.memory_budget)
+                          memory_budget=self.memory_budget,
+                          slow_query_ms=self.slow_query_ms)
 
     def _serve_connection(self, conn: socket.socket) -> None:
         instrument.record_serve_connection()
@@ -372,14 +376,35 @@ class QueryServer:
         if op == "stats":
             return {"id": request_id, "ok": True,
                     "stats": self._stats()}
+        if op == "log":
+            return self._log_op(request_id, request)
         if op == "query":
             sql = request.get("sql")
             if not isinstance(sql, str) or not sql.strip():
                 return self._error(request_id, ServeError(
                     "query op needs a non-empty 'sql' string"))
-            return self._run_query(session, request_id, sql)
+            trace_id = (self._valid_trace(request.get("trace"))
+                        or trace.new_trace_id())
+            return self._run_query(session, request_id, sql, trace_id)
         return self._error(request_id,
                            ServeError(f"unknown op {op!r}"))
+
+    @staticmethod
+    def _valid_trace(value) -> Optional[str]:
+        """A usable client-supplied trace id, or ``None``.
+
+        The id travels into log records and span exports, so anything
+        malformed -- wrong type, empty, oversized, whitespace or
+        control characters -- is discarded and the server generates
+        its own (the client is never failed over its trace header)."""
+        if not isinstance(value, str):
+            return None
+        value = value.strip()
+        if not value or len(value) > 64:
+            return None
+        if any(ch.isspace() or not ch.isprintable() for ch in value):
+            return None
+        return value
 
     def _stats(self) -> dict:
         return {
@@ -388,27 +413,75 @@ class QueryServer:
             "queued": self.admission.queued,
             "catalog_version": self.lock.version,
             "tables": self.catalog.names(),
+            "querylog": QUERY_LOG.summary(),
         }
 
+    def _log_op(self, request_id, request: dict) -> dict:
+        """The ``log`` op: recent query records + workload history."""
+        n = request.get("n", 50)
+        if isinstance(n, bool) or not isinstance(n, int) or n < 0:
+            return self._error(request_id, ServeError(
+                "log op 'n' must be a non-negative integer"))
+        kind = request.get("kind")
+        outcome = request.get("outcome")
+        if kind is not None and not isinstance(kind, str):
+            return self._error(request_id, ServeError(
+                "log op 'kind' must be a string"))
+        if outcome is not None and not isinstance(outcome, str):
+            return self._error(request_id, ServeError(
+                "log op 'outcome' must be a string"))
+        slow = request.get("slow")
+        if slow is not None and not isinstance(slow, bool):
+            return self._error(request_id, ServeError(
+                "log op 'slow' must be a boolean"))
+        records = QUERY_LOG.snapshot(n, kind=kind, outcome=outcome,
+                                     slow=slow)
+        return {"id": request_id, "ok": True,
+                "records": [record.to_dict() for record in records],
+                "workload": QUERY_LOG.history.snapshot(),
+                "summary": QUERY_LOG.summary()}
+
     def _run_query(self, session: SQLSession, request_id,
-                   sql: str) -> dict:
+                   sql: str, trace_id: str) -> dict:
         started = time.perf_counter()
         ctx = ExecutionContext(timeout=self.statement_timeout,
                                memory_budget=self.memory_budget)
         try:
-            with self.admission.slot(deadline=ctx.deadline):
-                guard = (self.lock.write()
-                         if classify_statement(sql) == "write"
-                         else self.lock.read())
-                with guard:
-                    result = session.execute(sql, context=ctx)
+            with QUERY_LOG.track(statement=sql, trace_id=trace_id):
+                result = self._execute_admitted(session, sql, ctx,
+                                                started)
         except ReproError as error:
-            return self._error(request_id, error)
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         payload = protocol.encode_table(result)
         return {"id": request_id, "ok": True,
                 "columns": payload["columns"], "rows": payload["rows"],
-                "elapsed_ms": round(elapsed_ms, 3)}
+                "elapsed_ms": round(elapsed_ms, 3),
+                "trace": trace_id}
+
+    def _execute_admitted(self, session: SQLSession, sql: str,
+                          ctx: ExecutionContext, started: float):
+        """Admission + lock + execute, annotating the admission wait
+        (on sheds too: a record whose whole life was the queue should
+        say so)."""
+        admitted = False
+        try:
+            with self.admission.slot(deadline=ctx.deadline):
+                admitted = True
+                querylog.annotate(admission_wait_ms=round(
+                    (time.perf_counter() - started) * 1000.0, 3))
+                guard = (self.lock.write()
+                         if classify_statement(sql) == "write"
+                         else self.lock.read())
+                with guard:
+                    return session.execute(sql, context=ctx)
+        except (ServerOverloadedError, QueryTimeoutError):
+            if not admitted:
+                querylog.annotate(admission_wait_ms=round(
+                    (time.perf_counter() - started) * 1000.0, 3))
+            raise
 
     @staticmethod
     def _error(request_id, error: Exception) -> dict:

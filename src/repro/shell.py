@@ -17,6 +17,10 @@ meta-commands start with a backslash:
     \\timeout <s|off>     set a statement deadline in seconds; a query
                           past it raises QueryTimeoutError at the next
                           checkpoint (see docs/RESILIENCE.md)
+    \\log [n]             the last n query-log records (local or, when
+                          connected, the server's -- docs/OBSERVABILITY.md)
+    \\top [n]             the n busiest workload signatures with hit
+                          rate and latency quantiles
     \\connect host:port   route statements to a running query server
                           (python -m repro.serve; see docs/SERVING.md)
     \\disconnect          back to the local in-process session
@@ -237,6 +241,8 @@ class Shell:
             self.session.statement_timeout = seconds
             return (f"statement_timeout {seconds}s: a statement past the "
                     "deadline raises QueryTimeoutError (docs/RESILIENCE.md)")
+        if name in ("\\log", "\\top"):
+            return self._querylog_meta(name, parts)
         if name == "\\connect":
             if len(parts) != 2 or ":" not in parts[1]:
                 return "usage: \\connect host:port"
@@ -264,6 +270,36 @@ class Shell:
             self.remote = None
             return "disconnected; statements run in the local session"
         return f"unknown command {name}; try \\help"
+
+    def _querylog_meta(self, name: str, parts: list[str]) -> str:
+        """``\\log [n]`` (recent records) / ``\\top [n]`` (workload)."""
+        from repro.obs import querylog as ql
+        n = 10
+        if len(parts) > 2:
+            return f"usage: {name} [n]"
+        if len(parts) == 2:
+            try:
+                n = int(parts[1])
+            except ValueError:
+                n = -1
+            if n < 1:
+                return f"usage: {name} [n]"
+        if self.remote is not None:
+            try:
+                payload = self.remote.log(n=n)
+            except ReproError as error:
+                return f"error: {error}"
+            records = [ql.QueryRecord.from_dict(entry)
+                       for entry in payload["records"]]
+            workload = payload["workload"]
+        else:
+            records = ql.QUERY_LOG.snapshot(n)
+            workload = ql.QUERY_LOG.history.snapshot()
+        if name == "\\log":
+            lines = ql.format_records(records[-n:])
+            return "\n".join(lines) if lines else "(query log is empty)"
+        lines = ql.format_workload(workload[:n])
+        return "\n".join(lines) if lines else "(no workload history)"
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -52,7 +52,7 @@ from repro.engine.operators import filter_rows, union_all, union_distinct
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
 from repro.errors import ResilienceError, SQLExecutionError, SQLPlanError
-from repro.obs import instrument, trace
+from repro.obs import instrument, querylog, trace
 from repro.obs.trace import Tracer, render_span_rows, use_tracer
 from repro.resilience import context as rctx
 from repro.sql import functions as _functions  # noqa: F401  (registers)
@@ -211,6 +211,11 @@ class SQLSession:
     an in-memory cube that crosses it degrades to the external
     algorithm mid-flight (see :mod:`repro.resilience`).
 
+    ``slow_query_ms`` marks any statement whose end-to-end latency
+    reaches the threshold: its query-log record gets ``slow=True`` and
+    ``repro_slow_queries_total{kind=...}`` increments (see
+    docs/OBSERVABILITY.md).
+
     ``cache`` is an optional :class:`~repro.serve.CuboidCache` (shared
     across sessions by the query server): grouped SELECTs probe it
     before planning -- a containment hit re-aggregates a cached cuboid
@@ -227,10 +232,14 @@ class SQLSession:
                  statement_timeout: float | None = None,
                  memory_budget: int | None = None,
                  dense_budget: int = 1 << 20,
-                 cache: Any | None = None) -> None:
+                 cache: Any | None = None,
+                 slow_query_ms: float | None = None) -> None:
         if statement_timeout is not None and statement_timeout < 0:
             raise ResilienceError(
                 f"statement_timeout must be >= 0, got {statement_timeout}")
+        if slow_query_ms is not None and slow_query_ms < 0:
+            raise ResilienceError(
+                f"slow_query_ms must be >= 0, got {slow_query_ms}")
         if memory_budget is not None and memory_budget < 1:
             raise ResilienceError(
                 f"memory_budget must be at least 1 cell, got {memory_budget}")
@@ -246,6 +255,12 @@ class SQLSession:
         self.memory_budget = memory_budget
         self.dense_budget = dense_budget
         self.cache = cache
+        self.slow_query_ms = slow_query_ms
+        #: the span roots from the most recent EXPLAIN ANALYZE -- kept
+        #: so tools can export the same tree the rows rendered
+        #: (spans_to_json_lines / spans_to_collapsed share span ids
+        #: with the rendered plan)
+        self.last_analyze_roots: list = []
 
     def register(self, name: str, table: Table, *,
                  replace: bool = False) -> Table:
@@ -268,19 +283,27 @@ class SQLSession:
         cancellation token with another thread (the shell's Ctrl-C
         handler does).
         """
-        statement = parse_any(sql, registry=self.registry)
-        kind, runner = self._dispatch(statement)
-        ctx = context if context is not None else self._make_context()
-        started = time.perf_counter()
-        with trace.span("sql.query", kind=kind):
-            if ctx is None:
-                result = runner()
-            else:
-                with rctx.use_context(ctx):
-                    ctx.check("sql.query")
+        with querylog.track(statement=sql):
+            statement = parse_any(sql, registry=self.registry)
+            kind, runner = self._dispatch(statement)
+            querylog.annotate(kind=kind)
+            ctx = context if context is not None else self._make_context()
+            started = time.perf_counter()
+            with trace.span("sql.query", kind=kind):
+                if ctx is None:
                     result = runner()
-        instrument.record_query(time.perf_counter() - started, kind=kind)
-        return result
+                else:
+                    with rctx.use_context(ctx):
+                        ctx.check("sql.query")
+                        result = runner()
+            elapsed = time.perf_counter() - started
+            instrument.record_query(elapsed, kind=kind)
+            querylog.add(rows=len(result))
+            if self.slow_query_ms is not None \
+                    and elapsed * 1000.0 >= self.slow_query_ms:
+                instrument.record_slow_query(kind)
+                querylog.annotate(slow=True)
+            return result
 
     def _make_context(self):
         """A fresh per-statement context, or None when the session sets
@@ -440,8 +463,11 @@ class SQLSession:
             with tracer.span("sql.query", kind="select"):
                 result = self.run(statement)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
-        steps: list[tuple[str, str]] = [
-            ("analyze", f"{len(result)} rows in {elapsed_ms:.2f} ms")]
+        self.last_analyze_roots = tracer.roots
+        header = f"{len(result)} rows in {elapsed_ms:.2f} ms"
+        if tracer.roots:
+            header += f"  trace={tracer.roots[0].trace_id}"
+        steps: list[tuple[str, str]] = [("analyze", header)]
         for root in tracer.roots:
             steps.extend(render_span_rows(root))
         return Table(Schema([Column("step", DataType.STRING),
@@ -853,6 +879,11 @@ class SQLSession:
             # structurally this is COUNT(*): a cached explicit COUNT(*)
             # column can serve it, and vice versa
             agg_sigs.append(("COUNT", "*", False, ()))
+
+        # the workload-history identity: the same order-insensitive
+        # dim/agg signatures the semantic cache keys on
+        querylog.annotate(signature=querylog.cuboid_signature(
+            tuple(repr(expr) for expr, _ in dims), tuple(agg_sigs)))
 
         if not dims:
             grouped = hash_group_by(table, [], specs).table

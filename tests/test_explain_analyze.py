@@ -121,6 +121,40 @@ def test_explain_analyze_matches_query_rows():
     assert rows[0][1].startswith(f"{expected} rows in")
 
 
+def test_explain_analyze_ids_agree_with_json_export():
+    """The ids printed in the ANALYZE rows are the same ids the JSON
+    span export carries -- one vocabulary across both surfaces."""
+    import json
+
+    from repro.obs.export import spans_to_json_lines
+
+    session = make_session()
+    rows = rows_of(session.execute(f"EXPLAIN ANALYZE {CUBE_SQL}"))
+    # header still matches the documented shape, with the trace id after
+    assert re.match(r"\d+ rows in \d+\.\d+ ms", rows[0][1])
+    header_trace = re.search(r"trace=([0-9a-f]{16})", rows[0][1])
+    assert header_trace, rows[0][1]
+    rendered_spans = {match.group(1)
+                      for _, detail in rows[1:]
+                      for match in [re.search(r"span=([0-9a-f]{8})", detail)]
+                      if match}
+    assert rendered_spans
+
+    exported = [json.loads(line) for line in
+                spans_to_json_lines(session.last_analyze_roots).splitlines()]
+    exported_spans = set()
+
+    def walk(node):
+        exported_spans.add(node["span_id"])
+        assert node["trace_id"] == header_trace.group(1)
+        for child in node.get("children", ()):
+            walk(child)
+
+    for root in exported:
+        walk(root)
+    assert rendered_spans == exported_spans
+
+
 def test_analyze_not_reserved_as_identifier():
     """ANALYZE only means something after EXPLAIN; a column of that
     name still parses."""

@@ -111,3 +111,98 @@ def test_process_registry_is_shared():
     from repro.obs import metrics
     assert metrics.REGISTRY is REGISTRY
     assert isinstance(REGISTRY, MetricsRegistry)
+
+
+# -- Histogram.quantile -------------------------------------------------------
+
+
+def test_quantile_empty_histogram_is_none(registry):
+    h = registry.histogram("empty_seconds", buckets=(1.0, 2.0))
+    assert h.quantile(0.5) is None
+
+
+def test_quantile_rejects_out_of_range(registry):
+    h = registry.histogram("checked_seconds", buckets=(1.0,))
+    h.observe(0.5)
+    for bad in (-0.01, 1.01, 2.0):
+        with pytest.raises(ObservabilityError):
+            h.quantile(bad)
+
+
+def test_quantile_interpolates_within_buckets(registry):
+    h = registry.histogram("interp_seconds", buckets=(1.0, 2.0, 5.0, 10.0))
+    for value in (0.5, 1.5, 1.5, 4.0, 4.0, 30.0):
+        h.observe(value)
+    # q=0 clamps to the observed minimum, q=1 to the maximum
+    assert h.quantile(0.0) == pytest.approx(0.5)
+    assert h.quantile(1.0) == pytest.approx(30.0)
+    # the median target (3 of 6) lands inside the (1.0, 2.0] bucket
+    median = h.quantile(0.5)
+    assert 1.0 <= median <= 2.0
+    # monotone in q
+    qs = [h.quantile(q / 10) for q in range(11)]
+    assert qs == sorted(qs)
+
+
+def test_quantile_overflow_region_interpolates_to_max(registry):
+    h = registry.histogram("overflow_seconds", buckets=(1.0,))
+    h.observe(0.5)
+    h.observe(100.0)
+    h.observe(200.0)
+    # q beyond the last bound interpolates toward the observed max
+    assert h.quantile(1.0) == pytest.approx(200.0)
+    assert 1.0 <= h.quantile(0.9) <= 200.0
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+    _values = st.lists(
+        st.floats(min_value=0.0, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=50)
+    _quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+    @given(values=_values, q=_quantiles)
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_bounded_by_observed_range(values, q):
+        h = MetricsRegistry().histogram(
+            "prop_seconds", buckets=(0.1, 1.0, 10.0, 100.0))
+        for value in values:
+            h.observe(value)
+        estimate = h.quantile(q)
+        assert estimate is not None
+        assert min(values) <= estimate <= max(values)
+
+    @given(values=_values)
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_monotone_in_q(values):
+        h = MetricsRegistry().histogram(
+            "mono_seconds", buckets=(0.1, 1.0, 10.0, 100.0))
+        for value in values:
+            h.observe(value)
+        estimates = [h.quantile(q / 20) for q in range(21)]
+        assert estimates == sorted(estimates)
+
+    @given(values=_values, q=_quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_within_one_bucket_of_exact(values, q):
+        """The estimate can never leave the bucket holding the exact
+        order statistic."""
+        buckets = (0.1, 1.0, 10.0, 100.0)
+        h = MetricsRegistry().histogram("close_seconds", buckets=buckets)
+        for value in values:
+            h.observe(value)
+        exact = sorted(values)[
+            min(len(values) - 1, int(q * len(values)))]
+        estimate = h.quantile(q)
+        bounds = (0.0, *buckets, float("inf"))
+        for lower, upper in zip(bounds, bounds[1:]):
+            if lower < exact <= upper or (exact == 0.0 and lower == 0.0):
+                assert estimate <= max(upper, max(values))
+                break

@@ -1,0 +1,387 @@
+"""The structured query log: tracking, enrichment, workload history,
+serialization, and the SQL/compute entry-point wiring."""
+
+import json
+
+import pytest
+
+from repro import Catalog
+from repro.core.cube import agg, cube, grouping_sets_op, rollup
+from repro.errors import (
+    CubeError,
+    ObservabilityError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerOverloadedError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.obs.querylog import (
+    QUERY_LOG,
+    QueryLog,
+    QueryRecord,
+    WorkloadHistory,
+    cuboid_signature,
+    format_records,
+    format_workload,
+)
+from repro.sql import SQLSession
+
+
+@pytest.fixture
+def log():
+    return QueryLog(capacity=16, history_capacity=8)
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_log():
+    QUERY_LOG.clear()
+    yield
+    QUERY_LOG.clear()
+
+
+# -- tracking -----------------------------------------------------------------
+
+
+class TestTrack:
+    def test_one_scope_one_record(self, log):
+        with log.track("select", statement="SELECT 1"):
+            pass
+        records = log.snapshot()
+        assert len(records) == 1
+        record = records[0]
+        assert record.kind == "select"
+        assert record.statement == "SELECT 1"
+        assert record.outcome == "ok"
+        assert record.duration_ms >= 0.0
+        assert record.trace_id
+
+    def test_nested_scopes_enrich_not_append(self, log):
+        with log.track(statement="outer"):
+            with log.track("cube"):       # fills the unknown kind
+                log.add(rows_scanned=10)
+            with log.track("rollup"):     # kind already known: kept
+                log.add(rows_scanned=5)
+        records = log.snapshot()
+        assert len(records) == 1
+        assert records[0].kind == "cube"
+        assert records[0].statement == "outer"
+        assert records[0].rows_scanned == 15
+
+    def test_annotate_and_add(self, log):
+        with log.track("cube"):
+            log.annotate(algorithm="array", cache="hit", slow=True)
+            log.annotate(algorithm="pipesort")   # overwrite wins
+            log.annotate(degraded_from=None)     # None is ignored
+            log.add(cells=3)
+            log.add(cells=4, rows=2)
+        record = log.snapshot()[0]
+        assert record.algorithm == "pipesort"
+        assert record.cache == "hit"
+        assert record.slow is True
+        assert record.degraded_from is None
+        assert record.cells == 7
+        assert record.rows == 2
+
+    def test_hooks_are_noops_outside_scope(self, log):
+        log.annotate(algorithm="array")
+        log.add(rows_scanned=5)
+        assert len(log) == 0
+        assert not log.active()
+
+    def test_add_rejects_non_additive_fields(self, log):
+        with log.track("cube"):
+            with pytest.raises(ObservabilityError):
+                log.add(algorithm=1)
+
+    def test_disabled_log_records_nothing(self, log):
+        log.enabled = False
+        with log.track("select", statement="SELECT 1"):
+            log.annotate(algorithm="array")
+            log.add(rows_scanned=5)
+        assert len(log) == 0
+        assert log.total == 0
+
+    def test_statement_normalized_and_clipped(self, log):
+        with log.track("select", statement="SELECT\n  1  " + "x" * 400):
+            pass
+        statement = log.snapshot()[0].statement
+        assert "\n" not in statement
+        assert len(statement) <= 200
+        assert statement.endswith("...")
+
+    def test_capacity_bounds_ring_but_not_total(self, log):
+        for i in range(20):
+            with log.track("select", statement=f"q{i}"):
+                pass
+        assert len(log) == 16
+        assert log.total == 20
+        summary = log.summary()
+        assert summary["retained"] == 16
+        assert summary["dropped"] == 4
+        # oldest retained is q4
+        assert log.snapshot()[0].statement == "q4"
+
+    def test_track_installs_trace_context(self, log):
+        from repro.obs import trace
+        with log.track("cube", trace_id="feedface00000001"):
+            assert trace.current_trace_id() == "feedface00000001"
+            with trace.tracing() as tracer:
+                with trace.span("cube.compute"):
+                    pass
+        assert log.snapshot()[0].trace_id == "feedface00000001"
+        assert tracer.roots[0].trace_id == "feedface00000001"
+
+
+class TestOutcomes:
+    @pytest.mark.parametrize("exc,outcome", [
+        (ServerOverloadedError("full"), "shed"),
+        (QueryTimeoutError("deadline"), "timeout"),
+        (QueryCancelledError("ctrl-c"), "cancelled"),
+        (CubeError("bad dims"), "error"),
+        (ValueError("bug"), "error"),
+    ])
+    def test_classification(self, log, exc, outcome):
+        with pytest.raises(type(exc)):
+            with log.track("select"):
+                raise exc
+        record = log.snapshot()[0]
+        assert record.outcome == outcome
+        assert record.error
+
+    def test_outcome_counted_in_summary(self, log):
+        with log.track("select"):
+            pass
+        with pytest.raises(CubeError):
+            with log.track("select"):
+                raise CubeError("x")
+        assert log.summary()["outcomes"] == {"ok": 1, "error": 1}
+
+
+# -- signatures ---------------------------------------------------------------
+
+
+class TestSignature:
+    def test_order_insensitive(self):
+        a = cuboid_signature(("a", "b"), [("SUM", "x", False)])
+        b = cuboid_signature(("b", "a"), [("SUM", "x", False)])
+        assert a == b == "a + b :: SUM(x)"
+
+    def test_distinct_and_empty_forms(self):
+        assert cuboid_signature((), ()) == "() :: -"
+        sig = cuboid_signature(("d",), [("COUNT", "y", True)])
+        assert sig == "d :: COUNT(DISTINCT y)"
+
+    def test_string_agg_sigs_pass_through(self):
+        assert cuboid_signature(("d",), ["total"]) == "d :: total"
+
+
+# -- workload history ---------------------------------------------------------
+
+
+def _record(signature, duration_ms=1.0, cache=None, outcome="ok",
+            slow=False, rows_scanned=0):
+    return QueryRecord(trace_id="t", kind="select", outcome=outcome,
+                       duration_ms=duration_ms, signature=signature,
+                       cache=cache, slow=slow, rows_scanned=rows_scanned)
+
+
+class TestWorkloadHistory:
+    def test_aggregates_per_signature(self):
+        history = WorkloadHistory()
+        history.feed([
+            _record("A", 1.0, cache="miss", rows_scanned=100),
+            _record("A", 3.0, cache="hit", rows_scanned=10),
+            _record("A", 2.0, cache="hit", rows_scanned=10),
+            _record("B", 9.0, outcome="error"),
+        ])
+        snap = history.snapshot()
+        assert [entry["signature"] for entry in snap] == ["A", "B"]
+        a, b = snap
+        assert a["count"] == 3
+        assert a["hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+        assert a["rows_scanned"] == 120
+        assert a["p50_ms"] is not None
+        assert a["p95_ms"] >= a["p50_ms"]
+        assert b["errors"] == 1
+        assert b["hit_rate"] is None  # no cache probes at all
+
+    def test_records_without_signature_are_skipped(self):
+        history = WorkloadHistory()
+        history.observe(_record(None))
+        assert len(history) == 0
+
+    def test_lru_eviction_over_capacity(self):
+        history = WorkloadHistory(capacity=2)
+        history.observe(_record("A"))
+        history.observe(_record("B"))
+        history.observe(_record("A"))   # A most recently used
+        history.observe(_record("C"))   # evicts B
+        signatures = {entry["signature"] for entry in history.snapshot()}
+        assert signatures == {"A", "C"}
+
+    def test_quantiles_from_buckets(self):
+        history = WorkloadHistory()
+        for duration in (1.0, 2.0, 3.0, 40.0):
+            history.observe(_record("S", duration))
+        entry = history.snapshot()[0]
+        assert 0.0 < entry["p50_ms"] <= 5.0
+        assert entry["p99_ms"] <= 40.0
+
+
+# -- serialization ------------------------------------------------------------
+
+
+class TestSerialization:
+    def test_to_dict_drops_nones(self):
+        record = _record(None)
+        payload = record.to_dict()
+        assert "signature" not in payload
+        assert "cache" not in payload
+        assert payload["kind"] == "select"
+
+    def test_json_lines_round_trip(self, log):
+        with log.track("select", statement="SELECT 1"):
+            log.annotate(signature="S", cache="hit")
+            log.add(rows_scanned=7)
+        lines = log.to_json_lines().splitlines()
+        assert len(lines) == 1
+        restored = QueryRecord.from_dict(json.loads(lines[0]))
+        original = log.snapshot()[0]
+        assert restored == original
+
+    def test_from_dict_tolerates_missing_and_unknown(self):
+        record = QueryRecord.from_dict({"junk": 1})
+        assert record.trace_id == "-"
+        assert record.kind == "unknown"
+        assert record.outcome == "ok"
+
+    def test_from_dict_rejects_non_objects(self):
+        with pytest.raises(ObservabilityError):
+            QueryRecord.from_dict([1, 2])
+
+    def test_write_json_lines(self, log, tmp_path):
+        with log.track("select"):
+            pass
+        path = tmp_path / "log.jsonl"
+        log.write_json_lines(str(path))
+        assert len(path.read_text().splitlines()) == 1
+
+
+# -- filters and rendering ----------------------------------------------------
+
+
+class TestSnapshotFilters:
+    def test_filters(self, log):
+        with log.track("select"):
+            log.annotate(signature="A", slow=True)
+        with log.track("cube"):
+            log.annotate(signature="B")
+        with pytest.raises(CubeError):
+            with log.track("cube"):
+                raise CubeError("x")
+        assert len(log.snapshot(kind="cube")) == 2
+        assert len(log.snapshot(outcome="error")) == 1
+        assert len(log.snapshot(signature="A")) == 1
+        assert len(log.snapshot(slow=True)) == 1
+        assert len(log.snapshot(slow=False)) == 2
+        assert len(log.snapshot(1, kind="cube")) == 1
+        assert log.snapshot(min_duration_ms=0.0) == log.snapshot()
+
+    def test_format_records_and_workload(self, log):
+        with log.track("select", statement="SELECT 1"):
+            log.annotate(signature="S", cache="hit", slow=True)
+        lines = format_records(log.snapshot())
+        assert len(lines) == 1
+        assert "select" in lines[0] and "S" in lines[0]
+        assert " S " in lines[0] or lines[0].rstrip().endswith("S")
+        workload = format_workload(log.history.snapshot())
+        assert len(workload) == 1
+        assert "n=1" in workload[0]
+
+
+# -- entry-point wiring -------------------------------------------------------
+
+
+class TestEntryPoints:
+    def test_direct_cube_and_rollup_log_one_record_each(self, sales):
+        cube(sales, ["Model", "Year"], [agg("SUM", "Units", "Units")])
+        rollup(sales, ["Model"], [agg("SUM", "Units", "Units")])
+        records = QUERY_LOG.snapshot()
+        assert [r.kind for r in records] == ["cube", "rollup"]
+        first = records[0]
+        assert first.signature == "Model + Year :: Units"
+        assert first.algorithm
+        assert first.rows_scanned >= len(sales)
+        assert first.cells > 0
+        assert first.rows > 0
+
+    def test_grouping_sets_logs_one_record(self, sales):
+        grouping_sets_op(sales, ["Model", "Year"],
+                         [["Model"], []],
+                         [agg("SUM", "Units", "Units")])
+        records = QUERY_LOG.snapshot()
+        assert [r.kind for r in records] == ["grouping_sets"]
+        assert records[0].signature == "Model + Year :: Units"
+
+    def test_sql_session_logs_kind_signature_rows(self, sales):
+        catalog = Catalog()
+        catalog.register("Sales", sales)
+        session = SQLSession(catalog)
+        result = session.execute(
+            "SELECT Model, SUM(Units) FROM Sales GROUP BY Model;")
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        record = records[0]
+        assert record.kind == "select"
+        assert record.statement.startswith("SELECT Model")
+        assert record.signature and "::" in record.signature
+        assert record.rows == len(result)
+
+    def test_sql_error_is_one_error_record(self, sales):
+        catalog = Catalog()
+        catalog.register("Sales", sales)
+        session = SQLSession(catalog)
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            session.execute("SELECT nope FROM Missing;")
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        assert records[0].outcome == "error"
+
+    def test_failed_cube_records_error_outcome(self, sales):
+        with pytest.raises(CubeError):
+            cube(sales, ["Model"], [])
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        assert records[0].kind == "cube"
+        assert records[0].outcome == "error"
+
+
+class TestSlowQueries:
+    def _session(self, sales, threshold):
+        catalog = Catalog()
+        catalog.register("Sales", sales)
+        return SQLSession(catalog, slow_query_ms=threshold)
+
+    def _slow_counter(self):
+        return REGISTRY.counter("repro_slow_queries_total",
+                                kind="select").value
+
+    def test_at_threshold_marks_and_counts(self, sales):
+        session = self._session(sales, 0.0)   # everything is slow
+        before = self._slow_counter()
+        session.execute("SELECT Model FROM Sales;")
+        assert QUERY_LOG.snapshot()[0].slow is True
+        assert self._slow_counter() == before + 1
+
+    def test_below_threshold_untouched(self, sales):
+        session = self._session(sales, 60_000.0)
+        before = self._slow_counter()
+        session.execute("SELECT Model FROM Sales;")
+        assert QUERY_LOG.snapshot()[0].slow is False
+        assert self._slow_counter() == before
+
+    def test_negative_threshold_rejected(self, sales):
+        from repro.errors import ResilienceError
+        with pytest.raises(ResilienceError):
+            self._session(sales, -1.0)

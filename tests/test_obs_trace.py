@@ -140,3 +140,115 @@ def test_render_span_rows_shows_durations_and_stats():
     assert "iter=7" in rows[0][1]
     assert "cells=3" in rows[0][1]
     assert rows[1][0].startswith("  ")  # child indented
+
+
+# -- span / trace ids and propagation -----------------------------------------
+
+
+def test_span_ids_are_stable_and_unique():
+    from repro.obs.trace import new_span_id, new_trace_id
+    with tracing() as tracer:
+        with span("root"):
+            with span("child"):
+                pass
+    root = tracer.roots[0]
+    child = root.children[0]
+    assert root.span_id and child.span_id
+    assert root.span_id != child.span_id
+    # children share the root's trace id
+    assert child.trace_id == root.trace_id
+    # ids are hex strings of the documented lengths
+    assert len(new_trace_id()) == 16
+    assert len(new_span_id()) == 8
+    int(root.trace_id, 16)
+    int(root.span_id, 16)
+
+
+def test_root_adopts_propagated_trace_id():
+    from repro.obs.trace import current_trace_id, with_trace_id
+    assert current_trace_id() is None
+    with tracing() as tracer:
+        with with_trace_id("cafebabe12345678"):
+            assert current_trace_id() == "cafebabe12345678"
+            with span("root"):
+                with span("child"):
+                    pass
+        assert current_trace_id() is None
+    root = tracer.roots[0]
+    assert root.trace_id == "cafebabe12345678"
+    assert root.children[0].trace_id == "cafebabe12345678"
+
+
+def test_sibling_roots_get_distinct_trace_ids():
+    with tracing() as tracer:
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+    first, second = tracer.roots
+    assert first.trace_id != second.trace_id
+
+
+def test_span_ids_in_json_export_and_rendered_rows():
+    from repro.obs.export import spans_to_json_lines
+    import json as _json
+    with tracing() as tracer:
+        with span("outer"):
+            with span("inner"):
+                pass
+    exported = _json.loads(spans_to_json_lines(tracer.roots))
+    outer = tracer.roots[0]
+    assert exported["span_id"] == outer.span_id
+    assert exported["trace_id"] == outer.trace_id
+    assert exported["children"][0]["span_id"] == \
+        outer.children[0].span_id
+    rows = render_span_rows(outer)
+    assert any(f"span={outer.span_id}" in detail for _, detail in rows)
+
+
+# -- collapsed-stack export ---------------------------------------------------
+
+
+def test_spans_to_collapsed_parses_back():
+    import re
+    from repro.obs.export import spans_to_collapsed
+    with tracing() as tracer:
+        with span("cube compute"):  # space must be sanitized
+            with span("node;a"):    # ';' must be sanitized
+                pass
+            with span("leaf"):
+                pass
+    text = spans_to_collapsed(tracer.roots)
+    lines = text.splitlines()
+    assert lines
+    pattern = re.compile(r"^(\S+) (\d+)$")
+    stacks = {}
+    for line in lines:
+        match = pattern.match(line)
+        assert match, f"not a collapsed-stack line: {line!r}"
+        stacks[match.group(1)] = int(match.group(2))
+    assert "cube_compute" in stacks
+    assert "cube_compute;node:a" in stacks
+    assert "cube_compute;leaf" in stacks
+    assert all(value >= 0 for value in stacks.values())
+
+
+def test_spans_to_collapsed_parallel_cube_run():
+    """A parallel cube's overlapping worker spans still fold into a
+    valid profile (self time floored at zero)."""
+    import re
+    from repro.core.cube import agg, cube
+    from repro.data import SyntheticSpec, synthetic_table
+    from repro.obs.export import spans_to_collapsed
+    table = synthetic_table(SyntheticSpec(
+        cardinalities=(4, 3, 2), n_rows=200, seed=5))
+    with tracing() as tracer:
+        cube(table, ["d0", "d1", "d2"], [agg("SUM", "m", "total")],
+             algorithm="parallel")
+    text = spans_to_collapsed(tracer.roots)
+    pattern = re.compile(r"^\S+ \d+$")
+    lines = text.splitlines()
+    assert lines
+    assert all(pattern.match(line) for line in lines)
+    assert any("cube.compute" in line for line in lines)
+    assert any("cube.parallel.worker" in line for line in lines)

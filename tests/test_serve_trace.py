@@ -1,0 +1,264 @@
+"""Trace-context propagation over the wire: client-generated ids
+adopted by the server's query-log record and span tree, echoed in both
+response shapes, and degraded gracefully on malformed input."""
+
+import socket
+
+import pytest
+
+from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.catalog import Catalog
+from repro.errors import ServeError, SQLSyntaxError
+from repro.obs.metrics import REGISTRY
+from repro.obs.querylog import QUERY_LOG
+from repro.serve import QueryClient, QueryServer, protocol
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a CI extra
+    HAVE_HYPOTHESIS = False
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register("FACTS", synthetic_table(SyntheticSpec(
+        cardinalities=(4, 3, 2), n_rows=200, seed=9)))
+    return catalog
+
+
+SQL = "SELECT d0, SUM(m) FROM FACTS GROUP BY d0"
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_log():
+    QUERY_LOG.clear()
+    yield
+    QUERY_LOG.clear()
+
+
+class RawConnection:
+    """A bare socket speaking the line protocol, for sending requests
+    QueryClient would never produce."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.stream = self.sock.makefile("rwb")
+        self.request_id = 0
+
+    def request(self, **fields):
+        self.request_id += 1
+        protocol.write_message(self.stream,
+                               {"id": self.request_id, **fields})
+        return protocol.read_message(self.stream)
+
+    def close(self):
+        try:
+            self.stream.close()
+        finally:
+            self.sock.close()
+
+
+class TestPropagation:
+    def test_one_execute_one_record_shared_trace_id(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+                trace_id = client.last_trace_id
+        assert trace_id
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        record = records[0]
+        assert record.trace_id == trace_id
+        assert record.kind == "select"
+        assert record.outcome == "ok"
+        assert record.cache in ("hit", "miss", "bypass", None)
+        assert record.admission_wait_ms is not None
+
+    def test_server_side_spans_adopt_client_trace(self):
+        """EXPLAIN ANALYZE executes server-side under a private tracer;
+        the rendered header's trace id is the client-supplied one."""
+        import re
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                result = client.execute(f"EXPLAIN ANALYZE {SQL}")
+                trace_id = client.last_trace_id
+        header = result.rows[0][1]
+        match = re.search(r"trace=(\S+)", header)
+        assert match, header
+        assert match.group(1) == trace_id
+        assert QUERY_LOG.snapshot()[0].trace_id == trace_id
+
+    def test_error_response_echoes_trace(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                with pytest.raises(SQLSyntaxError):
+                    client.execute("SELEC nope")
+                trace_id = client.last_trace_id
+        assert trace_id
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        assert records[0].trace_id == trace_id
+        assert records[0].outcome == "error"
+
+    def test_each_execute_gets_fresh_trace(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+                first = client.last_trace_id
+                client.execute(SQL)
+                second = client.last_trace_id
+        assert first != second
+        assert [r.trace_id for r in QUERY_LOG.snapshot()] == [first, second]
+
+
+MALFORMED_TRACES = [
+    17,                      # wrong type
+    ["a", "b"],              # wrong type
+    {"nested": True},        # wrong type
+    "",                      # empty
+    "   ",                   # whitespace only
+    "x" * 65,                # too long
+    "tab\tinside",           # embedded whitespace
+    "new\nline",             # embedded newline
+    "ctrl\x00char",          # non-printable
+]
+
+
+class TestMalformedTraces:
+    @pytest.mark.parametrize("trace", MALFORMED_TRACES,
+                             ids=[repr(t)[:20] for t in MALFORMED_TRACES])
+    def test_query_succeeds_with_server_generated_trace(self, trace):
+        with QueryServer(make_catalog()) as server:
+            conn = RawConnection(*server.address)
+            try:
+                response = conn.request(op="query", sql=SQL, trace=trace)
+            finally:
+                conn.close()
+        assert response["ok"] is True
+        assert isinstance(response["trace"], str)
+        assert response["trace"] != trace
+        assert len(response["trace"]) == 16
+        records = QUERY_LOG.snapshot()
+        assert len(records) == 1
+        assert records[0].trace_id == response["trace"]
+
+    def test_absent_trace_also_served(self):
+        with QueryServer(make_catalog()) as server:
+            conn = RawConnection(*server.address)
+            try:
+                response = conn.request(op="query", sql=SQL)
+            finally:
+                conn.close()
+        assert response["ok"] is True
+        assert isinstance(response["trace"], str) and response["trace"]
+
+    def test_well_formed_trace_adopted_verbatim(self):
+        with QueryServer(make_catalog()) as server:
+            conn = RawConnection(*server.address)
+            try:
+                response = conn.request(op="query", sql=SQL,
+                                        trace="my-request-0042")
+            finally:
+                conn.close()
+        assert response["ok"] is True
+        assert response["trace"] == "my-request-0042"
+        assert QUERY_LOG.snapshot()[0].trace_id == "my-request-0042"
+
+    if HAVE_HYPOTHESIS:
+
+        @given(trace=st.one_of(
+            st.text(max_size=80),
+            st.integers(),
+            st.booleans(),
+            st.lists(st.text(max_size=5), max_size=3),
+        ))
+        @settings(max_examples=25, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def test_fuzzed_trace_never_crashes_request(self, trace):
+            """Any JSON-expressible trace value yields a served request
+            and a well-formed response trace."""
+            with QueryServer(make_catalog()) as server:
+                conn = RawConnection(*server.address)
+                try:
+                    response = conn.request(op="query", sql=SQL,
+                                            trace=trace)
+                finally:
+                    conn.close()
+            assert response["ok"] is True
+            assert isinstance(response["trace"], str)
+            assert response["trace"].strip()
+
+
+class TestLogOp:
+    def test_log_op_records_workload_summary(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+                client.execute(SQL)
+                payload = client.log(n=10)
+        assert {"records", "workload", "summary"} <= set(payload)
+        assert len(payload["records"]) == 2
+        record = payload["records"][-1]
+        assert record["kind"] == "select"
+        assert record["trace_id"]
+        workload = payload["workload"]
+        assert len(workload) == 1
+        entry = workload[0]
+        assert entry["count"] == 2
+        assert entry["hit_rate"] is not None
+        assert entry["p95_ms"] is not None
+        assert payload["summary"]["total"] == 2
+
+    def test_log_op_filters(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+                with pytest.raises(SQLSyntaxError):
+                    client.execute("SELEC nope")
+                errors = client.log(n=10, outcome="error")
+                selects = client.log(n=1, kind="select")
+        assert len(errors["records"]) == 1
+        assert errors["records"][0]["outcome"] == "error"
+        assert len(selects["records"]) == 1
+
+    @pytest.mark.parametrize("fields", [
+        {"n": -1}, {"n": "ten"}, {"n": True}, {"n": 2.5},
+        {"kind": 7}, {"outcome": []}, {"slow": "yes"},
+    ], ids=lambda f: repr(f))
+    def test_log_op_rejects_bad_filters(self, fields):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                with pytest.raises(ServeError):
+                    client.log(**fields)
+                # connection survives the rejected op
+                assert client.ping()
+
+    def test_stats_op_carries_querylog_summary(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+                stats = client.stats()
+        assert stats["querylog"]["total"] == 1
+        assert stats["querylog"]["outcomes"] == {"ok": 1}
+
+
+class TestServerSlowQueries:
+    def _slow_counter(self):
+        return REGISTRY.counter("repro_slow_queries_total",
+                                kind="select").value
+
+    def test_slow_threshold_applies_per_request(self):
+        before = self._slow_counter()
+        with QueryServer(make_catalog(), slow_query_ms=0.0) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+        assert QUERY_LOG.snapshot()[0].slow is True
+        assert self._slow_counter() == before + 1
+
+    def test_no_threshold_no_marking(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(SQL)
+        assert QUERY_LOG.snapshot()[0].slow is False
