@@ -217,3 +217,45 @@ class FaultInjectedError(ResilienceError):
     (:mod:`repro.resilience.chaos`).  Only ever raised when a
     :class:`~repro.resilience.ChaosInjector` is installed on the active
     execution context -- production paths never construct one."""
+
+
+class CrashPointError(FaultInjectedError):
+    """The chaos harness simulated a process crash (``kill -9``) at a
+    named storage write-path site (``crash_point`` injection point).
+    The crash-recovery tests catch this, abandon every in-memory
+    object, reopen the data directory, and assert the recovered state
+    is exactly the last committed one (docs/STORAGE.md)."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"chaos: crash injected at {site}")
+
+
+class StorageError(ReproError):
+    """Root of durable-storage errors (:mod:`repro.storage`): invalid
+    page sizes, out-of-range page ids, operations on a closed file,
+    or a cube attached under a name whose on-disk spec signature
+    belongs to a different cube definition."""
+
+
+class TornPageError(StorageError):
+    """A page's stored checksum does not match its contents -- the
+    page was torn by a partial write (or corrupted at rest).  Readers
+    raise instead of returning garbage; recovery treats the page as
+    lost and falls back to the last checkpoint + WAL replay."""
+
+    def __init__(self, page_id: int, path: str = "") -> None:
+        self.page_id = page_id
+        where = f" in {path}" if path else ""
+        super().__init__(
+            f"page {page_id}{where} failed its checksum: torn write "
+            "detected; recover from the last checkpoint + WAL")
+
+
+class WALCorruptError(StorageError):
+    """The write-ahead log is damaged beyond the torn-tail contract:
+    a record in the *interior* of the log (one with valid records
+    after it at open time) failed its checksum, or ``verify()`` was
+    asked to prove the log clean and found a torn tail.  An ordinary
+    torn tail discovered at open is silently truncated, never
+    raised -- this error means real corruption."""

@@ -33,6 +33,17 @@ all of them land or none do -- and :meth:`MaterializedCube.apply_batch`
 is the convenience form.  Rollbacks count on
 ``repro_maintenance_rollbacks_total`` and appear as ``rollback`` span
 events.
+
+**Durability.**  A cube bound to a :class:`~repro.storage.CubeStore`
+with :meth:`MaterializedCube.bind_journal` (normally via
+:meth:`CubeStore.attach <repro.storage.CubeStore.attach>`) writes every
+outermost transaction through the store's write-ahead log: a ``begin``
+record, one ``op`` record per base-row mutation, and a *synced*
+``commit`` record before the transaction reports success.  Recovery
+restores the last checkpoint and replays committed transactions through
+:meth:`MaterializedCube.apply_replay`, which runs the ordinary mutation
+path -- so the recovered cube's cells are bit-identical to the
+committed ones (docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -52,7 +63,12 @@ from repro.core.grouping import GroupingSpec, Mask
 from repro.core.lattice import CubeLattice
 from repro.engine.groupby import normalize_keys
 from repro.engine.table import Table
-from repro.errors import DeleteRequiresRecomputeError, MaintenanceError
+from repro.errors import (
+    DeleteRequiresRecomputeError,
+    FaultInjectedError,
+    MaintenanceError,
+    StorageError,
+)
 from repro.maintenance.propagation import MaintenanceStats
 from repro.obs import instrument, trace
 
@@ -112,6 +128,10 @@ class MaterializedCube:
         self._fold_stats = ComputeStats(algorithm="maintenance")
         self._txn_depth = 0
         self._mutation_listeners: list[Callable[[str], None]] = []
+        self._journal: Any = None
+        self._journal_name = ""
+        self._journal_txn: int | None = None
+        self._replaying = False
         for row in task.rows:
             self._apply_insert(row, initial=True)
         self._base_rows = list(task.rows) if retain_base else []
@@ -169,11 +189,29 @@ class MaterializedCube:
                     copy.deepcopy(self._counts),
                     list(self._base_rows),
                     copy.deepcopy(self.stats))
+        # WAL discipline: the begin record precedes any mutation, and
+        # the commit record is written (and fsynced) before the
+        # transaction reports success -- inside the try, so a commit
+        # that fails durability rolls the in-memory state back too
+        journal_txn: int | None = None
+        if self._journal is not None and not self._replaying:
+            journal_txn = self._journal.txn_begin(self._journal_name)
+            self._journal_txn = journal_txn
         self._txn_depth = 1
         try:
             yield self
+            if journal_txn is not None:
+                self._journal.txn_commit(journal_txn, self._journal_name)
         except BaseException as error:
             self._cells, self._counts, self._base_rows, self.stats = snapshot
+            if journal_txn is not None:
+                # best effort: a poisoned WAL (torn append, failed
+                # fsync) refuses the abort record; recovery skips
+                # uncommitted transactions either way
+                with contextlib.suppress(StorageError,
+                                         FaultInjectedError):
+                    self._journal.txn_abort(journal_txn,
+                                            self._journal_name)
             instrument.record_rollback(op)
             self.stats.rollbacks += 1
             span = trace.current_span()
@@ -182,6 +220,7 @@ class MaterializedCube:
             raise
         finally:
             self._txn_depth = 0
+            self._journal_txn = None
 
     def apply_batch(self, operations: Sequence[tuple]) -> int:
         """Apply ``operations`` -- ``("insert", row)``,
@@ -210,6 +249,7 @@ class MaterializedCube:
         """Propagate one base-table INSERT; returns cells touched."""
         with trace.span("maintenance.insert") as span:
             with self.transaction(op="insert"):
+                self._journal_record(("insert", tuple(row)))
                 task_row = self._to_task_row(row)
                 touched = self._apply_insert(task_row, initial=False)
                 if self.retain_base:
@@ -232,6 +272,7 @@ class MaterializedCube:
         """
         with trace.span("maintenance.delete") as span:
             with self.transaction(op="delete"):
+                self._journal_record(("delete", tuple(row)))
                 task_row = self._to_task_row(row)
                 if self.retain_base:
                     try:
@@ -348,6 +389,85 @@ class MaterializedCube:
                     f"unknown measure {measure!r}; have {names}") from None
         spec = self._specs[position]
         return spec.function.end(handles[position])
+
+    # -- durability (repro.storage integration) -----------------------------
+
+    def bind_journal(self, store: Any, name: str) -> None:
+        """Journal every future outermost transaction through
+        ``store`` (a :class:`~repro.storage.CubeStore`) under
+        ``name``.  Normally called by :meth:`CubeStore.attach
+        <repro.storage.CubeStore.attach>` after recovery, never
+        directly."""
+        self._journal = store
+        self._journal_name = name
+
+    def _journal_record(self, op: tuple) -> None:
+        """Log one base-row mutation to the enclosing journaled
+        transaction (no-op when unbound or replaying).  ``update`` and
+        batches decompose into these insert/delete leaves, so replay
+        needs only the two."""
+        if self._journal is not None and self._journal_txn is not None:
+            self._journal.txn_op(self._journal_txn, self._journal_name,
+                                 op)
+
+    def storage_signature(self) -> tuple:
+        """An order-stable fingerprint of this cube's definition.
+        A checkpoint is only restorable into a cube with the same
+        signature: same dimensions, grouping sets, aggregate names and
+        function types, and base-row retention."""
+        return (
+            self._task.dims,
+            tuple(self._task.masks),
+            tuple((spec.name, type(spec.function).__name__)
+                  for spec in self._specs),
+            self.retain_base,
+        )
+
+    def capture_state(self) -> dict:
+        """The cube's full mutable state, for checkpointing.  The
+        caller serializes it immediately; scratchpad handles must be
+        picklable (true of every built-in aggregate)."""
+        return {
+            "cells": self._cells,
+            "counts": self._counts,
+            "base_rows": self._base_rows,
+            "stats": self.stats,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a checkpointed :meth:`capture_state` snapshot,
+        replacing the freshly computed state."""
+        self._cells = state["cells"]
+        self._counts = state["counts"]
+        self._base_rows = state["base_rows"]
+        self.stats = state["stats"]
+
+    def apply_replay(self, operations: Sequence[tuple]) -> int:
+        """Re-apply one committed transaction's journaled operations
+        during recovery; returns cells touched.  Runs the ordinary
+        insert/delete path -- so cells, counts, and retained base rows
+        converge to the committed state bit-for-bit -- with journaling
+        suppressed.  (Operation *statistics* reflect the replay's
+        decomposed view: an UPDATE replays as its delete+insert
+        leaves.)"""
+        self._replaying = True
+        try:
+            touched = 0
+            with self.transaction(op="replay"):
+                for operation in operations:
+                    kind = operation[0]
+                    if kind == "insert":
+                        touched += self.insert(list(operation[1]))
+                    elif kind == "delete":
+                        touched += self.delete(list(operation[1]))
+                    else:
+                        raise MaintenanceError(
+                            f"unknown journaled operation {kind!r}; "
+                            "the write-ahead log only carries "
+                            "insert/delete leaves")
+            return touched
+        finally:
+            self._replaying = False
 
     # -- internals ----------------------------------------------------------
 

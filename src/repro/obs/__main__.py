@@ -12,9 +12,12 @@ Three record sources, checked in this order:
 Output (``--format text``) is the summary header, the busiest workload
 signatures with hit rate and p50/p95/p99, the top-N slowest queries,
 and the most recent records; ``--format json`` emits the same as one
-JSON object.  Exit codes follow the other repro CLIs: 0 OK, 2 usage
-error (unreadable file, bad flag, malformed JSONL, unreachable
-server).
+JSON object.  When the durable storage engine has been active
+(checkpoints, recoveries, WAL replay -- docs/STORAGE.md), a
+``storage:`` section reports its counters: from the server's stats
+under ``--connect``, from this process's metric registry otherwise.
+Exit codes follow the other repro CLIs: 0 OK, 2 usage error
+(unreadable file, bad flag, malformed JSONL, unreachable server).
 """
 
 from __future__ import annotations
@@ -60,7 +63,8 @@ def _read_jsonl(path: str) -> list[QueryRecord]:
     return records
 
 
-def _fetch_remote(address: str, n: int) -> tuple[list[QueryRecord], list]:
+def _fetch_remote(address: str,
+                  n: int) -> tuple[list[QueryRecord], list, dict]:
     host, _, port_text = address.rpartition(":")
     try:
         port = int(port_text)
@@ -72,11 +76,37 @@ def _fetch_remote(address: str, n: int) -> tuple[list[QueryRecord], list]:
     try:
         with QueryClient(host, port) as client:
             payload = client.log(n=n)
+            storage = client.stats().get("storage", {})
     except ReproError as error:
         raise CLIUsageError(str(error)) from None
     records = [QueryRecord.from_dict(entry)
                for entry in payload["records"]]
-    return records, payload["workload"]
+    return records, payload["workload"], storage
+
+
+#: the durability counters surfaced in the ``storage:`` section when a
+#: local process (no ``--connect``) has driven the storage engine
+_STORAGE_METRICS = (
+    "repro_storage_checkpoints_total",
+    "repro_storage_recoveries_total",
+    "repro_storage_wal_replayed_records_total",
+    "repro_storage_wal_torn_records_total",
+)
+
+
+def _local_storage_counters() -> dict:
+    from repro.obs.metrics import REGISTRY
+    out: dict[str, float] = {}
+    for record in REGISTRY.snapshot():
+        if record["name"] not in _STORAGE_METRICS:
+            continue
+        if not record.get("value"):
+            continue
+        labels = ",".join(f"{key}={value}" for key, value
+                          in sorted(record["labels"].items()))
+        key = record["name"] + (f"{{{labels}}}" if labels else "")
+        out[key] = record["value"]
+    return out
 
 
 def _summarize(records: list[QueryRecord]) -> dict:
@@ -88,6 +118,7 @@ def _summarize(records: list[QueryRecord]) -> dict:
         "total": len(records),
         "outcomes": outcomes,
         "slow": sum(1 for record in records if record.slow),
+        "recovered": sum(1 for record in records if record.recovered),
         "max_ms": durations[-1] if durations else None,
     }
 
@@ -104,12 +135,20 @@ def _filtered(records: list[QueryRecord],
 
 
 def _render_text(records: list[QueryRecord], workload: list,
-                 args: argparse.Namespace) -> str:
+                 storage: dict, args: argparse.Namespace) -> str:
     summary = _summarize(records)
-    sections = [
-        f"query log: {summary['total']} records, "
-        f"outcomes {summary['outcomes'] or '{}'}, "
-        f"{summary['slow']} slow"]
+    header = (f"query log: {summary['total']} records, "
+              f"outcomes {summary['outcomes'] or '{}'}, "
+              f"{summary['slow']} slow")
+    if summary["recovered"]:
+        header += (f", {summary['recovered']} answered from "
+                   "recovered cuboids")
+    sections = [header]
+    if storage:
+        sections.append("")
+        sections.append("storage:")
+        sections.extend(f"  {key}: {value}"
+                        for key, value in sorted(storage.items()))
     if workload:
         sections.append("")
         sections.append(f"workload (top {args.top} signatures):")
@@ -129,10 +168,11 @@ def _render_text(records: list[QueryRecord], workload: list,
 
 
 def _render_json(records: list[QueryRecord], workload: list,
-                 args: argparse.Namespace) -> str:
+                 storage: dict, args: argparse.Namespace) -> str:
     slowest = sorted(records, key=lambda r: -r.duration_ms)[: args.top]
     return json.dumps({
         "summary": _summarize(records),
+        "storage": storage,
         "workload": workload[: args.top],
         "slowest": [record.to_dict() for record in slowest],
         "records": [record.to_dict()
@@ -166,13 +206,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         if args.tail < 0 or args.top < 0:
             raise CLIUsageError("--tail/--top must be >= 0")
         workload: list = []
+        storage: dict = {}
         if args.log is not None:
             records = _read_jsonl(args.log)
         elif args.connect is not None:
-            records, workload = _fetch_remote(
+            records, workload, storage = _fetch_remote(
                 args.connect, max(args.tail, args.top, 1) * 10)
         else:
             records = QUERY_LOG.snapshot()
+            storage = _local_storage_counters()
         records = _filtered(records, args)
         if not workload:
             workload = WorkloadHistory(
@@ -181,7 +223,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"usage error: {error}", file=sys.stderr)
         return EXIT_USAGE
     renderer = _render_json if args.format == "json" else _render_text
-    print(renderer(records, workload, args))
+    print(renderer(records, workload, storage, args))
     return EXIT_OK
 
 

@@ -43,6 +43,17 @@ metric                                         kind       labels
 ``repro_serve_shed_total``                     counter    ``reason`` (queue_full/deadline)
 ``repro_serve_inflight``                       gauge      --
 ``repro_serve_queue_depth``                    gauge      --
+``repro_storage_pages_written_total``          counter    ``file`` (data/spill)
+``repro_storage_pages_read_total``             counter    ``file``
+``repro_storage_page_checksum_failures_total`` counter    --
+``repro_storage_fsyncs_total``                 counter    ``file`` (data/spill/wal)
+``repro_storage_buffer_evictions_total``       counter    --
+``repro_storage_buffer_pages``                 gauge      --
+``repro_storage_wal_records_total``            counter    ``kind`` (begin/op/commit/abort/epoch)
+``repro_storage_wal_replayed_records_total``   counter    --
+``repro_storage_wal_torn_records_total``       counter    --
+``repro_storage_checkpoints_total``            counter    ``kind`` (full/cubes)
+``repro_storage_recoveries_total``             counter    ``outcome`` (recovered/fresh)
 =============================================  =========  =============================
 
 All helpers no-op (one flag check) when the process-wide registry is
@@ -59,10 +70,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.compute.stats import ComputeStats
 
 __all__ = [
+    "record_buffer_eviction",
     "record_cache_admission",
     "record_cache_eviction",
     "record_cache_lookup",
     "record_cancellation",
+    "record_checkpoint",
     "record_columnar_batch",
     "record_cube_compute",
     "record_degradation",
@@ -70,17 +83,26 @@ __all__ = [
     "record_injected_fault",
     "record_maintenance",
     "record_materialized_lookup",
+    "record_page_read",
+    "record_page_write",
     "record_query",
+    "record_recovery",
     "record_rollback",
     "record_serve_connection",
     "record_serve_request",
     "record_serve_shed",
     "record_slow_query",
     "record_spill_retry",
+    "record_storage_fsync",
+    "record_torn_page",
     "record_view_answer",
+    "record_wal_append",
+    "record_wal_replay",
+    "record_wal_torn_tail",
     "record_worker_failure",
     "record_worker_recovery",
     "record_worker_retry",
+    "set_buffer_pages",
     "set_cache_resident_cells",
     "set_serve_inflight",
     "set_serve_queue_depth",
@@ -342,3 +364,101 @@ def set_serve_queue_depth(n: int) -> None:
         return
     REGISTRY.gauge("repro_serve_queue_depth",
                    help="requests waiting for an execution slot").set(n)
+
+
+def record_page_write(file: str) -> None:
+    """One checksummed page written to a storage file."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_pages_written_total",
+                     help="pages written to storage files",
+                     file=file).inc()
+
+
+def record_page_read(file: str) -> None:
+    """One page read from a storage file."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_pages_read_total",
+                     help="pages read from storage files",
+                     file=file).inc()
+
+
+def record_torn_page() -> None:
+    """A page failed its checksum: torn write detected on read."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_page_checksum_failures_total",
+                     help="pages that failed their checksum (torn "
+                          "writes detected)").inc()
+
+
+def record_storage_fsync(file: str) -> None:
+    """One durability barrier (``fsync``) on a storage file."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_fsyncs_total",
+                     help="fsync barriers on storage files",
+                     file=file).inc()
+
+
+def record_buffer_eviction() -> None:
+    """The buffer pool evicted its LRU unpinned frame."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_buffer_evictions_total",
+                     help="buffer-pool frames evicted").inc()
+
+
+def set_buffer_pages(n: int) -> None:
+    """Pages currently resident in a buffer pool."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_storage_buffer_pages",
+                   help="pages resident in the buffer pool").set(n)
+
+
+def record_wal_append(kind: str) -> None:
+    """One record appended to the write-ahead log."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_wal_records_total",
+                     help="write-ahead log records appended",
+                     kind=kind).inc()
+
+
+def record_wal_replay(n: int = 1) -> None:
+    """``n`` committed WAL operations replayed during recovery."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_wal_replayed_records_total",
+                     help="committed WAL operations replayed").inc(n)
+
+
+def record_wal_torn_tail(n: int = 1) -> None:
+    """A torn tail (``n`` damaged trailing records) was discarded
+    when the write-ahead log was opened."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_wal_torn_records_total",
+                     help="torn WAL tail records discarded at open"
+                     ).inc(n)
+
+
+def record_checkpoint(kind: str) -> None:
+    """One store checkpoint completed (``full`` persists the serve
+    cache alongside the cubes; ``cubes`` persists cubes only)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_checkpoints_total",
+                     help="store checkpoints completed", kind=kind).inc()
+
+
+def record_recovery(outcome: str) -> None:
+    """A cube was attached to a store: ``recovered`` (checkpoint or
+    WAL state restored) or ``fresh``."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_storage_recoveries_total",
+                     help="cube attach recoveries by outcome",
+                     outcome=outcome).inc()

@@ -111,6 +111,9 @@ class QueryRecord:
     algorithm: Optional[str] = None
     degraded_from: Optional[str] = None
     cache: Optional[str] = None
+    #: the answering cuboid was restored from a durable checkpoint
+    #: (warm restart) rather than computed in this process
+    recovered: Optional[bool] = None
     rows_scanned: int = 0
     cells: int = 0
     rows: int = 0
@@ -391,6 +394,7 @@ class QueryLog:
             algorithm=fields.get("algorithm"),
             degraded_from=fields.get("degraded_from"),
             cache=fields.get("cache"),
+            recovered=fields.get("recovered"),
             rows_scanned=fields.get("rows_scanned", 0),
             cells=fields.get("cells", 0),
             rows=fields.get("rows", 0),

@@ -20,6 +20,21 @@ consulted at four injection points wired into the engine:
     Phantom scratchpad cells are charged against the memory accountant
     (``ExecutionContext.charge_cells``), forcing graceful degradation
     under budgets that would normally fit.
+``torn_write``
+    A storage page or WAL record write tears: only a prefix of the
+    bytes reaches the file before the writer "dies"
+    (:mod:`repro.storage.pages` / :mod:`repro.storage.wal`).  Readers
+    must detect the damage by checksum, never consume it.
+``fsync_fail``
+    An ``fsync`` on a storage file raises before durability is
+    reached -- the commit must not be treated as durable.
+``crash_point``
+    A simulated ``kill -9`` at a named storage write-path site:
+    :meth:`ChaosInjector.crash` raises
+    :class:`~repro.errors.CrashPointError` at the site, the test
+    abandons all in-memory state and re-opens the data directory.
+    ``crash_sites`` pins the crash to specific sites (see
+    ``repro.storage.CRASH_SITES``) for exhaustive matrix tests.
 
 Decisions are **deterministic**: a draw for a labelled site (e.g.
 ``worker=2, attempt=0``) is a pure function of ``(seed, point,
@@ -39,13 +54,18 @@ import threading
 import time
 from typing import Any
 
-from repro.errors import FaultInjectedError, ResilienceError
+from repro.errors import (
+    CrashPointError,
+    FaultInjectedError,
+    ResilienceError,
+)
 
 __all__ = ["ChaosInjector", "INJECTION_POINTS"]
 
 #: The engine's wired injection points.
 INJECTION_POINTS = ("worker_crash", "spill_write", "slow_node",
-                    "budget_pressure")
+                    "budget_pressure", "torn_write", "fsync_fail",
+                    "crash_point")
 
 
 class ChaosInjector:
@@ -62,9 +82,15 @@ class ChaosInjector:
                  slow_node: float = 0.0,
                  slow_node_delay: float = 0.005,
                  budget_pressure: float = 0.0,
-                 budget_pressure_cells: int = 64) -> None:
+                 budget_pressure_cells: int = 64,
+                 torn_write: float = 0.0,
+                 fsync_fail: float = 0.0,
+                 crash_point: float = 0.0,
+                 crash_sites: "tuple[str, ...] | None" = None) -> None:
         rates = {"worker_crash": worker_crash, "spill_write": spill_write,
-                 "slow_node": slow_node, "budget_pressure": budget_pressure}
+                 "slow_node": slow_node, "budget_pressure": budget_pressure,
+                 "torn_write": torn_write, "fsync_fail": fsync_fail,
+                 "crash_point": crash_point}
         for point, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ResilienceError(
@@ -74,10 +100,15 @@ class ChaosInjector:
             raise ResilienceError("slow_node_delay must be >= 0")
         if budget_pressure_cells < 0:
             raise ResilienceError("budget_pressure_cells must be >= 0")
+        if crash_sites is not None and not crash_sites:
+            raise ResilienceError(
+                "crash_sites must name at least one site (or be None "
+                "for rate-driven crash_point draws)")
         self.seed = seed
         self.rates = rates
         self.slow_node_delay = slow_node_delay
         self.budget_pressure_cells = budget_pressure_cells
+        self.crash_sites = tuple(crash_sites) if crash_sites else None
         self.injected: dict[str, int] = {point: 0
                                          for point in INJECTION_POINTS}
         self._lock = threading.Lock()
@@ -134,6 +165,35 @@ class ChaosInjector:
         if self.should_inject("budget_pressure", **labels):
             return self.budget_pressure_cells
         return 0
+
+    # -- storage crash points ---------------------------------------------
+
+    def should_crash(self, site: str) -> bool:
+        """Decide whether to simulate a process death at ``site``.
+
+        When :attr:`crash_sites` is set the decision is exact -- crash
+        iff the site is named -- so matrix tests can kill the engine at
+        every write-path site in turn.  Otherwise it is an ordinary
+        seeded ``crash_point`` draw labelled with the site.
+        """
+        if self.crash_sites is not None:
+            if site not in self.crash_sites:
+                return False
+            with self._lock:
+                self.injected["crash_point"] += 1
+            from repro.obs import instrument
+            instrument.record_injected_fault("crash_point")
+            return True
+        return self.should_inject("crash_point", site=site)
+
+    def crash(self, site: str) -> None:
+        """Raise :class:`~repro.errors.CrashPointError` at ``site`` if
+        the draw (or :attr:`crash_sites` targeting) says so.  Storage
+        write paths call this *between* the individual durability
+        steps, so every interleaving of crash and fsync is
+        producible."""
+        if self.should_crash(site):
+            raise CrashPointError(site)
 
     def __repr__(self) -> str:
         active = {p: r for p, r in self.rates.items() if r > 0}

@@ -12,7 +12,10 @@ recovery site shares.
 Cancellation always wins: :class:`~repro.errors.QueryCancelledError`
 (and its :class:`~repro.errors.QueryTimeoutError` subclass) is never
 retried -- a cancelled query must stop at the next boundary, not burn
-its retry budget first.
+its retry budget first.  :class:`~repro.errors.CrashPointError` is the
+same: it simulates the process dying at an exact instruction, and a
+"retry" of a simulated crash would hide the very failure mode the
+crash-recovery harness exists to exercise.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import QueryCancelledError, ResilienceError
+from repro.errors import (CrashPointError, QueryCancelledError,
+                          ResilienceError)
 
 __all__ = ["RetryPolicy", "call_with_retry"]
 
@@ -73,14 +77,15 @@ def call_with_retry(
     points key their deterministic draws on it).  ``on_failure`` is
     called before each backoff sleep with the attempt number and the
     error -- the hook recovery sites use to emit span events and retry
-    metrics.  Cancellation propagates immediately; after the final
-    attempt the last error propagates unchanged.
+    metrics.  Cancellation and simulated crash points propagate
+    immediately; after the final attempt the last error propagates
+    unchanged.
     """
     attempt = 0
     while True:
         try:
             return fn(attempt)
-        except QueryCancelledError:
+        except (QueryCancelledError, CrashPointError):
             raise
         except Exception as error:
             if attempt >= policy.max_retries:

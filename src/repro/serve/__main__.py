@@ -43,7 +43,8 @@ def _build_server(args: argparse.Namespace) -> QueryServer:
         host=args.host, port=args.port,
         max_inflight=args.max_inflight, max_queue=args.max_queue,
         statement_timeout=args.timeout,
-        slow_query_ms=args.slow_query_ms)
+        slow_query_ms=args.slow_query_ms,
+        data_dir=args.data_dir)
 
 
 #: the smoke workload -- repeated grouped queries over FACTS, designed
@@ -127,6 +128,118 @@ def run_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_smoke_crash(args: argparse.Namespace) -> int:
+    """The crash-recovery smoke (the CI job behind it):
+
+    1. launch a *subprocess* server with a fresh ``--data-dir``, warm
+       its cuboid cache over the smoke workload (each query triggers a
+       post-query checkpoint);
+    2. ``kill -9`` the process mid-workload -- a real SIGKILL, no
+       shutdown hook runs;
+    3. restart against the same directory and require: cuboids were
+       restored, the first repeated query is a cache hit annotated
+       ``recovered=True`` in the query log, and every answer is
+       bit-identical to a cache-less reference session.
+    """
+    import os
+    import re
+    import signal
+    import subprocess
+    import tempfile
+    import time as _time
+
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="repro-crash-")
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--data-dir", data_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    failures: list[str] = []
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on ([\d.]+):(\d+)", banner)
+        if not match:
+            print(f"crash-smoke: FAIL no banner: {banner!r}",
+                  file=sys.stderr)
+            return 1
+        address = (match.group(1), int(match.group(2)))
+        print(f"crash-smoke: phase 1 server pid={process.pid} "
+              f"on {address[0]}:{address[1]}, data dir {data_dir}")
+
+        reference_session = SQLSession(_demo_catalog())
+        references = {sql: _canonical(reference_session.execute(sql))
+                      for sql in _SMOKE_QUERIES}
+
+        with QueryClient(*address, timeout=30.0) as client:
+            for sql in _SMOKE_QUERIES:
+                result = client.execute(sql)
+                if _canonical(result) != references[sql]:
+                    failures.append(f"phase-1 mismatch for: {sql}")
+
+        # keep the server busy so the SIGKILL lands mid-workload
+        hammer_exit: list[str] = []
+        def hammer() -> None:
+            try:
+                with QueryClient(*address, timeout=30.0) as noisy:
+                    while True:
+                        for sql in _SMOKE_QUERIES:
+                            noisy.execute(sql)
+            except Exception as error:  # noqa: BLE001 -- dies with the server
+                hammer_exit.append(f"{type(error).__name__}: {error}")
+
+        noise = threading.Thread(target=hammer, daemon=True)
+        noise.start()
+        _time.sleep(0.3)
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=10.0)
+        noise.join(timeout=10.0)
+        print("crash-smoke: phase 1 killed (SIGKILL mid-workload; "
+              f"hammer saw: {hammer_exit or ['no error yet']})")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+    # phase 2: restart on the same directory, in-process
+    args.port = 0
+    args.data_dir = data_dir
+    server = _build_server(args)
+    if server.restored_entries < 1:
+        failures.append("phase-2 restored no cuboid cache entries")
+    print(f"crash-smoke: phase 2 restored "
+          f"{server.restored_entries} cuboid(s)")
+    with server:
+        address = server.address
+        with QueryClient(*address, timeout=30.0) as client:
+            for sql in _SMOKE_QUERIES:
+                result = client.execute(sql)
+                if _canonical(result) != references[sql]:
+                    failures.append(f"phase-2 mismatch for: {sql}")
+            stats = client.stats()
+            records = client.log(n=len(_SMOKE_QUERIES) * 2)
+    hits = stats.get("cache", {}).get("hits", 0)
+    if hits < 1:
+        failures.append(f"phase-2 expected a warm-cache hit, got {hits}")
+    recovered_hits = [r for r in records.get("records", [])
+                      if r.get("recovered")]
+    if not recovered_hits:
+        failures.append("no query-log record was annotated "
+                        "recovered=True after the warm restart")
+    print(f"crash-smoke: phase 2 cache hits={hits}, "
+          f"recovered-annotated records={len(recovered_hits)}")
+    for failure in failures:
+        print(f"crash-smoke: FAIL {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("crash-smoke: OK -- warm restart, recovered hit, "
+          "bit-identical answers")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -145,8 +258,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--slow-query-ms", type=float, default=None,
                         help="mark statements at/over this latency as "
                              "slow (repro_slow_queries_total)")
+    parser.add_argument("--data-dir", default=None,
+                        help="durable data directory: checkpoint the "
+                             "cuboid cache there and restore it on "
+                             "restart (warm first queries)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI smoke workload and exit")
+    parser.add_argument("--smoke-crash", action="store_true",
+                        help="run the crash-recovery smoke: warm a "
+                             "durable server, kill -9 it mid-workload, "
+                             "restart on the same --data-dir, and "
+                             "require a warm-cache hit with "
+                             "bit-identical answers")
     parser.add_argument("--smoke-clients", type=int, default=8,
                         help="concurrent clients in --smoke mode")
     parser.add_argument("--smoke-querylog", metavar="PATH", default=None,
@@ -154,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
                              "JSON lines to PATH (CI artifact)")
     args = parser.parse_args(argv)
 
+    if args.smoke_crash:
+        return run_smoke_crash(args)
     if args.smoke:
         return run_smoke(args)
 
@@ -162,6 +287,9 @@ def main(argv: list[str] | None = None) -> int:
     host, port = server.address
     print(f"repro query server on {host}:{port} "
           f"(tables: {', '.join(server.catalog.names())})")
+    if server.store is not None:
+        print(f"durable: data dir {args.data_dir}, "
+              f"{server.restored_entries} cuboid(s) restored")
     print("Ctrl-C to stop.")
     server.serve_forever()
     return 0

@@ -46,6 +46,7 @@ share a single cache instance behind it.
 from __future__ import annotations
 
 import contextlib
+import copy
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence
@@ -103,6 +104,10 @@ class CacheEntry:
     base_rows: int
     hits: int = 0
     last_used: int = 0
+    #: entry restored from a durable checkpoint rather than computed
+    #: in this process; hits on it annotate the query log with
+    #: ``recovered=True``
+    recovered: bool = False
     dim_pos: dict = field(default_factory=dict)
     agg_pos: dict = field(default_factory=dict)
 
@@ -235,6 +240,86 @@ class CuboidCache:
                     "entries": len(self._entries),
                     "resident_cells": self._accountant.resident_cells}
 
+    @property
+    def change_token(self) -> int:
+        """Monotone token that moves whenever the entry set changes
+        (admissions + evictions); the server checkpoints the cache
+        only when it has moved since the last checkpoint."""
+        with self._locked():
+            return (self.counters["admitted"]
+                    + self.counters["evicted_space"]
+                    + self.counters["evicted_invalidated"])
+
+    # -- durable checkpointing ---------------------------------------------
+
+    def dump_state(self) -> bytes:
+        """Serialize the resident entries for a durable checkpoint.
+
+        The entry list is snapshotted under the lock; the expensive
+        pickling happens *outside* it (the serve package never blocks
+        other statements on I/O-sized work while holding a lock).  The
+        answering engines are pickled with their base rows trimmed --
+        :meth:`PartialCube.answer_with_cost` folds materialized views
+        only, never task rows -- so a checkpoint carries cuboids, not
+        a copy of the fact table.  Entries whose scratchpads do not
+        pickle (exotic UDAFs) are skipped, not fatal.
+        """
+        import dataclasses
+        import pickle
+
+        with self._locked():
+            entries = list(self._entries.values())
+        payload = []
+        for entry in entries:
+            engine = copy.copy(entry.engine)
+            engine._task = dataclasses.replace(engine._task, rows=[])
+            slim = dataclasses.replace(entry, engine=engine, hits=0)
+            try:
+                payload.append(pickle.dumps(slim, protocol=4))
+            except Exception:  # noqa: BLE001 -- arbitrary user handles
+                continue
+        return pickle.dumps(payload, protocol=4)
+
+    def restore_state(self, blob: bytes, *, catalog: Any) -> int:
+        """Re-admit checkpointed entries; returns how many landed.
+
+        Each entry is unpickled defensively and validated against the
+        live catalog: every ``(table, version)`` in its source
+        signature must match the catalog's current version, otherwise
+        the table changed (or does not exist) since the checkpoint and
+        the cuboid is silently dropped -- the containment key makes a
+        stale entry unmatchable anyway, so dropping it just saves the
+        memory.  Restored entries are marked ``recovered`` and start
+        cold on the LRU clock.
+        """
+        import pickle
+
+        try:
+            payload = pickle.loads(blob)
+        except Exception:  # noqa: BLE001 -- a damaged blob restores nothing
+            return 0
+        restored = 0
+        for raw in payload:
+            try:
+                entry = pickle.loads(raw)
+            except Exception:  # noqa: BLE001
+                continue
+            if not isinstance(entry, CacheEntry):
+                continue
+            versions_ok = all(
+                catalog.version(table_name) == version
+                for table_name, version in entry.source[0])
+            if not versions_ok:
+                continue
+            entry.recovered = True
+            entry.hits = 0
+            with self._locked():
+                self._clock += 1
+                entry.last_used = self._clock
+                if self._admit(entry):
+                    restored += 1
+        return restored
+
     def clear(self) -> None:
         with self._locked():
             for entry_key in list(self._entries):
@@ -276,6 +361,8 @@ class CuboidCache:
         self.counters["hits"] += 1
         instrument.record_cache_lookup("hit")
         querylog.annotate(cache="hit")
+        if entry.recovered:
+            querylog.annotate(recovered=True)
         with trace.span("serve.answer", cache_hit=True,
                         grouping_sets=len(masks)) as span:
             scanned = 0

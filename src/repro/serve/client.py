@@ -98,6 +98,13 @@ class QueryClient:
         """Server-side stats: cache counters, admission state, tables."""
         return self._request("stats").get("stats", {})
 
+    def checkpoint(self) -> dict:
+        """Force a durable checkpoint on a ``--data-dir`` server;
+        returns the store's stats.  Raises
+        :class:`~repro.errors.ServeError` when the server has no data
+        directory."""
+        return self._request("checkpoint").get("storage", {})
+
     def log(self, n: int = 50, **filters: Any) -> dict:
         """The server's recent query records + workload history.
 

@@ -209,7 +209,16 @@ class QueryServer:
                  max_inflight: int = 4, max_queue: int = 16,
                  statement_timeout: Optional[float] = None,
                  memory_budget: Optional[int] = None,
-                 slow_query_ms: Optional[float] = None) -> None:
+                 slow_query_ms: Optional[float] = None,
+                 data_dir: Optional[str] = None,
+                 checkpoint_every: int = 1) -> None:
+        """``data_dir`` makes the server durable: the serve cache's
+        cuboid entries are checkpointed into a
+        :class:`~repro.storage.CubeStore` there after queries (every
+        ``checkpoint_every``-th entry-set change) and on shutdown, and
+        restored at construction -- so a restarted server answers its
+        first repeated query from a recovered cuboid instead of a cold
+        rebuild."""
         self.catalog = catalog if catalog is not None else Catalog()
         self.cache = cache if cache is not None else CuboidCache()
         self.host = host
@@ -226,6 +235,19 @@ class QueryServer:
         self._conn_lock = threading.Lock()
         self._stop = threading.Event()
         self._started = False
+        self.store = None
+        self.restored_entries = 0
+        self._checkpoint_every = max(1, checkpoint_every)
+        self._checkpoint_lock = threading.Lock()
+        self._checkpointed_token = 0
+        if data_dir is not None:
+            from repro.storage import CubeStore
+            self.store = CubeStore(data_dir)
+            blob = self.store.load_cache()
+            if blob is not None:
+                self.restored_entries = self.cache.restore_state(
+                    blob, catalog=self.catalog)
+            self._checkpointed_token = self.cache.change_token
 
     @contextlib.contextmanager
     def _conn_locked(self) -> Iterator[None]:
@@ -293,6 +315,11 @@ class QueryServer:
                 self._listener.close()
             except OSError:
                 pass
+        if self.store is not None:
+            with contextlib.suppress(ReproError, OSError):
+                self.checkpoint()
+            with contextlib.suppress(OSError):
+                self.store.close()
 
     def __enter__(self) -> "QueryServer":
         return self.start() if not self._started else self
@@ -378,6 +405,17 @@ class QueryServer:
                     "stats": self._stats()}
         if op == "log":
             return self._log_op(request_id, request)
+        if op == "checkpoint":
+            if self.store is None:
+                return self._error(request_id, ServeError(
+                    "server has no data directory; start it with "
+                    "--data-dir to enable checkpoints"))
+            try:
+                self.checkpoint()
+            except ReproError as error:
+                return self._error(request_id, error)
+            return {"id": request_id, "ok": True,
+                    "storage": self.store.stats()}
         if op == "query":
             sql = request.get("sql")
             if not isinstance(sql, str) or not sql.strip():
@@ -407,7 +445,7 @@ class QueryServer:
         return value
 
     def _stats(self) -> dict:
-        return {
+        stats = {
             "cache": self.cache.stats(),
             "inflight": self.admission.inflight,
             "queued": self.admission.queued,
@@ -415,6 +453,10 @@ class QueryServer:
             "tables": self.catalog.names(),
             "querylog": QUERY_LOG.summary(),
         }
+        if self.store is not None:
+            stats["storage"] = {**self.store.stats(),
+                                "restored_entries": self.restored_entries}
+        return stats
 
     def _log_op(self, request_id, request: dict) -> dict:
         """The ``log`` op: recent query records + workload history."""
@@ -456,6 +498,7 @@ class QueryServer:
             return response
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         payload = protocol.encode_table(result)
+        self._maybe_checkpoint()
         return {"id": request_id, "ok": True,
                 "columns": payload["columns"], "rows": payload["rows"],
                 "elapsed_ms": round(elapsed_ms, 3),
@@ -482,6 +525,38 @@ class QueryServer:
                 querylog.annotate(admission_wait_ms=round(
                     (time.perf_counter() - started) * 1000.0, 3))
             raise
+
+    # -- durability --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Persist the serve cache (and any attached cubes) to the
+        store.  Serialization and page I/O run outside every serve-
+        layer lock -- the admission slot and RW lock were released
+        before this is called, and :meth:`CuboidCache.dump_state` only
+        holds the cache lock for its in-memory snapshot."""
+        if self.store is None:
+            raise ServeError("server has no data directory")
+        token = self.cache.change_token
+        self.store.checkpoint(cache_state=self.cache.dump_state())
+        self._checkpointed_token = token
+
+    def _maybe_checkpoint(self) -> None:
+        """Post-query checkpoint: runs after the statement released
+        admission and the RW lock, only when the cache's entry set
+        moved, and never concurrently with itself (a busy checkpoint
+        skips -- the next query picks the change up)."""
+        if self.store is None:
+            return
+        token = self.cache.change_token
+        if token - self._checkpointed_token < self._checkpoint_every:
+            return
+        if not self._checkpoint_lock.acquire(blocking=False):
+            return
+        try:
+            with contextlib.suppress(ReproError, OSError):
+                self.checkpoint()
+        finally:
+            self._checkpoint_lock.release()
 
     @staticmethod
     def _error(request_id, error: Exception) -> dict:

@@ -23,6 +23,8 @@ meta-commands start with a backslash:
                           rate and latency quantiles
     \\connect host:port   route statements to a running query server
                           (python -m repro.serve; see docs/SERVING.md)
+    \\checkpoint          force a durable checkpoint on the connected
+                          server's --data-dir (see docs/STORAGE.md)
     \\disconnect          back to the local in-process session
     \\quit                exit
 
@@ -263,6 +265,18 @@ class Shell:
             self.remote = client
             return (f"connected to {host}:{port}; statements now run "
                     "remotely (\\disconnect to go back local)")
+        if name == "\\checkpoint":
+            if self.remote is None:
+                return ("no durable store in the local session; "
+                        "\\connect to a server started with --data-dir "
+                        "(docs/STORAGE.md)")
+            try:
+                stats = self.remote.checkpoint()
+            except ReproError as error:
+                return f"error: {error}"
+            return (f"checkpointed: epoch {stats.get('epoch')}, "
+                    f"{stats.get('pages')} page(s), "
+                    f"wal at byte {stats.get('wal_position')}")
         if name == "\\disconnect":
             if self.remote is None:
                 return "not connected"

@@ -1,0 +1,38 @@
+"""Durable storage: pages, buffer manager, WAL, crash recovery.
+
+Gray et al. assume the cube lives on a database engine with
+recoverable storage (the Section 6 maintenance discussion presumes
+durable relations); this package supplies that layer for the
+reproduction.  The stack, bottom to top:
+
+* :mod:`repro.storage.pages` -- fixed-size pages with per-page
+  CRC-32 checksums and a dual-slot (ping-pong) header, so torn writes
+  are detected and the header flip is an atomic commit point.
+* :mod:`repro.storage.buffer` -- a pinning buffer pool with LRU
+  eviction, accounted against the resilience memory budget.
+* :mod:`repro.storage.wal` -- the write-ahead log: append → fsync →
+  apply, byte-offset LSNs, commit/abort records, torn-tail discard.
+* :mod:`repro.storage.store` -- :class:`CubeStore`: checkpoints,
+  epoch-reconciled recovery, and the transaction journal that
+  :class:`~repro.maintenance.MaterializedCube` writes through.
+
+The recovery contract -- ``kill -9`` at any :data:`CRASH_SITES` site
+leaves exactly the pre- or post-transaction state -- is documented in
+docs/STORAGE.md and enforced by the seeded crash matrix in
+``tests/test_chaos_storage.py``.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.store import CRASH_SITES, CubeStore
+from repro.storage.wal import WALRecord, WriteAheadLog
+
+__all__ = [
+    "BufferPool",
+    "CRASH_SITES",
+    "CubeStore",
+    "DEFAULT_PAGE_SIZE",
+    "PageFile",
+    "WALRecord",
+    "WriteAheadLog",
+]

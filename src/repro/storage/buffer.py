@@ -1,0 +1,196 @@
+"""A pinning buffer manager over a :class:`~repro.storage.PageFile`.
+
+The buffer pool keeps a bounded set of page *frames* in memory so hot
+pages (spill partitions being re-read, the checkpoint directory chain)
+are served without touching disk.  The discipline is the classic
+textbook one:
+
+* :meth:`BufferPool.pin` brings a page into a frame and pins it; a
+  pinned frame is never evicted.
+* :meth:`BufferPool.unpin` drops the pin, optionally marking the frame
+  dirty (with replacement bytes) for later write-back.
+* When every frame is full, the **least-recently-used unpinned** frame
+  is evicted; a dirty victim is written back through the page file's
+  checksummed write path first.
+
+Frames are accounted against the resilience memory budget: each
+resident frame charges one scratchpad cell to the active
+:class:`~repro.resilience.ExecutionContext` (storage memory competes
+with compute memory under one budget, matching how the external
+algorithm's scratchpads are charged).  Eviction releases the cell.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.obs import instrument
+from repro.resilience import context as rescontext
+from repro.storage.pages import PageFile
+
+__all__ = ["BufferPool"]
+
+
+class _Frame:
+    __slots__ = ("payload", "next_page", "pin_count", "dirty")
+
+    def __init__(self, payload: bytes, next_page: int) -> None:
+        self.payload = payload
+        self.next_page = next_page
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Bounded page cache with pin counts and LRU eviction (see
+    module docstring).
+
+    ``capacity`` is the frame count; it must admit at least one frame.
+    All I/O goes through ``file`` so checksums, chaos injection, and
+    metrics apply unchanged.
+    """
+
+    def __init__(self, file: PageFile, *, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError(
+                f"buffer pool capacity must be >= 1 frame, "
+                f"got {capacity}")
+        self.file = file
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        # insertion order == recency order (move_to_end on touch)
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, page_id: int) -> tuple[bytes, int]:
+        """Pin ``page_id`` into a frame; returns ``(payload,
+        next_page)``.  The page cannot be evicted until every pin is
+        dropped with :meth:`unpin`."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                self.misses += 1
+                self._make_room()
+                payload, next_page = self.file.read_page(page_id)
+                frame = _Frame(payload, next_page)
+                self._frames[page_id] = frame
+                rescontext.charge_cells(1, where="storage.buffer")
+                instrument.set_buffer_pages(len(self._frames))
+            else:
+                self.hits += 1
+                self._frames.move_to_end(page_id)
+            frame.pin_count += 1
+            return frame.payload, frame.next_page
+
+    def unpin(self, page_id: int, *, dirty: bool = False,
+              payload: Optional[bytes] = None,
+              next_page: Optional[int] = None) -> None:
+        """Drop one pin.  ``dirty=True`` (optionally with replacement
+        ``payload``/``next_page``) defers the write to eviction or
+        :meth:`flush`."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise StorageError(
+                    f"page {page_id} is not pinned in this buffer pool")
+            if payload is not None:
+                frame.payload = payload
+            if next_page is not None:
+                frame.next_page = next_page
+            if dirty or payload is not None or next_page is not None:
+                frame.dirty = True
+            frame.pin_count -= 1
+
+    def read(self, page_id: int) -> tuple[bytes, int]:
+        """Pin, copy out, unpin -- the common read-only access."""
+        with self._lock:
+            result = self.pin(page_id)
+            self.unpin(page_id)
+            return result
+
+    def write(self, page_id: int, payload: bytes,
+              next_page: int = 0) -> None:
+        """Stage a page write in the pool (write-back on eviction or
+        :meth:`flush`)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                self.misses += 1
+                self._make_room()
+                frame = _Frame(payload, next_page)
+                self._frames[page_id] = frame
+                rescontext.charge_cells(1, where="storage.buffer")
+                instrument.set_buffer_pages(len(self._frames))
+            else:
+                self._frames.move_to_end(page_id)
+                frame.payload = payload
+                frame.next_page = next_page
+            frame.dirty = True
+
+    # -- eviction / write-back ---------------------------------------------
+
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id = next(
+                (pid for pid, f in self._frames.items()
+                 if f.pin_count == 0), None)
+            if victim_id is None:
+                raise StorageError(
+                    f"buffer pool exhausted: all {self.capacity} "
+                    "frames are pinned; unpin pages or grow capacity")
+            victim = self._frames.pop(victim_id)
+            if victim.dirty:
+                self.file.write_page(victim_id, victim.payload,
+                                     victim.next_page)
+            rescontext.release_cells(1)
+            self.evictions += 1
+            instrument.record_buffer_eviction()
+            instrument.set_buffer_pages(len(self._frames))
+
+    def flush(self, *, sync: bool = False) -> int:
+        """Write back every dirty frame; returns pages written.
+        ``sync=True`` follows with a durability barrier."""
+        with self._lock:
+            written = 0
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.file.write_page(page_id, frame.payload,
+                                         frame.next_page)
+                    frame.dirty = False
+                    written += 1
+            if sync and written:
+                self.file.sync()
+            return written
+
+    def drop(self) -> None:
+        """Discard every frame (after :meth:`flush` on an orderly
+        shutdown; without it on crash simulation).  Pinned frames make
+        this an error -- a leak of pins is a caller bug."""
+        with self._lock:
+            pinned = [pid for pid, f in self._frames.items()
+                      if f.pin_count > 0]
+            if pinned:
+                raise StorageError(
+                    f"cannot drop buffer pool: pages {pinned} are "
+                    "still pinned")
+            rescontext.release_cells(len(self._frames))
+            self._frames.clear()
+            instrument.set_buffer_pages(0)
+
+    @property
+    def resident(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def __repr__(self) -> str:
+        return (f"<BufferPool {self.file.path} "
+                f"resident={len(self._frames)}/{self.capacity} "
+                f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions}>")

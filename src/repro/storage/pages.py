@@ -1,0 +1,377 @@
+"""Fixed-size page files with per-page checksums (docs/STORAGE.md).
+
+The durability story starts here: every byte the engine persists goes
+through a :class:`PageFile`, whose unit of I/O is a fixed-size page
+carrying its own CRC-32.  A torn write -- the process dies after some
+but not all of a page's bytes reach the platter -- is therefore
+*detectable*: the stored checksum cannot match the hybrid contents, and
+readers raise :class:`~repro.errors.TornPageError` instead of returning
+garbage.  Recovery treats a torn page as lost and falls back to the
+last checkpoint plus WAL replay (:mod:`repro.storage.wal`).
+
+The file header is **dual-slotted** against torn header writes: two
+header pages (page ids 0 and 1) each carry a sequence number, and
+updates always overwrite the slot holding the *older* sequence.  A
+crash mid-write corrupts at most the slot being written; the other
+slot still holds the previous, checksum-valid header, so the file
+always opens to a consistent root.  This is the classic ping-pong
+superblock discipline -- the header flip is the atomic commit point of
+a checkpoint (:meth:`PageFile.set_root`).
+
+Blobs larger than one page span a chain of pages linked through each
+page's ``next_page`` field; freed pages go on a freelist threaded the
+same way.  Chaos hooks (``torn_write``, ``fsync_fail``,
+``pages.write`` / ``pages.header`` crash points -- see
+:mod:`repro.resilience.chaos`) are wired through every write path so
+the failure modes this module defends against are producible on
+demand.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from typing import Any, Optional
+
+from repro.errors import FaultInjectedError, StorageError, TornPageError
+from repro.obs import instrument
+
+__all__ = ["PageFile", "DEFAULT_PAGE_SIZE"]
+
+#: Default page size in bytes; small enough that tests exercising
+#: multi-page blobs stay cheap, large enough to be realistic.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Per-page frame: crc32 (over everything after itself), payload
+#: length, next-page pointer (0 = end of chain; page 0 is a header
+#: page, so 0 is never a valid link target).
+_FRAME = struct.Struct("<IIQ")
+
+#: Header payload: magic, format version, page size, header sequence,
+#: root blob head page, freelist head page, allocated page count.
+_HEADER = struct.Struct("<8sIIQQQQ")
+_MAGIC = b"RPROPAGE"
+_FORMAT_VERSION = 1
+_HEADER_PAGES = 2
+
+
+class PageFile:
+    """A checksummed, fixed-size-page file (see module docstring).
+
+    ``kind`` labels this file's I/O metrics (``data`` for the engine's
+    page store, ``spill`` for the external algorithm's partition
+    spills).  ``chaos`` is an optional
+    :class:`~repro.resilience.ChaosInjector` consulted on every write
+    and fsync.
+    """
+
+    def __init__(self, path: str, *,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 kind: str = "data",
+                 chaos: Optional[Any] = None) -> None:
+        if page_size < _FRAME.size + _HEADER.size:
+            raise StorageError(
+                f"page_size must be >= {_FRAME.size + _HEADER.size} "
+                f"bytes, got {page_size}")
+        self.path = path
+        self.page_size = page_size
+        self.kind = kind
+        self.chaos = chaos
+        self._lock = threading.RLock()
+        self._closed = False
+        existed = os.path.exists(path) and os.path.getsize(path) > 0
+        # buffering=0: every write reaches the OS immediately, so the
+        # simulated-crash tests see exactly the bytes a dead process
+        # would have left behind
+        self._file = open(path, "r+b" if existed else "w+b", buffering=0)
+        if existed:
+            self._load_header()
+        else:
+            self._sequence = 0
+            self._root = 0
+            self._free_head = 0
+            self._n_pages = _HEADER_PAGES
+            self._write_header_slot(0)
+            self._fsync()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"page file {self.path} is closed")
+
+    # -- header (dual slot) ------------------------------------------------
+
+    def _pack_header(self) -> bytes:
+        return _HEADER.pack(_MAGIC, _FORMAT_VERSION, self.page_size,
+                            self._sequence, self._root, self._free_head,
+                            self._n_pages)
+
+    def _write_header_slot(self, slot: int) -> None:
+        payload = self._pack_header()
+        self._write_frame(slot, payload, 0, site="pages.header")
+
+    def _read_header_slot(self, slot: int) -> Optional[tuple]:
+        try:
+            payload, _next = self._read_frame(slot, count_metric=False)
+        except TornPageError:
+            return None
+        try:
+            magic, version, page_size, sequence, root, free_head, \
+                n_pages = _HEADER.unpack(payload[:_HEADER.size])
+        except struct.error:
+            return None
+        if magic != _MAGIC or version != _FORMAT_VERSION:
+            return None
+        return (sequence, page_size, root, free_head, n_pages)
+
+    def _load_header(self) -> None:
+        slots = [self._read_header_slot(0), self._read_header_slot(1)]
+        valid = [s for s in slots if s is not None]
+        if not valid:
+            raise StorageError(
+                f"{self.path}: both header slots are invalid; this is "
+                "not a repro page file (or it is damaged beyond the "
+                "torn-header contract)")
+        sequence, page_size, root, free_head, n_pages = max(valid)
+        if page_size != self.page_size:
+            raise StorageError(
+                f"{self.path} was written with page_size={page_size}, "
+                f"opened with page_size={self.page_size}")
+        self._sequence = sequence
+        self._root = root
+        self._free_head = free_head
+        self._n_pages = n_pages
+
+    @property
+    def root(self) -> int:
+        """Head page of the application's root blob (0 = none)."""
+        return self._root
+
+    @property
+    def n_pages(self) -> int:
+        return self._n_pages
+
+    def set_root(self, page_id: int) -> None:
+        """Atomically flip the header to point at a new root blob.
+
+        Writes the *older* header slot, then fsyncs -- the commit point
+        of a checkpoint.  A crash mid-write leaves the other slot
+        intact, so the previous root survives.
+        """
+        with self._lock:
+            self._check_open()
+            self._root = page_id
+            self._sequence += 1
+            self._write_header_slot(self._sequence % _HEADER_PAGES)
+            self._fsync()
+
+    # -- raw page I/O ------------------------------------------------------
+
+    @property
+    def payload_capacity(self) -> int:
+        return self.page_size - _FRAME.size
+
+    def _offset(self, page_id: int) -> int:
+        return page_id * self.page_size
+
+    def _frame_bytes(self, payload: bytes, next_page: int) -> bytes:
+        buffer = bytearray(self.page_size)
+        _FRAME.pack_into(buffer, 0, 0, len(payload), next_page)
+        buffer[_FRAME.size:_FRAME.size + len(payload)] = payload
+        crc = zlib.crc32(bytes(buffer[4:]))
+        struct.pack_into("<I", buffer, 0, crc)
+        return bytes(buffer)
+
+    def _write_frame(self, page_id: int, payload: bytes, next_page: int,
+                     *, site: str = "pages.write") -> None:
+        if len(payload) > self.payload_capacity:
+            raise StorageError(
+                f"payload of {len(payload)} bytes exceeds page capacity "
+                f"{self.payload_capacity}")
+        if self.chaos is not None:
+            self.chaos.crash(site)
+        frame = self._frame_bytes(payload, next_page)
+        self._file.seek(self._offset(page_id))
+        if self.chaos is not None and self.chaos.should_inject(
+                "torn_write", file=self.kind, page=page_id):
+            # the crash happens mid-write: half the page reaches disk,
+            # the process is gone -- readers must detect the tear
+            self._file.write(frame[:self.page_size // 2])
+            raise FaultInjectedError(
+                f"chaos: injected torn_write (file={self.kind} "
+                f"page={page_id})")
+        self._file.write(frame)
+        instrument.record_page_write(self.kind)
+
+    def _read_frame(self, page_id: int,
+                    *, count_metric: bool = True) -> tuple[bytes, int]:
+        self._file.seek(self._offset(page_id))
+        frame = self._file.read(self.page_size)
+        if count_metric:
+            instrument.record_page_read(self.kind)
+        if len(frame) < self.page_size:
+            instrument.record_torn_page()
+            raise TornPageError(page_id, self.path)
+        crc, length, next_page = _FRAME.unpack_from(frame, 0)
+        if length > self.payload_capacity \
+                or zlib.crc32(frame[4:]) != crc:
+            instrument.record_torn_page()
+            raise TornPageError(page_id, self.path)
+        payload = frame[_FRAME.size:_FRAME.size + length]
+        return payload, next_page
+
+    def write_page(self, page_id: int, payload: bytes,
+                   next_page: int = 0) -> None:
+        """Write one page (checksummed); ``next_page`` links chains."""
+        with self._lock:
+            self._check_open()
+            if not _HEADER_PAGES <= page_id < self._n_pages:
+                raise StorageError(
+                    f"page {page_id} out of range "
+                    f"[{_HEADER_PAGES}, {self._n_pages})")
+            self._write_frame(page_id, payload, next_page)
+
+    def read_page(self, page_id: int) -> tuple[bytes, int]:
+        """Read one page; raises :class:`TornPageError` on checksum
+        mismatch.  Returns ``(payload, next_page)``."""
+        with self._lock:
+            self._check_open()
+            if not _HEADER_PAGES <= page_id < self._n_pages:
+                raise StorageError(
+                    f"page {page_id} out of range "
+                    f"[{_HEADER_PAGES}, {self._n_pages})")
+            return self._read_frame(page_id)
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """A fresh (or recycled) page id.  Freelist pops survive a
+        crash harmlessly: the header's freelist head is only persisted
+        at the next header flip, so an un-flipped pop merely leaks the
+        page until then."""
+        with self._lock:
+            self._check_open()
+            if self._free_head:
+                page_id = self._free_head
+                try:
+                    _payload, next_free = self._read_frame(page_id)
+                except TornPageError:
+                    # a crash tore the page after it went on the
+                    # freelist; the chain beyond it is untrustworthy,
+                    # so leak it and extend the file instead
+                    self._free_head = 0
+                else:
+                    self._free_head = next_free
+                    return page_id
+            page_id = self._n_pages
+            self._n_pages += 1
+            return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the freelist."""
+        with self._lock:
+            self._check_open()
+            if not _HEADER_PAGES <= page_id < self._n_pages:
+                raise StorageError(
+                    f"cannot free page {page_id}: out of range")
+            self._write_frame(page_id, b"", self._free_head)
+            self._free_head = page_id
+
+    # -- blobs -------------------------------------------------------------
+
+    def store_blob(self, data: bytes) -> int:
+        """Persist ``data`` across a chain of pages; returns the head
+        page id.  The chain is written tail-first so every link always
+        points at a fully written page."""
+        with self._lock:
+            self._check_open()
+            capacity = self.payload_capacity
+            chunks = [data[i:i + capacity]
+                      for i in range(0, len(data), capacity)] or [b""]
+            pages = [self.allocate() for _ in chunks]
+            next_page = 0
+            for page_id, chunk in zip(reversed(pages), reversed(chunks)):
+                self._write_frame(page_id, chunk, next_page)
+                next_page = page_id
+            return pages[0]
+
+    def read_blob(self, head: int) -> bytes:
+        """Reassemble a blob from its page chain."""
+        with self._lock:
+            self._check_open()
+            parts: list[bytes] = []
+            seen: set[int] = set()
+            page_id = head
+            while page_id:
+                if page_id in seen:
+                    raise StorageError(
+                        f"blob chain at page {head} contains a cycle "
+                        f"(page {page_id} repeats)")
+                seen.add(page_id)
+                payload, page_id = self.read_page(page_id)
+                parts.append(payload)
+            return b"".join(parts)
+
+    def free_blob(self, head: int) -> int:
+        """Free a blob's whole chain; returns pages freed."""
+        with self._lock:
+            self._check_open()
+            chain: list[int] = []
+            seen: set[int] = set()
+            page_id = head
+            while page_id:
+                if page_id in seen:
+                    raise StorageError(
+                        f"blob chain at page {head} contains a cycle "
+                        f"(page {page_id} repeats)")
+                seen.add(page_id)
+                chain.append(page_id)
+                _payload, page_id = self.read_page(page_id)
+            for page_id in chain:
+                self.free(page_id)
+            return len(chain)
+
+    # -- durability --------------------------------------------------------
+
+    def _fsync(self) -> None:
+        if self.chaos is not None and self.chaos.should_inject(
+                "fsync_fail", file=self.kind):
+            raise FaultInjectedError(
+                f"chaos: injected fsync_fail (file={self.kind})")
+        os.fsync(self._file.fileno())
+        instrument.record_storage_fsync(self.kind)
+
+    def sync(self) -> None:
+        """Durability barrier: everything written is on disk after."""
+        with self._lock:
+            self._check_open()
+            self._fsync()
+
+    def sync_header(self) -> None:
+        """Persist the in-memory header (freelist head, page count)
+        without changing the root -- same dual-slot flip."""
+        with self._lock:
+            self._check_open()
+            self._sequence += 1
+            self._write_header_slot(self._sequence % _HEADER_PAGES)
+            self._fsync()
+
+    def __repr__(self) -> str:
+        return (f"<PageFile {self.path} kind={self.kind} "
+                f"pages={self._n_pages} root={self._root}>")

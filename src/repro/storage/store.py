@@ -1,0 +1,357 @@
+"""The durable cube store: checkpoints + WAL = crash recovery.
+
+A :class:`CubeStore` owns one data directory holding a page file
+(``cube.pages``) and a write-ahead log (``cube.wal``) and implements
+the recovery contract the rest of the engine relies on (docs/STORAGE.md):
+
+**Write path.**  A :class:`~repro.maintenance.MaterializedCube` bound
+with :meth:`~repro.maintenance.MaterializedCube.bind_journal` writes
+every transaction through the store -- ``begin`` record, one ``op``
+record per base-row mutation, then a *synced* ``commit`` record before
+the transaction reports success (or an ``abort`` on rollback).
+
+**Checkpoint.**  :meth:`CubeStore.checkpoint` serializes every attached
+cube's state (plus, optionally, the serve cache's cuboid entries) into
+page-file blobs, writes a new *directory* blob naming them under a new
+WAL epoch, makes the blobs durable, then flips the page-file header to
+the new directory -- the single atomic commit point -- and finally
+rotates the WAL.  Old blobs are freed only after the flip.
+
+**Recovery.**  Opening a store reads the directory the surviving
+header slot points at, then reconciles the WAL by epoch:
+
+========================  ============================================
+log epoch vs directory     meaning / action
+========================  ============================================
+equal                      normal: replay committed transactions from
+                           the directory's ``wal_pos``
+log older                  crash between header flip and log rotation:
+                           the checkpoint already contains everything
+                           in the log -- replay nothing, rotate now
+log missing/empty          fresh store (or crash mid-rotation after
+                           truncate): start a log at the directory's
+                           epoch
+========================  ============================================
+
+Replays apply only *committed* transactions, in commit order, through
+the cube's ordinary mutation path -- so a recovered cube is
+bit-identical to the one that committed, including its maintenance
+statistics.  Replaying any prefix of the log, or replaying twice, is
+safe (the Hypothesis suite proves this over random logs).
+
+**Crash points.**  Every step above is bracketed by a named
+``crash_point`` chaos site (:data:`CRASH_SITES`), so the recovery
+matrix can kill the engine between any two durability steps and assert
+the reopened state is exactly pre- or post-transaction.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import StorageError
+from repro.obs import instrument, trace
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["CubeStore", "CRASH_SITES"]
+
+#: Every named crash site on the store's write paths, in write-path
+#: order.  ``crash_sites=(site,)`` on a ChaosInjector kills the engine
+#: exactly there; the recovery matrix iterates over all of them.
+#: Sites up to and including ``wal.commit`` must recover to the
+#: pre-transaction state; ``wal.commit.after_fsync`` and later must
+#: recover to the post-transaction state.
+CRASH_SITES = (
+    "txn.begin",
+    "wal.append",
+    "wal.commit",
+    "wal.commit.after_fsync",
+    "checkpoint.blob",
+    "checkpoint.header",
+    "checkpoint.after_header",
+    "wal.rotate",
+)
+
+_PAGES_NAME = "cube.pages"
+_WAL_NAME = "cube.wal"
+
+
+class CubeStore:
+    """One durable data directory (see module docstring).
+
+    ``chaos`` is threaded into the page file and the WAL, and
+    consulted at every :data:`CRASH_SITES` site.
+    """
+
+    def __init__(self, data_dir: str, *,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 chaos: Optional[Any] = None) -> None:
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.chaos = chaos
+        self._lock = threading.RLock()
+        self._cubes: Dict[str, Any] = {}
+        #: transactions replayed per cube name at attach time
+        self.replayed: Dict[str, int] = {}
+        self.pages = PageFile(os.path.join(data_dir, _PAGES_NAME),
+                              page_size=page_size, chaos=chaos)
+        self._directory = self._load_directory()
+        self.wal = self._open_wal()
+        self._txn_counter = self._seed_txn_counter()
+        #: in-flight transactions' buffered ops (group commit)
+        self._txn_ops: Dict[tuple, list] = {}
+        self.checkpoints = 0
+
+    # -- open / directory --------------------------------------------------
+
+    def _load_directory(self) -> dict:
+        if self.pages.root == 0:
+            return {"epoch": 0, "wal_pos": 0, "cubes": {}, "cache": 0}
+        blob = self.pages.read_blob(self.pages.root)
+        directory = pickle.loads(blob)
+        if not isinstance(directory, dict) or "epoch" not in directory:
+            raise StorageError(
+                f"{self.pages.path}: root blob is not a store "
+                "directory")
+        return directory
+
+    def _open_wal(self) -> WriteAheadLog:
+        path = os.path.join(self.data_dir, _WAL_NAME)
+        wal = WriteAheadLog(path, epoch=self._directory["epoch"],
+                            chaos=self.chaos)
+        if wal.epoch > self._directory["epoch"]:
+            raise StorageError(
+                f"{path}: log epoch {wal.epoch} is newer than the "
+                f"checkpoint directory's {self._directory['epoch']}; "
+                "the data directory mixes files from different stores")
+        if wal.epoch < self._directory["epoch"]:
+            # crash landed between the header flip and the log
+            # rotation: the checkpoint supersedes the whole log
+            wal.rotate(self._directory["epoch"])
+            self._directory = dict(self._directory, wal_pos=0)
+        return wal
+
+    def _seed_txn_counter(self) -> int:
+        highest = 0
+        for record in self.wal.records():
+            if record.txn > highest:
+                highest = record.txn
+        return highest + 1
+
+    def close(self) -> None:
+        with self._lock:
+            self.wal.close()
+            self.pages.close()
+
+    def __enter__(self) -> "CubeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def epoch(self) -> int:
+        return self._directory["epoch"]
+
+    @property
+    def cube_names(self) -> tuple:
+        return tuple(sorted(self._directory["cubes"]))
+
+    # -- attach / recover --------------------------------------------------
+
+    def attach(self, cube: Any, name: str) -> bool:
+        """Bind ``cube`` (a :class:`~repro.maintenance.MaterializedCube`)
+        to this store under ``name``, recovering durable state into it.
+
+        If the directory holds a checkpoint for ``name`` its state is
+        restored first (the cube's spec signature must match -- a
+        checkpoint is only reusable for the same cube definition);
+        then every committed WAL transaction for ``name`` is replayed
+        in commit order.  Returns ``True`` when any durable state was
+        recovered, ``False`` for a genuinely fresh cube.  Afterwards
+        the cube journals its transactions through this store.
+        """
+        with self._lock, trace.span("storage.recover", cube=name):
+            if name in self._cubes:
+                raise StorageError(
+                    f"a cube is already attached as {name!r}")
+            signature = cube.storage_signature()
+            recovered = False
+            entry = self._directory["cubes"].get(name)
+            if entry is not None:
+                if entry["sig"] != signature:
+                    raise StorageError(
+                        f"checkpoint for {name!r} belongs to a "
+                        "different cube definition (dimension/"
+                        "aggregate signature mismatch); attach under "
+                        "a new name or remove the data directory")
+                cube.restore_state(
+                    pickle.loads(self.pages.read_blob(entry["blob"])))
+                recovered = True
+            replayed = self._replay_into(cube, name)
+            self.replayed[name] = replayed
+            recovered = recovered or replayed > 0
+            self._cubes[name] = cube
+            cube.bind_journal(self, name)
+            instrument.record_recovery(
+                "recovered" if recovered else "fresh")
+            return recovered
+
+    def _replay_into(self, cube: Any, name: str) -> int:
+        start = self._directory["wal_pos"]
+        count = 0
+        with trace.span("storage.replay", cube=name) as span:
+            for txn, cube_name, chunks in \
+                    self.wal.committed_operations(start):
+                if cube_name != name:
+                    continue
+                # group commit writes each transaction's ops as one
+                # chunked record; tolerate single-op records too
+                ops = []
+                for chunk in chunks:
+                    if isinstance(chunk, list):
+                        ops.extend(chunk)
+                    else:
+                        ops.append(chunk)
+                cube.apply_replay(ops)
+                count += len(ops)
+                instrument.record_wal_replay(len(ops))
+            span.set(operations=count)
+        return count
+
+    # -- transaction journal (called by MaterializedCube) ------------------
+
+    def txn_begin(self, name: str) -> int:
+        with self._lock:
+            self._crash("txn.begin")
+            txn = self._txn_counter
+            self._txn_counter += 1
+            self.wal.append("begin", txn, name)
+            self._txn_ops[(txn, name)] = []
+            return txn
+
+    def txn_op(self, txn: int, name: str, op: tuple) -> None:
+        """Record one operation.  Ops are buffered in memory and hit
+        the log as a single chunked record at commit (group commit):
+        an uncommitted transaction was never durable anyway, so
+        deferring the append costs nothing in recoverable state and
+        collapses per-op writes into one."""
+        with self._lock:
+            self._crash("wal.append")
+            self._txn_ops[(txn, name)].append(op)
+
+    def txn_commit(self, txn: int, name: str) -> None:
+        """The durability point: the buffered op chunk and the commit
+        record are appended and fsynced before this returns, so a
+        transaction that reported success survives any crash after
+        it."""
+        with self._lock:
+            ops = self._txn_ops.pop((txn, name), [])
+            self._crash("wal.commit")
+            if ops:
+                self.wal.append("op", txn, name, ops)
+            self.wal.append("commit", txn, name, sync=True)
+            self._crash("wal.commit.after_fsync")
+
+    def txn_abort(self, txn: int, name: str) -> None:
+        with self._lock:
+            self._txn_ops.pop((txn, name), None)
+            self.wal.append("abort", txn, name)
+
+    def _crash(self, site: str) -> None:
+        if self.chaos is not None:
+            self.chaos.crash(site)
+
+    # -- checkpoint --------------------------------------------------------
+
+    def checkpoint(self, *, cache_state: Optional[bytes] = None) -> None:
+        """Persist every attached cube (and optionally the serve
+        cache) and reset the WAL.  Must not run while a journaled
+        transaction is in flight -- callers checkpoint between
+        requests, never inside one.
+
+        The header flip is the atomic commit point: a crash anywhere
+        before it leaves the previous checkpoint + log authoritative;
+        a crash anywhere after it leaves the new checkpoint
+        authoritative (the stale log is ignored by epoch).
+        """
+        with self._lock, trace.span(
+                "storage.checkpoint",
+                cubes=len(self._cubes)) as span:
+            old_directory = self._directory
+            old_root = self.pages.root
+            new_epoch = old_directory["epoch"] + 1
+            cubes: Dict[str, dict] = {}
+            self._crash("checkpoint.blob")
+            for name, cube in sorted(self._cubes.items()):
+                blob = pickle.dumps(cube.capture_state(), protocol=4)
+                cubes[name] = {
+                    "sig": cube.storage_signature(),
+                    "blob": self.pages.store_blob(blob),
+                }
+            if cache_state is not None:
+                cache_head = self.pages.store_blob(cache_state)
+            else:
+                cache_head = old_directory.get("cache", 0)
+                if cache_head:
+                    # carry the previous cache blob forward so a
+                    # cube-only checkpoint does not drop it
+                    cache_head = self.pages.store_blob(
+                        self.pages.read_blob(cache_head))
+            directory = {"epoch": new_epoch, "wal_pos": 0,
+                         "cubes": cubes, "cache": cache_head}
+            dir_head = self.pages.store_blob(
+                pickle.dumps(directory, protocol=4))
+            self.pages.sync()
+            self._crash("checkpoint.header")
+            self.pages.set_root(dir_head)
+            self._directory = directory
+            self.checkpoints += 1
+            instrument.record_checkpoint(
+                "full" if cache_state is not None else "cubes")
+            self._crash("checkpoint.after_header")
+            self._free_old(old_directory, old_root)
+            self.wal.rotate(new_epoch)
+            span.set(epoch=new_epoch)
+
+    def _free_old(self, old_directory: dict, old_root: int) -> None:
+        """Recycle the superseded checkpoint's pages.  Runs after the
+        header flip, so a crash here only leaks pages (the freelist
+        head is persisted at the next flip)."""
+        for entry in old_directory["cubes"].values():
+            self.pages.free_blob(entry["blob"])
+        if old_directory.get("cache"):
+            self.pages.free_blob(old_directory["cache"])
+        if old_root:
+            self.pages.free_blob(old_root)
+
+    # -- serve-cache persistence -------------------------------------------
+
+    def load_cache(self) -> Optional[bytes]:
+        """The last checkpointed serve-cache blob, or ``None``."""
+        with self._lock:
+            head = self._directory.get("cache", 0)
+            if not head:
+                return None
+            return self.pages.read_blob(head)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "epoch": self._directory["epoch"],
+                "checkpoints": self.checkpoints,
+                "wal_position": self.wal.position,
+                "pages": self.pages.n_pages,
+                "cubes": sorted(self._directory["cubes"]),
+                "replayed": dict(self.replayed),
+                "cache_checkpointed":
+                    bool(self._directory.get("cache", 0)),
+            }
+
+    def __repr__(self) -> str:
+        return (f"<CubeStore {self.data_dir} epoch={self.epoch} "
+                f"cubes={list(self._cubes)}>")

@@ -1,0 +1,334 @@
+"""The write-ahead log: append, fsync, replay (docs/STORAGE.md).
+
+The WAL is the durability contract for transactional maintenance
+(:meth:`~repro.maintenance.MaterializedCube.transaction`): every
+operation is *logged before it is applied*, the commit record is
+fsynced before the transaction reports success, and recovery replays
+only transactions whose commit record made it to disk.  ``kill -9`` at
+any instant therefore leaves either the pre-transaction or the
+post-transaction state -- never a torn hybrid.
+
+Record framing is self-validating: ``[length u32][crc32 u32][payload]``
+with the payload a pickled ``(kind, txn, cube, data)`` tuple.  A
+record's **LSN is its byte offset**, which makes replay positions
+stable identifiers and prefix-truncation equivalent to crash
+truncation.  The scan stops at the first frame that is short, fails
+its CRC, or does not unpickle -- by construction that is the log's
+**torn tail** (a crash mid-append), and it is discarded at open, never
+applied.  Interior damage -- a file that does not even start with this
+log's epoch record -- raises :class:`~repro.errors.WALCorruptError`
+instead of silently wiping data that may not be ours.
+
+Logs **rotate** under an epoch number (the first record of every log
+file) so a full checkpoint can reset the log without a window where
+committed work is only in memory: the checkpoint directory records
+``(epoch, position)``, and replay compares epochs before positions
+(see :mod:`repro.storage.store` for the exact crash analysis).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import (
+    FaultInjectedError,
+    StorageError,
+    WALCorruptError,
+)
+from repro.obs import instrument
+
+__all__ = ["WALRecord", "WriteAheadLog"]
+
+_FRAME = struct.Struct("<II")
+
+#: Begin/op/commit/abort plus the epoch record every log starts with.
+RECORD_KINDS = ("epoch", "begin", "op", "commit", "abort")
+
+#: Upper bound on one record's payload -- anything larger at scan time
+#: is treated as frame damage, not an allocation request.
+_MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One log record.  ``lsn`` is the record's byte offset."""
+
+    lsn: int
+    kind: str
+    txn: int
+    cube: str
+    data: Any
+
+
+class WriteAheadLog:
+    """Append-only, checksummed transaction log (see module docstring).
+
+    ``chaos`` is an optional
+    :class:`~repro.resilience.ChaosInjector`; its ``torn_write`` point
+    tears an append mid-frame and ``fsync_fail`` fails the durability
+    barrier.  Either failure **poisons** the log object -- like a
+    database that panics on fsync failure, it refuses further appends
+    until the file is reopened (which truncates the torn tail).
+    """
+
+    def __init__(self, path: str, *,
+                 epoch: int = 0,
+                 chaos: Optional[Any] = None) -> None:
+        self.path = path
+        self.chaos = chaos
+        self._lock = threading.RLock()
+        self._failed = False
+        self._closed = False
+        #: records discarded as the torn tail at open time
+        self.discarded = 0
+        existed = os.path.exists(path) and os.path.getsize(path) > 0
+        self._file = open(path, "r+b" if existed else "w+b", buffering=0)
+        if existed:
+            self._scan_open()
+        else:
+            self.epoch = epoch
+            self._end = 0
+            self._append_frame(("epoch", 0, "", epoch))
+            self._do_fsync()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise StorageError(f"write-ahead log {self.path} is closed")
+        if self._failed:
+            raise StorageError(
+                f"write-ahead log {self.path} is poisoned by a failed "
+                "append or fsync; reopen the store to recover")
+
+    @property
+    def position(self) -> int:
+        """The next record's LSN (current end of the valid log)."""
+        with self._lock:
+            return self._end
+
+    # -- framing -----------------------------------------------------------
+
+    @staticmethod
+    def _encode(entry: tuple) -> bytes:
+        payload = pickle.dumps(entry, protocol=4)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        return frame
+
+    def _append_frame(self, entry: tuple) -> int:
+        lsn = self._end
+        frame = self._encode(entry)
+        self._file.seek(lsn)
+        if self.chaos is not None and self.chaos.should_inject(
+                "torn_write", file="wal", lsn=lsn):
+            # crash mid-append: a strict prefix of the frame lands
+            self._file.write(frame[:max(1, len(frame) // 2)])
+            self._failed = True
+            raise FaultInjectedError(
+                f"chaos: injected torn_write (file=wal lsn={lsn})")
+        self._file.write(frame)
+        self._end = lsn + len(frame)
+        instrument.record_wal_append(entry[0])
+        return lsn
+
+    def _read_frame_at(self, offset: int,
+                       size: int) -> Optional[tuple[tuple, int]]:
+        """Decode the frame at ``offset``; ``None`` marks the torn
+        tail.  Returns ``(entry, next_offset)``."""
+        if offset + _FRAME.size > size:
+            return None
+        self._file.seek(offset)
+        header = self._file.read(_FRAME.size)
+        if len(header) < _FRAME.size:
+            return None
+        length, crc = _FRAME.unpack(header)
+        if length == 0 or length > _MAX_PAYLOAD \
+                or offset + _FRAME.size + length > size:
+            return None
+        payload = self._file.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not (isinstance(entry, tuple) and len(entry) == 4
+                and entry[0] in RECORD_KINDS):
+            return None
+        return entry, offset + _FRAME.size + length
+
+    # -- open-time scan ----------------------------------------------------
+
+    def _scan_open(self) -> None:
+        size = os.path.getsize(self.path)
+        first = self._read_frame_at(0, size)
+        if first is None or first[0][0] != "epoch":
+            raise WALCorruptError(
+                f"{self.path} does not start with a valid epoch "
+                "record; refusing to treat it as a write-ahead log")
+        self.epoch = first[0][3]
+        offset = first[1]
+        while True:
+            decoded = self._read_frame_at(offset, size)
+            if decoded is None:
+                break
+            offset = decoded[1]
+        if offset < size:
+            # the torn tail: count the damage, then cut it off so new
+            # appends never land after unreadable bytes
+            self.discarded = 1
+            self._file.truncate(offset)
+            instrument.record_wal_torn_tail(self.discarded)
+        self._end = offset
+
+    # -- appends -----------------------------------------------------------
+
+    def append(self, kind: str, txn: int, cube: str, data: Any = None, *,
+               sync: bool = False) -> int:
+        """Append one record; returns its LSN.  ``sync=True`` is the
+        commit discipline: the record is fsynced before return."""
+        if kind not in RECORD_KINDS or kind == "epoch":
+            raise StorageError(
+                f"unknown WAL record kind {kind!r}; "
+                f"use one of {RECORD_KINDS[1:]}")
+        with self._lock:
+            self._check_usable()
+            lsn = self._append_frame((kind, txn, cube, data))
+            if sync:
+                self.sync()
+            return lsn
+
+    def sync(self) -> None:
+        """Durability barrier.  A failure (injected or real) poisons
+        the log: the caller must treat the transaction as unresolved
+        and recover by reopening."""
+        with self._lock:
+            self._check_usable()
+            self._do_fsync()
+
+    def _do_fsync(self) -> None:
+        if self.chaos is not None and self.chaos.should_inject(
+                "fsync_fail", file="wal"):
+            self._failed = True
+            raise FaultInjectedError(
+                "chaos: injected fsync_fail (file=wal)")
+        os.fsync(self._file.fileno())
+        instrument.record_storage_fsync("wal")
+
+    # -- replay ------------------------------------------------------------
+
+    def records(self, start_lsn: int = 0) -> Iterator[WALRecord]:
+        """Valid records from ``start_lsn`` to the end, epoch record
+        excluded.  ``start_lsn=0`` means the whole log.  The iteration
+        stops cleanly at a torn tail (only reachable when scanning a
+        file another process tore after we opened it)."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(
+                    f"write-ahead log {self.path} is closed")
+            size = os.path.getsize(self.path)
+            offset = 0
+            out: list[WALRecord] = []
+            while True:
+                decoded = self._read_frame_at(offset, size)
+                if decoded is None:
+                    break
+                entry, next_offset = decoded
+                kind, txn, cube, data = entry
+                if kind != "epoch" and offset >= start_lsn:
+                    out.append(WALRecord(lsn=offset, kind=kind, txn=txn,
+                                         cube=cube, data=data))
+                offset = next_offset
+        return iter(out)
+
+    def committed_operations(
+            self, start_lsn: int = 0) -> list[tuple[int, str, list]]:
+        """Per-transaction op lists for *committed* transactions, in
+        commit order: ``[(txn, cube, [op, ...]), ...]``.
+
+        Transactions with no commit record (crashed mid-flight) or an
+        abort record are skipped -- replaying any prefix of the log is
+        therefore safe, and replaying twice applies the same list.
+        """
+        pending: dict[tuple[int, str], list] = {}
+        committed: list[tuple[int, str, list]] = []
+        for record in self.records(start_lsn):
+            key = (record.txn, record.cube)
+            if record.kind == "begin":
+                pending[key] = []
+            elif record.kind == "op":
+                pending.setdefault(key, []).append(record.data)
+            elif record.kind == "commit":
+                ops = pending.pop(key, [])
+                committed.append((record.txn, record.cube, ops))
+            elif record.kind == "abort":
+                pending.pop(key, None)
+        return committed
+
+    # -- rotation ----------------------------------------------------------
+
+    def rotate(self, new_epoch: int) -> None:
+        """Reset the log under a new epoch (after a full checkpoint).
+
+        The caller must already have made the checkpoint -- with the
+        new epoch recorded in its directory -- durable: a crash inside
+        this method leaves a truncated or epoch-less log, which
+        recovery resolves by epoch comparison (an older/absent log
+        epoch means the checkpoint supersedes the log entirely)."""
+        with self._lock:
+            self._check_usable()
+            if new_epoch <= self.epoch:
+                raise StorageError(
+                    f"rotation epoch must grow: {new_epoch} <= "
+                    f"{self.epoch}")
+            self._file.truncate(0)
+            if self.chaos is not None:
+                self.chaos.crash("wal.rotate")
+            self.epoch = new_epoch
+            self._end = 0
+            self._append_frame(("epoch", 0, "", new_epoch))
+            self._do_fsync()
+
+    def verify(self) -> int:
+        """Prove the log is clean end-to-end; returns the record
+        count.  Raises :class:`~repro.errors.WALCorruptError` if any
+        trailing bytes fail to decode (a torn tail that open-time
+        truncation has not yet repaired)."""
+        with self._lock:
+            self._check_usable()
+            size = os.path.getsize(self.path)
+            offset = 0
+            count = 0
+            while offset < size:
+                decoded = self._read_frame_at(offset, size)
+                if decoded is None:
+                    raise WALCorruptError(
+                        f"{self.path}: undecodable bytes at offset "
+                        f"{offset} of {size}")
+                offset = decoded[1]
+                count += 1
+            return count
+
+    def __repr__(self) -> str:
+        return (f"<WriteAheadLog {self.path} epoch={self.epoch} "
+                f"end={self._end}>")

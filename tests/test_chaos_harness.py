@@ -28,9 +28,11 @@ class TestValidation:
         with pytest.raises(ResilienceError):
             injector.should_inject("disk_full")
 
-    def test_the_wired_points_are_exactly_four(self):
+    def test_the_wired_points_are_exactly_seven(self):
         assert INJECTION_POINTS == ("worker_crash", "spill_write",
-                                    "slow_node", "budget_pressure")
+                                    "slow_node", "budget_pressure",
+                                    "torn_write", "fsync_fail",
+                                    "crash_point")
 
 
 class TestDeterminism:

@@ -194,6 +194,49 @@ def _trigger_fault_injected():
     ChaosInjector(worker_crash=1.0).inject("worker_crash")
 
 
+def _trigger_crash_point():
+    from repro.resilience import ChaosInjector
+    ChaosInjector(crash_point=1.0,
+                  crash_sites=("wal.commit",)).crash("wal.commit")
+
+
+def _trigger_storage_error(tmp_path=None):
+    import tempfile
+    import os
+    from repro.storage import PageFile
+    with tempfile.TemporaryDirectory() as scratch:
+        with PageFile(os.path.join(scratch, "t.pages")) as pages:
+            pages.read_page(9999)  # out of range
+
+
+def _trigger_torn_page():
+    import tempfile
+    import os
+    from repro.storage import DEFAULT_PAGE_SIZE, PageFile
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "t.pages")
+        with PageFile(path) as pages:
+            page_id = pages.allocate()
+            pages.write_page(page_id, b"payload")
+            pages.sync_header()
+        with open(path, "r+b") as handle:  # tear the page's second half
+            handle.seek(page_id * DEFAULT_PAGE_SIZE + DEFAULT_PAGE_SIZE // 2)
+            handle.write(b"\xff" * 64)
+        with PageFile(path) as pages:
+            pages.read_page(page_id)
+
+
+def _trigger_wal_corrupt():
+    import tempfile
+    import os
+    from repro.storage import WriteAheadLog
+    with tempfile.TemporaryDirectory() as scratch:
+        path = os.path.join(scratch, "t.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a WAL epoch record")
+        WriteAheadLog(path)
+
+
 def _trigger_serve_error():
     import io
     from repro.serve.protocol import read_message
@@ -240,6 +283,10 @@ TRIGGERS = {
     errors.QueryTimeoutError: _trigger_query_timeout,
     errors.ResourceBudgetExceededError: _trigger_budget_exceeded,
     errors.FaultInjectedError: _trigger_fault_injected,
+    errors.CrashPointError: _trigger_crash_point,
+    errors.StorageError: _trigger_storage_error,
+    errors.TornPageError: _trigger_torn_page,
+    errors.WALCorruptError: _trigger_wal_corrupt,
     errors.ServeError: _trigger_serve_error,
     errors.ServerOverloadedError: _trigger_server_overloaded,
     # pure umbrella types: never raised directly, covered by any subclass

@@ -1,0 +1,165 @@
+"""Unit tests for the write-ahead log (:mod:`repro.storage.wal`):
+framing, torn-tail truncation, commit filtering, epochs, poisoning."""
+
+import os
+
+import pytest
+
+from repro.errors import FaultInjectedError, StorageError, WALCorruptError
+from repro.resilience import ChaosInjector
+from repro.storage import WriteAheadLog
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "t.wal")
+
+
+def _commit_one(wal, txn, cube="c", ops=((("insert", ("a", 1)),))):
+    wal.append("begin", txn, cube)
+    for op in ops:
+        wal.append("op", txn, cube, op)
+    wal.append("commit", txn, cube, sync=True)
+
+
+class TestFraming:
+    def test_append_returns_byte_offset_lsns(self, path):
+        with WriteAheadLog(path) as wal:
+            first = wal.append("begin", 1, "c")
+            second = wal.append("commit", 1, "c")
+            assert 0 < first < second < wal.position
+            records = list(wal.records())
+            assert [r.lsn for r in records] == [first, second]
+
+    def test_epoch_record_is_first_and_excluded_from_replay(self, path):
+        with WriteAheadLog(path, epoch=3) as wal:
+            assert wal.epoch == 3
+            wal.append("begin", 1, "c")
+            kinds = [r.kind for r in wal.records()]
+            assert kinds == ["begin"]
+
+    def test_appending_epoch_kind_is_rejected(self, path):
+        with WriteAheadLog(path) as wal:
+            with pytest.raises(StorageError):
+                wal.append("epoch", 0, "")
+            with pytest.raises(StorageError):
+                wal.append("frobnicate", 0, "")
+
+    def test_state_survives_reopen(self, path):
+        with WriteAheadLog(path, epoch=2) as wal:
+            _commit_one(wal, 1)
+            end = wal.position
+        with WriteAheadLog(path) as wal:
+            assert wal.epoch == 2
+            assert wal.position == end
+            assert wal.verify() == 4  # epoch + begin + op + commit
+
+
+class TestTornTail:
+    def test_torn_tail_is_truncated_never_applied(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1)
+            clean_end = wal.position
+            wal.append("begin", 2, "c")
+            wal.append("op", 2, "c", ("insert", ("b", 2)))
+        with open(path, "r+b") as handle:  # tear the final record
+            handle.truncate(os.path.getsize(path) - 3)
+        with WriteAheadLog(path) as wal:
+            assert wal.discarded == 1
+            assert wal.position < os.path.getsize(path) + 3
+            # transaction 2 never committed; only txn 1 replays
+            committed = wal.committed_operations()
+            assert [txn for txn, _, _ in committed] == [1]
+            assert wal.verify() >= 1
+            # the log is usable again after truncation
+            _commit_one(wal, 3)
+            assert [t for t, _, _ in wal.committed_operations()] == [1, 3]
+        assert clean_end  # clean prefix was preserved
+
+    def test_garbage_file_is_corrupt_not_a_log(self, path):
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a WAL")
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog(path)
+
+    def test_verify_detects_interior_damage(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1)
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) - 5)
+            handle.write(b"\xff" * 5)  # corrupt the last record's body
+        with WriteAheadLog(path) as wal:  # open truncates it as a tail
+            assert wal.verify() >= 1
+
+
+class TestCommitFiltering:
+    def test_uncommitted_and_aborted_are_skipped(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1, ops=[("insert", ("a", 1))])
+            wal.append("begin", 2, "c")
+            wal.append("op", 2, "c", ("insert", ("b", 2)))
+            wal.append("abort", 2, "c")
+            wal.append("begin", 3, "c")
+            wal.append("op", 3, "c", ("insert", ("c", 3)))
+            # txn 3: no commit -- crashed mid-flight
+            committed = wal.committed_operations()
+            assert [(t, ops) for t, _, ops in committed] == [
+                (1, [("insert", ("a", 1))])]
+
+    def test_commit_order_not_begin_order(self, path):
+        with WriteAheadLog(path) as wal:
+            wal.append("begin", 1, "c")
+            wal.append("begin", 2, "c")
+            wal.append("op", 2, "c", "second-begin")
+            wal.append("commit", 2, "c")
+            wal.append("op", 1, "c", "first-begin")
+            wal.append("commit", 1, "c")
+            assert [t for t, _, _ in wal.committed_operations()] == [2, 1]
+
+    def test_start_lsn_skips_earlier_records(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1)
+            boundary = wal.position
+            _commit_one(wal, 2)
+            later = wal.committed_operations(boundary)
+            assert [t for t, _, _ in later] == [2]
+
+
+class TestRotationAndPoison:
+    def test_rotate_resets_under_new_epoch(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1)
+            wal.rotate(1)
+            assert wal.epoch == 1
+            assert wal.committed_operations() == []
+        with WriteAheadLog(path) as wal:
+            assert wal.epoch == 1
+
+    def test_rotation_epoch_must_grow(self, path):
+        with WriteAheadLog(path, epoch=5) as wal:
+            with pytest.raises(StorageError):
+                wal.rotate(5)
+
+    def test_torn_append_poisons_the_log(self, path):
+        chaos = ChaosInjector(seed=1, torn_write=1.0)
+        with WriteAheadLog(path) as clean:
+            _commit_one(clean, 1)
+        with WriteAheadLog(path, chaos=chaos) as wal:
+            with pytest.raises(FaultInjectedError):
+                wal.append("begin", 2, "c")
+            with pytest.raises(StorageError):
+                wal.append("op", 2, "c", "after poison")
+        # reopening repairs: the half-frame is the torn tail
+        with WriteAheadLog(path) as wal:
+            assert [t for t, _, _ in wal.committed_operations()] == [1]
+
+    def test_fsync_fail_poisons_the_log(self, path):
+        chaos = ChaosInjector(seed=1, fsync_fail=1.0)
+        with WriteAheadLog(path) as clean:
+            clean.append("begin", 1, "c")
+        with WriteAheadLog(path, chaos=chaos) as wal:
+            wal.append("op", 1, "c", "unsynced")
+            with pytest.raises(FaultInjectedError):
+                wal.sync()
+            with pytest.raises(StorageError):
+                wal.append("commit", 1, "c")
