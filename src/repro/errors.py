@@ -8,6 +8,8 @@ SQL front-end, and cube maintenance.
 
 from __future__ import annotations
 
+import pickle as _pickle
+
 from typing import Any, Sequence
 
 
@@ -259,3 +261,12 @@ class WALCorruptError(StorageError):
     asked to prove the log clean and found a torn tail.  An ordinary
     torn tail discovered at open is silently truncated, never
     raised -- this error means real corruption."""
+
+
+class UntrustedPayloadError(StorageError, _pickle.UnpicklingError):
+    """A storage blob references a global outside the deserialization
+    allowlist (:mod:`repro.storage.serde`) -- the shape of a pickle
+    code-execution gadget, refused before anything loads.  Subclasses
+    :class:`pickle.UnpicklingError` so generic unpickling guards (the
+    WAL's torn-tail scan, the cache's defensive restore) treat it as
+    frame damage."""

@@ -132,6 +132,7 @@ class MaterializedCube:
         self._journal_name = ""
         self._journal_txn: int | None = None
         self._replaying = False
+        self._poisoned = False
         for row in task.rows:
             self._apply_insert(row, initial=True)
         self._base_rows = list(task.rows) if retain_base else []
@@ -178,6 +179,7 @@ class MaterializedCube:
         outermost snapshot is the only restore point), which is how the
         per-operation guarantee composes with user batches.
         """
+        self._check_not_poisoned()
         if self._txn_depth > 0:
             self._txn_depth += 1
             try:
@@ -201,7 +203,22 @@ class MaterializedCube:
         try:
             yield self
             if journal_txn is not None:
-                self._journal.txn_commit(journal_txn, self._journal_name)
+                try:
+                    self._journal.txn_commit(journal_txn,
+                                             self._journal_name)
+                except BaseException:
+                    # The commit's durability is now *ambiguous*: the
+                    # record can reach the OS before the barrier
+                    # fails, so a later crash may recover this
+                    # transaction as committed even though the caller
+                    # sees an error and the in-memory state rolls
+                    # back.  Serving the rolled-back state would then
+                    # diverge from recovery, so the cube poisons
+                    # itself -- no more reads or writes until the
+                    # store is reopened and replayed (the same
+                    # panic-on-fsync-failure discipline as the WAL).
+                    self._poisoned = True
+                    raise
         except BaseException as error:
             self._cells, self._counts, self._base_rows, self.stats = snapshot
             if journal_txn is not None:
@@ -342,8 +359,26 @@ class MaterializedCube:
         self._notify_mutation("update")
         return touched
 
+    @property
+    def poisoned(self) -> bool:
+        """True once a journaled commit failed its durability barrier
+        (see :meth:`transaction`): the in-memory state may disagree
+        with what recovery will decide, so the cube refuses further
+        reads and writes until the store is reopened."""
+        return self._poisoned
+
+    def _check_not_poisoned(self) -> None:
+        if self._poisoned:
+            raise StorageError(
+                f"cube {self._journal_name or '<unbound>'!r} had a "
+                "commit fail its durability barrier; whether that "
+                "transaction survived is unknowable here -- reopen "
+                "the store and re-attach to recover the "
+                "authoritative state")
+
     def as_table(self, *, sort_result: bool = True) -> Table:
         """The cube relation, finalized from the live scratchpads."""
+        self._check_not_poisoned()
         cells = []
         for mask in self._task.masks:
             for coordinate, handles in self._cells[mask].items():
@@ -367,6 +402,7 @@ class MaterializedCube:
 
     def value(self, *coords: Any, measure: str | None = None) -> Any:
         """One cell's current value without materializing the table."""
+        self._check_not_poisoned()
         mask = 0
         for i, coordinate in enumerate(coords):
             from repro.types import ALL
@@ -426,7 +462,11 @@ class MaterializedCube:
     def capture_state(self) -> dict:
         """The cube's full mutable state, for checkpointing.  The
         caller serializes it immediately; scratchpad handles must be
-        picklable (true of every built-in aggregate)."""
+        picklable (true of every built-in aggregate).  A poisoned cube
+        refuses: checkpointing the rolled-back state (and rotating the
+        WAL under it) would silently discard a commit record that may
+        already be durable."""
+        self._check_not_poisoned()
         return {
             "cells": self._cells,
             "counts": self._counts,

@@ -290,18 +290,21 @@ class CuboidCache:
         the cuboid is silently dropped -- the containment key makes a
         stale entry unmatchable anyway, so dropping it just saves the
         memory.  Restored entries are marked ``recovered`` and start
-        cold on the LRU clock.
+        cold on the LRU clock.  Deserialization goes through the
+        storage trust model's restricted unpickler
+        (:mod:`repro.storage.serde`): a blob referencing globals
+        outside the allowlist restores nothing instead of executing.
         """
-        import pickle
+        from repro.storage.serde import restricted_loads
 
         try:
-            payload = pickle.loads(blob)
+            payload = restricted_loads(blob)
         except Exception:  # noqa: BLE001 -- a damaged blob restores nothing
             return 0
         restored = 0
         for raw in payload:
             try:
-                entry = pickle.loads(raw)
+                entry = restricted_loads(raw)
             except Exception:  # noqa: BLE001
                 continue
             if not isinstance(entry, CacheEntry):

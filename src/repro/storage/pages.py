@@ -81,6 +81,10 @@ class PageFile:
         self.chaos = chaos
         self._lock = threading.RLock()
         self._closed = False
+        #: page ids served off the freelist and not freed since -- a
+        #: stale persisted chain that loops back over one of these
+        #: must never double-allocate it
+        self._freelist_served: set[int] = set()
         existed = os.path.exists(path) and os.path.getsize(path) > 0
         # buffering=0: every write reaches the OS immediately, so the
         # simulated-crash tests see exactly the bytes a dead process
@@ -264,20 +268,43 @@ class PageFile:
         """A fresh (or recycled) page id.  Freelist pops survive a
         crash harmlessly: the header's freelist head is only persisted
         at the next header flip, so an un-flipped pop merely leaks the
-        page until then."""
+        page until then.
+
+        A *persisted* freelist can be stale the other way: a crash
+        after freed pages were recycled into blob frames but before
+        the header flip leaves the durable ``free_head`` chain running
+        through valid-CRC blob pages, whose ``next_page`` links are
+        arbitrary (possibly beyond the durable page count).  A pop
+        therefore only trusts a frame that still looks like a freelist
+        link -- empty payload, id and next pointer inside the
+        allocated range, id not already served by this handle -- and
+        on any mismatch abandons the chain and extends the file
+        instead: a leak is safe, a double-allocated page is not."""
         with self._lock:
             self._check_open()
             if self._free_head:
                 page_id = self._free_head
-                try:
-                    _payload, next_free = self._read_frame(page_id)
-                except TornPageError:
-                    # a crash tore the page after it went on the
-                    # freelist; the chain beyond it is untrustworthy,
-                    # so leak it and extend the file instead
+                stale = (not _HEADER_PAGES <= page_id < self._n_pages
+                         or page_id in self._freelist_served)
+                next_free = 0
+                if not stale:
+                    try:
+                        payload, next_free = self._read_frame(page_id)
+                    except TornPageError:
+                        # a crash tore the page after it went on the
+                        # freelist; the chain beyond it is
+                        # untrustworthy
+                        stale = True
+                    else:
+                        stale = (payload != b""
+                                 or not (next_free == 0
+                                         or _HEADER_PAGES <= next_free
+                                         < self._n_pages))
+                if stale:
                     self._free_head = 0
                 else:
                     self._free_head = next_free
+                    self._freelist_served.add(page_id)
                     return page_id
             page_id = self._n_pages
             self._n_pages += 1
@@ -292,6 +319,7 @@ class PageFile:
                     f"cannot free page {page_id}: out of range")
             self._write_frame(page_id, b"", self._free_head)
             self._free_head = page_id
+            self._freelist_served.discard(page_id)
 
     # -- blobs -------------------------------------------------------------
 

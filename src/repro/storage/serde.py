@@ -1,0 +1,70 @@
+"""Restricted deserialization for storage files (the trust model).
+
+Everything the storage layer persists -- WAL record payloads, the
+checkpoint directory, cube-state blobs, serve-cache entries -- is
+framed with CRC-32, which detects *accidental* damage only.  ``pickle``
+by itself would additionally let a data directory an attacker can
+write to execute arbitrary code during recovery (a crafted
+``__reduce__`` payload runs at load time).  :func:`restricted_loads`
+closes that hole: ``find_class`` only resolves globals from a small
+allowlist -- safe builtins, a few value-type stdlib modules, and the
+engine's own ``repro`` package -- and raises
+:class:`~repro.errors.UntrustedPayloadError` (a
+:class:`pickle.UnpicklingError` subclass) for anything else
+(``os.system``, ``subprocess``, ``builtins.eval``, ...), so a hostile
+blob fails to load instead of running.
+
+The corollary, documented in docs/STORAGE.md: values that round-trip
+through storage (base-table rows, aggregate handles) must be built
+from allowlisted types.  Every built-in aggregate and the test corpus
+satisfy this; exotic user types would be rejected at *recovery* time,
+which is the safe side to fail on.
+
+The external algorithm's spill files are exempt: they are same-process
+scratch in a private temporary directory, written and read back within
+one ``compute()`` call and deleted in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any
+
+from repro.errors import UntrustedPayloadError
+
+__all__ = ["restricted_loads"]
+
+#: Builtins that are plain value constructors -- nothing that reaches
+#: the interpreter (``eval``/``exec``/``getattr``/``__import__``).
+_SAFE_BUILTINS = frozenset({
+    "bool", "bytearray", "bytes", "complex", "dict", "float",
+    "frozenset", "int", "list", "object", "range", "set", "slice",
+    "str", "tuple",
+})
+
+#: Stdlib modules whose globals are pure value types.
+_SAFE_MODULES = frozenset({
+    "collections", "datetime", "decimal", "fractions", "uuid",
+})
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str) -> Any:
+        if module == "builtins" and name in _SAFE_BUILTINS:
+            return super().find_class(module, name)
+        root = module.split(".", 1)[0]
+        if root in _SAFE_MODULES or root == "repro":
+            return super().find_class(module, name)
+        raise UntrustedPayloadError(
+            f"storage blob references forbidden global "
+            f"{module}.{name}; the storage trust model "
+            "(docs/STORAGE.md) only deserializes engine and value "
+            "types")
+
+
+def restricted_loads(data: bytes) -> Any:
+    """``pickle.loads`` with ``find_class`` locked down (see module
+    docstring).  Raises :class:`~repro.errors.UntrustedPayloadError`
+    on any global outside the allowlist."""
+    return _RestrictedUnpickler(io.BytesIO(data)).load()

@@ -55,6 +55,7 @@ from typing import Any, Dict, Optional
 from repro.errors import StorageError
 from repro.obs import instrument, trace
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.serde import restricted_loads
 from repro.storage.wal import WriteAheadLog
 
 __all__ = ["CubeStore", "CRASH_SITES"]
@@ -112,7 +113,12 @@ class CubeStore:
         if self.pages.root == 0:
             return {"epoch": 0, "wal_pos": 0, "cubes": {}, "cache": 0}
         blob = self.pages.read_blob(self.pages.root)
-        directory = pickle.loads(blob)
+        try:
+            directory = restricted_loads(blob)
+        except pickle.UnpicklingError as error:
+            raise StorageError(
+                f"{self.pages.path}: root blob does not deserialize "
+                f"under the storage trust model: {error}") from error
         if not isinstance(directory, dict) or "epoch" not in directory:
             raise StorageError(
                 f"{self.pages.path}: root blob is not a store "
@@ -190,7 +196,7 @@ class CubeStore:
                         "aggregate signature mismatch); attach under "
                         "a new name or remove the data directory")
                 cube.restore_state(
-                    pickle.loads(self.pages.read_blob(entry["blob"])))
+                    restricted_loads(self.pages.read_blob(entry["blob"])))
                 recovered = True
             replayed = self._replay_into(cube, name)
             self.replayed[name] = replayed

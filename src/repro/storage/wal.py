@@ -24,6 +24,13 @@ file) so a full checkpoint can reset the log without a window where
 committed work is only in memory: the checkpoint directory records
 ``(epoch, position)``, and replay compares epochs before positions
 (see :mod:`repro.storage.store` for the exact crash analysis).
+Rotation itself is write-new-file-then-rename, so the engine's own
+crash model can never produce a log whose *first* frame is torn.
+
+Record payloads are deserialized with the restricted unpickler
+(:mod:`repro.storage.serde`): the data directory is trusted against
+accidental damage (CRC) but a record that references globals outside
+the storage allowlist is treated as frame damage, never executed.
 """
 
 from __future__ import annotations
@@ -42,10 +49,16 @@ from repro.errors import (
     WALCorruptError,
 )
 from repro.obs import instrument
+from repro.storage.serde import restricted_loads
 
 __all__ = ["WALRecord", "WriteAheadLog"]
 
 _FRAME = struct.Struct("<II")
+
+#: Scratch-file suffix used by :meth:`WriteAheadLog.rotate`; a
+#: leftover one at open time is a crashed rotation's debris (the file
+#: at the log's own path stayed authoritative throughout).
+_ROTATE_SUFFIX = ".rotate"
 
 #: Begin/op/commit/abort plus the epoch record every log starts with.
 RECORD_KINDS = ("epoch", "begin", "op", "commit", "abort")
@@ -87,6 +100,14 @@ class WriteAheadLog:
         self._closed = False
         #: records discarded as the torn tail at open time
         self.discarded = 0
+        scratch_path = path + _ROTATE_SUFFIX
+        if os.path.exists(scratch_path):
+            # a crash landed inside rotate() after the replacement log
+            # was written but before the atomic rename; the log at
+            # ``path`` is still authoritative (its stale epoch is
+            # reconciled against the checkpoint directory), so the
+            # half-rotation is debris
+            os.unlink(scratch_path)
         existed = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open(path, "r+b" if existed else "w+b", buffering=0)
         if existed:
@@ -168,7 +189,7 @@ class WriteAheadLog:
         if len(payload) < length or zlib.crc32(payload) != crc:
             return None
         try:
-            entry = pickle.loads(payload)
+            entry = restricted_loads(payload)
         except (pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             return None
@@ -226,13 +247,13 @@ class WriteAheadLog:
             self._check_usable()
             self._do_fsync()
 
-    def _do_fsync(self) -> None:
+    def _do_fsync(self, file: Optional[Any] = None) -> None:
         if self.chaos is not None and self.chaos.should_inject(
                 "fsync_fail", file="wal"):
             self._failed = True
             raise FaultInjectedError(
                 "chaos: injected fsync_fail (file=wal)")
-        os.fsync(self._file.fileno())
+        os.fsync((file if file is not None else self._file).fileno())
         instrument.record_storage_fsync("wal")
 
     # -- replay ------------------------------------------------------------
@@ -291,23 +312,50 @@ class WriteAheadLog:
         """Reset the log under a new epoch (after a full checkpoint).
 
         The caller must already have made the checkpoint -- with the
-        new epoch recorded in its directory -- durable: a crash inside
-        this method leaves a truncated or epoch-less log, which
-        recovery resolves by epoch comparison (an older/absent log
-        epoch means the checkpoint supersedes the log entirely)."""
+        new epoch recorded in its directory -- durable.  Rotation is
+        write-new-file-then-rename: the replacement log (one epoch
+        record) is written and fsynced into a ``.rotate`` scratch file
+        which is then atomically renamed over the log.  The old log
+        therefore stays intact and decodable until the new epoch
+        record is durable -- a crash anywhere inside leaves either the
+        old log (stale epoch, superseded by the checkpoint directory
+        at the next open) or the complete new one, never a file whose
+        first frame is torn."""
         with self._lock:
             self._check_usable()
             if new_epoch <= self.epoch:
                 raise StorageError(
                     f"rotation epoch must grow: {new_epoch} <= "
                     f"{self.epoch}")
-            self._file.truncate(0)
+            scratch_path = self.path + _ROTATE_SUFFIX
+            frame = self._encode(("epoch", 0, "", new_epoch))
+            scratch = open(scratch_path, "w+b", buffering=0)
+            try:
+                scratch.write(frame)
+                self._do_fsync(scratch)
+            except BaseException:
+                scratch.close()
+                try:
+                    os.unlink(scratch_path)
+                except OSError:
+                    pass
+                raise
             if self.chaos is not None:
-                self.chaos.crash("wal.rotate")
+                try:
+                    self.chaos.crash("wal.rotate")
+                except BaseException:
+                    # a simulated kill -9: leave the scratch file on
+                    # disk exactly as a dead process would (open-time
+                    # cleanup discards it) and poison this handle
+                    self._failed = True
+                    scratch.close()
+                    raise
+            os.replace(scratch_path, self.path)
+            self._file.close()
+            self._file = scratch
             self.epoch = new_epoch
-            self._end = 0
-            self._append_frame(("epoch", 0, "", new_epoch))
-            self._do_fsync()
+            self._end = len(frame)
+            instrument.record_wal_append("epoch")
 
     def verify(self) -> int:
         """Prove the log is clean end-to-end; returns the record

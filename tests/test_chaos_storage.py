@@ -142,6 +142,45 @@ class TestCheckpointCrashMatrix:
             # committed state is intact
             assert _snapshot(recovered) == expected
 
+    def test_crash_mid_checkpoint_never_corrupts_later_checkpoints(
+            self, tmp_path):
+        # the stale-freelist regression: repeated checkpoints cycle
+        # pages through the freelist, and a crash between store_blob
+        # and set_root leaves the durable free_head chain running
+        # through recycled blob frames -- later allocations must never
+        # double-serve a page, so further checkpoints stay sound
+        data_dir = str(tmp_path / "store")
+        rows = [("Chevy", 1996, 30), ("Ford", 1996, 40),
+                ("Dodge", 1996, 10), ("Jeep", 1996, 5)]
+        with CubeStore(data_dir) as store:
+            cube = _make_cube()
+            store.attach(cube, "sales")
+            for row in rows[:2]:
+                cube.insert(row)
+                store.checkpoint()
+
+        store = CubeStore(data_dir, chaos=_crasher("checkpoint.header"))
+        cube = _make_cube()
+        store.attach(cube, "sales")
+        cube.insert(rows[2])
+        with pytest.raises(CrashPointError):
+            store.checkpoint()
+
+        with CubeStore(data_dir) as store:
+            survivor = _make_cube()
+            store.attach(survivor, "sales")
+            survivor.insert(rows[3])
+            store.checkpoint()
+            store.checkpoint()  # recycle the crashed checkpoint's pages
+
+        expected = _make_cube()
+        for row in rows:
+            expected.insert(row)
+        with CubeStore(data_dir) as store:
+            final = _make_cube()
+            store.attach(final, "sales")
+            assert _snapshot(final) == _snapshot(expected)
+
 
 class TestTornWriteAndFsyncLegs:
     def test_torn_wal_write_loses_only_the_inflight_txn(self, tmp_path):
@@ -189,6 +228,38 @@ class TestTornWriteAndFsyncLegs:
             recovered = _make_cube()
             store.attach(recovered, "sales")
             assert _snapshot(recovered) == _snapshot(post)
+
+    def test_failed_commit_barrier_poisons_the_cube(self, tmp_path):
+        # the ambiguous window: the commit record can reach the OS
+        # before the fsync fails, so the in-memory rollback may
+        # disagree with what recovery decides -- the cube must refuse
+        # to keep serving rather than diverge (docs/STORAGE.md)
+        data_dir = str(tmp_path / "store")
+        CubeStore(data_dir).close()
+        chaos = ChaosInjector(seed=5, fsync_fail=1.0)
+        store = CubeStore(data_dir, chaos=chaos)
+        cube = _make_cube()
+        store.attach(cube, "sales")
+        with pytest.raises(FaultInjectedError):
+            cube.insert(("Ford", 1996, 40))
+        assert cube.poisoned
+        with pytest.raises(StorageError):
+            cube.as_table()
+        with pytest.raises(StorageError):
+            cube.value("Ford", 1996)
+        with pytest.raises(StorageError):
+            cube.insert(("Dodge", 1996, 10))
+        # checkpointing the rolled-back state would discard the
+        # possibly-durable commit record; refused too
+        with pytest.raises(StorageError):
+            store.checkpoint()
+        # reopening and re-attaching is the recovery path: replay is
+        # the sole authority on whether the transaction survived
+        with CubeStore(data_dir) as reopened:
+            fresh = _make_cube()
+            reopened.attach(fresh, "sales")
+            assert not fresh.poisoned
+            fresh.as_table()
 
     @pytest.mark.parametrize("seed", [1, 7, 42])
     def test_seeded_torn_write_storm_always_recovers_cleanly(

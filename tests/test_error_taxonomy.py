@@ -237,6 +237,13 @@ def _trigger_wal_corrupt():
         WriteAheadLog(path)
 
 
+def _trigger_untrusted_payload():
+    import os
+    import pickle
+    from repro.storage.serde import restricted_loads
+    restricted_loads(pickle.dumps(os.system, protocol=4))
+
+
 def _trigger_serve_error():
     import io
     from repro.serve.protocol import read_message
@@ -287,6 +294,7 @@ TRIGGERS = {
     errors.StorageError: _trigger_storage_error,
     errors.TornPageError: _trigger_torn_page,
     errors.WALCorruptError: _trigger_wal_corrupt,
+    errors.UntrustedPayloadError: _trigger_untrusted_payload,
     errors.ServeError: _trigger_serve_error,
     errors.ServerOverloadedError: _trigger_server_overloaded,
     # pure umbrella types: never raised directly, covered by any subclass

@@ -153,6 +153,58 @@ class TestBlobsAndFreelist:
             fresh = pages.allocate()  # must not hand back the torn page
             assert fresh != page_id
 
+    def test_stale_freelist_over_recycled_blob_pages_is_abandoned(
+            self, path):
+        # the crash-mid-checkpoint shape: freed pages were recycled
+        # into blob frames (valid CRC, arbitrary next pointers) after
+        # the freelist head was persisted, then the process died
+        # before the header flip -- the durable free_head chain now
+        # runs through blob pages
+        with PageFile(path) as pages:
+            head = pages.store_blob(os.urandom(DEFAULT_PAGE_SIZE))
+            pages.free_blob(head)
+            pages.sync_header()  # free_head durable
+            pages.store_blob(os.urandom(DEFAULT_PAGE_SIZE))
+            # kill -9: no sync_header, no set_root
+        with PageFile(path) as pages:
+            served = [pages.allocate() for _ in range(6)]
+            # no double allocation, and every page is range-checked
+            assert len(served) == len(set(served))
+            for page_id in served:
+                pages.write_page(page_id, b"fresh")
+
+    def test_freelist_head_beyond_page_count_is_not_served(self, path):
+        with PageFile(path) as pages:
+            pages._free_head = 40  # stale pointer past the file
+            pages.sync_header()
+        with PageFile(path) as pages:
+            grown = pages.n_pages
+            assert pages.allocate() == grown  # extended, never 40
+            assert pages._free_head == 0
+
+    def test_freelist_link_beyond_page_count_is_not_followed(self, path):
+        with PageFile(path) as pages:
+            page_id = pages.allocate()
+            # looks free (empty payload) but links out of range
+            pages._write_frame(page_id, b"", 999)
+            pages._free_head = page_id
+            pages.sync_header()
+        with PageFile(path) as pages:
+            grown = pages.n_pages
+            assert pages.allocate() == grown  # chain abandoned whole
+            assert pages._free_head == 0
+
+    def test_cyclic_freelist_never_double_allocates(self, path):
+        with PageFile(path) as pages:
+            first = pages.allocate()
+            second = pages.allocate()
+            pages._write_frame(first, b"", second)
+            pages._write_frame(second, b"", first)  # cycle
+            pages._free_head = first
+            served = [pages.allocate() for _ in range(4)]
+            assert len(served) == len(set(served))
+            assert served[:2] == [first, second]
+
 
 class TestPageChaos:
     def test_torn_write_injection_leaves_detectable_tear(self, path):

@@ -1,0 +1,118 @@
+"""The storage trust model (:mod:`repro.storage.serde`): restricted
+deserialization of WAL records, directory blobs, and cache entries.
+
+CRC framing only catches accidental damage; these tests prove that a
+*hostile* data directory -- pickles whose ``__reduce__`` resolves
+globals outside the allowlist -- fails to load instead of executing
+code, at every layer that deserializes storage bytes."""
+
+import datetime
+import os
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro import agg
+from repro.engine.table import Table
+from repro.errors import StorageError
+from repro.maintenance.materialized import MaterializedCube
+from repro.storage import CubeStore, PageFile, WriteAheadLog
+from repro.storage.serde import restricted_loads
+
+#: proof that no gadget ran: the payload below appends here on load
+_executed = []
+
+
+def _mark():
+    _executed.append(True)
+
+
+class _Gadget:
+    """A classic pickle RCE shape: ``__reduce__`` names a callable."""
+
+    def __reduce__(self):
+        return (_mark, ())
+
+
+def _hostile_bytes():
+    return pickle.dumps(_Gadget(), protocol=4)
+
+
+def _base():
+    table = Table([("Model", "STRING"), ("Units", "INTEGER")])
+    table.extend([("Chevy", 50), ("Ford", 60)])
+    return table
+
+
+def _make_cube():
+    return MaterializedCube(_base(), ["Model"],
+                            [agg("SUM", "Units", "Units")])
+
+
+class TestRestrictedLoads:
+    def test_value_types_round_trip(self):
+        values = (
+            {"epoch": 3, "cubes": {"sales": (1, 2.5, b"x")}},
+            [("insert", ("Chevy", 1996, None, True))],
+            {frozenset({1}), },
+            datetime.date(1996, 1, 1),
+        )
+        for value in values:
+            blob = pickle.dumps(value, protocol=4)
+            assert restricted_loads(blob) == value
+
+    def test_engine_classes_round_trip(self):
+        # cube state blobs carry repro classes (handles, stats)
+        state = _make_cube().capture_state()
+        blob = pickle.dumps(state, protocol=4)
+        restored = restricted_loads(blob)
+        assert restored["counts"] == state["counts"]
+
+    def test_reduce_gadget_is_rejected_not_executed(self):
+        with pytest.raises(pickle.UnpicklingError):
+            restricted_loads(_hostile_bytes())
+        assert not _executed
+
+    def test_interpreter_reaching_builtins_are_rejected(self):
+        for target in (eval, getattr, compile):
+            blob = pickle.dumps(target, protocol=4)
+            with pytest.raises(pickle.UnpicklingError):
+                restricted_loads(blob)
+
+    def test_os_module_globals_are_rejected(self):
+        blob = pickle.dumps(os.system, protocol=4)
+        with pytest.raises(pickle.UnpicklingError):
+            restricted_loads(blob)
+        assert not _executed
+
+
+class TestHostileStorageFiles:
+    def test_hostile_wal_record_is_discarded_as_damage(self, tmp_path):
+        path = str(tmp_path / "t.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append("begin", 1, "c")
+            wal.append("commit", 1, "c", sync=True)
+        payload = _hostile_bytes()
+        with open(path, "ab") as handle:  # a well-framed hostile record
+            handle.write(struct.pack("<II", len(payload),
+                                     zlib.crc32(payload)) + payload)
+        with WriteAheadLog(path) as wal:
+            assert [t for t, _, _ in wal.committed_operations()] == [1]
+            assert wal.discarded == 1  # treated exactly as a torn tail
+        assert not _executed
+
+    def test_hostile_directory_blob_fails_the_open(self, tmp_path):
+        data_dir = str(tmp_path / "store")
+        with CubeStore(data_dir) as store:
+            cube = _make_cube()
+            store.attach(cube, "sales")
+            cube.insert(("Dodge", 10))
+            store.checkpoint()
+        pages_path = os.path.join(data_dir, "cube.pages")
+        with PageFile(pages_path) as pages:  # attacker rewrites the root
+            pages.set_root(pages.store_blob(_hostile_bytes()))
+        with pytest.raises(StorageError):
+            CubeStore(data_dir)
+        assert not _executed

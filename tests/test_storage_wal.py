@@ -5,7 +5,12 @@ import os
 
 import pytest
 
-from repro.errors import FaultInjectedError, StorageError, WALCorruptError
+from repro.errors import (
+    CrashPointError,
+    FaultInjectedError,
+    StorageError,
+    WALCorruptError,
+)
 from repro.resilience import ChaosInjector
 from repro.storage import WriteAheadLog
 
@@ -139,6 +144,44 @@ class TestRotationAndPoison:
         with WriteAheadLog(path, epoch=5) as wal:
             with pytest.raises(StorageError):
                 wal.rotate(5)
+
+    def test_rotate_leaves_no_scratch_file(self, path):
+        with WriteAheadLog(path) as wal:
+            _commit_one(wal, 1)
+            wal.rotate(1)
+            assert not os.path.exists(path + ".rotate")
+            assert wal.verify() == 1  # just the new epoch record
+
+    def test_rotate_crash_leaves_old_log_whole(self, path):
+        # the crash window the rename closes: a death mid-rotation
+        # must never leave the log starting with a torn frame -- the
+        # old log stays byte-identical until the new one is durable
+        chaos = ChaosInjector(seed=3, crash_point=1.0,
+                              crash_sites=("wal.rotate",))
+        with WriteAheadLog(path, chaos=chaos) as wal:
+            _commit_one(wal, 1)
+            with pytest.raises(CrashPointError):
+                wal.rotate(1)
+        assert os.path.exists(path + ".rotate")  # dead process debris
+        with WriteAheadLog(path) as wal:
+            assert wal.epoch == 0
+            assert wal.verify() == 4  # epoch + begin + op + commit
+            assert [t for t, _, _ in wal.committed_operations()] == [1]
+        assert not os.path.exists(path + ".rotate")  # debris discarded
+
+    def test_rotate_fsync_failure_keeps_old_log_and_poisons(self, path):
+        with WriteAheadLog(path) as clean:
+            _commit_one(clean, 1)
+        chaos = ChaosInjector(seed=1, fsync_fail=1.0)
+        with WriteAheadLog(path, chaos=chaos) as wal:
+            with pytest.raises(FaultInjectedError):
+                wal.rotate(1)
+            assert not os.path.exists(path + ".rotate")
+            with pytest.raises(StorageError):
+                wal.append("begin", 2, "c")
+        with WriteAheadLog(path) as wal:
+            assert wal.epoch == 0
+            assert [t for t, _, _ in wal.committed_operations()] == [1]
 
     def test_torn_append_poisons_the_log(self, path):
         chaos = ChaosInjector(seed=1, torn_write=1.0)
