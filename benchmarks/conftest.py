@@ -10,6 +10,11 @@ machine-independent :class:`~repro.compute.stats.ComputeStats`
 counters a bench attached via ``benchmark.extra_info`` -- the
 machine-readable trajectory CI archives per commit so perf regressions
 are diffable without re-running old builds.
+
+The file is cumulative: before overwriting, the previous run's mean
+timings are folded into a bounded ``history`` list (newest last), so
+the trajectory actually survives successive runs instead of each one
+clobbering the last -- ``benchmarks`` is always the *current* run.
 """
 
 from __future__ import annotations
@@ -96,11 +101,50 @@ def pytest_sessionfinish(session, exitstatus):
             # warm-vs-cold hit/miss/eviction counters)
             "extra": extra or None,
         })
+    path = session.config.rootpath / "BENCH_results.json"
     payload = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "benchmarks": records,
+        "history": _rolled_history(path),
     }
-    path = session.config.rootpath / "BENCH_results.json"
     path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
-    print(f"\nwrote {path} ({len(records)} benchmarks)")
+    print(f"\nwrote {path} ({len(records)} benchmarks, "
+          f"{len(payload['history'])} historical runs)")
+
+
+_HISTORY_LIMIT = 50  # runs kept; one compact record per past session
+
+
+def _rolled_history(path):
+    """The prior file's history plus its current run, compacted.
+
+    Each historical entry keeps only the mean timing per benchmark --
+    enough to plot a trajectory across commits without ballooning the
+    file.  Unreadable or foreign JSON starts the history fresh.
+    """
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict):
+        return []
+    history = [entry for entry in previous.get("history") or []
+               if isinstance(entry, dict)]
+    benches = previous.get("benchmarks")
+    if isinstance(benches, list) and benches:
+        means = {}
+        for bench in benches:
+            if not isinstance(bench, dict):
+                continue
+            name = bench.get("fullname") or bench.get("name")
+            timings = bench.get("timings_s")
+            if name and isinstance(timings, dict):
+                means[name] = timings.get("mean")
+        if means:
+            history.append({
+                "python": previous.get("python"),
+                "machine": previous.get("machine"),
+                "mean_s": means,
+            })
+    return history[-_HISTORY_LIMIT:]

@@ -1,0 +1,37 @@
+"""Multi-process sharded execution (§5 scatter/gather across cores).
+
+The cluster subsystem escapes the GIL: dictionary-encoded column
+batches ship to a persistent worker-process pool through
+``multiprocessing.shared_memory`` slabs with zero pickling
+(:mod:`repro.cluster.slab`), workers compute per-partition core
+aggregates with mergeable scratchpads (:mod:`repro.cluster.pool`), and
+the parent combines them through the existing
+``fold_super_aggregates`` walk bit-identically to the row and columnar
+backends (:mod:`repro.cluster.algorithm`, ``algorithm="cluster"``).
+:class:`~repro.cluster.sharded.ShardedCube` applies the same
+scatter/gather shape to *maintained* cubes, sharding a base table by a
+chosen dimension.  See docs/CLUSTER.md.
+"""
+
+from repro.cluster.algorithm import ClusterCubeAlgorithm
+from repro.cluster.pool import (
+    ClusterPool,
+    default_workers,
+    get_pool,
+    shutdown_pools,
+)
+from repro.cluster.sharded import ShardedCube
+from repro.cluster.slab import MANAGER, SlabManager, attach_slab, encode_batch
+
+__all__ = [
+    "MANAGER",
+    "ClusterCubeAlgorithm",
+    "ClusterPool",
+    "ShardedCube",
+    "SlabManager",
+    "attach_slab",
+    "default_workers",
+    "encode_batch",
+    "get_pool",
+    "shutdown_pools",
+]

@@ -1,0 +1,199 @@
+"""Dimension-sharded materialized cubes: scatter requests, gather
+super-aggregates.
+
+A :class:`ShardedCube` partitions a base table by one dimension's value
+(a stable, process-independent hash -- ``PYTHONHASHSEED`` never changes
+the placement) and keeps one
+:class:`~repro.maintenance.materialized.MaterializedCube` per shard.
+This is the paper's §5 parallel-database layout made durable: "data
+spans many disks", each shard maintains complete local cells with live
+mergeable scratchpads, and every read is a scatter/gather --
+
+- **mutations** route to exactly one shard (the shard key pins the
+  row), so insert/delete/update cost is a single shard's lattice walk;
+- **reads** (:meth:`as_table`, :meth:`value`) visit every shard and
+  fold the per-shard scratchpads with ``Iter_super`` in shard index
+  order, which keeps results deterministic and bit-identical to one
+  unsharded cube over the same rows (asserted by the cluster tests).
+
+Shard-key choice (docs/CLUSTER.md): shard by the dimension with the
+most distinct values that queries *filter* on -- a low-cardinality key
+leaves shards unbalanced, and a key queries never pin means every read
+is a full scatter anyway.  The gather cost is proportional to cells,
+not base rows, which is the §5 observation that super-aggregation is
+cheap relative to the core scan.
+
+Requires mergeable aggregates, exactly like every other partitioned
+path: a strict-mode holistic scratchpad cannot be combined across
+shards.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.engine.table import Table
+from repro.errors import ClusterError, NotMergeableError
+from repro.obs import trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.maintenance.materialized import MaterializedCube
+
+__all__ = ["ShardedCube"]
+
+
+def _stable_shard_key(value: Any) -> int:
+    """A process-stable hash of one shard-key value (crc32 of the
+    repr; ``hash()`` would vary with ``PYTHONHASHSEED``)."""
+    text = f"{type(value).__name__}:{value!r}"
+    return zlib.crc32(text.encode("utf-8", "backslashreplace"))
+
+
+class ShardedCube:
+    """N maintained cube shards behind one cube-shaped surface."""
+
+    def __init__(self, base: Table, dims: Sequence, aggregates: Sequence, *,
+                 shard_by: str, n_shards: int = 2,
+                 kind: str = "cube", **cube_options: Any) -> None:
+        # deferred: maintenance reaches back into repro.core, which is
+        # mid-import when the optimizer registers the cluster algorithm
+        from repro.maintenance.materialized import MaterializedCube
+        if n_shards < 1:
+            raise ClusterError(f"n_shards must be >= 1, got {n_shards}")
+        names = list(base.schema.names)
+        if shard_by not in names:
+            raise ClusterError(
+                f"shard key {shard_by!r} is not a base column; "
+                f"have {names}")
+        self.shard_by = shard_by
+        self.n_shards = n_shards
+        self._key_index = names.index(shard_by)
+
+        groups: list[list[tuple]] = [[] for _ in range(n_shards)]
+        for row in base.rows:
+            groups[self.shard_of(row[self._key_index])].append(row)
+        self._shards = [
+            MaterializedCube(Table(base.schema, rows), dims, aggregates,
+                             kind=kind, **cube_options)
+            for rows in groups
+        ]
+        self._task = self._shards[0]._task
+        self._specs = self._shards[0]._specs
+        if not all(spec.function.mergeable for spec in self._specs):
+            bad = [spec.function.name for spec in self._specs
+                   if not spec.function.mergeable]
+            raise NotMergeableError(
+                f"sharded cube needs mergeable scratchpads; {bad} are "
+                "holistic in strict mode")
+
+    # -- placement --------------------------------------------------------
+
+    def shard_of(self, value: Any) -> int:
+        """Which shard owns rows whose shard-key column equals ``value``."""
+        return _stable_shard_key(value) % self.n_shards
+
+    @property
+    def shards(self) -> tuple[MaterializedCube, ...]:
+        return tuple(self._shards)
+
+    @property
+    def dims(self) -> tuple[str, ...]:
+        return self._task.dims
+
+    @property
+    def masks(self) -> tuple:
+        return self._task.masks
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # -- mutations (route to one shard) -----------------------------------
+
+    def _route(self, row: Sequence[Any]) -> MaterializedCube:
+        return self._shards[self.shard_of(row[self._key_index])]
+
+    def insert(self, row: Sequence[Any]) -> int:
+        return self._route(row).insert(row)
+
+    def delete(self, row: Sequence[Any]) -> int:
+        return self._route(row).delete(row)
+
+    def update(self, old_row: Sequence[Any], new_row: Sequence[Any]) -> int:
+        """DELETE + INSERT, which also covers a row that changes shard."""
+        old_shard = self._route(old_row)
+        new_shard = self._route(new_row)
+        if old_shard is new_shard:
+            return old_shard.update(old_row, new_row)
+        touched = old_shard.delete(old_row)
+        return touched + new_shard.insert(new_row)
+
+    # -- reads (scatter to all shards, gather with Iter_super) ------------
+
+    def _merged_cells(self) -> list[tuple[tuple, tuple]]:
+        cells = []
+        with trace.span("cluster.shard.gather", shards=self.n_shards,
+                        shard_by=self.shard_by) as span:
+            for mask in self._task.masks:
+                merged: dict[tuple, list] = {}
+                for shard in self._shards:
+                    for coordinate, handles in shard._cells[mask].items():
+                        target = merged.get(coordinate)
+                        if target is None:
+                            target = [spec.function.start()
+                                      for spec in self._specs]
+                            merged[coordinate] = target
+                        for position, spec in enumerate(self._specs):
+                            target[position] = spec.function.merge(
+                                target[position], handles[position])
+                for coordinate, handles in merged.items():
+                    values = tuple(spec.function.end(handle)
+                                   for spec, handle in zip(self._specs,
+                                                           handles))
+                    cells.append((coordinate, values))
+            if 0 in self._task.masks and not any(
+                    shard._cells[0] for shard in self._shards):
+                # the global aggregate exists even over an empty base
+                values = tuple(spec.function.end(spec.function.start())
+                               for spec in self._specs)
+                cells.append((self._task.coordinate(0, ()), values))
+            span.set(cells=len(cells))
+        return cells
+
+    def as_table(self, *, sort_result: bool = True) -> Table:
+        """The full cube relation, gathered across every shard."""
+        table = self._task.result_table(self._merged_cells())
+        if sort_result:
+            from repro.engine.operators import sort as sort_op
+            table = sort_op(table, list(self._task.dims))
+        return table
+
+    def value(self, *coords: Any, measure: str | None = None) -> Any:
+        """One cell, gathered: merge the owning cell of every shard."""
+        from repro.types import ALL
+        mask = 0
+        for i, coordinate in enumerate(coords):
+            if coordinate is not ALL:
+                mask |= 1 << i
+        if mask not in self._task.masks:
+            raise ClusterError(
+                f"grouping set of {coords} is not materialized")
+        merged = None
+        position = 0
+        if measure is not None:
+            names = [spec.name for spec in self._specs]
+            if measure not in names:
+                raise ClusterError(
+                    f"unknown measure {measure!r}; have {names}")
+            position = names.index(measure)
+        spec = self._specs[position]
+        for shard in self._shards:
+            handles = shard._cells[mask].get(tuple(coords))
+            if handles is None:
+                continue
+            if merged is None:
+                merged = spec.function.start()
+            merged = spec.function.merge(merged, handles[position])
+        if merged is None:
+            return None
+        return spec.function.end(merged)

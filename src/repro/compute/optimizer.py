@@ -34,6 +34,7 @@ from repro.compute.parallel import ParallelCubeAlgorithm
 from repro.compute.pipesort import PipeSortAlgorithm
 from repro.compute.sort_cube import SortCubeAlgorithm
 from repro.compute.twon import TwoNAlgorithm
+from repro.cluster.algorithm import ClusterCubeAlgorithm
 from repro.errors import CubeError
 from repro.types import is_null_or_all
 
@@ -61,6 +62,9 @@ ALGORITHMS: dict[str, type[CubeAlgorithm]] = {
     "pipesort": PipeSortAlgorithm,
     "external": ExternalCubeAlgorithm,
     "parallel": ParallelCubeAlgorithm,
+    # multi-process execution is never auto-chosen (process pools are a
+    # deliberate deployment decision); pin it with algorithm="cluster"
+    "cluster": ClusterCubeAlgorithm,
 }
 
 

@@ -214,6 +214,20 @@ class ServerOverloadedError(ServeError):
     accepting unbounded concurrency."""
 
 
+class ClusterError(ReproError):
+    """Root of multi-process execution errors (:mod:`repro.cluster`):
+    invalid pool configuration, malformed shared-memory slabs, or
+    dispatch against a shut-down pool."""
+
+
+class WorkerLostError(ClusterError):
+    """A cluster worker *process* died or failed mid-partition (crash,
+    SIGKILL, unhandled error).  Retried on a fresh process under the
+    context's retry policy; exhausted retries surrender the partition
+    for serial in-parent recovery, so a lone raise of this error means
+    even recovery could not proceed."""
+
+
 class FaultInjectedError(ResilienceError):
     """A deterministic fault from the chaos harness
     (:mod:`repro.resilience.chaos`).  Only ever raised when a

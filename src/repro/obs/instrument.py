@@ -43,6 +43,14 @@ metric                                         kind       labels
 ``repro_serve_shed_total``                     counter    ``reason`` (queue_full/deadline)
 ``repro_serve_inflight``                       gauge      --
 ``repro_serve_queue_depth``                    gauge      --
+``repro_serve_async_connections_total``        counter    --
+``repro_serve_async_open_connections``         gauge      --
+``repro_serve_drained_queries_total``          counter    --
+``repro_cluster_computes_total``               counter    ``backend`` (numpy/python)
+``repro_cluster_rows_shipped_total``           counter    --
+``repro_cluster_slab_bytes_total``             counter    --
+``repro_cluster_worker_restarts_total``        counter    --
+``repro_cluster_active_segments``              gauge      --
 ``repro_storage_pages_written_total``          counter    ``file`` (data/spill)
 ``repro_storage_pages_read_total``             counter    ``file``
 ``repro_storage_page_checksum_failures_total`` counter    --
@@ -76,6 +84,8 @@ __all__ = [
     "record_cache_lookup",
     "record_cancellation",
     "record_checkpoint",
+    "record_cluster_compute",
+    "record_cluster_worker_restart",
     "record_columnar_batch",
     "record_cube_compute",
     "record_degradation",
@@ -88,7 +98,9 @@ __all__ = [
     "record_query",
     "record_recovery",
     "record_rollback",
+    "record_serve_async_connection",
     "record_serve_connection",
+    "record_serve_drain",
     "record_serve_request",
     "record_serve_shed",
     "record_slow_query",
@@ -102,8 +114,10 @@ __all__ = [
     "record_worker_failure",
     "record_worker_recovery",
     "record_worker_retry",
+    "set_async_connections",
     "set_buffer_pages",
     "set_cache_resident_cells",
+    "set_cluster_segments",
     "set_serve_inflight",
     "set_serve_queue_depth",
 ]
@@ -462,3 +476,62 @@ def record_recovery(outcome: str) -> None:
     REGISTRY.counter("repro_storage_recoveries_total",
                      help="cube attach recoveries by outcome",
                      outcome=outcome).inc()
+
+
+def record_cluster_compute(backend: str, rows: int, slab_bytes: int) -> None:
+    """The cluster algorithm shipped one batch to the worker-process
+    pool (``backend``: the kernels the workers ran, numpy/python)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cluster_computes_total",
+                     help="cluster scatter/gather computations",
+                     backend=backend).inc()
+    REGISTRY.counter("repro_cluster_rows_shipped_total",
+                     help="rows shipped through shared-memory slabs"
+                     ).inc(rows)
+    REGISTRY.counter("repro_cluster_slab_bytes_total",
+                     help="shared-memory slab bytes encoded"
+                     ).inc(slab_bytes)
+
+
+def record_cluster_worker_restart() -> None:
+    """A dead cluster worker process was replaced with a fresh one."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cluster_worker_restarts_total",
+                     help="cluster worker processes respawned").inc()
+
+
+def set_cluster_segments(n: int) -> None:
+    """Shared-memory slab segments currently alive (leak telemetry:
+    this must return to 0 between computes)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_cluster_active_segments",
+                   help="live shared-memory slab segments").set(n)
+
+
+def record_serve_async_connection() -> None:
+    """The asyncio front end accepted one connection."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_serve_async_connections_total",
+                     help="connections accepted by the asyncio server"
+                     ).inc()
+
+
+def set_async_connections(n: int) -> None:
+    """Connections the asyncio front end is currently multiplexing."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_serve_async_open_connections",
+                   help="open asyncio server connections").set(n)
+
+
+def record_serve_drain(n: int) -> None:
+    """Graceful shutdown waited for ``n`` in-flight queries to finish
+    before checkpointing and releasing resources."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_serve_drained_queries_total",
+                     help="in-flight queries drained at shutdown").inc(n)

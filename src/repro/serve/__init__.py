@@ -9,13 +9,17 @@ observability meet:
 - :class:`QueryServer` / :class:`QueryClient` -- the threaded TCP
   service and its line-delimited-JSON client
   (:mod:`repro.serve.server`, :mod:`repro.serve.client`);
+- :class:`AsyncQueryServer` -- the asyncio front end: same protocol,
+  admission contract, and durability, one event loop instead of a
+  thread per connection (:mod:`repro.serve.aio`);
 - ``python -m repro.serve`` -- the CLI entry point (also hosts the CI
-  smoke driver: ``--smoke``).
+  smoke drivers: ``--smoke``, optionally ``--asyncio``).
 
 See ``docs/SERVING.md`` for the protocol, the cache policy, and the
 containment rules.
 """
 
+from repro.serve.aio import AsyncAdmissionController, AsyncQueryServer
 from repro.serve.cache import CacheEntry, CachePolicy, CuboidCache
 from repro.serve.client import QueryClient
 from repro.serve.server import (
@@ -27,6 +31,8 @@ from repro.serve.server import (
 
 __all__ = [
     "AdmissionController",
+    "AsyncAdmissionController",
+    "AsyncQueryServer",
     "CacheEntry",
     "CachePolicy",
     "CuboidCache",

@@ -2,11 +2,15 @@
 
 Default mode binds a TCP port, loads the demo datasets (the paper's
 Table 3 sales data plus a synthetic fact table), and serves until
-interrupted.  ``--smoke`` is the CI driver: it starts an in-process
-server on an ephemeral port, hammers it with concurrent clients running
-a mixed CUBE/ROLLUP/GROUP BY workload, and exits 0 only if every
-client's every result matched a locally computed reference, the cache
-registered at least one hit, and shutdown was clean.
+interrupted; ``--asyncio`` swaps the threaded server for the event-loop
+front end (:class:`~repro.serve.aio.AsyncQueryServer`).  ``--smoke`` is
+the CI driver: it starts an in-process server on an ephemeral port,
+hammers it with concurrent clients running a mixed CUBE/ROLLUP/GROUP BY
+workload, and exits 0 only if every client's every result matched a
+locally computed reference, the cache registered at least one hit, and
+shutdown was clean.  ``--smoke --asyncio`` additionally holds
+``--smoke-connections`` (default 500) connections open *simultaneously*
+and requires that none of them was shed.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import threading
 
 from repro.data import SyntheticSpec, synthetic_table
 from repro.engine.catalog import Catalog
+from repro.serve.aio import AsyncQueryServer
 from repro.serve.cache import CachePolicy, CuboidCache
 from repro.serve.client import QueryClient
 from repro.serve.server import QueryServer
@@ -35,13 +40,17 @@ def _demo_catalog() -> Catalog:
     return catalog
 
 
-def _build_server(args: argparse.Namespace) -> QueryServer:
+def _build_server(args: argparse.Namespace, *,
+                  use_asyncio: bool = False,
+                  max_queue: int | None = None) -> QueryServer:
     policy = CachePolicy(budget_cells=args.cache_budget)
-    return QueryServer(
+    cls = AsyncQueryServer if use_asyncio else QueryServer
+    return cls(
         _demo_catalog(),
         cache=CuboidCache(policy=policy),
         host=args.host, port=args.port,
-        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        max_inflight=args.max_inflight,
+        max_queue=max_queue if max_queue is not None else args.max_queue,
         statement_timeout=args.timeout,
         slow_query_ms=args.slow_query_ms,
         data_dir=args.data_dir)
@@ -125,6 +134,112 @@ def run_smoke(args: argparse.Namespace) -> int:
     if failures:
         return 1
     print("smoke: OK -- all clients consistent, cache hit, clean shutdown")
+    return 0
+
+
+async def _async_smoke_client(index: int, address: tuple[str, int],
+                              queries: list[str],
+                              references: dict[str, list[str]],
+                              barrier, failures: list[str]) -> None:
+    import asyncio
+    import json
+
+    from repro.serve import protocol
+
+    reader = writer = None
+    try:
+        reader, writer = await asyncio.open_connection(
+            *address, limit=1 << 20)
+
+        async def call(message: dict) -> dict:
+            writer.write(protocol.dump_message(message))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=60.0)
+            return json.loads(line)
+
+        pong = await call({"id": 0, "op": "ping"})
+        if not pong.get("pong"):
+            failures.append(f"client {index}: bad pong {pong}")
+        # every connection is open here -- the barrier is what makes
+        # the concurrency claim real, not just a connection *rate*
+        await barrier.wait()
+        for i, sql in enumerate(queries):
+            response = await call({"id": i + 1, "op": "query", "sql": sql})
+            if not response.get("ok"):
+                failures.append(
+                    f"client {index}: {response.get('error')} for: {sql}")
+                continue
+            table = protocol.decode_table(response)
+            if _canonical(table) != references[sql]:
+                failures.append(f"client {index}: result mismatch: {sql}")
+    except Exception as error:  # noqa: BLE001 -- smoke must report, not die
+        failures.append(f"client {index}: {type(error).__name__}: {error}")
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def run_smoke_async(args: argparse.Namespace) -> int:
+    """The asyncio smoke: ``--smoke-connections`` *simultaneous*
+    connections (a barrier holds them all open at once), zero sheds
+    allowed, every answer bit-identical to a local reference session,
+    graceful drain at the end."""
+    import asyncio
+
+    from repro.obs.metrics import REGISTRY
+
+    args.port = 0
+    n_conns = args.smoke_connections
+    # size the queue so the admission contract *allows* every
+    # connection's one outstanding statement: with that guarantee, any
+    # shed is a server bug, so the smoke requires exactly zero
+    server = _build_server(args, use_asyncio=True,
+                           max_queue=max(args.max_queue, n_conns + 16))
+
+    reference_session = SQLSession(_demo_catalog())
+    references = {sql: _canonical(reference_session.execute(sql))
+                  for sql in _SMOKE_QUERIES}
+    failures: list[str] = []
+
+    async def drive() -> dict:
+        await server.start_async()
+        address = server.address
+        print(f"smoke(asyncio): server on {address[0]}:{address[1]}, "
+              f"{n_conns} simultaneous connections", flush=True)
+        barrier = asyncio.Barrier(n_conns)
+        tasks = []
+        for i in range(n_conns):
+            queries = [_SMOKE_QUERIES[(i + j) % len(_SMOKE_QUERIES)]
+                       for j in range(2)]
+            tasks.append(asyncio.create_task(_async_smoke_client(
+                i, address, queries, references, barrier, failures)))
+        await asyncio.gather(*tasks)
+        stats = server._stats()
+        await server.shutdown_async()
+        return stats
+
+    stats = asyncio.run(drive())
+    sheds = sum(m["value"] for m in REGISTRY.snapshot()
+                if m["name"] == "repro_serve_shed_total")
+    cache_stats = stats.get("cache", {})
+    print(f"smoke(asyncio): cache stats {cache_stats}")
+    print(f"smoke(asyncio): query log {stats.get('querylog', {})}")
+    print(f"smoke(asyncio): sheds {sheds}")
+    if sheds:
+        failures.append(f"{sheds} statements shed; the queue was sized "
+                        "for zero")
+    if not failures and cache_stats.get("hits", 0) < 1:
+        failures.append("expected at least one cache hit, got "
+                        f"{cache_stats.get('hits', 0)}")
+    for failure in failures[:20]:
+        print(f"smoke(asyncio): FAIL {failure}", file=sys.stderr)
+    if len(failures) > 20:
+        print(f"smoke(asyncio): ... and {len(failures) - 20} more",
+              file=sys.stderr)
+    if failures:
+        return 1
+    print(f"smoke(asyncio): OK -- {n_conns} concurrent connections, "
+          "zero sheds, bit-identical answers, graceful drain")
     return 0
 
 
@@ -262,6 +377,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="durable data directory: checkpoint the "
                              "cuboid cache there and restore it on "
                              "restart (warm first queries)")
+    parser.add_argument("--asyncio", action="store_true",
+                        help="serve through the asyncio front end "
+                             "(one event loop, no thread per "
+                             "connection); with --smoke, run the "
+                             "concurrent-connection smoke instead")
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI smoke workload and exit")
     parser.add_argument("--smoke-crash", action="store_true",
@@ -272,6 +392,9 @@ def main(argv: list[str] | None = None) -> int:
                              "bit-identical answers")
     parser.add_argument("--smoke-clients", type=int, default=8,
                         help="concurrent clients in --smoke mode")
+    parser.add_argument("--smoke-connections", type=int, default=500,
+                        help="simultaneous connections in "
+                             "--smoke --asyncio mode")
     parser.add_argument("--smoke-querylog", metavar="PATH", default=None,
                         help="in --smoke mode, write the query log as "
                              "JSON lines to PATH (CI artifact)")
@@ -279,8 +402,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke_crash:
         return run_smoke_crash(args)
+    if args.smoke and getattr(args, "asyncio", False):
+        return run_smoke_async(args)
     if args.smoke:
         return run_smoke(args)
+
+    if getattr(args, "asyncio", False):
+        server = _build_server(args, use_asyncio=True)
+        if args.data_dir is not None:
+            print(f"durable: data dir {args.data_dir}, "
+                  f"{server.restored_entries} cuboid(s) restored",
+                  flush=True)
+        server.run()  # prints its own banner; drains on SIGTERM
+        return 0
 
     server = _build_server(args)
     server.start()

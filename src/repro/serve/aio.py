@@ -1,0 +1,441 @@
+"""The asyncio serving front end: one event loop, many connections.
+
+The threaded server (:mod:`repro.serve.server`) spends a thread per
+connection; at hundreds of mostly-idle clients that is all stacks and
+no work.  :class:`AsyncQueryServer` replaces the accept loop and the
+per-connection threads with one event loop -- connections are
+coroutines, so 500+ concurrent clients cost file descriptors, not
+threads -- while **reusing every serving semantic** from the threaded
+server it subclasses:
+
+- the wire protocol is byte-identical
+  (:func:`repro.serve.protocol.parse_message` /
+  :func:`~repro.serve.protocol.dump_message` frame both front ends);
+- **admission control** keeps the exact shed contract
+  (``max_inflight`` executing, ``max_queue`` waiting, queue-full and
+  deadline sheds hitting the same ``repro_serve_shed_total`` reasons)
+  -- re-implemented on loop-confined state in
+  :class:`AsyncAdmissionController` so waiting costs a Future, not a
+  blocked thread;
+- admitted statements run on a **bounded executor** (``max_inflight``
+  threads) through the inherited ``_execute_locked`` -- the same
+  versioned RW lock, ``ExecutionContext`` deadline/budget, query-log
+  tracking, trace propagation, and post-query ``--data-dir``
+  checkpointing as the threaded path, because it *is* that path;
+- **graceful shutdown** (SIGTERM/SIGINT): stop accepting, drain
+  in-flight and queued statements
+  (``repro_serve_drained_queries_total``), checkpoint the data
+  directory, then release every cluster resource --
+  :func:`repro.cluster.pool.shutdown_pools` and
+  :meth:`repro.cluster.slab.SlabManager.release_all` -- so a drained
+  server leaves no worker processes and no ``/dev/shm`` segments
+  behind (asserted by the shutdown tests).
+
+The one thing deliberately *not* reused is the blocking admission
+slot: an event loop must never block, so the async controller mirrors
+its semantics instead of its implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import signal
+import time
+from typing import AsyncIterator, Optional
+
+from repro.errors import (
+    QueryTimeoutError,
+    ReproError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.obs import instrument, querylog
+from repro.obs.querylog import QUERY_LOG
+from repro.resilience.context import ExecutionContext
+from repro.serve import protocol
+from repro.serve.server import QueryServer
+
+__all__ = ["AsyncAdmissionController", "AsyncQueryServer"]
+
+#: polling step for the shutdown drain (bounds how late the drain
+#: notices the last statement finishing)
+_DRAIN_POLL_S = 0.05
+
+
+class AsyncAdmissionController:
+    """The admission contract on loop-confined state.
+
+    Same knobs and sheds as the threaded
+    :class:`~repro.serve.server.AdmissionController`: at most
+    ``max_inflight`` statements hold slots, at most ``max_queue`` wait,
+    a full queue sheds immediately with
+    :class:`~repro.errors.ServerOverloadedError` and a deadline passing
+    while queued sheds with :class:`~repro.errors.QueryTimeoutError`.
+    All state is touched only from the event loop thread, so no lock is
+    needed -- which is exactly why this exists instead of the threaded
+    controller (whose ``slot`` blocks the calling thread).
+    """
+
+    def __init__(self, max_inflight: int = 4, max_queue: int = 16) -> None:
+        if max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ServeError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._queued = 0
+        self._waiters: "list[asyncio.Future]" = []
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def busy(self) -> int:
+        """Statements the drain must wait out (executing + queued)."""
+        return self._inflight + self._queued
+
+    def _publish(self) -> None:
+        instrument.set_serve_inflight(self._inflight)
+        instrument.set_serve_queue_depth(self._queued)
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+        self._publish()
+
+    async def _acquire(self, deadline: Optional[float]) -> None:
+        if self._inflight < self.max_inflight:
+            self._inflight += 1
+            self._publish()
+            return
+        if self._queued >= self.max_queue:
+            instrument.record_serve_shed("queue_full")
+            raise ServerOverloadedError(
+                f"server overloaded: {self._inflight} in flight, "
+                f"{self._queued} queued (max_queue={self.max_queue})")
+        self._queued += 1
+        self._publish()
+        try:
+            while self._inflight >= self.max_inflight:
+                waiter = asyncio.get_running_loop().create_future()
+                self._waiters.append(waiter)
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.monotonic()
+                    if timeout <= 0:
+                        instrument.record_serve_shed("deadline")
+                        raise QueryTimeoutError(
+                            "statement deadline passed while queued "
+                            "for admission")
+                try:
+                    await asyncio.wait_for(waiter, timeout=timeout)
+                except asyncio.TimeoutError:
+                    instrument.record_serve_shed("deadline")
+                    raise QueryTimeoutError(
+                        "statement deadline passed while queued "
+                        "for admission") from None
+                finally:
+                    if waiter in self._waiters:
+                        self._waiters.remove(waiter)
+        finally:
+            self._queued -= 1
+        self._inflight += 1
+        self._publish()
+
+    @contextlib.asynccontextmanager
+    async def slot(self, deadline: Optional[float] = None
+                   ) -> AsyncIterator[None]:
+        await self._acquire(deadline)
+        try:
+            yield
+        finally:
+            self._release()
+
+
+class AsyncQueryServer(QueryServer):
+    """The event-loop front door (see module docstring).
+
+    Construction is identical to :class:`QueryServer` (including
+    ``--data-dir`` restore); only the serving machinery differs.  Use
+    either the async lifecycle (``await start_async()`` ...
+    ``await shutdown_async()``) or the synchronous :meth:`run` wrapper,
+    which owns a loop and installs SIGTERM/SIGINT drain handlers.
+    """
+
+    def __init__(self, *args, drain_timeout: float = 30.0,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.drain_timeout = drain_timeout
+        # replace the blocking controller with the loop-confined one;
+        # same knobs, same contract, same metrics
+        self.admission = AsyncAdmissionController(
+            max_inflight=self.admission.max_inflight,
+            max_queue=self.admission.max_queue)
+        self._aserver: Optional[asyncio.base_events.Server] = None
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._handlers: "set[asyncio.Task]" = set()
+        self._stopping = False
+        # bounded: admission guarantees at most max_inflight statements
+        # execute; +1 keeps the checkpoint op off the query threads
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.admission.max_inflight + 1,
+            thread_name_prefix="repro-aserve")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._aserver is None or not self._aserver.sockets:
+            raise ServeError("server not started")
+        return self._aserver.sockets[0].getsockname()[:2]
+
+    async def start_async(self) -> "AsyncQueryServer":
+        if self._aserver is not None:
+            raise ServeError("server already started")
+        self._aserver = await asyncio.start_server(
+            self._client_connected, host=self.host, port=self.port,
+            backlog=1024)
+        return self
+
+    async def shutdown_async(self) -> None:
+        """Graceful drain: stop accepting, finish what was admitted or
+        queued, checkpoint, release cluster resources, stop."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._aserver is not None:
+            self._aserver.close()
+            await self._aserver.wait_closed()
+        draining = self.admission.busy
+        if draining:
+            instrument.record_serve_drain(draining)
+        deadline = time.monotonic() + self.drain_timeout
+        while self.admission.busy and time.monotonic() < deadline:
+            await asyncio.sleep(_DRAIN_POLL_S)
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+        instrument.set_async_connections(0)
+        # closed transports surface as EOF in each handler's readline;
+        # wait for them to exit on their own so no task ends cancelled
+        handlers = [task for task in self._handlers if not task.done()]
+        if handlers:
+            done, pending = await asyncio.wait(handlers, timeout=5.0)
+            for task in pending:  # pragma: no cover - wedged handler
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self.store is not None:
+            loop = asyncio.get_running_loop()
+            with contextlib.suppress(ReproError, OSError):
+                await loop.run_in_executor(self._executor, self.checkpoint)
+        # release multi-process resources: worker pools, then any
+        # shared-memory slabs -- a drained server leaves /dev/shm clean
+        from repro.cluster import MANAGER, shutdown_pools
+        shutdown_pools()
+        MANAGER.release_all()
+        self._executor.shutdown(wait=True)
+        if self.store is not None:
+            with contextlib.suppress(OSError):
+                self.store.close()
+
+    async def serve_forever_async(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully."""
+        if self._aserver is None:
+            await self.start_async()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError,
+                                         RuntimeError):
+                    loop.remove_signal_handler(signum)
+            await self.shutdown_async()
+
+    def run(self) -> None:
+        """Synchronous entry point: own loop, serve, drain on signal."""
+        asyncio.run(self._run())
+
+    async def _run(self) -> None:
+        await self.start_async()
+        host, port = self.address
+        print(f"repro query server (asyncio) on {host}:{port} "
+              f"(tables: {', '.join(self.catalog.names())})", flush=True)
+        await self.serve_forever_async()
+
+    # make the threaded lifecycle unmistakably unavailable
+    def start(self) -> "QueryServer":
+        raise ServeError(
+            "AsyncQueryServer has no threaded lifecycle; use "
+            "start_async()/serve_forever_async() or run()")
+
+    def shutdown(self) -> None:
+        raise ServeError(
+            "AsyncQueryServer has no threaded lifecycle; use "
+            "shutdown_async()")
+
+    # -- connections -------------------------------------------------------
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        if self._stopping:
+            writer.close()
+            return
+        instrument.record_serve_connection()
+        instrument.record_serve_async_connection()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._writers.add(writer)
+        instrument.set_async_connections(len(self._writers))
+        session = self._make_session()
+        try:
+            while not self._stopping:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._send(writer, {
+                        "id": None, "ok": False,
+                        "error": {"type": "ServeError",
+                                  "message": "wire message too long"}})
+                    break
+                except (ConnectionError, OSError):
+                    break
+                try:
+                    request = protocol.parse_message(line)
+                except ServeError as error:
+                    await self._send(writer, {
+                        "id": None, "ok": False,
+                        "error": {"type": "ServeError",
+                                  "message": str(error)}})
+                    continue
+                if request is None:
+                    break
+                response = await self._handle_async(session, request)
+                if response is None:  # close op
+                    break
+                try:
+                    await self._send(writer, response)
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            self._writers.discard(writer)
+            instrument.set_async_connections(len(self._writers))
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(protocol.dump_message(message))
+        await writer.drain()
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _handle_async(self, session, request: dict
+                            ) -> Optional[dict]:
+        op = request.get("op", "query")
+        if op == "query":
+            request_id = request.get("id")
+            instrument.record_serve_request(op)
+            sql = request.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                return self._error(request_id, ServeError(
+                    "query op needs a non-empty 'sql' string"))
+            from repro.obs import trace
+            trace_id = (self._valid_trace(request.get("trace"))
+                        or trace.new_trace_id())
+            return await self._run_query_async(session, request_id, sql,
+                                               trace_id)
+        if op == "checkpoint":
+            # page I/O: keep it off the event loop
+            instrument.record_serve_request(op)
+            request_id = request.get("id")
+            if self.store is None:
+                return self._error(request_id, ServeError(
+                    "server has no data directory; start it with "
+                    "--data-dir to enable checkpoints"))
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(self._executor, self.checkpoint)
+            except ReproError as error:
+                return self._error(request_id, error)
+            return {"id": request_id, "ok": True,
+                    "storage": self.store.stats()}
+        # ping / stats / log / close / unknown: cheap, loop-side, and
+        # semantically identical to the threaded server
+        return self._handle(session, request)
+
+    async def _run_query_async(self, session, request_id, sql: str,
+                               trace_id: str) -> dict:
+        started = time.perf_counter()
+        ctx = ExecutionContext(timeout=self.statement_timeout,
+                               memory_budget=self.memory_budget)
+        loop = asyncio.get_running_loop()
+        try:
+            async with self.admission.slot(deadline=ctx.deadline):
+                wait_ms = round((time.perf_counter() - started) * 1000.0,
+                                3)
+                return await loop.run_in_executor(
+                    self._executor, self._finish_query, session,
+                    request_id, sql, trace_id, ctx, started, wait_ms)
+        except ReproError as error:
+            # shed before admission: log it exactly as the threaded
+            # server does (no awaits inside the tracked scope -- the
+            # loop thread's pending-record stack must not interleave)
+            self._log_shed(sql, trace_id, started, error)
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
+
+    def _finish_query(self, session, request_id, sql: str, trace_id: str,
+                      ctx: ExecutionContext, started: float,
+                      wait_ms: float) -> dict:
+        """Executor-side tail of an admitted statement: the inherited
+        lock + execute + query log + checkpoint pipeline."""
+        try:
+            with QUERY_LOG.track(statement=sql, trace_id=trace_id):
+                querylog.annotate(admission_wait_ms=wait_ms)
+                result = self._execute_locked(session, sql, ctx)
+        except ReproError as error:
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        payload = protocol.encode_table(result)
+        self._maybe_checkpoint()
+        return {"id": request_id, "ok": True,
+                "columns": payload["columns"], "rows": payload["rows"],
+                "elapsed_ms": round(elapsed_ms, 3),
+                "trace": trace_id}
+
+    @staticmethod
+    def _log_shed(sql: str, trace_id: str, started: float,
+                  error: ReproError) -> None:
+        try:
+            with QUERY_LOG.track(statement=sql, trace_id=trace_id):
+                querylog.annotate(admission_wait_ms=round(
+                    (time.perf_counter() - started) * 1000.0, 3))
+                raise error
+        except ReproError:
+            pass

@@ -35,8 +35,10 @@ from repro.types import ALL, DataType
 __all__ = [
     "decode_table",
     "decode_value",
+    "dump_message",
     "encode_table",
     "encode_value",
+    "parse_message",
     "read_message",
     "write_message",
 ]
@@ -83,17 +85,18 @@ def decode_table(payload: dict) -> Table:
     return Table(Schema(columns), rows, validate=False)
 
 
-def write_message(stream: BinaryIO, message: dict) -> None:
-    locktrack.note_blocking("write_message")
-    stream.write(json.dumps(message, separators=(",", ":"))
-                 .encode("utf-8") + b"\n")
-    stream.flush()
+def dump_message(message: dict) -> bytes:
+    """One message as its wire bytes (JSON line, newline-terminated)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def read_message(stream: BinaryIO) -> dict | None:
-    """The next message, or ``None`` on a cleanly closed connection."""
-    locktrack.note_blocking("read_message")
-    line = stream.readline()
+def parse_message(line: bytes) -> dict | None:
+    """One received line to a message dict.
+
+    ``None`` for an empty read (cleanly closed connection), ``{}`` for
+    a blank line -- identical framing for the threaded and asyncio
+    front ends, which both feed raw ``readline`` output here.
+    """
     if not line:
         return None
     line = line.strip()
@@ -107,3 +110,15 @@ def read_message(stream: BinaryIO) -> dict | None:
         raise ServeError(
             f"wire message must be a JSON object, got {type(message).__name__}")
     return message
+
+
+def write_message(stream: BinaryIO, message: dict) -> None:
+    locktrack.note_blocking("write_message")
+    stream.write(dump_message(message))
+    stream.flush()
+
+
+def read_message(stream: BinaryIO) -> dict | None:
+    """The next message, or ``None`` on a cleanly closed connection."""
+    locktrack.note_blocking("read_message")
+    return parse_message(stream.readline())

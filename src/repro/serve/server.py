@@ -515,16 +515,23 @@ class QueryServer:
                 admitted = True
                 querylog.annotate(admission_wait_ms=round(
                     (time.perf_counter() - started) * 1000.0, 3))
-                guard = (self.lock.write()
-                         if classify_statement(sql) == "write"
-                         else self.lock.read())
-                with guard:
-                    return session.execute(sql, context=ctx)
+                return self._execute_locked(session, sql, ctx)
         except (ServerOverloadedError, QueryTimeoutError):
             if not admitted:
                 querylog.annotate(admission_wait_ms=round(
                     (time.perf_counter() - started) * 1000.0, 3))
             raise
+
+    def _execute_locked(self, session: SQLSession, sql: str,
+                        ctx: ExecutionContext):
+        """The admitted core every front end shares: classify, take the
+        versioned RW lock, execute.  The asyncio server calls this from
+        an executor thread after its own (async) admission."""
+        guard = (self.lock.write()
+                 if classify_statement(sql) == "write"
+                 else self.lock.read())
+        with guard:
+            return session.execute(sql, context=ctx)
 
     # -- durability --------------------------------------------------------
 

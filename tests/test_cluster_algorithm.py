@@ -1,0 +1,159 @@
+"""ClusterCubeAlgorithm end to end: bit-identity with the columnar
+backend, the eligibility fallbacks (holistic, no-kernel, huge ints,
+mixed-type extremes), empty input, timeouts, cancellation, and the
+optimizer registration contract."""
+
+import pytest
+
+from repro import Table, agg, cube
+from repro.cluster import ClusterCubeAlgorithm, MANAGER, shutdown_pools
+from repro.compute.columnar.batch import HAVE_NUMPY
+from repro.compute.optimizer import ALGORITHMS, choose_algorithm
+from repro.core.cube import cube_with_stats
+from repro.errors import (
+    CubeError,
+    NotMergeableError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+from repro.resilience import CancellationToken, ExecutionContext
+from repro.types import ALL
+
+DIMS = ["Model", "Year", "Color"]
+AGGS = [agg("SUM", "Units", "Units"), agg("COUNT"), agg("MAX", "Units")]
+
+
+def teardown_module(module):
+    shutdown_pools()
+
+
+class TestBitIdentity:
+    def test_matches_columnar_rows_exactly(self, figure4):
+        result = cube_with_stats(figure4, DIMS, AGGS,
+                                 algorithm=ClusterCubeAlgorithm(n_workers=2))
+        columnar = cube_with_stats(figure4, DIMS, AGGS, algorithm="columnar")
+        assert result.table.rows == columnar.table.rows
+        assert result.stats.algorithm == "cluster"
+        assert result.stats.partitions == 2
+        assert "fallback" not in result.stats.notes
+
+    def test_registered_by_name(self, figure4):
+        assert ALGORITHMS["cluster"] is ClusterCubeAlgorithm
+        by_name = cube(figure4, DIMS, AGGS, algorithm="cluster")
+        columnar = cube(figure4, DIMS, AGGS, algorithm="columnar")
+        assert by_name.rows == columnar.rows
+
+    def test_never_auto_chosen(self, figure4):
+        """Process pools are a deployment decision: the optimizer must
+        not pick cluster on its own for this (or any) workload."""
+        from repro.compute import build_task
+        from repro.core.grouping import cube_sets
+        from repro.engine.groupby import AggregateSpec
+        from repro.aggregates import Sum
+        task = build_task(figure4, DIMS,
+                          [AggregateSpec(Sum(), "Units", "Units")],
+                          cube_sets(3))
+        assert not isinstance(choose_algorithm(task), ClusterCubeAlgorithm)
+
+    def test_releases_every_slab(self, figure4):
+        cube(figure4, DIMS, AGGS, algorithm=ClusterCubeAlgorithm(n_workers=2))
+        assert MANAGER.active() == 0
+
+    def test_more_workers_than_rows_degrades_gracefully(self, figure4):
+        result = cube_with_stats(
+            figure4, DIMS, AGGS, algorithm=ClusterCubeAlgorithm(n_workers=64))
+        columnar = cube_with_stats(figure4, DIMS, AGGS, algorithm="columnar")
+        assert result.table.rows == columnar.table.rows
+        assert result.stats.partitions <= len(figure4)
+
+
+class TestEligibility:
+    def test_strict_holistic_refuses(self, figure4):
+        from repro.aggregates import Median
+        from repro.engine.groupby import AggregateSpec
+        with pytest.raises(NotMergeableError, match="cluster"):
+            cube(figure4, DIMS,
+                 [AggregateSpec(Median(carrying=False), "Units", "med")],
+                 algorithm=ClusterCubeAlgorithm(n_workers=2))
+
+    def test_carrying_median_falls_back_to_threads(self, figure4):
+        """Mergeable but kernel-less: the thread pool runs it, the
+        cluster label stays."""
+        from repro.aggregates import Median
+        from repro.engine.groupby import AggregateSpec
+        spec = [AggregateSpec(Median(carrying=True), "Units", "med")]
+        result = cube_with_stats(
+            figure4, DIMS, spec,
+            algorithm=ClusterCubeAlgorithm(n_workers=2))
+        assert result.stats.algorithm == "cluster"
+        assert result.stats.notes["fallback"] == "parallel"
+        row_path = cube(figure4, DIMS, spec,
+                        algorithm="2^N", sort_result=True)
+        assert sorted(map(repr, result.table.rows)) == \
+            sorted(map(repr, row_path.rows))
+
+    def test_ints_beyond_float64_fall_back_exactly(self):
+        """2**53 + 1 would drift through the slab's float64 image; the
+        eligibility check must route around the slab."""
+        table = Table([("d", "STRING"), ("m", "INTEGER")])
+        big = 2 ** 53 + 1
+        table.extend([("a", big), ("a", 1), ("b", big)])
+        result = cube_with_stats(table, ["d"], [agg("SUM", "m", "s")],
+                                 algorithm=ClusterCubeAlgorithm(n_workers=2),
+                                 sort_result=True)
+        assert result.stats.notes.get("fallback") == "parallel"
+        expected = cube(table, ["d"], [agg("SUM", "m", "s")],
+                        algorithm="2^N", sort_result=True)
+        assert result.table.rows == expected.rows
+        assert any(big + 1 == row[-1] for row in result.table.rows)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="mixed-type ties need numpy "
+                        "to be the backend under test")
+    def test_mixed_int_float_extremes_fall_back(self):
+        table = Table([("d", "STRING"), ("m", "ANY")])
+        table.extend([("a", 2), ("a", 2.0), ("b", 1)])
+        result = cube_with_stats(table, ["d"], [agg("MIN", "m", "lo")],
+                                 algorithm=ClusterCubeAlgorithm(n_workers=2),
+                                 sort_result=True)
+        assert result.stats.notes.get("fallback") == "parallel"
+        expected = cube(table, ["d"], [agg("MIN", "m", "lo")],
+                        sort_result=True)
+        assert sorted(map(repr, result.table.rows)) == \
+            sorted(map(repr, expected.rows))
+
+
+class TestEdges:
+    def test_empty_input_still_produces_the_global_cell(self):
+        table = Table([("d", "STRING"), ("m", "INTEGER")])
+        result = cube_with_stats(table, ["d"], [agg("COUNT")],
+                                 algorithm=ClusterCubeAlgorithm(n_workers=2))
+        assert result.table.rows == [(ALL, 0)]
+        assert result.stats.cells_produced == 1
+
+    def test_invalid_worker_count_raises(self):
+        with pytest.raises(CubeError, match="at least 1"):
+            ClusterCubeAlgorithm(n_workers=0)
+
+    def test_expired_deadline_raises_timeout(self, figure4):
+        ctx = ExecutionContext(timeout=0)
+        with pytest.raises(QueryTimeoutError):
+            cube(figure4, DIMS, AGGS,
+                 algorithm=ClusterCubeAlgorithm(n_workers=2), context=ctx)
+        assert MANAGER.active() == 0
+
+    def test_pre_cancelled_token_raises(self, figure4):
+        token = CancellationToken()
+        token.cancel("caller gave up")
+        ctx = ExecutionContext(token=token)
+        with pytest.raises(QueryCancelledError):
+            cube(figure4, DIMS, AGGS,
+                 algorithm=ClusterCubeAlgorithm(n_workers=2), context=ctx)
+        assert MANAGER.active() == 0
+
+    def test_force_python_matches_numpy_backend(self, figure4):
+        fast = cube(figure4, DIMS, AGGS,
+                    algorithm=ClusterCubeAlgorithm(n_workers=2))
+        slow = cube(figure4, DIMS, AGGS,
+                    algorithm=ClusterCubeAlgorithm(n_workers=2,
+                                                   force_python=True))
+        assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows))

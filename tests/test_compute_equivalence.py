@@ -27,6 +27,7 @@ from repro.core.grouping import cube_sets, rollup_sets
 from repro.engine.groupby import AggregateSpec
 
 from repro.compute import PipeSortAlgorithm
+from repro.cluster import ClusterCubeAlgorithm
 
 MERGEABLE_ALGORITHMS = [
     TwoNAlgorithm(),
@@ -38,6 +39,8 @@ MERGEABLE_ALGORITHMS = [
     ColumnarCubeAlgorithm(),
     ColumnarCubeAlgorithm(mode="dense"),
     ColumnarCubeAlgorithm(mode="sparse", force_python=True),
+    ClusterCubeAlgorithm(n_workers=2),
+    ClusterCubeAlgorithm(n_workers=2, force_python=True),
 ]
 
 

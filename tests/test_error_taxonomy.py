@@ -244,6 +244,30 @@ def _trigger_untrusted_payload():
     restricted_loads(pickle.dumps(os.system, protocol=4))
 
 
+def _trigger_cluster_error():
+    from repro.cluster.slab import decode_slab
+    decode_slab(bytearray(b"NOPE" + bytes(64)))
+
+
+def _trigger_worker_lost():
+    from repro.cluster.pool import ClusterPool
+    from repro.resilience import ExecutionContext, RetryPolicy
+    pool = ClusterPool(1)
+    try:
+        # a slab that never existed fails identically on every attempt:
+        # the worker reports, retries exhaust, the partition surrenders
+        spec = {"slab": "repro_slab_never_created", "start": 0, "end": 1,
+                "core_dims": [0], "core_strides": [1],
+                "kernels": [("sum", 0)], "deadline": None, "worker": 0,
+                "chaos": None}
+        ctx = ExecutionContext(retry=RetryPolicy(max_retries=0,
+                                                 base_delay=0.0))
+        [failed] = pool.run([spec], ctx=ctx)
+        raise failed.error
+    finally:
+        pool.shutdown()
+
+
 def _trigger_serve_error():
     import io
     from repro.serve.protocol import read_message
@@ -295,6 +319,8 @@ TRIGGERS = {
     errors.TornPageError: _trigger_torn_page,
     errors.WALCorruptError: _trigger_wal_corrupt,
     errors.UntrustedPayloadError: _trigger_untrusted_payload,
+    errors.ClusterError: _trigger_cluster_error,
+    errors.WorkerLostError: _trigger_worker_lost,
     errors.ServeError: _trigger_serve_error,
     errors.ServerOverloadedError: _trigger_server_overloaded,
     # pure umbrella types: never raised directly, covered by any subclass
