@@ -232,6 +232,14 @@ class ApproximateQuantile(AggregateFunction):
         insert=AggregateClass.ALGEBRAIC,
         delete=AggregateClass.ALGEBRAIC)
 
+    @property
+    def delta_exact(self) -> bool:
+        """The sketch's bucket layout depends on arrival order (lo and
+        width rescale as the observed range grows), so delta-folding a
+        cached sketch is *not* bit-identical to a cold rebuild.  The
+        serve cache therefore invalidates instead of merging."""
+        return False
+
     def __init__(self, p: float = 50, n_buckets: int = 64) -> None:
         if not 0 <= p <= 100:
             raise AggregateError(f"p must be in [0, 100], got {p}")

@@ -119,6 +119,23 @@ class AggregateFunction(ABC):
 
     # -- maintenance (Section 6) -------------------------------------------
 
+    @property
+    def delta_exact(self) -> bool:
+        """True when folding rows in *any* order (including through
+        intermediate ``merge``-built scratchpads) finalizes to the
+        identical value -- the property streamed delta maintenance
+        needs: a cached cuboid that absorbs a delta must end up
+        bit-identical to a cold recompute over base+delta.
+
+        Exact functions (SUM, COUNT, MIN, carrying MEDIAN, ...) are
+        order-insensitive by construction.  Sketch-backed approximate
+        functions are not -- a :class:`QuantileSketch`'s bucket layout
+        depends on the order values arrived -- so they override this to
+        False and the serve cache falls back to invalidation for
+        entries that carry them.
+        """
+        return True
+
     def insert_dominated(self, handle: Handle, value: Any) -> bool:
         """Section 6's insert short-circuit hook.
 

@@ -29,6 +29,7 @@ users avoid holistic functions").
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Sequence
 
@@ -39,7 +40,11 @@ from repro.core.grouping import Mask, cube_sets, mask_to_names
 from repro.core.lattice import CubeLattice
 from repro.engine.groupby import AggregateSpec
 from repro.engine.table import Table
-from repro.errors import CubeError, NotMergeableError
+from repro.errors import (
+    CubeError,
+    DeltaRequiresInvalidationError,
+    NotMergeableError,
+)
 from repro.obs import instrument, trace
 from repro.resilience import context as rctx
 
@@ -159,6 +164,12 @@ class PartialCube:
         # explicitly materialized views must be measurable
         universe = list(dict.fromkeys(
             [full, *universe, *(materialize or ())]))
+        # retained so apply_delta can evaluate streamed source rows into
+        # task rows exactly the way build_task did
+        from repro.engine.groupby import normalize_keys
+        self._normalized = normalize_keys(dims)
+        self._specs = list(aggregates)
+        self._source_names = tuple(table.schema.names)
         self._task = build_task(table, dims, list(aggregates), universe)
         if not self._task.all_mergeable():
             bad = [fn.name for fn in self._task.functions
@@ -178,6 +189,15 @@ class PartialCube:
             [self._lattice.core, *materialize]))
 
         self._views: dict[Mask, dict[tuple, list[Handle]]] = {}
+        #: per-view contributing-row count per cell; what lets a delta
+        #: DELETE know when a cell's underlying set became empty
+        self._counts: dict[Mask, dict[tuple, int]] = {}
+        #: per-view, per-cell accepted-value count per aggregate
+        #: position: when a position's count hits zero under deletes the
+        #: scratchpad is reset to ``start()`` -- the canonical empty
+        #: handle -- so SUM over a cell whose non-NULL values all left
+        #: finalizes to NULL exactly like a cold recompute
+        self._accepted: dict[Mask, dict[tuple, list[int]]] = {}
         self._build()
 
     def _build(self) -> None:
@@ -185,6 +205,8 @@ class PartialCube:
         task = self._task
         core_mask = self._lattice.core
         core: dict[tuple, list[Handle]] = {}
+        core_counts: dict[tuple, int] = {}
+        core_accepted: dict[tuple, list[int]] = {}
         self.stats.base_scans += 1
         for position, row in enumerate(task.rows):
             if position % 256 == 0:
@@ -194,8 +216,16 @@ class PartialCube:
             if handles is None:
                 handles = task.new_handles(self.stats)
                 core[coordinate] = handles
+                core_accepted[coordinate] = [0] * task.n_aggs
             task.fold_row(handles, row, self.stats)
+            core_counts[coordinate] = core_counts.get(coordinate, 0) + 1
+            accepted = core_accepted[coordinate]
+            for index, value in enumerate(task.agg_values(row)):
+                if task.functions[index].accepts(value):
+                    accepted[index] += 1
         self._views[core_mask] = core
+        self._counts[core_mask] = core_counts
+        self._accepted[core_mask] = core_accepted
         # materialize the chosen views coarse-from-fine
         for mask in sorted(self.materialized,
                            key=lambda m: -bin(m).count("1")):
@@ -205,6 +235,17 @@ class PartialCube:
             source_mask = _cheapest_ancestor(
                 mask, set(self._views), self.sizes, self._lattice)
             self._views[mask] = self._fold_down(source_mask, mask)
+            counts: dict[tuple, int] = {}
+            accepted_view: dict[tuple, list[int]] = {}
+            for coordinate, count in self._counts[source_mask].items():
+                target = task.coordinate(mask, coordinate)
+                counts[target] = counts.get(target, 0) + count
+                sums = accepted_view.setdefault(target, [0] * task.n_aggs)
+                for index, n in enumerate(
+                        self._accepted[source_mask][coordinate]):
+                    sums[index] += n
+            self._counts[mask] = counts
+            self._accepted[mask] = accepted_view
         self.stats.cells_produced = self.materialized_rows
         # a partial-cube build is a cube computation: meter it like one,
         # so cold builds and warm answers land in the same catalogue
@@ -230,6 +271,156 @@ class PartialCube:
     def materialized_rows(self) -> int:
         """Total stored cells -- the space cost of the selection."""
         return sum(len(view) for view in self._views.values())
+
+    # -- streaming maintenance (Section 6) ---------------------------------
+
+    def _to_task_row(self, row: tuple) -> tuple:
+        """Evaluate one raw source row into a task row, exactly the way
+        :func:`~repro.compute.base.build_task` did at build time."""
+        context = dict(zip(self._source_names, row))
+        dim_values = tuple(expr.evaluate(context)
+                           for expr, _ in self._normalized)
+        agg_values = tuple(spec.evaluate_input(context)
+                           for spec in self._specs)
+        return dim_values + agg_values
+
+    def apply_delta(self, inserts: Sequence[tuple] = (),
+                    deletes: Sequence[tuple] = ()) -> int:
+        """Fold a batch of raw source rows into every materialized view.
+
+        This is Section 6 maintenance applied to the HRU selection:
+        INSERTs are O(1) ``Iter`` folds per (view, cell) -- distributive
+        and algebraic scratchpads absorb new rows without rescanning --
+        and DELETEs are ``unapply`` calls where the function supports
+        them.  A delete that hits a delete-holistic scratchpad (the
+        departing value *is* the MIN/MAX extreme, the paper's "MAX is
+        distributive for INSERT but holistic for DELETE") raises
+        :class:`~repro.errors.DeltaRequiresInvalidationError` **before
+        any state changed**: deletes are staged against copies and only
+        committed once every unapply succeeded, so the caller (the serve
+        cache) can fall back to invalidation on a still-consistent cube.
+
+        Returns the number of cells touched across all views.
+        """
+        task = self._task
+        if not inserts and not deletes:
+            return 0
+        for fn in task.functions:
+            if not fn.delta_exact:
+                # order-sensitive scratchpads (approximate sketches)
+                # would merge to a value a cold rebuild never produces
+                raise DeltaRequiresInvalidationError(
+                    f"{fn.name or type(fn).__name__} is not delta-exact: "
+                    "folding a delta cannot reproduce a cold recompute "
+                    "bit-for-bit")
+        delta_in = [self._to_task_row(row) for row in inserts]
+        delta_out = [self._to_task_row(row) for row in deletes]
+
+        # -- stage deletes (fallible) without mutating anything --------
+        # Outgoing rows are grouped per (view, cell) first: a cell whose
+        # underlying set empties entirely is simply dropped -- exactly
+        # what a cold recompute would produce -- so unapply only has to
+        # succeed for cells that survive with rows remaining.
+        out_by_cell: dict[tuple[Mask, tuple], list[tuple]] = {}
+        for row in delta_out:
+            dim_values = task.dim_values(row)
+            for mask in self._views:
+                key = (mask, task.coordinate(mask, dim_values))
+                out_by_cell.setdefault(key, []).append(row)
+        staged: dict[tuple[Mask, tuple],
+                     tuple[list[Handle], list[int]]] = {}
+        emptied: list[tuple[Mask, tuple]] = []
+        for (mask, coordinate), rows in out_by_cell.items():
+            current = self._views[mask].get(coordinate)
+            count = self._counts[mask].get(coordinate, 0)
+            if current is None or count < len(rows):
+                raise DeltaRequiresInvalidationError(
+                    "delta deletes more rows than this cuboid's cell "
+                    "holds; the delta cannot be consistent with it")
+            if count == len(rows):
+                emptied.append((mask, coordinate))
+                continue
+            handles = list(current)
+            accepted = list(self._accepted[mask][coordinate])
+            for position, fn in enumerate(task.functions):
+                removed = [values[position] for row in rows
+                           if fn.accepts(
+                               (values := task.agg_values(row))[position])]
+                if not removed:
+                    continue
+                if accepted[position] < len(removed):
+                    raise DeltaRequiresInvalidationError(
+                        "delta deletes more accepted values than this "
+                        "cuboid's cell folded; it cannot be consistent")
+                accepted[position] -= len(removed)
+                if accepted[position] == 0:
+                    # the position's underlying value set emptied: the
+                    # canonical empty scratchpad is bit-identical to a
+                    # cold recompute (SUM -> NULL, not 0)
+                    handles[position] = fn.start()
+                    continue
+                for value in removed:
+                    if isinstance(value, float) and math.isnan(value):
+                        # IEEE NaN arithmetic is not invertible
+                        # (NaN - NaN != 0): no scratchpad subtraction
+                        # can recover the pre-NaN state
+                        raise DeltaRequiresInvalidationError(
+                            f"{fn.name} cannot unapply a NaN value; "
+                            "the cell needs a recompute")
+                    handle, supported = fn.unapply(
+                        handles[position], value)
+                    if not supported:
+                        raise DeltaRequiresInvalidationError(
+                            f"{fn.name} is delete-holistic at this "
+                            "value (Section 6); the cell needs a "
+                            "recompute")
+                    handles[position] = handle
+                    self.stats.iter_calls += 1
+            staged[(mask, coordinate)] = (handles, accepted)
+
+        # -- commit: deletes first, then infallible insert folds -------
+        touched = set(out_by_cell)
+        for mask, coordinate in emptied:
+            del self._views[mask][coordinate]
+            del self._counts[mask][coordinate]
+            del self._accepted[mask][coordinate]
+        for (mask, coordinate), (handles, accepted) in staged.items():
+            self._views[mask][coordinate] = handles
+            self._accepted[mask][coordinate] = accepted
+            self._counts[mask][coordinate] -= len(
+                out_by_cell[(mask, coordinate)])
+        for row in delta_in:
+            dim_values = task.dim_values(row)
+            agg_values = task.agg_values(row)
+            for mask, view in self._views.items():
+                coordinate = task.coordinate(mask, dim_values)
+                handles = view.get(coordinate)
+                if handles is None:
+                    handles = task.new_handles(self.stats)
+                    view[coordinate] = handles
+                    self._accepted[mask][coordinate] = [0] * task.n_aggs
+                task.fold_row(handles, row, self.stats)
+                counts = self._counts[mask]
+                counts[coordinate] = counts.get(coordinate, 0) + 1
+                accepted = self._accepted[mask][coordinate]
+                for position, fn in enumerate(task.functions):
+                    if fn.accepts(agg_values[position]):
+                        accepted[position] += 1
+                touched.add((mask, coordinate))
+
+        # keep the row set and the planner's size estimates honest
+        for row in delta_out:
+            try:
+                task.rows.remove(row)
+            except ValueError:
+                pass  # trimmed/sampled row sets still answer correctly
+        task.rows.extend(delta_in)
+        for mask, view in self._views.items():
+            self.sizes[mask] = max(1, len(view))
+        if hasattr(task, "_view_sizes_memo"):
+            del task._view_sizes_memo
+        self.stats.cells_produced = self.materialized_rows
+        return len(touched)
 
     def query(self, grouped: Sequence[str]) -> Table:
         """Answer one grouping-set query (grouped column names)."""

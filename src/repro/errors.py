@@ -108,6 +108,13 @@ class DeleteRequiresRecomputeError(MaintenanceError):
     the caller must allow recomputation for the cube to stay correct."""
 
 
+class DeltaRequiresInvalidationError(MaintenanceError):
+    """A streamed delta cannot be folded into a cached cuboid -- a delete
+    hit a delete-holistic scratchpad (e.g. the departing row held a MIN/MAX
+    extreme) and the cuboid has no base rows to recompute from.  The serve
+    cache answers this by invalidating the entry instead of merging."""
+
+
 class SQLError(ReproError):
     """Root of SQL front-end errors."""
 

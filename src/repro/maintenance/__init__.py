@@ -6,12 +6,15 @@ the underlying tables so that when the tables change, the cube is
 dynamically updated."
 """
 
+from repro.maintenance.ingest import IngestBatch, StreamIngestor
 from repro.maintenance.materialized import MaterializedCube
 from repro.maintenance.propagation import MaintenanceStats
 from repro.maintenance.triggers import attach_cube_maintenance
 
 __all__ = [
+    "IngestBatch",
     "MaintenanceStats",
     "MaterializedCube",
+    "StreamIngestor",
     "attach_cube_maintenance",
 ]

@@ -344,19 +344,97 @@ class MaterializedCube:
         return touched
 
     def update(self, old_row: Sequence[Any], new_row: Sequence[Any]) -> int:
-        """UPDATE = DELETE + INSERT (Section 6).
+        """UPDATE = DELETE + INSERT (Section 6), with routing.
 
-        Metrics-wise the constituent insert and delete are recorded as
-        themselves plus one ``update`` operation, mirroring how the
-        paper costs it as the sum of the two."""
+        An update that **changes a dimension value** moves the row
+        between cube cells, so it must run as a full DELETE of the old
+        row plus INSERT of the new one -- the old coordinate loses a
+        contributor (possibly emptying), the new one gains one.  Only
+        an update that keeps every dimension value takes the in-place
+        fast path: each affected cell's scratchpads unapply the old
+        measure and fold the new one without count churn.  Within that
+        fast path a delete-holistic aggregate (MIN/MAX whose departing
+        value holds the extreme) declines ``unapply`` and the cell is
+        recomputed from retained base data, exactly like DELETE.
+
+        Either route journals the same delete+insert leaves, so WAL
+        replay converges to the identical state.  Metrics-wise the
+        dim-changing route records its constituent insert and delete as
+        themselves plus one ``update``, mirroring how the paper costs
+        it as the sum of the two; the in-place route records one
+        ``update`` only."""
         with trace.span("maintenance.update") as span:
+            in_place = False
             with self.transaction(op="update"):
-                touched = self.delete(old_row)
-                touched += self.insert(new_row)
-            span.set(cells_touched=touched)
+                old_task = self._to_task_row(old_row)
+                new_task = self._to_task_row(new_row)
+                if self._task.dim_values(old_task) \
+                        == self._task.dim_values(new_task):
+                    in_place = True
+                    touched = self._update_in_place(
+                        old_row, new_row, old_task, new_task)
+                else:
+                    touched = self.delete(old_row)
+                    touched += self.insert(new_row)
+            span.set(cells_touched=touched, in_place=in_place)
         self.stats.updates += 1
+        if in_place:
+            self.stats.per_operation_touched.append(touched)
         self.stats.note_operation("update", touched)
         self._notify_mutation("update")
+        return touched
+
+    def _update_in_place(self, old_row: Sequence[Any],
+                         new_row: Sequence[Any],
+                         old_task: tuple, new_task: tuple) -> int:
+        """Same-coordinate update: swap the measures inside each
+        affected cell.  Journals the delete+insert leaves (replay knows
+        only those), keeps per-cell counts unchanged, and falls back to
+        :meth:`_recompute_cell` wherever ``unapply`` declines."""
+        self._journal_record(("delete", tuple(old_row)))
+        self._journal_record(("insert", tuple(new_row)))
+        if self.retain_base:
+            try:
+                self._base_rows.remove(old_task)
+            except ValueError:
+                raise MaintenanceError(
+                    f"update of a row not present in the base: "
+                    f"{old_row!r}") from None
+            self._base_rows.append(new_task)
+        dim_values = self._task.dim_values(old_task)
+        old_aggs = self._task.agg_values(old_task)
+        new_aggs = self._task.agg_values(new_task)
+        touched = 0
+        for mask in self._task.masks:
+            coordinate = self._task.coordinate(mask, dim_values)
+            handles = self._cells[mask].get(coordinate)
+            if handles is None:
+                raise MaintenanceError(
+                    f"update hit a missing cube cell {coordinate}")
+            staged = list(handles)
+            needs_recompute = False
+            for position, spec in enumerate(self._specs):
+                fn = spec.function
+                old_value = old_aggs[position]
+                if fn.accepts(old_value):
+                    new_handle, supported = fn.unapply(staged[position],
+                                                       old_value)
+                    if not supported:
+                        needs_recompute = True
+                        break
+                    staged[position] = new_handle
+                new_value = new_aggs[position]
+                if fn.accepts(new_value):
+                    staged[position] = fn.next(staged[position], new_value)
+            if needs_recompute:
+                # base rows already hold the new row, so the rebuild
+                # lands on the post-update state in one pass
+                self._recompute_cell(mask, coordinate)
+                self.stats.cells_recomputed += 1
+            else:
+                handles[:] = staged
+                self.stats.cells_updated += 1
+            touched += 1
         return touched
 
     @property

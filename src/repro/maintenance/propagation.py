@@ -8,11 +8,18 @@ base table.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.obs import instrument
 
-__all__ = ["MaintenanceStats"]
+__all__ = ["MaintenanceStats", "PER_OPERATION_WINDOW"]
+
+#: How many recent operations keep their exact touched-cell count.
+#: A streaming workload runs maintenance per batch forever; an
+#: unbounded list here was a slow leak, so the trail is a ring -- the
+#: totals above stay exact, only the per-op detail ages out.
+PER_OPERATION_WINDOW = 1024
 
 
 @dataclass
@@ -34,7 +41,11 @@ class MaintenanceStats:
     rows_rescanned: int = 0
     #: operations (or batches) that failed and were rolled back
     rollbacks: int = 0
-    per_operation_touched: list = field(default_factory=list)
+    #: ring buffer of the last :data:`PER_OPERATION_WINDOW` operations'
+    #: touched-cell counts (``deque`` -- ``append`` keeps working for
+    #: existing callers, old entries fall off the left)
+    per_operation_touched: deque = field(
+        default_factory=lambda: deque(maxlen=PER_OPERATION_WINDOW))
 
     def summary(self) -> str:
         return (f"inserts={self.inserts} deletes={self.deletes} "

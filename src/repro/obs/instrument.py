@@ -37,7 +37,11 @@ metric                                         kind       labels
 ``repro_cache_lookups_total``                  counter    ``result`` (hit/miss/bypass)
 ``repro_cache_admissions_total``               counter    ``result`` (admitted/rejected)
 ``repro_cache_evictions_total``                counter    ``reason`` (space/invalidated)
+``repro_cache_delta_total``                    counter    ``outcome`` (merged/invalidated)
 ``repro_cache_resident_cells``                 gauge      --
+``repro_ingest_batches_total``                 counter    --
+``repro_ingest_ops_total``                     counter    ``op`` (insert/delete/update)
+``repro_ingest_pending_ops``                   gauge      --
 ``repro_serve_connections_total``              counter    --
 ``repro_serve_requests_total``                 counter    ``op``
 ``repro_serve_shed_total``                     counter    ``reason`` (queue_full/deadline)
@@ -80,6 +84,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "record_buffer_eviction",
     "record_cache_admission",
+    "record_cache_delta",
     "record_cache_eviction",
     "record_cache_lookup",
     "record_cancellation",
@@ -90,6 +95,7 @@ __all__ = [
     "record_cube_compute",
     "record_degradation",
     "record_groupby",
+    "record_ingest_flush",
     "record_injected_fault",
     "record_maintenance",
     "record_materialized_lookup",
@@ -118,6 +124,7 @@ __all__ = [
     "set_buffer_pages",
     "set_cache_resident_cells",
     "set_cluster_segments",
+    "set_ingest_pending",
     "set_serve_inflight",
     "set_serve_queue_depth",
 ]
@@ -328,6 +335,41 @@ def record_cache_eviction(reason: str) -> None:
     REGISTRY.counter("repro_cache_evictions_total",
                      help="semantic cache entries evicted",
                      reason=reason).inc()
+
+
+def record_cache_delta(outcome: str) -> None:
+    """A streamed DML batch reached one cached cuboid: ``merged``
+    (Section 6 delta fold kept the entry hot) or ``invalidated``
+    (delete-holistic cell or delta-ineligible source shape)."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_cache_delta_total",
+                     help="cached cuboids reached by streamed deltas",
+                     outcome=outcome).inc()
+
+
+def record_ingest_flush(op_counts: dict[str, int]) -> None:
+    """The stream ingestor flushed one coalesced batch; ``op_counts``
+    maps ``insert``/``delete``/``update`` to the ops applied."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.counter("repro_ingest_batches_total",
+                     help="coalesced ingest batches flushed").inc()
+    for op, count in op_counts.items():
+        if count:
+            REGISTRY.counter("repro_ingest_ops_total",
+                             help="streamed DML operations applied",
+                             op=op).inc(count)
+
+
+def set_ingest_pending(n: int) -> None:
+    """DML operations buffered in the stream ingestor, not yet
+    flushed into the catalog and cache."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.gauge("repro_ingest_pending_ops",
+                   help="buffered ingest operations awaiting flush"
+                   ).set(n)
 
 
 def set_cache_resident_cells(cells: int) -> None:

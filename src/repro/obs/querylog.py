@@ -114,6 +114,9 @@ class QueryRecord:
     #: the answering cuboid was restored from a durable checkpoint
     #: (warm restart) rather than computed in this process
     recovered: Optional[bool] = None
+    #: an ingest flush (or the query that forced one) folded the batch
+    #: into at least one cached cuboid instead of invalidating it
+    delta_merged: Optional[bool] = None
     rows_scanned: int = 0
     cells: int = 0
     rows: int = 0
@@ -395,6 +398,7 @@ class QueryLog:
             degraded_from=fields.get("degraded_from"),
             cache=fields.get("cache"),
             recovered=fields.get("recovered"),
+            delta_merged=fields.get("delta_merged"),
             rows_scanned=fields.get("rows_scanned", 0),
             cells=fields.get("cells", 0),
             rows=fields.get("rows", 0),

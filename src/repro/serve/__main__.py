@@ -53,6 +53,8 @@ def _build_server(args: argparse.Namespace, *,
         max_queue=max_queue if max_queue is not None else args.max_queue,
         statement_timeout=args.timeout,
         slow_query_ms=args.slow_query_ms,
+        ingest_max_ops=args.ingest_max_ops,
+        ingest_max_age_s=args.ingest_max_age,
         data_dir=args.data_dir)
 
 
@@ -134,6 +136,78 @@ def run_smoke(args: argparse.Namespace) -> int:
     if failures:
         return 1
     print("smoke: OK -- all clients consistent, cache hit, clean shutdown")
+    return 0
+
+
+#: the ingest smoke's 10:1 read mix -- all answerable from the CUBE
+_INGEST_READS = [
+    "SELECT d0, SUM(m) FROM FACTS GROUP BY d0",
+    "SELECT d1, SUM(m) FROM FACTS GROUP BY d1",
+    "SELECT d2, SUM(m) FROM FACTS GROUP BY d2",
+    "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY d0, d1",
+    "SELECT d0, d2, SUM(m) FROM FACTS GROUP BY d0, d2",
+    "SELECT d1, d2, SUM(m) FROM FACTS GROUP BY d1, d2",
+    "SELECT d1, d0, SUM(m) FROM FACTS GROUP BY d1, d0",
+    "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY ROLLUP d0, d1",
+    "SELECT d0, d2, SUM(m) FROM FACTS GROUP BY CUBE d0, d2",
+    "SELECT d0, d1, d2, SUM(m) FROM FACTS GROUP BY d0, d1, d2",
+]
+
+
+def run_smoke_ingest(args: argparse.Namespace) -> int:
+    """The streaming-ingest smoke: a 10:1 read/write mix through the
+    ``ingest`` wire op must keep the cuboid cache hot (hit rate >= 90%
+    after the warm-up miss) while every answer stays bit-identical to a
+    cache-less reference session tracking the same writes."""
+    args.port = 0
+    server = _build_server(args)
+
+    reference = SQLSession(_demo_catalog())
+    rounds = 15
+    failures: list[str] = []
+    with server:
+        address = server.address
+        print(f"ingest-smoke: server on {address[0]}:{address[1]}, "
+              f"{rounds} rounds of 1 write + {len(_INGEST_READS)} reads")
+        with QueryClient(*address, timeout=30.0) as client:
+            client.execute(
+                "SELECT d0, d1, d2, SUM(m) FROM FACTS "
+                "GROUP BY CUBE d0, d1, d2")  # warm the cache
+            for i in range(rounds):
+                row = (f"v{i % 8}", f"v{i % 4}", f"v{i % 2}", i)
+                outcome = client.ingest("FACTS", inserts=[row],
+                                        flush=True)
+                if not outcome["flushed"]:
+                    failures.append(f"round {i}: flush did not run")
+                reference.catalog.insert("FACTS", row)
+                for sql in _INGEST_READS:
+                    served = _canonical(client.execute(sql))
+                    if served != _canonical(reference.execute(sql)):
+                        failures.append(f"round {i}: mismatch for {sql}")
+            stats = client.stats()
+    cache_stats = stats.get("cache", {})
+    ingest_stats = stats.get("ingest", {})
+    lookups = cache_stats.get("hits", 0) + cache_stats.get("misses", 0)
+    rate = cache_stats.get("hits", 0) / lookups if lookups else 0.0
+    print(f"ingest-smoke: cache stats {cache_stats}")
+    print(f"ingest-smoke: ingest stats {ingest_stats}")
+    print(f"ingest-smoke: hit rate {rate:.1%}")
+    if cache_stats.get("delta_merged", 0) < rounds:
+        failures.append(
+            f"expected >= {rounds} delta merges, got "
+            f"{cache_stats.get('delta_merged', 0)}")
+    if rate < 0.9:
+        failures.append(f"hit rate {rate:.1%} under the 90% floor -- "
+                        "writes are invalidating instead of merging")
+    for failure in failures[:20]:
+        print(f"ingest-smoke: FAIL {failure}", file=sys.stderr)
+    if len(failures) > 20:
+        print(f"ingest-smoke: ... and {len(failures) - 20} more",
+              file=sys.stderr)
+    if failures:
+        return 1
+    print(f"ingest-smoke: OK -- {rounds} writes delta-merged, hit rate "
+          f"{rate:.1%}, bit-identical answers")
     return 0
 
 
@@ -390,6 +464,15 @@ def main(argv: list[str] | None = None) -> int:
                              "restart on the same --data-dir, and "
                              "require a warm-cache hit with "
                              "bit-identical answers")
+    parser.add_argument("--smoke-ingest", action="store_true",
+                        help="run the streaming-ingest smoke: a 10:1 "
+                             "read/write mix through the ingest op must "
+                             "keep the cache hot (>= 90% hit rate) with "
+                             "bit-identical answers")
+    parser.add_argument("--ingest-max-ops", type=int, default=256,
+                        help="ingest buffer flush threshold (ops)")
+    parser.add_argument("--ingest-max-age", type=float, default=0.5,
+                        help="ingest buffer flush age in seconds")
     parser.add_argument("--smoke-clients", type=int, default=8,
                         help="concurrent clients in --smoke mode")
     parser.add_argument("--smoke-connections", type=int, default=500,
@@ -402,6 +485,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke_crash:
         return run_smoke_crash(args)
+    if args.smoke_ingest:
+        return run_smoke_ingest(args)
     if args.smoke and getattr(args, "asyncio", False):
         return run_smoke_async(args)
     if args.smoke:

@@ -367,6 +367,11 @@ class AsyncQueryServer(QueryServer):
                         or trace.new_trace_id())
             return await self._run_query_async(session, request_id, sql,
                                                trace_id)
+        if op == "ingest":
+            # takes the exclusive lock: keep it off the event loop
+            instrument.record_serve_request(op)
+            return await self._run_ingest_async(request.get("id"),
+                                                request)
         if op == "checkpoint":
             # page I/O: keep it off the event loop
             instrument.record_serve_request(op)
@@ -404,6 +409,34 @@ class AsyncQueryServer(QueryServer):
             # server does (no awaits inside the tracked scope -- the
             # loop thread's pending-record stack must not interleave)
             self._log_shed(sql, trace_id, started, error)
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
+
+    async def _run_ingest_async(self, request_id, request: dict) -> dict:
+        """Async ingest: loop-side admission, executor-side tail (the
+        inherited ``_finish_ingest`` -- write lock + submit/flush)."""
+        started = time.perf_counter()
+        table = request.get("table")
+        if not isinstance(table, str) or not table.strip():
+            return self._error(request_id, ServeError(
+                "ingest op needs a non-empty 'table' string"))
+        from repro.obs import trace
+        trace_id = (self._valid_trace(request.get("trace"))
+                    or trace.new_trace_id())
+        ctx = ExecutionContext(timeout=self.statement_timeout,
+                               memory_budget=self.memory_budget)
+        loop = asyncio.get_running_loop()
+        try:
+            async with self.admission.slot(deadline=ctx.deadline):
+                wait_ms = round(
+                    (time.perf_counter() - started) * 1000.0, 3)
+                return await loop.run_in_executor(
+                    self._executor, self._finish_ingest, request_id,
+                    request, table, trace_id, started, wait_ms)
+        except ReproError as error:
+            self._log_shed(f"INGEST {table.upper()}", trace_id, started,
+                           error)
             response = self._error(request_id, error)
             response["trace"] = trace_id
             return response

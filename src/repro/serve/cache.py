@@ -48,6 +48,7 @@ from __future__ import annotations
 import contextlib
 import copy
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Sequence
 
@@ -57,6 +58,7 @@ from repro.core.grouping import Mask
 from repro.engine.schema import Schema
 from repro.engine.table import Table
 from repro.errors import (
+    DeltaRequiresInvalidationError,
     NotMergeableError,
     ResourceBudgetExceededError,
     ServeError,
@@ -165,7 +167,13 @@ class CuboidCache:
         self._accountant = ExecutionContext()
         self.counters = {"hits": 0, "misses": 0, "bypasses": 0,
                          "admitted": 0, "rejected": 0,
-                         "evicted_space": 0, "evicted_invalidated": 0}
+                         "evicted_space": 0, "evicted_invalidated": 0,
+                         "delta_merged": 0, "delta_invalidated": 0}
+        # (cube -> watched table names) so repeated watch() calls never
+        # stack duplicate mutation listeners; weak keys let a dropped
+        # cube's registration disappear with it
+        self._watched: "weakref.WeakKeyDictionary[Any, set[str]]" = (
+            weakref.WeakKeyDictionary())
 
     @contextlib.contextmanager
     def _locked(self) -> Iterator[None]:
@@ -230,9 +238,130 @@ class CuboidCache:
     def watch(self, cube: Any, table_name: str) -> None:
         """Invalidate ``table_name``'s entries whenever the
         :class:`~repro.maintenance.MaterializedCube` mutates (its base
-        table changes outside SQL DML)."""
+        table changes outside SQL DML).
+
+        Idempotent per (cube, table): re-watching an already-watched
+        pair registers nothing, so one mutation fires exactly one
+        invalidation no matter how many times callers wired it up."""
+        key = table_name.upper()
+        with self._locked():
+            watched = self._watched.setdefault(cube, set())
+            if key in watched:
+                return
+            watched.add(key)
         cube.add_mutation_listener(
-            lambda op: self.invalidate_table(table_name))
+            lambda op: self.invalidate_table(key))
+
+    def apply_delta(self, table_name: str, inserts: Sequence[tuple] = (),
+                    deletes: Sequence[tuple] = (), *,
+                    catalog: Any,
+                    base_version: Optional[int] = None) -> dict[str, int]:
+        """Fold a committed DML batch into every entry over ``table_name``
+        instead of dropping them (Section 6 maintenance at the cache).
+
+        ``inserts``/``deletes`` are raw source rows in the table's
+        schema order; the catalog must already hold the batch, because
+        surviving entries are re-keyed to its *post-batch* versions (the
+        version-keyed source signature is what makes them matchable
+        again).  Per entry the outcome is one of:
+
+        - **merged** -- every aggregate absorbed the delta (insert
+          folds, supported unapplies), the entry stays hot;
+        - **invalidated** -- the entry is delta-ineligible (WHERE /
+          join / table-function sources: delta rows cannot be filtered
+          here) or a delete hit a delete-holistic scratchpad
+          (:class:`~repro.errors.DeltaRequiresInvalidationError`); it
+          is evicted exactly as :meth:`invalidate_table` would.
+
+        ``base_version`` is the table's catalog version *before* the
+        batch was applied.  When given, an entry whose stored version
+        differs is invalidated rather than merged: it missed an earlier
+        batch (a crashed flush, direct table mutation) and folding this
+        delta into it would manufacture a state that never existed.
+
+        Returns ``{"merged": n, "invalidated": m}`` and annotates the
+        active query-log record with ``delta_merged`` so EXPLAIN
+        ANALYZE and the ingest wire op surface the decision.
+        """
+        key = table_name.upper()
+        merged = invalidated = 0
+        with self._locked():
+            with trace.span("cache.delta", table=key,
+                            inserts=len(inserts),
+                            deletes=len(deletes)) as span:
+                for entry_key in list(self._entries):
+                    entry = self._entries.get(entry_key)
+                    if entry is None or all(
+                            name != key for name, _ in entry.source[0]):
+                        continue
+                    if self._merge_delta(key, entry_key, entry, inserts,
+                                         deletes, catalog=catalog,
+                                         base_version=base_version):
+                        merged += 1
+                    else:
+                        invalidated += 1
+                self.counters["delta_merged"] += merged
+                self.counters["delta_invalidated"] += invalidated
+                span.set(merged=merged, invalidated=invalidated)
+        querylog.annotate(delta_merged=merged > 0)
+        return {"merged": merged, "invalidated": invalidated}
+
+    def _delta_eligible(self, entry: CacheEntry) -> bool:
+        """Entries a raw-row delta can be folded into: single-table
+        sources with no WHERE/join/table-function shape (delta rows
+        cannot be predicate-filtered at the cache), answered by an
+        engine that kept its per-cell counts."""
+        tables, where_sig, joins, tf_keys = entry.source
+        if len(tables) != 1 or where_sig or joins or tf_keys:
+            return False
+        return isinstance(getattr(entry.engine, "_counts", None), dict)
+
+    def _merge_delta(self, table_key: str, entry_key: tuple,
+                     entry: CacheEntry,
+                     inserts: Sequence[tuple], deletes: Sequence[tuple],
+                     *, catalog: Any,
+                     base_version: Optional[int] = None) -> bool:
+        """Merge one entry (True) or evict it (False); lock held."""
+        stored_version = dict(entry.source[0]).get(table_key)
+        stale = (base_version is not None
+                 and stored_version != base_version)
+        if stale or not self._delta_eligible(entry):
+            self._evict(entry_key, reason="invalidated")
+            instrument.record_cache_delta("invalidated")
+            return False
+        try:
+            ctx = rctx.current_context()
+            if ctx is None:
+                entry.engine.apply_delta(inserts, deletes)
+            else:
+                # restore the statement's resident count afterwards:
+                # merged cells live on the cache accountant, not the
+                # ingest request's budget
+                with ctx.attempt():
+                    entry.engine.apply_delta(inserts, deletes)
+        except (DeltaRequiresInvalidationError,
+                ResourceBudgetExceededError):
+            self._evict(entry_key, reason="invalidated")
+            instrument.record_cache_delta("invalidated")
+            return False
+        # re-key the entry to the post-batch catalog versions
+        del self._entries[entry_key]
+        self._accountant.release_cells(entry.cells)
+        tables = tuple(
+            (name, catalog.version(name) if name == table_key else version)
+            for name, version in entry.source[0])
+        entry.source = (tables,) + tuple(entry.source[1:])
+        entry.cells = entry.engine.materialized_rows
+        entry.base_rows = max(
+            0, entry.base_rows + len(inserts) - len(deletes))
+        new_key = (entry.source, entry.dim_sigs, entry.agg_sigs)
+        self._entries[new_key] = entry
+        self._accountant.charge_cells(entry.cells)
+        self._enforce_budget(keep=new_key)
+        instrument.set_cache_resident_cells(
+            self._accountant.resident_cells)
+        instrument.record_cache_delta("merged")
+        return True
 
     def stats(self) -> dict:
         with self._locked():
@@ -248,7 +377,8 @@ class CuboidCache:
         with self._locked():
             return (self.counters["admitted"]
                     + self.counters["evicted_space"]
-                    + self.counters["evicted_invalidated"])
+                    + self.counters["evicted_invalidated"]
+                    + self.counters["delta_merged"])
 
     # -- durable checkpointing ---------------------------------------------
 

@@ -91,6 +91,31 @@ class QueryClient:
         self.last_elapsed_ms = response.get("elapsed_ms")
         return protocol.decode_table(response)
 
+    def ingest(self, table: str, *, inserts: Any = (), deletes: Any = (),
+               updates: Any = (), flush: bool = False) -> dict:
+        """Stream DML at the server's ingest op.
+
+        ``inserts``/``deletes`` are iterables of rows, ``updates`` of
+        ``(old_row, new_row)`` pairs.  ``flush=True`` forces the
+        server to apply the batch before replying (read-your-writes
+        regardless of the server's coalescing thresholds).  Returns
+        ``{"table", "buffered", "flushed", "pending"}``."""
+        trace_id = trace.new_trace_id()
+        self.last_trace_id = trace_id
+        response = self._request(
+            "ingest", table=table, trace=trace_id,
+            inserts=protocol.encode_rows(inserts),
+            deletes=protocol.encode_rows(deletes),
+            updates=[[protocol.encode_rows([old])[0],
+                      protocol.encode_rows([new])[0]]
+                     for old, new in updates],
+            flush=flush)
+        self.last_elapsed_ms = response.get("elapsed_ms")
+        return {"table": response.get("table"),
+                "buffered": response.get("buffered"),
+                "flushed": response.get("flushed"),
+                "pending": response.get("pending")}
+
     def ping(self) -> bool:
         return bool(self._request("ping").get("pong"))
 

@@ -33,9 +33,11 @@ from repro.errors import ServeError
 from repro.types import ALL, DataType
 
 __all__ = [
+    "decode_rows",
     "decode_table",
     "decode_value",
     "dump_message",
+    "encode_rows",
     "encode_table",
     "encode_value",
     "parse_message",
@@ -62,6 +64,24 @@ def decode_value(value: Any) -> Any:
     if isinstance(value, dict) and value.get("$") == "ALL":
         return ALL
     return value
+
+
+def encode_rows(rows: Any) -> list:
+    """Bare rows (ingest payloads) to their JSON form, cell by cell."""
+    return [[encode_value(v) for v in row] for row in rows]
+
+
+def decode_rows(payload: Any) -> list[tuple]:
+    """Inverse of :func:`encode_rows`; validates the list-of-rows shape
+    (the ingest op feeds these straight into the catalog)."""
+    if not isinstance(payload, list):
+        raise ServeError("ingest rows must be a list of rows")
+    rows = []
+    for row in payload:
+        if not isinstance(row, (list, tuple)):
+            raise ServeError("each ingest row must be a list of values")
+        rows.append(tuple(decode_value(v) for v in row))
+    return rows
 
 
 def encode_table(table: Table) -> dict:

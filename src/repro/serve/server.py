@@ -38,6 +38,7 @@ from typing import Iterator, Optional
 
 from repro.analysis import locktrack
 from repro.engine.catalog import Catalog
+from repro.maintenance.ingest import StreamIngestor
 from repro.errors import (
     QueryTimeoutError,
     ReproError,
@@ -211,7 +212,10 @@ class QueryServer:
                  memory_budget: Optional[int] = None,
                  slow_query_ms: Optional[float] = None,
                  data_dir: Optional[str] = None,
-                 checkpoint_every: int = 1) -> None:
+                 checkpoint_every: int = 1,
+                 ingest_max_ops: int = 256,
+                 ingest_max_age_s: float = 0.5,
+                 ingest_chaos=None) -> None:
         """``data_dir`` makes the server durable: the serve cache's
         cuboid entries are checkpointed into a
         :class:`~repro.storage.CubeStore` there after queries (every
@@ -229,6 +233,10 @@ class QueryServer:
         self.lock = VersionedRWLock()
         self.admission = AdmissionController(max_inflight=max_inflight,
                                              max_queue=max_queue)
+        self.ingestor = StreamIngestor(self.catalog, self.cache,
+                                       max_ops=ingest_max_ops,
+                                       max_age_s=ingest_max_age_s,
+                                       chaos=ingest_chaos)
         self._listener: Optional[socket.socket] = None
         self._threads: list[threading.Thread] = []
         self._connections: set[socket.socket] = set()
@@ -315,6 +323,8 @@ class QueryServer:
                 self._listener.close()
             except OSError:
                 pass
+        with contextlib.suppress(ReproError):
+            self.ingestor.flush()  # buffered ops must not die with us
         if self.store is not None:
             with contextlib.suppress(ReproError, OSError):
                 self.checkpoint()
@@ -424,6 +434,8 @@ class QueryServer:
             trace_id = (self._valid_trace(request.get("trace"))
                         or trace.new_trace_id())
             return self._run_query(session, request_id, sql, trace_id)
+        if op == "ingest":
+            return self._run_ingest(request_id, request)
         return self._error(request_id,
                            ServeError(f"unknown op {op!r}"))
 
@@ -452,6 +464,7 @@ class QueryServer:
             "catalog_version": self.lock.version,
             "tables": self.catalog.names(),
             "querylog": QUERY_LOG.summary(),
+            "ingest": self.ingestor.snapshot(),
         }
         if self.store is not None:
             stats["storage"] = {**self.store.stats(),
@@ -504,6 +517,88 @@ class QueryServer:
                 "elapsed_ms": round(elapsed_ms, 3),
                 "trace": trace_id}
 
+    @staticmethod
+    def parse_ingest(request: dict) -> tuple[list, list, list]:
+        """Decode an ingest request's row payloads.
+
+        ``inserts`` and ``deletes`` are lists of rows; ``updates`` is a
+        list of ``[old_row, new_row]`` pairs.  Shared with the asyncio
+        front end."""
+        inserts = protocol.decode_rows(request.get("inserts", []))
+        deletes = protocol.decode_rows(request.get("deletes", []))
+        payload = request.get("updates", [])
+        if not isinstance(payload, list):
+            raise ServeError(
+                "ingest updates must be a list of [old, new] row pairs")
+        updates = []
+        for pair in payload:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ServeError(
+                    "each ingest update must be an [old, new] row pair")
+            old, new = protocol.decode_rows(list(pair))
+            updates.append((old, new))
+        return inserts, deletes, updates
+
+    def _run_ingest(self, request_id, request: dict) -> dict:
+        """The ``ingest`` wire op: buffer (and maybe flush) streamed
+        DML through the :class:`StreamIngestor`.  Classified as a
+        write -- it takes an admission slot and the exclusive lock, so
+        backpressure and shedding behave exactly like SQL DML."""
+        started = time.perf_counter()
+        table = request.get("table")
+        if not isinstance(table, str) or not table.strip():
+            return self._error(request_id, ServeError(
+                "ingest op needs a non-empty 'table' string"))
+        trace_id = (self._valid_trace(request.get("trace"))
+                    or trace.new_trace_id())
+        ctx = ExecutionContext(timeout=self.statement_timeout,
+                               memory_budget=self.memory_budget)
+        try:
+            with self.admission.slot(deadline=ctx.deadline):
+                wait_ms = round(
+                    (time.perf_counter() - started) * 1000.0, 3)
+                return self._finish_ingest(request_id, request, table,
+                                           trace_id, started, wait_ms)
+        except ReproError as error:
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
+
+    def _finish_ingest(self, request_id, request: dict, table: str,
+                       trace_id: str, started: float,
+                       wait_ms: float) -> dict:
+        """Admitted tail of the ingest op; the asyncio front end calls
+        this from an executor thread after its own admission."""
+        force_flush = request.get("flush", False)
+        if not isinstance(force_flush, bool):
+            return self._error(request_id, ServeError(
+                "ingest op 'flush' must be a boolean"))
+        try:
+            inserts, deletes, updates = self.parse_ingest(request)
+            n_ops = len(inserts) + len(deletes) + len(updates)
+            statement = f"INGEST {table.upper()} ({n_ops} ops)"
+            with QUERY_LOG.track("ingest", statement=statement,
+                                 trace_id=trace_id):
+                querylog.annotate(admission_wait_ms=wait_ms)
+                with self.lock.write():
+                    outcome = self.ingestor.submit(
+                        table, inserts=inserts, deletes=deletes,
+                        updates=updates)
+                    if force_flush and outcome["flushed"] is None:
+                        outcome["flushed"] = self.ingestor.flush(table)
+        except ReproError as error:
+            response = self._error(request_id, error)
+            response["trace"] = trace_id
+            return response
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._maybe_checkpoint()
+        return {"id": request_id, "ok": True, "table": table.upper(),
+                "buffered": outcome["buffered"],
+                "flushed": outcome["flushed"],
+                "pending": self.ingestor.pending_ops(),
+                "elapsed_ms": round(elapsed_ms, 3),
+                "trace": trace_id}
+
     def _execute_admitted(self, session: SQLSession, sql: str,
                           ctx: ExecutionContext, started: float):
         """Admission + lock + execute, annotating the admission wait
@@ -527,6 +622,12 @@ class QueryServer:
         """The admitted core every front end shares: classify, take the
         versioned RW lock, execute.  The asyncio server calls this from
         an executor thread after its own (async) admission."""
+        if self.ingestor.pending_ops():
+            # read-your-writes: a query never observes the catalog
+            # behind a buffered ingest batch -- flush first, under the
+            # exclusive lock like any write
+            with self.lock.write():
+                self.ingestor.flush()
         guard = (self.lock.write()
                  if classify_statement(sql) == "write"
                  else self.lock.read())

@@ -25,6 +25,9 @@ meta-commands start with a backslash:
                           (python -m repro.serve; see docs/SERVING.md)
     \\checkpoint          force a durable checkpoint on the connected
                           server's --data-dir (see docs/STORAGE.md)
+    \\ingest <tbl> <rows>  stream rows (comma-separated values, NULL ok)
+                          through the connected server's delta-merge
+                          ingest op (see docs/SERVING.md)
     \\disconnect          back to the local in-process session
     \\quit                exit
 
@@ -67,6 +70,18 @@ _DATASETS: dict[str, Callable] = {
 }
 
 _HELP = __doc__.split("Run with")[1]
+
+
+def _ingest_value(text: str):
+    """One ``\\ingest`` cell: int, then float, else string; NULL -> None."""
+    if text.upper() == "NULL":
+        return None
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
 
 
 class Shell:
@@ -277,6 +292,24 @@ class Shell:
             return (f"checkpointed: epoch {stats.get('epoch')}, "
                     f"{stats.get('pages')} page(s), "
                     f"wal at byte {stats.get('wal_position')}")
+        if name == "\\ingest":
+            if self.remote is None:
+                return ("\\ingest streams rows at a query server; "
+                        "\\connect first (docs/SERVING.md)")
+            if len(parts) < 3:
+                return "usage: \\ingest <table> <v1,v2,...> [row ...]"
+            rows = [tuple(_ingest_value(cell) for cell in chunk.split(","))
+                    for chunk in parts[2:]]
+            try:
+                outcome = self.remote.ingest(parts[1], inserts=rows,
+                                             flush=True)
+            except ReproError as error:
+                return f"error: {error}"
+            flushed = outcome.get("flushed") or {}
+            return (f"ingested {len(rows)} row(s) into "
+                    f"{outcome.get('table')}: "
+                    f"{flushed.get('merged', 0)} cuboid(s) delta-merged, "
+                    f"{flushed.get('invalidated', 0)} invalidated")
         if name == "\\disconnect":
             if self.remote is None:
                 return "not connected"

@@ -123,6 +123,18 @@ def _trigger_delete_requires_recompute():
     cube.delete(("p", 2))
 
 
+def _trigger_delta_requires_invalidation():
+    from repro.compute.view_selection import PartialCube
+    from repro.engine.groupby import AggregateSpec
+    from repro.engine.table import Table
+    from repro.aggregates import Min
+    cube = PartialCube(
+        Table([("a", "STRING"), ("x", "INTEGER")], [("p", 1), ("p", 2)]),
+        ["a"], [AggregateSpec(Min(), "x", "lo")],
+        materialize=[1], universe=[1])
+    cube.apply_delta((), [("p", 1)])  # MIN extreme departs: holistic
+
+
 def _run_sql(sql):
     from repro.engine.catalog import Catalog
     from repro.sql.executor import SQLSession
@@ -302,6 +314,8 @@ TRIGGERS = {
     errors.CLIUsageError: _trigger_cli_usage_error,
     errors.MaintenanceError: _trigger_maintenance_error,
     errors.DeleteRequiresRecomputeError: _trigger_delete_requires_recompute,
+    errors.DeltaRequiresInvalidationError:
+        _trigger_delta_requires_invalidation,
     errors.SQLSyntaxError: _trigger_sql_syntax,
     errors.SQLPlanError: _trigger_sql_plan,
     errors.SQLExecutionError: _trigger_sql_execution,

@@ -162,6 +162,97 @@ class TestUpdate:
         assert mc.value(ALL, ALL, ALL) == 560
         assert mc.stats.updates == 1
 
+    def test_measure_only_update_stays_in_place(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        mc.update(("Chevy", 1994, "black", 50),
+                  ("Chevy", 1994, "black", 60))
+        # in-place: every affected cell swaps measures, no count churn,
+        # no constituent insert/delete recorded
+        assert mc.stats.inserts == 0 and mc.stats.deletes == 0
+        assert mc.stats.cells_updated == 8  # 2^3 grouping sets
+        assert list(mc.stats.per_operation_touched) == [8]
+        mutated = Table(base.schema,
+                        [("Chevy", 1994, "black", 60) if row[3] == 50
+                         and row[0] == "Chevy" and row[1] == 1994
+                         else row for row in base.rows])
+        assert mc.as_table().equals_bag(fresh_cube(mutated))
+
+    def test_dimension_change_routes_as_delete_plus_insert(self, base):
+        # moving the row between cells must not take the in-place path:
+        # the old coordinate loses its only contributor and empties
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MIN", "Units", "lo")])
+        mc.update(("Ford", 1994, "white", 10), ("Ford", 1996, "white", 10))
+        assert mc.stats.updates == 1
+        assert mc.stats.inserts == 1 and mc.stats.deletes == 1
+        assert mc.value("Ford", 1994, "white") is None  # cell evicted
+        assert mc.value("Ford", 1996, "white") == 10
+        mutated = Table(base.schema,
+                        [("Ford", 1996, "white", 10)
+                         if row == ("Ford", 1994, "white", 10)
+                         else row for row in base.rows])
+        expected = cube_op(mutated, ["Model", "Year", "Color"],
+                           [agg("MIN", "Units", "lo")])
+        assert mc.as_table().equals_bag(expected)
+
+    def test_in_place_update_of_min_extreme_recomputes(self, base):
+        # 10 is the MIN of every cell containing it: unapply declines
+        # (delete-holistic), so those cells rebuild from retained base
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("MIN", "Units", "lo")])
+        mc.update(("Ford", 1994, "white", 10), ("Ford", 1994, "white", 99))
+        assert mc.stats.cells_recomputed >= 1
+        assert mc.value(ALL, ALL, ALL) == 40  # new global MIN
+        mutated = Table(base.schema,
+                        [("Ford", 1994, "white", 99)
+                         if row == ("Ford", 1994, "white", 10)
+                         else row for row in base.rows])
+        expected = cube_op(mutated, ["Model", "Year", "Color"],
+                           [agg("MIN", "Units", "lo")])
+        assert mc.as_table().equals_bag(expected)
+
+    def test_update_of_missing_row_raises(self, base):
+        mc = MaterializedCube(base, ["Model", "Year", "Color"],
+                              [agg("SUM", "Units", "u")])
+        with pytest.raises(MaintenanceError):
+            mc.update(("Ghost", 1994, "white", 1),
+                      ("Ghost", 1994, "white", 2))
+        # rolled back: still identical to the untouched recompute
+        assert mc.as_table().equals_bag(fresh_cube(base))
+
+    @pytest.mark.parametrize("old,new", [
+        (("Ford", 1994, "white", 10), ("Ford", 1994, "white", 99)),
+        (("Ford", 1994, "white", 10), ("Ford", 1996, "white", 10)),
+    ])
+    def test_update_replays_as_its_delete_insert_leaves(self, base,
+                                                        old, new):
+        # either routing journals the same leaves, so WAL replay (which
+        # only knows insert/delete) converges to the identical cube
+        live = MaterializedCube(base, ["Model", "Year", "Color"],
+                                [agg("MIN", "Units", "lo"),
+                                 agg("SUM", "Units", "u")])
+        live.update(old, new)
+        replayed = MaterializedCube(base, ["Model", "Year", "Color"],
+                                    [agg("MIN", "Units", "lo"),
+                                     agg("SUM", "Units", "u")])
+        replayed.apply_replay([("delete", old), ("insert", new)])
+        assert live.as_table().equals_bag(replayed.as_table())
+
+
+class TestStatsWindow:
+    def test_per_operation_trail_is_bounded(self, base):
+        from repro.maintenance.propagation import PER_OPERATION_WINDOW
+        mc = MaterializedCube(base, ["Model"],
+                              [agg("SUM", "Units", "u")])
+        for i in range(PER_OPERATION_WINDOW + 50):
+            mc.insert(("Chevy", 1994, "red", 1))
+        assert mc.stats.inserts == PER_OPERATION_WINDOW + 50  # exact
+        trail = mc.stats.per_operation_touched
+        assert len(trail) == PER_OPERATION_WINDOW  # detail is a ring
+        assert mc.stats.summary()  # reporting still works
+        assert mc.stats.as_dict()["inserts"] == PER_OPERATION_WINDOW + 50
+
 
 class TestTriggers:
     def test_catalog_keeps_cube_fresh(self, base):

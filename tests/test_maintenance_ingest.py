@@ -1,0 +1,230 @@
+"""Unit tests for :class:`repro.maintenance.StreamIngestor`: buffering
+thresholds, backpressure, dropped-op accounting, UPDATE decomposition,
+cache delta hand-off, and the ``ingest_flush`` crash seam (the catalog
+holds the batch, the cache fences on versions)."""
+
+import pytest
+
+from repro import agg, cube as cube_op
+from repro.core.grouping import cube_sets
+from repro.engine.catalog import Catalog
+from repro.engine.groupby import AggregateSpec
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.aggregates import Sum
+from repro.errors import (
+    CatalogError,
+    CrashPointError,
+    MaintenanceError,
+    ServerOverloadedError,
+)
+from repro.maintenance import StreamIngestor
+from repro.resilience import ChaosInjector
+from repro.serve import CuboidCache
+
+SCHEMA = Schema([Column("d0"), Column("d1"), Column("m")])
+ROWS = [("a", "p", 1), ("a", "q", 2), ("b", "p", 3), ("b", "q", 4)]
+DIMS = ("d0", "d1")
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register("T", Table(SCHEMA, list(ROWS)))
+    return catalog
+
+
+def warm(cache, catalog):
+    """Admit the full CUBE over T at the catalog's current version."""
+    version = catalog.version("T")
+    return cache.serve(
+        table=catalog.get("T"),
+        source=((("T", version),), None, (), ()),
+        dim_items=list(DIMS),
+        dim_sigs=DIMS,
+        dim_names=DIMS,
+        specs=[AggregateSpec(Sum(), "m", "s")],
+        agg_sigs=(("SUM", "m", False, ()),),
+        agg_names=("s",),
+        masks=tuple(cube_sets(len(DIMS))))
+
+
+def canon(table):
+    return sorted(repr(row) for row in table.rows)
+
+
+class TestBuffering:
+    def test_below_threshold_buffers_without_flushing(self):
+        ingestor = StreamIngestor(make_catalog(), max_ops=10, max_age_s=60)
+        outcome = ingestor.submit("t", inserts=[("c", "p", 5)])
+        assert outcome == {"buffered": 1, "flushed": None}
+        assert ingestor.pending_ops() == 1
+
+    def test_reaching_max_ops_flushes(self):
+        catalog = make_catalog()
+        ingestor = StreamIngestor(catalog, max_ops=2, max_age_s=60)
+        ingestor.submit("t", inserts=[("c", "p", 5)])
+        outcome = ingestor.submit("t", inserts=[("c", "q", 6)])
+        assert outcome["flushed"] == {"inserts": 2, "deletes": 0,
+                                      "updates": 0, "merged": 0,
+                                      "invalidated": 0}
+        assert ingestor.pending_ops() == 0
+        assert len(catalog.get("T").rows) == len(ROWS) + 2
+        assert catalog.version("T") == 3  # register=1, +1 per insert
+
+    def test_age_threshold_flushes(self):
+        catalog = make_catalog()
+        ingestor = StreamIngestor(catalog, max_ops=100, max_age_s=0.0)
+        outcome = ingestor.submit("t", inserts=[("c", "p", 5)])
+        assert outcome["flushed"] is not None
+        assert ingestor.pending_ops() == 0
+
+    def test_explicit_flush_covers_every_table(self):
+        catalog = make_catalog()
+        catalog.register("U", Table(SCHEMA, list(ROWS)))
+        ingestor = StreamIngestor(catalog, max_ops=100, max_age_s=60)
+        ingestor.submit("t", inserts=[("c", "p", 5)])
+        ingestor.submit("u", inserts=[("c", "p", 5), ("c", "q", 6)])
+        totals = ingestor.flush()
+        assert totals["inserts"] == 3
+        assert ingestor.pending_ops() == 0
+
+    def test_unknown_table_rejected_before_buffering(self):
+        ingestor = StreamIngestor(make_catalog())
+        with pytest.raises(CatalogError):
+            ingestor.submit("nope", inserts=[("c", "p", 5)])
+        assert ingestor.pending_ops() == 0
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(MaintenanceError):
+            StreamIngestor(make_catalog(), max_ops=0)
+        with pytest.raises(MaintenanceError):
+            StreamIngestor(make_catalog(), max_ops=10, max_buffer=5)
+
+
+class TestBackpressure:
+    def test_full_buffer_sheds_not_buffers(self):
+        ingestor = StreamIngestor(make_catalog(), max_ops=3,
+                                  max_age_s=60, max_buffer=3)
+        ingestor.submit("t", inserts=[("c", "p", 5), ("c", "q", 6)])
+        with pytest.raises(ServerOverloadedError):
+            ingestor.submit("t", inserts=[("d", "p", 7), ("d", "q", 8)])
+        # the rejected request left no partial state behind
+        assert ingestor.pending_ops() == 2
+
+
+class TestApplySemantics:
+    def test_missing_delete_and_update_rows_are_dropped(self):
+        catalog = make_catalog()
+        ingestor = StreamIngestor(catalog, max_ops=100, max_age_s=60)
+        ingestor.submit("t", deletes=[("no", "such", 0)],
+                        updates=[(("also", "missing", 0),
+                                  ("c", "p", 5))])
+        totals = ingestor.flush("t")
+        assert totals == {"inserts": 0, "deletes": 0, "updates": 0,
+                          "merged": 0, "invalidated": 0}
+        assert ingestor.stats["ops_dropped"] == 2
+        assert canon(catalog.get("T")) == canon(Table(SCHEMA, list(ROWS)))
+
+    def test_update_decomposes_into_delete_plus_insert(self):
+        catalog = make_catalog()
+        ingestor = StreamIngestor(catalog, max_ops=100, max_age_s=60)
+        ingestor.submit("t", updates=[(("a", "p", 1), ("a", "p", 9))])
+        totals = ingestor.flush("t")
+        assert totals["updates"] == 1
+        rows = set(catalog.get("T").rows)
+        assert ("a", "p", 9) in rows and ("a", "p", 1) not in rows
+        assert ingestor.stats["updates_applied"] == 1
+
+    def test_without_cache_is_a_plain_batched_applier(self):
+        catalog = make_catalog()
+        ingestor = StreamIngestor(catalog, max_ops=100, max_age_s=60)
+        ingestor.submit("t", inserts=[("c", "p", 5)])
+        totals = ingestor.flush("t")
+        assert totals["merged"] == 0 and totals["invalidated"] == 0
+
+    def test_snapshot_reports_stats_and_depth(self):
+        ingestor = StreamIngestor(make_catalog(), max_ops=100,
+                                  max_age_s=60)
+        ingestor.submit("t", inserts=[("c", "p", 5)])
+        snap = ingestor.snapshot()
+        assert snap["pending_ops"] == 1
+        assert snap["ops_buffered"] == 1
+        assert snap["flushes"] == 0
+
+
+class TestCacheDelta:
+    def test_flush_merges_into_warm_cache(self):
+        catalog = make_catalog()
+        cache = CuboidCache()
+        warm(cache, catalog)
+        ingestor = StreamIngestor(catalog, cache, max_ops=1,
+                                  max_age_s=60)
+        outcome = ingestor.submit("t", inserts=[("c", "p", 5)])
+        assert outcome["flushed"]["merged"] == 1
+        assert ingestor.stats["entries_merged"] == 1
+        # the merged entry answers under the new version -- as a hit --
+        # and matches a cold recompute over the mutated base
+        result = warm(cache, catalog)
+        assert cache.stats()["hits"] == 1
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(result) == canon(reference)
+
+    def test_min_extreme_delete_invalidates_entry(self):
+        catalog = make_catalog()
+        cache = CuboidCache()
+        warm(cache, catalog)
+        ingestor = StreamIngestor(catalog, cache, max_ops=100,
+                                  max_age_s=60)
+        # SUM unapplies fine, but the row is gone from the base either
+        # way; deleting it must keep cache and catalog consistent
+        ingestor.submit("t", deletes=[("a", "p", 1)])
+        totals = ingestor.flush("t")
+        assert totals["merged"] + totals["invalidated"] == 1
+        result = warm(cache, catalog)
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(result) == canon(reference)
+
+
+class TestCrashSeam:
+    def test_crash_mid_flush_leaves_catalog_and_cache_consistent(self):
+        catalog = make_catalog()
+        cache = CuboidCache()
+        warm(cache, catalog)
+        chaos = ChaosInjector(crash_sites=("ingest_flush",))
+        ingestor = StreamIngestor(catalog, cache, max_ops=100,
+                                  max_age_s=60, chaos=chaos)
+        ingestor.submit("t", inserts=[("c", "p", 5)])
+        with pytest.raises(CrashPointError):
+            ingestor.flush("t")
+        # the catalog holds the batch (it was applied before the seam)
+        assert ("c", "p", 5) in set(catalog.get("T").rows)
+        # and the finally-block still delivered the delta to the cache,
+        # so no entry is left keyed to the pre-batch version
+        for entry in cache._entries.values():
+            assert dict(entry.source[0])["T"] == catalog.version("T")
+        result = warm(cache, catalog)
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(result) == canon(reference)
+
+    def test_recovery_after_crash_that_skipped_the_cache(self):
+        # simulate the harder interleaving: the process dies before the
+        # finally-block runs (kill -9), so the cache still holds an
+        # entry keyed to the pre-batch version.  The base_version fence
+        # must invalidate it on the next batch instead of merging.
+        catalog = make_catalog()
+        cache = CuboidCache()
+        warm(cache, catalog)  # entry at version 1
+        catalog.insert("T", ("c", "p", 5))  # the batch the cache missed
+        ingestor = StreamIngestor(catalog, cache, max_ops=100,
+                                  max_age_s=60)
+        ingestor.submit("t", inserts=[("c", "q", 6)])
+        totals = ingestor.flush("t")
+        assert totals == {"inserts": 1, "deletes": 0, "updates": 0,
+                          "merged": 0, "invalidated": 1}
+        result = warm(cache, catalog)
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(result) == canon(reference)

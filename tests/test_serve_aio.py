@@ -186,6 +186,46 @@ class TestAsyncServerEndToEnd:
 
         run(scenario())
 
+    def test_ingest_op_merges_into_the_cache(self):
+        sql = "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY CUBE d0, d1"
+
+        async def scenario():
+            from repro.serve.protocol import decode_table, encode_rows
+            server = AsyncQueryServer(make_catalog())
+            await server.start_async()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *server.address)
+                await _call(reader, writer,
+                            {"id": 1, "op": "query", "sql": sql})
+                reply = await _call(reader, writer, {
+                    "id": 2, "op": "ingest", "table": "FACTS",
+                    "inserts": encode_rows([("zz", "zz", "zz", 7)]),
+                    "flush": True})
+                assert reply["ok"], reply
+                assert reply["trace"]
+                assert reply["flushed"]["merged"] >= 1
+                warm = await _call(reader, writer,
+                                   {"id": 3, "op": "query", "sql": sql})
+                stats = await _call(reader, writer,
+                                    {"id": 4, "op": "stats"})
+                assert stats["stats"]["cache"]["hits"] >= 1
+                assert stats["stats"]["ingest"]["inserts_applied"] == 1
+                bad = await _call(reader, writer, {
+                    "id": 5, "op": "ingest", "table": "NOPE",
+                    "inserts": encode_rows([("a", "b", "c", 1)])})
+                assert not bad["ok"]
+                assert bad["error"]["type"] == "CatalogError"
+                writer.close()
+                return decode_table(warm).rows
+            finally:
+                await server.shutdown_async()
+
+        rows = run(scenario())
+        finest = {row[:2]: row[2] for row in rows
+                  if "zz" in row[:2]}
+        assert finest[("zz", "zz")] == 7
+
     def test_concurrent_connections_share_the_cache(self):
         sql = "SELECT d0, SUM(m) FROM FACTS GROUP BY CUBE d0, d1"
 

@@ -7,9 +7,10 @@ both eager (invalidate_table, MaterializedCube watch) and implicit
 import pytest
 
 from repro import agg, cube as cube_op
-from repro.aggregates import Median, Sum
+from repro.aggregates import Median, Min, Sum
 from repro.core.grouping import cube_sets, names_to_mask
 from repro.data import SyntheticSpec, synthetic_table
+from repro.engine.catalog import Catalog
 from repro.engine.groupby import AggregateSpec
 from repro.maintenance import MaterializedCube
 from repro.serve import CachePolicy, CuboidCache
@@ -179,6 +180,33 @@ class TestInvalidation:
         assert len(cache) == 0
         assert cache.stats()["evicted_invalidated"] == 1
 
+    def test_repeated_watch_is_idempotent(self, fact):
+        # regression: every watch() used to stack another listener, so
+        # the N-th re-watch made one mutation fire N invalidations --
+        # and re-admitted entries between mutations were wiped N times
+        cache = CuboidCache()
+        cube = MaterializedCube(fact, ["d0", "d1"],
+                                [agg("SUM", "m", "s")])
+        for _ in range(5):
+            cache.watch(cube, "T")
+        assert len(cube._mutation_listeners) == 1
+        request(cache, fact, source=source_for("T"))
+        cube.insert(("v0", "v0", "v0", 5))
+        assert cache.stats()["evicted_invalidated"] == 1
+
+    def test_watch_different_tables_both_registered(self, fact):
+        cache = CuboidCache()
+        cube = MaterializedCube(fact, ["d0", "d1"],
+                                [agg("SUM", "m", "s")])
+        cache.watch(cube, "T")
+        cache.watch(cube, "U")
+        cache.watch(cube, "t")  # same table, case-insensitive: no-op
+        assert len(cube._mutation_listeners) == 2
+        request(cache, fact, source=source_for("T"))
+        request(cache, fact, source=source_for("U"))
+        cube.insert(("v0", "v0", "v0", 5))
+        assert len(cache) == 0
+
     def test_watch_apply_batch_notifies_once(self, fact):
         cache = CuboidCache()
         cube = MaterializedCube(fact, ["d0", "d1"],
@@ -193,3 +221,132 @@ class TestInvalidation:
         # only the batch itself notifies
         assert seen == ["batch"]
         assert len(cache) == 0
+
+
+class TestApplyDelta:
+    """Streamed DML folds into cached entries instead of dropping them
+    (the streaming-ingest tentpole): merge when every aggregate absorbs
+    the delta, invalidate when the entry is ineligible, stale, or a
+    delete hits a delete-holistic scratchpad."""
+
+    def setup_entry(self, fact, cache, **kwargs):
+        catalog = Catalog()
+        catalog.register("T", fact)
+        request(cache, fact, source=source_for("T", catalog.version("T")),
+                **kwargs)
+        assert len(cache) == 1
+        return catalog
+
+    def test_merge_keeps_entry_hot_and_rekeys_to_new_version(self, fact):
+        cache = CuboidCache()
+        catalog = self.setup_entry(fact, cache)
+        base_version = catalog.version("T")
+        row = ("v0", "v1", "v0", 42)
+        catalog.insert("T", row)
+        outcome = cache.apply_delta("T", [row], (), catalog=catalog,
+                                    base_version=base_version)
+        assert outcome == {"merged": 1, "invalidated": 0}
+        assert cache.stats()["delta_merged"] == 1
+        # the entry now answers under the post-batch version -- a hit,
+        # not a rebuild -- and matches a cold recompute
+        warm = request(cache, fact,
+                       source=source_for("T", catalog.version("T")))
+        assert cache.stats()["hits"] == 1
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(warm) == canon(reference)
+
+    def test_delete_and_update_rows_merge(self, fact):
+        cache = CuboidCache()
+        catalog = self.setup_entry(fact, cache)
+        base_version = catalog.version("T")
+        victim = fact.rows[0]
+        replacement = ("v1", "v1", "v1", 7)
+        assert catalog.delete("T", victim)
+        catalog.insert("T", replacement)
+        outcome = cache.apply_delta("T", [replacement], [victim],
+                                    catalog=catalog,
+                                    base_version=base_version)
+        assert outcome["merged"] == 1
+        warm = request(cache, fact,
+                       source=source_for("T", catalog.version("T")))
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("SUM", "m", "s")])
+        assert canon(warm) == canon(reference)
+
+    def test_where_filtered_entry_invalidates(self, fact):
+        # delta rows cannot be predicate-filtered at the cache, so an
+        # entry whose source carries a WHERE shape must be dropped
+        cache = CuboidCache()
+        filtered = ((("T", 1),), "d0 = 'v0'", (), ())
+        catalog = Catalog()
+        catalog.register("T", fact)
+        request(cache, fact, source=filtered)
+        row = ("v0", "v1", "v0", 42)
+        catalog.insert("T", row)
+        outcome = cache.apply_delta("T", [row], (), catalog=catalog,
+                                    base_version=1)
+        assert outcome == {"merged": 0, "invalidated": 1}
+        assert len(cache) == 0
+        assert cache.stats()["delta_invalidated"] == 1
+
+    def test_stale_entry_version_fence_invalidates(self, fact):
+        # the entry missed an earlier batch (crashed flush): merging
+        # this one would manufacture a state that never existed
+        cache = CuboidCache()
+        catalog = self.setup_entry(fact, cache)  # entry at version 1
+        catalog.insert("T", ("v0", "v0", "v0", 1))  # unseen: version 2
+        base_version = catalog.version("T")
+        row = ("v0", "v1", "v0", 42)
+        catalog.insert("T", row)
+        outcome = cache.apply_delta("T", [row], (), catalog=catalog,
+                                    base_version=base_version)
+        assert outcome == {"merged": 0, "invalidated": 1}
+        assert len(cache) == 0
+
+    def test_min_extreme_delete_invalidates_not_merges(self, fact):
+        cache = CuboidCache()
+        catalog = Catalog()
+        catalog.register("T", fact)
+        request(cache, fact, source=source_for("T", 1),
+                specs=[AggregateSpec(Min(), "m", "lo")],
+                sigs=[("MIN", "m", False, ())], agg_names=("lo",))
+        extreme = min(fact.rows, key=lambda row: row[3])
+        assert catalog.delete("T", extreme)
+        outcome = cache.apply_delta("T", (), [extreme], catalog=catalog,
+                                    base_version=1)
+        assert outcome == {"merged": 0, "invalidated": 1}
+        # the next request recomputes from the mutated base, correctly
+        cold = request(cache, catalog.get("T"),
+                       source=source_for("T", catalog.version("T")),
+                       specs=[AggregateSpec(Min(), "m", "lo")],
+                       sigs=[("MIN", "m", False, ())], agg_names=("lo",))
+        reference = cube_op(catalog.get("T"), list(DIMS),
+                            [agg("MIN", "m", "lo")])
+        assert canon(cold) == canon(reference)
+
+    def test_unrelated_tables_untouched(self, fact):
+        cache = CuboidCache()
+        catalog = Catalog()
+        catalog.register("T", fact)
+        request(cache, fact, source=source_for("T", 1))
+        request(cache, fact, source=source_for("U", 1))
+        row = ("v0", "v1", "v0", 42)
+        catalog.insert("T", row)
+        outcome = cache.apply_delta("T", [row], (), catalog=catalog,
+                                    base_version=1)
+        assert outcome["merged"] == 1
+        assert len(cache) == 2  # U's entry untouched
+
+    def test_accounting_balances_through_merge_and_clear(self, fact):
+        cache = CuboidCache()
+        catalog = self.setup_entry(fact, cache)
+        row = ("v7", "v3", "v1", 42)  # new coordinates: cells grow
+        catalog.insert("T", row)
+        cache.apply_delta("T", [row], (), catalog=catalog,
+                          base_version=1)
+        entry = next(iter(cache._entries.values()))
+        assert cache.stats()["resident_cells"] == entry.cells
+        assert entry.cells == entry.engine.materialized_rows
+        cache.clear()
+        assert cache.stats()["resident_cells"] == 0

@@ -87,6 +87,46 @@ class TestBudgetPressure:
         assert cache.stats()["entries"] == 1
 
 
+class TestIngestCrash:
+    def test_crash_mid_flush_keeps_server_consistent(self,
+                                                     cold_reference):
+        """Kill the ingest flush at the ``ingest_flush`` seam -- after
+        the catalog applied the batch, before the cache delta-merge
+        completed the happy path.  The op errors back to the client,
+        but the server must stay consistent: no cached entry may keep
+        answering from the pre-batch version, and later reads must
+        equal a cold recompute over base+batch."""
+        from repro.errors import CrashPointError
+        from repro.serve import QueryClient, QueryServer
+
+        catalog = Catalog()
+        catalog.register("FACTS", synthetic_table(SPEC))
+        chaos = ChaosInjector(seed=CHAOS_SEED,
+                              crash_sites=("ingest_flush",))
+        with QueryServer(catalog, ingest_chaos=chaos) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(CUBE_SQL)  # warm the cache
+                with pytest.raises(CrashPointError):
+                    client.ingest("FACTS",
+                                  inserts=[("zz", "zz", "zz", 3)],
+                                  flush=True)
+                assert chaos.injected["crash_point"] >= 1
+                # the batch reached the catalog before the crash
+                rows = client.execute(
+                    "SELECT d0, SUM(m) FROM FACTS WHERE d0 = 'zz' "
+                    "GROUP BY d0").rows
+                assert rows == [("zz", 3)]
+                result = client.execute(CUBE_SQL)
+                stats = client.stats()
+        reference = make_session()
+        reference.catalog.insert("FACTS", ("zz", "zz", "zz", 3))
+        assert canon(result) == canon(reference.execute(CUBE_SQL))
+        # no stale entry survived: whatever the cache kept was either
+        # delta-merged to the post-batch version or invalidated
+        assert stats["cache"]["delta_merged"] \
+            + stats["cache"]["delta_invalidated"] >= 1
+
+
 class TestSlowNode:
     def test_slow_parallel_recompute_matches_cached_answer(
             self, cold_reference):

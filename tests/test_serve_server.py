@@ -12,6 +12,7 @@ import pytest
 from repro.data import SyntheticSpec, synthetic_table
 from repro.engine.catalog import Catalog
 from repro.errors import (
+    CatalogError,
     QueryTimeoutError,
     ServeError,
     ServerOverloadedError,
@@ -243,6 +244,87 @@ class TestServerEndToEnd:
             QueryClient(*address, timeout=0.5)
 
 
+class TestIngestOp:
+    CUBE_SQL = "SELECT d0, d1, SUM(m) FROM FACTS GROUP BY CUBE d0, d1"
+
+    def test_ingest_merges_instead_of_invalidating(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.execute(self.CUBE_SQL)  # warm the cache
+                outcome = client.ingest(
+                    "FACTS", inserts=[("zz", "zz", "zz", 7)], flush=True)
+                assert outcome["flushed"]["merged"] >= 1
+                assert outcome["pending"] == 0
+                result = client.execute(self.CUBE_SQL)
+                stats = client.stats()
+        # the warm entry survived the write: hit, not rebuild
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["delta_merged"] >= 1
+        assert stats["ingest"]["flushes"] >= 1
+        finest = {row[:2]: row[2] for row in result.rows
+                  if ALL not in row[:2]}
+        assert finest[("zz", "zz")] == 7
+
+    def test_buffered_ingest_is_read_your_writes(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                outcome = client.ingest(
+                    "FACTS", inserts=[("zz", "zz", "zz", 7)])
+                assert outcome["flushed"] is None
+                assert outcome["pending"] == 1
+                # the query fence flushes the buffer before reading
+                rows = client.execute(
+                    "SELECT d0, SUM(m) FROM FACTS WHERE d0 = 'zz' "
+                    "GROUP BY d0").rows
+                assert rows == [("zz", 7)]
+                assert client.ingest("FACTS")["pending"] == 0
+
+    def test_updates_and_deletes_round_trip(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.ingest("FACTS",
+                              inserts=[("zz", "zz", "zz", 7)],
+                              flush=True)
+                outcome = client.ingest(
+                    "FACTS",
+                    updates=[(("zz", "zz", "zz", 7),
+                              ("zz", "zz", "zz", 9))],
+                    flush=True)
+                assert outcome["flushed"]["updates"] == 1
+                rows = client.execute(
+                    "SELECT d0, SUM(m) FROM FACTS WHERE d0 = 'zz' "
+                    "GROUP BY d0").rows
+                assert rows == [("zz", 9)]
+                client.ingest("FACTS",
+                              deletes=[("zz", "zz", "zz", 9)],
+                              flush=True)
+                rows = client.execute(
+                    "SELECT d0, SUM(m) FROM FACTS WHERE d0 = 'zz' "
+                    "GROUP BY d0").rows
+                assert rows == []
+
+    def test_invalid_payloads_error_and_connection_survives(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                with pytest.raises(CatalogError):
+                    client.ingest("NOPE", inserts=[("a", 1)])
+                with pytest.raises(ServeError):
+                    client._request("ingest", table="FACTS",
+                                    inserts="not-a-list")
+                with pytest.raises(ServeError):
+                    client._request("ingest", table=42)
+                assert client.ping()
+
+    def test_ingest_appears_in_stats(self):
+        with QueryServer(make_catalog()) as server:
+            with QueryClient(*server.address) as client:
+                client.ingest("FACTS", inserts=[("zz", "zz", "zz", 7)],
+                              flush=True)
+                stats = client.stats()
+        assert stats["ingest"]["inserts_applied"] == 1
+        assert stats["ingest"]["pending_ops"] == 0
+
+
 class TestShellConnect:
     def test_connect_run_disconnect(self):
         with QueryServer(make_catalog()) as server:
@@ -258,6 +340,21 @@ class TestShellConnect:
             assert "disconnected" in shell._meta("\\disconnect")
             assert shell.prompt == "cube=> "
             assert shell._meta("\\disconnect") == "not connected"
+
+    def test_ingest_meta_command(self):
+        with QueryServer(make_catalog()) as server:
+            host, port = server.address
+            shell = Shell()
+            shell._meta(f"\\connect {host}:{port}")
+            assert "usage" in shell._meta("\\ingest")
+            out = shell._meta("\\ingest FACTS zz,zz,zz,5 zz,zz,zz,3")
+            assert "ingested 2 row(s) into FACTS" in out
+            result = shell.handle_line(
+                "SELECT d0, SUM(m), COUNT(*) FROM FACTS "
+                "WHERE d0 = 'zz' GROUP BY d0;")
+            assert "8" in result and "2" in result
+            shell._meta("\\disconnect")
+        assert "connect first" in Shell()._meta("\\ingest FACTS a,b,c,1")
 
     def test_connect_usage_and_refused(self):
         shell = Shell()

@@ -1,0 +1,237 @@
+"""Bit-identity suite for delta-cube maintenance (satellite of the
+streaming-ingest PR): for every registry aggregate,
+``PartialCube.apply_delta(inserts, deletes)`` must either
+
+- **merge** and finalize identically (repr-level) to a cold
+  ``PartialCube`` built over base+delta, or
+- **decline** with :class:`DeltaRequiresInvalidationError` *before any
+  state changed* (the serve cache then invalidates the entry), so a
+  declined delta never leaves a half-merged cube behind.
+
+The Welford-backed variance family (VAR/VARIANCE/STDDEV/STDEV) is
+algebraically exact but floating-point association differs between the
+delta path and a cold rebuild (the last ULP of a coarse cell can
+move); those four assert exact-or-1e-9-relative instead of repr
+equality.  Everything else -- including NULL and NaN delta rows, empty
+batches, emptied cells, and the delete-holistic MIN-extreme case --
+must be exact.
+"""
+
+import math
+
+import pytest
+
+from repro.aggregates.registry import default_registry
+from repro.compute.view_selection import PartialCube
+from repro.engine.groupby import AggregateSpec
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.errors import DeltaRequiresInvalidationError
+from repro.types import DataType
+
+MASKS = (3, 2, 1, 0)
+
+#: algebraically exact, float-association-sensitive (see module doc)
+WELFORD = {"VAR", "VARIANCE", "STDDEV", "STDEV"}
+
+SCHEMA = Schema([Column("a", DataType.STRING),
+                 Column("b", DataType.STRING),
+                 Column("m", DataType.ANY)])
+
+BASE = [("x", "p", 4), ("x", "q", 9), ("y", "p", 2), ("y", "q", 7),
+        ("x", "p", 6), ("y", "q", 1)]
+INSERTS = [("x", "q", 3), ("z", "p", 8)]
+#: (y, q, 7): not the extreme of any surviving cell containing it?
+#: it *is* the max of cell (y, q) -- MIN merges, MAX declines; both
+#: routes are asserted sound below.
+DELETES = [("y", "q", 7)]
+
+
+def make_function(name):
+    try:
+        return default_registry.create(name)
+    except TypeError:  # top-N style functions need their n
+        return default_registry.create(name, 3)
+
+
+def rows_for(fn, rows):
+    """CENTER_OF_MASS aggregates (mass, position) pairs; everything
+    else takes the scalar measure."""
+    if (fn.name or "").upper() == "CENTER_OF_MASS":
+        return [(a, b, (m, 2 * m + 1)) for a, b, m in rows]
+    return list(rows)
+
+
+def build(rows, spec):
+    return PartialCube(Table(SCHEMA, list(rows)), ["a", "b"], [spec],
+                       materialize=list(MASKS), universe=list(MASKS))
+
+
+def snapshot(cube):
+    return {mask: sorted(repr(row) for row in cube.answer(mask).rows)
+            for mask in MASKS}
+
+
+def assert_equivalent(name, warm, cold):
+    if name in WELFORD:
+        for mask in MASKS:
+            w = sorted(warm.answer(mask).rows)
+            c = sorted(cold.answer(mask).rows)
+            assert len(w) == len(c)
+            for wrow, crow in zip(w, c):
+                assert wrow[:-1] == crow[:-1]
+                assert wrow[-1] == pytest.approx(crow[-1], rel=1e-9)
+        return
+    assert snapshot(warm) == snapshot(cold)
+
+
+@pytest.mark.parametrize("name", default_registry.names())
+class TestEveryRegistryAggregate:
+    def test_insert_only_delta(self, name):
+        fn = make_function(name)
+        spec = AggregateSpec(fn, "m", "v")
+        warm = build(rows_for(fn, BASE), spec)
+        before = snapshot(warm)
+        if not fn.delta_exact:
+            with pytest.raises(DeltaRequiresInvalidationError):
+                warm.apply_delta(rows_for(fn, INSERTS), ())
+            assert snapshot(warm) == before  # declined atomically
+            return
+        warm.apply_delta(rows_for(fn, INSERTS), ())
+        cold = build(rows_for(fn, BASE + INSERTS), spec)
+        assert_equivalent(name, warm, cold)
+
+    def test_mixed_delta_merges_or_declines_atomically(self, name):
+        fn = make_function(name)
+        spec = AggregateSpec(fn, "m", "v")
+        warm = build(rows_for(fn, BASE), spec)
+        before = snapshot(warm)
+        try:
+            warm.apply_delta(rows_for(fn, INSERTS), rows_for(fn, DELETES))
+        except DeltaRequiresInvalidationError:
+            # a delete-holistic scratchpad (or non-delta-exact sketch)
+            # declined: nothing may have changed
+            assert snapshot(warm) == before
+            return
+        survivors = [row for row in BASE if row != DELETES[0]]
+        cold = build(rows_for(fn, survivors + INSERTS), spec)
+        assert_equivalent(name, warm, cold)
+
+    def test_empty_delta_batch_is_a_noop(self, name):
+        fn = make_function(name)
+        spec = AggregateSpec(fn, "m", "v")
+        warm = build(rows_for(fn, BASE), spec)
+        before = snapshot(warm)
+        touched = warm.apply_delta((), ())
+        assert touched == 0
+        assert snapshot(warm) == before
+
+
+class TestNullAndNanDeltas:
+    def test_null_delta_rows_match_cold(self):
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        warm = build(BASE, spec)
+        delta = [("x", "p", None), ("w", "w", None)]
+        warm.apply_delta(delta, ())
+        cold = build(BASE + delta, spec)
+        assert snapshot(warm) == snapshot(cold)
+
+    def test_sum_reverts_to_null_when_last_accepted_value_leaves(self):
+        # the cell keeps a NULL row, so it survives -- but its SUM must
+        # finalize to None exactly like a cold rebuild, not to 0
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        base = [("x", "p", 5), ("x", "p", None), ("y", "q", 3)]
+        warm = build(base, spec)
+        warm.apply_delta((), [("x", "p", 5)])
+        cold = build([("x", "p", None), ("y", "q", 3)], spec)
+        assert snapshot(warm) == snapshot(cold)
+        finest = {row[:2]: row[2] for row in warm.answer(3).rows}
+        assert finest[("x", "p")] is None
+
+    def test_nan_delete_declines_for_arithmetic_scratchpads(self):
+        # IEEE NaN is non-invertible (NaN - NaN != 0): unapplying it
+        # would poison SUM forever, so the delta must decline
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        nan_row = ("x", "p", float("nan"))
+        base = BASE + [nan_row]
+        warm = build(base, spec)
+        before = snapshot(warm)
+        with pytest.raises(DeltaRequiresInvalidationError):
+            warm.apply_delta((), [nan_row])
+        assert snapshot(warm) == before
+
+    def test_nan_insert_merges(self):
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        warm = build(BASE, spec)
+        nan_row = ("x", "p", float("nan"))
+        warm.apply_delta([nan_row], ())
+        cold = build(BASE + [nan_row], spec)
+        assert snapshot(warm) == snapshot(cold)
+        finest = {row[:2]: row[2] for row in warm.answer(3).rows}
+        assert math.isnan(finest[("x", "p")])
+
+
+class TestDeleteHolisticRouting:
+    def test_min_extreme_delete_from_surviving_cell_declines(self):
+        # (x, p) holds {4, 6}; deleting 4 evicts the MIN extreme while
+        # the cell survives -- Section 6's "holistic for DELETE" case.
+        # The cube must refuse to merge (the cache then invalidates).
+        spec = AggregateSpec(default_registry.create("MIN"), "m", "lo")
+        warm = build(BASE, spec)
+        before = snapshot(warm)
+        with pytest.raises(DeltaRequiresInvalidationError):
+            warm.apply_delta((), [("x", "p", 4)])
+        assert snapshot(warm) == before
+
+    def test_min_delete_emptying_its_cell_merges(self):
+        # (y, p) holds only {2}: the finest cell empties and is simply
+        # dropped (no unapply needed), and every coarser cell still has
+        # rows whose MIN survives 2's departure -- so this MIN delta
+        # merges even though MIN is delete-holistic in general
+        spec = AggregateSpec(default_registry.create("MIN"), "m", "lo")
+        # 2 is no surviving cell's minimum: (y, ALL) keeps 0,
+        # (ALL, p) keeps 1, (ALL, ALL) keeps 0
+        base = [("x", "p", 1), ("x", "q", 3), ("y", "p", 2), ("y", "q", 0)]
+        warm = build(base, spec)
+        warm.apply_delta((), [("y", "p", 2)])
+        cold = build([row for row in base if row != ("y", "p", 2)], spec)
+        assert snapshot(warm) == snapshot(cold)
+        assert ("y", "p") not in {r[:2] for r in warm.answer(3).rows}
+
+    def test_declined_delta_leaves_cube_usable(self):
+        # after a decline the cube still merges a later benign delta
+        spec = AggregateSpec(default_registry.create("MIN"), "m", "lo")
+        warm = build(BASE, spec)
+        with pytest.raises(DeltaRequiresInvalidationError):
+            warm.apply_delta((), [("x", "p", 4)])
+        warm.apply_delta([("x", "p", 5)], ())
+        cold = build(BASE + [("x", "p", 5)], spec)
+        assert snapshot(warm) == snapshot(cold)
+
+    def test_unknown_row_delete_declines(self):
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        warm = build(BASE, spec)
+        before = snapshot(warm)
+        with pytest.raises(DeltaRequiresInvalidationError):
+            warm.apply_delta((), [("no", "such", 1)])
+        assert snapshot(warm) == before
+
+
+class TestDeltaBookkeeping:
+    def test_sizes_and_materialized_rows_track_the_delta(self):
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        warm = build(BASE, spec)
+        warm.apply_delta(INSERTS, ())
+        cold = build(BASE + INSERTS, spec)
+        assert warm.materialized_rows == cold.materialized_rows
+
+    def test_repeated_deltas_stay_identical(self):
+        spec = AggregateSpec(default_registry.create("SUM"), "m", "s")
+        warm = build(BASE, spec)
+        stream = list(BASE)
+        for batch in ([("x", "q", 3)], [("z", "p", 8), ("z", "p", 1)],
+                      [("y", "p", 5)]):
+            warm.apply_delta(batch, ())
+            stream += batch
+        cold = build(stream, spec)
+        assert snapshot(warm) == snapshot(cold)
